@@ -1,0 +1,344 @@
+// Package doppio_test holds the top-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (§7), plus ablation benches for the design decisions DESIGN.md
+// calls out (D1-D6). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers depend on the host; EXPERIMENTS.md records the
+// paper-vs-measured comparison and the shape checks.
+package doppio_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"doppio/internal/bench"
+	"doppio/internal/browser"
+	"doppio/internal/buffer"
+	"doppio/internal/core"
+	"doppio/internal/fstrace"
+	"doppio/internal/jvm"
+)
+
+// benchCfg is the scale used by the figure benchmarks: small enough
+// for iteration, large enough to dominate startup.
+func benchCfg() bench.Config {
+	return bench.Config{Scale: 1}
+}
+
+// --- Figure 3: macro benchmarks ---
+
+func BenchmarkFig3Native(b *testing.B) {
+	for _, spec := range bench.Fig3Workloads {
+		b.Run(spec.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.RunNative(spec, benchCfg().Scale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig3Doppio(b *testing.B) {
+	// Chrome only: the paper's headline 24-42x band. The full
+	// five-browser matrix comes from `doppio-bench -fig3`; Figure 4/6
+	// benches below cover browser diversity cheaply.
+	cfg := benchCfg()
+	for _, p := range []browser.Profile{browser.Chrome28} {
+		for _, spec := range bench.Fig3Workloads {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, spec.ID), func(b *testing.B) {
+				nativeT, _, err := bench.RunNative(spec, cfg.Scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var last *bench.DoppioRun
+				for i := 0; i < b.N; i++ {
+					last, err = bench.RunDoppio(spec, cfg.Scale, p, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(last.Wall)/float64(nativeT), "slowdown-x")
+			})
+		}
+	}
+}
+
+// --- Figures 4 and 5: microbenchmarks with suspension accounting ---
+
+func BenchmarkFig4Micro(b *testing.B) {
+	cfg := benchCfg()
+	for _, spec := range bench.MicroWorkloads {
+		b.Run("native/"+spec.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.RunNative(spec, cfg.Scale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, p := range []browser.Profile{browser.Chrome28, browser.Safari6, browser.IE10} {
+			b.Run(p.Name+"/"+spec.ID, func(b *testing.B) {
+				nativeT, _, err := bench.RunNative(spec, cfg.Scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var run *bench.DoppioRun
+				for i := 0; i < b.N; i++ {
+					run, err = bench.RunDoppio(spec, cfg.Scale, p, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(run.Wall)/float64(nativeT), "wall-slowdown-x")
+				b.ReportMetric(float64(run.CPU)/float64(nativeT), "cpu-slowdown-x")
+				// Figure 5's metric: suspension share of runtime.
+				b.ReportMetric(100*float64(run.Suspended)/float64(run.Wall), "suspended-%")
+				b.ReportMetric(float64(run.Suspensions), "suspensions")
+			})
+		}
+	}
+}
+
+// --- Figure 6: file system trace replay ---
+
+func BenchmarkFig6FileSystem(b *testing.B) {
+	params := fstrace.GenerateParams{
+		Ops: 1000, UniqueFiles: 400, BytesRead: 2_000_000, BytesWritten: 30_000,
+	}
+	for _, p := range []browser.Profile{browser.Chrome28, browser.IE10, browser.IE8} {
+		b.Run(p.Name, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Browsers = []browser.Profile{p}
+			var slow float64
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunFig6(cfg, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				slow = rows[0].Slowdown
+			}
+			b.ReportMetric(slow, "vs-native-x")
+		})
+	}
+}
+
+// --- Tables 1 and 2: probe suites ---
+
+func BenchmarkTable1FeatureProbes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		for _, r := range rows {
+			if !r.Systems["DoppioJVM"] {
+				b.Fatalf("probe failed: %s: %v", r.Feature, r.ProbeErr)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2StorageProbes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table2()
+		if !rows[1].Probed || !rows[2].Probed {
+			b.Fatal("storage probes failed")
+		}
+	}
+}
+
+// --- Ablation D1 (§4.4): resumption mechanism cost ---
+
+func BenchmarkAblationResumeMechanism(b *testing.B) {
+	for _, mech := range []string{"setImmediate", "postMessage", "setTimeout"} {
+		b.Run(mech, func(b *testing.B) {
+			p := browser.IE10 // has all three mechanisms
+			var totalSusp, totalRounds int
+			var suspended time.Duration
+			for i := 0; i < b.N; i++ {
+				win := browser.NewWindow(p)
+				rt := core.NewRuntime(win, core.Config{
+					Timeslice:      200 * time.Microsecond,
+					ForceMechanism: mech,
+				})
+				steps := 0
+				rt.Spawn("spin", core.RunnableFunc(func(t *core.Thread) core.RunResult {
+					for steps < 40000 {
+						steps++
+						if t.CheckSuspend() {
+							return core.Yield
+						}
+					}
+					return core.Done
+				}))
+				rt.Start()
+				if err := win.Loop.Run(); err != nil {
+					b.Fatal(err)
+				}
+				st := rt.Stats()
+				totalSusp += st.Suspensions
+				totalRounds++
+				suspended += st.SuspendedTime
+			}
+			if totalSusp > 0 {
+				b.ReportMetric(float64(suspended.Nanoseconds())/float64(totalSusp), "ns/suspend")
+			}
+		})
+	}
+}
+
+// --- Ablation D2 (§4.1): adaptive quantum vs fixed counters ---
+
+func BenchmarkAblationQuantum(b *testing.B) {
+	cases := map[string]int{"adaptive": 0, "fixed-512": 512, "fixed-65536": 65536}
+	for name, fixed := range cases {
+		b.Run(name, func(b *testing.B) {
+			var longest time.Duration
+			for i := 0; i < b.N; i++ {
+				win := browser.NewWindow(browser.Chrome28)
+				rt := core.NewRuntime(win, core.Config{
+					Timeslice:    2 * time.Millisecond,
+					FixedCounter: fixed,
+				})
+				steps := 0
+				rt.Spawn("spin", core.RunnableFunc(func(t *core.Thread) core.RunResult {
+					for steps < 300000 {
+						steps++
+						if t.CheckSuspend() {
+							return core.Yield
+						}
+					}
+					return core.Done
+				}))
+				rt.Start()
+				if err := win.Loop.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if lt := win.Loop.Stats().LongestTask; lt > longest {
+					longest = lt
+				}
+			}
+			// The quantity the watchdog cares about: how long a single
+			// event can run. Fixed counters mis-size it; the adaptive
+			// counter tracks the timeslice.
+			b.ReportMetric(float64(longest.Microseconds()), "longest-event-us")
+		})
+	}
+}
+
+// --- Ablation D3 (§5.1): typed array vs number array Buffer ---
+
+func BenchmarkAblationBufferStore(b *testing.B) {
+	for _, typed := range []bool{true, false} {
+		name := "typed-array"
+		if !typed {
+			name = "number-array"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := &buffer.Factory{Typed: typed}
+			buf := f.New(8192)
+			for i := 0; i < b.N; i++ {
+				off := (i * 4) % 8188
+				buf.WriteUInt32LE(uint32(i), off)
+				if buf.ReadUInt32LE(off) != uint32(i) {
+					b.Fatal("mismatch")
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation D4 (§5.1): packed binary string density ---
+
+func BenchmarkAblationStringPacking(b *testing.B) {
+	data := make([]byte, 16384)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	for _, validates := range []bool{false, true} {
+		name := "2-bytes-per-char"
+		if validates {
+			name = "1-byte-per-char"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := &buffer.Factory{Typed: true, ValidatesStrings: validates}
+			buf := f.FromBytes(data)
+			var packedLen int
+			for i := 0; i < b.N; i++ {
+				s, err := buf.ToString(buffer.Packed, 0, buf.Len())
+				if err != nil {
+					b.Fatal(err)
+				}
+				back, err := f.FromString(s, buffer.Packed)
+				if err != nil || back.Len() != len(data) {
+					b.Fatal("round trip failed")
+				}
+				packedLen = len(s)
+			}
+			b.ReportMetric(float64(packedLen), "go-bytes")
+			b.SetBytes(int64(len(data)))
+		})
+	}
+}
+
+// --- Ablation D5 (§6.7): dictionary fields vs slot arrays ---
+
+func BenchmarkAblationFieldStorage(b *testing.B) {
+	b.Run("dictionary", func(b *testing.B) {
+		fields := map[string]jvm.Slot{
+			"Shape/name": {}, "Shape/area": {N: 1}, "Rect/w": {N: 2}, "Rect/h": {N: 5},
+		}
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			s := fields["Rect/w"]
+			s.N++
+			fields["Rect/w"] = s
+			acc += fields["Rect/h"].N
+		}
+		_ = acc
+	})
+	b.Run("slots", func(b *testing.B) {
+		fields := make([]jvm.Slot, 4)
+		fields[3].N = 5
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			fields[2].N++
+			acc += fields[3].N
+		}
+		_ = acc
+	})
+}
+
+// --- Ablation D7 (§6.1): suspend-check placement overhead ---
+
+func BenchmarkAblationSuspendChecks(b *testing.B) {
+	run := func(b *testing.B, every int) {
+		win := browser.NewWindow(browser.Chrome28)
+		rt := core.NewRuntime(win, core.Config{Timeslice: 5 * time.Millisecond})
+		done := false
+		steps := 0
+		rt.Spawn("spin", core.RunnableFunc(func(t *core.Thread) core.RunResult {
+			for steps < b.N {
+				steps++
+				if every > 0 && steps%every == 0 && t.CheckSuspend() {
+					return core.Yield
+				}
+			}
+			done = true
+			return core.Done
+		}))
+		rt.Start()
+		if err := win.Loop.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if !done {
+			b.Fatal("did not finish")
+		}
+	}
+	b.Run("every-call", func(b *testing.B) { run(b, 1) })
+	b.Run("every-64", func(b *testing.B) { run(b, 64) })
+	b.Run("never", func(b *testing.B) {
+		// Baseline without checks (only viable without a watchdog).
+		run(b, 0)
+	})
+}

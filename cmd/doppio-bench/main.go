@@ -1,0 +1,92 @@
+// doppio-bench regenerates the paper's tables and figures (§7).
+//
+//	doppio-bench -all                 # everything at quick scale
+//	doppio-bench -fig3 -scale 3       # closer to paper scale
+//	doppio-bench -table1 -table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"doppio/internal/bench"
+	"doppio/internal/browser"
+	"doppio/internal/fstrace"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "macro benchmarks: DoppioJVM vs native (Figure 3)")
+	fig45 := flag.Bool("fig45", false, "microbenchmarks + suspension (Figures 4 and 5)")
+	fig6 := flag.Bool("fig6", false, "file system trace replay (Figure 6)")
+	table1 := flag.Bool("table1", false, "feature matrix with live probes (Table 1)")
+	table2 := flag.Bool("table2", false, "storage mechanisms (Table 2)")
+	all := flag.Bool("all", false, "run everything")
+	scale := flag.Int("scale", 1, "workload scale (>=5 is paper scale)")
+	browsersFlag := flag.String("browsers", "", "comma-separated browser names (default: the paper's five)")
+	noTax := flag.Bool("noenginetax", false, "disable the JS-engine speed model")
+	flag.Parse()
+
+	if !(*fig3 || *fig45 || *fig6 || *table1 || *table2 || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: *scale, DisableEngineTax: *noTax}
+	if *browsersFlag != "" {
+		for _, name := range strings.Split(*browsersFlag, ",") {
+			p, ok := browser.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "doppio-bench: unknown browser %q\n", name)
+				os.Exit(2)
+			}
+			cfg.Browsers = append(cfg.Browsers, p)
+		}
+	}
+
+	if *all || *table1 {
+		fmt.Println(bench.FormatTable1(bench.Table1()))
+	}
+	if *all || *table2 {
+		fmt.Println(bench.FormatTable2(bench.Table2()))
+	}
+	if *all || *fig3 {
+		start := time.Now()
+		res, err := bench.RunFig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatFig3(res))
+		fmt.Printf("(figure 3 sweep took %v)\n\n", time.Since(start).Round(time.Second))
+	}
+	if *all || *fig45 {
+		rows, err := bench.RunFig45(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatFig45(rows))
+	}
+	if *all || *fig6 {
+		params := fstrace.PaperParams()
+		if *scale < 3 {
+			// Quick runs replay a proportionally smaller trace.
+			params = fstrace.GenerateParams{
+				Ops:          3185 * *scale / 3,
+				UniqueFiles:  1560 * *scale / 3,
+				BytesRead:    10_500_000 * *scale / 3,
+				BytesWritten: 97_000 * *scale / 3,
+			}
+		}
+		rows, err := bench.RunFig6(cfg, params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatFig6(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doppio-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// doppio-disasm is the javap analog: it disassembles JVM class files.
+//
+//	doppio-disasm Foo.class [Bar.class...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"doppio/internal/classfile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doppio-disasm file.class...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doppio-disasm:", err)
+			os.Exit(1)
+		}
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppio-disasm: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Print(classfile.Disassemble(cf))
+	}
+}

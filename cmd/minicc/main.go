@@ -1,0 +1,74 @@
+// minicc compiles and runs a MiniC program inside a simulated browser
+// (the Emscripten+Doppio pipeline of §7.2). Standard input feeds the
+// program's blocking getline.
+//
+//	minicc prog.c
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"doppio/internal/browser"
+	"doppio/internal/minic"
+)
+
+func main() {
+	browserName := flag.String("browser", "Chrome 28", "browser profile")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-browser name] prog.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+	prog, err := minic.CompileC(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+	profile, ok := browser.ByName(*browserName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "minicc: unknown browser %q\n", *browserName)
+		os.Exit(2)
+	}
+	win := browser.NewWindow(profile)
+	reader := bufio.NewReader(os.Stdin)
+	stdin := func(max int, cb func(string, bool)) {
+		win.Loop.AddPending()
+		go func() {
+			line, err := reader.ReadString('\n')
+			win.Loop.InvokeExternal("stdin", func() {
+				defer win.Loop.DonePending()
+				if len(line) > 0 {
+					cb(trimNL(line), false)
+					return
+				}
+				cb("", err != nil)
+			})
+		}()
+	}
+	vm, err := minic.NewVM(win, prog, minic.VMOptions{Stdout: os.Stdout, Stdin: stdin})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+	exit, err := vm.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+	os.Exit(int(exit))
+}
+
+func trimNL(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+// mjc is the MiniJava compiler: it compiles .mj sources (plus the
+// bundled runtime class library) into real JVM class files.
+//
+//	mjc -d out/ prog.mj [more.mj...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"doppio/internal/jvm/rt"
+)
+
+func main() {
+	outDir := flag.String("d", "classes", "output directory for .class files")
+	withRT := flag.Bool("rt", true, "include the runtime class library in the output")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mjc [-d dir] file.mj...")
+		os.Exit(2)
+	}
+	sources := map[string]string{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mjc:", err)
+			os.Exit(1)
+		}
+		sources[path] = string(data)
+	}
+	classes, err := rt.CompileWith(sources)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mjc:", err)
+		os.Exit(1)
+	}
+	rtClasses, _ := rt.Classes()
+	written := 0
+	for name, data := range classes {
+		if !*withRT {
+			if _, isRT := rtClasses[name]; isRT {
+				continue
+			}
+		}
+		path := filepath.Join(*outDir, name+".class")
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mjc:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mjc:", err)
+			os.Exit(1)
+		}
+		written++
+	}
+	fmt.Printf("mjc: wrote %d class files to %s\n", written, *outDir)
+}

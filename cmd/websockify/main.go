@@ -1,0 +1,34 @@
+// websockify bridges incoming WebSocket connections to a plain TCP
+// server, as the kanaka/websockify program the paper uses (§5.3).
+//
+//	websockify -listen :8081 -target 127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"doppio/internal/sockets"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8081", "WebSocket listen address")
+	target := flag.String("target", "", "TCP target address (host:port)")
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "usage: websockify -listen addr -target host:port")
+		os.Exit(2)
+	}
+	proxy, err := sockets.NewWebsockify(*listen, *target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "websockify:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("websockify: %s -> %s\n", proxy.Addr(), *target)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	proxy.Close()
+}

@@ -1,0 +1,92 @@
+// Sockets: an unmodified Java socket client running in the browser,
+// connected through a Websockify proxy to a plain TCP echo server —
+// the full §5.3 pipeline.
+//
+//	go run ./examples/sockets
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"doppio/internal/browser"
+	"doppio/internal/jvm"
+	"doppio/internal/jvm/rt"
+	"doppio/internal/sockets"
+)
+
+const program = `
+import java.net.Socket;
+
+public class Client {
+    public static void main(String[] args) {
+        int port = Integer.parseInt(args[1]);
+        Socket s = new Socket(args[0], port);
+        s.writeString("hello over websockify");
+        String reply = s.readString(256);
+        System.out.println("echo reply: " + reply);
+        s.close();
+    }
+}
+`
+
+func main() {
+	// A plain, unmodified TCP echo server (native side).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	// Websockify bridges browser WebSockets to the TCP server (§5.3).
+	proxy, err := sockets.NewWebsockify("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer proxy.Close()
+	host, portStr, _ := strings.Cut(proxy.Addr(), ":")
+	port, _ := strconv.Atoi(portStr)
+	fmt.Printf("echo server at %s, websockify at %s\n", ln.Addr(), proxy.Addr())
+
+	classes, err := rt.CompileWith(map[string]string{"Client.mj": program})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
+		Stdout:           os.Stdout,
+		Provider:         jvm.MapProvider(classes),
+		DisableEngineTax: true,
+	})
+	if err := vm.RunMain("Client", []string{host, fmt.Sprint(port)}); err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+}

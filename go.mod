@@ -1,0 +1,3 @@
+module doppio
+
+go 1.22

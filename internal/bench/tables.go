@@ -1,0 +1,437 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"doppio/internal/bench/workloads"
+	"doppio/internal/browser"
+	"doppio/internal/buffer"
+	"doppio/internal/core"
+	"doppio/internal/jvm"
+	"doppio/internal/sockets"
+	"doppio/internal/umheap"
+	"doppio/internal/vfs"
+)
+
+// FeatureRow is one row of Table 1.
+type FeatureRow struct {
+	Category string
+	Feature  string
+	// Systems maps system name → supported. The Doppio column is
+	// filled by live probes against this implementation; comparator
+	// columns restate the paper's Table 1.
+	Systems map[string]bool
+	// ProbeErr carries a probe failure for the Doppio column.
+	ProbeErr error
+}
+
+// Table1Systems lists the comparison systems in the paper's column
+// order.
+var Table1Systems = []string{"DoppioJVM", "GWT", "Emscripten", "ASM.js", "IL2JS", "WeScheme"}
+
+// Table1 reproduces the paper's feature comparison. The DoppioJVM
+// column is not transcribed — each feature is verified by actually
+// exercising this implementation; a probe failure marks the cell
+// false and records the error.
+func Table1() []FeatureRow {
+	type probe struct {
+		category, feature string
+		others            map[string]bool
+		fn                func() error
+	}
+	probes := []probe{
+		{"OS services", "File system (browser-based)",
+			map[string]bool{"GWT": false, "Emscripten": true, "ASM.js": false, "IL2JS": false, "WeScheme": false},
+			probeFileSystem},
+		{"OS services", "Unmanaged heap",
+			map[string]bool{"GWT": false, "Emscripten": true, "ASM.js": true, "IL2JS": false, "WeScheme": false},
+			probeUnmanagedHeap},
+		{"OS services", "Sockets",
+			map[string]bool{"GWT": false, "Emscripten": true, "ASM.js": false, "IL2JS": false, "WeScheme": false},
+			probeSockets},
+		{"Execution support", "Automatic event segmentation",
+			map[string]bool{"GWT": false, "Emscripten": false, "ASM.js": false, "IL2JS": false, "WeScheme": true},
+			probeEventSegmentation},
+		{"Execution support", "Synchronous API support",
+			map[string]bool{"GWT": false, "Emscripten": false, "ASM.js": false, "IL2JS": false, "WeScheme": true},
+			probeSyncAPI},
+		{"Execution support", "Multithreading support",
+			map[string]bool{"GWT": false, "Emscripten": false, "ASM.js": false, "IL2JS": false, "WeScheme": true},
+			probeMultithreading},
+		{"Execution support", "Works entirely in the browser",
+			map[string]bool{"GWT": true, "Emscripten": true, "ASM.js": true, "IL2JS": true, "WeScheme": false},
+			probeInBrowser},
+		{"Language services", "Exceptions",
+			map[string]bool{"GWT": true, "Emscripten": true, "ASM.js": true, "IL2JS": true, "WeScheme": true},
+			probeExceptions},
+		{"Language services", "Reflection",
+			map[string]bool{"GWT": false, "Emscripten": false, "ASM.js": false, "IL2JS": false, "WeScheme": false},
+			probeReflection},
+	}
+	var out []FeatureRow
+	for _, p := range probes {
+		row := FeatureRow{Category: p.category, Feature: p.feature, Systems: map[string]bool{}}
+		for k, v := range p.others {
+			row.Systems[k] = v
+		}
+		err := p.fn()
+		row.Systems["DoppioJVM"] = err == nil
+		row.ProbeErr = err
+		out = append(out, row)
+	}
+	return out
+}
+
+// --- Table 1 probes: each exercises the real implementation ---
+
+func probeFileSystem() error {
+	win := browser.NewWindow(browser.Chrome28)
+	bufs := &buffer.Factory{Typed: true}
+	fs := vfs.New(win.Loop, bufs, vfs.NewInMemory())
+	var got []byte
+	win.Loop.Post("probe", func() {
+		fs.WriteFile("/probe.txt", []byte("persisted"), func(err error) {
+			if err != nil {
+				return
+			}
+			fs.ReadFile("/probe.txt", func(b *buffer.Buffer, err error) {
+				if err == nil {
+					got = b.Bytes()
+				}
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		return err
+	}
+	if string(got) != "persisted" {
+		return fmt.Errorf("file system round trip failed")
+	}
+	return nil
+}
+
+func probeUnmanagedHeap() error {
+	h := umheap.New(4096, true, nil)
+	addr, err := h.Malloc(16)
+	if err != nil {
+		return err
+	}
+	h.StoreI32(addr, -123456)
+	if h.LoadI32(addr) != -123456 {
+		return fmt.Errorf("heap round trip failed")
+	}
+	return h.Free(addr)
+}
+
+func probeSockets() error {
+	// Full §5.3 pipeline: browser socket → Websockify → TCP echo.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64)
+		n, _ := conn.Read(buf)
+		conn.Write(buf[:n])
+	}()
+	proxy, err := sockets.NewWebsockify("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	win := browser.NewWindow(browser.Chrome28)
+	var got string
+	win.Loop.Post("probe", func() {
+		sockets.Connect(win, proxy.Addr(), func(s *sockets.Socket, err error) {
+			if err != nil {
+				return
+			}
+			s.Write([]byte("probe"), func(err error) {
+				if err != nil {
+					return
+				}
+				s.Read(16, func(data []byte, err error) {
+					got = string(data)
+					s.Close()
+				})
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		return err
+	}
+	if got != "probe" {
+		return fmt.Errorf("socket echo returned %q", got)
+	}
+	return nil
+}
+
+func probeEventSegmentation() error {
+	p := browser.Chrome28
+	p.WatchdogLimit = 40 * time.Millisecond
+	win := browser.NewWindow(p)
+	rt := core.NewRuntime(win, core.Config{Timeslice: 4 * time.Millisecond})
+	steps := 0
+	rt.Spawn("probe", core.RunnableFunc(func(t *core.Thread) core.RunResult {
+		for steps < 2000 {
+			end := time.Now().Add(50 * time.Microsecond)
+			for time.Now().Before(end) {
+			}
+			steps++
+			if t.CheckSuspend() {
+				return core.Yield
+			}
+		}
+		return core.Done
+	}))
+	rt.Start()
+	if err := win.Loop.Run(); err != nil {
+		return fmt.Errorf("watchdog killed segmented execution: %w", err)
+	}
+	if rt.Stats().Suspensions == 0 {
+		return fmt.Errorf("never suspended")
+	}
+	return nil
+}
+
+func probeSyncAPI() error {
+	// Run a JVM program whose synchronous file read is served by the
+	// asynchronous Doppio FS via suspend-and-resume.
+	out, err := runProbeProgram(`
+import doppio.io.FileSystem;
+public class Probe {
+    public static void main(String[] args) {
+        byte[] pre = new byte[1];
+        pre[0] = (byte) 65;
+        FileSystem.writeFile("/f", pre);
+        byte[] data = FileSystem.readFile("/f");
+        System.out.println((char) data[0]);
+    }
+}`)
+	if err != nil {
+		return err
+	}
+	if out != "A\n" {
+		return fmt.Errorf("sync-over-async read returned %q", out)
+	}
+	return nil
+}
+
+func probeMultithreading() error {
+	out, err := runProbeProgram(`
+class W extends Thread {
+    static int n;
+    public void run() { n++; }
+}
+public class Probe {
+    public static void main(String[] args) {
+        W a = new W();
+        W b = new W();
+        a.start();
+        b.start();
+        a.join();
+        b.join();
+        System.out.println(W.n);
+    }
+}`)
+	if err != nil {
+		return err
+	}
+	if out != "2\n" {
+		return fmt.Errorf("threads produced %q", out)
+	}
+	return nil
+}
+
+func probeInBrowser() error {
+	// Everything executes on the single event-loop goroutine of a
+	// simulated browser window; a whole program run proves it.
+	out, err := runProbeProgram(`
+public class Probe {
+    public static void main(String[] args) {
+        System.out.println("in-browser");
+    }
+}`)
+	if err != nil {
+		return err
+	}
+	if out != "in-browser\n" {
+		return fmt.Errorf("unexpected output %q", out)
+	}
+	return nil
+}
+
+func probeExceptions() error {
+	out, err := runProbeProgram(`
+public class Probe {
+    public static void main(String[] args) {
+        try {
+            int[] a = new int[1];
+            a[2] = 1;
+        } catch (ArrayIndexOutOfBoundsException e) {
+            System.out.println("caught");
+        }
+    }
+}`)
+	if err != nil {
+		return err
+	}
+	if out != "caught\n" {
+		return fmt.Errorf("exception handling produced %q", out)
+	}
+	return nil
+}
+
+func probeReflection() error {
+	out, err := runProbeProgram(`
+public class Probe {
+    public static void main(String[] args) {
+        Object o = "x";
+        System.out.println(o.getClass().getName());
+    }
+}`)
+	if err != nil {
+		return err
+	}
+	if out != "java.lang.String\n" {
+		return fmt.Errorf("reflection produced %q", out)
+	}
+	return nil
+}
+
+// runProbeProgram compiles and runs a Probe class on the Doppio engine
+// in a Chrome window.
+func runProbeProgram(src string) (string, error) {
+	classes, err := compileProbe(src)
+	if err != nil {
+		return "", err
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	var stdout bytes.Buffer
+	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
+		Stdout:           &stdout,
+		Provider:         jvm.MapProvider(classes),
+		DisableEngineTax: true,
+	})
+	if err := vm.RunMain("Probe", nil); err != nil {
+		return stdout.String(), err
+	}
+	return stdout.String(), nil
+}
+
+func compileProbe(src string) (map[string][]byte, error) {
+	return workloadsCompile(map[string]string{"Probe.mj": src})
+}
+
+// workloadsCompile indirects through rt to avoid an import cycle.
+var workloadsCompile = func(extra map[string]string) (map[string][]byte, error) {
+	return rtCompileWith(extra)
+}
+
+// StorageRow is one row of Table 2.
+type StorageRow struct {
+	Name          string
+	Format        string
+	Synchronous   bool
+	MaxSize       string
+	Compatibility string
+	// Probed reports whether this implementation exercised the
+	// mechanism successfully.
+	Probed bool
+}
+
+// Table2 reproduces the storage-mechanism comparison, probing the
+// mechanisms this reproduction models (localStorage and IndexedDB) and
+// restating the rest from the paper.
+func Table2() []StorageRow {
+	rows := []StorageRow{
+		{Name: "Cookies", Format: "String key/value pairs", Synchronous: true, MaxSize: "4KB", Compatibility: "Over 99%"},
+		{Name: "localStorage", Format: "String key/value pairs", Synchronous: true, MaxSize: "5MB", Compatibility: "~90%"},
+		{Name: "IndexedDB", Format: "Object database", Synchronous: false, MaxSize: "User-specified", Compatibility: "<50%"},
+		{Name: "userBehavior", Format: "String key/value pairs", Synchronous: true, MaxSize: "1MB", Compatibility: "<40%"},
+		{Name: "Web SQL", Format: "SQL database", Synchronous: false, MaxSize: "User-specified", Compatibility: "<25%"},
+		{Name: "FileSystem", Format: "Binary blobs", Synchronous: false, MaxSize: "User-specified", Compatibility: "<20%"},
+	}
+	// Probe localStorage: synchronous round trip with quota.
+	ls := browser.NewLocalStorage(64)
+	if err := ls.SetItem("k", "v"); err == nil {
+		if v, ok := ls.GetItem("k"); ok && v == "v" {
+			rows[1].Probed = true
+		}
+	}
+	// Probe IndexedDB: asynchronous round trip.
+	win := browser.NewWindow(browser.Chrome28)
+	ok := false
+	win.Loop.Post("probe", func() {
+		win.IndexedDB.Put("k", []byte("v"), func(error) {
+			win.IndexedDB.Get("k", func(v []byte, found bool) {
+				ok = found && string(v) == "v"
+			})
+		})
+	})
+	if err := win.Loop.Run(); err == nil && ok {
+		rows[2].Probed = true
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []FeatureRow) string {
+	var b strings.Builder
+	b.WriteString("Table 1: feature comparison (DoppioJVM column verified by live probes)\n")
+	fmt.Fprintf(&b, "%-20s %-32s", "category", "feature")
+	for _, s := range Table1Systems {
+		fmt.Fprintf(&b, " %-10s", s)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %-32s", r.Category, r.Feature)
+		for _, s := range Table1Systems {
+			mark := " "
+			if r.Systems[s] {
+				mark = "Y"
+			}
+			fmt.Fprintf(&b, " %-10s", mark)
+		}
+		if r.ProbeErr != nil {
+			fmt.Fprintf(&b, "  (probe failed: %v)", r.ProbeErr)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []StorageRow) string {
+	var b strings.Builder
+	b.WriteString("Table 2: browser persistent storage mechanisms\n")
+	fmt.Fprintf(&b, "%-14s %-24s %-6s %-16s %-10s %s\n", "name", "format", "sync", "max size", "compat", "probed")
+	for _, r := range rows {
+		sync := ""
+		if r.Synchronous {
+			sync = "yes"
+		}
+		probed := ""
+		if r.Probed {
+			probed = "verified"
+		}
+		fmt.Fprintf(&b, "%-14s %-24s %-6s %-16s %-10s %s\n",
+			r.Name, r.Format, sync, r.MaxSize, r.Compatibility, probed)
+	}
+	return b.String()
+}
+
+// rtCompileWith binds the runtime-library compiler.
+func rtCompileWith(extra map[string]string) (map[string][]byte, error) {
+	return workloads.CompileWith(extra)
+}

@@ -1,0 +1,79 @@
+// Package workloads embeds the benchmark programs of the paper's
+// evaluation (§7), rewritten in MiniJava so the whole corpus is
+// self-contained (DESIGN.md documents each substitution):
+//
+//   - Disasm     → javap      (class-file disassembly over the FS)
+//   - MJParse    → javac      (compiler front end over source files)
+//   - MiniScript → Rhino      (a JS-ish interpreter running SunSpider's
+//     recursive and binary-trees kernels)
+//   - SchemeMain → Kawa       (a Scheme interpreter running nqueens 8)
+//   - DeltaBlue  → DeltaBlue  (Figure 4/5 microbenchmark)
+//   - PiDigits   → pidigits   (Figure 4/5 microbenchmark)
+package workloads
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+
+	"doppio/internal/jvm/rt"
+)
+
+//go:embed *.mj
+var srcFS embed.FS
+
+// Sources returns the workload sources keyed by file name.
+func Sources() map[string]string {
+	out := make(map[string]string)
+	entries, err := fs.ReadDir(srcFS, ".")
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %v", err))
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mj") {
+			continue
+		}
+		data, err := srcFS.ReadFile(e.Name())
+		if err != nil {
+			panic(fmt.Sprintf("workloads: %v", err))
+		}
+		out["workloads/"+e.Name()] = string(data)
+	}
+	return out
+}
+
+var (
+	once     sync.Once
+	classes  map[string][]byte
+	buildErr error
+)
+
+// Classes compiles (once) the runtime library plus every workload and
+// returns all class files by internal name.
+func Classes() (map[string][]byte, error) {
+	once.Do(func() {
+		classes, buildErr = rt.CompileWith(Sources())
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return classes, nil
+}
+
+// MainClasses maps workload ids to their main classes.
+var MainClasses = map[string]string{
+	"deltablue":  "DeltaBlue",
+	"pidigits":   "PiDigits",
+	"disasm":     "Disasm",
+	"mjparse":    "MJParse",
+	"miniscript": "MiniScript",
+	"scheme":     "SchemeMain",
+}
+
+// CompileWith compiles the runtime library plus extra sources (no
+// workloads), for callers that need ad-hoc programs.
+func CompileWith(extra map[string]string) (map[string][]byte, error) {
+	return rt.CompileWith(extra)
+}

@@ -1,0 +1,194 @@
+package workloads_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"doppio/internal/bench/workloads"
+	"doppio/internal/jvm"
+)
+
+// runWorkload executes a workload main class on the native engine.
+func runWorkload(t *testing.T, main string, fs jvm.HostFS, args ...string) string {
+	t.Helper()
+	classes, err := workloads.Classes()
+	if err != nil {
+		t.Fatalf("compile workloads: %v", err)
+	}
+	var stdout bytes.Buffer
+	vm := jvm.NewNativeVM(jvm.MapProvider(classes), jvm.NativeOptions{
+		Stdout: &stdout, Stderr: &stdout, FS: fs,
+	})
+	if err := vm.RunMain(main, args); err != nil {
+		t.Fatalf("RunMain(%s): %v\n%s", main, err, stdout.String())
+	}
+	return stdout.String()
+}
+
+func TestDeltaBlue(t *testing.T) {
+	out := runWorkload(t, "DeltaBlue", nil, "2")
+	if !strings.HasPrefix(out, "deltablue check=") {
+		t.Errorf("out = %q", out)
+	}
+	// Deterministic checksum: two runs agree.
+	again := runWorkload(t, "DeltaBlue", nil, "2")
+	if out != again {
+		t.Errorf("nondeterministic: %q vs %q", out, again)
+	}
+}
+
+func TestPiDigits(t *testing.T) {
+	out := runWorkload(t, "PiDigits", nil, "30")
+	want := "3.14159265358979323846264338327\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestPiDigits200StartsRight(t *testing.T) {
+	out := runWorkload(t, "PiDigits", nil, "200")
+	if !strings.HasPrefix(out, "3.1415926535897932384626433832795028841971693993751") {
+		t.Errorf("pi prefix wrong: %q", out[:60])
+	}
+}
+
+// memHostFS exposes a map as a HostFS for the FS-driven workloads.
+type memHostFS struct{ files map[string][]byte }
+
+func (m *memHostFS) ReadFile(p string, cb func([]byte, error)) {
+	if d, ok := m.files[p]; ok {
+		cb(d, nil)
+		return
+	}
+	cb(nil, errNotFound(p))
+}
+
+type errNotFound string
+
+func (e errNotFound) Error() string { return "not found: " + string(e) }
+
+func (m *memHostFS) WriteFile(p string, d []byte, cb func(error)) {
+	m.files[p] = append([]byte(nil), d...)
+	cb(nil)
+}
+func (m *memHostFS) Append(p string, d []byte, cb func(error)) {
+	m.files[p] = append(m.files[p], d...)
+	cb(nil)
+}
+func (m *memHostFS) Stat(p string, cb func(int64, bool, bool)) {
+	if d, ok := m.files[p]; ok {
+		cb(int64(len(d)), false, true)
+		return
+	}
+	// Directory if any file has the prefix.
+	prefix := strings.TrimSuffix(p, "/") + "/"
+	for f := range m.files {
+		if strings.HasPrefix(f, prefix) || p == "/" {
+			cb(0, true, true)
+			return
+		}
+	}
+	cb(0, false, false)
+}
+func (m *memHostFS) List(p string, cb func([]string, error)) {
+	prefix := strings.TrimSuffix(p, "/") + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	seen := map[string]bool{}
+	for f := range m.files {
+		if !strings.HasPrefix(f, prefix) {
+			continue
+		}
+		rest := f[len(prefix):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		seen[rest] = true
+	}
+	var names []string
+	for n := range seen {
+		names = append(names, n)
+	}
+	cb(names, nil)
+}
+func (m *memHostFS) Delete(p string, cb func(error)) { delete(m.files, p); cb(nil) }
+func (m *memHostFS) Mkdir(p string, cb func(error))  { cb(nil) }
+func (m *memHostFS) Rename(a, b string, cb func(error)) {
+	m.files[b] = m.files[a]
+	delete(m.files, a)
+	cb(nil)
+}
+
+func TestDisasmOverClassCorpus(t *testing.T) {
+	classes, err := workloads.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &memHostFS{files: map[string][]byte{}}
+	n := 0
+	for name, data := range classes {
+		fs.files["/classes/"+strings.ReplaceAll(name, "/", "_")+".class"] = data
+		n++
+	}
+	out := runWorkload(t, "Disasm", fs, "/classes")
+	if !strings.Contains(out, "disassembled ") {
+		t.Fatalf("out = %q", out)
+	}
+	// The corpus has tens of thousands of instructions.
+	var instrs, chars int
+	if _, err := fmt.Sscanf(out, "disassembled %d instructions, %d chars", &instrs, &chars); err != nil {
+		t.Fatalf("parse %q: %v", out, err)
+	}
+	if instrs < 10000 {
+		t.Errorf("instrs = %d, implausibly few for %d classes", instrs, n)
+	}
+}
+
+func TestMJParseOverRuntimeSources(t *testing.T) {
+	fs := &memHostFS{files: map[string][]byte{}}
+	for name, src := range workloads.Sources() {
+		fs.files["/src/"+strings.ReplaceAll(name, "/", "_")] = []byte(src)
+	}
+	out := runWorkload(t, "MJParse", fs, "/src")
+	if !strings.Contains(out, "tokens=") || !strings.Contains(out, "classes=") {
+		t.Fatalf("out = %q", out)
+	}
+	var tokens, nclasses, methods, stmts, fields int
+	if _, err := fmt.Sscanf(out, "tokens=%d classes=%d methods=%d statements=%d fields=%d",
+		&tokens, &nclasses, &methods, &stmts, &fields); err != nil {
+		t.Fatalf("parse %q: %v", out, err)
+	}
+	if tokens < 5000 || nclasses < 10 || methods < 50 {
+		t.Errorf("implausible counts: %s", out)
+	}
+}
+
+func TestMiniScript(t *testing.T) {
+	out := runWorkload(t, "MiniScript", nil, "4")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("out = %q", out)
+	}
+	// recursive: ack(3,3)+fib(14)+tak(15,10,5) + ack(3,4)+fib(15)+tak(18,12,6)... verify format + determinism.
+	if !strings.HasPrefix(lines[0], "recursive=") || !strings.HasPrefix(lines[1], "binary-trees=") {
+		t.Errorf("out = %q", out)
+	}
+	again := runWorkload(t, "MiniScript", nil, "4")
+	if out != again {
+		t.Error("nondeterministic miniscript output")
+	}
+}
+
+func TestScheme(t *testing.T) {
+	out := runWorkload(t, "SchemeMain", nil, "6")
+	if out != "nqueens(6)=4\n" {
+		t.Errorf("out = %q (6-queens has 4 solutions)", out)
+	}
+	out8 := runWorkload(t, "SchemeMain", nil, "8")
+	if out8 != "nqueens(8)=92\n" {
+		t.Errorf("out = %q (8-queens has 92 solutions)", out8)
+	}
+}

@@ -1,0 +1,177 @@
+// Package browser models the browser diversity that the Doppio paper
+// identifies as a core obstacle (§1, "Browser Diversity") and the
+// storage/network substrate that Doppio's OS services are built on
+// (§5, Table 2).
+//
+// Each Profile captures the feature set of one of the browsers in the
+// paper's evaluation population (Chrome 28, Firefox 22, Safari 6.0.5,
+// Opera 12.16, IE10) plus Internet Explorer 8, which the paper singles
+// out for its synchronous postMessage (§4.4) and lack of typed arrays.
+// A Window combines a profile with a live event loop and the storage
+// mechanisms that the profile supports.
+package browser
+
+import "time"
+
+// Profile describes one browser's feature set and quirks.
+type Profile struct {
+	// Name identifies the browser (e.g. "Chrome 28").
+	Name string
+
+	// HasTypedArrays reports whether ArrayBuffer/typed arrays exist.
+	// Without them, Buffer and the unmanaged heap fall back to plain
+	// JavaScript arrays of numbers (§5.1, §5.2).
+	HasTypedArrays bool
+
+	// HasSetImmediate reports whether setImmediate is available
+	// (IE10 only, §4.4).
+	HasSetImmediate bool
+
+	// SyncPostMessage marks IE8's synchronous postMessage dispatch,
+	// which forces Doppio to fall back to setTimeout (§4.4).
+	SyncPostMessage bool
+
+	// ValidatesStrings reports whether the JS engine rejects invalid
+	// UTF-16 sequences in strings. Where true, Buffer's packed
+	// "binary string" codec must store one byte per character instead
+	// of two (§5.1, "Binary Data in the Browser").
+	ValidatesStrings bool
+
+	// TypedArrayGCLeak models the Safari bug found during the paper's
+	// evaluation (§7.1): typed arrays are never garbage collected, so
+	// memory grows until the OS pages, degrading performance.
+	TypedArrayGCLeak bool
+
+	// HasIndexedDB reports whether the asynchronous object-store API
+	// exists (Table 2: <50% compatibility; absent in IE8/Opera 12).
+	HasIndexedDB bool
+
+	// HasWebSockets reports whether native WebSocket support exists;
+	// browsers without it use the Websockify Flash shim (§5.3), which
+	// we model as a higher-latency path.
+	HasWebSockets bool
+
+	// MinTimeoutDelay is the setTimeout clamp (≥4 ms per HTML5).
+	MinTimeoutDelay time.Duration
+
+	// WatchdogLimit is how long one event may run before the
+	// browser's hung-script watchdog kills it.
+	WatchdogLimit time.Duration
+
+	// LocalStorageQuota is the localStorage byte quota (5 MB typical,
+	// counted as two bytes per stored UTF-16 code unit).
+	LocalStorageQuota int
+
+	// EngineFactor models relative JavaScript engine speed, with the
+	// fastest engine in the population (Chrome 28's V8) at 1.0.
+	// DESIGN.md documents this as the substitution for real JS-engine
+	// differences: the DoppioJVM engine injects dispatch overhead
+	// proportional to (EngineFactor - 1).
+	EngineFactor float64
+
+	// StorageLatency is the per-operation latency of asynchronous
+	// storage (IndexedDB-like) backends.
+	StorageLatency time.Duration
+}
+
+// The paper's browser population. Engine factors are calibrated to the
+// relative bar heights in Figures 3-4 (Chrome fastest; IE10 and Safari
+// mid-pack; Firefox/Opera slower on this workload; IE8 far behind).
+var (
+	Chrome28 = Profile{
+		Name:              "Chrome 28",
+		HasTypedArrays:    true,
+		ValidatesStrings:  false,
+		HasIndexedDB:      true,
+		HasWebSockets:     true,
+		MinTimeoutDelay:   4 * time.Millisecond,
+		WatchdogLimit:     5 * time.Second,
+		LocalStorageQuota: 5 << 20,
+		EngineFactor:      1.0,
+		StorageLatency:    200 * time.Microsecond,
+	}
+	Firefox22 = Profile{
+		Name:              "Firefox 22",
+		HasTypedArrays:    true,
+		ValidatesStrings:  false,
+		HasIndexedDB:      true,
+		HasWebSockets:     true,
+		MinTimeoutDelay:   4 * time.Millisecond,
+		WatchdogLimit:     10 * time.Second,
+		LocalStorageQuota: 5 << 20,
+		EngineFactor:      1.9,
+		StorageLatency:    250 * time.Microsecond,
+	}
+	Safari6 = Profile{
+		Name:              "Safari 6.0.5",
+		HasTypedArrays:    true,
+		ValidatesStrings:  false,
+		TypedArrayGCLeak:  true,
+		HasIndexedDB:      false, // Safari 6 shipped WebSQL, not IndexedDB
+		HasWebSockets:     true,
+		MinTimeoutDelay:   4 * time.Millisecond,
+		WatchdogLimit:     10 * time.Second,
+		LocalStorageQuota: 5 << 20,
+		EngineFactor:      1.5,
+		StorageLatency:    250 * time.Microsecond,
+	}
+	Opera12 = Profile{
+		Name:              "Opera 12.16",
+		HasTypedArrays:    true,
+		ValidatesStrings:  false,
+		HasIndexedDB:      false,
+		HasWebSockets:     true,
+		MinTimeoutDelay:   4 * time.Millisecond,
+		WatchdogLimit:     10 * time.Second,
+		LocalStorageQuota: 5 << 20,
+		EngineFactor:      2.6,
+		StorageLatency:    300 * time.Microsecond,
+	}
+	IE10 = Profile{
+		Name:              "IE 10",
+		HasTypedArrays:    true,
+		HasSetImmediate:   true,
+		ValidatesStrings:  true, // conservative string handling: 1 B/char packing
+		HasIndexedDB:      true,
+		HasWebSockets:     true,
+		MinTimeoutDelay:   4 * time.Millisecond,
+		WatchdogLimit:     10 * time.Second,
+		LocalStorageQuota: 10 << 20,
+		EngineFactor:      1.6,
+		StorageLatency:    220 * time.Microsecond,
+	}
+	IE8 = Profile{
+		Name:              "IE 8",
+		HasTypedArrays:    false,
+		SyncPostMessage:   true,
+		ValidatesStrings:  true,
+		HasIndexedDB:      false,
+		HasWebSockets:     false,
+		MinTimeoutDelay:   16 * time.Millisecond, // IE8's coarse timer
+		WatchdogLimit:     15 * time.Second,
+		LocalStorageQuota: 5 << 20,
+		EngineFactor:      8.0,
+		StorageLatency:    500 * time.Microsecond,
+	}
+)
+
+// Population returns the browsers used in the paper's evaluation
+// (Figure 3), in presentation order.
+func Population() []Profile {
+	return []Profile{Chrome28, Firefox22, Safari6, Opera12, IE10}
+}
+
+// All returns every modelled profile, including IE8.
+func All() []Profile {
+	return append(Population(), IE8)
+}
+
+// ByName returns the profile with the given name and whether it exists.
+func ByName(name string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,87 @@
+// Package buffer reimplements the Node JS Buffer module as Doppio does
+// in the browser (§5.1, "Binary Data in the Browser"): a mutable byte
+// buffer with typed accessors for signed/unsigned integers and floats
+// of various sizes, plus string codecs (ascii, utf8, utf16le/ucs2,
+// base64, hex, binary/latin1) and the packed "binary string" format
+// that stores two bytes of data per UTF-16 character.
+//
+// A Buffer is backed either by a typed array (a real byte slice) or —
+// on browsers without typed arrays, such as IE8 — by a plain JavaScript
+// array of numbers, modelled here as a float64 slice holding one byte
+// value per element. The two stores are observably identical but differ
+// in cost, which the ablation benchmarks (DESIGN.md D3) measure.
+package buffer
+
+// Store is the raw backing storage of a Buffer: a fixed-length sequence
+// of bytes.
+type Store interface {
+	// Len returns the store's length in bytes.
+	Len() int
+	// Get returns the byte at index i.
+	Get(i int) byte
+	// Set writes the byte at index i.
+	Set(i int, b byte)
+	// CopyIn copies src into the store starting at off.
+	CopyIn(off int, src []byte)
+	// CopyOut copies store bytes [off, off+len(dst)) into dst.
+	CopyOut(off int, dst []byte)
+}
+
+// TypedStore backs a Buffer with an ArrayBuffer/typed array — a real
+// byte slice.
+type TypedStore []byte
+
+// NewTypedStore allocates a zeroed typed store of n bytes.
+func NewTypedStore(n int) TypedStore { return make(TypedStore, n) }
+
+// Len returns the length in bytes.
+func (s TypedStore) Len() int { return len(s) }
+
+// Get returns the byte at index i.
+func (s TypedStore) Get(i int) byte { return s[i] }
+
+// Set writes the byte at index i.
+func (s TypedStore) Set(i int, b byte) { s[i] = b }
+
+// CopyIn copies src into the store at off.
+func (s TypedStore) CopyIn(off int, src []byte) { copy(s[off:], src) }
+
+// CopyOut copies bytes starting at off into dst.
+func (s TypedStore) CopyOut(off int, dst []byte) { copy(dst, s[off:]) }
+
+// NumberStore backs a Buffer with a plain JavaScript array of numbers:
+// one float64 per byte, as Doppio must use on browsers without typed
+// arrays. Every access pays a float⇄int conversion, as in JS.
+type NumberStore []float64
+
+// NewNumberStore allocates a zeroed number store of n bytes.
+func NewNumberStore(n int) NumberStore { return make(NumberStore, n) }
+
+// Len returns the length in bytes.
+func (s NumberStore) Len() int { return len(s) }
+
+// Get returns the byte at index i.
+func (s NumberStore) Get(i int) byte { return byte(int32(s[i])) }
+
+// Set writes the byte at index i.
+func (s NumberStore) Set(i int, b byte) { s[i] = float64(b) }
+
+// CopyIn copies src into the store at off.
+func (s NumberStore) CopyIn(off int, src []byte) {
+	for i, b := range src {
+		if off+i >= len(s) {
+			break
+		}
+		s[off+i] = float64(b)
+	}
+}
+
+// CopyOut copies bytes starting at off into dst.
+func (s NumberStore) CopyOut(off int, dst []byte) {
+	for i := range dst {
+		if off+i >= len(s) {
+			break
+		}
+		dst[i] = byte(int32(s[off+i]))
+	}
+}

@@ -1,0 +1,250 @@
+// Package classfile models Java class files as specified in chapter 4
+// of the JVM Specification (2nd edition) — the format DoppioJVM's
+// class loader parses in the browser (§6.4). It provides a parser, a
+// writer (used by the MiniJava compiler to emit real class files), a
+// constant-pool builder, and a javap-style disassembler.
+package classfile
+
+import "fmt"
+
+// Magic is the class file magic number.
+const Magic = 0xCAFEBABE
+
+// Class file version emitted by the compiler (45.3 = JDK 1.1, the
+// version level matching the 2nd-edition instruction set).
+const (
+	MajorVersion = 45
+	MinorVersion = 3
+)
+
+// ConstTag identifies a constant pool entry kind.
+type ConstTag byte
+
+// Constant pool tags (JVM spec §4.4).
+const (
+	TagUtf8               ConstTag = 1
+	TagInteger            ConstTag = 3
+	TagFloat              ConstTag = 4
+	TagLong               ConstTag = 5
+	TagDouble             ConstTag = 6
+	TagClass              ConstTag = 7
+	TagString             ConstTag = 8
+	TagFieldref           ConstTag = 9
+	TagMethodref          ConstTag = 10
+	TagInterfaceMethodref ConstTag = 11
+	TagNameAndType        ConstTag = 12
+)
+
+// Constant is one constant pool entry. Long and Double entries occupy
+// two pool slots; the second slot holds a zero-tag placeholder.
+type Constant struct {
+	Tag    ConstTag
+	Utf8   string
+	Int    int32
+	Float  float32
+	Long   int64
+	Double float64
+	// Index operands, meaning depends on Tag:
+	//   Class            → Idx1 = name (Utf8)
+	//   String           → Idx1 = value (Utf8)
+	//   NameAndType      → Idx1 = name, Idx2 = descriptor
+	//   *ref             → Idx1 = class, Idx2 = NameAndType
+	Idx1, Idx2 uint16
+}
+
+// Access flags (JVM spec §4.1, §4.5, §4.6).
+const (
+	AccPublic       = 0x0001
+	AccPrivate      = 0x0002
+	AccProtected    = 0x0004
+	AccStatic       = 0x0008
+	AccFinal        = 0x0010
+	AccSuper        = 0x0020
+	AccSynchronized = 0x0020
+	AccVolatile     = 0x0040
+	AccTransient    = 0x0080
+	AccNative       = 0x0100
+	AccInterface    = 0x0200
+	AccAbstract     = 0x0400
+)
+
+// ClassFile is a parsed (or to-be-written) class file.
+type ClassFile struct {
+	Minor, Major uint16
+	// ConstPool is 1-based: index 0 is unused, and the slot after a
+	// Long/Double entry is a placeholder with Tag 0.
+	ConstPool  []Constant
+	Flags      uint16
+	ThisClass  uint16
+	SuperClass uint16
+	Interfaces []uint16
+	Fields     []Member
+	Methods    []Member
+	Attrs      []Attribute
+}
+
+// Member is a field or method.
+type Member struct {
+	Flags uint16
+	Name  uint16 // Utf8 index
+	Desc  uint16 // Utf8 index
+	Attrs []Attribute
+}
+
+// Attribute is a raw attribute; Code attributes have a typed view.
+type Attribute struct {
+	Name uint16 // Utf8 index
+	Data []byte
+}
+
+// ExceptionEntry is one row of a Code attribute's exception table.
+type ExceptionEntry struct {
+	StartPC, EndPC, HandlerPC uint16
+	CatchType                 uint16 // pool index of the class, 0 = any (finally)
+}
+
+// Code is the decoded Code attribute of a method.
+type Code struct {
+	MaxStack, MaxLocals uint16
+	Bytecode            []byte
+	Exceptions          []ExceptionEntry
+	Attrs               []Attribute
+}
+
+// --- constant pool accessors ---
+
+func (cf *ClassFile) constant(i uint16, tag ConstTag, what string) (*Constant, error) {
+	if int(i) >= len(cf.ConstPool) || i == 0 {
+		return nil, fmt.Errorf("classfile: %s index %d out of range", what, i)
+	}
+	c := &cf.ConstPool[i]
+	if c.Tag != tag {
+		return nil, fmt.Errorf("classfile: %s index %d has tag %d, want %d", what, i, c.Tag, tag)
+	}
+	return c, nil
+}
+
+// Utf8 returns the string at pool index i.
+func (cf *ClassFile) Utf8(i uint16) (string, error) {
+	c, err := cf.constant(i, TagUtf8, "utf8")
+	if err != nil {
+		return "", err
+	}
+	return c.Utf8, nil
+}
+
+// MustUtf8 is Utf8 for indices already validated by the parser.
+func (cf *ClassFile) MustUtf8(i uint16) string {
+	s, err := cf.Utf8(i)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ClassNameAt resolves a Class constant to its internal name
+// (e.g. "java/lang/Object").
+func (cf *ClassFile) ClassNameAt(i uint16) (string, error) {
+	c, err := cf.constant(i, TagClass, "class")
+	if err != nil {
+		return "", err
+	}
+	return cf.Utf8(c.Idx1)
+}
+
+// StringAt resolves a String constant to its value.
+func (cf *ClassFile) StringAt(i uint16) (string, error) {
+	c, err := cf.constant(i, TagString, "string")
+	if err != nil {
+		return "", err
+	}
+	return cf.Utf8(c.Idx1)
+}
+
+// RefAt resolves a Fieldref/Methodref/InterfaceMethodref to
+// (class name, member name, descriptor).
+func (cf *ClassFile) RefAt(i uint16) (class, name, desc string, err error) {
+	if int(i) >= len(cf.ConstPool) || i == 0 {
+		return "", "", "", fmt.Errorf("classfile: ref index %d out of range", i)
+	}
+	c := &cf.ConstPool[i]
+	switch c.Tag {
+	case TagFieldref, TagMethodref, TagInterfaceMethodref:
+	default:
+		return "", "", "", fmt.Errorf("classfile: index %d is not a member ref (tag %d)", i, c.Tag)
+	}
+	class, err = cf.ClassNameAt(c.Idx1)
+	if err != nil {
+		return
+	}
+	nt, err := cf.constant(c.Idx2, TagNameAndType, "name-and-type")
+	if err != nil {
+		return
+	}
+	name, err = cf.Utf8(nt.Idx1)
+	if err != nil {
+		return
+	}
+	desc, err = cf.Utf8(nt.Idx2)
+	return
+}
+
+// Name returns this class's internal name.
+func (cf *ClassFile) Name() string {
+	n, err := cf.ClassNameAt(cf.ThisClass)
+	if err != nil {
+		return "<bad>"
+	}
+	return n
+}
+
+// SuperName returns the superclass internal name, or "" for Object.
+func (cf *ClassFile) SuperName() string {
+	if cf.SuperClass == 0 {
+		return ""
+	}
+	n, err := cf.ClassNameAt(cf.SuperClass)
+	if err != nil {
+		return "<bad>"
+	}
+	return n
+}
+
+// InterfaceNames returns the implemented interfaces' internal names.
+func (cf *ClassFile) InterfaceNames() []string {
+	out := make([]string, 0, len(cf.Interfaces))
+	for _, i := range cf.Interfaces {
+		n, err := cf.ClassNameAt(i)
+		if err != nil {
+			n = "<bad>"
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// AttrNamed returns the raw attribute with the given name, if present.
+func (cf *ClassFile) AttrNamed(attrs []Attribute, name string) ([]byte, bool) {
+	for _, a := range attrs {
+		if s, err := cf.Utf8(a.Name); err == nil && s == name {
+			return a.Data, true
+		}
+	}
+	return nil, false
+}
+
+// MemberName returns a member's name.
+func (cf *ClassFile) MemberName(m *Member) string { return cf.MustUtf8(m.Name) }
+
+// MemberDesc returns a member's descriptor.
+func (cf *ClassFile) MemberDesc(m *Member) string { return cf.MustUtf8(m.Desc) }
+
+// CodeOf decodes a method's Code attribute, or returns nil for
+// abstract/native methods.
+func (cf *ClassFile) CodeOf(m *Member) (*Code, error) {
+	data, ok := cf.AttrNamed(m.Attrs, "Code")
+	if !ok {
+		return nil, nil
+	}
+	return parseCode(data)
+}

@@ -1,0 +1,64 @@
+package classfile
+
+import "fmt"
+
+// ParseMethodDesc splits a method descriptor like
+// "(IJLjava/lang/String;[B)V" into parameter type descriptors and the
+// return type descriptor.
+func ParseMethodDesc(desc string) (params []string, ret string, err error) {
+	if len(desc) < 3 || desc[0] != '(' {
+		return nil, "", fmt.Errorf("classfile: bad method descriptor %q", desc)
+	}
+	i := 1
+	for i < len(desc) && desc[i] != ')' {
+		start := i
+		for desc[i] == '[' {
+			i++
+			if i >= len(desc) {
+				return nil, "", fmt.Errorf("classfile: bad method descriptor %q", desc)
+			}
+		}
+		switch desc[i] {
+		case 'B', 'C', 'D', 'F', 'I', 'J', 'S', 'Z':
+			i++
+		case 'L':
+			for i < len(desc) && desc[i] != ';' {
+				i++
+			}
+			if i >= len(desc) {
+				return nil, "", fmt.Errorf("classfile: bad method descriptor %q", desc)
+			}
+			i++
+		default:
+			return nil, "", fmt.Errorf("classfile: bad type in descriptor %q", desc)
+		}
+		params = append(params, desc[start:i])
+	}
+	if i >= len(desc) || desc[i] != ')' || i+1 >= len(desc) {
+		return nil, "", fmt.Errorf("classfile: bad method descriptor %q", desc)
+	}
+	return params, desc[i+1:], nil
+}
+
+// SlotCount returns how many local-variable/operand slots a type
+// descriptor occupies (2 for long and double, 1 otherwise).
+func SlotCount(typeDesc string) int {
+	if typeDesc == "J" || typeDesc == "D" {
+		return 2
+	}
+	return 1
+}
+
+// ArgSlots returns the total argument slots of a method descriptor
+// (excluding the receiver).
+func ArgSlots(desc string) (int, error) {
+	params, _, err := ParseMethodDesc(desc)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range params {
+		n += SlotCount(p)
+	}
+	return n, nil
+}

@@ -1,0 +1,333 @@
+package classfile
+
+// The complete instruction set of the JVM Specification, 2nd edition —
+// the 201 opcodes DoppioJVM implements (§6). Opcode 0xBA is the one
+// unused slot in this range.
+const (
+	OpNop             = 0x00
+	OpAconstNull      = 0x01
+	OpIconstM1        = 0x02
+	OpIconst0         = 0x03
+	OpIconst1         = 0x04
+	OpIconst2         = 0x05
+	OpIconst3         = 0x06
+	OpIconst4         = 0x07
+	OpIconst5         = 0x08
+	OpLconst0         = 0x09
+	OpLconst1         = 0x0A
+	OpFconst0         = 0x0B
+	OpFconst1         = 0x0C
+	OpFconst2         = 0x0D
+	OpDconst0         = 0x0E
+	OpDconst1         = 0x0F
+	OpBipush          = 0x10
+	OpSipush          = 0x11
+	OpLdc             = 0x12
+	OpLdcW            = 0x13
+	OpLdc2W           = 0x14
+	OpIload           = 0x15
+	OpLload           = 0x16
+	OpFload           = 0x17
+	OpDload           = 0x18
+	OpAload           = 0x19
+	OpIload0          = 0x1A
+	OpIload1          = 0x1B
+	OpIload2          = 0x1C
+	OpIload3          = 0x1D
+	OpLload0          = 0x1E
+	OpLload1          = 0x1F
+	OpLload2          = 0x20
+	OpLload3          = 0x21
+	OpFload0          = 0x22
+	OpFload1          = 0x23
+	OpFload2          = 0x24
+	OpFload3          = 0x25
+	OpDload0          = 0x26
+	OpDload1          = 0x27
+	OpDload2          = 0x28
+	OpDload3          = 0x29
+	OpAload0          = 0x2A
+	OpAload1          = 0x2B
+	OpAload2          = 0x2C
+	OpAload3          = 0x2D
+	OpIaload          = 0x2E
+	OpLaload          = 0x2F
+	OpFaload          = 0x30
+	OpDaload          = 0x31
+	OpAaload          = 0x32
+	OpBaload          = 0x33
+	OpCaload          = 0x34
+	OpSaload          = 0x35
+	OpIstore          = 0x36
+	OpLstore          = 0x37
+	OpFstore          = 0x38
+	OpDstore          = 0x39
+	OpAstore          = 0x3A
+	OpIstore0         = 0x3B
+	OpIstore1         = 0x3C
+	OpIstore2         = 0x3D
+	OpIstore3         = 0x3E
+	OpLstore0         = 0x3F
+	OpLstore1         = 0x40
+	OpLstore2         = 0x41
+	OpLstore3         = 0x42
+	OpFstore0         = 0x43
+	OpFstore1         = 0x44
+	OpFstore2         = 0x45
+	OpFstore3         = 0x46
+	OpDstore0         = 0x47
+	OpDstore1         = 0x48
+	OpDstore2         = 0x49
+	OpDstore3         = 0x4A
+	OpAstore0         = 0x4B
+	OpAstore1         = 0x4C
+	OpAstore2         = 0x4D
+	OpAstore3         = 0x4E
+	OpIastore         = 0x4F
+	OpLastore         = 0x50
+	OpFastore         = 0x51
+	OpDastore         = 0x52
+	OpAastore         = 0x53
+	OpBastore         = 0x54
+	OpCastore         = 0x55
+	OpSastore         = 0x56
+	OpPop             = 0x57
+	OpPop2            = 0x58
+	OpDup             = 0x59
+	OpDupX1           = 0x5A
+	OpDupX2           = 0x5B
+	OpDup2            = 0x5C
+	OpDup2X1          = 0x5D
+	OpDup2X2          = 0x5E
+	OpSwap            = 0x5F
+	OpIadd            = 0x60
+	OpLadd            = 0x61
+	OpFadd            = 0x62
+	OpDadd            = 0x63
+	OpIsub            = 0x64
+	OpLsub            = 0x65
+	OpFsub            = 0x66
+	OpDsub            = 0x67
+	OpImul            = 0x68
+	OpLmul            = 0x69
+	OpFmul            = 0x6A
+	OpDmul            = 0x6B
+	OpIdiv            = 0x6C
+	OpLdiv            = 0x6D
+	OpFdiv            = 0x6E
+	OpDdiv            = 0x6F
+	OpIrem            = 0x70
+	OpLrem            = 0x71
+	OpFrem            = 0x72
+	OpDrem            = 0x73
+	OpIneg            = 0x74
+	OpLneg            = 0x75
+	OpFneg            = 0x76
+	OpDneg            = 0x77
+	OpIshl            = 0x78
+	OpLshl            = 0x79
+	OpIshr            = 0x7A
+	OpLshr            = 0x7B
+	OpIushr           = 0x7C
+	OpLushr           = 0x7D
+	OpIand            = 0x7E
+	OpLand            = 0x7F
+	OpIor             = 0x80
+	OpLor             = 0x81
+	OpIxor            = 0x82
+	OpLxor            = 0x83
+	OpIinc            = 0x84
+	OpI2l             = 0x85
+	OpI2f             = 0x86
+	OpI2d             = 0x87
+	OpL2i             = 0x88
+	OpL2f             = 0x89
+	OpL2d             = 0x8A
+	OpF2i             = 0x8B
+	OpF2l             = 0x8C
+	OpF2d             = 0x8D
+	OpD2i             = 0x8E
+	OpD2l             = 0x8F
+	OpD2f             = 0x90
+	OpI2b             = 0x91
+	OpI2c             = 0x92
+	OpI2s             = 0x93
+	OpLcmp            = 0x94
+	OpFcmpl           = 0x95
+	OpFcmpg           = 0x96
+	OpDcmpl           = 0x97
+	OpDcmpg           = 0x98
+	OpIfeq            = 0x99
+	OpIfne            = 0x9A
+	OpIflt            = 0x9B
+	OpIfge            = 0x9C
+	OpIfgt            = 0x9D
+	OpIfle            = 0x9E
+	OpIfIcmpeq        = 0x9F
+	OpIfIcmpne        = 0xA0
+	OpIfIcmplt        = 0xA1
+	OpIfIcmpge        = 0xA2
+	OpIfIcmpgt        = 0xA3
+	OpIfIcmple        = 0xA4
+	OpIfAcmpeq        = 0xA5
+	OpIfAcmpne        = 0xA6
+	OpGoto            = 0xA7
+	OpJsr             = 0xA8
+	OpRet             = 0xA9
+	OpTableswitch     = 0xAA
+	OpLookupswitch    = 0xAB
+	OpIreturn         = 0xAC
+	OpLreturn         = 0xAD
+	OpFreturn         = 0xAE
+	OpDreturn         = 0xAF
+	OpAreturn         = 0xB0
+	OpReturn          = 0xB1
+	OpGetstatic       = 0xB2
+	OpPutstatic       = 0xB3
+	OpGetfield        = 0xB4
+	OpPutfield        = 0xB5
+	OpInvokevirtual   = 0xB6
+	OpInvokespecial   = 0xB7
+	OpInvokestatic    = 0xB8
+	OpInvokeinterface = 0xB9
+	OpNew             = 0xBB
+	OpNewarray        = 0xBC
+	OpAnewarray       = 0xBD
+	OpArraylength     = 0xBE
+	OpAthrow          = 0xBF
+	OpCheckcast       = 0xC0
+	OpInstanceof      = 0xC1
+	OpMonitorenter    = 0xC2
+	OpMonitorexit     = 0xC3
+	OpWide            = 0xC4
+	OpMultianewarray  = 0xC5
+	OpIfnull          = 0xC6
+	OpIfnonnull       = 0xC7
+	OpGotoW           = 0xC8
+	OpJsrW            = 0xC9
+)
+
+// OpNames maps opcodes to mnemonics; undefined opcodes map to "".
+var OpNames = [256]string{
+	OpNop: "nop", OpAconstNull: "aconst_null", OpIconstM1: "iconst_m1",
+	OpIconst0: "iconst_0", OpIconst1: "iconst_1", OpIconst2: "iconst_2",
+	OpIconst3: "iconst_3", OpIconst4: "iconst_4", OpIconst5: "iconst_5",
+	OpLconst0: "lconst_0", OpLconst1: "lconst_1",
+	OpFconst0: "fconst_0", OpFconst1: "fconst_1", OpFconst2: "fconst_2",
+	OpDconst0: "dconst_0", OpDconst1: "dconst_1",
+	OpBipush: "bipush", OpSipush: "sipush",
+	OpLdc: "ldc", OpLdcW: "ldc_w", OpLdc2W: "ldc2_w",
+	OpIload: "iload", OpLload: "lload", OpFload: "fload", OpDload: "dload", OpAload: "aload",
+	OpIload0: "iload_0", OpIload1: "iload_1", OpIload2: "iload_2", OpIload3: "iload_3",
+	OpLload0: "lload_0", OpLload1: "lload_1", OpLload2: "lload_2", OpLload3: "lload_3",
+	OpFload0: "fload_0", OpFload1: "fload_1", OpFload2: "fload_2", OpFload3: "fload_3",
+	OpDload0: "dload_0", OpDload1: "dload_1", OpDload2: "dload_2", OpDload3: "dload_3",
+	OpAload0: "aload_0", OpAload1: "aload_1", OpAload2: "aload_2", OpAload3: "aload_3",
+	OpIaload: "iaload", OpLaload: "laload", OpFaload: "faload", OpDaload: "daload",
+	OpAaload: "aaload", OpBaload: "baload", OpCaload: "caload", OpSaload: "saload",
+	OpIstore: "istore", OpLstore: "lstore", OpFstore: "fstore", OpDstore: "dstore", OpAstore: "astore",
+	OpIstore0: "istore_0", OpIstore1: "istore_1", OpIstore2: "istore_2", OpIstore3: "istore_3",
+	OpLstore0: "lstore_0", OpLstore1: "lstore_1", OpLstore2: "lstore_2", OpLstore3: "lstore_3",
+	OpFstore0: "fstore_0", OpFstore1: "fstore_1", OpFstore2: "fstore_2", OpFstore3: "fstore_3",
+	OpDstore0: "dstore_0", OpDstore1: "dstore_1", OpDstore2: "dstore_2", OpDstore3: "dstore_3",
+	OpAstore0: "astore_0", OpAstore1: "astore_1", OpAstore2: "astore_2", OpAstore3: "astore_3",
+	OpIastore: "iastore", OpLastore: "lastore", OpFastore: "fastore", OpDastore: "dastore",
+	OpAastore: "aastore", OpBastore: "bastore", OpCastore: "castore", OpSastore: "sastore",
+	OpPop: "pop", OpPop2: "pop2", OpDup: "dup", OpDupX1: "dup_x1", OpDupX2: "dup_x2",
+	OpDup2: "dup2", OpDup2X1: "dup2_x1", OpDup2X2: "dup2_x2", OpSwap: "swap",
+	OpIadd: "iadd", OpLadd: "ladd", OpFadd: "fadd", OpDadd: "dadd",
+	OpIsub: "isub", OpLsub: "lsub", OpFsub: "fsub", OpDsub: "dsub",
+	OpImul: "imul", OpLmul: "lmul", OpFmul: "fmul", OpDmul: "dmul",
+	OpIdiv: "idiv", OpLdiv: "ldiv", OpFdiv: "fdiv", OpDdiv: "ddiv",
+	OpIrem: "irem", OpLrem: "lrem", OpFrem: "frem", OpDrem: "drem",
+	OpIneg: "ineg", OpLneg: "lneg", OpFneg: "fneg", OpDneg: "dneg",
+	OpIshl: "ishl", OpLshl: "lshl", OpIshr: "ishr", OpLshr: "lshr",
+	OpIushr: "iushr", OpLushr: "lushr",
+	OpIand: "iand", OpLand: "land", OpIor: "ior", OpLor: "lor", OpIxor: "ixor", OpLxor: "lxor",
+	OpIinc: "iinc",
+	OpI2l:  "i2l", OpI2f: "i2f", OpI2d: "i2d", OpL2i: "l2i", OpL2f: "l2f", OpL2d: "l2d",
+	OpF2i: "f2i", OpF2l: "f2l", OpF2d: "f2d", OpD2i: "d2i", OpD2l: "d2l", OpD2f: "d2f",
+	OpI2b: "i2b", OpI2c: "i2c", OpI2s: "i2s",
+	OpLcmp: "lcmp", OpFcmpl: "fcmpl", OpFcmpg: "fcmpg", OpDcmpl: "dcmpl", OpDcmpg: "dcmpg",
+	OpIfeq: "ifeq", OpIfne: "ifne", OpIflt: "iflt", OpIfge: "ifge", OpIfgt: "ifgt", OpIfle: "ifle",
+	OpIfIcmpeq: "if_icmpeq", OpIfIcmpne: "if_icmpne", OpIfIcmplt: "if_icmplt",
+	OpIfIcmpge: "if_icmpge", OpIfIcmpgt: "if_icmpgt", OpIfIcmple: "if_icmple",
+	OpIfAcmpeq: "if_acmpeq", OpIfAcmpne: "if_acmpne",
+	OpGoto: "goto", OpJsr: "jsr", OpRet: "ret",
+	OpTableswitch: "tableswitch", OpLookupswitch: "lookupswitch",
+	OpIreturn: "ireturn", OpLreturn: "lreturn", OpFreturn: "freturn",
+	OpDreturn: "dreturn", OpAreturn: "areturn", OpReturn: "return",
+	OpGetstatic: "getstatic", OpPutstatic: "putstatic",
+	OpGetfield: "getfield", OpPutfield: "putfield",
+	OpInvokevirtual: "invokevirtual", OpInvokespecial: "invokespecial",
+	OpInvokestatic: "invokestatic", OpInvokeinterface: "invokeinterface",
+	OpNew: "new", OpNewarray: "newarray", OpAnewarray: "anewarray",
+	OpArraylength: "arraylength", OpAthrow: "athrow",
+	OpCheckcast: "checkcast", OpInstanceof: "instanceof",
+	OpMonitorenter: "monitorenter", OpMonitorexit: "monitorexit",
+	OpWide: "wide", OpMultianewarray: "multianewarray",
+	OpIfnull: "ifnull", OpIfnonnull: "ifnonnull",
+	OpGotoW: "goto_w", OpJsrW: "jsr_w",
+}
+
+// InstructionCount is the number of defined opcodes — the "201
+// bytecode instructions specified in the second edition of the Java
+// Virtual Machine Specification" that §6 cites.
+func InstructionCount() int {
+	n := 0
+	for _, name := range OpNames {
+		if name != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// InstrLen returns the total byte length of the instruction starting
+// at pc (including the opcode), handling the variable-length
+// tableswitch, lookupswitch and wide forms.
+func InstrLen(code []byte, pc int) int {
+	op := code[pc]
+	switch op {
+	case OpBipush, OpLdc, OpIload, OpLload, OpFload, OpDload, OpAload,
+		OpIstore, OpLstore, OpFstore, OpDstore, OpAstore, OpRet, OpNewarray:
+		return 2
+	case OpSipush, OpLdcW, OpLdc2W, OpIinc,
+		OpIfeq, OpIfne, OpIflt, OpIfge, OpIfgt, OpIfle,
+		OpIfIcmpeq, OpIfIcmpne, OpIfIcmplt, OpIfIcmpge, OpIfIcmpgt, OpIfIcmple,
+		OpIfAcmpeq, OpIfAcmpne, OpGoto, OpJsr,
+		OpGetstatic, OpPutstatic, OpGetfield, OpPutfield,
+		OpInvokevirtual, OpInvokespecial, OpInvokestatic,
+		OpNew, OpAnewarray, OpCheckcast, OpInstanceof,
+		OpIfnull, OpIfnonnull:
+		return 3
+	case OpMultianewarray:
+		return 4
+	case OpInvokeinterface, OpGotoW, OpJsrW:
+		return 5
+	case OpWide:
+		if code[pc+1] == OpIinc {
+			return 6
+		}
+		return 4
+	case OpTableswitch:
+		base := (pc + 4) &^ 3 // skip padding to 4-byte alignment
+		low := int(int32(be32(code, base+4)))
+		high := int(int32(be32(code, base+8)))
+		return base + 12 + 4*(high-low+1) - pc
+	case OpLookupswitch:
+		base := (pc + 4) &^ 3
+		n := int(int32(be32(code, base+4)))
+		return base + 8 + 8*n - pc
+	default:
+		return 1
+	}
+}
+
+func be32(b []byte, i int) uint32 {
+	return uint32(b[i])<<24 | uint32(b[i+1])<<16 | uint32(b[i+2])<<8 | uint32(b[i+3])
+}
+
+func be16(b []byte, i int) uint16 {
+	return uint16(b[i])<<8 | uint16(b[i+1])
+}

@@ -1,0 +1,180 @@
+package classfile
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// writer accumulates big-endian class file bytes.
+type writer struct{ buf []byte }
+
+func (w *writer) u1(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u2(v uint16)  { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u4(v uint32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Write serializes the class file.
+func (cf *ClassFile) Write() []byte {
+	w := &writer{}
+	w.u4(Magic)
+	w.u2(cf.Minor)
+	w.u2(cf.Major)
+	w.u2(uint16(len(cf.ConstPool)))
+	for i := 1; i < len(cf.ConstPool); i++ {
+		c := &cf.ConstPool[i]
+		w.u1(byte(c.Tag))
+		switch c.Tag {
+		case TagUtf8:
+			enc := encodeModifiedUTF8(c.Utf8)
+			w.u2(uint16(len(enc)))
+			w.raw(enc)
+		case TagInteger:
+			w.u4(uint32(c.Int))
+		case TagFloat:
+			w.u4(math.Float32bits(c.Float))
+		case TagLong:
+			w.u4(uint32(uint64(c.Long) >> 32))
+			w.u4(uint32(uint64(c.Long)))
+			i++ // skip placeholder slot
+		case TagDouble:
+			bits := math.Float64bits(c.Double)
+			w.u4(uint32(bits >> 32))
+			w.u4(uint32(bits))
+			i++
+		case TagClass, TagString:
+			w.u2(c.Idx1)
+		case TagFieldref, TagMethodref, TagInterfaceMethodref, TagNameAndType:
+			w.u2(c.Idx1)
+			w.u2(c.Idx2)
+		}
+	}
+	w.u2(cf.Flags)
+	w.u2(cf.ThisClass)
+	w.u2(cf.SuperClass)
+	w.u2(uint16(len(cf.Interfaces)))
+	for _, i := range cf.Interfaces {
+		w.u2(i)
+	}
+	writeMembers := func(ms []Member) {
+		w.u2(uint16(len(ms)))
+		for _, m := range ms {
+			w.u2(m.Flags)
+			w.u2(m.Name)
+			w.u2(m.Desc)
+			writeAttrs(w, m.Attrs)
+		}
+	}
+	writeMembers(cf.Fields)
+	writeMembers(cf.Methods)
+	writeAttrs(w, cf.Attrs)
+	return w.buf
+}
+
+func writeAttrs(w *writer, attrs []Attribute) {
+	w.u2(uint16(len(attrs)))
+	for _, a := range attrs {
+		w.u2(a.Name)
+		w.u4(uint32(len(a.Data)))
+		w.raw(a.Data)
+	}
+}
+
+// EncodeCode serializes a Code struct into attribute data.
+func EncodeCode(c *Code) []byte {
+	w := &writer{}
+	w.u2(c.MaxStack)
+	w.u2(c.MaxLocals)
+	w.u4(uint32(len(c.Bytecode)))
+	w.raw(c.Bytecode)
+	w.u2(uint16(len(c.Exceptions)))
+	for _, e := range c.Exceptions {
+		w.u2(e.StartPC)
+		w.u2(e.EndPC)
+		w.u2(e.HandlerPC)
+		w.u2(e.CatchType)
+	}
+	writeAttrs(w, c.Attrs)
+	return w.buf
+}
+
+// PoolBuilder constructs a deduplicated constant pool.
+type PoolBuilder struct {
+	pool  []Constant
+	index map[Constant]uint16
+}
+
+// NewPoolBuilder creates a builder with the reserved zero slot.
+func NewPoolBuilder() *PoolBuilder {
+	return &PoolBuilder{pool: make([]Constant, 1), index: make(map[Constant]uint16)}
+}
+
+// Pool returns the built pool for a ClassFile.
+func (b *PoolBuilder) Pool() []Constant { return b.pool }
+
+func (b *PoolBuilder) add(c Constant, wide bool) uint16 {
+	if i, ok := b.index[c]; ok {
+		return i
+	}
+	i := uint16(len(b.pool))
+	b.pool = append(b.pool, c)
+	if wide {
+		b.pool = append(b.pool, Constant{}) // placeholder slot
+	}
+	b.index[c] = i
+	return i
+}
+
+// Utf8 interns a modified-UTF8 string constant.
+func (b *PoolBuilder) Utf8(s string) uint16 {
+	return b.add(Constant{Tag: TagUtf8, Utf8: s}, false)
+}
+
+// Class interns a Class constant for an internal name.
+func (b *PoolBuilder) Class(name string) uint16 {
+	return b.add(Constant{Tag: TagClass, Idx1: b.Utf8(name)}, false)
+}
+
+// String interns a String constant.
+func (b *PoolBuilder) String(s string) uint16 {
+	return b.add(Constant{Tag: TagString, Idx1: b.Utf8(s)}, false)
+}
+
+// Int interns an Integer constant.
+func (b *PoolBuilder) Int(v int32) uint16 {
+	return b.add(Constant{Tag: TagInteger, Int: v}, false)
+}
+
+// Float interns a Float constant.
+func (b *PoolBuilder) Float(v float32) uint16 {
+	return b.add(Constant{Tag: TagFloat, Float: v}, false)
+}
+
+// Long interns a Long constant (two pool slots).
+func (b *PoolBuilder) Long(v int64) uint16 {
+	return b.add(Constant{Tag: TagLong, Long: v}, true)
+}
+
+// Double interns a Double constant (two pool slots).
+func (b *PoolBuilder) Double(v float64) uint16 {
+	return b.add(Constant{Tag: TagDouble, Double: v}, true)
+}
+
+// NameAndType interns a NameAndType constant.
+func (b *PoolBuilder) NameAndType(name, desc string) uint16 {
+	return b.add(Constant{Tag: TagNameAndType, Idx1: b.Utf8(name), Idx2: b.Utf8(desc)}, false)
+}
+
+// FieldRef interns a Fieldref constant.
+func (b *PoolBuilder) FieldRef(class, name, desc string) uint16 {
+	return b.add(Constant{Tag: TagFieldref, Idx1: b.Class(class), Idx2: b.NameAndType(name, desc)}, false)
+}
+
+// MethodRef interns a Methodref constant.
+func (b *PoolBuilder) MethodRef(class, name, desc string) uint16 {
+	return b.add(Constant{Tag: TagMethodref, Idx1: b.Class(class), Idx2: b.NameAndType(name, desc)}, false)
+}
+
+// InterfaceMethodRef interns an InterfaceMethodref constant.
+func (b *PoolBuilder) InterfaceMethodRef(class, name, desc string) uint16 {
+	return b.add(Constant{Tag: TagInterfaceMethodref, Idx1: b.Class(class), Idx2: b.NameAndType(name, desc)}, false)
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/eventloop"
+)
+
+// spinner is a CPU-bound resumable computation: it burns CPU in small
+// steps, checking for suspension after each, exactly as a language
+// implementation checks at call boundaries.
+type spinner struct {
+	steps, done int
+	stepCost    time.Duration
+}
+
+func (s *spinner) Run(t *Thread) RunResult {
+	for s.done < s.steps {
+		spin(s.stepCost)
+		s.done++
+		if t.CheckSuspend() {
+			return Yield
+		}
+	}
+	return Done
+}
+
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func newTestRuntime(p browser.Profile, cfg Config) (*browser.Window, *Runtime) {
+	w := browser.NewWindow(p)
+	return w, NewRuntime(w, cfg)
+}
+
+func TestMechanismSelection(t *testing.T) {
+	cases := []struct {
+		profile browser.Profile
+		want    string
+	}{
+		{browser.IE10, "setImmediate"},
+		{browser.Chrome28, "postMessage"},
+		{browser.Firefox22, "postMessage"},
+		{browser.IE8, "setTimeout"}, // sync postMessage forces fallback (§4.4)
+	}
+	for _, c := range cases {
+		_, rt := newTestRuntime(c.profile, Config{})
+		if rt.Mechanism() != c.want {
+			t.Errorf("%s: mechanism = %q, want %q", c.profile.Name, rt.Mechanism(), c.want)
+		}
+	}
+}
+
+func TestForceMechanism(t *testing.T) {
+	_, rt := newTestRuntime(browser.Chrome28, Config{ForceMechanism: "setTimeout"})
+	if rt.Mechanism() != "setTimeout" {
+		t.Errorf("mechanism = %q", rt.Mechanism())
+	}
+}
+
+func TestSegmentationSurvivesWatchdog(t *testing.T) {
+	// 300 ms of total CPU work under a 50 ms watchdog: only possible
+	// if Doppio slices it into short events.
+	p := browser.Chrome28
+	p.WatchdogLimit = 50 * time.Millisecond
+	w, rt := newTestRuntime(p, Config{Timeslice: 5 * time.Millisecond})
+	s := &spinner{steps: 3000, stepCost: 100 * time.Microsecond}
+	rt.Spawn("main", s)
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatalf("watchdog killed a segmented program: %v", err)
+	}
+	if s.done != s.steps {
+		t.Errorf("done = %d, want %d", s.done, s.steps)
+	}
+	if rt.Stats().Suspensions == 0 {
+		t.Error("program never suspended")
+	}
+}
+
+func TestMonolithicEventIsKilled(t *testing.T) {
+	// The same total work in one event must be killed — this is why
+	// automatic event segmentation is required (§3.1).
+	p := browser.Chrome28
+	p.WatchdogLimit = 50 * time.Millisecond
+	w := browser.NewWindow(p)
+	w.Loop.Post("monolith", func() { spin(300 * time.Millisecond) })
+	if _, ok := w.Loop.Run().(*eventloop.WatchdogError); !ok {
+		t.Fatal("monolithic long event survived the watchdog")
+	}
+}
+
+func TestSuspensionTimeAccounted(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{Timeslice: 2 * time.Millisecond})
+	rt.Spawn("main", &spinner{steps: 400, stepCost: 50 * time.Microsecond})
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Suspensions < 2 {
+		t.Errorf("Suspensions = %d, want several", st.Suspensions)
+	}
+	if st.SuspendedTime <= 0 {
+		t.Error("SuspendedTime not accounted")
+	}
+	if st.CPUTime <= 0 {
+		t.Error("CPUTime not accounted")
+	}
+}
+
+func TestMultithreadingInterleaves(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{Timeslice: time.Millisecond})
+	var trace []string
+	mk := func(name string) *spinner { return &spinner{steps: 400, stepCost: 30 * time.Microsecond} }
+	a := mk("a")
+	b := mk("b")
+	ta := rt.Spawn("a", a)
+	tb := rt.Spawn("b", b)
+	ta.Join(func() { trace = append(trace, "a-done") })
+	tb.Join(func() { trace = append(trace, "b-done") })
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.done != 400 || b.done != 400 {
+		t.Errorf("threads incomplete: a=%d b=%d", a.done, b.done)
+	}
+	if rt.Stats().ContextSwitches == 0 {
+		t.Error("threads never interleaved")
+	}
+	if len(trace) != 2 {
+		t.Errorf("join callbacks = %v", trace)
+	}
+}
+
+func TestRoundRobinScheduler(t *testing.T) {
+	// A FIFO scheduler must alternate between two ready threads.
+	w, rt := newTestRuntime(browser.Chrome28, Config{
+		Timeslice: time.Millisecond,
+		Scheduler: func(ready []*Thread) *Thread { return ready[0] },
+	})
+	a := &spinner{steps: 400, stepCost: 50 * time.Microsecond}
+	b := &spinner{steps: 400, stepCost: 50 * time.Microsecond}
+	rt.Spawn("a", a)
+	rt.Spawn("b", b)
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().ContextSwitches < 3 {
+		t.Errorf("ContextSwitches = %d, want alternation", rt.Stats().ContextSwitches)
+	}
+}
+
+// blocker exercises the §4.2 sync-over-async bridge: it "calls" an
+// asynchronous storage API and continues with the result as if the
+// call had been synchronous.
+type blocker struct {
+	store  *browser.AsyncStore
+	phase  int
+	result []byte
+}
+
+func (b *blocker) Run(t *Thread) RunResult {
+	switch b.phase {
+	case 0:
+		b.phase = 1
+		t.AsyncCall("idb-get", func(done func()) {
+			b.store.Get("key", func(v []byte, ok bool) {
+				b.result = v
+				done()
+			})
+		})
+		return Block
+	default:
+		return Done
+	}
+}
+
+func TestBlockingOnAsyncAPI(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	bl := &blocker{store: w.IndexedDB}
+	w.Loop.Post("seed", func() {
+		w.IndexedDB.Put("key", []byte("hello"), func(error) {
+			rt.Spawn("main", bl)
+			rt.Start()
+		})
+	})
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(bl.result) != "hello" {
+		t.Errorf("result = %q", bl.result)
+	}
+}
+
+// sleeper sleeps once and finishes.
+type sleeper struct {
+	d     time.Duration
+	slept bool
+	woke  time.Time
+}
+
+func (s *sleeper) Run(t *Thread) RunResult {
+	if !s.slept {
+		s.slept = true
+		t.Sleep(s.d)
+		return Block
+	}
+	s.woke = time.Now()
+	return Done
+}
+
+func TestSleep(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	s := &sleeper{d: 20 * time.Millisecond}
+	start := time.Now()
+	rt.Spawn("sleeper", s)
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.woke.Sub(start); got < 20*time.Millisecond {
+		t.Errorf("woke after %v, want >= 20ms", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	rt.Spawn("stuck", RunnableFunc(func(t *Thread) RunResult {
+		t.Block("never-resumed")
+		return Block
+	}))
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dead := rt.DeadlockedThreads()
+	if len(dead) != 1 || dead[0].Name != "stuck" {
+		t.Errorf("DeadlockedThreads = %v", dead)
+	}
+}
+
+func TestOnIdle(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	idle := false
+	rt.OnIdle(func() { idle = true })
+	rt.Spawn("main", &spinner{steps: 10, stepCost: time.Microsecond})
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !idle {
+		t.Error("OnIdle never fired")
+	}
+}
+
+func TestDoubleResumePanics(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	var resume func()
+	rt.Spawn("main", RunnableFunc(func(th *Thread) RunResult {
+		if resume == nil {
+			resume = th.Block("test")
+			w.Loop.Post("kick", resume)
+			return Block
+		}
+		return Done
+	}))
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("second resume did not panic")
+		}
+	}()
+	resume()
+}
+
+func TestKill(t *testing.T) {
+	w, rt := newTestRuntime(browser.Chrome28, Config{Timeslice: time.Millisecond})
+	s := &spinner{steps: 1_000_000, stepCost: 10 * time.Microsecond}
+	th := rt.Spawn("victim", s)
+	// Kill it after a few slices.
+	w.Loop.SetTimeout(func() { th.Kill() }, 10*time.Millisecond)
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.State() != TerminatedState {
+		t.Errorf("state = %v", th.State())
+	}
+	if s.done == s.steps {
+		t.Error("victim ran to completion despite Kill")
+	}
+}
+
+func TestIE8SetTimeoutSuspendIsSlow(t *testing.T) {
+	// On IE8 every suspension pays the 16 ms setTimeout clamp; the same
+	// workload on Chrome (postMessage) suspends nearly for free. This
+	// is the §4.4 motivation.
+	work := func(p browser.Profile) (time.Duration, Stats) {
+		w, rt := newTestRuntime(p, Config{Timeslice: 2 * time.Millisecond})
+		rt.Spawn("main", &spinner{steps: 600, stepCost: 25 * time.Microsecond})
+		start := time.Now()
+		rt.Start()
+		if err := w.Loop.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), rt.Stats()
+	}
+	chromeWall, chromeStats := work(browser.Chrome28)
+	ie8Wall, ie8Stats := work(browser.IE8)
+	if ie8Stats.Suspensions == 0 || chromeStats.Suspensions == 0 {
+		t.Skip("workload too fast to suspend on this machine")
+	}
+	chromePerSuspend := chromeWall / time.Duration(chromeStats.Suspensions)
+	ie8PerSuspend := ie8Wall / time.Duration(ie8Stats.Suspensions)
+	if ie8PerSuspend <= chromePerSuspend {
+		t.Errorf("IE8 per-suspend %v <= Chrome per-suspend %v; setTimeout clamp not modelled",
+			ie8PerSuspend, chromePerSuspend)
+	}
+}
+
+func TestThreadStateString(t *testing.T) {
+	states := map[ThreadState]string{
+		ReadyState: "ready", RunningState: "running",
+		BlockedState: "blocked", TerminatedState: "terminated",
+		ThreadState(99): "unknown",
+	}
+	for s, want := range states {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestAdaptiveClockConvergesToTimeslice(t *testing.T) {
+	// Run a long CPU-bound workload and verify each event-loop task
+	// stays in the neighbourhood of the timeslice (no watchdog kills,
+	// longest task well under 10x the slice).
+	p := browser.Chrome28
+	p.WatchdogLimit = time.Second
+	w, rt := newTestRuntime(p, Config{Timeslice: 5 * time.Millisecond})
+	rt.Spawn("main", &spinner{steps: 20000, stepCost: 10 * time.Microsecond})
+	rt.Start()
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if longest := w.Loop.Stats().LongestTask; longest > 100*time.Millisecond {
+		t.Errorf("LongestTask = %v; adaptive quantum failed to bound events", longest)
+	}
+}

@@ -1,0 +1,360 @@
+// Package core implements the Doppio execution environment (§4 of the
+// paper): the machinery that lets a language implementation with an
+// explicit, heap-allocated call stack run inside the browser's
+// single-threaded, event-driven world.
+//
+// It provides:
+//
+//   - automatic event segmentation via suspend-and-resume with an
+//     adaptive counter (§4.1),
+//   - emulation of synchronous source-language APIs on top of
+//     asynchronous browser APIs (§4.2),
+//   - cooperative multithreading over a pool of saved call stacks, with
+//     a pluggable scheduler (§4.3),
+//   - per-browser selection of the fastest resumption mechanism:
+//     setImmediate, then postMessage, then setTimeout (§4.4).
+//
+// A language implementation supplies Runnable values whose state (call
+// stack, program counter) lives entirely in Go data structures — the
+// analog of the paper's requirement that "the call stack must be
+// explicitly stored in JavaScript objects". Each Runnable.Run call
+// executes until the thread finishes, decides to yield (after
+// Thread.CheckSuspend reports that the timeslice expired), or blocks.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/eventloop"
+)
+
+// RunResult is what a Runnable reports at the end of a timeslice.
+type RunResult int
+
+const (
+	// Done means the thread has finished executing.
+	Done RunResult = iota
+	// Yield means the timeslice expired; the thread remains ready and
+	// will be resumed on a later event-loop turn.
+	Yield
+	// Block means the thread is waiting (async I/O, a monitor, sleep)
+	// and must not be rescheduled until its resume function is called.
+	Block
+)
+
+// Runnable is a resumable computation: all of its state lives on the
+// heap so that Run can return mid-computation and continue later.
+type Runnable interface {
+	Run(t *Thread) RunResult
+}
+
+// RunnableFunc adapts a function to the Runnable interface.
+type RunnableFunc func(t *Thread) RunResult
+
+// Run calls f.
+func (f RunnableFunc) Run(t *Thread) RunResult { return f(t) }
+
+// ThreadState describes where a thread is in its lifecycle.
+type ThreadState int
+
+const (
+	// ReadyState marks a thread eligible for scheduling.
+	ReadyState ThreadState = iota
+	// RunningState marks the thread currently executing.
+	RunningState
+	// BlockedState marks a thread waiting for an external resume.
+	BlockedState
+	// TerminatedState marks a finished thread.
+	TerminatedState
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ReadyState:
+		return "ready"
+	case RunningState:
+		return "running"
+	case BlockedState:
+		return "blocked"
+	case TerminatedState:
+		return "terminated"
+	}
+	return "unknown"
+}
+
+// Scheduler picks the next thread to resume from the ready pool.
+// The default resumes an arbitrary ready thread (the paper's default);
+// language implementations may provide their own (§4.3).
+type Scheduler func(ready []*Thread) *Thread
+
+// Config tunes a Runtime.
+type Config struct {
+	// Timeslice is the preconfigured time slice duration (§4.1) after
+	// which a thread should suspend. Defaults to 10 ms.
+	Timeslice time.Duration
+	// Scheduler overrides the default arbitrary-ready-thread policy.
+	Scheduler Scheduler
+	// ForceMechanism, if non-empty, overrides the automatic resumption
+	// mechanism choice ("setImmediate", "postMessage" or "setTimeout")
+	// — used by the DESIGN.md D1 ablation.
+	ForceMechanism string
+	// FixedCounter disables the adaptive quantum and uses this fixed
+	// check count instead — the DESIGN.md D2 ablation.
+	FixedCounter int
+}
+
+// Stats captures runtime instrumentation for Figures 4 and 5.
+type Stats struct {
+	// Suspensions counts suspend-and-resume round trips.
+	Suspensions int
+	// SuspendedTime is total time spent suspended — between yielding
+	// the JavaScript thread and the resumption callback firing.
+	SuspendedTime time.Duration
+	// CPUTime is total time spent executing thread timeslices.
+	CPUTime time.Duration
+	// ContextSwitches counts scheduler decisions that changed threads.
+	ContextSwitches int
+}
+
+// Runtime is a Doppio execution environment bound to one browser window.
+type Runtime struct {
+	win  *browser.Window
+	loop *eventloop.Loop
+	cfg  Config
+
+	mechanism string
+	msgSeq    int
+	msgMap    map[string]func()
+
+	threads    []*Thread
+	ready      []*Thread
+	current    *Thread
+	nextID     int
+	tickQueued bool
+
+	stats       Stats
+	suspendedAt time.Time
+	lastRun     *Thread
+
+	onIdle []func() // notified when no threads remain
+}
+
+// NewRuntime creates a runtime inside the window's event loop.
+func NewRuntime(win *browser.Window, cfg Config) *Runtime {
+	if cfg.Timeslice == 0 {
+		cfg.Timeslice = 10 * time.Millisecond
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = func(ready []*Thread) *Thread { return ready[0] }
+	}
+	rt := &Runtime{
+		win:    win,
+		loop:   win.Loop,
+		cfg:    cfg,
+		msgMap: make(map[string]func()),
+	}
+	rt.mechanism = cfg.ForceMechanism
+	if rt.mechanism == "" {
+		rt.mechanism = chooseMechanism(win.Profile)
+	}
+	if rt.mechanism == "postMessage" {
+		win.Loop.OnMessage(rt.onMessage)
+	}
+	return rt
+}
+
+// chooseMechanism implements §4.4: setImmediate where available (IE10),
+// postMessage elsewhere — except IE8, whose postMessage is synchronous,
+// forcing the setTimeout fallback.
+func chooseMechanism(p browser.Profile) string {
+	switch {
+	case p.HasSetImmediate:
+		return "setImmediate"
+	case !p.SyncPostMessage:
+		return "postMessage"
+	default:
+		return "setTimeout"
+	}
+}
+
+// Mechanism reports the resumption mechanism in use.
+func (rt *Runtime) Mechanism() string { return rt.mechanism }
+
+// Window returns the browser window the runtime lives in.
+func (rt *Runtime) Window() *browser.Window { return rt.win }
+
+// Loop returns the underlying event loop.
+func (rt *Runtime) Loop() *eventloop.Loop { return rt.loop }
+
+// Stats returns a snapshot of the runtime statistics.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// Timeslice returns the configured time slice.
+func (rt *Runtime) Timeslice() time.Duration { return rt.cfg.Timeslice }
+
+func (rt *Runtime) onMessage(id string) {
+	cb, ok := rt.msgMap[id]
+	if !ok {
+		return
+	}
+	delete(rt.msgMap, id)
+	cb()
+}
+
+// scheduleResumption inserts fn into the event queue via the chosen
+// resumption mechanism (§4.4). Time spent between this call and fn
+// executing is "suspended time" (Figure 5).
+func (rt *Runtime) scheduleResumption(fn func()) {
+	rt.suspendedAt = time.Now()
+	wrapped := func() {
+		rt.stats.SuspendedTime += time.Since(rt.suspendedAt)
+		rt.stats.Suspensions++
+		fn()
+	}
+	switch rt.mechanism {
+	case "setImmediate":
+		if err := rt.loop.SetImmediate(wrapped); err != nil {
+			// The forced mechanism is unavailable; fall back.
+			rt.loop.SetTimeout(wrapped, 0)
+		}
+	case "postMessage":
+		rt.msgSeq++
+		id := fmt.Sprintf("doppio-resume-%d", rt.msgSeq)
+		rt.msgMap[id] = wrapped
+		rt.loop.PostMessage(id)
+	default: // setTimeout
+		rt.loop.SetTimeout(wrapped, 0)
+	}
+}
+
+// Spawn creates a new thread in the pool, ready to run. Start (or an
+// already-running scheduler) will pick it up.
+func (rt *Runtime) Spawn(name string, r Runnable) *Thread {
+	rt.nextID++
+	t := &Thread{
+		rt:       rt,
+		ID:       rt.nextID,
+		Name:     name,
+		runnable: r,
+		state:    ReadyState,
+	}
+	t.clock = newSuspendClock(rt.cfg.Timeslice, rt.cfg.FixedCounter)
+	rt.threads = append(rt.threads, t)
+	rt.ready = append(rt.ready, t)
+	return t
+}
+
+// Start begins executing threads. It returns immediately; execution
+// happens as the event loop runs.
+func (rt *Runtime) Start() { rt.queueTick(false) }
+
+// queueTick schedules a scheduler tick. direct posts to the queue
+// without the resumption mechanism (used for the initial start);
+// otherwise the §4.4 mechanism is used and suspension time is counted.
+func (rt *Runtime) queueTick(viaMechanism bool) {
+	if rt.tickQueued {
+		return
+	}
+	rt.tickQueued = true
+	tick := func() {
+		rt.tickQueued = false
+		rt.tick()
+	}
+	if viaMechanism {
+		rt.scheduleResumption(tick)
+	} else {
+		rt.loop.Post("doppio-sched", tick)
+	}
+}
+
+// tick runs one timeslice of one ready thread.
+func (rt *Runtime) tick() {
+	if len(rt.ready) == 0 {
+		rt.maybeIdle()
+		return
+	}
+	t := rt.cfg.Scheduler(rt.ready)
+	// Remove t from the ready pool.
+	for i, r := range rt.ready {
+		if r == t {
+			rt.ready = append(rt.ready[:i], rt.ready[i+1:]...)
+			break
+		}
+	}
+	if rt.lastRun != nil && rt.lastRun != t {
+		rt.stats.ContextSwitches++
+	}
+	rt.lastRun = t
+	rt.current = t
+	t.state = RunningState
+	t.clock.startSlice()
+
+	start := time.Now()
+	res := t.runnable.Run(t)
+	elapsed := time.Since(start)
+	rt.stats.CPUTime += elapsed
+	t.CPUTime += elapsed
+	rt.current = nil
+
+	switch res {
+	case Done:
+		t.state = TerminatedState
+		for _, j := range t.joiners {
+			j()
+		}
+		t.joiners = nil
+		if len(rt.ready) > 0 {
+			rt.queueTick(true)
+		} else {
+			rt.maybeIdle()
+		}
+	case Yield:
+		t.state = ReadyState
+		rt.ready = append(rt.ready, t)
+		rt.queueTick(true)
+	case Block:
+		if t.state != BlockedState {
+			panic("core: Runnable returned Block without calling Thread.Block")
+		}
+		if len(rt.ready) > 0 {
+			rt.queueTick(true)
+		}
+	}
+}
+
+func (rt *Runtime) maybeIdle() {
+	if len(rt.ready) > 0 {
+		return
+	}
+	for _, t := range rt.threads {
+		if t.state == BlockedState || t.state == RunningState {
+			return
+		}
+	}
+	for _, fn := range rt.onIdle {
+		fn()
+	}
+	rt.onIdle = nil
+}
+
+// OnIdle registers fn to run once every thread has terminated.
+func (rt *Runtime) OnIdle(fn func()) {
+	rt.onIdle = append(rt.onIdle, fn)
+}
+
+// DeadlockedThreads returns the threads still blocked after the event
+// loop drained — i.e., threads that can never resume.
+func (rt *Runtime) DeadlockedThreads() []*Thread {
+	var out []*Thread
+	for _, t := range rt.threads {
+		if t.state == BlockedState {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Threads returns all threads ever spawned.
+func (rt *Runtime) Threads() []*Thread { return rt.threads }

@@ -1,0 +1,108 @@
+package core
+
+import "time"
+
+// Thread is one emulated thread: an entry in the paper's "thread pool"
+// of saved call stacks (§4.3). The language implementation owns the
+// actual stack representation; the Thread tracks scheduling state and
+// provides the suspend/block primitives.
+type Thread struct {
+	rt       *Runtime
+	ID       int
+	Name     string
+	runnable Runnable
+	state    ThreadState
+	clock    *suspendClock
+	joiners  []func()
+
+	// CPUTime is the total time this thread spent executing.
+	CPUTime time.Duration
+
+	// Data lets the language implementation attach its per-thread
+	// state (e.g. the JVM thread object).
+	Data interface{}
+}
+
+// State returns the thread's scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// CheckSuspend implements the §4.1 suspend check: the language
+// implementation calls it periodically (e.g. at every method-call
+// boundary); it returns true when the timeslice has expired and the
+// Runnable should return Yield.
+func (t *Thread) CheckSuspend() bool { return t.clock.check() }
+
+// Block marks the thread blocked and returns the resume function that
+// the eventual completion callback must invoke (from the event loop) to
+// make the thread ready again. Calling resume more than once panics.
+func (t *Thread) Block(reason string) (resume func()) {
+	if t.state != RunningState {
+		panic("core: Block called on a thread that is not running: " + t.state.String())
+	}
+	t.state = BlockedState
+	fired := false
+	return func() {
+		if fired {
+			panic("core: thread " + t.Name + " resumed twice (" + reason + ")")
+		}
+		fired = true
+		if t.state != BlockedState {
+			return // terminated while blocked (e.g. runtime shutdown)
+		}
+		t.state = ReadyState
+		t.rt.ready = append(t.rt.ready, t)
+		t.rt.queueTick(true)
+	}
+}
+
+// Sleep blocks the thread for at least d using the browser timer; the
+// Runnable must return Block after calling it.
+func (t *Thread) Sleep(d time.Duration) {
+	resume := t.Block("sleep")
+	t.rt.loop.SetTimeout(resume, d)
+}
+
+// Join registers fn to run when the thread terminates; if it already
+// has, fn runs immediately.
+func (t *Thread) Join(fn func()) {
+	if t.state == TerminatedState {
+		fn()
+		return
+	}
+	t.joiners = append(t.joiners, fn)
+}
+
+// Kill terminates a blocked or ready thread without running it again.
+func (t *Thread) Kill() {
+	switch t.state {
+	case ReadyState:
+		for i, r := range t.rt.ready {
+			if r == t {
+				t.rt.ready = append(t.rt.ready[:i], t.rt.ready[i+1:]...)
+				break
+			}
+		}
+	case TerminatedState:
+		return
+	}
+	t.state = TerminatedState
+	for _, j := range t.joiners {
+		j()
+	}
+	t.joiners = nil
+}
+
+// AsyncCall implements §4.2's synchronous-over-asynchronous bridge for
+// Runnables structured as state machines. launch must start the
+// asynchronous browser operation and arrange for done to be called
+// (on the event loop) with the result; the thread blocks until then.
+// After resumption the language implementation reads the deposited
+// result from wherever done stored it and continues as if the call had
+// been synchronous.
+func (t *Thread) AsyncCall(reason string, launch func(done func())) {
+	resume := t.Block(reason)
+	launch(func() { resume() })
+}

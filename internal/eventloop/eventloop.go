@@ -1,0 +1,328 @@
+// Package eventloop simulates the JavaScript execution model that the
+// Doppio paper (§3) identifies as the core obstacle to running
+// conventional languages in the browser:
+//
+//   - a single thread of execution,
+//   - run-to-completion events with no preemption,
+//   - a watchdog that kills events that run too long,
+//   - asynchronous-only APIs whose completions arrive as queued events,
+//   - setTimeout's minimum-delay clamp (≥4 ms per the HTML5 spec),
+//   - postMessage as a fast way to enqueue an event (§4.4),
+//   - setImmediate where the browser supports it (IE10) (§4.4).
+//
+// Everything "inside the browser" runs on the single goroutine that
+// called Run. External completions (storage latency, network frames,
+// timer expiry) are injected from other goroutines via InvokeExternal
+// and are delivered as ordinary macrotasks, preserving JavaScript's
+// run-to-completion semantics.
+package eventloop
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Options configure the loop with the relevant per-browser quirks.
+// They are usually derived from a browser.Profile.
+type Options struct {
+	// MinTimeoutDelay clamps SetTimeout's delay from below, as the
+	// HTML5 timer specification requires (≥4 ms in real browsers).
+	MinTimeoutDelay time.Duration
+
+	// HasSetImmediate enables the setImmediate API (IE10 only in the
+	// paper's browser population).
+	HasSetImmediate bool
+
+	// SyncPostMessage makes PostMessage dispatch the handler
+	// synchronously, as Internet Explorer 8 does (§4.4). Doppio must
+	// detect this and fall back to setTimeout.
+	SyncPostMessage bool
+
+	// WatchdogLimit is the longest a single event may run before the
+	// browser kills the script. Zero disables the watchdog.
+	WatchdogLimit time.Duration
+}
+
+// WatchdogError reports that the browser killed a long-running event.
+type WatchdogError struct {
+	Label   string
+	Elapsed time.Duration
+	Limit   time.Duration
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("eventloop: script %q unresponsive: event ran %v (limit %v); killed by watchdog",
+		e.Label, e.Elapsed.Round(time.Millisecond), e.Limit)
+}
+
+// Stats accumulate per-run instrumentation used by the benchmarks.
+type Stats struct {
+	TasksRun    int
+	TimersFired int
+	Messages    int
+	BusyTime    time.Duration // time spent executing events
+	IdleTime    time.Duration // time spent waiting for timers/externals
+	LongestTask time.Duration
+}
+
+type task struct {
+	label string
+	fn    func()
+}
+
+// TimerID identifies a pending timer for ClearTimeout.
+type TimerID int64
+
+type timer struct {
+	id       TimerID
+	deadline time.Time
+	fn       func()
+	index    int // heap index
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].deadline.Before(h[j].deadline) }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *timerHeap) Push(x interface{}) { t := x.(*timer); t.index = len(*h); *h = append(*h, t) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Loop is a single-threaded JavaScript-style event loop.
+// Create one with New; it is driven by Run.
+type Loop struct {
+	opts Options
+
+	mu       sync.Mutex
+	queue    []task
+	timers   timerHeap
+	timerIDs map[TimerID]*timer
+	nextID   TimerID
+	pending  int // external operations in flight
+	wake     chan struct{}
+	stopped  bool
+	killed   *WatchdogError
+
+	msgHandler func(data string)
+
+	stats Stats
+}
+
+// New creates an idle event loop.
+func New(opts Options) *Loop {
+	l := &Loop{
+		opts:     opts,
+		timerIDs: make(map[TimerID]*timer),
+		wake:     make(chan struct{}, 1),
+	}
+	heap.Init(&l.timers)
+	return l
+}
+
+// Options returns the loop's configuration.
+func (l *Loop) Options() Options { return l.opts }
+
+// Stats returns a snapshot of the run statistics.
+func (l *Loop) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Post appends a macrotask to the back of the event queue. The label
+// is used in watchdog diagnostics. Post is safe to call from the loop
+// goroutine; use InvokeExternal from other goroutines.
+func (l *Loop) Post(label string, fn func()) {
+	l.mu.Lock()
+	l.queue = append(l.queue, task{label: label, fn: fn})
+	l.mu.Unlock()
+	l.signal()
+}
+
+// SetTimeout schedules fn to run after at least d, subject to the
+// browser's minimum-delay clamp. It returns an id for ClearTimeout.
+func (l *Loop) SetTimeout(fn func(), d time.Duration) TimerID {
+	if d < l.opts.MinTimeoutDelay {
+		d = l.opts.MinTimeoutDelay
+	}
+	l.mu.Lock()
+	l.nextID++
+	id := l.nextID
+	t := &timer{id: id, deadline: time.Now().Add(d), fn: fn}
+	heap.Push(&l.timers, t)
+	l.timerIDs[id] = t
+	l.mu.Unlock()
+	l.signal()
+	return id
+}
+
+// ClearTimeout cancels a pending timer. Cancelling an already-fired or
+// unknown timer is a no-op, as in the browser.
+func (l *Loop) ClearTimeout(id TimerID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := l.timerIDs[id]; ok {
+		heap.Remove(&l.timers, t.index)
+		delete(l.timerIDs, id)
+	}
+}
+
+// OnMessage registers the window's global message handler.
+func (l *Loop) OnMessage(fn func(data string)) { l.msgHandler = fn }
+
+// PostMessage sends a string message to the window itself. In most
+// browsers the handler is enqueued as an event at the back of the
+// queue; with Options.SyncPostMessage (IE8) the handler runs
+// synchronously before PostMessage returns.
+func (l *Loop) PostMessage(data string) {
+	h := l.msgHandler
+	if h == nil {
+		return
+	}
+	l.mu.Lock()
+	l.stats.Messages++
+	l.mu.Unlock()
+	if l.opts.SyncPostMessage {
+		h(data)
+		return
+	}
+	l.Post("message", func() { h(data) })
+}
+
+// ErrNoSetImmediate is returned by SetImmediate on browsers without it.
+var ErrNoSetImmediate = fmt.Errorf("eventloop: setImmediate is not defined")
+
+// SetImmediate places fn at the back of the event queue with no delay.
+// Only browsers with Options.HasSetImmediate support it.
+func (l *Loop) SetImmediate(fn func()) error {
+	if !l.opts.HasSetImmediate {
+		return ErrNoSetImmediate
+	}
+	l.Post("setImmediate", fn)
+	return nil
+}
+
+// InvokeExternal delivers fn as a macrotask from another goroutine.
+// It pairs with AddPending/DonePending to keep Run alive while external
+// operations are in flight.
+func (l *Loop) InvokeExternal(label string, fn func()) {
+	l.Post(label, fn)
+}
+
+// AddPending records that an external asynchronous operation has been
+// launched; Run will not exit while operations are pending.
+func (l *Loop) AddPending() {
+	l.mu.Lock()
+	l.pending++
+	l.mu.Unlock()
+}
+
+// DonePending records the completion of an external operation.
+func (l *Loop) DonePending() {
+	l.mu.Lock()
+	if l.pending <= 0 {
+		l.mu.Unlock()
+		panic("eventloop: DonePending without AddPending")
+	}
+	l.pending--
+	l.mu.Unlock()
+	l.signal()
+}
+
+// Stop makes Run return after the current event completes.
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+	l.signal()
+}
+
+func (l *Loop) signal() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run executes events until the queue is empty, no timers remain, and
+// no external operations are pending — or until Stop is called or the
+// watchdog kills the script. It returns a *WatchdogError in the latter
+// case and nil otherwise. Run must not be called concurrently.
+func (l *Loop) Run() error {
+	l.mu.Lock()
+	l.stopped = false
+	l.killed = nil
+	l.mu.Unlock()
+	for {
+		l.mu.Lock()
+		if l.stopped {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.killed != nil {
+			err := l.killed
+			l.mu.Unlock()
+			return err
+		}
+		// Promote due timers to the queue.
+		now := time.Now()
+		for len(l.timers) > 0 && !l.timers[0].deadline.After(now) {
+			t := heap.Pop(&l.timers).(*timer)
+			delete(l.timerIDs, t.id)
+			l.queue = append(l.queue, task{label: "timer", fn: t.fn})
+			l.stats.TimersFired++
+		}
+		if len(l.queue) > 0 {
+			tk := l.queue[0]
+			l.queue = l.queue[1:]
+			l.mu.Unlock()
+			l.runTask(tk)
+			continue
+		}
+		// Queue empty: exit, or wait for a timer/external event.
+		if l.pending == 0 && len(l.timers) == 0 {
+			l.mu.Unlock()
+			return nil
+		}
+		var waitCh <-chan time.Time
+		if len(l.timers) > 0 {
+			waitCh = time.After(time.Until(l.timers[0].deadline))
+		}
+		l.mu.Unlock()
+
+		idleStart := time.Now()
+		select {
+		case <-l.wake:
+		case <-waitCh:
+		}
+		l.mu.Lock()
+		l.stats.IdleTime += time.Since(idleStart)
+		l.mu.Unlock()
+	}
+}
+
+func (l *Loop) runTask(tk task) {
+	start := time.Now()
+	tk.fn()
+	elapsed := time.Since(start)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.TasksRun++
+	l.stats.BusyTime += elapsed
+	if elapsed > l.stats.LongestTask {
+		l.stats.LongestTask = elapsed
+	}
+	if l.opts.WatchdogLimit > 0 && elapsed > l.opts.WatchdogLimit {
+		l.killed = &WatchdogError{Label: tk.label, Elapsed: elapsed, Limit: l.opts.WatchdogLimit}
+	}
+}

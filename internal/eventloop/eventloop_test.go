@@ -1,0 +1,245 @@
+package eventloop
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunToCompletionOrder(t *testing.T) {
+	l := New(Options{})
+	var order []int
+	l.Post("a", func() {
+		order = append(order, 1)
+		l.Post("b", func() { order = append(order, 3) })
+		order = append(order, 2) // events run to completion
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSetTimeoutClamp(t *testing.T) {
+	l := New(Options{MinTimeoutDelay: 20 * time.Millisecond})
+	var fired time.Time
+	start := time.Now()
+	l.SetTimeout(func() { fired = time.Now() }, 0)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Sub(start); got < 20*time.Millisecond {
+		t.Errorf("timer fired after %v, want >= 20ms clamp", got)
+	}
+}
+
+func TestSetTimeoutOrdering(t *testing.T) {
+	l := New(Options{})
+	var order []string
+	l.SetTimeout(func() { order = append(order, "late") }, 30*time.Millisecond)
+	l.SetTimeout(func() { order = append(order, "early") }, 5*time.Millisecond)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestClearTimeout(t *testing.T) {
+	l := New(Options{})
+	fired := false
+	id := l.SetTimeout(func() { fired = true }, 5*time.Millisecond)
+	l.ClearTimeout(id)
+	l.ClearTimeout(id) // idempotent
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestPostMessageAsync(t *testing.T) {
+	l := New(Options{})
+	var order []string
+	l.OnMessage(func(data string) { order = append(order, "handler:"+data) })
+	l.Post("main", func() {
+		l.PostMessage("x")
+		order = append(order, "after-post")
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "after-post,handler:x" {
+		t.Errorf("order = %v, want async dispatch", order)
+	}
+}
+
+func TestPostMessageSyncIE8(t *testing.T) {
+	l := New(Options{SyncPostMessage: true})
+	var order []string
+	l.OnMessage(func(data string) { order = append(order, "handler:"+data) })
+	l.Post("main", func() {
+		l.PostMessage("x")
+		order = append(order, "after-post")
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "handler:x,after-post" {
+		t.Errorf("order = %v, want synchronous dispatch (IE8)", order)
+	}
+}
+
+func TestSetImmediateAvailability(t *testing.T) {
+	ie10 := New(Options{HasSetImmediate: true})
+	ran := false
+	if err := ie10.SetImmediate(func() { ran = true }); err != nil {
+		t.Fatalf("IE10 SetImmediate: %v", err)
+	}
+	if err := ie10.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("setImmediate callback did not run")
+	}
+
+	chrome := New(Options{})
+	if err := chrome.SetImmediate(func() {}); err != ErrNoSetImmediate {
+		t.Errorf("got %v, want ErrNoSetImmediate", err)
+	}
+}
+
+func TestWatchdogKillsLongEvent(t *testing.T) {
+	l := New(Options{WatchdogLimit: 10 * time.Millisecond})
+	l.Post("hog", func() { time.Sleep(30 * time.Millisecond) })
+	survived := false
+	l.Post("next", func() { survived = true })
+	err := l.Run()
+	we, ok := err.(*WatchdogError)
+	if !ok {
+		t.Fatalf("Run() = %v, want *WatchdogError", err)
+	}
+	if we.Label != "hog" {
+		t.Errorf("killed label = %q, want hog", we.Label)
+	}
+	if survived {
+		t.Error("event after the kill still ran")
+	}
+	if !strings.Contains(we.Error(), "unresponsive") {
+		t.Errorf("error text = %q", we.Error())
+	}
+}
+
+func TestWatchdogAllowsSegmentedEvents(t *testing.T) {
+	l := New(Options{WatchdogLimit: 20 * time.Millisecond})
+	// 10 short events totalling more than the limit must all survive,
+	// because each individually finishes in time.
+	count := 0
+	var step func()
+	step = func() {
+		time.Sleep(4 * time.Millisecond)
+		count++
+		if count < 10 {
+			l.Post("step", step)
+		}
+	}
+	l.Post("step", step)
+	if err := l.Run(); err != nil {
+		t.Fatalf("segmented run killed: %v", err)
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestExternalCompletion(t *testing.T) {
+	l := New(Options{})
+	var got atomic.Int32
+	l.Post("start", func() {
+		l.AddPending()
+		go func() { // simulated async browser API
+			time.Sleep(10 * time.Millisecond)
+			l.InvokeExternal("io-done", func() {
+				got.Store(42)
+				l.DonePending()
+			})
+		}()
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 42 {
+		t.Errorf("external completion not delivered, got %d", got.Load())
+	}
+}
+
+func TestStop(t *testing.T) {
+	l := New(Options{})
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n == 5 {
+			l.Stop()
+		}
+		l.Post("loop", loop)
+	}
+	l.Post("loop", loop)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("n = %d, want 5", n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := New(Options{})
+	l.OnMessage(func(string) {})
+	l.Post("a", func() { l.PostMessage("m") })
+	l.SetTimeout(func() {}, time.Millisecond)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.TasksRun != 3 { // a, message, timer
+		t.Errorf("TasksRun = %d, want 3", s.TasksRun)
+	}
+	if s.TimersFired != 1 {
+		t.Errorf("TimersFired = %d, want 1", s.TimersFired)
+	}
+	if s.Messages != 1 {
+		t.Errorf("Messages = %d, want 1", s.Messages)
+	}
+}
+
+func TestDonePendingWithoutAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(Options{}).DonePending()
+}
+
+func TestRunReturnsWhenDrained(t *testing.T) {
+	l := New(Options{})
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Run did not return on an empty loop")
+	}
+}

@@ -1,0 +1,110 @@
+package fstrace
+
+import (
+	"testing"
+
+	"doppio/internal/browser"
+	"doppio/internal/buffer"
+	"doppio/internal/vfs"
+)
+
+func TestGenerateMatchesPaperProfile(t *testing.T) {
+	tr := Generate(PaperParams())
+	s := tr.Stats()
+	if s.Ops != 3185 {
+		t.Errorf("Ops = %d, want 3185", s.Ops)
+	}
+	// Unique files read should be close to 1560 (every file is read at
+	// least once when op budget allows).
+	if s.UniqueFiles < 1400 || s.UniqueFiles > 1560 {
+		t.Errorf("UniqueFiles = %d, want ≈1560", s.UniqueFiles)
+	}
+	if s.BytesRead < 9_000_000 {
+		t.Errorf("BytesRead = %d, want >10MB-ish", s.BytesRead)
+	}
+	if s.BytesWritten < 90_000 || s.BytesWritten > 105_000 {
+		t.Errorf("BytesWritten = %d, want ≈97KB", s.BytesWritten)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenerateParams{Ops: 100, UniqueFiles: 10, BytesRead: 1000, BytesWritten: 100})
+	b := Generate(GenerateParams{Ops: 100, UniqueFiles: 10, BytesRead: 1000, BytesWritten: 100})
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("nondeterministic op count")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestReplayVFS(t *testing.T) {
+	tr := Generate(GenerateParams{Ops: 200, UniqueFiles: 20, BytesRead: 20 * 256, BytesWritten: 512})
+	win := browser.NewWindow(browser.Chrome28)
+	bufs := &buffer.Factory{Typed: true}
+	fs := vfs.New(win.Loop, bufs, vfs.NewInMemory())
+
+	var replayOK int
+	var replayErr error
+	win.Loop.Post("seed", func() {
+		SeedVFS(fs, tr, func(err error) {
+			if err != nil {
+				t.Errorf("seed: %v", err)
+				return
+			}
+			ReplayVFS(win.Loop, fs, tr, func(ok int, err error) {
+				replayOK, replayErr = ok, err
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replayErr != nil {
+		t.Fatal(replayErr)
+	}
+	if replayOK != len(tr.Ops) {
+		t.Errorf("ok ops = %d / %d", replayOK, len(tr.Ops))
+	}
+}
+
+func TestReplayOS(t *testing.T) {
+	tr := Generate(GenerateParams{Ops: 120, UniqueFiles: 12, BytesRead: 12 * 100, BytesWritten: 300})
+	root := t.TempDir()
+	if err := SeedOS(root, tr); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ReplayOS(root, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != len(tr.Ops) {
+		t.Errorf("ok ops = %d / %d", ok, len(tr.Ops))
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	win := browser.NewWindow(browser.Chrome28)
+	bufs := &buffer.Factory{Typed: true}
+	fs := vfs.New(win.Loop, bufs, vfs.NewInMemory())
+	var rec Recorder
+	rec.Attach(fs)
+	win.Loop.Post("ops", func() {
+		fs.WriteFile("/a.txt", []byte("hi"), func(error) {
+			fs.ReadFile("/a.txt", func(b *buffer.Buffer, err error) {
+				fs.Stat("/a.txt", func(vfs.Stats, error) {})
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ops) != 3 {
+		t.Fatalf("recorded %d ops: %+v", len(rec.Ops), rec.Ops)
+	}
+	if rec.Ops[0].Kind != OpWrite || rec.Ops[1].Kind != OpRead || rec.Ops[2].Kind != OpStat {
+		t.Errorf("ops = %+v", rec.Ops)
+	}
+}

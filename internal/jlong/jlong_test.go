@@ -1,0 +1,256 @@
+package jlong
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripInt64(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64,
+		math.MaxInt32, math.MinInt32, 1 << 40, -(1 << 40), 0xDEADBEEF}
+	for _, v := range cases {
+		if got := FromInt64(v).Int64(); got != v {
+			t.Errorf("FromInt64(%d).Int64() = %d", v, got)
+		}
+	}
+}
+
+func TestFromInt32SignExtension(t *testing.T) {
+	if got := FromInt32(-1); got != NegOne {
+		t.Errorf("FromInt32(-1) = %+v, want NegOne", got)
+	}
+	if got := FromInt32(-5).Int64(); got != -5 {
+		t.Errorf("FromInt32(-5).Int64() = %d", got)
+	}
+	if got := FromInt32(7).Int64(); got != 7 {
+		t.Errorf("FromInt32(7).Int64() = %d", got)
+	}
+}
+
+func TestAddProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return FromInt64(a).Add(FromInt64(b)).Int64() == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return FromInt64(a).Sub(FromInt64(b)).Int64() == a-b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return FromInt64(a).Mul(FromInt64(b)).Int64() == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 {
+			return true
+		}
+		if a == math.MinInt64 && b == -1 {
+			// Wraps, handled in TestDivEdgeCases.
+			return true
+		}
+		return FromInt64(a).Div(FromInt64(b)).Int64() == a/b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return true
+		}
+		return FromInt64(a).Rem(FromInt64(b)).Int64() == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivEdgeCases(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{math.MinInt64, -1, math.MinInt64}, // JVM wrap
+		{math.MinInt64, 1, math.MinInt64},
+		{math.MinInt64, math.MinInt64, 1},
+		{math.MinInt64, 2, math.MinInt64 / 2},
+		{math.MinInt64, -2, math.MinInt64 / -2},
+		{math.MinInt64, 3, math.MinInt64 / 3},
+		{math.MaxInt64, math.MinInt64, 0},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64, 2, math.MaxInt64 / 2},
+		{-7, 2, -3},
+		{7, -2, -3},
+		{-7, -2, 3},
+		{1, math.MaxInt64, 0},
+	}
+	for _, c := range cases {
+		if got := FromInt64(c.a).Div(FromInt64(c.b)).Int64(); got != c.want {
+			t.Errorf("Div(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != ErrDivByZero {
+			t.Errorf("recovered %v, want ErrDivByZero", r)
+		}
+	}()
+	FromInt64(5).Div(Zero)
+}
+
+func TestShiftProperties(t *testing.T) {
+	shl := func(a int64, n uint8) bool {
+		return FromInt64(a).Shl(uint(n)).Int64() == a<<(n&63)
+	}
+	shr := func(a int64, n uint8) bool {
+		return FromInt64(a).Shr(uint(n)).Int64() == a>>(n&63)
+	}
+	ushr := func(a int64, n uint8) bool {
+		return FromInt64(a).Ushr(uint(n)).Int64() == int64(uint64(a)>>(n&63))
+	}
+	for name, f := range map[string]interface{}{"shl": shl, "shr": shr, "ushr": ushr} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBitwiseProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		la, lb := FromInt64(a), FromInt64(b)
+		return la.And(lb).Int64() == a&b &&
+			la.Or(lb).Int64() == a|b &&
+			la.Xor(lb).Int64() == a^b &&
+			la.Not().Int64() == ^a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return FromInt64(a).Cmp(FromInt64(b)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegProperty(t *testing.T) {
+	f := func(a int64) bool {
+		return FromInt64(a).Neg().Int64() == -a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatConversions(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want int64
+	}{
+		{0, 0}, {1.5, 1}, {-1.5, -1}, {1e18, 1000000000000000000},
+		{math.NaN(), 0},
+		{math.Inf(1), math.MaxInt64},
+		{math.Inf(-1), math.MinInt64},
+		{1e30, math.MaxInt64},
+		{-1e30, math.MinInt64},
+		{4294967296, 1 << 32},
+		{-4294967297, -(1<<32 + 1)},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.f).Int64(); got != c.want {
+			t.Errorf("FromFloat64(%g) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFloat64RoundTripSmall(t *testing.T) {
+	// Values below 2^53 round-trip exactly through float64.
+	f := func(a int32, b uint16) bool {
+		v := int64(a)*int64(b) + int64(b)
+		return FromFloat64(FromInt64(v).Float64()).Int64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinFloat64(t *testing.T) {
+	if got := Min.Float64(); got != -9.223372036854776e18 {
+		t.Errorf("Min.Float64() = %g", got)
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{"0", "1", "-1", "9223372036854775807", "-9223372036854775808", "123456789012345"}
+	for _, s := range cases {
+		l, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if l.String() != s {
+			t.Errorf("Parse(%q).String() = %q", s, l.String())
+		}
+	}
+	for _, bad := range []string{"", "-", "12a", "+"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestInt32Truncation(t *testing.T) {
+	f := func(a int64) bool {
+		return FromInt64(a).Int32() == int32(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSoftwareLongMul(b *testing.B) {
+	x, y := FromInt64(0x123456789ABCDEF), FromInt64(0xFEDCBA987)
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y).Add(One)
+	}
+	sink = x
+}
+
+func BenchmarkNativeLongMul(b *testing.B) {
+	x, y := int64(0x123456789ABCDEF), int64(0xFEDCBA987)
+	for i := 0; i < b.N; i++ {
+		x = x*y + 1
+	}
+	sinkI = x
+}
+
+var (
+	sink  Long
+	sinkI int64
+)

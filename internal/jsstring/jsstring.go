@@ -1,0 +1,129 @@
+// Package jsstring models JavaScript strings: sequences of arbitrary
+// 16-bit code units, including lone surrogates.
+//
+// Doppio's Buffer packs two bytes of binary data into each UTF-16
+// character of a JavaScript string (§5.1, "Binary Data in the
+// Browser"); many of the resulting code units are unpaired surrogates,
+// which is legal in engines that "do not perform validity checks".
+// Go strings are conventionally UTF-8, which cannot represent lone
+// surrogates, so this package stores JS strings in Go strings using
+// WTF-8: UTF-8 extended with three-byte encodings of the surrogate
+// range. Units and Decode understand that extension.
+package jsstring
+
+// Encode converts a sequence of UTF-16 code units to its WTF-8
+// representation in a Go string. Every uint16 value is representable.
+func Encode(units []uint16) string {
+	buf := make([]byte, 0, len(units)*3)
+	for _, u := range units {
+		switch {
+		case u < 0x80:
+			buf = append(buf, byte(u))
+		case u < 0x800:
+			buf = append(buf, 0xC0|byte(u>>6), 0x80|byte(u&0x3F))
+		default:
+			buf = append(buf, 0xE0|byte(u>>12), 0x80|byte(u>>6&0x3F), 0x80|byte(u&0x3F))
+		}
+	}
+	return string(buf)
+}
+
+// Decode converts a WTF-8 Go string back into UTF-16 code units.
+// Supplementary-plane code points (from ordinary UTF-8 input) expand to
+// surrogate pairs, exactly as JavaScript represents them. Malformed
+// bytes decode to U+FFFD, one unit per byte.
+func Decode(s string) []uint16 {
+	units := make([]uint16, 0, len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c < 0x80:
+			units = append(units, uint16(c))
+			i++
+		case c < 0xC0: // stray continuation byte
+			units = append(units, 0xFFFD)
+			i++
+		case c < 0xE0:
+			if i+1 >= len(s) || s[i+1]&0xC0 != 0x80 {
+				units = append(units, 0xFFFD)
+				i++
+				continue
+			}
+			units = append(units, uint16(c&0x1F)<<6|uint16(s[i+1]&0x3F))
+			i += 2
+		case c < 0xF0:
+			if i+2 >= len(s) || s[i+1]&0xC0 != 0x80 || s[i+2]&0xC0 != 0x80 {
+				units = append(units, 0xFFFD)
+				i++
+				continue
+			}
+			units = append(units, uint16(c&0x0F)<<12|uint16(s[i+1]&0x3F)<<6|uint16(s[i+2]&0x3F))
+			i += 3
+		default: // 4-byte sequence: supplementary plane → surrogate pair
+			if i+3 >= len(s) || s[i+1]&0xC0 != 0x80 || s[i+2]&0xC0 != 0x80 || s[i+3]&0xC0 != 0x80 {
+				units = append(units, 0xFFFD)
+				i++
+				continue
+			}
+			cp := uint32(c&0x07)<<18 | uint32(s[i+1]&0x3F)<<12 | uint32(s[i+2]&0x3F)<<6 | uint32(s[i+3]&0x3F)
+			cp -= 0x10000
+			units = append(units, uint16(0xD800|cp>>10), uint16(0xDC00|cp&0x3FF))
+			i += 4
+		}
+	}
+	return units
+}
+
+// Units reports the number of UTF-16 code units in the WTF-8 string —
+// what JavaScript's String.length would return, and the unit browsers
+// charge against storage quotas (two bytes each).
+func Units(s string) int {
+	n := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c < 0x80:
+			i++
+			n++
+		case c < 0xC0:
+			i++
+			n++ // malformed byte: one replacement unit
+		case c < 0xE0:
+			if !contAt(s, i+1, 1) {
+				i++
+			} else {
+				i += 2
+			}
+			n++
+		case c < 0xF0:
+			if !contAt(s, i+1, 2) {
+				i++
+			} else {
+				i += 3
+			}
+			n++
+		default:
+			if !contAt(s, i+1, 3) {
+				i++
+				n++
+			} else {
+				i += 4
+				n += 2 // surrogate pair
+			}
+		}
+	}
+	return n
+}
+
+// contAt reports whether k continuation bytes start at index i.
+func contAt(s string, i, k int) bool {
+	if i+k > len(s) {
+		return false
+	}
+	for j := 0; j < k; j++ {
+		if s[i+j]&0xC0 != 0x80 {
+			return false
+		}
+	}
+	return true
+}

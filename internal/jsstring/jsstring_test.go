@@ -1,0 +1,85 @@
+package jsstring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripArbitraryUnits(t *testing.T) {
+	f := func(units []uint16) bool {
+		got := Decode(Encode(units))
+		if len(got) != len(units) {
+			return false
+		}
+		for i := range got {
+			if got[i] != units[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoneSurrogatesSurvive(t *testing.T) {
+	units := []uint16{0xD800, 0xDFFF, 0xDC00, 0x0041}
+	got := Decode(Encode(units))
+	for i := range units {
+		if got[i] != units[i] {
+			t.Fatalf("unit %d: got %#04x, want %#04x", i, got[i], units[i])
+		}
+	}
+}
+
+func TestUnitsMatchesDecode(t *testing.T) {
+	f := func(units []uint16) bool {
+		return Units(Encode(units)) == len(units)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrdinaryUTF8Interop(t *testing.T) {
+	// A regular Go string (valid UTF-8) must decode as JS would see it.
+	s := "héllo, 日本" // BMP only: one unit per rune
+	units := Decode(s)
+	if len(units) != 9 {
+		t.Errorf("Units = %d, want 9 (got %v)", len(units), units)
+	}
+	if Units(s) != 9 {
+		t.Errorf("Units(s) = %d", Units(s))
+	}
+}
+
+func TestSupplementaryPlaneMakesSurrogatePair(t *testing.T) {
+	s := "\U0001F600" // emoji, U+1F600
+	units := Decode(s)
+	if len(units) != 2 || units[0] != 0xD83D || units[1] != 0xDE00 {
+		t.Errorf("Decode(emoji) = %#v", units)
+	}
+	if Units(s) != 2 {
+		t.Errorf("Units(emoji) = %d, want 2 (JS String.length semantics)", Units(s))
+	}
+}
+
+func TestMalformedBytes(t *testing.T) {
+	// A stray continuation byte decodes to one replacement unit.
+	units := Decode("\x80")
+	if len(units) != 1 || units[0] != 0xFFFD {
+		t.Errorf("Decode(0x80) = %#v", units)
+	}
+	// A truncated 3-byte sequence: one replacement unit per bad byte.
+	units = Decode("\xE0\xA0")
+	if len(units) != 2 || units[0] != 0xFFFD || units[1] != 0xFFFD {
+		t.Errorf("Decode(truncated) = %#v", units)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if len(Decode("")) != 0 || Units("") != 0 || Encode(nil) != "" {
+		t.Error("empty string round trip failed")
+	}
+}

@@ -1,0 +1,130 @@
+package jvm
+
+import "io"
+
+// Value is a decoded JVM value as seen by native methods: one of nil,
+// int32 (int/short/char/byte/boolean), int64 (long), float32, float64,
+// or *Object. Both engines convert their internal representations to
+// and from these at the native boundary, so one native table serves
+// both.
+type Value interface{}
+
+// NativeResult is what a native method produces.
+type NativeResult struct {
+	// Value is the decoded return value (ignored for void methods).
+	Value Value
+	// Thrown, if non-nil, is an exception object to throw at the call
+	// site.
+	Thrown *Object
+	// Async marks that the native started an asynchronous operation
+	// via NativeHost.BlockAndCall; the result arrives at the
+	// completion callback instead.
+	Async bool
+}
+
+// NativeFunc implements one native method. recv is nil for statics.
+type NativeFunc func(h NativeHost, recv *Object, args []Value) NativeResult
+
+// HostFS is the file system surface natives program against. The
+// Doppio engine implements it over the Doppio VFS (asynchronously);
+// the native engine implements it over the host OS, invoking the
+// callbacks synchronously. All callbacks must eventually fire.
+type HostFS interface {
+	ReadFile(path string, cb func([]byte, error))
+	WriteFile(path string, data []byte, cb func(error))
+	Append(path string, data []byte, cb func(error))
+	// Stat reports size and kind; exists=false when missing.
+	Stat(path string, cb func(size int64, isDir, exists bool))
+	List(path string, cb func([]string, error))
+	Delete(path string, cb func(error))
+	Mkdir(path string, cb func(error))
+	Rename(oldPath, newPath string, cb func(error))
+}
+
+// NativeHost is the engine surface exposed to native methods (§6.3):
+// object and string services, OS services (file system, unmanaged
+// heap, sockets, console), threading, and the synchronous-over-
+// asynchronous bridge.
+type NativeHost interface {
+	// EngineName identifies the engine ("doppio" or "native").
+	EngineName() string
+
+	// Intern returns the canonical String object for s (§6: string
+	// interning).
+	Intern(s string) *Object
+	// NewString builds a fresh (non-interned) String object.
+	NewString(s string) *Object
+	// GoString decodes a String object.
+	GoString(o *Object) string
+
+	// MakeThrowable builds an exception object of the given class
+	// with a message, without running user constructors.
+	MakeThrowable(class, msg string) *Object
+
+	// ClassMirror returns the java/lang/Class instance for c.
+	ClassMirror(c *Class) *Object
+
+	// LookupClass returns an already-loaded class by name, or nil.
+	LookupClass(name string) *Class
+
+	// Console and environment.
+	Stdout() io.Writer
+	Stderr() io.Writer
+	StdinRead(n int, cb func([]byte, error)) // asynchronous console input
+	Property(key string) string
+	CurrentTimeMillis() int64
+	NanoTime() int64
+	Exit(code int32)
+
+	// OS services.
+	FS() HostFS
+	UnsafeHeap() *HeapBinding
+	SocketConnect(host string, port int32, cb func(handle int32, err error))
+	SocketRead(handle int32, n int32, cb func([]byte, error))
+	SocketWrite(handle int32, data []byte, cb func(error))
+	SocketClose(handle int32)
+
+	// IdentityHash returns a stable identity hash for o.
+	IdentityHash(o *Object) int32
+
+	// Threading (§6.2).
+	SpawnThread(threadObj *Object)
+	CurrentThreadObj() *Object
+	Sleep(ms int64, done func())
+	YieldThread()
+	JoinThread(threadObj *Object, done func())
+	IsThreadAlive(threadObj *Object) bool
+	MonitorWait(o *Object, timeoutMs int64) *Object // returns thrown or nil; blocks current thread
+	MonitorNotify(o *Object, all bool) *Object      // returns thrown or nil
+
+	// BlockAndCall bridges asynchronous host operations into
+	// synchronous JVM semantics (§4.2): the current thread blocks,
+	// launch starts the async work, and complete delivers the
+	// decoded return value (and optional exception), resuming the
+	// thread. A native using it must return NativeResult{Async: true}.
+	BlockAndCall(launch func(complete func(Value, *Object)))
+
+	// EvalJS is the §6.8 interoperability hook: it evaluates a
+	// JavaScript snippet in the hosting page and returns the result
+	// coerced to a string. Engines without a JS host return an error
+	// message string.
+	EvalJS(snippet string) string
+}
+
+// HeapBinding exposes the unmanaged heap to sun/misc/Unsafe natives.
+type HeapBinding struct {
+	Malloc func(n int) (int, error)
+	Free   func(addr int) error
+	GetI8  func(addr int) int8
+	PutI8  func(addr int, v int8)
+	GetI16 func(addr int) int16
+	PutI16 func(addr int, v int16)
+	GetI32 func(addr int) int32
+	PutI32 func(addr int, v int32)
+	GetI64 func(addr int) int64
+	PutI64 func(addr int, v int64)
+	GetF32 func(addr int) float32
+	PutF32 func(addr int, v float32)
+	GetF64 func(addr int) float64
+	PutF64 func(addr int, v float64)
+}

@@ -1,0 +1,128 @@
+package jvm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"doppio/internal/browser"
+	"doppio/internal/buffer"
+	"doppio/internal/jvm"
+	"doppio/internal/jvm/rt"
+	"doppio/internal/vfs"
+)
+
+func TestJarRoundTrip(t *testing.T) {
+	classes, err := rt.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jar, err := jvm.WriteJar(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := jvm.ReadJar(jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(classes) {
+		t.Fatalf("round trip lost classes: %d vs %d", len(back), len(classes))
+	}
+	for name, data := range classes {
+		if !bytes.Equal(back[name], data) {
+			t.Errorf("%s differs after jar round trip", name)
+		}
+	}
+}
+
+// TestRunFromJarOnVFS stores the whole runtime as a JAR inside the
+// Doppio file system and runs a program whose classes load from it —
+// the §6.4 class-path-with-JARs scenario.
+func TestRunFromJarOnVFS(t *testing.T) {
+	classes, err := rt.CompileWith(map[string]string{"Main.mj": `
+public class Main {
+    public static void main(String[] args) {
+        System.out.println("loaded from a jar in the vfs");
+    }
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jar, err := jvm.WriteJar(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	win := browser.NewWindow(browser.Chrome28)
+	bufs := &buffer.Factory{Typed: true}
+	fs := vfs.New(win.Loop, bufs, vfs.NewInMemory())
+
+	// Stage 1: store the jar in the file system.
+	var provider *jvm.JarProvider
+	win.Loop.Post("store", func() {
+		fs.Mkdir("/lib", func(err error) {
+			if err != nil {
+				t.Errorf("mkdir: %v", err)
+				return
+			}
+			fs.WriteFile("/lib/rt.jar", jar, func(err error) {
+				if err != nil {
+					t.Errorf("store jar: %v", err)
+					return
+				}
+				jvm.LoadJarFromVFS(fs, "/lib/rt.jar", func(p *jvm.JarProvider, err error) {
+					if err != nil {
+						t.Errorf("load jar: %v", err)
+						return
+					}
+					provider = p
+				})
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if provider == nil {
+		t.Fatal("jar provider not loaded")
+	}
+
+	// Stage 2: run with the jar (plus nothing else) as the class path.
+	var stdout bytes.Buffer
+	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
+		Stdout:           &stdout,
+		Provider:         jvm.MultiProvider{provider},
+		DisableEngineTax: true,
+	})
+	if err := vm.RunMain("Main", nil); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != "loaded from a jar in the vfs\n" {
+		t.Errorf("out = %q", stdout.String())
+	}
+}
+
+func TestMultiProviderOrder(t *testing.T) {
+	a := jvm.MapProvider{"X": []byte("from-a")}
+	b := jvm.MapProvider{"X": []byte("from-b"), "Y": []byte("y")}
+	mp := jvm.MultiProvider{a, b}
+	var got []byte
+	mp.BytesAsync("X", func(d []byte, err error) { got = d })
+	if string(got) != "from-a" {
+		t.Errorf("class path order violated: %q", got)
+	}
+	mp.BytesAsync("Y", func(d []byte, err error) { got = d })
+	if string(got) != "y" {
+		t.Errorf("fallthrough failed: %q", got)
+	}
+	var gotErr error
+	mp.BytesAsync("Z", func(_ []byte, err error) { gotErr = err })
+	if gotErr == nil {
+		t.Error("missing class found")
+	}
+}
+
+func TestBadJar(t *testing.T) {
+	if _, err := jvm.ReadJar([]byte("not a zip")); err == nil {
+		t.Error("bad jar accepted")
+	}
+}

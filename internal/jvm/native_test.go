@@ -1,0 +1,738 @@
+package jvm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"doppio/internal/jvm"
+	"doppio/internal/jvm/rt"
+)
+
+// runNative compiles main.mj (plus the runtime library), runs its Main
+// class on the native engine, and returns stdout.
+func runNative(t *testing.T, source string, args ...string) string {
+	t.Helper()
+	out, err := runNativeErr(t, source, args...)
+	if err != nil {
+		t.Fatalf("RunMain: %v\noutput:\n%s", err, out)
+	}
+	return out
+}
+
+func runNativeErr(t *testing.T, source string, args ...string) (string, error) {
+	t.Helper()
+	classes, err := rt.CompileWith(map[string]string{"Main.mj": source})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var stdout bytes.Buffer
+	vm := jvm.NewNativeVM(jvm.MapProvider(classes), jvm.NativeOptions{
+		Stdout: &stdout, Stderr: &stdout,
+	})
+	err = vm.RunMain("Main", args)
+	return stdout.String(), err
+}
+
+func TestHelloWorld(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        System.out.println("Hello, Doppio!");
+    }
+}`)
+	if out != "Hello, Doppio!\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestArithmeticAndLocals(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        int a = 6;
+        int b = 7;
+        System.out.println(a * b);
+        System.out.println(a - b);
+        System.out.println((a + 1) / 2);
+        System.out.println(17 % 5);
+        System.out.println(-a);
+        System.out.println(1 << 10);
+        System.out.println(-8 >> 1);
+        System.out.println(-8 >>> 28);
+        System.out.println(6 & 3);
+        System.out.println(6 | 3);
+        System.out.println(6 ^ 3);
+        System.out.println(~5);
+    }
+}`)
+	want := "42\n-1\n3\n2\n-6\n1024\n-4\n15\n2\n7\n5\n-6\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestLongArithmetic(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        long big = 9223372036854775807L;
+        System.out.println(big);
+        System.out.println(big + 1L);
+        long x = 123456789L;
+        System.out.println(x * x);
+        System.out.println(x / 1000L);
+        System.out.println(-x % 100L);
+        System.out.println(1L << 62);
+        System.out.println(Long.parseLong("-42"));
+    }
+}`)
+	want := "9223372036854775807\n-9223372036854775808\n15241578750190521\n123456\n-89\n4611686018427387904\n-42\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestDoublesAndMath(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        double d = 2.25;
+        System.out.println(d * 2.0);
+        System.out.println(Math.sqrt(16.0));
+        System.out.println(Math.max(3, 9));
+        System.out.println(Math.abs(-2.5));
+        System.out.println((int) 3.99);
+        System.out.println((long) -7.5);
+        float f = 1.5f;
+        System.out.println((double) f);
+    }
+}`)
+	want := "4.5\n4.0\n9\n2.5\n3\n-7\n1.5\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        int sum = 0;
+        for (int i = 1; i <= 10; i++) {
+            sum += i;
+        }
+        System.out.println(sum);
+        int n = 0;
+        while (n < 5) {
+            n++;
+            if (n == 3) {
+                continue;
+            }
+            if (n == 5) {
+                break;
+            }
+            System.out.print(n);
+        }
+        System.out.println();
+        int k = 0;
+        do {
+            k++;
+        } while (k < 4);
+        System.out.println(k);
+    }
+}`)
+	want := "55\n124\n4\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    static String name(int v) {
+        switch (v) {
+        case 1:
+            return "one";
+        case 2:
+        case 3:
+            return "two-or-three";
+        case 1000:
+            return "grand";
+        default:
+            return "other";
+        }
+    }
+    public static void main(String[] args) {
+        System.out.println(name(1));
+        System.out.println(name(3));
+        System.out.println(name(1000));
+        System.out.println(name(-5));
+        // Dense switch exercises tableswitch; fallthrough too.
+        int total = 0;
+        for (int i = 0; i < 4; i++) {
+            switch (i) {
+            case 0:
+                total += 1;
+            case 1:
+                total += 10;
+                break;
+            case 2:
+                total += 100;
+                break;
+            }
+        }
+        System.out.println(total);
+    }
+}`)
+	want := "one\ntwo-or-three\ngrand\nother\n121\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestObjectsAndInheritance(t *testing.T) {
+	out := runNative(t, `
+class Shape {
+    String name;
+    Shape(String name) { this.name = name; }
+    int area() { return 0; }
+    public String toString() { return name + ":" + area(); }
+}
+
+class Square extends Shape {
+    int side;
+    Square(int side) {
+        super("square");
+        this.side = side;
+    }
+    int area() { return side * side; }
+}
+
+class Rect extends Shape {
+    int w;
+    int h;
+    Rect(int w, int h) {
+        super("rect");
+        this.w = w;
+        this.h = h;
+    }
+    int area() { return w * h; }
+    int perimeter() { return 2 * (w + h); }
+}
+
+public class Main {
+    public static void main(String[] args) {
+        Shape[] shapes = new Shape[3];
+        shapes[0] = new Square(4);
+        shapes[1] = new Rect(2, 5);
+        shapes[2] = new Shape("blob");
+        int total = 0;
+        for (int i = 0; i < shapes.length; i++) {
+            total += shapes[i].area();
+            System.out.println(shapes[i]);
+        }
+        System.out.println(total);
+        System.out.println(shapes[0] instanceof Square);
+        System.out.println(shapes[0] instanceof Rect);
+        System.out.println(shapes[1] instanceof Shape);
+        Rect r = (Rect) shapes[1];
+        System.out.println(r.perimeter());
+    }
+}`)
+	want := "square:16\nrect:10\nblob:0\n26\ntrue\nfalse\ntrue\n14\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestInterfaces(t *testing.T) {
+	out := runNative(t, `
+interface Speaker {
+    String speak();
+}
+
+class Dog implements Speaker {
+    public String speak() { return "woof"; }
+}
+
+class Cat implements Speaker {
+    public String speak() { return "meow"; }
+}
+
+public class Main {
+    public static void main(String[] args) {
+        Speaker[] animals = new Speaker[2];
+        animals[0] = new Dog();
+        animals[1] = new Cat();
+        for (int i = 0; i < animals.length; i++) {
+            System.out.println(animals[i].speak());
+        }
+    }
+}`)
+	if out != "woof\nmeow\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    static int divide(int a, int b) {
+        return a / b;
+    }
+    public static void main(String[] args) {
+        try {
+            divide(1, 0);
+            System.out.println("unreached");
+        } catch (ArithmeticException e) {
+            System.out.println("caught: " + e.getMessage());
+        }
+        try {
+            int[] a = new int[2];
+            a[5] = 1;
+        } catch (ArrayIndexOutOfBoundsException e) {
+            System.out.println("bounds");
+        }
+        try {
+            Object o = "str";
+            StringBuilder sb = (StringBuilder) o;
+        } catch (ClassCastException e) {
+            System.out.println("cast");
+        }
+        try {
+            String s = null;
+            s.length();
+        } catch (NullPointerException e) {
+            System.out.println("npe");
+        }
+        try {
+            throw new IllegalStateException("custom");
+        } catch (RuntimeException e) {
+            System.out.println(e.getMessage());
+        }
+        System.out.println("done");
+    }
+}`)
+	want := "caught: / by zero\nbounds\ncast\nnpe\ncustom\ndone\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestFinallyAndJsr(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    static StringBuilder log = new StringBuilder();
+
+    static int work(int mode) {
+        try {
+            log.append("t");
+            if (mode == 1) {
+                throw new RuntimeException("boom");
+            }
+            if (mode == 2) {
+                return 2;
+            }
+            log.append("b");
+        } catch (RuntimeException e) {
+            log.append("c");
+            return 1;
+        } finally {
+            log.append("f");
+        }
+        return 0;
+    }
+
+    public static void main(String[] args) {
+        System.out.println(work(0) + " " + log.toString());
+        log = new StringBuilder();
+        System.out.println(work(1) + " " + log.toString());
+        log = new StringBuilder();
+        System.out.println(work(2) + " " + log.toString());
+    }
+}`)
+	want := "0 tbf\n1 tcf\n2 tf\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestStringsAndBuilder(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        String s = "hello" + " " + "world";
+        System.out.println(s.length());
+        System.out.println(s.substring(6));
+        System.out.println(s.indexOf("wor"));
+        System.out.println(s.charAt(4));
+        System.out.println(s.toUpperCase());
+        System.out.println("abc".equals("abc"));
+        System.out.println("abc".equals("abd"));
+        System.out.println("a" + 1 + 2L + true + 'x' + 1.5);
+        String t = "  trim  ";
+        System.out.println("[" + t.trim() + "]");
+        StringBuilder b = new StringBuilder();
+        for (int i = 0; i < 5; i++) {
+            b.append(i).append(',');
+        }
+        System.out.println(b.toString());
+        System.out.println(new StringBuilder("dlrow").reverse().toString());
+        System.out.println("hello".compareTo("help"));
+        String u = "x";
+        u += "y";
+        u += 3;
+        System.out.println(u);
+    }
+}`)
+	want := "11\nworld\n6\no\nHELLO WORLD\ntrue\nfalse\na12truex1.5\n[trim]\n0,1,2,3,4,\nworld\n-4\nxy3\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestStaticsAndClinit(t *testing.T) {
+	out := runNative(t, `
+class Counter {
+    static int count = 10;
+    static String tag;
+    static {
+        tag = "initialized";
+        count = count + 5;
+    }
+    static int bump() { return ++count; }
+}
+
+public class Main {
+    public static void main(String[] args) {
+        System.out.println(Counter.tag);
+        System.out.println(Counter.count);
+        System.out.println(Counter.bump());
+        System.out.println(Counter.count);
+    }
+}`)
+	want := "initialized\n15\n16\n16\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestArraysMultiDim(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        int[][] grid = new int[3][4];
+        for (int i = 0; i < 3; i++) {
+            for (int j = 0; j < 4; j++) {
+                grid[i][j] = i * 10 + j;
+            }
+        }
+        System.out.println(grid[2][3]);
+        System.out.println(grid.length + " " + grid[0].length);
+        long[] longs = new long[2];
+        longs[1] = 1L << 40;
+        System.out.println(longs[1]);
+        char[] chars = new char[3];
+        chars[0] = 'a';
+        chars[1] = 'b';
+        chars[2] = 'c';
+        System.out.println(new String(chars));
+        byte[] bytes = new byte[2];
+        bytes[0] = (byte) 200;
+        System.out.println(bytes[0]);
+        double[][][] cube = new double[2][2][2];
+        cube[1][1][1] = 8.5;
+        System.out.println(cube[1][1][1]);
+    }
+}`)
+	want := "23\n3 4\n1099511627776\nabc\n-56\n8.5\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestIncDecAndCompound(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    static int sf = 5;
+    int f = 3;
+    public static void main(String[] args) {
+        int i = 10;
+        System.out.println(i++);
+        System.out.println(i);
+        System.out.println(--i);
+        int[] a = new int[3];
+        a[1] = 7;
+        System.out.println(a[1]++);
+        System.out.println(a[1]);
+        System.out.println(sf++);
+        System.out.println(sf);
+        Main m = new Main();
+        m.f += 4;
+        System.out.println(m.f--);
+        System.out.println(m.f);
+        long j = 5L;
+        j++;
+        System.out.println(j);
+        int x = 3;
+        x <<= 2;
+        x |= 1;
+        System.out.println(x);
+        x %= 5;
+        System.out.println(x);
+    }
+}`)
+	want := "10\n11\n10\n7\n8\n5\n6\n7\n6\n6\n13\n3\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestRecursionFib(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    static int fib(int n) {
+        if (n < 2) {
+            return n;
+        }
+        return fib(n - 1) + fib(n - 2);
+    }
+    public static void main(String[] args) {
+        System.out.println(fib(20));
+    }
+}`)
+	if out != "6765\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCollections(t *testing.T) {
+	out := runNative(t, `
+import java.util.ArrayList;
+import java.util.HashMap;
+
+public class Main {
+    public static void main(String[] args) {
+        ArrayList list = new ArrayList();
+        for (int i = 0; i < 20; i++) {
+            list.add(Integer.valueOf(i * i));
+        }
+        System.out.println(list.size());
+        System.out.println(((Integer) list.get(7)).intValue());
+        list.remove(0);
+        System.out.println(((Integer) list.get(0)).intValue());
+
+        HashMap map = new HashMap();
+        for (int i = 0; i < 50; i++) {
+            map.put("key" + i, Integer.valueOf(i));
+        }
+        System.out.println(map.size());
+        System.out.println(((Integer) map.get("key31")).intValue());
+        System.out.println(map.containsKey("key49"));
+        System.out.println(map.containsKey("missing"));
+        map.remove("key31");
+        System.out.println(map.get("key31") == null);
+    }
+}`)
+	want := "20\n49\n1\n50\n31\ntrue\nfalse\ntrue\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestThreadsAndMonitors(t *testing.T) {
+	out := runNative(t, `
+class Adder extends Thread {
+    static Object lock = new Object();
+    static int total = 0;
+    int amount;
+    Adder(int amount) { this.amount = amount; }
+    public void run() {
+        for (int i = 0; i < 100; i++) {
+            synchronized (lock) {
+                total = total + amount;
+            }
+        }
+    }
+}
+
+public class Main {
+    public static void main(String[] args) {
+        Adder a = new Adder(1);
+        Adder b = new Adder(10);
+        a.start();
+        b.start();
+        a.join();
+        b.join();
+        System.out.println(Adder.total);
+    }
+}`)
+	if out != "1100\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestWaitNotify(t *testing.T) {
+	out := runNative(t, `
+class Box {
+    Object lock = new Object();
+    int value;
+    boolean full;
+
+    void put(int v) {
+        synchronized (lock) {
+            while (full) {
+                lock.wait();
+            }
+            value = v;
+            full = true;
+            lock.notifyAll();
+        }
+    }
+
+    int take() {
+        synchronized (lock) {
+            while (!full) {
+                lock.wait();
+            }
+            full = false;
+            lock.notifyAll();
+            return value;
+        }
+    }
+}
+
+class Producer extends Thread {
+    Box box;
+    Producer(Box box) { this.box = box; }
+    public void run() {
+        for (int i = 1; i <= 5; i++) {
+            box.put(i);
+        }
+    }
+}
+
+public class Main {
+    public static void main(String[] args) {
+        Box box = new Box();
+        Producer p = new Producer(box);
+        p.start();
+        int sum = 0;
+        for (int i = 0; i < 5; i++) {
+            sum += box.take();
+        }
+        System.out.println(sum);
+    }
+}`)
+	if out != "15\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestUnsafeEndianness(t *testing.T) {
+	out := runNative(t, `
+import sun.misc.Unsafe;
+
+public class Main {
+    public static void main(String[] args) {
+        Unsafe u = Unsafe.getUnsafe();
+        long addr = u.allocateMemory(16L);
+        u.putInt(addr, 12345678);
+        System.out.println(u.getInt(addr));
+        u.putDouble(addr + 8L, 2.5);
+        System.out.println(u.getDouble(addr + 8L));
+        u.freeMemory(addr);
+        // The heap is little endian, as in the paper (section 5.2).
+        System.out.println(u.isBigEndian());
+    }
+}`)
+	want := "12345678\n2.5\nfalse\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestUncaughtException(t *testing.T) {
+	out, err := runNativeErr(t, `
+public class Main {
+    public static void main(String[] args) {
+        throw new RuntimeException("fatal");
+    }
+}`)
+	if err == nil {
+		t.Fatalf("expected error, got output %q", out)
+	}
+	if !strings.Contains(err.Error(), "fatal") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStringHashCodeAndIntern(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        // The classic String.hashCode algorithm.
+        System.out.println("hello".hashCode());
+        String a = "abc";
+        String b = new StringBuilder("ab").append('c').toString();
+        System.out.println(a == b); // distinct objects, as in Java
+        System.out.println(a.equals(b));
+        System.out.println(a == b.intern());
+    }
+}`)
+	want := "99162322\nfalse\ntrue\ntrue\n"
+	// "hello".hashCode() in Java is 99162322.
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestMainArgs(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        System.out.println(args.length);
+        for (int i = 0; i < args.length; i++) {
+            System.out.println(args[i]);
+        }
+    }
+}`, "first", "second")
+	if out != "2\nfirst\nsecond\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRuntimeLibraryUtilities(t *testing.T) {
+	out := runNative(t, `
+public class Main {
+    public static void main(String[] args) {
+        System.out.println(Strings.repeat("ab", 3));
+        String[] parts = new String[3];
+        parts[0] = "x";
+        parts[1] = "y";
+        parts[2] = "z";
+        System.out.println(Strings.join(",", parts));
+        System.out.println(Math.round(2.5));
+        System.out.println(Math.round(-2.5));
+        System.out.println(Math.min(3L, -4L));
+        System.out.println(Character.digit('f', 16));
+        System.out.println(Character.digit('9', 8));
+        System.out.println(Integer.toString(255, 16));
+        System.out.println(Integer.toHexString(-1));
+        System.out.println(Boolean.valueOf(true).hashCode());
+        System.out.println(Double.isNaN(0.0 / 0.0));
+        System.out.println(Double.parseDouble("2.5") * 2.0);
+        System.out.println("a,b,,c".indexOf(",", 2));
+        System.out.println("hello world".replace('o', '0'));
+        System.out.println("abc".startsWith("ab"));
+        System.out.println("abc".endsWith("bc"));
+        System.out.println("".isEmpty());
+    }
+}`)
+	want := "ababab\nx,y,z\n3\n-2\n-4\n15\n-1\nff\nffffffff\n1231\ntrue\n5.0\n3\nhell0 w0rld\ntrue\ntrue\ntrue\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,575 @@
+package jvm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// registerNatives builds the native method table (§6.3): JVM
+// interfaces to the file system, unmanaged memory, network
+// connections, console, threading and math — implemented against the
+// NativeHost so that one table serves both engines.
+func registerNatives() map[string]NativeFunc {
+	n := map[string]NativeFunc{}
+
+	// --- java/lang/Object ---
+	n["java/lang/Object.hashCode()I"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		return NativeResult{Value: h.IdentityHash(recv)}
+	}
+	n["java/lang/Object.getClass()Ljava/lang/Class;"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		return NativeResult{Value: h.ClassMirror(recv.Class)}
+	}
+	n["java/lang/Object.wait(J)V"] = func(h NativeHost, recv *Object, args []Value) NativeResult {
+		if thrown := h.MonitorWait(recv, args[0].(int64)); thrown != nil {
+			return NativeResult{Thrown: thrown}
+		}
+		return NativeResult{Async: true}
+	}
+	n["java/lang/Object.notify()V"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		return NativeResult{Thrown: h.MonitorNotify(recv, false)}
+	}
+	n["java/lang/Object.notifyAll()V"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		return NativeResult{Thrown: h.MonitorNotify(recv, true)}
+	}
+
+	// --- java/lang/System ---
+	n["java/lang/System.currentTimeMillis()J"] = func(h NativeHost, _ *Object, _ []Value) NativeResult {
+		return NativeResult{Value: h.CurrentTimeMillis()}
+	}
+	n["java/lang/System.nanoTime()J"] = func(h NativeHost, _ *Object, _ []Value) NativeResult {
+		return NativeResult{Value: h.NanoTime()}
+	}
+	n["java/lang/System.exit(I)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.Exit(args[0].(int32))
+		return NativeResult{}
+	}
+	n["java/lang/System.identityHashCode(Ljava/lang/Object;)I"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		o, _ := args[0].(*Object)
+		if o == nil {
+			return NativeResult{Value: int32(0)}
+		}
+		return NativeResult{Value: h.IdentityHash(o)}
+	}
+	n["java/lang/System.getProperty(Ljava/lang/String;)Ljava/lang/String;"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		key := h.GoString(args[0].(*Object))
+		v := h.Property(key)
+		if v == "" {
+			return NativeResult{Value: nil}
+		}
+		return NativeResult{Value: h.Intern(v)}
+	}
+	n["java/lang/System.arraycopy(Ljava/lang/Object;ILjava/lang/Object;II)V"] = nativeArraycopy
+
+	// --- java/lang/String ---
+	n["java/lang/String.intern()Ljava/lang/String;"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		return NativeResult{Value: h.Intern(h.GoString(recv))}
+	}
+
+	// --- java/lang/Throwable ---
+	n["java/lang/Throwable.fillInStackTrace()Ljava/lang/Throwable;"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		// Engines capture traces in MakeThrowable; user-thrown
+		// exceptions get a fresh capture here.
+		tmp := h.MakeThrowable(recv.Class.Name, "")
+		recv.Extra = tmp.Extra
+		return NativeResult{Value: recv}
+	}
+	n["java/lang/Throwable.stackTraceString()Ljava/lang/String;"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		trace, _ := recv.Extra.([]string)
+		var b strings.Builder
+		for _, line := range trace {
+			b.WriteString("\tat ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+		return NativeResult{Value: h.NewString(b.String())}
+	}
+
+	// --- java/lang/Thread ---
+	n["java/lang/Thread.start0()V"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		h.SpawnThread(recv)
+		return NativeResult{}
+	}
+	n["java/lang/Thread.sleep(J)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.Sleep(args[0].(int64), func() { complete(nil, nil) })
+		})
+		return NativeResult{Async: true}
+	}
+	n["java/lang/Thread.yield()V"] = func(h NativeHost, _ *Object, _ []Value) NativeResult {
+		h.YieldThread()
+		return NativeResult{}
+	}
+	n["java/lang/Thread.currentThread()Ljava/lang/Thread;"] = func(h NativeHost, _ *Object, _ []Value) NativeResult {
+		return NativeResult{Value: h.CurrentThreadObj()}
+	}
+	n["java/lang/Thread.isAlive()Z"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		if h.IsThreadAlive(recv) {
+			return NativeResult{Value: int32(1)}
+		}
+		return NativeResult{Value: int32(0)}
+	}
+	n["java/lang/Thread.join()V"] = func(h NativeHost, recv *Object, _ []Value) NativeResult {
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.JoinThread(recv, func() { complete(nil, nil) })
+		})
+		return NativeResult{Async: true}
+	}
+
+	// --- java/lang/Math ---
+	mathUnary := func(fn func(float64) float64) NativeFunc {
+		return func(_ NativeHost, _ *Object, args []Value) NativeResult {
+			return NativeResult{Value: fn(args[0].(float64))}
+		}
+	}
+	n["java/lang/Math.sqrt(D)D"] = mathUnary(math.Sqrt)
+	n["java/lang/Math.sin(D)D"] = mathUnary(math.Sin)
+	n["java/lang/Math.cos(D)D"] = mathUnary(math.Cos)
+	n["java/lang/Math.tan(D)D"] = mathUnary(math.Tan)
+	n["java/lang/Math.log(D)D"] = mathUnary(math.Log)
+	n["java/lang/Math.exp(D)D"] = mathUnary(math.Exp)
+	n["java/lang/Math.floor(D)D"] = mathUnary(math.Floor)
+	n["java/lang/Math.ceil(D)D"] = mathUnary(math.Ceil)
+	n["java/lang/Math.atan2(DD)D"] = func(_ NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: math.Atan2(args[0].(float64), args[1].(float64))}
+	}
+	n["java/lang/Math.pow(DD)D"] = func(_ NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: math.Pow(args[0].(float64), args[1].(float64))}
+	}
+
+	// --- boxed numerics: bit patterns and decimal text ---
+	n["java/lang/Double.doubleToLongBits(D)J"] = func(_ NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: int64(math.Float64bits(args[0].(float64)))}
+	}
+	n["java/lang/Double.longBitsToDouble(J)D"] = func(_ NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: math.Float64frombits(uint64(args[0].(int64)))}
+	}
+	n["java/lang/Float.floatToIntBits(F)I"] = func(_ NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: int32(math.Float32bits(args[0].(float32)))}
+	}
+	n["java/lang/Float.intBitsToFloat(I)F"] = func(_ NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: math.Float32frombits(uint32(args[0].(int32)))}
+	}
+	n["java/lang/Double.toStringNative(D)Ljava/lang/String;"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: h.NewString(javaDoubleString(args[0].(float64)))}
+	}
+	n["java/lang/Double.parseDouble(Ljava/lang/String;)D"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		s := strings.TrimSpace(h.GoString(args[0].(*Object)))
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return NativeResult{Thrown: h.MakeThrowable("java/lang/NumberFormatException", s)}
+		}
+		return NativeResult{Value: v}
+	}
+
+	// --- java/io console streams ---
+	n["java/io/PrintStream.writeNative(Ljava/lang/String;)V"] = func(h NativeHost, recv *Object, args []Value) NativeResult {
+		s := h.GoString(args[0].(*Object))
+		fd, _ := recv.GetField(recv.Class, "fd")
+		if fd.N == 1 {
+			fmt.Fprint(h.Stderr(), s)
+		} else {
+			fmt.Fprint(h.Stdout(), s)
+		}
+		return NativeResult{}
+	}
+	n["java/io/ConsoleIn.readNative(I)[B"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		count := int(args[0].(int32))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.StdinRead(count, func(data []byte, err error) {
+				if err != nil && len(data) == 0 {
+					complete(nil, nil) // EOF → null
+					return
+				}
+				complete(byteArray(h, data), nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+
+	// --- doppio/io/FileSystem: the Doppio file system bridge (§6.3) ---
+	registerFSNatives(n)
+
+	// --- sun/misc/Unsafe over the unmanaged heap (§6.5) ---
+	registerUnsafeNatives(n)
+
+	// --- java/net sockets over Doppio sockets (§5.3) ---
+	registerSocketNatives(n)
+
+	// --- §6.8 JavaScript interop ---
+	n["doppio/lang/JS.eval(Ljava/lang/String;)Ljava/lang/String;"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: h.NewString(h.EvalJS(h.GoString(args[0].(*Object))))}
+	}
+
+	return n
+}
+
+// javaDoubleString renders a double the way Java's Double.toString
+// does for the common cases.
+func javaDoubleString(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "Infinity"
+	case math.IsInf(v, -1):
+		return "-Infinity"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// byteArray wraps data in a JVM byte[].
+func byteArray(h NativeHost, data []byte) *Object {
+	arrC := h.LookupClass("[B")
+	arr := NewArray(arrC, "B", len(data))
+	dst := arr.Arr.([]int8)
+	for i, b := range data {
+		dst[i] = int8(b)
+	}
+	return arr
+}
+
+// goBytes reads a JVM byte[] into Go bytes.
+func goBytes(o *Object) []byte {
+	src, _ := o.Arr.([]int8)
+	out := make([]byte, len(src))
+	for i, b := range src {
+		out[i] = byte(b)
+	}
+	return out
+}
+
+func stringArray(h NativeHost, ss []string) *Object {
+	arrC := h.LookupClass("[Ljava/lang/String;")
+	arr := NewArray(arrC, "Ljava/lang/String;", len(ss))
+	dst := arr.Arr.([]*Object)
+	for i, s := range ss {
+		dst[i] = h.Intern(s)
+	}
+	return arr
+}
+
+func ioException(h NativeHost, err error) *Object {
+	return h.MakeThrowable("java/io/IOException", err.Error())
+}
+
+func registerFSNatives(n map[string]NativeFunc) {
+	const fs = "doppio/io/FileSystem."
+	n[fs+"readFile(Ljava/lang/String;)[B"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().ReadFile(path, func(data []byte, err error) {
+				if err != nil {
+					complete(nil, h.MakeThrowable("java/io/FileNotFoundException", path))
+					return
+				}
+				complete(byteArray(h, data), nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"writeFile(Ljava/lang/String;[B)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		data := goBytes(args[1].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().WriteFile(path, data, func(err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(nil, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"appendFile(Ljava/lang/String;[B)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		data := goBytes(args[1].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().Append(path, data, func(err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(nil, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"exists(Ljava/lang/String;)Z"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().Stat(path, func(_ int64, _, exists bool) {
+				complete(boolVal(exists), nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"isDirectory(Ljava/lang/String;)Z"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().Stat(path, func(_ int64, isDir, _ bool) {
+				complete(boolVal(isDir), nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"length(Ljava/lang/String;)J"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().Stat(path, func(size int64, _, _ bool) {
+				complete(size, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"list(Ljava/lang/String;)[Ljava/lang/String;"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().List(path, func(names []string, err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(stringArray(h, names), nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"delete(Ljava/lang/String;)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().Delete(path, func(err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(nil, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"mkdir(Ljava/lang/String;)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		path := h.GoString(args[0].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().Mkdir(path, func(err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(nil, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[fs+"rename(Ljava/lang/String;Ljava/lang/String;)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		oldP := h.GoString(args[0].(*Object))
+		newP := h.GoString(args[1].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.FS().Rename(oldP, newP, func(err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(nil, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return int32(1)
+	}
+	return int32(0)
+}
+
+func registerUnsafeNatives(n map[string]NativeFunc) {
+	const u = "sun/misc/Unsafe."
+	n[u+"allocateMemory(J)J"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		addr, err := h.UnsafeHeap().Malloc(int(args[0].(int64)))
+		if err != nil {
+			return NativeResult{Thrown: h.MakeThrowable("java/lang/OutOfMemoryError", err.Error())}
+		}
+		return NativeResult{Value: int64(addr)}
+	}
+	n[u+"freeMemory(J)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		if err := h.UnsafeHeap().Free(int(args[0].(int64))); err != nil {
+			return NativeResult{Thrown: h.MakeThrowable("java/lang/IllegalArgumentException", err.Error())}
+		}
+		return NativeResult{}
+	}
+	n[u+"getByte(J)B"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: int32(h.UnsafeHeap().GetI8(int(args[0].(int64))))}
+	}
+	n[u+"putByte(JB)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.UnsafeHeap().PutI8(int(args[0].(int64)), int8(args[1].(int32)))
+		return NativeResult{}
+	}
+	n[u+"getShort(J)S"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: int32(h.UnsafeHeap().GetI16(int(args[0].(int64))))}
+	}
+	n[u+"putShort(JS)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.UnsafeHeap().PutI16(int(args[0].(int64)), int16(args[1].(int32)))
+		return NativeResult{}
+	}
+	n[u+"getInt(J)I"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: h.UnsafeHeap().GetI32(int(args[0].(int64)))}
+	}
+	n[u+"putInt(JI)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.UnsafeHeap().PutI32(int(args[0].(int64)), args[1].(int32))
+		return NativeResult{}
+	}
+	n[u+"getLong(J)J"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: h.UnsafeHeap().GetI64(int(args[0].(int64)))}
+	}
+	n[u+"putLong(JJ)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.UnsafeHeap().PutI64(int(args[0].(int64)), args[1].(int64))
+		return NativeResult{}
+	}
+	n[u+"getFloat(J)F"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: h.UnsafeHeap().GetF32(int(args[0].(int64)))}
+	}
+	n[u+"putFloat(JF)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.UnsafeHeap().PutF32(int(args[0].(int64)), args[1].(float32))
+		return NativeResult{}
+	}
+	n[u+"getDouble(J)D"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		return NativeResult{Value: h.UnsafeHeap().GetF64(int(args[0].(int64)))}
+	}
+	n[u+"putDouble(JD)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.UnsafeHeap().PutF64(int(args[0].(int64)), args[1].(float64))
+		return NativeResult{}
+	}
+}
+
+func registerSocketNatives(n map[string]NativeFunc) {
+	const s = "java/net/Socket."
+	n[s+"connect0(Ljava/lang/String;I)I"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		host := h.GoString(args[0].(*Object))
+		port := args[1].(int32)
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.SocketConnect(host, port, func(handle int32, err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(handle, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[s+"read0(II)[B"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		handle := args[0].(int32)
+		count := args[1].(int32)
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.SocketRead(handle, count, func(data []byte, err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				if data == nil {
+					complete(nil, nil) // EOF
+					return
+				}
+				complete(byteArray(h, data), nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[s+"write0(I[B)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		handle := args[0].(int32)
+		data := goBytes(args[1].(*Object))
+		h.BlockAndCall(func(complete func(Value, *Object)) {
+			h.SocketWrite(handle, data, func(err error) {
+				if err != nil {
+					complete(nil, ioException(h, err))
+					return
+				}
+				complete(nil, nil)
+			})
+		})
+		return NativeResult{Async: true}
+	}
+	n[s+"close0(I)V"] = func(h NativeHost, _ *Object, args []Value) NativeResult {
+		h.SocketClose(args[0].(int32))
+		return NativeResult{}
+	}
+}
+
+// nativeArraycopy implements System.arraycopy for every element kind.
+func nativeArraycopy(h NativeHost, _ *Object, args []Value) NativeResult {
+	src, _ := args[0].(*Object)
+	srcPos := int(args[1].(int32))
+	dst, _ := args[2].(*Object)
+	dstPos := int(args[3].(int32))
+	length := int(args[4].(int32))
+	if src == nil || dst == nil {
+		return NativeResult{Thrown: h.MakeThrowable("java/lang/NullPointerException", "arraycopy")}
+	}
+	if srcPos < 0 || dstPos < 0 || length < 0 ||
+		srcPos+length > src.ArrayLen() || dstPos+length > dst.ArrayLen() {
+		return NativeResult{Thrown: h.MakeThrowable("java/lang/ArrayIndexOutOfBoundsException", "arraycopy")}
+	}
+	switch s := src.Arr.(type) {
+	case []int8:
+		d, ok := dst.Arr.([]int8)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	case []uint16:
+		d, ok := dst.Arr.([]uint16)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	case []int16:
+		d, ok := dst.Arr.([]int16)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	case []int32:
+		d, ok := dst.Arr.([]int32)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	case []int64:
+		d, ok := dst.Arr.([]int64)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	case []float32:
+		d, ok := dst.Arr.([]float32)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	case []float64:
+		d, ok := dst.Arr.([]float64)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	case []*Object:
+		d, ok := dst.Arr.([]*Object)
+		if !ok {
+			return arrayStoreMismatch(h)
+		}
+		copy(d[dstPos:dstPos+length], s[srcPos:srcPos+length])
+	default:
+		return arrayStoreMismatch(h)
+	}
+	return NativeResult{}
+}
+
+func arrayStoreMismatch(h NativeHost) NativeResult {
+	return NativeResult{Thrown: h.MakeThrowable("java/lang/ArrayStoreException", "incompatible array types")}
+}

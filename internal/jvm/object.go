@@ -1,0 +1,171 @@
+package jvm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Slot is one typed storage cell shared by both engines for object
+// fields and static fields: primitives live in N (float bits for
+// float/double), references in R.
+type Slot struct {
+	N int64
+	R *Object
+}
+
+// zeroSlot returns the default value for a field descriptor.
+func zeroSlot(desc string) Slot { return Slot{} }
+
+// FloatSlot packs a float64 into a slot.
+func FloatSlot(f float64) Slot { return Slot{N: int64(math.Float64bits(f))} }
+
+// SlotFloat unpacks a float64 from a slot.
+func SlotFloat(s Slot) float64 { return math.Float64frombits(uint64(s.N)) }
+
+// Object is a JVM object, array, or java/lang/Class mirror. Instance
+// fields are a dictionary keyed on "DeclaringClass/name" — the
+// representation §6.7 describes ("each object contains a reference to
+// its class and a dictionary that contains all of its fields keyed on
+// their names").
+type Object struct {
+	Class  *Class
+	Fields map[string]Slot
+
+	// Arr is the payload for array objects: one of []int8 (byte,
+	// boolean), []uint16 (char), []int16, []int32, []int64,
+	// []float32, []float64, []*Object.
+	Arr interface{}
+
+	// Mon is the object's monitor, allocated on first use.
+	Mon *Monitor
+
+	// Extra carries VM-internal payloads (e.g. the Go-side stack
+	// trace of a Throwable, or the *Class behind a Class mirror).
+	Extra interface{}
+}
+
+// Monitor is the per-object lock of monitorenter/exit and
+// wait/notify. Owners and waiters are engine-specific thread handles.
+type Monitor struct {
+	Owner interface{}
+	Count int
+	// BlockQ holds resume callbacks of threads blocked on entry.
+	BlockQ []func()
+	// WaitQ holds the wait-set: notify moves entries to BlockQ.
+	WaitQ []*Waiter
+}
+
+// Waiter is one thread in a monitor's wait set.
+type Waiter struct {
+	Notify   func() // moves the thread to re-acquire the monitor
+	Notified bool
+}
+
+// EnsureMonitor returns the object's monitor, allocating it lazily.
+func (o *Object) EnsureMonitor() *Monitor {
+	if o.Mon == nil {
+		o.Mon = &Monitor{}
+	}
+	return o.Mon
+}
+
+// NewObject allocates an instance of c with zeroed fields for the
+// whole hierarchy.
+func NewObject(c *Class) *Object {
+	o := &Object{Class: c, Fields: make(map[string]Slot)}
+	for k := c; k != nil; k = k.Super {
+		for _, f := range k.Fields {
+			if !f.IsStatic() {
+				o.Fields[fieldKey(k, f.Name)] = zeroSlot(f.Desc)
+			}
+		}
+	}
+	return o
+}
+
+// fieldKey builds the dictionary key for a field of declaring class k.
+func fieldKey(k *Class, name string) string { return k.Name + "/" + name }
+
+// GetField reads an instance field, resolving the declaring class.
+func (o *Object) GetField(from *Class, name string) (Slot, error) {
+	for k := from; k != nil; k = k.Super {
+		if v, ok := o.Fields[fieldKey(k, name)]; ok {
+			return v, nil
+		}
+	}
+	// Fall back to a scan from the object's own class (invokes from
+	// interfaces etc).
+	for k := o.Class; k != nil; k = k.Super {
+		if v, ok := o.Fields[fieldKey(k, name)]; ok {
+			return v, nil
+		}
+	}
+	return Slot{}, fmt.Errorf("jvm: no field %s on %s", name, o.Class.Name)
+}
+
+// SetField writes an instance field.
+func (o *Object) SetField(from *Class, name string, v Slot) error {
+	for k := from; k != nil; k = k.Super {
+		key := fieldKey(k, name)
+		if _, ok := o.Fields[key]; ok {
+			o.Fields[key] = v
+			return nil
+		}
+	}
+	for k := o.Class; k != nil; k = k.Super {
+		key := fieldKey(k, name)
+		if _, ok := o.Fields[key]; ok {
+			o.Fields[key] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("jvm: no field %s on %s", name, o.Class.Name)
+}
+
+// ArrayLen returns the length of an array object.
+func (o *Object) ArrayLen() int {
+	switch a := o.Arr.(type) {
+	case []int8:
+		return len(a)
+	case []uint16:
+		return len(a)
+	case []int16:
+		return len(a)
+	case []int32:
+		return len(a)
+	case []int64:
+		return len(a)
+	case []float32:
+		return len(a)
+	case []float64:
+		return len(a)
+	case []*Object:
+		return len(a)
+	}
+	return 0
+}
+
+// NewArray allocates a primitive or reference array object for the
+// element descriptor.
+func NewArray(arrClass *Class, elemDesc string, length int) *Object {
+	o := &Object{Class: arrClass}
+	switch elemDesc {
+	case "Z", "B":
+		o.Arr = make([]int8, length)
+	case "C":
+		o.Arr = make([]uint16, length)
+	case "S":
+		o.Arr = make([]int16, length)
+	case "I":
+		o.Arr = make([]int32, length)
+	case "J":
+		o.Arr = make([]int64, length)
+	case "F":
+		o.Arr = make([]float32, length)
+	case "D":
+		o.Arr = make([]float64, length)
+	default:
+		o.Arr = make([]*Object, length)
+	}
+	return o
+}

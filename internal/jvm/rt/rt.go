@@ -1,0 +1,71 @@
+// Package rt embeds the runtime class library — the subset of the
+// Java Class Library that this reproduction implements in MiniJava
+// (the paper's DoppioJVM similarly pairs the OpenJDK class library
+// with JavaScript natives, §6.3). The sources compile to real class
+// files via the MiniJava compiler.
+package rt
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+
+	"doppio/internal/minijava"
+)
+
+//go:embed src
+var srcFS embed.FS
+
+// Sources returns the runtime library sources keyed by file name.
+func Sources() map[string]string {
+	out := make(map[string]string)
+	err := fs.WalkDir(srcFS, "src", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".mj") {
+			return nil
+		}
+		data, err := srcFS.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[strings.TrimPrefix(path, "src/")] = string(data)
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("rt: embedded sources unreadable: %v", err))
+	}
+	return out
+}
+
+var (
+	once     sync.Once
+	classes  map[string][]byte
+	buildErr error
+)
+
+// Classes compiles (once) and returns the runtime library class files
+// keyed by internal class name.
+func Classes() (map[string][]byte, error) {
+	once.Do(func() {
+		classes, buildErr = minijava.Compile(Sources())
+	})
+	return classes, buildErr
+}
+
+// CompileWith compiles the runtime library together with extra program
+// sources (file name → contents) in one compile set, returning all
+// class files.
+func CompileWith(extra map[string]string) (map[string][]byte, error) {
+	all := Sources()
+	for name, src := range extra {
+		if _, clash := all[name]; clash {
+			return nil, fmt.Errorf("rt: source name %q collides with the runtime library", name)
+		}
+		all[name] = src
+	}
+	return minijava.Compile(all)
+}

@@ -1,0 +1,488 @@
+package minic
+
+import "fmt"
+
+// OpCode is a stack-machine instruction.
+type OpCode byte
+
+// The MiniC IR instruction set.
+const (
+	IPush   OpCode = iota // push constant A
+	IAddrG                // push data-segment address (base + A)
+	IAddrL                // push address of local slot A (FP + 4A)
+	ILoadW                // pop addr, push word
+	IStoreW               // pop value, pop addr, store word; push value
+	ILoadB                // pop addr, push byte (unsigned)
+	IStoreB               // pop value, pop addr, store byte; push value
+	ILoadL                // push local slot A
+	IStoreL               // pop into local slot A; push value back
+	IPop                  // discard top
+	IDup                  // duplicate top
+	IAdd
+	ISub
+	IMul
+	IDiv
+	IRem
+	IAnd
+	IOr
+	IXor
+	IShl
+	IShr
+	INeg
+	IBNot // bitwise complement
+	ILNot // logical not (0/1)
+	IEq
+	INe
+	ILt
+	ILe
+	IGt
+	IGe
+	IJmp  // pc = A
+	IJz   // pop; if 0 → pc = A
+	IJnz  // pop; if != 0 → pc = A
+	ICall // call function index A
+	IRet  // pop return value, tear down frame
+	ISys  // syscall A (see vm.go)
+)
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op OpCode
+	A  int32
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name   string
+	NArgs  int
+	NSlots int // locals incl. args, in words (array storage included)
+	Code   []Instr
+}
+
+// Program is a compiled MiniC program plus its data-segment image.
+type Program struct {
+	Funcs   []*Func
+	FuncIdx map[string]int
+	// Data is the initial data-segment image: globals then string
+	// literals; IAddrG offsets index into it.
+	Data []byte
+}
+
+// Syscall numbers (the "libc + Doppio services" surface; vm.go
+// implements them over the NativeHost-style hooks).
+const (
+	SysPutStr   = 1
+	SysPutInt   = 2
+	SysPutChar  = 3
+	SysMalloc   = 4
+	SysFree     = 5
+	SysReadFile = 6  // (pathAddr) → buffer addr or 0
+	SysWrite    = 7  // (pathAddr, dataAddr, len) → 0
+	SysExists   = 8  // (pathAddr) → 0/1
+	SysGetLine  = 9  // (bufAddr, max) → length or -1 at EOF
+	SysStrLen   = 10 // (s) → n
+	SysStrCmp   = 11 // (a, b) → -1/0/1
+	SysStrCpy   = 12 // (dst, src) → dst
+	SysAtoi     = 13 // (s) → value
+)
+
+// builtins maps callable names to (syscall, argc, result type).
+var builtins = map[string]struct {
+	sys  int32
+	argc int
+	ret  cType
+}{
+	"puts":      {SysPutStr, 1, tyInt},
+	"putint":    {SysPutInt, 1, tyInt},
+	"putchar":   {SysPutChar, 1, tyInt},
+	"malloc":    {SysMalloc, 1, tyPtrInt},
+	"free":      {SysFree, 1, tyInt},
+	"readfile":  {SysReadFile, 1, tyPtrChar},
+	"writefile": {SysWrite, 3, tyInt},
+	"exists":    {SysExists, 1, tyInt},
+	"getline":   {SysGetLine, 2, tyInt},
+	"strlen":    {SysStrLen, 1, tyInt},
+	"strcmp":    {SysStrCmp, 2, tyInt},
+	"strcpy":    {SysStrCpy, 2, tyPtrChar},
+	"atoi":      {SysAtoi, 1, tyInt},
+}
+
+// compiler state for one program.
+type compiler struct {
+	prog    *cProgram
+	out     *Program
+	globals map[string]*globalInfo
+	strOffs map[string]int32
+	funcIdx map[string]int
+}
+
+type globalInfo struct {
+	off     int32 // byte offset in data segment
+	typ     cType
+	isArray bool
+}
+
+// CompileC compiles MiniC source into an IR program.
+func CompileC(src string) (*Program, error) {
+	ast, err := ParseC(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		prog:    ast,
+		out:     &Program{FuncIdx: map[string]int{}},
+		globals: map[string]*globalInfo{},
+		strOffs: map[string]int32{},
+		funcIdx: map[string]int{},
+	}
+	// Lay out globals.
+	for _, g := range ast.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, fmt.Errorf("minic: duplicate global %s", g.Name)
+		}
+		off := int32(len(c.out.Data))
+		words := g.Words
+		if g.Type == tyChar && g.IsArray {
+			// char arrays are byte-sized, word aligned.
+			words = (g.Words + 3) / 4
+		}
+		c.globals[g.Name] = &globalInfo{off: off, typ: g.Type, isArray: g.IsArray}
+		cell := make([]byte, words*4)
+		if !g.IsArray {
+			putWord(cell, 0, g.Init)
+		}
+		c.out.Data = append(c.out.Data, cell...)
+	}
+	// Collect string literals.
+	for _, fn := range ast.Funcs {
+		c.collectStrings(fn.Body)
+	}
+	// Index functions.
+	for i, fn := range ast.Funcs {
+		if _, dup := c.funcIdx[fn.Name]; dup {
+			return nil, fmt.Errorf("minic: duplicate function %s", fn.Name)
+		}
+		if _, isBuiltin := builtins[fn.Name]; isBuiltin {
+			return nil, fmt.Errorf("minic: function %s shadows a builtin", fn.Name)
+		}
+		c.funcIdx[fn.Name] = i
+	}
+	c.out.FuncIdx = c.funcIdx
+	for _, fn := range ast.Funcs {
+		cf, err := c.compileFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		c.out.Funcs = append(c.out.Funcs, cf)
+	}
+	if _, ok := c.funcIdx["main"]; !ok {
+		return nil, fmt.Errorf("minic: no main function")
+	}
+	return c.out, nil
+}
+
+func putWord(b []byte, off int32, v int32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func (c *compiler) collectStrings(stmts []cStmt) {
+	var walkE func(e cExpr)
+	walkE = func(e cExpr) {
+		switch ex := e.(type) {
+		case *eStr:
+			if _, ok := c.strOffs[ex.S]; !ok {
+				c.strOffs[ex.S] = int32(len(c.out.Data))
+				c.out.Data = append(c.out.Data, []byte(ex.S)...)
+				c.out.Data = append(c.out.Data, 0)
+				// Word-align the next item.
+				for len(c.out.Data)%4 != 0 {
+					c.out.Data = append(c.out.Data, 0)
+				}
+			}
+		case *eAssign:
+			walkE(ex.Target)
+			walkE(ex.Value)
+		case *eBin:
+			walkE(ex.L)
+			walkE(ex.R)
+		case *eUn:
+			walkE(ex.E)
+		case *eIncDec:
+			walkE(ex.Target)
+		case *eCall:
+			for _, a := range ex.Args {
+				walkE(a)
+			}
+		case *eIndex:
+			walkE(ex.Base)
+			walkE(ex.Index)
+		case *eDeref:
+			walkE(ex.E)
+		}
+	}
+	var walkS func(ss []cStmt)
+	walkS = func(ss []cStmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *sExpr:
+				walkE(st.E)
+			case *sDecl:
+				if st.Init != nil {
+					walkE(st.Init)
+				}
+			case *sIf:
+				walkE(st.Cond)
+				walkS(st.Then)
+				walkS(st.Else)
+			case *sWhile:
+				walkE(st.Cond)
+				walkS(st.Body)
+			case *sFor:
+				if st.Init != nil {
+					walkS([]cStmt{st.Init})
+				}
+				if st.Cond != nil {
+					walkE(st.Cond)
+				}
+				if st.Post != nil {
+					walkS([]cStmt{st.Post})
+				}
+				walkS(st.Body)
+			case *sReturn:
+				if st.E != nil {
+					walkE(st.E)
+				}
+			}
+		}
+	}
+	walkS(stmts)
+}
+
+// fnCompiler compiles one function body.
+type fnCompiler struct {
+	c      *compiler
+	fn     *cFunc
+	out    *Func
+	scopes []map[string]*localInfo
+	nSlots int
+
+	breaks    []int // instruction indices awaiting the loop-end target
+	continues []int
+	loopDepth []int // marker separating enclosing loops' patch lists
+
+	// scratch is a hidden local used by memory-form postfix ++/--
+	// (-1 until allocated).
+	scratch int
+}
+
+type localInfo struct {
+	slot    int
+	typ     cType
+	isArray bool
+}
+
+func (c *compiler) compileFunc(fn *cFunc) (*Func, error) {
+	fc := &fnCompiler{
+		c:       c,
+		fn:      fn,
+		out:     &Func{Name: fn.Name, NArgs: len(fn.Params)},
+		scopes:  []map[string]*localInfo{{}},
+		scratch: -1,
+	}
+	for i, p := range fn.Params {
+		fc.scopes[0][p] = &localInfo{slot: i, typ: fn.ParamTypes[i]}
+		fc.nSlots++
+	}
+	if err := fc.stmts(fn.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return 0.
+	fc.emit(IPush, 0)
+	fc.emit(IRet, 0)
+	fc.out.NSlots = fc.nSlots
+	return fc.out, nil
+}
+
+func (f *fnCompiler) emit(op OpCode, a int32) int {
+	f.out.Code = append(f.out.Code, Instr{Op: op, A: a})
+	return len(f.out.Code) - 1
+}
+
+func (f *fnCompiler) here() int32 { return int32(len(f.out.Code)) }
+
+func (f *fnCompiler) patch(at int, target int32) { f.out.Code[at].A = target }
+
+func (f *fnCompiler) stmts(ss []cStmt) error {
+	for _, s := range ss {
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scopedStmts compiles ss in a fresh lexical scope (C block scoping;
+// slots are not reused, keeping the compiler simple).
+func (f *fnCompiler) scopedStmts(ss []cStmt) error {
+	f.scopes = append(f.scopes, map[string]*localInfo{})
+	err := f.stmts(ss)
+	f.scopes = f.scopes[:len(f.scopes)-1]
+	return err
+}
+
+// lookupLocal resolves a name through the scope stack.
+func (f *fnCompiler) lookupLocal(name string) (*localInfo, bool) {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if li, ok := f.scopes[i][name]; ok {
+			return li, true
+		}
+	}
+	return nil, false
+}
+
+func (f *fnCompiler) stmt(s cStmt) error {
+	switch st := s.(type) {
+	case *sExpr:
+		if _, err := f.expr(st.E); err != nil {
+			return err
+		}
+		f.emit(IPop, 0)
+		return nil
+	case *sDecl:
+		top := f.scopes[len(f.scopes)-1]
+		if _, dup := top[st.Name]; dup {
+			return fmt.Errorf("minic: duplicate local %s in %s", st.Name, f.fn.Name)
+		}
+		li := &localInfo{slot: f.nSlots, typ: st.Type, isArray: st.IsArray}
+		top[st.Name] = li
+		if st.IsArray {
+			words := st.Words
+			if st.Type == tyChar {
+				words = (st.Words + 3) / 4
+			}
+			// Array storage lives in the frame; the named slot is the
+			// storage itself (slot address = array base).
+			f.nSlots += int(words)
+			return nil
+		}
+		f.nSlots++
+		if st.Init != nil {
+			if _, err := f.expr(st.Init); err != nil {
+				return err
+			}
+			f.emit(IStoreL, int32(li.slot))
+			f.emit(IPop, 0)
+		}
+		return nil
+	case *sIf:
+		if _, err := f.expr(st.Cond); err != nil {
+			return err
+		}
+		jz := f.emit(IJz, 0)
+		if err := f.scopedStmts(st.Then); err != nil {
+			return err
+		}
+		if len(st.Else) == 0 {
+			f.patch(jz, f.here())
+			return nil
+		}
+		jend := f.emit(IJmp, 0)
+		f.patch(jz, f.here())
+		if err := f.scopedStmts(st.Else); err != nil {
+			return err
+		}
+		f.patch(jend, f.here())
+		return nil
+	case *sWhile:
+		top := f.here()
+		if _, err := f.expr(st.Cond); err != nil {
+			return err
+		}
+		jz := f.emit(IJz, 0)
+		f.pushLoop()
+		if err := f.scopedStmts(st.Body); err != nil {
+			return err
+		}
+		f.emit(IJmp, top)
+		f.patch(jz, f.here())
+		f.popLoop(f.here(), top)
+		return nil
+	case *sFor:
+		// The init declaration scopes over the whole loop.
+		f.scopes = append(f.scopes, map[string]*localInfo{})
+		defer func() { f.scopes = f.scopes[:len(f.scopes)-1] }()
+		if st.Init != nil {
+			if err := f.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := f.here()
+		jz := -1
+		if st.Cond != nil {
+			if _, err := f.expr(st.Cond); err != nil {
+				return err
+			}
+			jz = f.emit(IJz, 0)
+		}
+		f.pushLoop()
+		if err := f.scopedStmts(st.Body); err != nil {
+			return err
+		}
+		contTarget := f.here()
+		if st.Post != nil {
+			if err := f.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		f.emit(IJmp, top)
+		if jz >= 0 {
+			f.patch(jz, f.here())
+		}
+		f.popLoop(f.here(), contTarget)
+		return nil
+	case *sReturn:
+		if st.E != nil {
+			if _, err := f.expr(st.E); err != nil {
+				return err
+			}
+		} else {
+			f.emit(IPush, 0)
+		}
+		f.emit(IRet, 0)
+		return nil
+	case *sBreak:
+		if len(f.loopDepth) == 0 {
+			return fmt.Errorf("minic: break outside loop in %s", f.fn.Name)
+		}
+		f.breaks = append(f.breaks, f.emit(IJmp, 0))
+		return nil
+	case *sContinue:
+		if len(f.loopDepth) == 0 {
+			return fmt.Errorf("minic: continue outside loop in %s", f.fn.Name)
+		}
+		f.continues = append(f.continues, f.emit(IJmp, 0))
+		return nil
+	}
+	return fmt.Errorf("minic: unhandled statement %T", s)
+}
+
+func (f *fnCompiler) pushLoop() {
+	f.loopDepth = append(f.loopDepth, len(f.breaks)<<16|len(f.continues))
+}
+
+func (f *fnCompiler) popLoop(breakTarget, continueTarget int32) {
+	mark := f.loopDepth[len(f.loopDepth)-1]
+	f.loopDepth = f.loopDepth[:len(f.loopDepth)-1]
+	nb, nc := mark>>16, mark&0xFFFF
+	for _, at := range f.breaks[nb:] {
+		f.patch(at, breakTarget)
+	}
+	f.breaks = f.breaks[:nb]
+	for _, at := range f.continues[nc:] {
+		f.patch(at, continueTarget)
+	}
+	f.continues = f.continues[:nc]
+}

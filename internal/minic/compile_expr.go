@@ -1,0 +1,407 @@
+package minic
+
+import "fmt"
+
+// expr compiles e, leaving its value on the stack, and returns its
+// static type.
+func (f *fnCompiler) expr(e cExpr) (cType, error) {
+	switch ex := e.(type) {
+	case *eNum:
+		f.emit(IPush, ex.V)
+		return tyInt, nil
+	case *eStr:
+		off, ok := f.c.strOffs[ex.S]
+		if !ok {
+			return 0, fmt.Errorf("minic: internal: string literal not collected")
+		}
+		f.emit(IAddrG, off)
+		return tyPtrChar, nil
+	case *eVar:
+		if li, ok := f.lookupLocal(ex.Name); ok {
+			if li.isArray {
+				f.emit(IAddrL, int32(li.slot))
+				return ptrTo(li.typ), nil
+			}
+			f.emit(ILoadL, int32(li.slot))
+			return li.typ, nil
+		}
+		if g, ok := f.c.globals[ex.Name]; ok {
+			if g.isArray {
+				f.emit(IAddrG, g.off)
+				return ptrTo(g.typ), nil
+			}
+			f.emit(IAddrG, g.off)
+			f.emit(ILoadW, 0)
+			return g.typ, nil
+		}
+		return 0, fmt.Errorf("minic: undefined variable %s in %s", ex.Name, f.fn.Name)
+	case *eAddr:
+		if li, ok := f.lookupLocal(ex.Name); ok {
+			f.emit(IAddrL, int32(li.slot))
+			return ptrTo(li.typ), nil
+		}
+		if g, ok := f.c.globals[ex.Name]; ok {
+			f.emit(IAddrG, g.off)
+			return ptrTo(g.typ), nil
+		}
+		return 0, fmt.Errorf("minic: undefined variable %s in %s", ex.Name, f.fn.Name)
+	case *eAssign:
+		return f.assign(ex)
+	case *eBin:
+		return f.binary(ex)
+	case *eUn:
+		t, err := f.expr(ex.E)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case "-":
+			f.emit(INeg, 0)
+		case "~":
+			f.emit(IBNot, 0)
+		case "!":
+			f.emit(ILNot, 0)
+		}
+		return t, nil
+	case *eIncDec:
+		return f.incDec(ex)
+	case *eCall:
+		return f.call(ex)
+	case *eIndex:
+		byteAccess, elem, err := f.elementAddr(ex)
+		if err != nil {
+			return 0, err
+		}
+		if byteAccess {
+			f.emit(ILoadB, 0)
+		} else {
+			f.emit(ILoadW, 0)
+		}
+		return elem, nil
+	case *eDeref:
+		t, err := f.expr(ex.E)
+		if err != nil {
+			return 0, err
+		}
+		if t == tyPtrChar {
+			f.emit(ILoadB, 0)
+			return tyChar, nil
+		}
+		f.emit(ILoadW, 0)
+		return tyInt, nil
+	}
+	return 0, fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+// elementAddr compiles the address of base[index], returning whether
+// the element is byte-sized and its type.
+func (f *fnCompiler) elementAddr(ex *eIndex) (bool, cType, error) {
+	bt, err := f.expr(ex.Base)
+	if err != nil {
+		return false, 0, err
+	}
+	if _, err := f.expr(ex.Index); err != nil {
+		return false, 0, err
+	}
+	elem := bt.elem()
+	if elem == tyChar {
+		f.emit(IAdd, 0)
+		return true, tyChar, nil
+	}
+	f.emit(IPush, 2)
+	f.emit(IShl, 0)
+	f.emit(IAdd, 0)
+	return false, tyInt, nil
+}
+
+// lvAddr compiles the address of an lvalue (non-local-scalar case),
+// returning byteAccess and element type. Local scalars are handled by
+// the callers directly via ILoadL/IStoreL.
+func (f *fnCompiler) lvAddr(target cExpr) (byteAccess bool, t cType, err error) {
+	switch tv := target.(type) {
+	case *eVar:
+		if g, ok := f.c.globals[tv.Name]; ok && !g.isArray {
+			f.emit(IAddrG, g.off)
+			return false, g.typ, nil
+		}
+		return false, 0, fmt.Errorf("minic: cannot assign to %s", tv.Name)
+	case *eIndex:
+		b, elem, err := f.elementAddr(tv)
+		return b, elem, err
+	case *eDeref:
+		pt, err := f.expr(tv.E)
+		if err != nil {
+			return false, 0, err
+		}
+		if pt == tyPtrChar {
+			return true, tyChar, nil
+		}
+		return false, tyInt, nil
+	}
+	return false, 0, fmt.Errorf("minic: not an lvalue: %T", target)
+}
+
+func (f *fnCompiler) scratchSlot() int32 {
+	if f.scratch < 0 {
+		f.scratch = f.nSlots
+		f.nSlots++
+	}
+	return int32(f.scratch)
+}
+
+func (f *fnCompiler) assign(ex *eAssign) (cType, error) {
+	// Local scalar fast path.
+	if v, ok := ex.Target.(*eVar); ok {
+		if li, lok := f.lookupLocal(v.Name); lok && !li.isArray {
+			if ex.Op == "=" {
+				if _, err := f.expr(ex.Value); err != nil {
+					return 0, err
+				}
+				f.emit(IStoreL, int32(li.slot))
+				return li.typ, nil
+			}
+			f.emit(ILoadL, int32(li.slot))
+			if err := f.applyCompound(ex, li.typ); err != nil {
+				return 0, err
+			}
+			f.emit(IStoreL, int32(li.slot))
+			return li.typ, nil
+		}
+	}
+	byteAccess, t, err := f.lvAddr(ex.Target)
+	if err != nil {
+		return 0, err
+	}
+	if ex.Op == "=" {
+		if _, err := f.expr(ex.Value); err != nil {
+			return 0, err
+		}
+		if byteAccess {
+			f.emit(IStoreB, 0)
+		} else {
+			f.emit(IStoreW, 0)
+		}
+		return t, nil
+	}
+	// Compound: [addr] → dup → load → op(value) → store.
+	f.emit(IDup, 0)
+	if byteAccess {
+		f.emit(ILoadB, 0)
+	} else {
+		f.emit(ILoadW, 0)
+	}
+	if err := f.applyCompound(ex, t); err != nil {
+		return 0, err
+	}
+	if byteAccess {
+		f.emit(IStoreB, 0)
+	} else {
+		f.emit(IStoreW, 0)
+	}
+	return t, nil
+}
+
+// applyCompound compiles `<current> op= value` with the current value
+// already on the stack, leaving the new value.
+func (f *fnCompiler) applyCompound(ex *eAssign, t cType) error {
+	if _, err := f.expr(ex.Value); err != nil {
+		return err
+	}
+	switch ex.Op {
+	case "+=":
+		f.emit(IAdd, 0)
+	case "-=":
+		f.emit(ISub, 0)
+	case "*=":
+		f.emit(IMul, 0)
+	case "/=":
+		f.emit(IDiv, 0)
+	case "%=":
+		f.emit(IRem, 0)
+	case "<<=":
+		f.emit(IShl, 0)
+	case ">>=":
+		f.emit(IShr, 0)
+	default:
+		return fmt.Errorf("minic: unknown assignment %s", ex.Op)
+	}
+	return nil
+}
+
+func (f *fnCompiler) incDec(ex *eIncDec) (cType, error) {
+	delta := int32(1)
+	op := OpCode(IAdd)
+	if ex.Op == "--" {
+		op = ISub
+	}
+	// Local scalar.
+	if v, ok := ex.Target.(*eVar); ok {
+		if li, lok := f.lookupLocal(v.Name); lok && !li.isArray {
+			if ex.Postfix {
+				f.emit(ILoadL, int32(li.slot)) // old
+				f.emit(IDup, 0)
+				f.emit(IPush, delta)
+				f.emit(op, 0)
+				f.emit(IStoreL, int32(li.slot))
+				f.emit(IPop, 0)
+				return li.typ, nil
+			}
+			f.emit(ILoadL, int32(li.slot))
+			f.emit(IPush, delta)
+			f.emit(op, 0)
+			f.emit(IStoreL, int32(li.slot))
+			return li.typ, nil
+		}
+	}
+	byteAccess, t, err := f.lvAddr(ex.Target)
+	if err != nil {
+		return 0, err
+	}
+	loadOp, storeOp := OpCode(ILoadW), OpCode(IStoreW)
+	if byteAccess {
+		loadOp, storeOp = ILoadB, IStoreB
+	}
+	f.emit(IDup, 0)
+	f.emit(loadOp, 0)
+	if ex.Postfix {
+		// [addr, old] → stash old, compute, store, reload old.
+		sc := f.scratchSlot()
+		f.emit(IStoreL, sc)
+		f.emit(IPush, delta)
+		f.emit(op, 0)
+		f.emit(storeOp, 0)
+		f.emit(IPop, 0)
+		f.emit(ILoadL, sc)
+		return t, nil
+	}
+	f.emit(IPush, delta)
+	f.emit(op, 0)
+	f.emit(storeOp, 0)
+	return t, nil
+}
+
+func (f *fnCompiler) binary(ex *eBin) (cType, error) {
+	switch ex.Op {
+	case "&&":
+		if _, err := f.expr(ex.L); err != nil {
+			return 0, err
+		}
+		jz1 := f.emit(IJz, 0)
+		if _, err := f.expr(ex.R); err != nil {
+			return 0, err
+		}
+		jz2 := f.emit(IJz, 0)
+		f.emit(IPush, 1)
+		jend := f.emit(IJmp, 0)
+		f.patch(jz1, f.here())
+		f.patch(jz2, f.here())
+		f.emit(IPush, 0)
+		f.patch(jend, f.here())
+		return tyInt, nil
+	case "||":
+		if _, err := f.expr(ex.L); err != nil {
+			return 0, err
+		}
+		jnz1 := f.emit(IJnz, 0)
+		if _, err := f.expr(ex.R); err != nil {
+			return 0, err
+		}
+		jnz2 := f.emit(IJnz, 0)
+		f.emit(IPush, 0)
+		jend := f.emit(IJmp, 0)
+		f.patch(jnz1, f.here())
+		f.patch(jnz2, f.here())
+		f.emit(IPush, 1)
+		f.patch(jend, f.here())
+		return tyInt, nil
+	}
+	lt, err := f.expr(ex.L)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.expr(ex.R); err != nil {
+		return 0, err
+	}
+	// Pointer arithmetic: int-pointer strides are 4 bytes.
+	isPtr := lt == tyPtrInt || lt == tyPtrChar
+	if (ex.Op == "+" || ex.Op == "-") && lt == tyPtrInt {
+		f.emit(IPush, 2)
+		f.emit(IShl, 0)
+	}
+	switch ex.Op {
+	case "+":
+		f.emit(IAdd, 0)
+	case "-":
+		f.emit(ISub, 0)
+	case "*":
+		f.emit(IMul, 0)
+	case "/":
+		f.emit(IDiv, 0)
+	case "%":
+		f.emit(IRem, 0)
+	case "&":
+		f.emit(IAnd, 0)
+	case "|":
+		f.emit(IOr, 0)
+	case "^":
+		f.emit(IXor, 0)
+	case "<<":
+		f.emit(IShl, 0)
+	case ">>":
+		f.emit(IShr, 0)
+	case "==":
+		f.emit(IEq, 0)
+		return tyInt, nil
+	case "!=":
+		f.emit(INe, 0)
+		return tyInt, nil
+	case "<":
+		f.emit(ILt, 0)
+		return tyInt, nil
+	case "<=":
+		f.emit(ILe, 0)
+		return tyInt, nil
+	case ">":
+		f.emit(IGt, 0)
+		return tyInt, nil
+	case ">=":
+		f.emit(IGe, 0)
+		return tyInt, nil
+	default:
+		return 0, fmt.Errorf("minic: unknown operator %s", ex.Op)
+	}
+	if isPtr {
+		return lt, nil
+	}
+	return tyInt, nil
+}
+
+func (f *fnCompiler) call(ex *eCall) (cType, error) {
+	if b, ok := builtins[ex.Name]; ok {
+		if len(ex.Args) != b.argc {
+			return 0, fmt.Errorf("minic: %s takes %d args, got %d", ex.Name, b.argc, len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			if _, err := f.expr(a); err != nil {
+				return 0, err
+			}
+		}
+		f.emit(ISys, b.sys)
+		return b.ret, nil
+	}
+	idx, ok := f.c.funcIdx[ex.Name]
+	if !ok {
+		return 0, fmt.Errorf("minic: undefined function %s", ex.Name)
+	}
+	target := f.c.prog.Funcs[idx]
+	if len(ex.Args) != len(target.Params) {
+		return 0, fmt.Errorf("minic: %s takes %d args, got %d", ex.Name, len(target.Params), len(ex.Args))
+	}
+	for _, a := range ex.Args {
+		if _, err := f.expr(a); err != nil {
+			return 0, err
+		}
+	}
+	f.emit(ICall, int32(idx))
+	return tyInt, nil
+}

@@ -1,0 +1,313 @@
+// Package minic is the reproduction's Emscripten analog (paper §7.2):
+// a compiler from a small C-like language to a stack-machine IR whose
+// entire memory — globals, stack frames, malloc'd data, string
+// literals — lives in the Doppio unmanaged heap (the asm.js model),
+// plus a VM that executes the IR inside the Doppio execution
+// environment. Programs gain what the paper's Emscripten+Doppio case
+// study demonstrates: automatic event segmentation, synchronous
+// file loading through the Doppio file system, and blocking console
+// input (the paper's §3.2 cin.getline example).
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tStr
+	tChar
+	tPunct
+	tKw
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int32
+	str  string
+	line int
+}
+
+var cKeywords = map[string]bool{
+	"int": true, "char": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "sizeof": true,
+}
+
+func lexC(src string) ([]token, error) {
+	var out []token
+	line := 1
+	i := 0
+	fail := func(msg string) ([]token, error) {
+		return nil, fmt.Errorf("minic: line %d: %s", line, msg)
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			start := i
+			for i < len(src) && (src[i] == '_' ||
+				(src[i] >= 'a' && src[i] <= 'z') || (src[i] >= 'A' && src[i] <= 'Z') ||
+				(src[i] >= '0' && src[i] <= '9')) {
+				i++
+			}
+			text := src[start:i]
+			k := tIdent
+			if cKeywords[text] {
+				k = tKw
+			}
+			out = append(out, token{kind: k, text: text, line: line})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			var v int64
+			for _, d := range src[start:i] {
+				v = v*10 + int64(d-'0')
+			}
+			out = append(out, token{kind: tNum, num: int32(v), line: line})
+		case c == '"':
+			i++
+			var b strings.Builder
+			for i < len(src) && src[i] != '"' {
+				ch, n, err := cEscape(src[i:])
+				if err != nil {
+					return fail(err.Error())
+				}
+				b.WriteByte(ch)
+				i += n
+			}
+			if i >= len(src) {
+				return fail("unterminated string")
+			}
+			i++
+			out = append(out, token{kind: tStr, str: b.String(), line: line})
+		case c == '\'':
+			i++
+			if i >= len(src) {
+				return fail("unterminated char")
+			}
+			ch, n, err := cEscape(src[i:])
+			if err != nil {
+				return fail(err.Error())
+			}
+			i += n
+			if i >= len(src) || src[i] != '\'' {
+				return fail("unterminated char")
+			}
+			i++
+			out = append(out, token{kind: tChar, num: int32(ch), line: line})
+		default:
+			matched := false
+			for _, p := range []string{"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||",
+				"++", "--", "+=", "-=", "*=", "/=", "%=", "<<", ">>"} {
+				if strings.HasPrefix(src[i:], p) {
+					out = append(out, token{kind: tPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				if !strings.ContainsRune("{}()[];,=+-*/%<>!&|^~", rune(c)) {
+					return fail(fmt.Sprintf("unexpected character %q", string(c)))
+				}
+				out = append(out, token{kind: tPunct, text: string(c), line: line})
+				i++
+			}
+		}
+	}
+	out = append(out, token{kind: tEOF, line: line})
+	return out, nil
+}
+
+func cEscape(s string) (byte, int, error) {
+	if s[0] != '\\' {
+		return s[0], 1, nil
+	}
+	if len(s) < 2 {
+		return 0, 0, fmt.Errorf("bad escape")
+	}
+	switch s[1] {
+	case 'n':
+		return '\n', 2, nil
+	case 't':
+		return '\t', 2, nil
+	case 'r':
+		return '\r', 2, nil
+	case '0':
+		return 0, 2, nil
+	case '\\':
+		return '\\', 2, nil
+	case '\'':
+		return '\'', 2, nil
+	case '"':
+		return '"', 2, nil
+	}
+	return 0, 0, fmt.Errorf("unknown escape \\%c", s[1])
+}
+
+// --- AST ---
+
+type cProgram struct {
+	Globals []*cGlobal
+	Funcs   []*cFunc
+}
+
+// cType is MiniC's four-point type lattice: values are int32 words;
+// char narrows loads/stores to bytes; pointer types select the
+// indexing stride.
+type cType int
+
+const (
+	tyInt cType = iota
+	tyChar
+	tyPtrInt
+	tyPtrChar
+)
+
+// elem returns the element type a pointer/array type indexes to.
+func (t cType) elem() cType {
+	if t == tyPtrChar || t == tyChar {
+		return tyChar
+	}
+	return tyInt
+}
+
+// ptrTo returns the pointer type for an element type.
+func ptrTo(elem cType) cType {
+	if elem == tyChar {
+		return tyPtrChar
+	}
+	return tyPtrInt
+}
+
+type cGlobal struct {
+	Name string
+	Type cType
+	// Words is the size in 32-bit words (1 for scalars; arrays are
+	// padded up from their element count).
+	Words   int32
+	IsArray bool
+	Init    int32 // scalar initializer
+}
+
+type cFunc struct {
+	Name       string
+	Params     []string
+	ParamTypes []cType
+	Body       []cStmt
+	line       int
+}
+
+type cStmt interface{ cstmt() }
+
+type sExpr struct{ E cExpr }
+type sDecl struct {
+	Name    string
+	Type    cType
+	Words   int32 // element count for local arrays
+	IsArray bool
+	Init    cExpr
+}
+type sIf struct {
+	Cond       cExpr
+	Then, Else []cStmt
+}
+type sWhile struct {
+	Cond cExpr
+	Body []cStmt
+}
+type sFor struct {
+	Init, Post cStmt
+	Cond       cExpr
+	Body       []cStmt
+}
+type sReturn struct{ E cExpr }
+type sBreak struct{}
+type sContinue struct{}
+
+func (*sExpr) cstmt()     {}
+func (*sDecl) cstmt()     {}
+func (*sIf) cstmt()       {}
+func (*sWhile) cstmt()    {}
+func (*sFor) cstmt()      {}
+func (*sReturn) cstmt()   {}
+func (*sBreak) cstmt()    {}
+func (*sContinue) cstmt() {}
+
+type cExpr interface{ cexpr() }
+
+type eNum struct{ V int32 }
+type eStr struct{ S string }
+type eVar struct{ Name string }
+type eAssign struct {
+	Target cExpr // eVar, eIndex or eDeref
+	Op     string
+	Value  cExpr
+}
+type eBin struct {
+	Op   string
+	L, R cExpr
+}
+type eUn struct {
+	Op string
+	E  cExpr
+}
+type eIncDec struct {
+	Target  cExpr
+	Op      string
+	Postfix bool
+}
+type eCall struct {
+	Name string
+	Args []cExpr
+}
+type eIndex struct {
+	Base  cExpr
+	Index cExpr
+	// Byte selects byte addressing (char arrays); word arrays use
+	// 4-byte strides.
+	Byte bool
+}
+type eDeref struct{ E cExpr }
+type eAddr struct{ Name string }
+
+func (*eNum) cexpr()    {}
+func (*eStr) cexpr()    {}
+func (*eVar) cexpr()    {}
+func (*eAssign) cexpr() {}
+func (*eBin) cexpr()    {}
+func (*eUn) cexpr()     {}
+func (*eIncDec) cexpr() {}
+func (*eCall) cexpr()   {}
+func (*eIndex) cexpr()  {}
+func (*eDeref) cexpr()  {}
+func (*eAddr) cexpr()   {}

@@ -1,0 +1,338 @@
+package minic_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/buffer"
+	"doppio/internal/minic"
+	"doppio/internal/vfs"
+)
+
+func runC(t *testing.T, src string, opts minic.VMOptions) (string, int32) {
+	t.Helper()
+	prog, err := minic.CompileC(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	var stdout bytes.Buffer
+	opts.Stdout = &stdout
+	vm, err := minic.NewVM(win, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit, err := vm.Run()
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, stdout.String())
+	}
+	return stdout.String(), exit
+}
+
+func TestHelloC(t *testing.T) {
+	out, exit := runC(t, `
+int main() {
+    puts("hello from minic\n");
+    return 7;
+}`, minic.VMOptions{})
+	if out != "hello from minic\n" || exit != 7 {
+		t.Errorf("out=%q exit=%d", out, exit)
+	}
+}
+
+func TestArithControlFlow(t *testing.T) {
+	out, _ := runC(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+    int sum = 0;
+    for (int i = 0; i < 10; i++) {
+        sum += i * i;
+    }
+    putint(sum); putchar('\n');
+    putint(fib(15)); putchar('\n');
+    int j = 0;
+    while (1) {
+        j++;
+        if (j == 3) continue;
+        if (j >= 6) break;
+        putint(j);
+    }
+    putchar('\n');
+    putint(-17 / 5); putint(-17 % 5); putchar('\n');
+    putint(1 << 10); putchar('\n');
+    putint(!0); putint(!5); putint(~0); putchar('\n');
+    return 0;
+}`, minic.VMOptions{})
+	want := "285\n610\n1245\n-3-2\n1024\n10-1\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	out, _ := runC(t, `
+int g;
+int table[10];
+char name[16];
+
+int main() {
+    int xs[5];
+    for (int i = 0; i < 5; i++) xs[i] = i * 3;
+    putint(xs[4]); putchar('\n');
+
+    int *p = &g;
+    *p = 42;
+    putint(g); putchar('\n');
+
+    table[7] = 99;
+    putint(table[7]); putchar('\n');
+
+    strcpy(name, "doppio");
+    putint(strlen(name)); putchar('\n');
+    puts(name); putchar('\n');
+    name[0] = 'D';
+    puts(name); putchar('\n');
+
+    char *buf = (char*) malloc(32);
+    strcpy(buf, "heap!");
+    puts(buf); putchar('\n');
+    free(buf);
+
+    int *arr = (int*) malloc(40);
+    for (int i = 0; i < 10; i++) arr[i] = i;
+    int sum = 0;
+    for (int i = 0; i < 10; i++) sum += arr[i];
+    putint(sum); putchar('\n');
+    free(arr);
+    return 0;
+}`, minic.VMOptions{})
+	want := "12\n42\n99\n6\ndoppio\nDoppio\nheap!\n45\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestIncDecAndCompound(t *testing.T) {
+	out, _ := runC(t, `
+int main() {
+    int i = 5;
+    putint(i++); putint(i); putint(--i); putchar('\n');
+    int a[3];
+    a[1] = 10;
+    putint(a[1]++); putint(a[1]); putchar('\n');
+    a[1] *= 3;
+    putint(a[1]); putchar('\n');
+    int x = 7;
+    x <<= 2;
+    putint(x); putchar('\n');
+    return 0;
+}`, minic.VMOptions{})
+	want := "565\n1011\n33\n28\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestFileIOSyncOverAsync(t *testing.T) {
+	out, _ := runC(t, `
+int main() {
+    writefile("/data.txt", "persist me", 10);
+    if (exists("/data.txt")) puts("exists\n");
+    char *content = readfile("/data.txt");
+    if (content == 0) { puts("missing\n"); return 1; }
+    puts(content); putchar('\n');
+    putint(strlen(content)); putchar('\n');
+    if (readfile("/nope") == 0) puts("no such file\n");
+    return 0;
+}`, minic.VMOptions{})
+	want := "exists\npersist me\n10\nno such file\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestGetlineBlockingInput(t *testing.T) {
+	// The paper's §3.2 motivating example: synchronous console input.
+	lines := []string{"Ada Lovelace"}
+	idx := 0
+	var win *browser.Window
+	stdin := func(max int, cb func(string, bool)) {
+		// Deliver like a keyboard event: asynchronously.
+		win.Loop.AddPending()
+		win.Loop.InvokeExternal("keyboard", func() {
+			if idx < len(lines) {
+				cb(lines[idx], false)
+				idx++
+			} else {
+				cb("", true)
+			}
+			win.Loop.DonePending()
+		})
+	}
+	prog, err := minic.CompileC(`
+int main() {
+    char name[64];
+    puts("Please enter your name: ");
+    int n = getline(name, 64);
+    if (n < 0) { puts("eof\n"); return 1; }
+    puts("Your name is ");
+    puts(name);
+    putchar('\n');
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win = browser.NewWindow(browser.Chrome28)
+	var stdout bytes.Buffer
+	vm, err := minic.NewVM(win, prog, minic.VMOptions{Stdout: &stdout, Stdin: stdin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "Please enter your name: Your name is Ada Lovelace\n"
+	if stdout.String() != want {
+		t.Errorf("out = %q, want %q", stdout.String(), want)
+	}
+}
+
+func TestSegmentationSurvivesWatchdogC(t *testing.T) {
+	p := browser.Chrome28
+	p.WatchdogLimit = 80 * time.Millisecond
+	prog, err := minic.CompileC(`
+int spin(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + i * 7 % 13;
+    }
+    return acc;
+}
+
+int work(int rounds) {
+    int acc = 0;
+    for (int i = 0; i < rounds; i++) {
+        acc = acc ^ spin(20000);
+    }
+    return acc;
+}
+
+int main() {
+    putint(work(300));
+    putchar('\n');
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := browser.NewWindow(p)
+	var stdout bytes.Buffer
+	vm, err := minic.NewVM(win, prog, minic.VMOptions{Stdout: &stdout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(); err != nil {
+		t.Fatalf("watchdog killed segmented MiniC program: %v", err)
+	}
+	if !strings.HasSuffix(stdout.String(), "\n") || len(stdout.String()) < 2 {
+		t.Errorf("out = %q", stdout.String())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := map[string]string{
+		"no main":     `int helper() { return 1; }`,
+		"undef var":   `int main() { return x; }`,
+		"undef fn":    `int main() { return nope(); }`,
+		"bad lvalue":  `int main() { 3 = 4; return 0; }`,
+		"dup global":  "int g; int g;\nint main() { return 0; }",
+		"break loose": `int main() { break; return 0; }`,
+		"argc":        `int f(int a) { return a; } int main() { return f(1, 2); }`,
+	}
+	for name, src := range bad {
+		if _, err := minic.CompileC(src); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	prog, err := minic.CompileC(`
+int down(int n) { return down(n + 1); }
+int main() { return down(0); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	vm, err := minic.NewVM(win, prog, minic.VMOptions{StackSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(); err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("err = %v, want stack overflow", err)
+	}
+}
+
+func TestPersistentSaveAcrossRuns(t *testing.T) {
+	// The §7.2 save-game property: a second program run sees files the
+	// first wrote, because they live in the mounted persistent store.
+	win := browser.NewWindow(browser.Chrome28)
+	bufs := &buffer.Factory{Typed: true}
+	mount := vfs.NewMountFS(vfs.NewInMemory())
+	mount.Mount("/save", vfs.NewLocalStorageFS(win.LocalStorage, bufs))
+	fs := vfs.New(win.Loop, bufs, mount)
+
+	writer, err := minic.CompileC(`
+int main() {
+    writefile("/save/progress", "level-3", 7);
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm1, err := minic.NewVM(win, writer, minic.VMOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm1.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh window with the same localStorage: the save persists.
+	win2 := browser.NewWindow(browser.Chrome28)
+	win2.LocalStorage = win.LocalStorage
+	bufs2 := &buffer.Factory{Typed: true}
+	mount2 := vfs.NewMountFS(vfs.NewInMemory())
+	mount2.Mount("/save", vfs.NewLocalStorageFS(win2.LocalStorage, bufs2))
+	fs2 := vfs.New(win2.Loop, bufs2, mount2)
+	reader, err := minic.CompileC(`
+int main() {
+    char *p = readfile("/save/progress");
+    if (p == 0) { puts("lost\n"); return 1; }
+    puts(p);
+    putchar('\n');
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	vm2, err := minic.NewVM(win2, reader, minic.VMOptions{Stdout: &stdout, FS: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != "level-3\n" {
+		t.Errorf("out = %q", stdout.String())
+	}
+}

@@ -1,0 +1,527 @@
+package minic
+
+import "fmt"
+
+// cParser is a recursive-descent parser for the C subset.
+type cParser struct {
+	toks []token
+	pos  int
+}
+
+// ParseC parses a MiniC source file.
+func ParseC(src string) (*cProgram, error) {
+	toks, err := lexC(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cParser{toks: toks}
+	return p.program()
+}
+
+func (p *cParser) cur() token { return p.toks[p.pos] }
+
+func (p *cParser) isP(s string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == s
+}
+
+func (p *cParser) isKw(s string) bool {
+	t := p.cur()
+	return t.kind == tKw && t.text == s
+}
+
+func (p *cParser) acceptP(s string) bool {
+	if p.isP(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *cParser) expectP(s string) error {
+	if !p.acceptP(s) {
+		return fmt.Errorf("minic: line %d: expected %q, found %q", p.cur().line, s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *cParser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("minic: line %d: expected identifier, found %q", t.line, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// acceptType consumes a type keyword (int/char/void) with optional '*'
+// decorations and returns the parsed MiniC type.
+func (p *cParser) acceptType() (cType, bool) {
+	base := tyInt
+	switch {
+	case p.isKw("int"), p.isKw("void"):
+	case p.isKw("char"):
+		base = tyChar
+	default:
+		return tyInt, false
+	}
+	p.pos++
+	ptr := false
+	for p.acceptP("*") {
+		ptr = true
+	}
+	if ptr {
+		if base == tyChar {
+			return tyPtrChar, true
+		}
+		return tyPtrInt, true
+	}
+	return base, true
+}
+
+func (p *cParser) program() (*cProgram, error) {
+	prog := &cProgram{}
+	for p.cur().kind != tEOF {
+		declTy, ok := p.acceptType()
+		if !ok {
+			return nil, fmt.Errorf("minic: line %d: expected declaration", p.cur().line)
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.isP("(") {
+			fn, err := p.funcDecl(name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		// Global scalar or array.
+		g := &cGlobal{Name: name, Words: 1, Type: declTy}
+		if p.acceptP("[") {
+			// An array declaration: the element type is the declared
+			// base type and the name decays to a pointer.
+			g.IsArray = true
+			t := p.cur()
+			if t.kind != tNum {
+				return nil, fmt.Errorf("minic: line %d: global array size must be constant", t.line)
+			}
+			p.pos++
+			g.Words = t.num
+			if err := p.expectP("]"); err != nil {
+				return nil, err
+			}
+		} else if p.acceptP("=") {
+			t := p.cur()
+			neg := false
+			if p.isP("-") {
+				neg = true
+				p.pos++
+				t = p.cur()
+			}
+			if t.kind != tNum && t.kind != tChar {
+				return nil, fmt.Errorf("minic: line %d: global initializer must be constant", t.line)
+			}
+			p.pos++
+			g.Init = t.num
+			if neg {
+				g.Init = -g.Init
+			}
+		}
+		if err := p.expectP(";"); err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *cParser) funcDecl(name string) (*cFunc, error) {
+	fn := &cFunc{Name: name, line: p.cur().line}
+	if err := p.expectP("("); err != nil {
+		return nil, err
+	}
+	if !p.acceptP(")") {
+		for {
+			pty, ok := p.acceptType()
+			if !ok {
+				pty = tyInt // K&R-ish bare parameter
+			}
+			pname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, pname)
+			fn.ParamTypes = append(fn.ParamTypes, pty)
+			if !p.acceptP(",") {
+				break
+			}
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *cParser) block() ([]cStmt, error) {
+	if err := p.expectP("{"); err != nil {
+		return nil, err
+	}
+	var out []cStmt
+	for !p.acceptP("}") {
+		if p.cur().kind == tEOF {
+			return nil, fmt.Errorf("minic: unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *cParser) stmtOrBlock() ([]cStmt, error) {
+	if p.isP("{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []cStmt{s}, nil
+}
+
+func (p *cParser) stmt() (cStmt, error) {
+	switch {
+	case p.isKw("int") || p.isKw("char"):
+		declTy, _ := p.acceptType()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &sDecl{Name: name, Words: 1, Type: declTy}
+		if p.acceptP("[") {
+			d.IsArray = true
+			t := p.cur()
+			if t.kind != tNum {
+				return nil, fmt.Errorf("minic: line %d: local array size must be constant", t.line)
+			}
+			p.pos++
+			d.Words = t.num
+			if err := p.expectP("]"); err != nil {
+				return nil, err
+			}
+		} else if p.acceptP("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return d, p.expectP(";")
+	case p.isKw("if"):
+		p.pos++
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &sIf{Cond: cond, Then: then}
+		if p.isKw("else") {
+			p.pos++
+			els, err := p.stmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.isKw("while"):
+		p.pos++
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &sWhile{Cond: cond, Body: body}, nil
+	case p.isKw("for"):
+		p.pos++
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		st := &sFor{}
+		if !p.isP(";") {
+			init, err := p.stmt() // consumes its own ';'
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		} else {
+			p.pos++
+		}
+		if !p.isP(";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if err := p.expectP(";"); err != nil {
+			return nil, err
+		}
+		if !p.isP(")") {
+			post, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = &sExpr{E: post}
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case p.isKw("return"):
+		p.pos++
+		st := &sReturn{}
+		if !p.isP(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.E = e
+		}
+		return st, p.expectP(";")
+	case p.isKw("break"):
+		p.pos++
+		return &sBreak{}, p.expectP(";")
+	case p.isKw("continue"):
+		p.pos++
+		return &sContinue{}, p.expectP(";")
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &sExpr{E: e}, p.expectP(";")
+}
+
+// --- expressions (precedence climbing) ---
+
+var cBinLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+var cAssignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"<<=": true, ">>=": true,
+}
+
+func (p *cParser) expr() (cExpr, error) {
+	lhs, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tPunct && cAssignOps[t.text] {
+		switch lhs.(type) {
+		case *eVar, *eIndex, *eDeref:
+		default:
+			return nil, fmt.Errorf("minic: line %d: assignment to non-lvalue", t.line)
+		}
+		p.pos++
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &eAssign{Target: lhs, Op: t.text, Value: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *cParser) binary(level int) (cExpr, error) {
+	if level == len(cBinLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		matched := false
+		for _, op := range cBinLevels[level] {
+			if t.text == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &eBin{Op: t.text, L: lhs, R: rhs}
+	}
+}
+
+func (p *cParser) unary() (cExpr, error) {
+	t := p.cur()
+	if t.kind == tPunct {
+		switch t.text {
+		case "-", "!", "~":
+			p.pos++
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &eUn{Op: t.text, E: e}, nil
+		case "*":
+			p.pos++
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &eDeref{E: e}, nil
+		case "&":
+			p.pos++
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &eAddr{Name: name}, nil
+		case "++", "--":
+			p.pos++
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &eIncDec{Target: e, Op: t.text}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *cParser) postfix() (cExpr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.isP("["):
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectP("]"); err != nil {
+				return nil, err
+			}
+			e = &eIndex{Base: e, Index: idx}
+		case p.isP("++") || p.isP("--"):
+			p.pos++
+			e = &eIncDec{Target: e, Op: t.text, Postfix: true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *cParser) primary() (cExpr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNum, tChar:
+		p.pos++
+		return &eNum{V: t.num}, nil
+	case tStr:
+		p.pos++
+		return &eStr{S: t.str}, nil
+	case tIdent:
+		p.pos++
+		if p.isP("(") {
+			p.pos++
+			call := &eCall{Name: t.text}
+			for !p.isP(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptP(",") {
+					break
+				}
+			}
+			if err := p.expectP(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &eVar{Name: t.text}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.pos++
+			// Tolerate C casts: "(int)" / "(char*)" etc.
+			if p.isKw("int") || p.isKw("char") || p.isKw("void") {
+				p.acceptType()
+				if err := p.expectP(")"); err != nil {
+					return nil, err
+				}
+				return p.unary()
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectP(")")
+		}
+	}
+	return nil, fmt.Errorf("minic: line %d: unexpected token %q in expression", t.line, t.text)
+}

@@ -1,0 +1,542 @@
+package minic
+
+import (
+	"fmt"
+	"io"
+
+	"doppio/internal/browser"
+	"doppio/internal/buffer"
+	"doppio/internal/core"
+	"doppio/internal/umheap"
+	"doppio/internal/vfs"
+)
+
+// VM executes a compiled MiniC program inside the Doppio execution
+// environment. All program memory — the data segment, the call-frame
+// stack, and malloc'd blocks — lives in the Doppio unmanaged heap
+// (§5.2), mirroring Emscripten's memory model; the VM runs as a
+// Doppio thread, so long computations segment automatically (§4.1)
+// and file/console syscalls block via suspend-and-resume (§4.2).
+type VM struct {
+	prog *Program
+	heap *umheap.Heap
+	win  *browser.Window
+	rt   *core.Runtime
+	fs   *vfs.FS
+
+	stdout io.Writer
+	stdin  func(max int, cb func(line string, eof bool))
+
+	dataBase  int
+	stackBase int
+	stackTop  int // byte size of the frame stack region
+	sp        int // next free byte in the frame region
+
+	frames []cFrame
+	ops    []int32 // operand stack
+
+	// Steps counts executed IR instructions.
+	Steps int64
+
+	exitCode int32
+	runErr   error
+	done     bool
+
+	depValue int32
+	depReady bool
+}
+
+type cFrame struct {
+	fn    *Func
+	pc    int
+	fp    int // heap address of the frame's local slots
+	opsAt int // operand stack height at entry
+}
+
+// VMOptions configure a MiniC VM.
+type VMOptions struct {
+	Stdout io.Writer
+	// Stdin supplies a line of console input asynchronously (the
+	// blocking-getline path, §3.2); nil means immediate EOF.
+	Stdin func(max int, cb func(line string, eof bool))
+	// FS is the Doppio file system for readfile/writefile; nil makes
+	// a fresh in-memory one.
+	FS        *vfs.FS
+	HeapSize  int
+	StackSize int
+}
+
+// NewVM creates a VM for prog inside the browser window.
+func NewVM(win *browser.Window, prog *Program, opts VMOptions) (*VM, error) {
+	if opts.Stdout == nil {
+		opts.Stdout = io.Discard
+	}
+	if opts.HeapSize == 0 {
+		opts.HeapSize = 4 << 20
+	}
+	if opts.StackSize == 0 {
+		opts.StackSize = 256 << 10
+	}
+	bufs := &buffer.Factory{
+		Typed:            win.Profile.HasTypedArrays,
+		ValidatesStrings: win.Profile.ValidatesStrings,
+		OnTypedAlloc:     win.NoteTypedArrayAlloc,
+	}
+	if opts.FS == nil {
+		opts.FS = vfs.New(win.Loop, bufs, vfs.NewInMemory())
+	}
+	heap := umheap.New(opts.HeapSize, win.Profile.HasTypedArrays, win.NoteTypedArrayAlloc)
+	vm := &VM{
+		prog:   prog,
+		heap:   heap,
+		win:    win,
+		rt:     core.NewRuntime(win, core.Config{}),
+		fs:     opts.FS,
+		stdout: opts.Stdout,
+		stdin:  opts.Stdin,
+	}
+	dataBase, err := heap.Malloc(len(prog.Data) + 4)
+	if err != nil {
+		return nil, err
+	}
+	heap.WriteBytes(dataBase, prog.Data)
+	vm.dataBase = dataBase
+	stackBase, err := heap.Malloc(opts.StackSize)
+	if err != nil {
+		return nil, err
+	}
+	vm.stackBase = stackBase
+	vm.stackTop = opts.StackSize
+	return vm, nil
+}
+
+// FS returns the file system the program sees.
+func (vm *VM) FS() *vfs.FS { return vm.fs }
+
+// ExitCode returns main's return value.
+func (vm *VM) ExitCode() int32 { return vm.exitCode }
+
+// Start begins execution of main; done fires on the event loop when
+// the program exits. The caller drives the window's loop.
+func (vm *VM) Start(done func(exit int32, err error)) {
+	mainIdx := vm.prog.FuncIdx["main"]
+	if err := vm.pushFrame(vm.prog.Funcs[mainIdx], nil); err != nil {
+		done(0, err)
+		return
+	}
+	t := vm.rt.Spawn("minic-main", core.RunnableFunc(vm.run))
+	_ = t
+	vm.rt.OnIdle(func() {
+		done(vm.exitCode, vm.runErr)
+	})
+	vm.rt.Start()
+}
+
+// Run executes the program to completion, driving the event loop.
+func (vm *VM) Run() (int32, error) {
+	var exit int32
+	var err error
+	finished := false
+	vm.Start(func(e int32, rerr error) {
+		exit, err, finished = e, rerr, true
+	})
+	if lerr := vm.win.Loop.Run(); lerr != nil {
+		return 0, lerr
+	}
+	if !finished {
+		return 0, fmt.Errorf("minic: event loop drained before main returned")
+	}
+	return exit, err
+}
+
+func (vm *VM) pushFrame(fn *Func, args []int32) error {
+	need := fn.NSlots * 4
+	if vm.sp+need > vm.stackTop {
+		return fmt.Errorf("minic: stack overflow calling %s", fn.Name)
+	}
+	fp := vm.stackBase + vm.sp
+	vm.sp += need
+	for i, a := range args {
+		vm.heap.StoreI32(fp+4*i, a)
+	}
+	vm.frames = append(vm.frames, cFrame{fn: fn, fp: fp, opsAt: len(vm.ops)})
+	return nil
+}
+
+func (vm *VM) fail(err error) {
+	vm.runErr = err
+	vm.done = true
+	vm.frames = nil
+}
+
+func (vm *VM) push(v int32) { vm.ops = append(vm.ops, v) }
+
+func (vm *VM) pop() int32 {
+	v := vm.ops[len(vm.ops)-1]
+	vm.ops = vm.ops[:len(vm.ops)-1]
+	return v
+}
+
+// run is the Doppio Runnable: it interprets IR until done, yield, or
+// block, checking for suspension at call boundaries and every
+// checkEvery instructions.
+func (vm *VM) run(ct *core.Thread) core.RunResult {
+	if vm.depReady {
+		vm.depReady = false
+		vm.push(vm.depValue)
+	}
+	for {
+		if vm.done || len(vm.frames) == 0 {
+			return core.Done
+		}
+		f := &vm.frames[len(vm.frames)-1]
+		if f.pc >= len(f.fn.Code) {
+			vm.fail(fmt.Errorf("minic: fell off the end of %s", f.fn.Name))
+			return core.Done
+		}
+		ins := f.fn.Code[f.pc]
+		f.pc++
+		vm.Steps++
+
+		switch ins.Op {
+		case IPush:
+			vm.push(ins.A)
+		case IAddrG:
+			vm.push(int32(vm.dataBase) + ins.A)
+		case IAddrL:
+			vm.push(int32(f.fp) + 4*ins.A)
+		case ILoadW:
+			addr := vm.pop()
+			vm.push(vm.heap.LoadI32(int(addr)))
+		case IStoreW:
+			v := vm.pop()
+			addr := vm.pop()
+			vm.heap.StoreI32(int(addr), v)
+			vm.push(v)
+		case ILoadB:
+			addr := vm.pop()
+			vm.push(int32(vm.heap.LoadU8(int(addr))))
+		case IStoreB:
+			v := vm.pop()
+			addr := vm.pop()
+			vm.heap.StoreU8(int(addr), uint8(v))
+			vm.push(v)
+		case ILoadL:
+			vm.push(vm.heap.LoadI32(f.fp + 4*int(ins.A)))
+		case IStoreL:
+			v := vm.pop()
+			vm.heap.StoreI32(f.fp+4*int(ins.A), v)
+			vm.push(v)
+		case IPop:
+			vm.pop()
+		case IDup:
+			vm.push(vm.ops[len(vm.ops)-1])
+		case IAdd:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a + b)
+		case ISub:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a - b)
+		case IMul:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a * b)
+		case IDiv:
+			b := vm.pop()
+			a := vm.pop()
+			if b == 0 {
+				vm.fail(fmt.Errorf("minic: division by zero in %s", f.fn.Name))
+				return core.Done
+			}
+			vm.push(a / b)
+		case IRem:
+			b := vm.pop()
+			a := vm.pop()
+			if b == 0 {
+				vm.fail(fmt.Errorf("minic: modulo by zero in %s", f.fn.Name))
+				return core.Done
+			}
+			vm.push(a % b)
+		case IAnd:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a & b)
+		case IOr:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a | b)
+		case IXor:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a ^ b)
+		case IShl:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a << (uint(b) & 31))
+		case IShr:
+			b := vm.pop()
+			a := vm.pop()
+			vm.push(a >> (uint(b) & 31))
+		case INeg:
+			vm.push(-vm.pop())
+		case IBNot:
+			vm.push(^vm.pop())
+		case ILNot:
+			if vm.pop() == 0 {
+				vm.push(1)
+			} else {
+				vm.push(0)
+			}
+		case IEq, INe, ILt, ILe, IGt, IGe:
+			b := vm.pop()
+			a := vm.pop()
+			var r bool
+			switch ins.Op {
+			case IEq:
+				r = a == b
+			case INe:
+				r = a != b
+			case ILt:
+				r = a < b
+			case ILe:
+				r = a <= b
+			case IGt:
+				r = a > b
+			case IGe:
+				r = a >= b
+			}
+			if r {
+				vm.push(1)
+			} else {
+				vm.push(0)
+			}
+		case IJmp:
+			backward := int(ins.A) < f.pc
+			f.pc = int(ins.A)
+			// Loop back edges also check for suspension — the §6.1
+			// refinement ("it would be possible to instrument loop
+			// back edges to perform the same checks"), which
+			// Emscripten-style code needs since hot loops may make no
+			// calls at all.
+			if backward && ct.CheckSuspend() {
+				return core.Yield
+			}
+		case IJz:
+			if vm.pop() == 0 {
+				backward := int(ins.A) < f.pc
+				f.pc = int(ins.A)
+				if backward && ct.CheckSuspend() {
+					return core.Yield
+				}
+			}
+		case IJnz:
+			if vm.pop() != 0 {
+				backward := int(ins.A) < f.pc
+				f.pc = int(ins.A)
+				if backward && ct.CheckSuspend() {
+					return core.Yield
+				}
+			}
+		case ICall:
+			target := vm.prog.Funcs[ins.A]
+			args := make([]int32, target.NArgs)
+			for i := target.NArgs - 1; i >= 0; i-- {
+				args[i] = vm.pop()
+			}
+			if err := vm.pushFrame(target, args); err != nil {
+				vm.fail(err)
+				return core.Done
+			}
+			// §4.1: check for suspension at call boundaries.
+			if ct.CheckSuspend() {
+				return core.Yield
+			}
+		case IRet:
+			ret := vm.pop()
+			fr := vm.frames[len(vm.frames)-1]
+			vm.sp = fr.fp - vm.stackBase
+			vm.ops = vm.ops[:fr.opsAt]
+			vm.frames = vm.frames[:len(vm.frames)-1]
+			if len(vm.frames) == 0 {
+				vm.exitCode = ret
+				vm.done = true
+				return core.Done
+			}
+			vm.push(ret)
+			if ct.CheckSuspend() {
+				return core.Yield
+			}
+		case ISys:
+			if blocked := vm.syscall(ct, ins.A); blocked {
+				return core.Block
+			}
+		default:
+			vm.fail(fmt.Errorf("minic: illegal opcode %d", ins.Op))
+			return core.Done
+		}
+	}
+}
+
+// cString reads a NUL-terminated string at addr.
+func (vm *VM) cString(addr int32) string {
+	return vm.heap.CString(int(addr))
+}
+
+// syscall executes syscall n; it returns true when the thread blocked
+// on an asynchronous Doppio service.
+func (vm *VM) syscall(ct *core.Thread, n int32) bool {
+	switch n {
+	case SysPutStr:
+		s := vm.cString(vm.pop())
+		fmt.Fprint(vm.stdout, s)
+		vm.push(0)
+	case SysPutInt:
+		fmt.Fprint(vm.stdout, vm.pop())
+		vm.push(0)
+	case SysPutChar:
+		fmt.Fprint(vm.stdout, string(rune(vm.pop()&0xFF)))
+		vm.push(0)
+	case SysMalloc:
+		nBytes := vm.pop()
+		addr, err := vm.heap.Malloc(int(nBytes))
+		if err != nil {
+			vm.push(0)
+			return false
+		}
+		vm.push(int32(addr))
+	case SysFree:
+		vm.heap.Free(int(vm.pop()))
+		vm.push(0)
+	case SysStrLen:
+		vm.push(int32(len(vm.cString(vm.pop()))))
+	case SysStrCmp:
+		b := vm.cString(vm.pop())
+		a := vm.cString(vm.pop())
+		switch {
+		case a < b:
+			vm.push(-1)
+		case a > b:
+			vm.push(1)
+		default:
+			vm.push(0)
+		}
+	case SysStrCpy:
+		src := vm.cString(vm.pop())
+		dst := vm.pop()
+		vm.heap.WriteCString(int(dst), src)
+		vm.push(dst)
+	case SysAtoi:
+		s := vm.cString(vm.pop())
+		var v int32
+		neg := false
+		i := 0
+		if len(s) > 0 && (s[0] == '-' || s[0] == '+') {
+			neg = s[0] == '-'
+			i = 1
+		}
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			v = v*10 + int32(s[i]-'0')
+		}
+		if neg {
+			v = -v
+		}
+		vm.push(v)
+
+	case SysExists:
+		path := vm.cString(vm.pop())
+		return vm.blockOn(ct, func(done func(int32)) {
+			vm.fs.Exists(path, func(ok bool) {
+				if ok {
+					done(1)
+				} else {
+					done(0)
+				}
+			})
+		})
+	case SysReadFile:
+		// The §7.2 payoff: synchronous dynamic file loading — the
+		// program blocks while the Doppio FS fetches the file.
+		path := vm.cString(vm.pop())
+		return vm.blockOn(ct, func(done func(int32)) {
+			vm.fs.ReadFile(path, func(b *buffer.Buffer, err error) {
+				if err != nil {
+					done(0)
+					return
+				}
+				data := b.Bytes()
+				addr, merr := vm.heap.Malloc(len(data) + 1)
+				if merr != nil {
+					done(0)
+					return
+				}
+				vm.heap.WriteBytes(addr, data)
+				vm.heap.StoreU8(addr+len(data), 0)
+				done(int32(addr))
+			})
+		})
+	case SysWrite:
+		length := vm.pop()
+		dataAddr := vm.pop()
+		path := vm.cString(vm.pop())
+		data := vm.heap.ReadBytes(int(dataAddr), int(length))
+		return vm.blockOn(ct, func(done func(int32)) {
+			vm.fs.WriteFile(path, data, func(err error) {
+				if err != nil {
+					done(-1)
+					return
+				}
+				done(0)
+			})
+		})
+	case SysGetLine:
+		max := vm.pop()
+		buf := vm.pop()
+		if vm.stdin == nil {
+			vm.push(-1)
+			return false
+		}
+		return vm.blockOn(ct, func(done func(int32)) {
+			vm.stdin(int(max), func(line string, eof bool) {
+				if eof {
+					done(-1)
+					return
+				}
+				if len(line) > int(max)-1 {
+					line = line[:int(max)-1]
+				}
+				vm.heap.WriteCString(int(buf), line)
+				done(int32(len(line)))
+			})
+		})
+	default:
+		vm.fail(fmt.Errorf("minic: unknown syscall %d", n))
+	}
+	return false
+}
+
+// blockOn bridges an async Doppio service into a blocking syscall
+// (§4.2). If the completion fires synchronously the thread never
+// blocks; otherwise the result is deposited for the resume.
+func (vm *VM) blockOn(ct *core.Thread, launch func(done func(int32))) bool {
+	completed := false
+	armed := false
+	var resume func()
+	launch(func(v int32) {
+		if !armed {
+			vm.push(v)
+			completed = true
+			return
+		}
+		vm.depValue = v
+		vm.depReady = true
+		resume()
+	})
+	if completed {
+		return false
+	}
+	armed = true
+	resume = ct.Block("minic-syscall")
+	return true
+}

@@ -1,0 +1,338 @@
+package minijava
+
+import (
+	"fmt"
+
+	"doppio/internal/classfile"
+)
+
+// label is a branch target being assembled.
+type label struct {
+	pc      int // -1 until bound
+	stackAt int // operand stack depth at the target, -1 unknown
+}
+
+// fixup records a branch operand awaiting a label's pc.
+type fixup struct {
+	at    int // offset of the 2-byte operand
+	opcPC int // pc of the owning opcode (branch offsets are relative)
+	l     *label
+	wide  bool // 4-byte operand (switch entries)
+}
+
+// asm assembles one method body.
+type asm struct {
+	pool   *classfile.PoolBuilder
+	code   []byte
+	fixups []fixup
+
+	stack    int // current operand depth; -1 = unreachable
+	maxStack int
+
+	excs []classfile.ExceptionEntry
+}
+
+func newAsm(pool *classfile.PoolBuilder) *asm {
+	return &asm{pool: pool}
+}
+
+func (a *asm) pc() int { return len(a.code) }
+
+func (a *asm) newLabel() *label { return &label{pc: -1, stackAt: -1} }
+
+// adj adjusts the tracked stack depth by delta.
+func (a *asm) adj(delta int) {
+	if a.stack < 0 {
+		return
+	}
+	a.stack += delta
+	if a.stack > a.maxStack {
+		a.maxStack = a.stack
+	}
+	if a.stack < 0 {
+		panic(fmt.Sprintf("minijava: operand stack underflow at pc %d", a.pc()))
+	}
+}
+
+// op emits a plain opcode with the given stack delta.
+func (a *asm) op(opcode byte, delta int) {
+	a.code = append(a.code, opcode)
+	a.adj(delta)
+}
+
+// opU8 emits opcode + one operand byte.
+func (a *asm) opU8(opcode, operand byte, delta int) {
+	a.code = append(a.code, opcode, operand)
+	a.adj(delta)
+}
+
+// opU16 emits opcode + a 2-byte operand.
+func (a *asm) opU16(opcode byte, operand uint16, delta int) {
+	a.code = append(a.code, opcode, byte(operand>>8), byte(operand))
+	a.adj(delta)
+}
+
+// branch emits a 2-byte-offset branch to l; delta is the stack effect
+// of the branch instruction itself (e.g. -1 for ifeq).
+func (a *asm) branch(opcode byte, l *label, delta int) {
+	opc := a.pc()
+	a.code = append(a.code, opcode, 0, 0)
+	a.adj(delta)
+	a.noteStack(l)
+	a.fixups = append(a.fixups, fixup{at: opc + 1, opcPC: opc, l: l})
+	if opcode == classfile.OpGoto {
+		a.stack = -1 // following code unreachable until a label binds
+	}
+}
+
+func (a *asm) noteStack(l *label) {
+	if a.stack >= 0 {
+		if l.stackAt >= 0 && l.stackAt != a.stack {
+			// Merge conservatively: keep the larger depth for maxStack
+			// purposes; real verification is out of scope.
+			if a.stack > l.stackAt {
+				l.stackAt = a.stack
+			}
+			return
+		}
+		l.stackAt = a.stack
+	}
+}
+
+// bind places l at the current pc.
+func (a *asm) bind(l *label) {
+	if l.pc >= 0 {
+		panic("minijava: label bound twice")
+	}
+	l.pc = a.pc()
+	if a.stack < 0 {
+		a.stack = l.stackAt
+		if a.stack < 0 {
+			a.stack = 0
+		}
+	} else {
+		a.noteStack(l)
+	}
+	if a.stack > a.maxStack {
+		a.maxStack = a.stack
+	}
+}
+
+// bindHandler places l at the current pc as an exception handler
+// (stack = the thrown exception only).
+func (a *asm) bindHandler(l *label) {
+	if l.pc >= 0 {
+		panic("minijava: label bound twice")
+	}
+	l.pc = a.pc()
+	a.stack = 1
+	if a.stack > a.maxStack {
+		a.maxStack = a.stack
+	}
+}
+
+// deadEnd marks the following code unreachable (after return/athrow).
+func (a *asm) deadEnd() { a.stack = -1 }
+
+// exception records an exception-table row using labels.
+func (a *asm) exception(start, end, handler *label, catchType uint16) {
+	a.excs = append(a.excs, classfile.ExceptionEntry{
+		StartPC:   uint16(start.pc),
+		EndPC:     uint16(end.pc),
+		HandlerPC: uint16(handler.pc),
+		CatchType: catchType,
+	})
+}
+
+// tableswitch emits a tableswitch; targets[i] handles low+i.
+func (a *asm) tableswitch(low, high int32, def *label, targets []*label) {
+	opc := a.pc()
+	a.code = append(a.code, classfile.OpTableswitch)
+	for a.pc()%4 != 0 {
+		a.code = append(a.code, 0)
+	}
+	a.adj(-1)
+	put := func(l *label) {
+		a.noteStack(l)
+		a.fixups = append(a.fixups, fixup{at: a.pc(), opcPC: opc, l: l, wide: true})
+		a.code = append(a.code, 0, 0, 0, 0)
+	}
+	put(def)
+	a.code = append(a.code, byte(low>>24), byte(low>>16), byte(low>>8), byte(low))
+	a.code = append(a.code, byte(high>>24), byte(high>>16), byte(high>>8), byte(high))
+	for _, t := range targets {
+		put(t)
+	}
+	a.stack = -1
+}
+
+// lookupswitch emits a lookupswitch; pairs must be sorted by key.
+func (a *asm) lookupswitch(def *label, keys []int32, targets []*label) {
+	opc := a.pc()
+	a.code = append(a.code, classfile.OpLookupswitch)
+	for a.pc()%4 != 0 {
+		a.code = append(a.code, 0)
+	}
+	a.adj(-1)
+	put := func(l *label) {
+		a.noteStack(l)
+		a.fixups = append(a.fixups, fixup{at: a.pc(), opcPC: opc, l: l, wide: true})
+		a.code = append(a.code, 0, 0, 0, 0)
+	}
+	put(def)
+	n := int32(len(keys))
+	a.code = append(a.code, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for i, k := range keys {
+		a.code = append(a.code, byte(k>>24), byte(k>>16), byte(k>>8), byte(k))
+		put(targets[i])
+	}
+	a.stack = -1
+}
+
+// finish patches all branch fixups and returns the Code attribute.
+func (a *asm) finish(maxLocals int) (*classfile.Code, error) {
+	for _, f := range a.fixups {
+		if f.l.pc < 0 {
+			return nil, fmt.Errorf("minijava: unbound label")
+		}
+		off := f.l.pc - f.opcPC
+		if f.wide {
+			a.code[f.at] = byte(off >> 24)
+			a.code[f.at+1] = byte(off >> 16)
+			a.code[f.at+2] = byte(off >> 8)
+			a.code[f.at+3] = byte(off)
+			continue
+		}
+		if off > 32767 || off < -32768 {
+			return nil, fmt.Errorf("minijava: branch offset %d exceeds 16 bits (method too large)", off)
+		}
+		a.code[f.at] = byte(off >> 8)
+		a.code[f.at+1] = byte(off)
+	}
+	if len(a.code) > 65535 {
+		return nil, fmt.Errorf("minijava: method body exceeds 64KB of bytecode")
+	}
+	return &classfile.Code{
+		MaxStack:   uint16(a.maxStack + 2), // headroom for merge imprecision
+		MaxLocals:  uint16(maxLocals),
+		Bytecode:   a.code,
+		Exceptions: a.excs,
+	}, nil
+}
+
+// --- convenience emitters ---
+
+// loadLocal emits the best load instruction for a slot of type t.
+func (a *asm) loadLocal(t *Type, slot int) {
+	var base, short0 byte
+	delta := 1
+	switch t.Kind {
+	case KLong:
+		base, short0, delta = classfile.OpLload, classfile.OpLload0, 2
+	case KFloat:
+		base, short0 = classfile.OpFload, classfile.OpFload0
+	case KDouble:
+		base, short0, delta = classfile.OpDload, classfile.OpDload0, 2
+	case KRef, KArray, KNull:
+		base, short0 = classfile.OpAload, classfile.OpAload0
+	default:
+		base, short0 = classfile.OpIload, classfile.OpIload0
+	}
+	switch {
+	case slot < 4:
+		a.op(short0+byte(slot), delta)
+	case slot < 256:
+		a.opU8(base, byte(slot), delta)
+	default:
+		a.code = append(a.code, classfile.OpWide, base, byte(slot>>8), byte(slot))
+		a.adj(delta)
+	}
+}
+
+// storeLocal emits the best store instruction for a slot of type t.
+func (a *asm) storeLocal(t *Type, slot int) {
+	var base, short0 byte
+	delta := -1
+	switch t.Kind {
+	case KLong:
+		base, short0, delta = classfile.OpLstore, classfile.OpLstore0, -2
+	case KFloat:
+		base, short0 = classfile.OpFstore, classfile.OpFstore0
+	case KDouble:
+		base, short0, delta = classfile.OpDstore, classfile.OpDstore0, -2
+	case KRef, KArray, KNull:
+		base, short0 = classfile.OpAstore, classfile.OpAstore0
+	default:
+		base, short0 = classfile.OpIstore, classfile.OpIstore0
+	}
+	switch {
+	case slot < 4:
+		a.op(short0+byte(slot), delta)
+	case slot < 256:
+		a.opU8(base, byte(slot), delta)
+	default:
+		a.code = append(a.code, classfile.OpWide, base, byte(slot>>8), byte(slot))
+		a.adj(delta)
+	}
+}
+
+// pushInt emits the smallest instruction producing the int constant v.
+func (a *asm) pushInt(v int32) {
+	switch {
+	case v >= -1 && v <= 5:
+		a.op(byte(classfile.OpIconst0+int(v)), 1)
+	case v >= -128 && v <= 127:
+		a.opU8(classfile.OpBipush, byte(v), 1)
+	case v >= -32768 && v <= 32767:
+		a.opU16(classfile.OpSipush, uint16(v), 1)
+	default:
+		a.ldc(a.pool.Int(v), 1)
+	}
+}
+
+// ldc emits ldc or ldc_w for the pool index.
+func (a *asm) ldc(idx uint16, delta int) {
+	if idx < 256 {
+		a.opU8(classfile.OpLdc, byte(idx), delta)
+	} else {
+		a.opU16(classfile.OpLdcW, idx, delta)
+	}
+}
+
+// pushLong emits a long constant.
+func (a *asm) pushLong(v int64) {
+	switch v {
+	case 0:
+		a.op(classfile.OpLconst0, 2)
+	case 1:
+		a.op(classfile.OpLconst1, 2)
+	default:
+		a.opU16(classfile.OpLdc2W, a.pool.Long(v), 2)
+	}
+}
+
+// pushFloat emits a float constant.
+func (a *asm) pushFloat(v float32) {
+	switch v {
+	case 0:
+		a.op(classfile.OpFconst0, 1)
+	case 1:
+		a.op(classfile.OpFconst1, 1)
+	case 2:
+		a.op(classfile.OpFconst2, 1)
+	default:
+		a.ldc(a.pool.Float(v), 1)
+	}
+}
+
+// pushDouble emits a double constant.
+func (a *asm) pushDouble(v float64) {
+	switch v {
+	case 0:
+		a.op(classfile.OpDconst0, 2)
+	case 1:
+		a.op(classfile.OpDconst1, 2)
+	default:
+		a.opU16(classfile.OpLdc2W, a.pool.Double(v), 2)
+	}
+}

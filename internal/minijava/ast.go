@@ -1,0 +1,372 @@
+package minijava
+
+// File is one parsed compilation unit.
+type File struct {
+	Package string // dotted, may be ""
+	Imports []string
+	Classes []*ClassDecl
+}
+
+// ClassDecl declares a class or interface.
+type ClassDecl struct {
+	Pos         Pos
+	Name        string
+	IsInterface bool
+	IsAbstract  bool
+	Super       string   // dotted name, "" = Object
+	Interfaces  []string // dotted names
+	Fields      []*FieldDecl
+	Methods     []*MethodDecl
+	Ctors       []*MethodDecl
+	StaticInit  []Stmt // bodies of static { } blocks, concatenated
+}
+
+// FieldDecl declares one field.
+type FieldDecl struct {
+	Pos    Pos
+	Name   string
+	Type   TypeExpr
+	Static bool
+	Final  bool
+	Init   Expr // may be nil
+}
+
+// MethodDecl declares a method or constructor.
+type MethodDecl struct {
+	Pos          Pos
+	Name         string // "<init>" for constructors
+	Params       []Param
+	Ret          TypeExpr // nil for constructors and void
+	Static       bool
+	Native       bool
+	Abstract     bool
+	Synchronized bool
+	Body         []Stmt // statements; meaningful only when HasBody
+	// HasBody distinguishes an empty body {} from no body (native or
+	// abstract declarations).
+	HasBody bool
+}
+
+// Param is one method parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+}
+
+// TypeExpr is a syntactic type: a primitive or dotted class name with
+// array dimensions.
+type TypeExpr struct {
+	Pos  Pos
+	Name string // "int", "boolean", ..., "void", or dotted class name
+	Dims int
+}
+
+// --- statements ---
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is { stmts }.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// LocalVar declares a local variable.
+type LocalVar struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+	Init Expr // may be nil
+	// Info is the checker's slot assignment.
+	Info *LocalInfo
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+// If is if/else.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do/while loop.
+type DoWhile struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// For is a C-style for loop.
+type For struct {
+	Pos  Pos
+	Init Stmt // LocalVar or ExprStmt or nil
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// Return exits the method.
+type Return struct {
+	Pos Pos
+	E   Expr // may be nil
+}
+
+// Break exits the nearest loop/switch.
+type Break struct{ Pos Pos }
+
+// Continue jumps to the nearest loop's next iteration.
+type Continue struct{ Pos Pos }
+
+// Throw raises an exception.
+type Throw struct {
+	Pos Pos
+	E   Expr
+}
+
+// Try is try/catch/finally.
+type Try struct {
+	Pos     Pos
+	Body    *Block
+	Catches []*Catch
+	Finally *Block // may be nil
+	// RetSlot and ExcSlot are hidden locals used by the jsr/ret
+	// finally subroutine (assigned by the checker).
+	RetSlot, ExcSlot int
+}
+
+// Catch is one catch clause.
+type Catch struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+	Body *Block
+	// Resolution:
+	Cls  *ClassSym
+	Info *LocalInfo
+}
+
+// Switch is a switch on an int-typed expression.
+type Switch struct {
+	Pos     Pos
+	Subject Expr
+	Cases   []*SwitchCase
+}
+
+// SwitchCase is one `case K:`/`default:` group.
+type SwitchCase struct {
+	Pos       Pos
+	Values    []int32 // constant labels; empty = default
+	IsDefault bool
+	Body      []Stmt
+}
+
+// Synchronized is synchronized (expr) { ... }.
+type Synchronized struct {
+	Pos  Pos
+	Lock Expr
+	Body *Block
+	// LockSlot is the hidden local holding the monitor reference.
+	LockSlot int
+}
+
+func (*Block) stmtNode()        {}
+func (*LocalVar) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*If) stmtNode()           {}
+func (*While) stmtNode()        {}
+func (*DoWhile) stmtNode()      {}
+func (*For) stmtNode()          {}
+func (*Return) stmtNode()       {}
+func (*Break) stmtNode()        {}
+func (*Continue) stmtNode()     {}
+func (*Throw) stmtNode()        {}
+func (*Try) stmtNode()          {}
+func (*Switch) stmtNode()       {}
+func (*Synchronized) stmtNode() {}
+
+// --- expressions ---
+
+// Expr is an expression node. The checker stores each node's type in
+// its T field.
+type Expr interface {
+	exprNode()
+	pos() Pos
+}
+
+// Lit is a literal: int, long, float, double, char, boolean, String,
+// or null.
+type Lit struct {
+	Pos_ Pos
+	Kind Kind   // INTLIT, LONGLIT, FLOATLIT, DOUBLELIT, CHARLIT, STRINGLIT, KEYWORD (true/false/null)
+	Text string // for KEYWORD literals
+	Int  int64
+	F    float64
+	Str  string
+	T    *Type
+}
+
+// Ident names a local, parameter, field, or (qualified prefix) class.
+type Ident struct {
+	Pos_ Pos
+	Name string
+	T    *Type
+	// Resolution (filled by the checker):
+	Local *LocalInfo // non-nil if a local/param
+	Field *FieldSym  // non-nil if an implicit this/static field
+	Cls   *ClassSym  // non-nil when the name denotes a class
+}
+
+// This is the receiver reference.
+type This struct {
+	Pos_ Pos
+	T    *Type
+}
+
+// Unary is !x, ~x, -x, +x, ++x, --x, x++, x--.
+type Unary struct {
+	Pos_    Pos
+	Op      string
+	Postfix bool // for ++/--
+	E       Expr
+	T       *Type
+}
+
+// Binary is a binary operator (arithmetic, comparison, logical,
+// bitwise, shift). && and || short-circuit.
+type Binary struct {
+	Pos_ Pos
+	Op   string
+	L, R Expr
+	T    *Type
+	// IsConcat marks string concatenation (op "+").
+	IsConcat bool
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Pos_ Pos
+	Cond Expr
+	A, B Expr
+	T    *Type
+}
+
+// Assign is lhs = rhs or a compound assignment.
+type Assign struct {
+	Pos_ Pos
+	Op   string // "=", "+=", ...
+	L, R Expr
+	T    *Type
+}
+
+// Call invokes a method: recv.Name(args), Name(args), or
+// Class.Name(args); super.Name(args) when Super is set.
+type Call struct {
+	Pos_  Pos
+	Recv  Expr // nil = implicit this or static in current class
+	Super bool
+	Name  string
+	Args  []Expr
+	T     *Type
+	// Resolution:
+	Sym       *MethodSym
+	StaticCls *ClassSym // non-nil when Recv was a class name
+}
+
+// FieldAccess is recv.Name (or array .length).
+type FieldAccess struct {
+	Pos_ Pos
+	Recv Expr // nil when accessed via class name
+	Name string
+	T    *Type
+	// Resolution:
+	Sym        *FieldSym
+	StaticCls  *ClassSym
+	IsArrayLen bool
+}
+
+// Index is arr[i].
+type Index struct {
+	Pos_   Pos
+	Arr, I Expr
+	T      *Type
+}
+
+// New is new T(args).
+type New struct {
+	Pos_ Pos
+	Type TypeExpr
+	Args []Expr
+	T    *Type
+	Ctor *MethodSym
+}
+
+// NewArray is new T[d0][d1]...[]...
+type NewArray struct {
+	Pos_      Pos
+	Elem      TypeExpr // element type without dims
+	DimExprs  []Expr   // sized dimensions
+	ExtraDims int      // trailing empty dims
+	T         *Type
+}
+
+// Cast is (T) expr.
+type Cast struct {
+	Pos_ Pos
+	Type TypeExpr
+	E    Expr
+	T    *Type
+}
+
+// InstanceOf is expr instanceof T.
+type InstanceOf struct {
+	Pos_ Pos
+	E    Expr
+	Type TypeExpr
+	T    *Type
+	Cls  *ClassSym
+}
+
+func (e *Lit) exprNode()         {}
+func (e *Ident) exprNode()       {}
+func (e *This) exprNode()        {}
+func (e *Unary) exprNode()       {}
+func (e *Binary) exprNode()      {}
+func (e *Ternary) exprNode()     {}
+func (e *Assign) exprNode()      {}
+func (e *Call) exprNode()        {}
+func (e *FieldAccess) exprNode() {}
+func (e *Index) exprNode()       {}
+func (e *New) exprNode()         {}
+func (e *NewArray) exprNode()    {}
+func (e *Cast) exprNode()        {}
+func (e *InstanceOf) exprNode()  {}
+
+func (e *Lit) pos() Pos         { return e.Pos_ }
+func (e *Ident) pos() Pos       { return e.Pos_ }
+func (e *This) pos() Pos        { return e.Pos_ }
+func (e *Unary) pos() Pos       { return e.Pos_ }
+func (e *Binary) pos() Pos      { return e.Pos_ }
+func (e *Ternary) pos() Pos     { return e.Pos_ }
+func (e *Assign) pos() Pos      { return e.Pos_ }
+func (e *Call) pos() Pos        { return e.Pos_ }
+func (e *FieldAccess) pos() Pos { return e.Pos_ }
+func (e *Index) pos() Pos       { return e.Pos_ }
+func (e *New) pos() Pos         { return e.Pos_ }
+func (e *NewArray) pos() Pos    { return e.Pos_ }
+func (e *Cast) pos() Pos        { return e.Pos_ }
+func (e *InstanceOf) pos() Pos  { return e.Pos_ }

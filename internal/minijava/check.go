@@ -1,0 +1,402 @@
+package minijava
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analyze builds a Program from parsed files: it registers classes,
+// resolves supertypes and member signatures, then type-checks every
+// method body, annotating the AST for the code generator.
+func Analyze(files []*File) (*Program, error) {
+	prog := &Program{Classes: make(map[string]*ClassSym)}
+
+	// Pass 1: register all classes.
+	for _, f := range files {
+		pkg := strings.ReplaceAll(f.Package, ".", "/")
+		for _, cd := range f.Classes {
+			internal := cd.Name
+			if pkg != "" {
+				internal = pkg + "/" + cd.Name
+			}
+			if prog.Classes[internal] != nil {
+				return nil, errf(cd.Pos, "duplicate class %s", internal)
+			}
+			cs := &ClassSym{
+				Name: internal, Decl: cd, File: f,
+				IsInterface: cd.IsInterface,
+				IsAbstract:  cd.IsAbstract || cd.IsInterface,
+			}
+			prog.Classes[internal] = cs
+			prog.Order = append(prog.Order, cs)
+		}
+	}
+	object := prog.Classes["java/lang/Object"]
+	if object == nil {
+		return nil, fmt.Errorf("minijava: compile set must include java/lang/Object")
+	}
+
+	// Pass 2: resolve supertypes and member signatures.
+	for _, cs := range prog.Order {
+		cd := cs.Decl
+		if cd.Super != "" {
+			super, err := prog.resolveClassName(cs, cd.Super, cd.Pos)
+			if err != nil {
+				return nil, err
+			}
+			if super.IsInterface {
+				return nil, errf(cd.Pos, "%s extends interface %s", cs.Name, super.Name)
+			}
+			cs.Super = super
+		} else if !cs.IsInterface && cs != object {
+			cs.Super = object
+		}
+		for _, iname := range cd.Interfaces {
+			iface, err := prog.resolveClassName(cs, iname, cd.Pos)
+			if err != nil {
+				return nil, err
+			}
+			if !iface.IsInterface {
+				return nil, errf(cd.Pos, "%s implements non-interface %s", cs.Name, iface.Name)
+			}
+			cs.Interfaces = append(cs.Interfaces, iface)
+		}
+	}
+	// Cycle check.
+	for _, cs := range prog.Order {
+		seen := map[*ClassSym]bool{}
+		for k := cs; k != nil; k = k.Super {
+			if seen[k] {
+				return nil, errf(cs.Decl.Pos, "inheritance cycle involving %s", cs.Name)
+			}
+			seen[k] = true
+		}
+	}
+	for _, cs := range prog.Order {
+		if err := prog.resolveMembers(cs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 3: check bodies.
+	for _, cs := range prog.Order {
+		if err := prog.checkClass(cs); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// resolveClassName resolves a dotted source name in the context of the
+// class's file: fully-qualified, same package, imported, or java.lang.
+func (p *Program) resolveClassName(from *ClassSym, dotted string, pos Pos) (*ClassSym, error) {
+	internal := strings.ReplaceAll(dotted, ".", "/")
+	if c, ok := p.Classes[internal]; ok {
+		return c, nil
+	}
+	if !strings.Contains(dotted, ".") {
+		// Same package.
+		if pkg := strings.ReplaceAll(from.File.Package, ".", "/"); pkg != "" {
+			if c, ok := p.Classes[pkg+"/"+dotted]; ok {
+				return c, nil
+			}
+		}
+		// Explicit imports.
+		for _, imp := range from.File.Imports {
+			if strings.HasSuffix(imp, "."+dotted) {
+				if c, ok := p.Classes[strings.ReplaceAll(imp, ".", "/")]; ok {
+					return c, nil
+				}
+			}
+			if strings.HasSuffix(imp, ".*") {
+				prefix := strings.ReplaceAll(strings.TrimSuffix(imp, ".*"), ".", "/")
+				if c, ok := p.Classes[prefix+"/"+dotted]; ok {
+					return c, nil
+				}
+			}
+		}
+		// Implicit java.lang.
+		if c, ok := p.Classes["java/lang/"+dotted]; ok {
+			return c, nil
+		}
+		// Default (unnamed) package.
+		if c, ok := p.Classes[dotted]; ok {
+			return c, nil
+		}
+	}
+	return nil, errf(pos, "unknown class %s", dotted)
+}
+
+// resolveType resolves a syntactic type in a class's context.
+func (p *Program) resolveType(from *ClassSym, te TypeExpr) (*Type, error) {
+	var base *Type
+	switch te.Name {
+	case "void":
+		base = TVoid
+	case "boolean":
+		base = TBool
+	case "byte":
+		base = TByte
+	case "char":
+		base = TChar
+	case "short":
+		base = TShort
+	case "int":
+		base = TInt
+	case "long":
+		base = TLong
+	case "float":
+		base = TFloat
+	case "double":
+		base = TDouble
+	default:
+		cls, err := p.resolveClassName(from, te.Name, te.Pos)
+		if err != nil {
+			return nil, err
+		}
+		base = cls.Type()
+	}
+	if te.Dims > 0 && base == TVoid {
+		return nil, errf(te.Pos, "array of void")
+	}
+	for i := 0; i < te.Dims; i++ {
+		base = ArrayOf(base)
+	}
+	return base, nil
+}
+
+func (p *Program) resolveMembers(cs *ClassSym) error {
+	cd := cs.Decl
+	for _, fd := range cd.Fields {
+		t, err := p.resolveType(cs, fd.Type)
+		if err != nil {
+			return err
+		}
+		if t == TVoid {
+			return errf(fd.Pos, "field %s has type void", fd.Name)
+		}
+		for _, existing := range cs.Fields {
+			if existing.Name == fd.Name {
+				return errf(fd.Pos, "duplicate field %s", fd.Name)
+			}
+		}
+		cs.Fields = append(cs.Fields, &FieldSym{
+			Owner: cs, Name: fd.Name, Type: t,
+			Static: fd.Static, Final: fd.Final, Decl: fd,
+		})
+	}
+	addMethod := func(md *MethodDecl, isCtor bool) error {
+		ms := &MethodSym{
+			Owner: cs, Name: md.Name,
+			Static: md.Static, Native: md.Native,
+			Abstract: md.Abstract, Synchronized: md.Synchronized,
+			Decl: md,
+		}
+		for _, prm := range md.Params {
+			t, err := p.resolveType(cs, prm.Type)
+			if err != nil {
+				return err
+			}
+			if t == TVoid {
+				return errf(prm.Pos, "parameter %s has type void", prm.Name)
+			}
+			ms.Params = append(ms.Params, t)
+		}
+		if isCtor {
+			ms.Ret = TVoid
+		} else {
+			t, err := p.resolveType(cs, md.Ret)
+			if err != nil {
+				return err
+			}
+			ms.Ret = t
+		}
+		desc := ms.Descriptor()
+		for _, existing := range cs.Methods {
+			if existing.Name == ms.Name && existing.Descriptor() == desc {
+				return errf(md.Pos, "duplicate method %s%s", ms.Name, desc)
+			}
+		}
+		cs.Methods = append(cs.Methods, ms)
+		return nil
+	}
+	for _, md := range cd.Ctors {
+		if cs.IsInterface {
+			return errf(md.Pos, "interface %s cannot have constructors", cs.Name)
+		}
+		if err := addMethod(md, true); err != nil {
+			return err
+		}
+	}
+	for _, md := range cd.Methods {
+		if err := addMethod(md, false); err != nil {
+			return err
+		}
+	}
+	// Implicit no-arg constructor.
+	if !cs.IsInterface && len(cd.Ctors) == 0 {
+		cs.Methods = append(cs.Methods, &MethodSym{
+			Owner: cs, Name: "<init>", Ret: TVoid,
+			Decl: &MethodDecl{Pos: cd.Pos, Name: "<init>"},
+		})
+	}
+	return nil
+}
+
+// --- conversions ---
+
+// wideningRank orders the numeric primitives for widening.
+var wideningRank = map[TypeKind]int{
+	KByte: 1, KShort: 2, KChar: 2, KInt: 3, KLong: 4, KFloat: 5, KDouble: 6,
+}
+
+// convertCost returns the cost of implicitly converting from → to,
+// or -1 when no implicit conversion exists.
+func convertCost(from, to *Type) int {
+	if from.Equal(to) {
+		return 0
+	}
+	// Primitive widening.
+	if from.IsNumeric() && to.IsNumeric() {
+		rf, rt := wideningRank[from.Kind], wideningRank[to.Kind]
+		// char and short are mutually inconvertible; byte→char is not
+		// a widening either.
+		if from.Kind == KChar && (to.Kind == KShort || to.Kind == KByte) {
+			return -1
+		}
+		if from.Kind == KShort && to.Kind == KChar {
+			return -1
+		}
+		if from.Kind == KByte && to.Kind == KChar {
+			return -1
+		}
+		if rt > rf {
+			return rt - rf
+		}
+		return -1
+	}
+	// null → any reference type.
+	if from.Kind == KNull && (to.Kind == KRef || to.Kind == KArray) {
+		return 1
+	}
+	// Reference widening.
+	if from.Kind == KRef && to.Kind == KRef {
+		if refDist := refDistance(from.Cls, to.Cls); refDist >= 0 {
+			return refDist
+		}
+		return -1
+	}
+	// Arrays widen to Object and covariantly on reference elements.
+	if from.Kind == KArray && to.Kind == KRef {
+		if to.Cls.Name == "java/lang/Object" {
+			return 1
+		}
+		return -1
+	}
+	if from.Kind == KArray && to.Kind == KArray {
+		if from.Elem.IsRef() && to.Elem.IsRef() {
+			c := convertCost(from.Elem, to.Elem)
+			if c >= 0 {
+				return c
+			}
+		}
+		return -1
+	}
+	return -1
+}
+
+// refDistance counts hierarchy steps from sub to super, or -1.
+func refDistance(sub, super *ClassSym) int {
+	if sub == super {
+		return 0
+	}
+	best := -1
+	if sub.Super != nil {
+		if d := refDistance(sub.Super, super); d >= 0 {
+			best = d + 1
+		}
+	}
+	for _, i := range sub.Interfaces {
+		if d := refDistance(i, super); d >= 0 && (best < 0 || d+1 < best) {
+			best = d + 1
+		}
+	}
+	return best
+}
+
+// castAllowed reports whether an explicit cast from → to can compile.
+func castAllowed(from, to *Type) bool {
+	if from.Equal(to) {
+		return true
+	}
+	if from.IsNumeric() && to.IsNumeric() {
+		return true
+	}
+	if from.IsRef() && to.IsRef() {
+		return true // runtime checkcast decides
+	}
+	return false
+}
+
+// promote computes the binary numeric promotion of a and b.
+func promote(a, b *Type) *Type {
+	if a.Kind == KDouble || b.Kind == KDouble {
+		return TDouble
+	}
+	if a.Kind == KFloat || b.Kind == KFloat {
+		return TFloat
+	}
+	if a.Kind == KLong || b.Kind == KLong {
+		return TLong
+	}
+	return TInt
+}
+
+// --- method resolution ---
+
+// resolveOverload picks the most specific applicable method.
+func resolveOverload(pos Pos, cands []*MethodSym, args []*Type, wantStatic bool) (*MethodSym, error) {
+	type scored struct {
+		m    *MethodSym
+		cost int
+	}
+	var applicable []scored
+	for _, m := range cands {
+		if len(m.Params) != len(args) {
+			continue
+		}
+		total := 0
+		ok := true
+		for i, at := range args {
+			c := convertCost(at, m.Params[i])
+			if c < 0 {
+				ok = false
+				break
+			}
+			total += c
+		}
+		if ok {
+			applicable = append(applicable, scored{m, total})
+		}
+	}
+	if len(applicable) == 0 {
+		return nil, errf(pos, "no applicable method for argument types %s", typeListString(args))
+	}
+	sort.SliceStable(applicable, func(i, j int) bool { return applicable[i].cost < applicable[j].cost })
+	if len(applicable) > 1 && applicable[0].cost == applicable[1].cost &&
+		applicable[0].m.Descriptor() != applicable[1].m.Descriptor() {
+		return nil, errf(pos, "ambiguous call: %s%s vs %s%s",
+			applicable[0].m.Name, applicable[0].m.Descriptor(),
+			applicable[1].m.Name, applicable[1].m.Descriptor())
+	}
+	return applicable[0].m, nil
+}
+
+func typeListString(ts []*Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

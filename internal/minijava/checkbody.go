@@ -1,0 +1,458 @@
+package minijava
+
+// Body checking: resolves names, types every expression, and annotates
+// the AST for the code generator.
+
+type bodyCtx struct {
+	prog   *Program
+	cls    *ClassSym
+	method *MethodSym
+	scopes []map[string]*LocalInfo
+	next   int // next free local slot
+	max    int
+	loops  int // enclosing loop depth
+	sw     int // enclosing switch depth
+}
+
+func (p *Program) checkClass(cs *ClassSym) error {
+	// Field initializers.
+	for _, fs := range cs.Fields {
+		if fs.Decl == nil || fs.Decl.Init == nil {
+			continue
+		}
+		ctx := &bodyCtx{prog: p, cls: cs, method: &MethodSym{Owner: cs, Name: "<fieldinit>", Static: fs.Static, Ret: TVoid}}
+		ctx.push()
+		if !fs.Static {
+			ctx.next = 1 // this
+		}
+		t, err := ctx.checkExpr(fs.Decl.Init)
+		if err != nil {
+			return err
+		}
+		if err := ctx.requireAssignable(fs.Decl.Pos, t, fs.Type, fs.Decl.Init); err != nil {
+			return err
+		}
+	}
+	// Static initializer blocks.
+	if len(cs.Decl.StaticInit) > 0 {
+		ctx := &bodyCtx{prog: p, cls: cs, method: &MethodSym{Owner: cs, Name: "<clinit>", Static: true, Ret: TVoid}}
+		ctx.push()
+		for _, s := range cs.Decl.StaticInit {
+			if err := ctx.checkStmt(s); err != nil {
+				return err
+			}
+		}
+		cs.ClinitMaxLocals = ctx.maxLocals()
+	}
+	// Method and constructor bodies.
+	for _, ms := range cs.Methods {
+		if ms.Decl == nil || (!ms.Decl.HasBody && ms.Decl.Name != "<init>") {
+			continue
+		}
+		ctx := &bodyCtx{prog: p, cls: cs, method: ms}
+		ctx.push()
+		if !ms.Static {
+			ctx.declare(ms.Decl.Pos, "this", cs.Type())
+		}
+		for i, prm := range ms.Decl.Params {
+			if _, err := ctx.declare(prm.Pos, prm.Name, ms.Params[i]); err != nil {
+				return err
+			}
+		}
+		for _, s := range ms.Decl.Body {
+			if err := ctx.checkStmt(s); err != nil {
+				return err
+			}
+		}
+		if ms.Ret != TVoid && ms.Name != "<init>" && !stmtsAlwaysExit(ms.Decl.Body) {
+			return errf(ms.Decl.Pos, "method %s.%s: missing return statement", cs.Name, ms.Name)
+		}
+		ms.MaxLocals = ctx.maxLocals()
+	}
+	return nil
+}
+
+func (c *bodyCtx) maxLocals() int {
+	if c.max > c.next {
+		return c.max
+	}
+	return c.next
+}
+
+func (c *bodyCtx) push() { c.scopes = append(c.scopes, map[string]*LocalInfo{}) }
+func (c *bodyCtx) pop() {
+	c.scopes = c.scopes[:len(c.scopes)-1]
+}
+
+func (c *bodyCtx) declare(pos Pos, name string, t *Type) (*LocalInfo, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, exists := top[name]; exists {
+		return nil, errf(pos, "duplicate local %s", name)
+	}
+	li := &LocalInfo{Name: name, Type: t, Slot: c.next}
+	c.next++
+	if t.Wide() {
+		c.next++
+	}
+	if c.next > c.max {
+		c.max = c.next
+	}
+	top[name] = li
+	return li, nil
+}
+
+func (c *bodyCtx) lookupLocal(name string) *LocalInfo {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if li, ok := c.scopes[i][name]; ok {
+			return li
+		}
+	}
+	return nil
+}
+
+// requireAssignable checks from → to assignability, additionally
+// allowing constant-int narrowing to byte/short/char.
+func (c *bodyCtx) requireAssignable(pos Pos, from, to *Type, rhs Expr) error {
+	if convertCost(from, to) >= 0 {
+		return nil
+	}
+	if v, ok := litIntValue(rhs); ok && (from.Kind == KInt || from.Kind == KChar) && fitsIn(v, to) {
+		return nil
+	}
+	return errf(pos, "cannot assign %s to %s", from, to)
+}
+
+func litIntValue(e Expr) (int64, bool) {
+	if lit, ok := e.(*Lit); ok && (lit.Kind == INTLIT || lit.Kind == CHARLIT) {
+		return lit.Int, true
+	}
+	return 0, false
+}
+
+func fitsIn(pair int64, to *Type) bool {
+	v := pair
+	switch to.Kind {
+	case KByte:
+		return v >= -128 && v <= 127
+	case KShort:
+		return v >= -32768 && v <= 32767
+	case KChar:
+		return v >= 0 && v <= 0xFFFF
+	}
+	return false
+}
+
+// --- statements ---
+
+func (c *bodyCtx) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		c.push()
+		defer c.pop()
+		for _, inner := range st.Stmts {
+			if err := c.checkStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *LocalVar:
+		t, err := c.prog.resolveType(c.cls, st.Type)
+		if err != nil {
+			return err
+		}
+		if t == TVoid {
+			return errf(st.Pos, "local %s has type void", st.Name)
+		}
+		if st.Init != nil {
+			it, err := c.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := c.requireAssignable(st.Pos, it, t, st.Init); err != nil {
+				return err
+			}
+		}
+		li, err := c.declare(st.Pos, st.Name, t)
+		if err != nil {
+			return err
+		}
+		st.Info = li
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(st.E)
+		return err
+	case *If:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *While:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *DoWhile:
+		c.loops++
+		if err := c.checkStmt(st.Body); err != nil {
+			c.loops--
+			return err
+		}
+		c.loops--
+		return c.checkCond(st.Cond)
+	case *For:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *Return:
+		want := c.method.Ret
+		if st.E == nil {
+			if want != TVoid {
+				return errf(st.Pos, "missing return value (want %s)", want)
+			}
+			return nil
+		}
+		if want == TVoid {
+			return errf(st.Pos, "void method returns a value")
+		}
+		t, err := c.checkExpr(st.E)
+		if err != nil {
+			return err
+		}
+		return c.requireAssignable(st.Pos, t, want, st.E)
+	case *Break:
+		if c.loops == 0 && c.sw == 0 {
+			return errf(st.Pos, "break outside loop or switch")
+		}
+		return nil
+	case *Continue:
+		if c.loops == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *Throw:
+		t, err := c.checkExpr(st.E)
+		if err != nil {
+			return err
+		}
+		throwable := c.prog.Classes["java/lang/Throwable"]
+		if throwable == nil {
+			return errf(st.Pos, "compile set lacks java/lang/Throwable")
+		}
+		if convertCost(t, throwable.Type()) < 0 {
+			return errf(st.Pos, "thrown value of type %s is not Throwable", t)
+		}
+		return nil
+	case *Try:
+		if err := c.checkStmt(st.Body); err != nil {
+			return err
+		}
+		for _, cat := range st.Catches {
+			t, err := c.prog.resolveType(c.cls, cat.Type)
+			if err != nil {
+				return err
+			}
+			if t.Kind != KRef {
+				return errf(cat.Pos, "catch of non-reference type %s", t)
+			}
+			throwable := c.prog.Classes["java/lang/Throwable"]
+			if throwable != nil && convertCost(t, throwable.Type()) < 0 {
+				return errf(cat.Pos, "catch of non-Throwable type %s", t)
+			}
+			cat.Cls = t.Cls
+			c.push()
+			li, err := c.declare(cat.Pos, cat.Name, t)
+			if err != nil {
+				c.pop()
+				return err
+			}
+			cat.Info = li
+			if err := c.checkStmt(cat.Body); err != nil {
+				c.pop()
+				return err
+			}
+			c.pop()
+		}
+		if st.Finally != nil {
+			// The finally subroutine needs two hidden slots (return
+			// address + pending exception); reserve them now.
+			st.RetSlot = c.next
+			st.ExcSlot = c.next + 1
+			c.next += 2
+			if c.next > c.max {
+				c.max = c.next
+			}
+			return c.checkStmt(st.Finally)
+		}
+		return nil
+	case *Switch:
+		t, err := c.checkExpr(st.Subject)
+		if err != nil {
+			return err
+		}
+		if convertCost(t, TInt) < 0 {
+			return errf(st.Pos, "switch subject must be int-compatible, got %s", t)
+		}
+		seen := map[int32]bool{}
+		defaults := 0
+		c.sw++
+		defer func() { c.sw-- }()
+		for _, cs := range st.Cases {
+			for _, v := range cs.Values {
+				if seen[v] {
+					return errf(cs.Pos, "duplicate case label %d", v)
+				}
+				seen[v] = true
+			}
+			if cs.IsDefault {
+				defaults++
+				if defaults > 1 {
+					return errf(cs.Pos, "multiple default labels")
+				}
+			}
+			c.push()
+			for _, inner := range cs.Body {
+				if err := c.checkStmt(inner); err != nil {
+					c.pop()
+					return err
+				}
+			}
+			c.pop()
+		}
+		return nil
+	case *Synchronized:
+		t, err := c.checkExpr(st.Lock)
+		if err != nil {
+			return err
+		}
+		if !t.IsRef() {
+			return errf(st.Pos, "synchronized on non-reference type %s", t)
+		}
+		// Hidden slot for the saved lock reference.
+		st.LockSlot = c.next
+		c.next++
+		if c.next > c.max {
+			c.max = c.next
+		}
+		return c.checkStmt(st.Body)
+	}
+	return errf(Pos{}, "unhandled statement %T", s)
+}
+
+func (c *bodyCtx) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if t != TBool {
+		return errf(e.pos(), "condition must be boolean, got %s", t)
+	}
+	return nil
+}
+
+// stmtsAlwaysExit reports whether control cannot fall off the end.
+func stmtsAlwaysExit(stmts []Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtAlwaysExits(stmts[len(stmts)-1])
+}
+
+func stmtAlwaysExits(s Stmt) bool {
+	switch st := s.(type) {
+	case *Return, *Throw:
+		return true
+	case *Block:
+		return stmtsAlwaysExit(st.Stmts)
+	case *If:
+		return st.Else != nil && stmtAlwaysExits(st.Then) && stmtAlwaysExits(st.Else)
+	case *While:
+		// while(true) without break counts as exiting.
+		if lit, ok := st.Cond.(*Lit); ok && lit.Kind == KEYWORD && lit.Text == "true" {
+			return !containsBreak(st.Body)
+		}
+	case *Try:
+		ok := stmtAlwaysExits(st.Body)
+		for _, cat := range st.Catches {
+			ok = ok && stmtAlwaysExits(cat.Body)
+		}
+		return ok
+	case *Synchronized:
+		return stmtAlwaysExits(st.Body)
+	case *Switch:
+		// Conservative: a switch always exits only if every case and a
+		// default exist and all end in return/throw.
+		hasDefault := false
+		for _, cs := range st.Cases {
+			if cs.IsDefault {
+				hasDefault = true
+			}
+			if !stmtsAlwaysExit(cs.Body) {
+				return false
+			}
+		}
+		return hasDefault
+	}
+	return false
+}
+
+func containsBreak(s Stmt) bool {
+	switch st := s.(type) {
+	case *Break:
+		return true
+	case *Block:
+		for _, inner := range st.Stmts {
+			if containsBreak(inner) {
+				return true
+			}
+		}
+	case *If:
+		if containsBreak(st.Then) {
+			return true
+		}
+		if st.Else != nil && containsBreak(st.Else) {
+			return true
+		}
+	case *Try:
+		if containsBreak(st.Body) {
+			return true
+		}
+		for _, cat := range st.Catches {
+			if containsBreak(cat.Body) {
+				return true
+			}
+		}
+		if st.Finally != nil && containsBreak(st.Finally) {
+			return true
+		}
+	case *Synchronized:
+		return containsBreak(st.Body)
+	}
+	// break inside nested loops/switches binds to them, but being
+	// conservative here only weakens the always-exits analysis.
+	return false
+}

@@ -1,0 +1,578 @@
+package minijava
+
+import "strings"
+
+// checkExpr types an expression, annotating the node, and returns its
+// type.
+func (c *bodyCtx) checkExpr(e Expr) (*Type, error) {
+	switch ex := e.(type) {
+	case *Lit:
+		switch ex.Kind {
+		case INTLIT:
+			ex.T = TInt
+		case LONGLIT:
+			ex.T = TLong
+		case FLOATLIT:
+			ex.T = TFloat
+		case DOUBLELIT:
+			ex.T = TDouble
+		case CHARLIT:
+			ex.T = TChar
+		case STRINGLIT:
+			str := c.prog.Classes["java/lang/String"]
+			if str == nil {
+				return nil, errf(ex.Pos_, "compile set lacks java/lang/String")
+			}
+			ex.T = str.Type()
+		case KEYWORD:
+			switch ex.Text {
+			case "true", "false":
+				ex.T = TBool
+			case "null":
+				ex.T = TNull
+			}
+		}
+		return ex.T, nil
+
+	case *This:
+		if c.method.Static {
+			return nil, errf(ex.Pos_, "this in static context")
+		}
+		ex.T = c.cls.Type()
+		return ex.T, nil
+
+	case *Ident:
+		if li := c.lookupLocal(ex.Name); li != nil {
+			ex.Local = li
+			ex.T = li.Type
+			return ex.T, nil
+		}
+		if f := lookupField(c.cls, ex.Name); f != nil {
+			if !f.Static && c.method.Static {
+				return nil, errf(ex.Pos_, "instance field %s in static context", ex.Name)
+			}
+			ex.Field = f
+			ex.T = f.Type
+			return ex.T, nil
+		}
+		return nil, errf(ex.Pos_, "undefined name %s", ex.Name)
+
+	case *Unary:
+		return c.checkUnary(ex)
+
+	case *Binary:
+		return c.checkBinary(ex)
+
+	case *Ternary:
+		if err := c.checkCond(ex.Cond); err != nil {
+			return nil, err
+		}
+		at, err := c.checkExpr(ex.A)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := c.checkExpr(ex.B)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case at.Equal(bt):
+			ex.T = at
+		case at.IsNumeric() && bt.IsNumeric():
+			ex.T = promote(at, bt)
+		case at.IsRef() && bt.IsRef():
+			switch {
+			case convertCost(at, bt) >= 0:
+				ex.T = bt
+			case convertCost(bt, at) >= 0:
+				ex.T = at
+			default:
+				ex.T = c.prog.Classes["java/lang/Object"].Type()
+			}
+		default:
+			return nil, errf(ex.Pos_, "incompatible ternary arms: %s and %s", at, bt)
+		}
+		return ex.T, nil
+
+	case *Assign:
+		return c.checkAssign(ex)
+
+	case *Call:
+		return c.checkCall(ex)
+
+	case *FieldAccess:
+		return c.checkFieldAccess(ex)
+
+	case *Index:
+		at, err := c.checkExpr(ex.Arr)
+		if err != nil {
+			return nil, err
+		}
+		if at.Kind != KArray {
+			return nil, errf(ex.Pos_, "indexing non-array type %s", at)
+		}
+		it, err := c.checkExpr(ex.I)
+		if err != nil {
+			return nil, err
+		}
+		if convertCost(it, TInt) < 0 {
+			return nil, errf(ex.Pos_, "array index must be int, got %s", it)
+		}
+		ex.T = at.Elem
+		return ex.T, nil
+
+	case *New:
+		t, err := c.prog.resolveType(c.cls, ex.Type)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != KRef {
+			return nil, errf(ex.Pos_, "cannot instantiate %s", t)
+		}
+		if t.Cls.IsInterface || t.Cls.IsAbstract {
+			return nil, errf(ex.Pos_, "cannot instantiate abstract %s", t.Cls.Name)
+		}
+		args, err := c.checkArgs(ex.Args)
+		if err != nil {
+			return nil, err
+		}
+		var ctors []*MethodSym
+		for _, m := range t.Cls.Methods {
+			if m.Name == "<init>" {
+				ctors = append(ctors, m)
+			}
+		}
+		ctor, err := resolveOverload(ex.Pos_, ctors, args, false)
+		if err != nil {
+			return nil, err
+		}
+		ex.Ctor = ctor
+		ex.T = t
+		return t, nil
+
+	case *NewArray:
+		elem, err := c.prog.resolveType(c.cls, ex.Elem)
+		if err != nil {
+			return nil, err
+		}
+		if elem == TVoid {
+			return nil, errf(ex.Pos_, "array of void")
+		}
+		for _, d := range ex.DimExprs {
+			dt, err := c.checkExpr(d)
+			if err != nil {
+				return nil, err
+			}
+			if convertCost(dt, TInt) < 0 {
+				return nil, errf(ex.Pos_, "array dimension must be int, got %s", dt)
+			}
+		}
+		t := elem
+		for i := 0; i < len(ex.DimExprs)+ex.ExtraDims; i++ {
+			t = ArrayOf(t)
+		}
+		ex.T = t
+		return t, nil
+
+	case *Cast:
+		t, err := c.prog.resolveType(c.cls, ex.Type)
+		if err != nil {
+			return nil, err
+		}
+		et, err := c.checkExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		if !castAllowed(et, t) {
+			return nil, errf(ex.Pos_, "cannot cast %s to %s", et, t)
+		}
+		ex.T = t
+		return t, nil
+
+	case *InstanceOf:
+		et, err := c.checkExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		if !et.IsRef() {
+			return nil, errf(ex.Pos_, "instanceof on non-reference %s", et)
+		}
+		t, err := c.prog.resolveType(c.cls, ex.Type)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != KRef {
+			return nil, errf(ex.Pos_, "instanceof against non-class type %s", t)
+		}
+		ex.Cls = t.Cls
+		ex.T = TBool
+		return TBool, nil
+	}
+	return nil, errf(e.pos(), "unhandled expression %T", e)
+}
+
+func (c *bodyCtx) checkArgs(args []Expr) ([]*Type, error) {
+	out := make([]*Type, len(args))
+	for i, a := range args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func (c *bodyCtx) checkUnary(ex *Unary) (*Type, error) {
+	t, err := c.checkExpr(ex.E)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.Op {
+	case "!":
+		if t != TBool {
+			return nil, errf(ex.Pos_, "! on non-boolean %s", t)
+		}
+		ex.T = TBool
+	case "~":
+		if !t.IsIntegral() {
+			return nil, errf(ex.Pos_, "~ on non-integral %s", t)
+		}
+		ex.T = promote(t, TInt)
+	case "-":
+		if !t.IsNumeric() {
+			return nil, errf(ex.Pos_, "- on non-numeric %s", t)
+		}
+		ex.T = promote(t, TInt)
+	case "++", "--":
+		if !t.IsNumeric() {
+			return nil, errf(ex.Pos_, "%s on non-numeric %s", ex.Op, t)
+		}
+		if !isLValue(ex.E) {
+			return nil, errf(ex.Pos_, "%s on non-assignable expression", ex.Op)
+		}
+		ex.T = t
+	default:
+		return nil, errf(ex.Pos_, "unknown unary operator %s", ex.Op)
+	}
+	return ex.T, nil
+}
+
+func isLValue(e Expr) bool {
+	switch ex := e.(type) {
+	case *Ident:
+		return true
+	case *FieldAccess:
+		return !ex.IsArrayLen
+	case *Index:
+		return true
+	}
+	return false
+}
+
+func (c *bodyCtx) stringType() *Type {
+	return c.prog.Classes["java/lang/String"].Type()
+}
+
+func (c *bodyCtx) isString(t *Type) bool {
+	return t.Kind == KRef && t.Cls.Name == "java/lang/String"
+}
+
+func (c *bodyCtx) checkBinary(ex *Binary) (*Type, error) {
+	lt, err := c.checkExpr(ex.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.checkExpr(ex.R)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.Op {
+	case "&&", "||":
+		if lt != TBool || rt != TBool {
+			return nil, errf(ex.Pos_, "%s on %s and %s", ex.Op, lt, rt)
+		}
+		ex.T = TBool
+	case "+":
+		if c.isString(lt) || c.isString(rt) {
+			ex.IsConcat = true
+			ex.T = c.stringType()
+			break
+		}
+		fallthrough
+	case "-", "*", "/", "%":
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			return nil, errf(ex.Pos_, "%s on %s and %s", ex.Op, lt, rt)
+		}
+		ex.T = promote(lt, rt)
+	case "&", "|", "^":
+		if lt == TBool && rt == TBool {
+			ex.T = TBool
+			break
+		}
+		if !lt.IsIntegral() || !rt.IsIntegral() {
+			return nil, errf(ex.Pos_, "%s on %s and %s", ex.Op, lt, rt)
+		}
+		ex.T = promote(lt, rt)
+	case "<<", ">>", ">>>":
+		if !lt.IsIntegral() || !rt.IsIntegral() {
+			return nil, errf(ex.Pos_, "%s on %s and %s", ex.Op, lt, rt)
+		}
+		// Shift result type comes from the left operand only.
+		ex.T = promote(lt, TInt)
+	case "<", "<=", ">", ">=":
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			return nil, errf(ex.Pos_, "%s on %s and %s", ex.Op, lt, rt)
+		}
+		ex.T = TBool
+	case "==", "!=":
+		switch {
+		case lt.IsNumeric() && rt.IsNumeric():
+		case lt == TBool && rt == TBool:
+		case lt.IsRef() && rt.IsRef():
+		default:
+			return nil, errf(ex.Pos_, "%s on %s and %s", ex.Op, lt, rt)
+		}
+		ex.T = TBool
+	default:
+		return nil, errf(ex.Pos_, "unknown binary operator %s", ex.Op)
+	}
+	return ex.T, nil
+}
+
+func (c *bodyCtx) checkAssign(ex *Assign) (*Type, error) {
+	lt, err := c.checkExpr(ex.L)
+	if err != nil {
+		return nil, err
+	}
+	if !isLValue(ex.L) {
+		return nil, errf(ex.Pos_, "assignment to non-assignable expression")
+	}
+	if fa, ok := ex.L.(*FieldAccess); ok && fa.Sym != nil && fa.Sym.Final && c.method.Name != "<init>" && c.method.Name != "<clinit>" && c.method.Name != "<fieldinit>" {
+		// Final fields may only be written in initializers; library
+		// code relies on this being permissive inside constructors.
+		if fa.Sym.Owner != c.cls {
+			return nil, errf(ex.Pos_, "assignment to final field %s", fa.Name)
+		}
+	}
+	rt, err := c.checkExpr(ex.R)
+	if err != nil {
+		return nil, err
+	}
+	if ex.Op == "=" {
+		if err := c.requireAssignable(ex.Pos_, rt, lt, ex.R); err != nil {
+			return nil, err
+		}
+		ex.T = lt
+		return lt, nil
+	}
+	// Compound assignment: the binary op must apply, and the result is
+	// implicitly narrowed back to the LHS type.
+	op := strings.TrimSuffix(ex.Op, "=")
+	if op == "+" && c.isString(lt) {
+		ex.T = lt
+		return lt, nil
+	}
+	tmp := &Binary{Pos_: ex.Pos_, Op: op, L: ex.L, R: ex.R}
+	if _, err := c.checkBinary(tmp); err != nil {
+		return nil, err
+	}
+	ex.T = lt
+	return lt, nil
+}
+
+// resolveQualifier classifies a receiver expression as a value, a
+// class reference (static access), or a package prefix.
+func (c *bodyCtx) resolveQualifier(e Expr) (valT *Type, cls *ClassSym, pkg string, err error) {
+	switch ex := e.(type) {
+	case *Ident:
+		if li := c.lookupLocal(ex.Name); li != nil {
+			ex.Local = li
+			ex.T = li.Type
+			return li.Type, nil, "", nil
+		}
+		if f := lookupField(c.cls, ex.Name); f != nil {
+			if !f.Static && c.method.Static {
+				return nil, nil, "", errf(ex.Pos_, "instance field %s in static context", ex.Name)
+			}
+			ex.Field = f
+			ex.T = f.Type
+			return f.Type, nil, "", nil
+		}
+		if cs, cerr := c.prog.resolveClassName(c.cls, ex.Name, ex.Pos_); cerr == nil {
+			ex.Cls = cs
+			return nil, cs, "", nil
+		}
+		return nil, nil, ex.Name, nil
+	case *FieldAccess:
+		vt, cs, prefix, err := c.resolveQualifier(ex.Recv)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		switch {
+		case prefix != "":
+			full := prefix + "." + ex.Name
+			if cs, cerr := c.prog.resolveClassName(c.cls, full, ex.Pos_); cerr == nil {
+				return nil, cs, "", nil
+			}
+			return nil, nil, full, nil
+		case cs != nil:
+			f := lookupField(cs, ex.Name)
+			if f == nil || !f.Static {
+				return nil, nil, "", errf(ex.Pos_, "no static field %s in %s", ex.Name, cs.Name)
+			}
+			ex.Sym = f
+			ex.StaticCls = cs
+			ex.T = f.Type
+			return f.Type, nil, "", nil
+		default:
+			t, err := c.finishFieldAccess(ex, vt)
+			return t, nil, "", err
+		}
+	default:
+		t, err := c.checkExpr(e)
+		return t, nil, "", err
+	}
+}
+
+func (c *bodyCtx) finishFieldAccess(ex *FieldAccess, recvT *Type) (*Type, error) {
+	if recvT.Kind == KArray {
+		if ex.Name != "length" {
+			return nil, errf(ex.Pos_, "arrays have no field %s", ex.Name)
+		}
+		ex.IsArrayLen = true
+		ex.T = TInt
+		return TInt, nil
+	}
+	if recvT.Kind != KRef {
+		return nil, errf(ex.Pos_, "field access on non-reference %s", recvT)
+	}
+	f := lookupField(recvT.Cls, ex.Name)
+	if f == nil {
+		return nil, errf(ex.Pos_, "no field %s in %s", ex.Name, recvT.Cls.Name)
+	}
+	ex.Sym = f
+	ex.T = f.Type
+	return f.Type, nil
+}
+
+func (c *bodyCtx) checkFieldAccess(ex *FieldAccess) (*Type, error) {
+	vt, cls, pkg, err := c.resolveQualifier(ex.Recv)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case pkg != "":
+		full := pkg + "." + ex.Name
+		return nil, errf(ex.Pos_, "undefined name %s", full)
+	case cls != nil:
+		f := lookupField(cls, ex.Name)
+		if f == nil || !f.Static {
+			return nil, errf(ex.Pos_, "no static field %s in %s", ex.Name, cls.Name)
+		}
+		ex.Sym = f
+		ex.StaticCls = cls
+		ex.T = f.Type
+		return f.Type, nil
+	default:
+		return c.finishFieldAccess(ex, vt)
+	}
+}
+
+func (c *bodyCtx) checkCall(ex *Call) (*Type, error) {
+	args, err := c.checkArgs(ex.Args)
+	if err != nil {
+		return nil, err
+	}
+	// this(...) / super(...) constructor calls.
+	if ex.Name == "<init>" {
+		if c.method.Name != "<init>" {
+			return nil, errf(ex.Pos_, "constructor call outside constructor")
+		}
+		target := c.cls
+		if ex.Super {
+			target = c.cls.Super
+			if target == nil {
+				return nil, errf(ex.Pos_, "super() in class without superclass")
+			}
+		}
+		var ctors []*MethodSym
+		for _, m := range target.Methods {
+			if m.Name == "<init>" {
+				ctors = append(ctors, m)
+			}
+		}
+		sym, err := resolveOverload(ex.Pos_, ctors, args, false)
+		if err != nil {
+			return nil, err
+		}
+		ex.Sym = sym
+		ex.T = TVoid
+		return TVoid, nil
+	}
+	if ex.Super {
+		if c.method.Static {
+			return nil, errf(ex.Pos_, "super call in static context")
+		}
+		if c.cls.Super == nil {
+			return nil, errf(ex.Pos_, "super call in class without superclass")
+		}
+		sym, err := resolveOverload(ex.Pos_, methodsNamed(c.cls.Super, ex.Name), args, false)
+		if err != nil {
+			return nil, err
+		}
+		ex.Sym = sym
+		ex.T = sym.Ret
+		return sym.Ret, nil
+	}
+	if ex.Recv == nil {
+		// Unqualified call: current class (static or instance).
+		sym, err := resolveOverload(ex.Pos_, methodsNamed(c.cls, ex.Name), args, false)
+		if err != nil {
+			return nil, err
+		}
+		if !sym.Static && c.method.Static {
+			return nil, errf(ex.Pos_, "instance method %s called from static context", ex.Name)
+		}
+		ex.Sym = sym
+		ex.T = sym.Ret
+		return sym.Ret, nil
+	}
+	vt, cls, pkg, err := c.resolveQualifier(ex.Recv)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case pkg != "":
+		return nil, errf(ex.Pos_, "undefined name %s", pkg)
+	case cls != nil:
+		sym, err := resolveOverload(ex.Pos_, methodsNamed(cls, ex.Name), args, true)
+		if err != nil {
+			return nil, err
+		}
+		if !sym.Static {
+			return nil, errf(ex.Pos_, "instance method %s.%s accessed statically", cls.Name, ex.Name)
+		}
+		ex.Sym = sym
+		ex.StaticCls = cls
+		ex.T = sym.Ret
+		return sym.Ret, nil
+	default:
+		recvCls := (*ClassSym)(nil)
+		switch vt.Kind {
+		case KRef:
+			recvCls = vt.Cls
+		case KArray:
+			recvCls = c.prog.Classes["java/lang/Object"]
+		default:
+			return nil, errf(ex.Pos_, "method call on non-reference %s", vt)
+		}
+		sym, err := resolveOverload(ex.Pos_, methodsNamed(recvCls, ex.Name), args, false)
+		if err != nil {
+			return nil, err
+		}
+		ex.Sym = sym
+		ex.T = sym.Ret
+		return sym.Ret, nil
+	}
+}

@@ -1,0 +1,291 @@
+package minijava
+
+import (
+	"fmt"
+	"sort"
+
+	"doppio/internal/classfile"
+)
+
+// Compile parses, analyzes, and compiles a set of sources (file name →
+// contents) into class files keyed by internal class name.
+func Compile(sources map[string]string) (map[string][]byte, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*File
+	for _, n := range names {
+		f, err := ParseFile(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	prog, err := Analyze(files)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(prog.Order))
+	for _, cs := range prog.Order {
+		data, err := genClass(prog, cs)
+		if err != nil {
+			return nil, err
+		}
+		out[cs.Name] = data
+	}
+	return out, nil
+}
+
+// genClass emits one class file.
+func genClass(prog *Program, cs *ClassSym) ([]byte, error) {
+	pool := classfile.NewPoolBuilder()
+	cf := &classfile.ClassFile{
+		Minor: classfile.MinorVersion, Major: classfile.MajorVersion,
+		Flags:     classfile.AccPublic | classfile.AccSuper,
+		ThisClass: pool.Class(cs.Name),
+	}
+	if cs.IsInterface {
+		cf.Flags = classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract
+	} else if cs.IsAbstract {
+		cf.Flags |= classfile.AccAbstract
+	}
+	if cs.Super != nil {
+		cf.SuperClass = pool.Class(cs.Super.Name)
+	} else if cs.Name != "java/lang/Object" {
+		cf.SuperClass = pool.Class("java/lang/Object")
+	}
+	for _, i := range cs.Interfaces {
+		cf.Interfaces = append(cf.Interfaces, pool.Class(i.Name))
+	}
+	for _, fs := range cs.Fields {
+		flags := uint16(classfile.AccPublic)
+		if fs.Static {
+			flags |= classfile.AccStatic
+		}
+		if fs.Final {
+			flags |= classfile.AccFinal
+		}
+		cf.Fields = append(cf.Fields, classfile.Member{
+			Flags: flags,
+			Name:  pool.Utf8(fs.Name),
+			Desc:  pool.Utf8(fs.Type.Desc()),
+		})
+	}
+	for _, ms := range cs.Methods {
+		m, err := genMethod(prog, cs, ms, pool)
+		if err != nil {
+			return nil, err
+		}
+		cf.Methods = append(cf.Methods, *m)
+	}
+	// Synthesize <clinit> when static state needs initialization.
+	if clinit, err := genClinit(prog, cs, pool); err != nil {
+		return nil, err
+	} else if clinit != nil {
+		cf.Methods = append(cf.Methods, *clinit)
+	}
+	cf.ConstPool = pool.Pool()
+	return cf.Write(), nil
+}
+
+// genCtx generates code for one method body.
+type genCtx struct {
+	prog *Program
+	cls  *ClassSym
+	ms   *MethodSym
+	a    *asm
+
+	// Exit bookkeeping for break/continue/return across finally
+	// blocks and synchronized regions.
+	actions   []exitAction
+	breaks    []exitTarget
+	continues []exitTarget
+
+	scratch int // scratch local base (2 slots)
+}
+
+type exitAction interface{ emitExit(g *genCtx) }
+
+type finallyExit struct{ sub *label }
+
+func (f finallyExit) emitExit(g *genCtx) { g.a.jsr(f.sub) }
+
+type monitorRelease struct{ slot int }
+
+func (m monitorRelease) emitExit(g *genCtx) {
+	g.a.loadLocal(TNull, m.slot)
+	g.a.op(classfile.OpMonitorexit, -1)
+}
+
+type exitTarget struct {
+	l     *label
+	depth int // len(actions) when the construct was entered
+}
+
+// jsr emits a jump-to-subroutine; the subroutine sees the return
+// address on its stack.
+func (a *asm) jsr(l *label) {
+	opc := a.pc()
+	a.code = append(a.code, classfile.OpJsr, 0, 0)
+	a.adj(1) // the address as seen at the target
+	a.noteStack(l)
+	a.adj(-1) // fall-through resumes at the pre-jsr depth
+	a.fixups = append(a.fixups, fixup{at: opc + 1, opcPC: opc, l: l})
+}
+
+func genMethod(prog *Program, cs *ClassSym, ms *MethodSym, pool *classfile.PoolBuilder) (*classfile.Member, error) {
+	flags := uint16(classfile.AccPublic)
+	if ms.Static {
+		flags |= classfile.AccStatic
+	}
+	if ms.Native {
+		flags |= classfile.AccNative
+	}
+	if ms.Abstract {
+		flags |= classfile.AccAbstract
+	}
+	m := &classfile.Member{
+		Flags: flags,
+		Name:  pool.Utf8(ms.Name),
+		Desc:  pool.Utf8(ms.Descriptor()),
+	}
+	if ms.Native || ms.Abstract || ms.Decl == nil || (!ms.Decl.HasBody && ms.Name != "<init>") {
+		return m, nil
+	}
+	g := &genCtx{prog: prog, cls: cs, ms: ms, a: newAsm(pool)}
+	minLocals := 0
+	if !ms.Static {
+		minLocals = 1
+	}
+	for _, p := range ms.Params {
+		minLocals += slotWidth(p)
+	}
+	maxLocals := ms.MaxLocals
+	if maxLocals < minLocals {
+		maxLocals = minLocals
+	}
+	g.scratch = maxLocals
+	maxLocals += 2
+
+	if ms.Name == "<init>" {
+		if err := g.genCtorPrologue(); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range ms.Decl.Body {
+		if err := g.genStmt(s); err != nil {
+			return nil, err
+		}
+	}
+	// Implicit trailing return for void methods (and constructors).
+	if ms.Ret == TVoid {
+		g.a.op(classfile.OpReturn, 0)
+	} else if g.a.stack >= 0 {
+		// Unreachable per the checker, but keep the verifier-lite of
+		// the VM happy with a throwable tail.
+		g.a.op(classfile.OpAconstNull, 1)
+		g.a.op(classfile.OpAthrow, -1)
+	}
+	code, err := g.a.finish(maxLocals)
+	if err != nil {
+		return nil, fmt.Errorf("%s.%s: %w", cs.Name, ms.Name, err)
+	}
+	m.Attrs = append(m.Attrs, classfile.Attribute{
+		Name: pool.Utf8("Code"),
+		Data: classfile.EncodeCode(code),
+	})
+	return m, nil
+}
+
+func slotWidth(t *Type) int {
+	if t.Wide() {
+		return 2
+	}
+	return 1
+}
+
+// genCtorPrologue emits the implicit super() call (when the body does
+// not begin with an explicit this()/super() call) followed by instance
+// field initializers.
+func (g *genCtx) genCtorPrologue() error {
+	explicit := false
+	if body := g.ms.Decl.Body; len(body) > 0 {
+		if es, ok := body[0].(*ExprStmt); ok {
+			if call, ok := es.E.(*Call); ok && call.Name == "<init>" {
+				explicit = true
+			}
+		}
+	}
+	if !explicit && g.cls.Super != nil {
+		g.a.op(classfile.OpAload0, 1)
+		idx := g.a.pool.MethodRef(g.cls.Super.Name, "<init>", "()V")
+		g.a.opU16(classfile.OpInvokespecial, idx, -1)
+	}
+	// Field initializers run after the super call. When the explicit
+	// call is this(...), the delegate constructor already ran them;
+	// Java still re-runs them only for super(...) — we approximate by
+	// running them unless the first statement is this(...), which our
+	// subset does not support anyway.
+	for _, fs := range g.cls.Fields {
+		if fs.Static || fs.Decl == nil || fs.Decl.Init == nil {
+			continue
+		}
+		g.a.op(classfile.OpAload0, 1)
+		t, err := g.genExpr(fs.Decl.Init)
+		if err != nil {
+			return err
+		}
+		g.convert(t, fs.Type)
+		idx := g.a.pool.FieldRef(g.cls.Name, fs.Name, fs.Type.Desc())
+		g.a.opU16(classfile.OpPutfield, idx, -1-slotWidth(fs.Type))
+	}
+	return nil
+}
+
+// genClinit synthesizes <clinit> from static field initializers and
+// static blocks.
+func genClinit(prog *Program, cs *ClassSym, pool *classfile.PoolBuilder) (*classfile.Member, error) {
+	hasWork := len(cs.Decl.StaticInit) > 0
+	for _, fs := range cs.Fields {
+		if fs.Static && fs.Decl != nil && fs.Decl.Init != nil {
+			hasWork = true
+		}
+	}
+	if !hasWork {
+		return nil, nil
+	}
+	ms := &MethodSym{Owner: cs, Name: "<clinit>", Static: true, Ret: TVoid,
+		MaxLocals: cs.ClinitMaxLocals}
+	g := &genCtx{prog: prog, cls: cs, ms: ms, a: newAsm(pool)}
+	g.scratch = ms.MaxLocals
+	for _, fs := range cs.Fields {
+		if !fs.Static || fs.Decl == nil || fs.Decl.Init == nil {
+			continue
+		}
+		t, err := g.genExpr(fs.Decl.Init)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(t, fs.Type)
+		idx := pool.FieldRef(cs.Name, fs.Name, fs.Type.Desc())
+		g.a.opU16(classfile.OpPutstatic, idx, -slotWidth(fs.Type))
+	}
+	for _, s := range cs.Decl.StaticInit {
+		if err := g.genStmt(s); err != nil {
+			return nil, err
+		}
+	}
+	g.a.op(classfile.OpReturn, 0)
+	code, err := g.a.finish(ms.MaxLocals + 2)
+	if err != nil {
+		return nil, fmt.Errorf("%s.<clinit>: %w", cs.Name, err)
+	}
+	return &classfile.Member{
+		Flags: classfile.AccStatic,
+		Name:  pool.Utf8("<clinit>"),
+		Desc:  pool.Utf8("()V"),
+		Attrs: []classfile.Attribute{{Name: pool.Utf8("Code"), Data: classfile.EncodeCode(code)}},
+	}, nil
+}

@@ -1,0 +1,390 @@
+package minijava
+
+// Expression parsing: precedence climbing.
+
+var binaryLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="}, // instanceof handled at this level
+	{"<<", ">>", ">>>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true, ">>>=": true,
+}
+
+func (p *parser) expr() (Expr, error) { return p.assignment() }
+
+func (p *parser) assignment() (Expr, error) {
+	lhs, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == PUNCT && assignOps[t.Text] {
+		p.pos++
+		rhs, err := p.assignment() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos_: t.Pos, Op: t.Text, L: lhs, R: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) ternary() (Expr, error) {
+	cond, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.isP("?") {
+		pos := p.cur().Pos
+		p.pos++
+		a, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.ternary()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{Pos_: pos, Cond: cond, A: a, B: b}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level == len(binaryLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		// instanceof sits at the relational level.
+		if level == 6 && t.Kind == KEYWORD && t.Text == "instanceof" {
+			p.pos++
+			typ, err := p.typeExpr(false)
+			if err != nil {
+				return nil, err
+			}
+			lhs = &InstanceOf{Pos_: t.Pos, E: lhs, Type: typ}
+			continue
+		}
+		if t.Kind != PUNCT {
+			return lhs, nil
+		}
+		matched := false
+		for _, op := range binaryLevels[level] {
+			if t.Text == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos_: t.Pos, Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == PUNCT {
+		switch t.Text {
+		case "!", "~", "-", "+":
+			p.pos++
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			// Fold -literal immediately so INT_MIN parses.
+			if t.Text == "-" {
+				if lit, ok := e.(*Lit); ok && (lit.Kind == INTLIT || lit.Kind == LONGLIT) {
+					lit.Int = -lit.Int
+					if lit.Kind == INTLIT {
+						lit.Int = int64(int32(lit.Int))
+					}
+					return lit, nil
+				}
+				if lit, ok := e.(*Lit); ok && (lit.Kind == DOUBLELIT || lit.Kind == FLOATLIT) {
+					lit.F = -lit.F
+					return lit, nil
+				}
+			}
+			if t.Text == "+" {
+				return e, nil
+			}
+			return &Unary{Pos_: t.Pos, Op: t.Text, E: e}, nil
+		case "++", "--":
+			p.pos++
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Pos_: t.Pos, Op: t.Text, E: e}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			if e, ok, err := p.tryCast(); ok || err != nil {
+				return e, err
+			}
+		}
+	}
+	return p.postfix()
+}
+
+// tryCast speculatively parses "( Type ) unary".
+func (p *parser) tryCast() (Expr, bool, error) {
+	save := p.pos
+	pos := p.cur().Pos
+	p.pos++ // (
+	t := p.cur()
+	isPrim := t.Kind == KEYWORD && primTypeNames[t.Text]
+	if !isPrim && t.Kind != IDENT {
+		p.pos = save
+		return nil, false, nil
+	}
+	typ, err := p.typeExpr(false)
+	if err != nil {
+		p.pos = save
+		return nil, false, nil
+	}
+	if !p.acceptP(")") {
+		p.pos = save
+		return nil, false, nil
+	}
+	// A cast must be followed by something that can start a unary
+	// expression. For class-name casts, operators like +/- mean the
+	// parenthesized-expression reading was intended.
+	nt := p.cur()
+	castFollows := false
+	switch nt.Kind {
+	case IDENT, INTLIT, LONGLIT, FLOATLIT, DOUBLELIT, CHARLIT, STRINGLIT:
+		castFollows = true
+	case KEYWORD:
+		castFollows = nt.Text == "this" || nt.Text == "new" || nt.Text == "true" ||
+			nt.Text == "false" || nt.Text == "null" || nt.Text == "super"
+	case PUNCT:
+		if nt.Text == "(" || nt.Text == "!" || nt.Text == "~" {
+			castFollows = true
+		}
+		// "-"/"+" after a primitive cast is still a cast: (int) -x.
+		if isPrim && (nt.Text == "-" || nt.Text == "+") {
+			castFollows = true
+		}
+	}
+	if !castFollows {
+		p.pos = save
+		return nil, false, nil
+	}
+	e, err := p.unary()
+	if err != nil {
+		return nil, true, err
+	}
+	return &Cast{Pos_: pos, Type: typ, E: e}, true, nil
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.isP("."):
+			p.pos++
+			nameTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.isP("(") {
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				e = &Call{Pos_: nameTok.Pos, Recv: e, Name: nameTok.Text, Args: args}
+			} else {
+				e = &FieldAccess{Pos_: nameTok.Pos, Recv: e, Name: nameTok.Text}
+			}
+		case p.isP("["):
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectP("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Pos_: t.Pos, Arr: e, I: idx}
+		case p.isP("++") || p.isP("--"):
+			p.pos++
+			e = &Unary{Pos_: t.Pos, Op: t.Text, Postfix: true, E: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) args() ([]Expr, error) {
+	if err := p.expectP("("); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	if p.acceptP(")") {
+		return out, nil
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.acceptP(",") {
+			break
+		}
+	}
+	return out, p.expectP(")")
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT, LONGLIT, FLOATLIT, DOUBLELIT, CHARLIT:
+		p.pos++
+		return &Lit{Pos_: t.Pos, Kind: t.Kind, Int: t.Int, F: t.F}, nil
+	case STRINGLIT:
+		p.pos++
+		return &Lit{Pos_: t.Pos, Kind: STRINGLIT, Str: t.Str}, nil
+	case KEYWORD:
+		switch t.Text {
+		case "true", "false", "null":
+			p.pos++
+			return &Lit{Pos_: t.Pos, Kind: KEYWORD, Text: t.Text}, nil
+		case "this":
+			p.pos++
+			if p.isP("(") {
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				return &Call{Pos_: t.Pos, Name: "<init>", Args: args}, nil
+			}
+			return &This{Pos_: t.Pos}, nil
+		case "super":
+			p.pos++
+			if p.isP("(") {
+				// super(...) constructor call.
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				return &Call{Pos_: t.Pos, Super: true, Name: "<init>", Args: args}, nil
+			}
+			if err := p.expectP("."); err != nil {
+				return nil, err
+			}
+			nameTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Pos_: nameTok.Pos, Super: true, Name: nameTok.Text, Args: args}, nil
+		case "new":
+			return p.newExpr()
+		}
+	case IDENT:
+		p.pos++
+		if p.isP("(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Pos_: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos_: t.Pos, Name: t.Text}, nil
+	case PUNCT:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectP(")")
+		}
+	}
+	return nil, errf(t.Pos, "unexpected token %q in expression", t.Text)
+}
+
+func (p *parser) newExpr() (Expr, error) {
+	start := p.cur().Pos
+	p.pos++ // new
+	t := p.cur()
+	var elem TypeExpr
+	elem.Pos = t.Pos
+	switch {
+	case t.Kind == KEYWORD && primTypeNames[t.Text]:
+		p.pos++
+		elem.Name = t.Text
+	case t.Kind == IDENT:
+		name, err := p.qualified()
+		if err != nil {
+			return nil, err
+		}
+		elem.Name = name
+	default:
+		return nil, errf(t.Pos, "expected type after new")
+	}
+	if p.isP("(") {
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &New{Pos_: start, Type: elem, Args: args}, nil
+	}
+	if !p.isP("[") {
+		return nil, errf(p.cur().Pos, "expected '(' or '[' after new %s", elem.Name)
+	}
+	na := &NewArray{Pos_: start, Elem: elem}
+	// Sized dims.
+	for p.isP("[") && !(p.toks[p.pos+1].Kind == PUNCT && p.toks[p.pos+1].Text == "]") {
+		p.pos++
+		d, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP("]"); err != nil {
+			return nil, err
+		}
+		na.DimExprs = append(na.DimExprs, d)
+	}
+	// Trailing empty dims.
+	for p.isP("[") && p.toks[p.pos+1].Kind == PUNCT && p.toks[p.pos+1].Text == "]" {
+		p.pos += 2
+		na.ExtraDims++
+	}
+	if len(na.DimExprs) == 0 {
+		return nil, errf(start, "array creation needs at least one sized dimension")
+	}
+	return na, nil
+}

@@ -1,0 +1,443 @@
+package minijava
+
+import (
+	"doppio/internal/classfile"
+)
+
+// genExpr emits code leaving e's value on the operand stack and
+// returns its static type.
+func (g *genCtx) genExpr(e Expr) (*Type, error) {
+	switch ex := e.(type) {
+	case *Lit:
+		switch ex.Kind {
+		case INTLIT:
+			g.a.pushInt(int32(ex.Int))
+		case LONGLIT:
+			g.a.pushLong(ex.Int)
+		case FLOATLIT:
+			g.a.pushFloat(float32(ex.F))
+		case DOUBLELIT:
+			g.a.pushDouble(ex.F)
+		case CHARLIT:
+			g.a.pushInt(int32(ex.Int))
+		case STRINGLIT:
+			g.a.ldc(g.a.pool.String(ex.Str), 1)
+		case KEYWORD:
+			switch ex.Text {
+			case "true":
+				g.a.op(classfile.OpIconst1, 1)
+			case "false":
+				g.a.op(classfile.OpIconst0, 1)
+			case "null":
+				g.a.op(classfile.OpAconstNull, 1)
+			}
+		}
+		return ex.T, nil
+
+	case *This:
+		g.a.op(classfile.OpAload0, 1)
+		return ex.T, nil
+
+	case *Ident:
+		switch {
+		case ex.Local != nil:
+			g.a.loadLocal(ex.Local.Type, ex.Local.Slot)
+		case ex.Field != nil:
+			g.genFieldLoad(ex.Field, true)
+		default:
+			return nil, errf(ex.Pos_, "unresolved identifier %s in codegen", ex.Name)
+		}
+		return ex.T, nil
+
+	case *Unary:
+		return g.genUnary(ex)
+
+	case *Binary:
+		return g.genBinary(ex)
+
+	case *Ternary:
+		elseL := g.a.newLabel()
+		endL := g.a.newLabel()
+		if _, err := g.genExpr(ex.Cond); err != nil {
+			return nil, err
+		}
+		g.a.branch(classfile.OpIfeq, elseL, -1)
+		at, err := g.genExpr(ex.A)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(at, ex.T)
+		g.a.branch(classfile.OpGoto, endL, 0)
+		g.a.bind(elseL)
+		bt, err := g.genExpr(ex.B)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(bt, ex.T)
+		g.a.bind(endL)
+		return ex.T, nil
+
+	case *Assign:
+		if err := g.genAssign(ex, true); err != nil {
+			return nil, err
+		}
+		return ex.T, nil
+
+	case *Call:
+		return g.genCall(ex)
+
+	case *FieldAccess:
+		if ex.IsArrayLen {
+			if _, err := g.genExpr(ex.Recv); err != nil {
+				return nil, err
+			}
+			g.a.op(classfile.OpArraylength, 0)
+			return TInt, nil
+		}
+		if ex.Sym.Static {
+			// Evaluate a value receiver for effect, if any.
+			if ex.Recv != nil && ex.StaticCls == nil {
+				if err := g.genExprStmt(ex.Recv); err != nil {
+					return nil, err
+				}
+			}
+			g.genFieldLoad(ex.Sym, false)
+			return ex.T, nil
+		}
+		if _, err := g.genExpr(ex.Recv); err != nil {
+			return nil, err
+		}
+		idx := g.a.pool.FieldRef(ex.Sym.Owner.Name, ex.Sym.Name, ex.Sym.Type.Desc())
+		g.a.opU16(classfile.OpGetfield, idx, -1+slotWidth(ex.Sym.Type))
+		return ex.T, nil
+
+	case *Index:
+		if _, err := g.genExpr(ex.Arr); err != nil {
+			return nil, err
+		}
+		it, err := g.genExpr(ex.I)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(it, TInt)
+		g.a.op(arrayLoadOp(ex.T), -2+slotWidth(ex.T))
+		return ex.T, nil
+
+	case *New:
+		idx := g.a.pool.Class(ex.T.Cls.Name)
+		g.a.opU16(classfile.OpNew, idx, 1)
+		g.a.op(classfile.OpDup, 1)
+		argSlots, err := g.genArgs(ex.Args, ex.Ctor.Params)
+		if err != nil {
+			return nil, err
+		}
+		mref := g.a.pool.MethodRef(ex.T.Cls.Name, "<init>", ex.Ctor.Descriptor())
+		g.a.opU16(classfile.OpInvokespecial, mref, -1-argSlots)
+		return ex.T, nil
+
+	case *NewArray:
+		return g.genNewArray(ex)
+
+	case *Cast:
+		et, err := g.genExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		if ex.T.IsRef() {
+			if et.Kind != KNull && !ex.T.Equal(et) && convertCost(et, ex.T) < 0 {
+				// Downcast: runtime check.
+				g.a.opU16(classfile.OpCheckcast, g.a.pool.Class(refName(ex.T)), 0)
+			}
+			return ex.T, nil
+		}
+		g.convert(et, ex.T)
+		return ex.T, nil
+
+	case *InstanceOf:
+		if _, err := g.genExpr(ex.E); err != nil {
+			return nil, err
+		}
+		g.a.opU16(classfile.OpInstanceof, g.a.pool.Class(ex.Cls.Name), 0)
+		return TBool, nil
+	}
+	return nil, errf(e.pos(), "unhandled expression in codegen: %T", e)
+}
+
+func (g *genCtx) genExpr2(e Expr) error {
+	_, err := g.genExpr(e)
+	return err
+}
+
+// refName returns the class-constant name for a reference type
+// (array types use their descriptor form).
+func refName(t *Type) string {
+	if t.Kind == KArray {
+		return t.Desc()
+	}
+	return t.Cls.Name
+}
+
+func (g *genCtx) genFieldLoad(f *FieldSym, implicitThis bool) {
+	idx := g.a.pool.FieldRef(f.Owner.Name, f.Name, f.Type.Desc())
+	if f.Static {
+		g.a.opU16(classfile.OpGetstatic, idx, slotWidth(f.Type))
+		return
+	}
+	g.a.op(classfile.OpAload0, 1)
+	g.a.opU16(classfile.OpGetfield, idx, -1+slotWidth(f.Type))
+}
+
+// genArgs evaluates call arguments with conversions, returning the
+// total argument slot count.
+func (g *genCtx) genArgs(args []Expr, params []*Type) (int, error) {
+	slots := 0
+	for i, arg := range args {
+		t, err := g.genExpr(arg)
+		if err != nil {
+			return 0, err
+		}
+		g.convert(t, params[i])
+		slots += slotWidth(params[i])
+	}
+	return slots, nil
+}
+
+func (g *genCtx) genCall(ex *Call) (*Type, error) {
+	sym := ex.Sym
+	// this()/super() constructor delegation.
+	if ex.Name == "<init>" {
+		g.a.op(classfile.OpAload0, 1)
+		argSlots, err := g.genArgs(ex.Args, sym.Params)
+		if err != nil {
+			return nil, err
+		}
+		mref := g.a.pool.MethodRef(sym.Owner.Name, "<init>", sym.Descriptor())
+		g.a.opU16(classfile.OpInvokespecial, mref, -1-argSlots)
+		return TVoid, nil
+	}
+	retSlots := slotWidth(sym.Ret)
+	if sym.Ret == TVoid {
+		retSlots = 0
+	}
+	if sym.Static {
+		// A value receiver (rare: expr.staticMethod()) still evaluates.
+		if ex.Recv != nil && ex.StaticCls == nil {
+			if err := g.genExprStmt(ex.Recv); err != nil {
+				return nil, err
+			}
+		}
+		argSlots, err := g.genArgs(ex.Args, sym.Params)
+		if err != nil {
+			return nil, err
+		}
+		mref := g.a.pool.MethodRef(sym.Owner.Name, sym.Name, sym.Descriptor())
+		g.a.opU16(classfile.OpInvokestatic, mref, -argSlots+retSlots)
+		return sym.Ret, nil
+	}
+	// Instance call: receiver first.
+	if ex.Recv != nil {
+		if _, err := g.genExpr(ex.Recv); err != nil {
+			return nil, err
+		}
+	} else {
+		g.a.op(classfile.OpAload0, 1)
+	}
+	argSlots, err := g.genArgs(ex.Args, sym.Params)
+	if err != nil {
+		return nil, err
+	}
+	delta := -1 - argSlots + retSlots
+	switch {
+	case ex.Super:
+		mref := g.a.pool.MethodRef(sym.Owner.Name, sym.Name, sym.Descriptor())
+		g.a.opU16(classfile.OpInvokespecial, mref, delta)
+	case sym.Owner.IsInterface:
+		mref := g.a.pool.InterfaceMethodRef(sym.Owner.Name, sym.Name, sym.Descriptor())
+		g.a.code = append(g.a.code, classfile.OpInvokeinterface,
+			byte(mref>>8), byte(mref), byte(1+argSlots), 0)
+		g.a.adj(delta)
+	default:
+		mref := g.a.pool.MethodRef(sym.Owner.Name, sym.Name, sym.Descriptor())
+		g.a.opU16(classfile.OpInvokevirtual, mref, delta)
+	}
+	return sym.Ret, nil
+}
+
+func (g *genCtx) genNewArray(ex *NewArray) (*Type, error) {
+	for _, d := range ex.DimExprs {
+		dt, err := g.genExpr(d)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(dt, TInt)
+	}
+	totalDims := len(ex.DimExprs) + ex.ExtraDims
+	elem := ex.T
+	for i := 0; i < totalDims; i++ {
+		elem = elem.Elem
+	}
+	switch {
+	case totalDims == 1 && !elem.IsRef():
+		g.a.opU8(classfile.OpNewarray, newarrayCode(elem), 0)
+	case totalDims == 1:
+		g.a.opU16(classfile.OpAnewarray, g.a.pool.Class(refName(elem)), 0)
+	default:
+		idx := g.a.pool.Class(ex.T.Desc())
+		dims := byte(len(ex.DimExprs))
+		g.a.code = append(g.a.code, classfile.OpMultianewarray,
+			byte(idx>>8), byte(idx), dims)
+		g.a.adj(1 - len(ex.DimExprs))
+	}
+	return ex.T, nil
+}
+
+func newarrayCode(t *Type) byte {
+	switch t.Kind {
+	case KBool:
+		return 4
+	case KChar:
+		return 5
+	case KFloat:
+		return 6
+	case KDouble:
+		return 7
+	case KByte:
+		return 8
+	case KShort:
+		return 9
+	case KInt:
+		return 10
+	case KLong:
+		return 11
+	}
+	return 10
+}
+
+func arrayLoadOp(elem *Type) byte {
+	switch elem.Kind {
+	case KLong:
+		return classfile.OpLaload
+	case KFloat:
+		return classfile.OpFaload
+	case KDouble:
+		return classfile.OpDaload
+	case KRef, KArray, KNull:
+		return classfile.OpAaload
+	case KByte, KBool:
+		return classfile.OpBaload
+	case KChar:
+		return classfile.OpCaload
+	case KShort:
+		return classfile.OpSaload
+	default:
+		return classfile.OpIaload
+	}
+}
+
+func arrayStoreOp(elem *Type) byte {
+	switch elem.Kind {
+	case KLong:
+		return classfile.OpLastore
+	case KFloat:
+		return classfile.OpFastore
+	case KDouble:
+		return classfile.OpDastore
+	case KRef, KArray, KNull:
+		return classfile.OpAastore
+	case KByte, KBool:
+		return classfile.OpBastore
+	case KChar:
+		return classfile.OpCastore
+	case KShort:
+		return classfile.OpSastore
+	default:
+		return classfile.OpIastore
+	}
+}
+
+// convert emits the conversion from static type `from` to `to`.
+func (g *genCtx) convert(from, to *Type) {
+	if from.Equal(to) || to == TVoid || from.IsRef() || to.IsRef() {
+		return
+	}
+	// Normalize the small int types: on the stack they are ints.
+	fk := from.Kind
+	if fk == KByte || fk == KShort || fk == KChar || fk == KBool {
+		fk = KInt
+	}
+	switch fk {
+	case KInt:
+		switch to.Kind {
+		case KInt, KBool:
+		case KByte:
+			g.a.op(classfile.OpI2b, 0)
+		case KChar:
+			g.a.op(classfile.OpI2c, 0)
+		case KShort:
+			g.a.op(classfile.OpI2s, 0)
+		case KLong:
+			g.a.op(classfile.OpI2l, 1)
+		case KFloat:
+			g.a.op(classfile.OpI2f, 0)
+		case KDouble:
+			g.a.op(classfile.OpI2d, 1)
+		}
+	case KLong:
+		switch to.Kind {
+		case KLong:
+		case KInt:
+			g.a.op(classfile.OpL2i, -1)
+		case KByte:
+			g.a.op(classfile.OpL2i, -1)
+			g.a.op(classfile.OpI2b, 0)
+		case KChar:
+			g.a.op(classfile.OpL2i, -1)
+			g.a.op(classfile.OpI2c, 0)
+		case KShort:
+			g.a.op(classfile.OpL2i, -1)
+			g.a.op(classfile.OpI2s, 0)
+		case KFloat:
+			g.a.op(classfile.OpL2f, -1)
+		case KDouble:
+			g.a.op(classfile.OpL2d, 0)
+		}
+	case KFloat:
+		switch to.Kind {
+		case KFloat:
+		case KInt:
+			g.a.op(classfile.OpF2i, 0)
+		case KByte:
+			g.a.op(classfile.OpF2i, 0)
+			g.a.op(classfile.OpI2b, 0)
+		case KChar:
+			g.a.op(classfile.OpF2i, 0)
+			g.a.op(classfile.OpI2c, 0)
+		case KShort:
+			g.a.op(classfile.OpF2i, 0)
+			g.a.op(classfile.OpI2s, 0)
+		case KLong:
+			g.a.op(classfile.OpF2l, 1)
+		case KDouble:
+			g.a.op(classfile.OpF2d, 1)
+		}
+	case KDouble:
+		switch to.Kind {
+		case KDouble:
+		case KInt:
+			g.a.op(classfile.OpD2i, -1)
+		case KByte:
+			g.a.op(classfile.OpD2i, -1)
+			g.a.op(classfile.OpI2b, 0)
+		case KChar:
+			g.a.op(classfile.OpD2i, -1)
+			g.a.op(classfile.OpI2c, 0)
+		case KShort:
+			g.a.op(classfile.OpD2i, -1)
+			g.a.op(classfile.OpI2s, 0)
+		case KLong:
+			g.a.op(classfile.OpD2l, 0)
+		case KFloat:
+			g.a.op(classfile.OpD2f, -1)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package minijava
+
+import "doppio/internal/classfile"
+
+// lvKind classifies an assignable expression.
+type lvKind int
+
+const (
+	lvLocal lvKind = iota
+	lvStatic
+	lvField
+	lvArray
+)
+
+// lvalue captures the addressing of an assignable expression so that
+// loads, stores, and read-modify-write sequences can share it.
+type lvalue struct {
+	kind  lvKind
+	t     *Type // value type
+	local *LocalInfo
+	field *FieldSym
+}
+
+// prepLValue classifies e and emits its addressing components (nothing
+// for locals and statics; the receiver for fields; array + index for
+// elements).
+func (g *genCtx) prepLValue(e Expr) (*lvalue, error) {
+	switch ex := e.(type) {
+	case *Ident:
+		if ex.Local != nil {
+			return &lvalue{kind: lvLocal, t: ex.T, local: ex.Local}, nil
+		}
+		if ex.Field != nil {
+			if ex.Field.Static {
+				return &lvalue{kind: lvStatic, t: ex.T, field: ex.Field}, nil
+			}
+			g.a.op(classfile.OpAload0, 1)
+			return &lvalue{kind: lvField, t: ex.T, field: ex.Field}, nil
+		}
+	case *FieldAccess:
+		if ex.Sym != nil && ex.Sym.Static {
+			if ex.Recv != nil && ex.StaticCls == nil {
+				if err := g.genExprStmt(ex.Recv); err != nil {
+					return nil, err
+				}
+			}
+			return &lvalue{kind: lvStatic, t: ex.T, field: ex.Sym}, nil
+		}
+		if ex.Sym != nil {
+			if _, err := g.genExpr(ex.Recv); err != nil {
+				return nil, err
+			}
+			return &lvalue{kind: lvField, t: ex.T, field: ex.Sym}, nil
+		}
+	case *Index:
+		if _, err := g.genExpr(ex.Arr); err != nil {
+			return nil, err
+		}
+		it, err := g.genExpr(ex.I)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(it, TInt)
+		return &lvalue{kind: lvArray, t: ex.T}, nil
+	}
+	return nil, errf(e.pos(), "not an assignable expression")
+}
+
+// addrSlots returns how many stack slots the addressing occupies.
+func (lv *lvalue) addrSlots() int {
+	switch lv.kind {
+	case lvField:
+		return 1
+	case lvArray:
+		return 2
+	}
+	return 0
+}
+
+// dupAddr duplicates the addressing components in place.
+func (g *genCtx) dupAddr(lv *lvalue) {
+	switch lv.kind {
+	case lvField:
+		g.a.op(classfile.OpDup, 1)
+	case lvArray:
+		g.a.op(classfile.OpDup2, 2)
+	}
+}
+
+// loadAddressed reads the value through (and consuming) one copy of
+// the addressing.
+func (g *genCtx) loadAddressed(lv *lvalue) {
+	w := slotWidth(lv.t)
+	switch lv.kind {
+	case lvLocal:
+		g.a.loadLocal(lv.t, lv.local.Slot)
+	case lvStatic:
+		idx := g.a.pool.FieldRef(lv.field.Owner.Name, lv.field.Name, lv.field.Type.Desc())
+		g.a.opU16(classfile.OpGetstatic, idx, w)
+	case lvField:
+		idx := g.a.pool.FieldRef(lv.field.Owner.Name, lv.field.Name, lv.field.Type.Desc())
+		g.a.opU16(classfile.OpGetfield, idx, -1+w)
+	case lvArray:
+		g.a.op(arrayLoadOp(lv.t), -2+w)
+	}
+}
+
+// dupValueUnderAddr duplicates the value on top of the stack beneath
+// the addressing components (used to keep a copy as the expression's
+// result).
+func (g *genCtx) dupValueUnderAddr(lv *lvalue) {
+	wide := lv.t.Wide()
+	switch lv.addrSlots() {
+	case 0:
+		if wide {
+			g.a.op(classfile.OpDup2, 2)
+		} else {
+			g.a.op(classfile.OpDup, 1)
+		}
+	case 1:
+		if wide {
+			g.a.op(classfile.OpDup2X1, 2)
+		} else {
+			g.a.op(classfile.OpDupX1, 1)
+		}
+	case 2:
+		if wide {
+			g.a.op(classfile.OpDup2X2, 2)
+		} else {
+			g.a.op(classfile.OpDupX2, 1)
+		}
+	}
+}
+
+// storeAddressed writes the value (on top of the stack) through the
+// addressing components, consuming both.
+func (g *genCtx) storeAddressed(lv *lvalue) {
+	w := slotWidth(lv.t)
+	switch lv.kind {
+	case lvLocal:
+		g.a.storeLocal(lv.t, lv.local.Slot)
+	case lvStatic:
+		idx := g.a.pool.FieldRef(lv.field.Owner.Name, lv.field.Name, lv.field.Type.Desc())
+		g.a.opU16(classfile.OpPutstatic, idx, -w)
+	case lvField:
+		idx := g.a.pool.FieldRef(lv.field.Owner.Name, lv.field.Name, lv.field.Type.Desc())
+		g.a.opU16(classfile.OpPutfield, idx, -1-w)
+	case lvArray:
+		g.a.op(arrayStoreOp(lv.t), -2-w)
+	}
+}
+
+// genAssign compiles simple and compound assignment. When wantValue is
+// true a copy of the stored value remains on the stack.
+func (g *genCtx) genAssign(ex *Assign, wantValue bool) error {
+	lv, err := g.prepLValue(ex.L)
+	if err != nil {
+		return err
+	}
+	if ex.Op == "=" {
+		rt, err := g.genExpr(ex.R)
+		if err != nil {
+			return err
+		}
+		g.convert(rt, lv.t)
+		if wantValue {
+			g.dupValueUnderAddr(lv)
+		}
+		g.storeAddressed(lv)
+		return nil
+	}
+	// Compound assignment: read through a duplicate of the address,
+	// apply the operator, narrow back, store.
+	op := ex.Op[:len(ex.Op)-1]
+	g.dupAddr(lv)
+	g.loadAddressed(lv)
+
+	if op == "+" && lv.t.Kind == KRef { // string +=
+		sb := "java/lang/StringBuilder"
+		// current value is a String on the stack; build the result.
+		// [.., old] → [.., sb, old, sb] → init → [.., sb, old] →
+		// append(old) → [.., sb].
+		g.a.opU16(classfile.OpNew, g.a.pool.Class(sb), 1)
+		g.a.op(classfile.OpDupX1, 1)
+		g.a.opU16(classfile.OpInvokespecial, g.a.pool.MethodRef(sb, "<init>", "()V"), -1)
+		g.a.opU16(classfile.OpInvokevirtual,
+			g.a.pool.MethodRef(sb, "append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;"), -1)
+		rt, err := g.genExpr(ex.R)
+		if err != nil {
+			return err
+		}
+		desc, conv := appendDescriptor(rt)
+		if conv != nil {
+			g.convert(rt, conv)
+		}
+		delta := -1
+		if rt.Wide() {
+			delta = -2
+		}
+		g.a.opU16(classfile.OpInvokevirtual, g.a.pool.MethodRef(sb, "append", desc), delta)
+		g.a.opU16(classfile.OpInvokevirtual,
+			g.a.pool.MethodRef(sb, "toString", "()Ljava/lang/String;"), 0)
+	} else {
+		// Promote the current value, apply the operator, convert back.
+		opT := lv.t
+		rtStatic := exprType(ex.R)
+		if lv.t.IsNumeric() && rtStatic.IsNumeric() {
+			opT = promote(lv.t, rtStatic)
+		}
+		if opT == TBool {
+			opT = TInt
+		}
+		isShift := op == "<<" || op == ">>" || op == ">>>"
+		if isShift {
+			opT = promote(lv.t, TInt)
+		}
+		g.convert(lv.t, opT)
+		rt, err := g.genExpr(ex.R)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "+", "-", "*", "/", "%":
+			g.convert(rt, opT)
+			g.a.op(arithOp(op, opT.Kind), -slotWidth(opT))
+		case "&", "|", "^":
+			if lv.t == TBool {
+				g.a.op(bitOp(op, KInt), -1)
+			} else {
+				g.convert(rt, opT)
+				g.a.op(bitOp(op, opT.Kind), -slotWidth(opT))
+			}
+		case "<<", ">>", ">>>":
+			g.convert(rt, TInt)
+			g.a.op(shiftOp(op, opT.Kind), -1)
+		}
+		g.convert(opT, lv.t)
+	}
+	if wantValue {
+		g.dupValueUnderAddr(lv)
+	}
+	g.storeAddressed(lv)
+	return nil
+}
+
+// genIncDec compiles ++/-- in all four forms.
+func (g *genCtx) genIncDec(ex *Unary, wantValue bool) error {
+	// Fast path: int local with iinc.
+	if id, ok := ex.E.(*Ident); ok && id.Local != nil && id.Local.Type.Kind == KInt && id.Local.Slot < 256 {
+		amount := byte(1)
+		if ex.Op == "--" {
+			amount = 0xFF // -1 as signed byte
+		}
+		if wantValue && ex.Postfix {
+			g.a.loadLocal(TInt, id.Local.Slot)
+		}
+		g.a.code = append(g.a.code, classfile.OpIinc, byte(id.Local.Slot), amount)
+		if wantValue && !ex.Postfix {
+			g.a.loadLocal(TInt, id.Local.Slot)
+		}
+		return nil
+	}
+	lv, err := g.prepLValue(ex.E)
+	if err != nil {
+		return err
+	}
+	g.dupAddr(lv)
+	g.loadAddressed(lv)
+	if wantValue && ex.Postfix {
+		g.dupValueUnderAddr(lv)
+	}
+	one := lv.t
+	switch one.Kind {
+	case KLong:
+		g.a.pushLong(1)
+	case KFloat:
+		g.a.pushFloat(1)
+	case KDouble:
+		g.a.pushDouble(1)
+	default:
+		g.a.op(classfile.OpIconst1, 1)
+	}
+	opName := "+"
+	if ex.Op == "--" {
+		opName = "-"
+	}
+	opT := lv.t
+	if !opT.Wide() && opT.Kind != KFloat {
+		opT = TInt
+	}
+	g.a.op(arithOp(opName, opT.Kind), -slotWidth(opT))
+	g.convert(opT, lv.t)
+	if wantValue && !ex.Postfix {
+		g.dupValueUnderAddr(lv)
+	}
+	g.storeAddressed(lv)
+	return nil
+}

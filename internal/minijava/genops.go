@@ -1,0 +1,387 @@
+package minijava
+
+import "doppio/internal/classfile"
+
+// arithmetic opcode families, indexed by promoted kind.
+func arithOp(op string, k TypeKind) byte {
+	var base byte
+	switch op {
+	case "+":
+		base = classfile.OpIadd
+	case "-":
+		base = classfile.OpIsub
+	case "*":
+		base = classfile.OpImul
+	case "/":
+		base = classfile.OpIdiv
+	case "%":
+		base = classfile.OpIrem
+	}
+	switch k {
+	case KLong:
+		return base + 1
+	case KFloat:
+		return base + 2
+	case KDouble:
+		return base + 3
+	default:
+		return base
+	}
+}
+
+func bitOp(op string, k TypeKind) byte {
+	var base byte
+	switch op {
+	case "&":
+		base = classfile.OpIand
+	case "|":
+		base = classfile.OpIor
+	case "^":
+		base = classfile.OpIxor
+	}
+	if k == KLong {
+		return base + 1
+	}
+	return base
+}
+
+func shiftOp(op string, k TypeKind) byte {
+	var base byte
+	switch op {
+	case "<<":
+		base = classfile.OpIshl
+	case ">>":
+		base = classfile.OpIshr
+	case ">>>":
+		base = classfile.OpIushr
+	}
+	if k == KLong {
+		return base + 1
+	}
+	return base
+}
+
+func (g *genCtx) genUnary(ex *Unary) (*Type, error) {
+	switch ex.Op {
+	case "++", "--":
+		if err := g.genIncDec(ex, true); err != nil {
+			return nil, err
+		}
+		return ex.T, nil
+	case "!":
+		// !x == x ^ 1 for 0/1 booleans.
+		if _, err := g.genExpr(ex.E); err != nil {
+			return nil, err
+		}
+		g.a.op(classfile.OpIconst1, 1)
+		g.a.op(classfile.OpIxor, -1)
+		return TBool, nil
+	case "~":
+		t, err := g.genExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(t, ex.T)
+		if ex.T.Kind == KLong {
+			g.a.pushLong(-1)
+			g.a.op(classfile.OpLxor, -2)
+		} else {
+			g.a.op(classfile.OpIconstM1, 1)
+			g.a.op(classfile.OpIxor, -1)
+		}
+		return ex.T, nil
+	case "-":
+		t, err := g.genExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(t, ex.T)
+		switch ex.T.Kind {
+		case KLong:
+			g.a.op(classfile.OpLneg, 0)
+		case KFloat:
+			g.a.op(classfile.OpFneg, 0)
+		case KDouble:
+			g.a.op(classfile.OpDneg, 0)
+		default:
+			g.a.op(classfile.OpIneg, 0)
+		}
+		return ex.T, nil
+	}
+	return nil, errf(ex.Pos_, "unhandled unary %s in codegen", ex.Op)
+}
+
+func (g *genCtx) genBinary(ex *Binary) (*Type, error) {
+	switch ex.Op {
+	case "&&":
+		end := g.a.newLabel()
+		fal := g.a.newLabel()
+		if _, err := g.genExpr(ex.L); err != nil {
+			return nil, err
+		}
+		g.a.branch(classfile.OpIfeq, fal, -1)
+		if _, err := g.genExpr(ex.R); err != nil {
+			return nil, err
+		}
+		g.a.branch(classfile.OpGoto, end, 0)
+		g.a.bind(fal)
+		g.a.op(classfile.OpIconst0, 1)
+		g.a.bind(end)
+		return TBool, nil
+	case "||":
+		end := g.a.newLabel()
+		tru := g.a.newLabel()
+		if _, err := g.genExpr(ex.L); err != nil {
+			return nil, err
+		}
+		g.a.branch(classfile.OpIfne, tru, -1)
+		if _, err := g.genExpr(ex.R); err != nil {
+			return nil, err
+		}
+		g.a.branch(classfile.OpGoto, end, 0)
+		g.a.bind(tru)
+		g.a.op(classfile.OpIconst1, 1)
+		g.a.bind(end)
+		return TBool, nil
+	}
+	if ex.IsConcat {
+		return g.genConcat(ex)
+	}
+	lt, err := g.genExpr(ex.L)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.Op {
+	case "+", "-", "*", "/", "%":
+		g.convert(lt, ex.T)
+		rt, err := g.genExpr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(rt, ex.T)
+		g.a.op(arithOp(ex.Op, ex.T.Kind), -slotWidth(ex.T))
+		return ex.T, nil
+	case "&", "|", "^":
+		g.convert(lt, ex.T)
+		rt, err := g.genExpr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(rt, ex.T)
+		g.a.op(bitOp(ex.Op, ex.T.Kind), -slotWidth(ex.T))
+		return ex.T, nil
+	case "<<", ">>", ">>>":
+		g.convert(lt, ex.T)
+		rt, err := g.genExpr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		g.convert(rt, TInt) // shift count is always int
+		g.a.op(shiftOp(ex.Op, ex.T.Kind), -1)
+		return ex.T, nil
+	case "<", "<=", ">", ">=", "==", "!=":
+		return g.genComparison(ex, lt)
+	}
+	return nil, errf(ex.Pos_, "unhandled binary %s in codegen", ex.Op)
+}
+
+// genComparison emits a comparison producing a 0/1 boolean. The left
+// operand is already on the stack with type lt.
+func (g *genCtx) genComparison(ex *Binary, lt *Type) (*Type, error) {
+	rtStatic := exprType(ex.R)
+	ltStatic := exprType(ex.L)
+
+	// Reference comparison.
+	if ltStatic.IsRef() {
+		rt, err := g.genExpr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		_ = rt
+		tru := g.a.newLabel()
+		end := g.a.newLabel()
+		if ex.Op == "==" {
+			g.a.branch(classfile.OpIfAcmpeq, tru, -2)
+		} else {
+			g.a.branch(classfile.OpIfAcmpne, tru, -2)
+		}
+		g.a.op(classfile.OpIconst0, 1)
+		g.a.branch(classfile.OpGoto, end, 0)
+		g.a.bind(tru)
+		g.a.op(classfile.OpIconst1, 1)
+		g.a.bind(end)
+		return TBool, nil
+	}
+
+	// Boolean ==/!= compare as ints.
+	cmpT := TInt
+	if ltStatic.IsNumeric() && rtStatic.IsNumeric() {
+		cmpT = promote(ltStatic, rtStatic)
+	}
+	g.convert(lt, cmpT)
+	rt, err := g.genExpr(ex.R)
+	if err != nil {
+		return nil, err
+	}
+	g.convert(rt, cmpT)
+
+	tru := g.a.newLabel()
+	end := g.a.newLabel()
+	if cmpT.Kind == KInt || cmpT == TBool {
+		var opc byte
+		switch ex.Op {
+		case "==":
+			opc = classfile.OpIfIcmpeq
+		case "!=":
+			opc = classfile.OpIfIcmpne
+		case "<":
+			opc = classfile.OpIfIcmplt
+		case "<=":
+			opc = classfile.OpIfIcmple
+		case ">":
+			opc = classfile.OpIfIcmpgt
+		case ">=":
+			opc = classfile.OpIfIcmpge
+		}
+		g.a.branch(opc, tru, -2)
+	} else {
+		switch cmpT.Kind {
+		case KLong:
+			g.a.op(classfile.OpLcmp, -3)
+		case KFloat:
+			if ex.Op == "<" || ex.Op == "<=" {
+				g.a.op(classfile.OpFcmpg, -1)
+			} else {
+				g.a.op(classfile.OpFcmpl, -1)
+			}
+		case KDouble:
+			if ex.Op == "<" || ex.Op == "<=" {
+				g.a.op(classfile.OpDcmpg, -3)
+			} else {
+				g.a.op(classfile.OpDcmpl, -3)
+			}
+		}
+		var opc byte
+		switch ex.Op {
+		case "==":
+			opc = classfile.OpIfeq
+		case "!=":
+			opc = classfile.OpIfne
+		case "<":
+			opc = classfile.OpIflt
+		case "<=":
+			opc = classfile.OpIfle
+		case ">":
+			opc = classfile.OpIfgt
+		case ">=":
+			opc = classfile.OpIfge
+		}
+		g.a.branch(opc, tru, -1)
+	}
+	g.a.op(classfile.OpIconst0, 1)
+	g.a.branch(classfile.OpGoto, end, 0)
+	g.a.bind(tru)
+	g.a.op(classfile.OpIconst1, 1)
+	g.a.bind(end)
+	return TBool, nil
+}
+
+// exprType reads the checker's type annotation.
+func exprType(e Expr) *Type {
+	switch ex := e.(type) {
+	case *Lit:
+		return ex.T
+	case *Ident:
+		return ex.T
+	case *This:
+		return ex.T
+	case *Unary:
+		return ex.T
+	case *Binary:
+		return ex.T
+	case *Ternary:
+		return ex.T
+	case *Assign:
+		return ex.T
+	case *Call:
+		return ex.T
+	case *FieldAccess:
+		return ex.T
+	case *Index:
+		return ex.T
+	case *New:
+		return ex.T
+	case *NewArray:
+		return ex.T
+	case *Cast:
+		return ex.T
+	case *InstanceOf:
+		return ex.T
+	}
+	return nil
+}
+
+// genConcat compiles string concatenation by flattening the +-chain
+// into one StringBuilder append sequence, as javac does.
+func (g *genCtx) genConcat(ex *Binary) (*Type, error) {
+	var operands []Expr
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.IsConcat {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		operands = append(operands, e)
+	}
+	flatten(ex)
+
+	sb := "java/lang/StringBuilder"
+	g.a.opU16(classfile.OpNew, g.a.pool.Class(sb), 1)
+	g.a.op(classfile.OpDup, 1)
+	g.a.opU16(classfile.OpInvokespecial, g.a.pool.MethodRef(sb, "<init>", "()V"), -1)
+	for _, operand := range operands {
+		t, err := g.genExpr(operand)
+		if err != nil {
+			return nil, err
+		}
+		desc, conv := appendDescriptor(t)
+		if conv != nil {
+			g.convert(t, conv)
+		}
+		delta := -1
+		if desc == "(J)Ljava/lang/StringBuilder;" || desc == "(D)Ljava/lang/StringBuilder;" {
+			delta = -2
+		}
+		g.a.opU16(classfile.OpInvokevirtual, g.a.pool.MethodRef(sb, "append", desc), delta)
+	}
+	g.a.opU16(classfile.OpInvokevirtual,
+		g.a.pool.MethodRef(sb, "toString", "()Ljava/lang/String;"), 0)
+	return ex.T, nil
+}
+
+// appendDescriptor picks the StringBuilder.append overload for a type,
+// plus any pre-conversion of the operand.
+func appendDescriptor(t *Type) (string, *Type) {
+	switch t.Kind {
+	case KBool:
+		return "(Z)Ljava/lang/StringBuilder;", nil
+	case KChar:
+		return "(C)Ljava/lang/StringBuilder;", nil
+	case KByte, KShort, KInt:
+		return "(I)Ljava/lang/StringBuilder;", TInt
+	case KLong:
+		return "(J)Ljava/lang/StringBuilder;", nil
+	case KFloat:
+		return "(D)Ljava/lang/StringBuilder;", TDouble
+	case KDouble:
+		return "(D)Ljava/lang/StringBuilder;", nil
+	case KRef:
+		if t.Cls.Name == "java/lang/String" {
+			return "(Ljava/lang/String;)Ljava/lang/StringBuilder;", nil
+		}
+		return "(Ljava/lang/Object;)Ljava/lang/StringBuilder;", nil
+	default: // arrays, null
+		return "(Ljava/lang/Object;)Ljava/lang/StringBuilder;", nil
+	}
+}

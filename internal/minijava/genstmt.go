@@ -1,0 +1,432 @@
+package minijava
+
+import (
+	"sort"
+
+	"doppio/internal/classfile"
+)
+
+func (g *genCtx) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		for _, inner := range st.Stmts {
+			if err := g.genStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *LocalVar:
+		if st.Init == nil {
+			return nil
+		}
+		t, err := g.genExpr(st.Init)
+		if err != nil {
+			return err
+		}
+		g.convert(t, st.Info.Type)
+		g.a.storeLocal(st.Info.Type, st.Info.Slot)
+		return nil
+
+	case *ExprStmt:
+		return g.genExprStmt(st.E)
+
+	case *If:
+		elseL := g.a.newLabel()
+		if err := g.genExpr2(st.Cond); err != nil {
+			return err
+		}
+		g.a.branch(classfile.OpIfeq, elseL, -1)
+		if err := g.genStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			g.a.bind(elseL)
+			return nil
+		}
+		endL := g.a.newLabel()
+		g.a.branch(classfile.OpGoto, endL, 0)
+		g.a.bind(elseL)
+		if err := g.genStmt(st.Else); err != nil {
+			return err
+		}
+		g.a.bind(endL)
+		return nil
+
+	case *While:
+		top := g.a.newLabel()
+		end := g.a.newLabel()
+		g.a.bind(top)
+		if lit, ok := st.Cond.(*Lit); !ok || lit.Kind != KEYWORD || lit.Text != "true" {
+			if err := g.genExpr2(st.Cond); err != nil {
+				return err
+			}
+			g.a.branch(classfile.OpIfeq, end, -1)
+		}
+		g.pushLoop(end, top)
+		if err := g.genStmt(st.Body); err != nil {
+			return err
+		}
+		g.popLoop()
+		g.a.branch(classfile.OpGoto, top, 0)
+		g.a.bind(end)
+		return nil
+
+	case *DoWhile:
+		top := g.a.newLabel()
+		end := g.a.newLabel()
+		cont := g.a.newLabel()
+		g.a.bind(top)
+		g.pushLoop(end, cont)
+		if err := g.genStmt(st.Body); err != nil {
+			return err
+		}
+		g.popLoop()
+		g.a.bind(cont)
+		if err := g.genExpr2(st.Cond); err != nil {
+			return err
+		}
+		g.a.branch(classfile.OpIfne, top, -1)
+		g.a.bind(end)
+		return nil
+
+	case *For:
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := g.a.newLabel()
+		end := g.a.newLabel()
+		cont := g.a.newLabel()
+		g.a.bind(top)
+		if st.Cond != nil {
+			if err := g.genExpr2(st.Cond); err != nil {
+				return err
+			}
+			g.a.branch(classfile.OpIfeq, end, -1)
+		}
+		g.pushLoop(end, cont)
+		if err := g.genStmt(st.Body); err != nil {
+			return err
+		}
+		g.popLoop()
+		g.a.bind(cont)
+		if st.Post != nil {
+			if err := g.genExprStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		g.a.branch(classfile.OpGoto, top, 0)
+		g.a.bind(end)
+		return nil
+
+	case *Return:
+		ret := g.ms.Ret
+		if st.E != nil {
+			t, err := g.genExpr(st.E)
+			if err != nil {
+				return err
+			}
+			g.convert(t, ret)
+		}
+		if len(g.actions) > 0 {
+			// Run finally/monitor exits with the return value parked
+			// in the scratch slot.
+			if st.E != nil {
+				g.a.storeLocal(ret, g.scratch)
+			}
+			for i := len(g.actions) - 1; i >= 0; i-- {
+				g.actions[i].emitExit(g)
+			}
+			if st.E != nil {
+				g.a.loadLocal(ret, g.scratch)
+			}
+		}
+		switch {
+		case st.E == nil:
+			g.a.op(classfile.OpReturn, 0)
+		case ret.Kind == KLong:
+			g.a.op(classfile.OpLreturn, -2)
+		case ret.Kind == KFloat:
+			g.a.op(classfile.OpFreturn, -1)
+		case ret.Kind == KDouble:
+			g.a.op(classfile.OpDreturn, -2)
+		case ret.IsRef():
+			g.a.op(classfile.OpAreturn, -1)
+		default:
+			g.a.op(classfile.OpIreturn, -1)
+		}
+		g.a.deadEnd()
+		return nil
+
+	case *Break:
+		tgt := g.breaks[len(g.breaks)-1]
+		for i := len(g.actions) - 1; i >= tgt.depth; i-- {
+			g.actions[i].emitExit(g)
+		}
+		g.a.branch(classfile.OpGoto, tgt.l, 0)
+		return nil
+
+	case *Continue:
+		tgt := g.continues[len(g.continues)-1]
+		for i := len(g.actions) - 1; i >= tgt.depth; i-- {
+			g.actions[i].emitExit(g)
+		}
+		g.a.branch(classfile.OpGoto, tgt.l, 0)
+		return nil
+
+	case *Throw:
+		if _, err := g.genExpr(st.E); err != nil {
+			return err
+		}
+		g.a.op(classfile.OpAthrow, -1)
+		g.a.deadEnd()
+		return nil
+
+	case *Try:
+		return g.genTry(st)
+
+	case *Switch:
+		return g.genSwitch(st)
+
+	case *Synchronized:
+		return g.genSynchronized(st)
+	}
+	return errf(Pos{}, "unhandled statement in codegen: %T", s)
+}
+
+// genExprStmt evaluates e and discards its value.
+func (g *genCtx) genExprStmt(e Expr) error {
+	// Assignments and ++/-- have no-value fast paths.
+	switch ex := e.(type) {
+	case *Assign:
+		return g.genAssign(ex, false)
+	case *Unary:
+		if ex.Op == "++" || ex.Op == "--" {
+			return g.genIncDec(ex, false)
+		}
+	}
+	t, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	switch {
+	case t == TVoid:
+	case t.Wide():
+		g.a.op(classfile.OpPop2, -2)
+	default:
+		g.a.op(classfile.OpPop, -1)
+	}
+	return nil
+}
+
+func (g *genCtx) pushLoop(breakL, contL *label) {
+	g.breaks = append(g.breaks, exitTarget{l: breakL, depth: len(g.actions)})
+	g.continues = append(g.continues, exitTarget{l: contL, depth: len(g.actions)})
+}
+
+func (g *genCtx) popLoop() {
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.continues = g.continues[:len(g.continues)-1]
+}
+
+// genTry compiles try/catch/finally. Finally blocks become jsr/ret
+// subroutines, the classic 2nd-edition compilation scheme (§6.6's
+// exception machinery relies on the VM walking the virtual stack).
+func (g *genCtx) genTry(st *Try) error {
+	var finSub *label
+	if st.Finally != nil {
+		finSub = g.a.newLabel()
+		g.actions = append(g.actions, finallyExit{sub: finSub})
+	}
+	bodyStart := g.a.newLabel()
+	bodyEnd := g.a.newLabel()
+	endL := g.a.newLabel()
+
+	g.a.bind(bodyStart)
+	if err := g.genStmt(st.Body); err != nil {
+		return err
+	}
+	g.a.bind(bodyEnd)
+	if g.a.stack >= 0 { // body may fall through
+		if finSub != nil {
+			g.a.jsr(finSub)
+		}
+		g.a.branch(classfile.OpGoto, endL, 0)
+	}
+
+	// Catch handlers.
+	type handlerRange struct {
+		h   *label
+		cls *ClassSym
+	}
+	var handlers []handlerRange
+	for _, cat := range st.Catches {
+		h := g.a.newLabel()
+		handlers = append(handlers, handlerRange{h, cat.Cls})
+		g.a.bindHandler(h)
+		g.a.storeLocal(cat.Info.Type, cat.Info.Slot)
+		if err := g.genStmt(cat.Body); err != nil {
+			return err
+		}
+		if g.a.stack >= 0 {
+			if finSub != nil {
+				g.a.jsr(finSub)
+			}
+			g.a.branch(classfile.OpGoto, endL, 0)
+		}
+	}
+	allEnd := g.a.newLabel()
+	g.a.bind(allEnd)
+
+	// Specific catch rows come first: the VM searches the table in
+	// order, and the finally catch-all must only see exceptions the
+	// catches did not handle (or that arose inside catch bodies).
+	for _, hr := range handlers {
+		g.a.exception(bodyStart, bodyEnd, hr.h, g.a.pool.Class(hr.cls.Name))
+	}
+	if finSub != nil {
+		g.actions = g.actions[:len(g.actions)-1]
+		// Catch-all: run finally, rethrow.
+		hf := g.a.newLabel()
+		g.a.bindHandler(hf)
+		g.a.storeLocal(TNull, st.ExcSlot)
+		g.a.jsr(finSub)
+		g.a.loadLocal(TNull, st.ExcSlot)
+		g.a.op(classfile.OpAthrow, -1)
+		g.a.deadEnd()
+		// The finally subroutine itself.
+		g.a.bind(finSub)
+		g.a.storeLocal(TNull, st.RetSlot) // return address
+		if err := g.genStmt(st.Finally); err != nil {
+			return err
+		}
+		if g.a.stack >= 0 {
+			if st.RetSlot < 256 {
+				g.a.opU8(classfile.OpRet, byte(st.RetSlot), 0)
+			} else {
+				g.a.code = append(g.a.code, classfile.OpWide, classfile.OpRet,
+					byte(st.RetSlot>>8), byte(st.RetSlot))
+			}
+			g.a.deadEnd()
+		}
+		g.a.exception(bodyStart, allEnd, hf, 0)
+	}
+	g.a.bind(endL)
+	return nil
+}
+
+func (g *genCtx) genSwitch(st *Switch) error {
+	t, err := g.genExpr(st.Subject)
+	if err != nil {
+		return err
+	}
+	g.convert(t, TInt)
+
+	end := g.a.newLabel()
+	defL := g.a.newLabel()
+	hasDefault := false
+	type pair struct {
+		v int32
+		l *label
+	}
+	var pairs []pair
+	caseLabels := make([]*label, len(st.Cases))
+	for i, cs := range st.Cases {
+		caseLabels[i] = g.a.newLabel()
+		for _, v := range cs.Values {
+			pairs = append(pairs, pair{v, caseLabels[i]})
+		}
+		if cs.IsDefault {
+			hasDefault = true
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+
+	actualDef := defL
+	if len(pairs) == 0 {
+		g.a.op(classfile.OpPop, -1)
+	} else {
+		low, high := pairs[0].v, pairs[len(pairs)-1].v
+		span := int64(high) - int64(low) + 1
+		if span <= 2*int64(len(pairs))+8 {
+			targets := make([]*label, span)
+			for i := range targets {
+				targets[i] = actualDef
+			}
+			for _, p := range pairs {
+				targets[p.v-low] = p.l
+			}
+			// noteStack for default label happens inside tableswitch.
+			g.a.tableswitch(low, high, actualDef, targets)
+		} else {
+			keys := make([]int32, len(pairs))
+			targets := make([]*label, len(pairs))
+			for i, p := range pairs {
+				keys[i] = p.v
+				targets[i] = p.l
+			}
+			g.a.lookupswitch(actualDef, keys, targets)
+		}
+	}
+
+	g.breaks = append(g.breaks, exitTarget{l: end, depth: len(g.actions)})
+	for i, cs := range st.Cases {
+		if cs.IsDefault {
+			g.a.bind(defL)
+			// Bind the case label too so fallthrough works.
+			if caseLabels[i].pc < 0 {
+				g.a.bind(caseLabels[i])
+			}
+		} else {
+			g.a.bind(caseLabels[i])
+		}
+		for _, inner := range cs.Body {
+			if err := g.genStmt(inner); err != nil {
+				return err
+			}
+		}
+	}
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	if !hasDefault {
+		g.a.bind(defL)
+	}
+	g.a.bind(end)
+	return nil
+}
+
+func (g *genCtx) genSynchronized(st *Synchronized) error {
+	if _, err := g.genExpr(st.Lock); err != nil {
+		return err
+	}
+	g.a.op(classfile.OpDup, 1)
+	g.a.storeLocal(TNull, st.LockSlot)
+	g.a.op(classfile.OpMonitorenter, -1)
+
+	start := g.a.newLabel()
+	endBody := g.a.newLabel()
+	endL := g.a.newLabel()
+	g.a.bind(start)
+	g.actions = append(g.actions, monitorRelease{slot: st.LockSlot})
+	if err := g.genStmt(st.Body); err != nil {
+		return err
+	}
+	g.actions = g.actions[:len(g.actions)-1]
+	if g.a.stack >= 0 {
+		g.a.loadLocal(TNull, st.LockSlot)
+		g.a.op(classfile.OpMonitorexit, -1)
+		g.a.branch(classfile.OpGoto, endL, 0)
+	}
+	g.a.bind(endBody)
+	// Exceptional path: release the monitor and rethrow.
+	h := g.a.newLabel()
+	g.a.bindHandler(h)
+	g.a.loadLocal(TNull, st.LockSlot)
+	g.a.op(classfile.OpMonitorexit, -1)
+	g.a.op(classfile.OpAthrow, -1)
+	g.a.deadEnd()
+	g.a.exception(start, endBody, h, 0)
+	g.a.bind(endL)
+	return nil
+}

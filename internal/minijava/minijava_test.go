@@ -1,0 +1,298 @@
+package minijava_test
+
+import (
+	"strings"
+	"testing"
+
+	"doppio/internal/classfile"
+	"doppio/internal/jvm/rt"
+	"doppio/internal/minijava"
+)
+
+// compile builds the runtime library plus a test source.
+func compile(t *testing.T, src string) map[string][]byte {
+	t.Helper()
+	classes, err := rt.CompileWith(map[string]string{"T.mj": src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return classes
+}
+
+func disasmOf(t *testing.T, classes map[string][]byte, name string) string {
+	t.Helper()
+	data, ok := classes[name]
+	if !ok {
+		t.Fatalf("class %s not produced", name)
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return classfile.Disassemble(cf)
+}
+
+func TestEmitsValidClassFiles(t *testing.T) {
+	classes := compile(t, `
+public class T {
+    int field;
+    static long counter;
+    public static void main(String[] args) {
+        System.out.println("x");
+    }
+}`)
+	for name, data := range classes {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if cf.Name() != name {
+			t.Errorf("%s: class file declares %s", name, cf.Name())
+		}
+	}
+}
+
+func TestDenseSwitchUsesTableswitch(t *testing.T) {
+	classes := compile(t, `
+public class T {
+    static int pick(int v) {
+        switch (v) {
+        case 1: return 10;
+        case 2: return 20;
+        case 3: return 30;
+        default: return 0;
+        }
+    }
+    public static void main(String[] args) {}
+}`)
+	dis := disasmOf(t, classes, "T")
+	if !strings.Contains(dis, "tableswitch") {
+		t.Errorf("dense switch did not use tableswitch:\n%s", dis)
+	}
+}
+
+func TestSparseSwitchUsesLookupswitch(t *testing.T) {
+	classes := compile(t, `
+public class T {
+    static int pick(int v) {
+        switch (v) {
+        case 1: return 1;
+        case 1000: return 2;
+        case 1000000: return 3;
+        default: return 0;
+        }
+    }
+    public static void main(String[] args) {}
+}`)
+	dis := disasmOf(t, classes, "T")
+	if !strings.Contains(dis, "lookupswitch") {
+		t.Errorf("sparse switch did not use lookupswitch:\n%s", dis)
+	}
+}
+
+func TestFinallyCompilesToJsrRet(t *testing.T) {
+	classes := compile(t, `
+public class T {
+    static int f(int x) {
+        try {
+            return x;
+        } finally {
+            x++;
+        }
+    }
+    public static void main(String[] args) {}
+}`)
+	dis := disasmOf(t, classes, "T")
+	if !strings.Contains(dis, "jsr") || !strings.Contains(dis, "ret") {
+		t.Errorf("finally did not compile to jsr/ret:\n%s", dis)
+	}
+	if !strings.Contains(dis, "type any") {
+		t.Errorf("missing catch-all exception row:\n%s", dis)
+	}
+}
+
+func TestInterfaceCallUsesInvokeinterface(t *testing.T) {
+	classes := compile(t, `
+interface Greeter { String hi(); }
+class English implements Greeter {
+    public String hi() { return "hello"; }
+}
+public class T {
+    public static void main(String[] args) {
+        Greeter g = new English();
+        System.out.println(g.hi());
+    }
+}`)
+	dis := disasmOf(t, classes, "T")
+	if !strings.Contains(dis, "invokeinterface") {
+		t.Errorf("interface call did not use invokeinterface:\n%s", dis)
+	}
+	// The interface itself is marked as such.
+	idis := disasmOf(t, classes, "Greeter")
+	if !strings.HasPrefix(idis, "interface Greeter") {
+		t.Errorf("Greeter not an interface:\n%s", idis)
+	}
+}
+
+func TestSynchronizedEmitsMonitorOps(t *testing.T) {
+	classes := compile(t, `
+public class T {
+    static Object lock = new Object();
+    static void inc() {
+        synchronized (lock) {
+            System.out.println("x");
+        }
+    }
+    public static void main(String[] args) {}
+}`)
+	dis := disasmOf(t, classes, "T")
+	if !strings.Contains(dis, "monitorenter") || !strings.Contains(dis, "monitorexit") {
+		t.Errorf("synchronized block missing monitor ops:\n%s", dis)
+	}
+}
+
+func TestStringConcatUsesStringBuilder(t *testing.T) {
+	classes := compile(t, `
+public class T {
+    static String f(int n) { return "n=" + n + "!"; }
+    public static void main(String[] args) {}
+}`)
+	dis := disasmOf(t, classes, "T")
+	if !strings.Contains(dis, "java/lang/StringBuilder.append") {
+		t.Errorf("concat missing StringBuilder chain:\n%s", dis)
+	}
+	// The chain is flattened: exactly one StringBuilder allocation.
+	if n := strings.Count(dis, "new java/lang/StringBuilder"); n != 1 {
+		t.Errorf("expected 1 StringBuilder allocation, found %d:\n%s", n, dis)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown type": `
+public class T { Unknown f; public static void main(String[] args) {} }`,
+		"undefined name": `
+public class T { public static void main(String[] args) { int x = y; } }`,
+		"type mismatch": `
+public class T { public static void main(String[] args) { int x = "s"; } }`,
+		"missing return": `
+public class T { static int f() { int x = 1; } public static void main(String[] args) {} }`,
+		"bad condition": `
+public class T { public static void main(String[] args) { if (1) {} } }`,
+		"duplicate method": `
+public class T {
+    static void f(int a) {}
+    static void f(int b) {}
+    public static void main(String[] args) {}
+}`,
+		"duplicate local": `
+public class T { public static void main(String[] args) { int a = 1; int a = 2; } }`,
+		"break outside loop": `
+public class T { public static void main(String[] args) { break; } }`,
+		"this in static": `
+public class T { public static void main(String[] args) { Object o = this; } }`,
+		"abstract instantiation": `
+abstract class A { }
+public class T { public static void main(String[] args) { Object o = new A(); } }`,
+		"wrong arg count": `
+public class T {
+    static void f(int a) {}
+    public static void main(String[] args) { f(1, 2); }
+}`,
+		"void local": `
+public class T { public static void main(String[] args) { void v; } }`,
+		"non-throwable throw": `
+public class T { public static void main(String[] args) { throw "x"; } }`,
+		"instance from static": `
+public class T {
+    int x;
+    public static void main(String[] args) { int y = x; }
+}`,
+		"inheritance cycle": `
+class A extends B {}
+class B extends A {}
+public class T { public static void main(String[] args) {} }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := rt.CompileWith(map[string]string{"T.mj": src}); err == nil {
+				t.Errorf("compiled without error")
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated class":   `public class T {`,
+		"bad token":            `public class T { § }`,
+		"unterminated string":  `public class T { String s = "abc; }`,
+		"missing semicolon":    `public class T { int f() { return 1 } }`,
+		"try without catch":    `public class T { void f() { try { } } }`,
+		"unterminated comment": `/* public class T {}`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := minijava.ParseFile("t.mj", src); err == nil {
+				t.Errorf("parsed without error")
+			}
+		})
+	}
+}
+
+func TestParseRecovery(t *testing.T) {
+	// Constructs that are easy to get wrong in a hand-written parser.
+	f, err := minijava.ParseFile("t.mj", `
+package a.b;
+import java.util.ArrayList;
+import java.io.*;
+
+public class T {
+    int[] xs;
+    int[][] grid;
+    static final int K = 3, L = 4;
+
+    T(int a, char b) {}
+
+    int f(int[] a, String s) {
+        int x = (a[0] + 1) * -2;
+        boolean ok = x > 0 && s != null || false;
+        Object o = (Object) s;
+        String t = o instanceof String ? "yes" : "no";
+        for (int i = 0; i < 3; i++) { x += i; }
+        do { x--; } while (x > 0);
+        return ok ? x : -x;
+    }
+}`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if f.Package != "a.b" || len(f.Imports) != 2 || len(f.Classes) != 1 {
+		t.Errorf("file = %+v", f)
+	}
+	cls := f.Classes[0]
+	if len(cls.Fields) != 4 || len(cls.Methods) != 1 || len(cls.Ctors) != 1 {
+		t.Errorf("class members: fields=%d methods=%d ctors=%d",
+			len(cls.Fields), len(cls.Methods), len(cls.Ctors))
+	}
+}
+
+func TestRuntimeLibraryCompilesStandalone(t *testing.T) {
+	classes, err := rt.Classes()
+	if err != nil {
+		t.Fatalf("runtime library: %v", err)
+	}
+	required := []string{
+		"java/lang/Object", "java/lang/String", "java/lang/StringBuilder",
+		"java/lang/System", "java/lang/Throwable", "java/lang/Thread",
+		"java/io/PrintStream", "java/io/File", "java/util/ArrayList",
+		"java/util/HashMap", "sun/misc/Unsafe", "doppio/io/FileSystem",
+		"doppio/lang/JS", "java/net/Socket",
+	}
+	for _, name := range required {
+		if _, ok := classes[name]; !ok {
+			t.Errorf("runtime library missing %s", name)
+		}
+	}
+}

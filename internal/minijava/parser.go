@@ -1,0 +1,797 @@
+package minijava
+
+import "strings"
+
+// parser is a recursive-descent parser with single-token backtracking
+// via saved cursor positions.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseFile parses one source file.
+func ParseFile(filename, src string) (*File, error) {
+	toks, err := lex(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.Kind == KEYWORD && t.Text == kw
+}
+
+func (p *parser) isP(punct string) bool {
+	t := p.cur()
+	return t.Kind == PUNCT && t.Text == punct
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptP(punct string) bool {
+	if p.isP(punct) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectP(punct string) error {
+	if !p.acceptP(punct) {
+		return errf(p.cur().Pos, "expected %q, found %q", punct, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errf(p.cur().Pos, "expected %q, found %q", kw, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != IDENT {
+		return t, errf(t.Pos, "expected identifier, found %q", t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+// qualified parses Ident{.Ident} into a dotted name.
+func (p *parser) qualified() (string, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	parts := []string{t.Text}
+	for p.isP(".") && p.toks[p.pos+1].Kind == IDENT {
+		p.pos++
+		t, _ := p.expectIdent()
+		parts = append(parts, t.Text)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	if p.acceptKw("package") {
+		name, err := p.qualified()
+		if err != nil {
+			return nil, err
+		}
+		f.Package = name
+		if err := p.expectP(";"); err != nil {
+			return nil, err
+		}
+	}
+	for p.acceptKw("import") {
+		name, err := p.qualified()
+		if err != nil {
+			return nil, err
+		}
+		// Allow and ignore trailing ".*" wildcard imports.
+		if p.acceptP(".") {
+			if !p.acceptP("*") {
+				return nil, errf(p.cur().Pos, "expected '*' in wildcard import")
+			}
+			name += ".*"
+		}
+		f.Imports = append(f.Imports, name)
+		if err := p.expectP(";"); err != nil {
+			return nil, err
+		}
+	}
+	for p.cur().Kind != EOF {
+		cd, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, cd)
+	}
+	return f, nil
+}
+
+type mods struct {
+	public, private, protected bool
+	static, final, native      bool
+	abstract, synchronized     bool
+}
+
+func (p *parser) modifiers() mods {
+	var m mods
+	for {
+		switch {
+		case p.acceptKw("public"):
+			m.public = true
+		case p.acceptKw("private"):
+			m.private = true
+		case p.acceptKw("protected"):
+			m.protected = true
+		case p.acceptKw("static"):
+			m.static = true
+		case p.acceptKw("final"):
+			m.final = true
+		case p.acceptKw("native"):
+			m.native = true
+		case p.acceptKw("abstract"):
+			m.abstract = true
+		case p.acceptKw("synchronized"):
+			m.synchronized = true
+		default:
+			return m
+		}
+	}
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	m := p.modifiers()
+	cd := &ClassDecl{Pos: p.cur().Pos, IsAbstract: m.abstract}
+	switch {
+	case p.acceptKw("class"):
+	case p.acceptKw("interface"):
+		cd.IsInterface = true
+	default:
+		return nil, errf(p.cur().Pos, "expected class or interface declaration")
+	}
+	t, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cd.Name = t.Text
+	if p.acceptKw("extends") {
+		name, err := p.qualified()
+		if err != nil {
+			return nil, err
+		}
+		if cd.IsInterface {
+			// Interface inheritance: treat extended interfaces as
+			// the interface list.
+			cd.Interfaces = append(cd.Interfaces, name)
+			for p.acceptP(",") {
+				n, err := p.qualified()
+				if err != nil {
+					return nil, err
+				}
+				cd.Interfaces = append(cd.Interfaces, n)
+			}
+		} else {
+			cd.Super = name
+		}
+	}
+	if p.acceptKw("implements") {
+		for {
+			name, err := p.qualified()
+			if err != nil {
+				return nil, err
+			}
+			cd.Interfaces = append(cd.Interfaces, name)
+			if !p.acceptP(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectP("{"); err != nil {
+		return nil, err
+	}
+	for !p.acceptP("}") {
+		if p.cur().Kind == EOF {
+			return nil, errf(p.cur().Pos, "unexpected end of file in class %s", cd.Name)
+		}
+		if err := p.member(cd); err != nil {
+			return nil, err
+		}
+	}
+	return cd, nil
+}
+
+func (p *parser) member(cd *ClassDecl) error {
+	start := p.cur().Pos
+	m := p.modifiers()
+
+	// static { ... } initializer block.
+	if m.static && p.isP("{") {
+		blk, err := p.block()
+		if err != nil {
+			return err
+		}
+		cd.StaticInit = append(cd.StaticInit, blk.Stmts...)
+		return nil
+	}
+
+	// Constructor: Name ( ... )
+	if t := p.cur(); t.Kind == IDENT && t.Text == cd.Name && p.toks[p.pos+1].Kind == PUNCT && p.toks[p.pos+1].Text == "(" {
+		p.pos++
+		md := &MethodDecl{Pos: start, Name: "<init>", Synchronized: m.synchronized}
+		if err := p.params(md); err != nil {
+			return err
+		}
+		p.skipThrows()
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		md.Body = body.Stmts
+		md.HasBody = true
+		cd.Ctors = append(cd.Ctors, md)
+		return nil
+	}
+
+	// Field or method: Type Name ...
+	typ, err := p.typeExpr(true)
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.isP("(") {
+		md := &MethodDecl{
+			Pos: start, Name: nameTok.Text, Ret: typ,
+			Static: m.static, Native: m.native,
+			Abstract: m.abstract || cd.IsInterface, Synchronized: m.synchronized,
+		}
+		if err := p.params(md); err != nil {
+			return err
+		}
+		p.skipThrows()
+		if md.Native || md.Abstract {
+			if err := p.expectP(";"); err != nil {
+				return err
+			}
+		} else {
+			body, err := p.block()
+			if err != nil {
+				return err
+			}
+			md.Body = body.Stmts
+			md.HasBody = true
+		}
+		cd.Methods = append(cd.Methods, md)
+		return nil
+	}
+	// Field declaration, possibly several declarators.
+	for {
+		fd := &FieldDecl{Pos: start, Name: nameTok.Text, Type: typ, Static: m.static, Final: m.final}
+		if p.acceptP("=") {
+			e, err := p.expr()
+			if err != nil {
+				return err
+			}
+			fd.Init = e
+		}
+		cd.Fields = append(cd.Fields, fd)
+		if !p.acceptP(",") {
+			break
+		}
+		nameTok, err = p.expectIdent()
+		if err != nil {
+			return err
+		}
+	}
+	return p.expectP(";")
+}
+
+func (p *parser) skipThrows() {
+	if p.acceptKw("throws") {
+		for {
+			if _, err := p.qualified(); err != nil {
+				return
+			}
+			if !p.acceptP(",") {
+				return
+			}
+		}
+	}
+}
+
+func (p *parser) params(md *MethodDecl) error {
+	if err := p.expectP("("); err != nil {
+		return err
+	}
+	if p.acceptP(")") {
+		return nil
+	}
+	for {
+		typ, err := p.typeExpr(false)
+		if err != nil {
+			return err
+		}
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		// C-style trailing array dims on the parameter name.
+		for p.isP("[") && p.toks[p.pos+1].Text == "]" {
+			p.pos += 2
+			typ.Dims++
+		}
+		md.Params = append(md.Params, Param{Pos: t.Pos, Name: t.Text, Type: typ})
+		if !p.acceptP(",") {
+			break
+		}
+	}
+	return p.expectP(")")
+}
+
+var primTypeNames = map[string]bool{
+	"boolean": true, "byte": true, "short": true, "char": true,
+	"int": true, "long": true, "float": true, "double": true,
+}
+
+// typeExpr parses a type. allowVoid permits "void" (method returns).
+func (p *parser) typeExpr(allowVoid bool) (TypeExpr, error) {
+	t := p.cur()
+	te := TypeExpr{Pos: t.Pos}
+	switch {
+	case t.Kind == KEYWORD && primTypeNames[t.Text]:
+		p.pos++
+		te.Name = t.Text
+	case t.Kind == KEYWORD && t.Text == "void" && allowVoid:
+		p.pos++
+		te.Name = "void"
+		return te, nil
+	case t.Kind == IDENT:
+		name, err := p.qualified()
+		if err != nil {
+			return te, err
+		}
+		te.Name = name
+	default:
+		return te, errf(t.Pos, "expected type, found %q", t.Text)
+	}
+	for p.isP("[") && p.toks[p.pos+1].Kind == PUNCT && p.toks[p.pos+1].Text == "]" {
+		p.pos += 2
+		te.Dims++
+	}
+	return te, nil
+}
+
+// --- statements ---
+
+func (p *parser) block() (*Block, error) {
+	start := p.cur().Pos
+	if err := p.expectP("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: start}
+	for !p.acceptP("}") {
+		if p.cur().Kind == EOF {
+			return nil, errf(p.cur().Pos, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isP("{"):
+		return p.block()
+	case p.isP(";"):
+		p.pos++
+		return &Block{Pos: t.Pos}, nil
+	case p.isKw("if"):
+		p.pos++
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Pos: t.Pos, Cond: cond, Then: then}
+		if p.acceptKw("else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.isKw("while"):
+		p.pos++
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Pos: t.Pos, Cond: cond, Body: body}, nil
+	case p.isKw("do"):
+		p.pos++
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectP(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhile{Pos: t.Pos, Body: body, Cond: cond}, nil
+	case p.isKw("for"):
+		return p.forStmt()
+	case p.isKw("return"):
+		p.pos++
+		st := &Return{Pos: t.Pos}
+		if !p.isP(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.E = e
+		}
+		return st, p.expectP(";")
+	case p.isKw("break"):
+		p.pos++
+		return &Break{Pos: t.Pos}, p.expectP(";")
+	case p.isKw("continue"):
+		p.pos++
+		return &Continue{Pos: t.Pos}, p.expectP(";")
+	case p.isKw("throw"):
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Throw{Pos: t.Pos, E: e}, p.expectP(";")
+	case p.isKw("try"):
+		return p.tryStmt()
+	case p.isKw("switch"):
+		return p.switchStmt()
+	case p.isKw("synchronized"):
+		p.pos++
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		lock, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Synchronized{Pos: t.Pos, Lock: lock, Body: body}, nil
+	}
+	// Local variable declaration vs expression statement: speculate.
+	if lv, ok := p.tryLocalVar(); ok {
+		return lv, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.Pos, E: e}, p.expectP(";")
+}
+
+// tryLocalVar speculatively parses "Type Ident [= Expr] {, Ident [= Expr]} ;".
+// On failure the cursor is restored. Multiple declarators desugar to a
+// Block of LocalVars.
+func (p *parser) tryLocalVar() (Stmt, bool) {
+	save := p.pos
+	start := p.cur().Pos
+	t := p.cur()
+	isType := (t.Kind == KEYWORD && primTypeNames[t.Text]) || t.Kind == IDENT
+	if !isType {
+		return nil, false
+	}
+	typ, err := p.typeExpr(false)
+	if err != nil {
+		p.pos = save
+		return nil, false
+	}
+	if p.cur().Kind != IDENT {
+		p.pos = save
+		return nil, false
+	}
+	// Ambiguity guard: "a b" is a declaration only when followed by
+	// '=', ';' or ','.
+	nxt := p.toks[p.pos+1]
+	if !(nxt.Kind == PUNCT && (nxt.Text == "=" || nxt.Text == ";" || nxt.Text == ",")) {
+		p.pos = save
+		return nil, false
+	}
+	var decls []Stmt
+	for {
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			p.pos = save
+			return nil, false
+		}
+		lv := &LocalVar{Pos: start, Name: nameTok.Text, Type: typ}
+		if p.acceptP("=") {
+			e, err := p.expr()
+			if err != nil {
+				p.pos = save
+				return nil, false
+			}
+			lv.Init = e
+		}
+		decls = append(decls, lv)
+		if !p.acceptP(",") {
+			break
+		}
+	}
+	if err := p.expectP(";"); err != nil {
+		p.pos = save
+		return nil, false
+	}
+	if len(decls) == 1 {
+		return decls[0], true
+	}
+	return &Block{Pos: start, Stmts: decls}, true
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	start := p.cur().Pos
+	p.pos++ // for
+	if err := p.expectP("("); err != nil {
+		return nil, err
+	}
+	st := &For{Pos: start}
+	if !p.isP(";") {
+		if lv, ok := p.tryLocalVarNoSemi(); ok {
+			st.Init = lv
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{Pos: start, E: e}
+		}
+	}
+	if err := p.expectP(";"); err != nil {
+		return nil, err
+	}
+	if !p.isP(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if err := p.expectP(";"); err != nil {
+		return nil, err
+	}
+	if !p.isP(")") {
+		post, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if err := p.expectP(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// tryLocalVarNoSemi is tryLocalVar without the trailing semicolon
+// (for-loop initializers).
+func (p *parser) tryLocalVarNoSemi() (Stmt, bool) {
+	save := p.pos
+	start := p.cur().Pos
+	t := p.cur()
+	isType := (t.Kind == KEYWORD && primTypeNames[t.Text]) || t.Kind == IDENT
+	if !isType {
+		return nil, false
+	}
+	typ, err := p.typeExpr(false)
+	if err != nil {
+		p.pos = save
+		return nil, false
+	}
+	if p.cur().Kind != IDENT {
+		p.pos = save
+		return nil, false
+	}
+	nxt := p.toks[p.pos+1]
+	if !(nxt.Kind == PUNCT && nxt.Text == "=") {
+		p.pos = save
+		return nil, false
+	}
+	nameTok, _ := p.expectIdent()
+	p.pos++ // =
+	e, err := p.expr()
+	if err != nil {
+		p.pos = save
+		return nil, false
+	}
+	return &LocalVar{Pos: start, Name: nameTok.Text, Type: typ, Init: e}, true
+}
+
+func (p *parser) tryStmt() (Stmt, error) {
+	start := p.cur().Pos
+	p.pos++ // try
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &Try{Pos: start, Body: body}
+	for p.isKw("catch") {
+		p.pos++
+		if err := p.expectP("("); err != nil {
+			return nil, err
+		}
+		typ, err := p.typeExpr(false)
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectP(")"); err != nil {
+			return nil, err
+		}
+		cbody, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.Catches = append(st.Catches, &Catch{Pos: typ.Pos, Type: typ, Name: nameTok.Text, Body: cbody})
+	}
+	if p.acceptKw("finally") {
+		fbody, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.Finally = fbody
+	}
+	if len(st.Catches) == 0 && st.Finally == nil {
+		return nil, errf(start, "try without catch or finally")
+	}
+	return st, nil
+}
+
+func (p *parser) switchStmt() (Stmt, error) {
+	start := p.cur().Pos
+	p.pos++ // switch
+	if err := p.expectP("("); err != nil {
+		return nil, err
+	}
+	subj, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectP(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectP("{"); err != nil {
+		return nil, err
+	}
+	st := &Switch{Pos: start, Subject: subj}
+	var cur *SwitchCase
+	for !p.acceptP("}") {
+		switch {
+		case p.isKw("case"):
+			p.pos++
+			v, err := p.caseLabel()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectP(":"); err != nil {
+				return nil, err
+			}
+			if cur == nil || len(cur.Body) > 0 {
+				cur = &SwitchCase{Pos: p.cur().Pos}
+				st.Cases = append(st.Cases, cur)
+			}
+			cur.Values = append(cur.Values, v)
+		case p.isKw("default"):
+			p.pos++
+			if err := p.expectP(":"); err != nil {
+				return nil, err
+			}
+			if cur == nil || len(cur.Body) > 0 {
+				cur = &SwitchCase{Pos: p.cur().Pos}
+				st.Cases = append(st.Cases, cur)
+			}
+			cur.IsDefault = true
+		case p.cur().Kind == EOF:
+			return nil, errf(p.cur().Pos, "unexpected end of file in switch")
+		default:
+			if cur == nil {
+				return nil, errf(p.cur().Pos, "statement before first case label")
+			}
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Body = append(cur.Body, s)
+		}
+	}
+	return st, nil
+}
+
+// caseLabel parses a constant case label: an integer or character
+// literal, optionally negated.
+func (p *parser) caseLabel() (int32, error) {
+	neg := p.acceptP("-")
+	t := p.next()
+	var v int64
+	switch t.Kind {
+	case INTLIT, CHARLIT:
+		v = t.Int
+	default:
+		return 0, errf(t.Pos, "case label must be an integer or char literal")
+	}
+	if neg {
+		v = -v
+	}
+	return int32(v), nil
+}

@@ -1,0 +1,429 @@
+// Package minijava implements a compiler from MiniJava — a substantial
+// subset of Java — to real JVM class files (see internal/classfile).
+//
+// The reproduction uses it the way the paper uses javac: it compiles
+// the runtime class library (runtime/src) and all benchmark workloads
+// into the bytecode that DoppioJVM executes. The subset covers
+// classes, inheritance, interfaces, overloading, constructors, static
+// and instance members, all eight primitive types, arrays (including
+// multi-dimensional), strings with concatenation, exceptions with
+// try/catch/finally (compiled to jsr/ret subroutines, as the
+// 2nd-edition JVM spec intended), switch (tableswitch/lookupswitch),
+// synchronized blocks, and native method declarations.
+package minijava
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT    // 123
+	LONGLIT   // 123L
+	FLOATLIT  // 1.5f
+	DOUBLELIT // 1.5
+	CHARLIT   // 'a'
+	STRINGLIT // "abc"
+	KEYWORD
+	PUNCT
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier, keyword or punctuation text
+	Int  int64  // value for INTLIT/LONGLIT/CHARLIT
+	F    float64
+	Str  string // decoded value for STRINGLIT
+	Pos  Pos
+}
+
+// Pos locates a token in its source file.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Error is a compile error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"abstract": true, "boolean": true, "break": true, "byte": true,
+	"case": true, "catch": true, "char": true, "class": true,
+	"continue": true, "default": true, "do": true, "double": true,
+	"else": true, "extends": true, "final": true, "finally": true,
+	"float": true, "for": true, "if": true, "implements": true,
+	"import": true, "instanceof": true, "int": true, "interface": true,
+	"long": true, "native": true, "new": true, "null": true,
+	"package": true, "private": true, "protected": true, "public": true,
+	"return": true, "short": true, "static": true, "super": true,
+	"switch": true, "synchronized": true, "this": true, "throw": true,
+	"throws": true, "true": true, "false": true, "try": true,
+	"void": true, "while": true,
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	">>>=", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=", "&&", "||",
+	"++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"<<", ">>",
+	"{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "+", "-", "*",
+	"/", "%", "<", ">", "!", "~", "&", "|", "^", "?", ":",
+}
+
+// lexer produces tokens from one source file.
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) at() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			start := l.at()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lex tokenizes the whole file.
+func lex(file, src string) ([]Token, error) {
+	l := newLexer(file, src)
+	var out []Token
+	for {
+		if err := l.skipSpaceAndComments(); err != nil {
+			return nil, err
+		}
+		if l.pos >= len(l.src) {
+			out = append(out, Token{Kind: EOF, Pos: l.at()})
+			return out, nil
+		}
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	pos := l.at()
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if keywords[text] {
+			return Token{Kind: KEYWORD, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		return l.number(pos)
+	case c == '\'':
+		return l.charLit(pos)
+	case c == '"':
+		return l.stringLit(pos)
+	}
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			for range p {
+				l.advance()
+			}
+			return Token{Kind: PUNCT, Text: p, Pos: pos}, nil
+		}
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func (l *lexer) number(pos Pos) (Token, error) {
+	start := l.pos
+	isHex := false
+	if l.peekByte() == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		isHex = true
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.peekByte()) {
+			l.advance()
+		}
+	} else {
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	isFloat := false
+	if !isHex && l.peekByte() == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	if !isHex && (l.peekByte() == 'e' || l.peekByte() == 'E') {
+		save := l.pos
+		l.advance()
+		if l.peekByte() == '+' || l.peekByte() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peekByte()) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	switch l.peekByte() {
+	case 'L', 'l':
+		l.advance()
+		v, err := parseIntLit(text, pos, true)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: LONGLIT, Int: v, Pos: pos, Text: text}, nil
+	case 'f', 'F':
+		l.advance()
+		f, err := parseFloatLit(text, pos)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: FLOATLIT, F: f, Pos: pos, Text: text}, nil
+	case 'd', 'D':
+		l.advance()
+		f, err := parseFloatLit(text, pos)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: DOUBLELIT, F: f, Pos: pos, Text: text}, nil
+	}
+	if isFloat {
+		f, err := parseFloatLit(text, pos)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: DOUBLELIT, F: f, Pos: pos, Text: text}, nil
+	}
+	v, err := parseIntLit(text, pos, false)
+	if err != nil {
+		return Token{}, err
+	}
+	return Token{Kind: INTLIT, Int: v, Pos: pos, Text: text}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func parseIntLit(text string, pos Pos, isLong bool) (int64, error) {
+	var v uint64
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		for _, c := range text[2:] {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			}
+			v = v*16 + d
+		}
+	} else {
+		for _, c := range text {
+			v = v*10 + uint64(c-'0')
+		}
+	}
+	// Allow the full unsigned range (e.g. 0xFFFFFFFF as int wraps).
+	if !isLong && v > 0xFFFFFFFF {
+		return 0, errf(pos, "integer literal %s too large", text)
+	}
+	if !isLong {
+		return int64(int32(uint32(v))), nil
+	}
+	return int64(v), nil
+}
+
+func parseFloatLit(text string, pos Pos) (float64, error) {
+	var f float64
+	n, err := fmt.Sscanf(text, "%g", &f)
+	if err != nil || n != 1 {
+		return 0, errf(pos, "bad floating point literal %s", text)
+	}
+	return f, nil
+}
+
+func (l *lexer) charLit(pos Pos) (Token, error) {
+	l.advance() // '
+	if l.pos >= len(l.src) {
+		return Token{}, errf(pos, "unterminated char literal")
+	}
+	var v int64
+	c := l.advance()
+	if c == '\\' {
+		e, err := l.escape(pos)
+		if err != nil {
+			return Token{}, err
+		}
+		v = int64(e)
+	} else {
+		v = int64(c)
+	}
+	if l.pos >= len(l.src) || l.advance() != '\'' {
+		return Token{}, errf(pos, "unterminated char literal")
+	}
+	return Token{Kind: CHARLIT, Int: v, Pos: pos}, nil
+}
+
+func (l *lexer) stringLit(pos Pos) (Token, error) {
+	l.advance() // "
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: STRINGLIT, Str: b.String(), Pos: pos}, nil
+		case '\\':
+			e, err := l.escape(pos)
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteRune(e)
+		case '\n':
+			return Token{}, errf(pos, "newline in string literal")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func (l *lexer) escape(pos Pos) (rune, error) {
+	if l.pos >= len(l.src) {
+		return 0, errf(pos, "unterminated escape")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	case 'u':
+		v := rune(0)
+		for i := 0; i < 4; i++ {
+			if l.pos >= len(l.src) || !isHexDigit(l.peekByte()) {
+				return 0, errf(pos, "bad unicode escape")
+			}
+			d := l.advance()
+			switch {
+			case d >= '0' && d <= '9':
+				v = v*16 + rune(d-'0')
+			case d >= 'a' && d <= 'f':
+				v = v*16 + rune(d-'a') + 10
+			default:
+				v = v*16 + rune(d-'A') + 10
+			}
+		}
+		return v, nil
+	}
+	return 0, errf(pos, "unknown escape \\%c", c)
+}

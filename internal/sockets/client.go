@@ -1,0 +1,149 @@
+package sockets
+
+import (
+	"crypto/rand"
+	"net"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/eventloop"
+)
+
+// WebSocket is the asynchronous browser-side WebSocket API: events are
+// delivered on the event loop, and only *outgoing* connections are
+// possible — the browser restriction that shapes all of §5.3.
+//
+// On browsers without native WebSocket support the connection runs
+// through the Websockify Flash shim, which the paper mentions as the
+// fallback; we model the shim as extra per-message latency.
+type WebSocket struct {
+	loop *eventloop.Loop
+	conn net.Conn
+	shim time.Duration // per-message Flash shim latency (0 = native)
+
+	// OnOpen, OnMessage, OnError and OnClose are the DOM event
+	// handlers; assign them before Dial completes the handshake.
+	OnOpen    func()
+	OnMessage func(data []byte)
+	OnError   func(err error)
+	OnClose   func()
+
+	closed bool
+}
+
+// flashShimLatency models proxying each message through a Flash applet.
+const flashShimLatency = 2 * time.Millisecond
+
+// DialWebSocket opens a WebSocket to addr (host:port) from the given
+// browser window. The handshake and I/O happen on real TCP; events
+// fire on the window's event loop. The returned WebSocket is not open
+// until OnOpen fires.
+func DialWebSocket(w *browser.Window, addr string) *WebSocket {
+	ws := &WebSocket{loop: w.Loop}
+	if !w.Profile.HasWebSockets {
+		ws.shim = flashShimLatency
+	}
+	w.Loop.AddPending()
+	go ws.connect(addr)
+	return ws
+}
+
+func (ws *WebSocket) emit(label string, fn func()) {
+	ws.loop.InvokeExternal(label, fn)
+}
+
+func (ws *WebSocket) connect(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		ws.fail(err)
+		return
+	}
+	br, err := ClientHandshake(conn, addr, "/")
+	if err != nil {
+		conn.Close()
+		ws.fail(err)
+		return
+	}
+	ws.conn = conn
+	ws.emit("ws-open", func() {
+		if ws.OnOpen != nil {
+			ws.OnOpen()
+		}
+	})
+	// Reader pump: every incoming frame becomes a message event.
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			ws.closeEvent()
+			return
+		}
+		switch f.Op {
+		case OpClose:
+			ws.conn.Close()
+			ws.closeEvent()
+			return
+		case OpPing:
+			pong := &Frame{Fin: true, Op: OpPong, Masked: true, Payload: f.Payload}
+			rand.Read(pong.MaskKey[:])
+			WriteFrame(ws.conn, pong)
+		case OpBinary, OpText:
+			data := f.Payload
+			if ws.shim > 0 {
+				time.Sleep(ws.shim)
+			}
+			ws.emit("ws-message", func() {
+				if ws.OnMessage != nil {
+					ws.OnMessage(data)
+				}
+			})
+		}
+	}
+}
+
+func (ws *WebSocket) fail(err error) {
+	ws.emit("ws-error", func() {
+		if ws.OnError != nil {
+			ws.OnError(err)
+		}
+		if ws.OnClose != nil {
+			ws.OnClose()
+		}
+		ws.loop.DonePending()
+	})
+}
+
+func (ws *WebSocket) closeEvent() {
+	ws.emit("ws-close", func() {
+		if !ws.closed {
+			ws.closed = true
+			if ws.OnClose != nil {
+				ws.OnClose()
+			}
+			ws.loop.DonePending()
+		}
+	})
+}
+
+// Send transmits data as one masked binary frame (client frames must
+// be masked per RFC 6455).
+func (ws *WebSocket) Send(data []byte) error {
+	if ws.shim > 0 {
+		time.Sleep(ws.shim)
+	}
+	f := &Frame{Fin: true, Op: OpBinary, Masked: true, Payload: data}
+	if _, err := rand.Read(f.MaskKey[:]); err != nil {
+		return err
+	}
+	return WriteFrame(ws.conn, f)
+}
+
+// Close sends a close frame and tears down the connection.
+func (ws *WebSocket) Close() error {
+	if ws.conn == nil {
+		return nil
+	}
+	f := &Frame{Fin: true, Op: OpClose, Masked: true}
+	rand.Read(f.MaskKey[:])
+	WriteFrame(ws.conn, f)
+	return ws.conn.Close()
+}

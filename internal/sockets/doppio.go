@@ -1,0 +1,121 @@
+package sockets
+
+import (
+	"fmt"
+
+	"doppio/internal/browser"
+)
+
+// Socket emulates the Unix client socket API over a WebSocket (§5.3:
+// "DOPPIO resolves the client side of the issue by emulating a Unix
+// socket API in terms of WebSocket functionality"). All methods are
+// asynchronous; language implementations wrap them with the core
+// package's suspend-and-resume to give programs blocking connect,
+// read, write and close.
+//
+// Incoming WebSocket messages accumulate in a receive buffer; Read
+// drains it, waiting for data when it is empty, which restores TCP's
+// byte-stream semantics over the message-oriented WebSocket transport.
+type Socket struct {
+	ws     *WebSocket
+	recv   []byte
+	open   bool
+	closed bool
+	err    error
+
+	waitRead func() // pending Read waiting for data
+}
+
+// ErrSocketClosed reports I/O on a closed socket.
+var ErrSocketClosed = fmt.Errorf("sockets: socket is closed")
+
+// Connect opens a socket to addr via the browser's WebSocket support
+// (or the Flash shim on browsers without it) and calls cb on the event
+// loop once the connection is established or fails.
+func Connect(w *browser.Window, addr string, cb func(*Socket, error)) {
+	s := &Socket{}
+	s.ws = DialWebSocket(w, addr)
+	s.ws.OnOpen = func() {
+		s.open = true
+		cb(s, nil)
+	}
+	s.ws.OnError = func(err error) {
+		s.err = err
+		if !s.open {
+			cb(nil, err)
+		}
+	}
+	s.ws.OnMessage = func(data []byte) {
+		s.recv = append(s.recv, data...)
+		if s.waitRead != nil {
+			w := s.waitRead
+			s.waitRead = nil
+			w()
+		}
+	}
+	s.ws.OnClose = func() {
+		wasOpen := s.open
+		s.closed = true
+		if s.waitRead != nil {
+			w := s.waitRead
+			s.waitRead = nil
+			w()
+		}
+		if !wasOpen && s.err == nil {
+			cb(nil, ErrSocketClosed)
+		}
+	}
+}
+
+// Read delivers up to n bytes once available. At end of stream it
+// delivers (nil, nil) — the TCP EOF convention. Only one Read may be
+// pending at a time.
+func (s *Socket) Read(n int, cb func(data []byte, err error)) {
+	if s.waitRead != nil {
+		cb(nil, fmt.Errorf("sockets: concurrent Read on one socket"))
+		return
+	}
+	deliver := func() {
+		if len(s.recv) == 0 {
+			if s.err != nil {
+				cb(nil, s.err)
+				return
+			}
+			cb(nil, nil) // EOF
+			return
+		}
+		k := n
+		if k > len(s.recv) {
+			k = len(s.recv)
+		}
+		out := s.recv[:k]
+		s.recv = append([]byte(nil), s.recv[k:]...)
+		cb(out, nil)
+	}
+	if len(s.recv) > 0 || s.closed {
+		deliver()
+		return
+	}
+	s.waitRead = deliver
+}
+
+// Write sends data and reports completion.
+func (s *Socket) Write(data []byte, cb func(err error)) {
+	if s.closed || !s.open {
+		cb(ErrSocketClosed)
+		return
+	}
+	cb(s.ws.Send(data))
+}
+
+// Close shuts the socket down.
+func (s *Socket) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.ws.Close()
+}
+
+// Buffered reports the bytes waiting in the receive buffer.
+func (s *Socket) Buffered() int { return len(s.recv) }

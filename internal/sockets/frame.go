@@ -1,0 +1,132 @@
+// Package sockets implements Doppio's TCP socket support (§5.3).
+//
+// Browsers only expose outgoing WebSocket connections, so Doppio
+// emulates a Unix socket API for client programs in terms of
+// WebSockets, while the freely-available Websockify program bridges
+// the server side, translating incoming WebSocket connections into
+// normal TCP connections for unmodified native servers.
+//
+// This package contains all three pieces: RFC 6455 framing and
+// handshakes (over real TCP via the net package), the asynchronous
+// browser-side WebSocket client API delivering events on the event
+// loop, and a Websockify proxy.
+package sockets
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcode is a WebSocket frame opcode.
+type Opcode byte
+
+// The RFC 6455 opcodes used here.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// Frame is one WebSocket data frame.
+type Frame struct {
+	Fin     bool
+	Op      Opcode
+	Masked  bool
+	MaskKey [4]byte
+	Payload []byte
+}
+
+// ErrFrameTooLarge guards against absurd frame lengths.
+var ErrFrameTooLarge = fmt.Errorf("sockets: frame exceeds maximum size")
+
+const maxFramePayload = 64 << 20
+
+// WriteFrame encodes f to w. Client-to-server frames must be masked.
+func WriteFrame(w io.Writer, f *Frame) error {
+	b0 := byte(f.Op)
+	if f.Fin {
+		b0 |= 0x80
+	}
+	header := []byte{b0, 0}
+	n := len(f.Payload)
+	switch {
+	case n <= 125:
+		header[1] = byte(n)
+	case n <= 0xFFFF:
+		header[1] = 126
+		var ext [2]byte
+		binary.BigEndian.PutUint16(ext[:], uint16(n))
+		header = append(header, ext[:]...)
+	default:
+		header[1] = 127
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		header = append(header, ext[:]...)
+	}
+	if f.Masked {
+		header[1] |= 0x80
+		header = append(header, f.MaskKey[:]...)
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	payload := f.Payload
+	if f.Masked {
+		payload = make([]byte, n)
+		for i, c := range f.Payload {
+			payload[i] = c ^ f.MaskKey[i%4]
+		}
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame decodes one frame from r, unmasking the payload.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Fin:    hdr[0]&0x80 != 0,
+		Op:     Opcode(hdr[0] & 0x0F),
+		Masked: hdr[1]&0x80 != 0,
+	}
+	n := uint64(hdr[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, err
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, err
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+	}
+	if n > maxFramePayload {
+		return nil, ErrFrameTooLarge
+	}
+	if f.Masked {
+		if _, err := io.ReadFull(r, f.MaskKey[:]); err != nil {
+			return nil, err
+		}
+	}
+	f.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return nil, err
+	}
+	if f.Masked {
+		for i := range f.Payload {
+			f.Payload[i] ^= f.MaskKey[i%4]
+		}
+	}
+	return f, nil
+}

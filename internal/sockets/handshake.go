@@ -1,0 +1,117 @@
+package sockets
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// wsGUID is the magic string of RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a client key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// ClientHandshake performs the HTTP Upgrade that "promotes" an HTTP
+// connection to a WebSocket connection (§5.3), returning a buffered
+// reader positioned after the server response.
+func ClientHandshake(conn net.Conn, host, path string) (*bufio.Reader, error) {
+	keyBytes := make([]byte, 16)
+	if _, err := rand.Read(keyBytes); err != nil {
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes)
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\n"+
+		"Host: %s\r\n"+
+		"Upgrade: websocket\r\n"+
+		"Connection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: %s\r\n"+
+		"Sec-WebSocket-Version: 13\r\n\r\n", path, host, key)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if !strings.Contains(status, "101") {
+		return nil, fmt.Errorf("sockets: handshake rejected: %s", strings.TrimSpace(status))
+	}
+	var accept string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Sec-WebSocket-Accept") {
+			accept = strings.TrimSpace(v)
+		}
+	}
+	if accept != AcceptKey(key) {
+		return nil, fmt.Errorf("sockets: bad Sec-WebSocket-Accept %q", accept)
+	}
+	return br, nil
+}
+
+// ServerHandshake accepts the HTTP Upgrade on the server side,
+// returning the request path and a buffered reader positioned after
+// the request.
+func ServerHandshake(conn net.Conn) (string, *bufio.Reader, error) {
+	br := bufio.NewReader(conn)
+	reqLine, err := br.ReadString('\n')
+	if err != nil {
+		return "", nil, err
+	}
+	fields := strings.Fields(reqLine)
+	if len(fields) < 2 || fields[0] != "GET" {
+		return "", nil, fmt.Errorf("sockets: bad handshake request %q", strings.TrimSpace(reqLine))
+	}
+	path := fields[1]
+	var key string
+	upgrade := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return "", nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		switch {
+		case strings.EqualFold(k, "Sec-WebSocket-Key"):
+			key = v
+		case strings.EqualFold(k, "Upgrade") && strings.EqualFold(v, "websocket"):
+			upgrade = true
+		}
+	}
+	if !upgrade || key == "" {
+		return "", nil, fmt.Errorf("sockets: not a websocket upgrade request")
+	}
+	resp := fmt.Sprintf("HTTP/1.1 101 Switching Protocols\r\n"+
+		"Upgrade: websocket\r\n"+
+		"Connection: Upgrade\r\n"+
+		"Sec-WebSocket-Accept: %s\r\n\r\n", AcceptKey(key))
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		return "", nil, err
+	}
+	return path, br, nil
+}

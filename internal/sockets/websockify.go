@@ -1,0 +1,117 @@
+package sockets
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Websockify bridges incoming WebSocket connections to a plain TCP
+// target, exactly as the kanaka/websockify program the paper relies on
+// for the server side of socket support (§5.3): it "wraps unmodified
+// programs, and translates incoming WebSocket connections into normal
+// TCP connections".
+type Websockify struct {
+	listener net.Listener
+	target   string
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+}
+
+// NewWebsockify starts a proxy listening on listenAddr (use
+// "127.0.0.1:0" for an ephemeral port) that forwards each WebSocket
+// connection to the TCP server at target.
+func NewWebsockify(listenAddr, target string) (*Websockify, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	w := &Websockify{listener: ln, target: target}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr returns the proxy's listen address.
+func (w *Websockify) Addr() string { return w.listener.Addr().String() }
+
+// Close stops accepting and tears down the listener.
+func (w *Websockify) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	err := w.listener.Close()
+	w.wg.Wait()
+	return err
+}
+
+func (w *Websockify) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.listener.Accept()
+		if err != nil {
+			return
+		}
+		go w.serve(conn)
+	}
+}
+
+func (w *Websockify) serve(wsConn net.Conn) {
+	defer wsConn.Close()
+	_, br, err := ServerHandshake(wsConn)
+	if err != nil {
+		return
+	}
+	tcpConn, err := net.Dial("tcp", w.target)
+	if err != nil {
+		f := &Frame{Fin: true, Op: OpClose}
+		WriteFrame(wsConn, f)
+		return
+	}
+	defer tcpConn.Close()
+
+	done := make(chan struct{}, 2)
+	// WebSocket → TCP: unwrap frames into the byte stream.
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for {
+			f, err := ReadFrame(br)
+			if err != nil {
+				return
+			}
+			switch f.Op {
+			case OpClose:
+				return
+			case OpBinary, OpText, OpContinuation:
+				if _, err := tcpConn.Write(f.Payload); err != nil {
+					return
+				}
+			case OpPing:
+				WriteFrame(wsConn, &Frame{Fin: true, Op: OpPong, Payload: f.Payload})
+			}
+		}
+	}()
+	// TCP → WebSocket: wrap the byte stream into binary frames.
+	go func() {
+		defer func() { done <- struct{}{} }()
+		buf := make([]byte, 16*1024)
+		for {
+			n, err := tcpConn.Read(buf)
+			if n > 0 {
+				f := &Frame{Fin: true, Op: OpBinary, Payload: buf[:n]}
+				if werr := WriteFrame(wsConn, f); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					return
+				}
+				WriteFrame(wsConn, &Frame{Fin: true, Op: OpClose})
+				return
+			}
+		}
+	}()
+	<-done
+}

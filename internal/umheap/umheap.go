@@ -1,0 +1,340 @@
+// Package umheap implements Doppio's unmanaged heap (§5.2): a
+// straightforward first-fit memory allocator operating on an array of
+// 32-bit signed integers, with all data stored little-endian.
+//
+// JavaScript only supports bit operations on signed 32-bit integers,
+// which is why each array element represents exactly 32 bits of data.
+// Where typed arrays are available the heap is backed by a real int32
+// array; elsewhere it falls back to a plain array of numbers, as the
+// paper describes. Data written to and read from the heap is copied
+// and encoded/decoded, never aliased (§5.2, "data stored to and read
+// from DOPPIO's heap are actually copied").
+package umheap
+
+import (
+	"fmt"
+	"math"
+
+	"doppio/internal/jlong"
+)
+
+// WordStore is the raw storage: a fixed array of 32-bit words.
+type WordStore interface {
+	// Words returns the number of 32-bit words.
+	Words() int
+	// Get returns the word at index i.
+	Get(i int) int32
+	// Set writes the word at index i.
+	Set(i int, v int32)
+}
+
+// Int32Store backs the heap with a typed Int32Array.
+type Int32Store []int32
+
+// Words returns the word count.
+func (s Int32Store) Words() int { return len(s) }
+
+// Get returns word i.
+func (s Int32Store) Get(i int) int32 { return s[i] }
+
+// Set writes word i.
+func (s Int32Store) Set(i int, v int32) { s[i] = v }
+
+// NumberStore backs the heap with a plain JavaScript array of numbers
+// (one float64 per word), for browsers without typed arrays.
+type NumberStore []float64
+
+// Words returns the word count.
+func (s NumberStore) Words() int { return len(s) }
+
+// Get returns word i.
+func (s NumberStore) Get(i int) int32 { return int32(s[i]) }
+
+// Set writes word i.
+func (s NumberStore) Set(i int, v int32) { s[i] = float64(v) }
+
+// align is the allocation granularity; 8 keeps doubles aligned.
+const align = 8
+
+type block struct{ addr, size int }
+
+// Heap is a first-fit unmanaged heap. Address 0 is reserved as NULL.
+type Heap struct {
+	words  WordStore
+	free   []block     // sorted by address, coalesced
+	allocs map[int]int // addr → size
+}
+
+// New creates a heap of size bytes (rounded up to a word multiple),
+// backed by a typed array when typed is true. onTypedAlloc, if non-nil,
+// observes the backing allocation (for the Safari leak model).
+func New(size int, typed bool, onTypedAlloc func(int)) *Heap {
+	if size < align*2 {
+		size = align * 2
+	}
+	nwords := (size + 3) / 4
+	var ws WordStore
+	if typed {
+		ws = make(Int32Store, nwords)
+		if onTypedAlloc != nil {
+			onTypedAlloc(nwords * 4)
+		}
+	} else {
+		ws = make(NumberStore, nwords)
+	}
+	h := &Heap{words: ws, allocs: make(map[int]int)}
+	// Address 0 is NULL; the arena starts at the first aligned slot.
+	h.free = []block{{addr: align, size: nwords*4 - align}}
+	return h
+}
+
+// Size returns the heap capacity in bytes.
+func (h *Heap) Size() int { return h.words.Words() * 4 }
+
+// ErrOOM reports allocation failure.
+var ErrOOM = fmt.Errorf("umheap: out of memory")
+
+// ErrBadFree reports a Free of an address that was never allocated.
+type ErrBadFree int
+
+func (e ErrBadFree) Error() string { return fmt.Sprintf("umheap: invalid free of address %d", int(e)) }
+
+// Malloc allocates n bytes (first fit) and returns the address, which
+// is always a non-zero multiple of 8. Allocating zero bytes returns a
+// valid unique address of minimal size.
+func (h *Heap) Malloc(n int) (int, error) {
+	if n < 1 {
+		n = 1
+	}
+	n = (n + align - 1) &^ (align - 1)
+	for i, b := range h.free {
+		if b.size < n {
+			continue
+		}
+		addr := b.addr
+		if b.size == n {
+			h.free = append(h.free[:i], h.free[i+1:]...)
+		} else {
+			h.free[i] = block{addr: b.addr + n, size: b.size - n}
+		}
+		h.allocs[addr] = n
+		return addr, nil
+	}
+	return 0, ErrOOM
+}
+
+// Free releases an allocation, coalescing adjacent free blocks.
+func (h *Heap) Free(addr int) error {
+	size, ok := h.allocs[addr]
+	if !ok {
+		return ErrBadFree(addr)
+	}
+	delete(h.allocs, addr)
+	// Insert sorted by address.
+	i := 0
+	for i < len(h.free) && h.free[i].addr < addr {
+		i++
+	}
+	h.free = append(h.free, block{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = block{addr: addr, size: size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(h.free) && h.free[i].addr+h.free[i].size == h.free[i+1].addr {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].addr+h.free[i-1].size == h.free[i].addr {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	return nil
+}
+
+// AllocatedBytes reports the total bytes currently allocated.
+func (h *Heap) AllocatedBytes() int {
+	total := 0
+	for _, n := range h.allocs {
+		total += n
+	}
+	return total
+}
+
+// FreeBlocks returns the number of fragments on the free list.
+func (h *Heap) FreeBlocks() int { return len(h.free) }
+
+func (h *Heap) check(addr, n int) {
+	if addr < 0 || addr+n > h.Size() {
+		panic(&AccessError{Addr: addr, N: n, Size: h.Size()})
+	}
+}
+
+// AccessError reports an out-of-bounds heap access; the JVM natives
+// map it onto the appropriate Java exception.
+type AccessError struct{ Addr, N, Size int }
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("umheap: access of %d bytes at address %d outside heap of %d bytes", e.N, e.Addr, e.Size)
+}
+
+// --- byte-granularity little-endian accessors ---
+
+// LoadU8 reads the byte at addr.
+func (h *Heap) LoadU8(addr int) uint8 {
+	h.check(addr, 1)
+	w := uint32(h.words.Get(addr >> 2))
+	return uint8(w >> uint((addr&3)*8))
+}
+
+// StoreU8 writes the byte at addr.
+func (h *Heap) StoreU8(addr int, v uint8) {
+	h.check(addr, 1)
+	i := addr >> 2
+	shift := uint((addr & 3) * 8)
+	w := uint32(h.words.Get(i))
+	w = w&^(0xFF<<shift) | uint32(v)<<shift
+	h.words.Set(i, int32(w))
+}
+
+// LoadI8 reads the signed byte at addr.
+func (h *Heap) LoadI8(addr int) int8 { return int8(h.LoadU8(addr)) }
+
+// StoreI8 writes the signed byte at addr.
+func (h *Heap) StoreI8(addr int, v int8) { h.StoreU8(addr, uint8(v)) }
+
+// LoadU16 reads a little-endian uint16 at addr (any alignment).
+func (h *Heap) LoadU16(addr int) uint16 {
+	return uint16(h.LoadU8(addr)) | uint16(h.LoadU8(addr+1))<<8
+}
+
+// StoreU16 writes a little-endian uint16 at addr.
+func (h *Heap) StoreU16(addr int, v uint16) {
+	h.StoreU8(addr, uint8(v))
+	h.StoreU8(addr+1, uint8(v>>8))
+}
+
+// LoadI16 reads a little-endian int16 at addr.
+func (h *Heap) LoadI16(addr int) int16 { return int16(h.LoadU16(addr)) }
+
+// StoreI16 writes a little-endian int16 at addr.
+func (h *Heap) StoreI16(addr int, v int16) { h.StoreU16(addr, uint16(v)) }
+
+// LoadI32 reads a little-endian int32 at addr.
+func (h *Heap) LoadI32(addr int) int32 {
+	if addr&3 == 0 {
+		h.check(addr, 4)
+		return h.words.Get(addr >> 2)
+	}
+	return int32(uint32(h.LoadU16(addr)) | uint32(h.LoadU16(addr+2))<<16)
+}
+
+// StoreI32 writes a little-endian int32 at addr.
+func (h *Heap) StoreI32(addr int, v int32) {
+	if addr&3 == 0 {
+		h.check(addr, 4)
+		h.words.Set(addr>>2, v)
+		return
+	}
+	h.StoreU16(addr, uint16(uint32(v)))
+	h.StoreU16(addr+2, uint16(uint32(v)>>16))
+}
+
+// LoadI64 reads a little-endian 64-bit integer at addr as a software
+// long.
+func (h *Heap) LoadI64(addr int) jlong.Long {
+	lo := uint32(h.LoadI32(addr))
+	hi := uint32(h.LoadI32(addr + 4))
+	return jlong.Long{Hi: hi, Lo: lo}
+}
+
+// StoreI64 writes a little-endian 64-bit integer at addr.
+func (h *Heap) StoreI64(addr int, v jlong.Long) {
+	h.StoreI32(addr, int32(v.Lo))
+	h.StoreI32(addr+4, int32(v.Hi))
+}
+
+// LoadF32 reads a little-endian float32 at addr.
+func (h *Heap) LoadF32(addr int) float32 {
+	return math.Float32frombits(uint32(h.LoadI32(addr)))
+}
+
+// StoreF32 writes a little-endian float32 at addr.
+func (h *Heap) StoreF32(addr int, v float32) {
+	h.StoreI32(addr, int32(math.Float32bits(v)))
+}
+
+// LoadF64 reads a little-endian float64 at addr.
+func (h *Heap) LoadF64(addr int) float64 {
+	bits := uint64(uint32(h.LoadI32(addr))) | uint64(uint32(h.LoadI32(addr+4)))<<32
+	return math.Float64frombits(bits)
+}
+
+// StoreF64 writes a little-endian float64 at addr.
+func (h *Heap) StoreF64(addr int, v float64) {
+	bits := math.Float64bits(v)
+	h.StoreI32(addr, int32(uint32(bits)))
+	h.StoreI32(addr+4, int32(uint32(bits>>32)))
+}
+
+// ReadBytes copies n bytes starting at addr out of the heap.
+func (h *Heap) ReadBytes(addr, n int) []byte {
+	h.check(addr, n)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = h.LoadU8(addr + i)
+	}
+	return out
+}
+
+// WriteBytes copies b into the heap at addr.
+func (h *Heap) WriteBytes(addr int, b []byte) {
+	h.check(addr, len(b))
+	for i, c := range b {
+		h.StoreU8(addr+i, c)
+	}
+}
+
+// Memset fills n bytes at addr with v.
+func (h *Heap) Memset(addr int, v byte, n int) {
+	h.check(addr, n)
+	for i := 0; i < n; i++ {
+		h.StoreU8(addr+i, v)
+	}
+}
+
+// Memcpy copies n bytes from src to dst within the heap, handling
+// overlap like memmove.
+func (h *Heap) Memcpy(dst, src, n int) {
+	h.check(dst, n)
+	h.check(src, n)
+	if dst == src || n == 0 {
+		return
+	}
+	if dst < src {
+		for i := 0; i < n; i++ {
+			h.StoreU8(dst+i, h.LoadU8(src+i))
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			h.StoreU8(dst+i, h.LoadU8(src+i))
+		}
+	}
+}
+
+// CString reads a NUL-terminated string starting at addr.
+func (h *Heap) CString(addr int) string {
+	var out []byte
+	for {
+		b := h.LoadU8(addr)
+		if b == 0 {
+			return string(out)
+		}
+		out = append(out, b)
+		addr++
+	}
+}
+
+// WriteCString writes s plus a NUL terminator at addr.
+func (h *Heap) WriteCString(addr int, s string) {
+	h.WriteBytes(addr, []byte(s))
+	h.StoreU8(addr+len(s), 0)
+}

@@ -1,0 +1,96 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+
+	"doppio/internal/browser"
+	"doppio/internal/buffer"
+)
+
+// TestBackendEquivalence drives the same pseudo-random operation
+// sequence against every writable backend and requires identical
+// observable outcomes — the §5.1 contract that the unified API gives
+// "full-featured read/write functionality" regardless of the storage
+// mechanism underneath.
+func TestBackendEquivalence(t *testing.T) {
+	type opResult struct {
+		op   string
+		err  string
+		data string
+	}
+	runSequence := func(name string, mk func(w *browser.Window, bufs *buffer.Factory) Backend) []opResult {
+		h := newHarness(t, browser.Chrome28, mk)
+		var results []opResult
+		record := func(op string, data string, err error) {
+			r := opResult{op: op, data: data}
+			if err != nil {
+				if ae, ok := err.(*ApiError); ok {
+					r.err = string(ae.Errno)
+				} else {
+					r.err = "ERR"
+				}
+			}
+			results = append(results, r)
+		}
+		// Deterministic pseudo-random op stream.
+		seed := uint32(12345)
+		next := func(n int) int {
+			seed = seed*1664525 + 1013904223
+			return int(seed>>16) % n
+		}
+		paths := []string{"/a", "/b", "/dir/c", "/dir/d", "/dir/sub/e"}
+		h.mkdir("/dir")
+		h.mkdir("/dir/sub")
+		for i := 0; i < 120; i++ {
+			p := paths[next(len(paths))]
+			switch next(6) {
+			case 0:
+				err := h.writeFile(p, []byte(fmt.Sprintf("content-%d", i)))
+				record("write "+p, "", err)
+			case 1:
+				data, err := h.readFile(p)
+				record("read "+p, string(data), err)
+			case 2:
+				st, err := h.stat(p)
+				record("stat "+p, fmt.Sprint(st.Size), err)
+			case 3:
+				err := h.unlink(p)
+				record("unlink "+p, "", err)
+			case 4:
+				names, err := h.readdir("/dir")
+				record("readdir", fmt.Sprint(names), err)
+			case 5:
+				other := paths[next(len(paths))]
+				err := h.rename(p, other)
+				record("rename "+p+" "+other, "", err)
+			}
+		}
+		return results
+	}
+
+	reference := runSequence("inmemory", func(*browser.Window, *buffer.Factory) Backend {
+		return NewInMemory()
+	})
+	others := map[string]func(w *browser.Window, bufs *buffer.Factory) Backend{
+		"localstorage": func(w *browser.Window, bufs *buffer.Factory) Backend {
+			return NewLocalStorageFS(w.LocalStorage, bufs)
+		},
+		"indexeddb": func(w *browser.Window, bufs *buffer.Factory) Backend {
+			return NewIndexedDBFS(w.IndexedDB, bufs)
+		},
+	}
+	for name, mk := range others {
+		got := runSequence(name, mk)
+		if len(got) != len(reference) {
+			t.Fatalf("%s: %d results vs %d", name, len(got), len(reference))
+		}
+		for i := range got {
+			if got[i] != reference[i] {
+				t.Errorf("%s diverges at step %d (%s):\n  inmemory: %+v\n  %s: %+v",
+					name, i, got[i].op, reference[i], name, got[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package vfs implements the Doppio file system (§5.1): a Node
+// JS-compatible `fs` front end over a small backend API, letting one
+// set of file system semantics run over many browser persistent
+// storage mechanisms.
+//
+// Like the original, the front end only guarantees an asynchronous
+// interface — callbacks are delivered on the browser event loop —
+// because many storage mechanisms have no synchronous API. Language
+// implementations combine it with the core package's
+// suspend-and-resume to expose synchronous file APIs to programs
+// (§4.2, §6.3).
+//
+// Backends implement the nine-method API of §5.1 ("Backend API"):
+// rename, stat, open, unlink, rmdir, mkdir, readdir, close, sync —
+// close and sync appear here as the kernel's sync-on-close file
+// objects and the backend Sync method. The kernel standardizes
+// arguments, resolves relative paths, raises the appropriate errno
+// errors, and supplies the shared whole-file-in-memory file
+// implementation, so each backend stays small.
+package vfs
+
+import "fmt"
+
+// Errno is a Unix-style error number.
+type Errno string
+
+// The errno values used by the file system, mirroring Node's fs errors.
+const (
+	ENOENT    Errno = "ENOENT"
+	EEXIST    Errno = "EEXIST"
+	EISDIR    Errno = "EISDIR"
+	ENOTDIR   Errno = "ENOTDIR"
+	ENOTEMPTY Errno = "ENOTEMPTY"
+	EBADF     Errno = "EBADF"
+	EINVAL    Errno = "EINVAL"
+	EPERM     Errno = "EPERM"
+	EROFS     Errno = "EROFS"
+	ENOSPC    Errno = "ENOSPC"
+	EXDEV     Errno = "EXDEV"
+	ENOTSUP   Errno = "ENOTSUP"
+	EIO       Errno = "EIO"
+)
+
+// ApiError is the error type returned by every file system operation,
+// carrying the errno, the operation, and the path.
+type ApiError struct {
+	Errno Errno
+	Op    string
+	Path  string
+	Cause error
+}
+
+func (e *ApiError) Error() string {
+	msg := fmt.Sprintf("%s: %s '%s'", e.Errno, errnoText(e.Errno), e.Path)
+	if e.Op != "" {
+		msg = e.Op + ": " + msg
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause, if any.
+func (e *ApiError) Unwrap() error { return e.Cause }
+
+func errnoText(e Errno) string {
+	switch e {
+	case ENOENT:
+		return "no such file or directory"
+	case EEXIST:
+		return "file already exists"
+	case EISDIR:
+		return "illegal operation on a directory"
+	case ENOTDIR:
+		return "not a directory"
+	case ENOTEMPTY:
+		return "directory not empty"
+	case EBADF:
+		return "bad file descriptor"
+	case EINVAL:
+		return "invalid argument"
+	case EPERM:
+		return "operation not permitted"
+	case EROFS:
+		return "read-only file system"
+	case ENOSPC:
+		return "no space left on device"
+	case EXDEV:
+		return "cross-device link"
+	case ENOTSUP:
+		return "operation not supported"
+	case EIO:
+		return "input/output error"
+	}
+	return "unknown error"
+}
+
+// Err builds an ApiError.
+func Err(errno Errno, op, path string) *ApiError {
+	return &ApiError{Errno: errno, Op: op, Path: path}
+}
+
+// ErrWithCause builds an ApiError wrapping an underlying error.
+func ErrWithCause(errno Errno, op, path string, cause error) *ApiError {
+	return &ApiError{Errno: errno, Op: op, Path: path, Cause: cause}
+}
+
+// IsErrno reports whether err is an ApiError with the given errno.
+func IsErrno(err error, errno Errno) bool {
+	ae, ok := err.(*ApiError)
+	return ok && ae.Errno == errno
+}

@@ -1,0 +1,161 @@
+// Package vpath emulates the Node JS `path` module (POSIX flavour),
+// which Doppio provides alongside the file system (§5.1: "path
+// contains useful path string manipulation functions").
+package vpath
+
+import "strings"
+
+// Sep is the path separator.
+const Sep = "/"
+
+// IsAbsolute reports whether p is an absolute path.
+func IsAbsolute(p string) bool { return strings.HasPrefix(p, Sep) }
+
+// Normalize cleans a path: collapses duplicate separators, resolves
+// "." and "..", and strips trailing slashes (except for the root).
+// An empty path normalizes to ".".
+func Normalize(p string) string {
+	if p == "" {
+		return "."
+	}
+	abs := IsAbsolute(p)
+	parts := strings.Split(p, Sep)
+	var out []string
+	for _, part := range parts {
+		switch part {
+		case "", ".":
+		case "..":
+			if len(out) > 0 && out[len(out)-1] != ".." {
+				out = out[:len(out)-1]
+			} else if !abs {
+				out = append(out, "..")
+			}
+		default:
+			out = append(out, part)
+		}
+	}
+	res := strings.Join(out, Sep)
+	if abs {
+		return Sep + res
+	}
+	if res == "" {
+		return "."
+	}
+	return res
+}
+
+// Join joins path segments and normalizes the result. Empty segments
+// are ignored; joining nothing yields ".".
+func Join(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return "."
+	}
+	return Normalize(strings.Join(nonEmpty, Sep))
+}
+
+// Resolve resolves segments right-to-left against cwd until an
+// absolute path is produced, like Node's path.resolve.
+func Resolve(cwd string, parts ...string) string {
+	resolved := ""
+	for i := len(parts) - 1; i >= -1; i-- {
+		var p string
+		if i >= 0 {
+			p = parts[i]
+		} else {
+			p = cwd
+		}
+		if p == "" {
+			continue
+		}
+		resolved = p + Sep + resolved
+		if IsAbsolute(p) {
+			break
+		}
+	}
+	if !IsAbsolute(resolved) {
+		resolved = Sep + resolved
+	}
+	return Normalize(resolved)
+}
+
+// Dirname returns the directory portion of p.
+func Dirname(p string) string {
+	p = Normalize(p)
+	if p == Sep {
+		return Sep
+	}
+	i := strings.LastIndex(p, Sep)
+	switch i {
+	case -1:
+		return "."
+	case 0:
+		return Sep
+	default:
+		return p[:i]
+	}
+}
+
+// Basename returns the final path element, optionally stripping ext.
+func Basename(p string, ext string) string {
+	p = Normalize(p)
+	if p == Sep {
+		return Sep
+	}
+	if i := strings.LastIndex(p, Sep); i >= 0 {
+		p = p[i+1:]
+	}
+	if ext != "" && ext != p && strings.HasSuffix(p, ext) {
+		p = p[:len(p)-len(ext)]
+	}
+	return p
+}
+
+// Extname returns the extension of p, from the last '.' in the final
+// element, or "" if there is none (or the name starts with '.').
+func Extname(p string) string {
+	base := Basename(p, "")
+	i := strings.LastIndex(base, ".")
+	if i <= 0 {
+		return ""
+	}
+	return base[i:]
+}
+
+// Relative computes the relative path from `from` to `to` (both
+// resolved against "/" if relative).
+func Relative(from, to string) string {
+	from = Resolve("/", from)
+	to = Resolve("/", to)
+	if from == to {
+		return ""
+	}
+	fp := strings.Split(strings.TrimPrefix(from, Sep), Sep)
+	tp := strings.Split(strings.TrimPrefix(to, Sep), Sep)
+	if from == Sep {
+		fp = nil
+	}
+	if to == Sep {
+		tp = nil
+	}
+	common := 0
+	for common < len(fp) && common < len(tp) && fp[common] == tp[common] {
+		common++
+	}
+	var out []string
+	for i := common; i < len(fp); i++ {
+		out = append(out, "..")
+	}
+	out = append(out, tp[common:]...)
+	return strings.Join(out, Sep)
+}
+
+// Split returns the directory and file portions of p.
+func Split(p string) (dir, file string) {
+	return Dirname(p), Basename(p, "")
+}

@@ -1,0 +1,104 @@
+package vpath
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"":              ".",
+		"/":             "/",
+		"/a/b/c":        "/a/b/c",
+		"/a//b///c/":    "/a/b/c",
+		"a/./b":         "a/b",
+		"/a/b/../c":     "/a/c",
+		"/a/../../b":    "/b",
+		"../a":          "../a",
+		"a/..":          ".",
+		"./":            ".",
+		"/..":           "/",
+		"a/b/../../..":  "..",
+		"/a/b/c/../../": "/a",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	cases := []struct {
+		parts []string
+		want  string
+	}{
+		{[]string{"/a", "b", "c"}, "/a/b/c"},
+		{[]string{"a", "../b"}, "b"},
+		{[]string{"", ""}, "."},
+		{[]string{"/", "tmp"}, "/tmp"},
+		{[]string{"a/", "/b/"}, "a/b"},
+	}
+	for _, c := range cases {
+		if got := Join(c.parts...); got != c.want {
+			t.Errorf("Join(%v) = %q, want %q", c.parts, got, c.want)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		cwd   string
+		parts []string
+		want  string
+	}{
+		{"/home", []string{"a"}, "/home/a"},
+		{"/home", []string{"/etc", "passwd"}, "/etc/passwd"},
+		{"/home", []string{"a", "/b", "c"}, "/b/c"},
+		{"/home", []string{".."}, "/"},
+		{"/", nil, "/"},
+		{"/a/b", []string{"../c"}, "/a/c"},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.cwd, c.parts...); got != c.want {
+			t.Errorf("Resolve(%q, %v) = %q, want %q", c.cwd, c.parts, got, c.want)
+		}
+	}
+}
+
+func TestDirnameBasenameExtname(t *testing.T) {
+	if Dirname("/a/b/c.txt") != "/a/b" || Dirname("/a") != "/" || Dirname("/") != "/" || Dirname("a") != "." {
+		t.Error("Dirname mismatch")
+	}
+	if Basename("/a/b/c.txt", "") != "c.txt" || Basename("/a/b/c.txt", ".txt") != "c" || Basename("/", "") != "/" {
+		t.Error("Basename mismatch")
+	}
+	if Extname("/a/b.txt") != ".txt" || Extname("/a/b") != "" || Extname("/a/.hidden") != "" || Extname("a.tar.gz") != ".gz" {
+		t.Error("Extname mismatch")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	cases := []struct{ from, to, want string }{
+		{"/a/b", "/a/b/c", "c"},
+		{"/a/b/c", "/a/b", ".."},
+		{"/a/b", "/a/b", ""},
+		{"/a/x", "/a/y/z", "../y/z"},
+		{"/", "/a", "a"},
+	}
+	for _, c := range cases {
+		if got := Relative(c.from, c.to); got != c.want {
+			t.Errorf("Relative(%q, %q) = %q, want %q", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, f := Split("/a/b/c.go")
+	if d != "/a/b" || f != "c.go" {
+		t.Errorf("Split = %q, %q", d, f)
+	}
+}
+
+func TestIsAbsolute(t *testing.T) {
+	if !IsAbsolute("/a") || IsAbsolute("a") || IsAbsolute("") {
+		t.Error("IsAbsolute mismatch")
+	}
+}
