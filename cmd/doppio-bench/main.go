@@ -3,18 +3,32 @@
 //	doppio-bench -all                 # everything at quick scale
 //	doppio-bench -fig3 -scale 3       # closer to paper scale
 //	doppio-bench -table1 -table2
+//	doppio-bench -resp                # §7.1.3 responsiveness report
+//	doppio-bench -metrics -trace t.json   # instrumented default pass
+//
+// With -metrics and/or -trace but no figure selected, a default
+// telemetry pass runs: the disasm workload through DoppioJVM plus a
+// small file system trace replay, both fully instrumented. SIGINT or
+// SIGTERM dumps the metrics snapshot and closes the trace file before
+// exiting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"doppio/internal/bench"
 	"doppio/internal/browser"
+	"doppio/internal/buffer"
 	"doppio/internal/fstrace"
+	"doppio/internal/telemetry"
+	"doppio/internal/vfs"
 )
 
 func main() {
@@ -23,17 +37,28 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "file system trace replay (Figure 6)")
 	table1 := flag.Bool("table1", false, "feature matrix with live probes (Table 1)")
 	table2 := flag.Bool("table2", false, "storage mechanisms (Table 2)")
+	resp := flag.Bool("resp", false, "responsiveness report: longest event-loop pause per workload (§7.1.3)")
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Int("scale", 1, "workload scale (>=5 is paper scale)")
 	browsersFlag := flag.String("browsers", "", "comma-separated browser names (default: the paper's five)")
 	noTax := flag.Bool("noenginetax", false, "disable the JS-engine speed model")
+	metrics := flag.Bool("metrics", false, "print the telemetry metrics snapshot on exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing)")
 	flag.Parse()
 
-	if !(*fig3 || *fig45 || *fig6 || *table1 || *table2 || *all) {
+	var hub *telemetry.Hub
+	if *metrics || *tracePath != "" {
+		hub = telemetry.NewHub()
+		if *tracePath != "" {
+			hub.EnableTracing()
+		}
+	}
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all
+	if !anyFigure && hub == nil {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := bench.Config{Scale: *scale, DisableEngineTax: *noTax}
+	cfg := bench.Config{Scale: *scale, DisableEngineTax: *noTax, Telemetry: hub}
 	if *browsersFlag != "" {
 		for _, name := range strings.Split(*browsersFlag, ",") {
 			p, ok := browser.ByName(strings.TrimSpace(name))
@@ -43,6 +68,39 @@ func main() {
 			}
 			cfg.Browsers = append(cfg.Browsers, p)
 		}
+	}
+
+	// On SIGINT/SIGTERM (and on the normal exit path) dump the metrics
+	// snapshot and close the trace file exactly once.
+	var finishOnce sync.Once
+	var finishErr error
+	finish := func() {
+		finishOnce.Do(func() {
+			if hub == nil {
+				return
+			}
+			if *metrics {
+				fmt.Print(hub.Registry.Snapshot().Format())
+			}
+			if *tracePath != "" {
+				if err := hub.Tracer.WriteFile(*tracePath); err != nil {
+					finishErr = err
+					fmt.Fprintln(os.Stderr, "doppio-bench: writing trace:", err)
+				} else {
+					fmt.Printf("trace written to %s\n", *tracePath)
+				}
+			}
+		})
+	}
+	if hub != nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "doppio-bench: %v: dumping telemetry\n", s)
+			finish()
+			os.Exit(130)
+		}()
 	}
 
 	if *all || *table1 {
@@ -84,6 +142,80 @@ func main() {
 		}
 		fmt.Println(bench.FormatFig6(rows))
 	}
+	if *all || *resp {
+		rows, err := bench.RunResponsiveness(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatResponsiveness(rows))
+	}
+	if !anyFigure {
+		if err := runTelemetryPass(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	finish()
+	if finishErr != nil {
+		os.Exit(1)
+	}
+}
+
+// runTelemetryPass exercises the instrumented runtime when no figure
+// was requested: the disasm workload (which reads its class corpus
+// through the VFS) on one browser profile, then a small file system
+// trace replay. Together they populate event-loop dispatch latencies,
+// per-backend VFS op latencies, JVM opcode counts, and fstrace per-op
+// histograms in cfg.Telemetry.
+func runTelemetryPass(cfg bench.Config) error {
+	profile := browser.Chrome28
+	if len(cfg.Browsers) > 0 {
+		profile = cfg.Browsers[0]
+	}
+	spec := bench.Fig3Workloads[0]
+	run, err := bench.RunDoppio(spec, cfg.Scale, profile, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry pass: %s on %s: %d bytecodes in %v\n",
+		spec.ID, profile.Name, run.Instructions, run.Wall.Round(time.Millisecond))
+
+	trace := fstrace.Generate(fstrace.GenerateParams{
+		Ops: 400, UniqueFiles: 120, BytesRead: 600_000, BytesWritten: 8_000,
+	})
+	win := browser.NewWindow(profile)
+	if cfg.Telemetry != nil {
+		win.EnableTelemetry(cfg.Telemetry)
+	}
+	bufs := &buffer.Factory{
+		Typed:            profile.HasTypedArrays,
+		ValidatesStrings: profile.ValidatesStrings,
+		OnTypedAlloc:     win.NoteTypedArrayAlloc,
+	}
+	fs := vfs.New(win.Loop, bufs, vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry))
+	var seedErr, replayErr error
+	var okOps int
+	win.Loop.Post("fstrace", func() {
+		fstrace.SeedVFS(fs, trace, func(err error) {
+			if err != nil {
+				seedErr = err
+				return
+			}
+			fstrace.ReplayVFSWith(win.Loop, fs, trace, cfg.Telemetry, func(ok int, err error) {
+				okOps, replayErr = ok, err
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		return err
+	}
+	if seedErr != nil {
+		return seedErr
+	}
+	if replayErr != nil {
+		return replayErr
+	}
+	fmt.Printf("telemetry pass: fstrace replay completed %d/%d ops\n", okOps, len(trace.Ops))
+	return nil
 }
 
 func fatal(err error) {

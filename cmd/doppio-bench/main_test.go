@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doppio/internal/bench"
+	"doppio/internal/browser"
+	"doppio/internal/telemetry"
+)
+
+// TestTelemetryPass drives the -trace/-metrics default pass and checks
+// the acceptance contract: the metrics table carries event-loop
+// dispatch latency, per-VFS-backend op latency, and JVM opcode counts,
+// and the trace file parses as valid Chrome trace_event JSON.
+func TestTelemetryPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full workload")
+	}
+	hub := telemetry.NewHub().EnableTracing()
+	cfg := bench.Config{
+		Scale:            1,
+		Browsers:         []browser.Profile{browser.Chrome28},
+		DisableEngineTax: true,
+		Telemetry:        hub,
+	}
+	if err := runTelemetryPass(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	table := hub.Registry.Snapshot().Format()
+	for _, want := range []string{
+		"eventloop/dispatch", // dispatch latency histogram (p95 column)
+		"vfs.InMemory/stat",  // per-backend op latency
+		"vfs.InMemory/open",  //
+		"jvm/op.",            // opcode counters
+		"jvm/invocations",    //
+		"fstrace/read",       // replay per-op latency
+		"core/timeslice",     //
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, table)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := hub.Tracer.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("-trace output is not a valid Chrome trace: %v", err)
+	}
+	if len(data) < 100 {
+		t.Fatalf("trace suspiciously small: %d bytes", len(data))
+	}
+}

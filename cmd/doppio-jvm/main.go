@@ -18,6 +18,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/jvm"
 	"doppio/internal/jvm/rt"
+	"doppio/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,9 @@ func main() {
 	tax := flag.Bool("enginetax", false, "model the browser's JS-engine speed")
 	stats := flag.Bool("stats", false, "print runtime statistics after execution")
 	timeslice := flag.Duration("timeslice", 10*time.Millisecond, "Doppio timeslice")
+	metrics := flag.Bool("metrics", false, "print the telemetry metrics snapshot after execution")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing)")
+	traceMethods := flag.Bool("trace-methods", false, "record a trace span per method invocation (with -trace; verbose)")
 	flag.Parse()
 
 	if *list {
@@ -94,6 +98,15 @@ func main() {
 		fatal(fmt.Errorf("unknown browser %q (try -list)", *browserName))
 	}
 	win := browser.NewWindow(profile)
+	var hub *telemetry.Hub
+	if *metrics || *tracePath != "" {
+		hub = telemetry.NewHub()
+		if *tracePath != "" {
+			hub.EnableTracing()
+		}
+		hub.MethodSpans = *traceMethods
+		win.EnableTelemetry(hub)
+	}
 	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
 		Stdout:           os.Stdout,
 		Stderr:           os.Stderr,
@@ -111,6 +124,18 @@ func main() {
 			profile.Name, vm.Instructions, time.Since(start).Round(time.Millisecond),
 			st.Suspensions, st.SuspendedTime.Round(time.Millisecond),
 			vm.Runtime().Mechanism(), vm.Reg.Loaded())
+	}
+	if hub != nil {
+		if *metrics {
+			// Stderr, so the program's stdout stays clean.
+			fmt.Fprint(os.Stderr, hub.Registry.Snapshot().Format())
+		}
+		if *tracePath != "" {
+			if err := hub.Tracer.WriteFile(*tracePath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "doppio-jvm: trace written to %s\n", *tracePath)
+		}
 	}
 	os.Exit(int(vm.ExitCode()))
 }

@@ -2,6 +2,10 @@
 // server, as the kanaka/websockify program the paper uses (§5.3).
 //
 //	websockify -listen :8081 -target 127.0.0.1:7000
+//
+// With -metrics, SIGINT/SIGTERM print a telemetry snapshot (connection
+// count, frames and bytes in each direction, handshake latency) before
+// shutting down.
 package main
 
 import (
@@ -9,13 +13,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"doppio/internal/sockets"
+	"doppio/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8081", "WebSocket listen address")
 	target := flag.String("target", "", "TCP target address (host:port)")
+	metrics := flag.Bool("metrics", false, "print a telemetry metrics snapshot on shutdown")
 	flag.Parse()
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "usage: websockify -listen addr -target host:port")
@@ -26,9 +33,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "websockify:", err)
 		os.Exit(1)
 	}
+	var hub *telemetry.Hub
+	if *metrics {
+		hub = telemetry.NewHub()
+		proxy.SetTelemetry(hub)
+	}
 	fmt.Printf("websockify: %s -> %s\n", proxy.Addr(), *target)
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	s := <-ch
+	fmt.Fprintf(os.Stderr, "websockify: %v: shutting down\n", s)
+	if hub != nil {
+		fmt.Fprint(os.Stderr, hub.Registry.Snapshot().Format())
+	}
 	proxy.Close()
 }

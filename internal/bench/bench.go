@@ -17,6 +17,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
 	"doppio/internal/jvm"
+	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	// DisableEngineTax turns off the per-browser JS-engine speed
 	// model (DESIGN.md substitution).
 	DisableEngineTax bool
+	// Telemetry, when non-nil, instruments every run: the window's
+	// event loop, the core runtime, the JVM, and the VFS backend all
+	// report into this hub. Corpus seeding happens before the hub is
+	// attached to the event loop, so dispatch/responsiveness metrics
+	// cover only the measured workload (backend op histograms do
+	// include seeding traffic — it is genuine backend I/O).
+	Telemetry *telemetry.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -158,7 +166,9 @@ type DoppioRun struct {
 	CPU         time.Duration
 	Suspended   time.Duration
 	Suspensions int
-	Output      string
+	// Instructions is the executed bytecode count.
+	Instructions int64
+	Output       string
 }
 
 // RunDoppio executes a workload on the Doppio engine inside the given
@@ -179,7 +189,7 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 		ValidatesStrings: profile.ValidatesStrings,
 		OnTypedAlloc:     win.NoteTypedArrayAlloc,
 	}
-	fs := vfs.New(win.Loop, bufs, vfs.NewInMemory())
+	fs := vfs.New(win.Loop, bufs, vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry))
 
 	// Seed the corpus before timing starts.
 	var seedErr error
@@ -218,6 +228,9 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 	if seedErr != nil {
 		return nil, seedErr
 	}
+	if cfg.Telemetry != nil {
+		win.EnableTelemetry(cfg.Telemetry)
+	}
 
 	var stdout bytes.Buffer
 	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
@@ -234,10 +247,11 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 	wall := time.Since(start)
 	st := vm.Runtime().Stats()
 	return &DoppioRun{
-		Wall:        wall,
-		CPU:         st.CPUTime,
-		Suspended:   st.SuspendedTime,
-		Suspensions: st.Suspensions,
-		Output:      stdout.String(),
+		Wall:         wall,
+		CPU:          st.CPUTime,
+		Suspended:    st.SuspendedTime,
+		Suspensions:  st.Suspensions,
+		Instructions: vm.Instructions,
+		Output:       stdout.String(),
 	}, nil
 }

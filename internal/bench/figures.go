@@ -178,7 +178,7 @@ func RunFig6(cfg Config, params fstrace.GenerateParams) ([]Fig6Row, error) {
 		// comparison isolates Doppio's FS machinery — front-end
 		// bookkeeping, buffer copies, and one event-loop round trip
 		// per operation — exactly what Figure 6 measures.
-		fs := vfs.New(win.Loop, bufs, vfs.NewOSBackend(win.Loop, root))
+		fs := vfs.New(win.Loop, bufs, vfs.Instrument(vfs.NewOSBackend(win.Loop, root), cfg.Telemetry))
 		// Warm pass (mirrors the baseline's warm page cache).
 		var warmErr error
 		win.Loop.Post("warm", func() {
@@ -194,7 +194,9 @@ func RunFig6(cfg Config, params fstrace.GenerateParams) ([]Fig6Row, error) {
 		var replayErr error
 		t0 := time.Now()
 		win.Loop.Post("replay", func() {
-			fstrace.ReplayVFS(win.Loop, fs, trace, func(ok int, err error) {
+			// The timed pass records per-op latencies when telemetry is
+			// configured (the warm pass stays unobserved).
+			fstrace.ReplayVFSWith(win.Loop, fs, trace, cfg.Telemetry, func(ok int, err error) {
 				okOps, replayErr = ok, err
 			})
 		})

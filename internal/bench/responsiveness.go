@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"doppio/internal/telemetry"
+)
+
+// Responsiveness is the §7.1.3 view of one workload: how long the
+// event loop was blocked by the longest single macrotask (the "longest
+// pause" — the time during which the page cannot respond to input),
+// reported beside throughput. The paper demonstrates the trade-off by
+// varying the time slice; this report measures the pauses a run
+// actually produced.
+type Responsiveness struct {
+	Workload string
+	Browser  string
+	// Wall is the workload's wall-clock time (throughput).
+	Wall time.Duration
+	// Tasks is the number of macrotasks the event loop dispatched.
+	Tasks int64
+	// LongestPause is the maximum single macrotask duration.
+	LongestPause time.Duration
+	// P95 and P99 are dispatch-duration quantiles.
+	P95, P99 time.Duration
+	// Instructions is the executed bytecode count.
+	Instructions int64
+}
+
+// RunResponsiveness measures the §7.1.3 responsiveness profile of the
+// Figure 3 workloads on the first configured browser (default:
+// Chrome 28). Each workload runs with a fresh metrics hub so pauses
+// are attributed per workload.
+func RunResponsiveness(cfg Config) ([]Responsiveness, error) {
+	cfg = cfg.withDefaults()
+	profile := cfg.Browsers[0]
+	var out []Responsiveness
+	for _, spec := range Fig3Workloads {
+		runCfg := cfg
+		runCfg.Telemetry = telemetry.NewHub()
+		run, err := RunDoppio(spec, cfg.Scale, profile, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		st := runCfg.Telemetry.Registry.Histogram("eventloop", "dispatch").Stats()
+		out = append(out, Responsiveness{
+			Workload:     spec.ID,
+			Browser:      profile.Name,
+			Wall:         run.Wall,
+			Tasks:        st.Count,
+			LongestPause: time.Duration(st.Max),
+			P95:          time.Duration(st.P95),
+			P99:          time.Duration(st.P99),
+			Instructions: run.Instructions,
+		})
+	}
+	return out, nil
+}
+
+// FormatResponsiveness renders the report as a text table.
+func FormatResponsiveness(rows []Responsiveness) string {
+	var b strings.Builder
+	b.WriteString("Responsiveness (§7.1.3): longest event-loop pause per workload\n")
+	fmt.Fprintf(&b, "%-22s %-14s %10s %8s %10s %10s %10s %12s\n",
+		"workload", "browser", "wall", "tasks", "pause-max", "pause-p95", "pause-p99", "instructions")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-14s %10s %8d %10s %10s %10s %12d\n",
+			r.Workload, r.Browser, r.Wall.Round(time.Millisecond), r.Tasks,
+			fmtPause(r.LongestPause), fmtPause(r.P95), fmtPause(r.P99), r.Instructions)
+	}
+	return b.String()
+}
+
+func fmtPause(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}

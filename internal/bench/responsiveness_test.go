@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/telemetry"
+)
+
+func TestRunResponsiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep is slow")
+	}
+	rows, err := RunResponsiveness(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig3Workloads) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Fig3Workloads))
+	}
+	for _, r := range rows {
+		if r.Tasks == 0 {
+			t.Errorf("%s: 0 tasks dispatched", r.Workload)
+		}
+		if r.LongestPause <= 0 {
+			t.Errorf("%s: longest pause = %v, want > 0", r.Workload, r.LongestPause)
+		}
+		if r.LongestPause < r.P95 {
+			t.Errorf("%s: max pause %v < p95 %v", r.Workload, r.LongestPause, r.P95)
+		}
+		if r.Instructions == 0 {
+			t.Errorf("%s: 0 instructions", r.Workload)
+		}
+		if r.Wall <= 0 {
+			t.Errorf("%s: wall = %v", r.Workload, r.Wall)
+		}
+	}
+	out := FormatResponsiveness(rows)
+	for _, want := range []string{"longest event-loop pause", "pause-max", "pause-p95", rows[0].Workload} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDoppioWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload run is slow")
+	}
+	cfg := quickCfg()
+	cfg.Telemetry = telemetry.NewHub()
+	// disasm reads its class corpus through the VFS, exercising the
+	// instrumented backend.
+	run, err := RunDoppio(Fig3Workloads[0], 1, browser.Chrome28, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Instructions == 0 {
+		t.Error("Instructions = 0")
+	}
+	reg := cfg.Telemetry.Registry
+	if got := reg.Histogram("eventloop", "dispatch").Count(); got == 0 {
+		t.Error("eventloop/dispatch empty")
+	}
+	if got := reg.Counter("vfs.InMemory", "ops").Value(); got == 0 {
+		t.Error("vfs.InMemory/ops = 0: backend not instrumented")
+	}
+	// Dispatch p95 is the headline §7.1.3 number; it must be a sane
+	// duration (> 0, < the whole run).
+	p95 := time.Duration(reg.Histogram("eventloop", "dispatch").Quantile(0.95))
+	if p95 <= 0 || p95 > run.Wall {
+		t.Errorf("dispatch p95 = %v, wall = %v", p95, run.Wall)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"doppio/internal/eventloop"
 	"doppio/internal/jsstring"
+	"doppio/internal/telemetry"
 )
 
 // Window ties a browser profile to a live event loop and the storage
@@ -27,6 +28,11 @@ type Window struct {
 
 	// Remote serves XHR downloads (the web server hosting the page).
 	Remote *RemoteServer
+
+	// Telemetry, when non-nil, is the observability hub every runtime
+	// layer hosted in this window (event loop, core, JVM, sockets)
+	// reports into. Set it with EnableTelemetry.
+	Telemetry *telemetry.Hub
 
 	leakedTypedBytes atomic.Int64
 }
@@ -49,6 +55,14 @@ func NewWindow(p Profile) *Window {
 		w.IndexedDB = NewAsyncStore(w.Loop, p.StorageLatency)
 	}
 	return w
+}
+
+// EnableTelemetry attaches an observability hub to the window and wires
+// it into the event loop. Layers created afterwards (core runtimes, JVMs,
+// sockets) pick the hub up from w.Telemetry automatically.
+func (w *Window) EnableTelemetry(h *telemetry.Hub) {
+	w.Telemetry = h
+	w.Loop.EnableTelemetry(h)
 }
 
 // NoteTypedArrayAlloc records a typed-array allocation of n bytes.

@@ -28,6 +28,7 @@ import (
 
 	"doppio/internal/browser"
 	"doppio/internal/eventloop"
+	"doppio/internal/telemetry"
 )
 
 // RunResult is what a Runnable reports at the end of a timeslice.
@@ -138,7 +139,42 @@ type Runtime struct {
 	suspendedAt time.Time
 	lastRun     *Thread
 
+	tel *rtTelemetry
+
 	onIdle []func() // notified when no threads remain
+}
+
+// rtTelemetry holds the pre-resolved metric handles for one runtime.
+// The runtime executes entirely on the event-loop goroutine, so the
+// pointer is read without synchronization.
+type rtTelemetry struct {
+	yieldLatency *telemetry.Histogram // suspend → resumption latency (§4.4)
+	sliceDur     *telemetry.Histogram // timeslice execution duration
+	quantum      *telemetry.Gauge     // latest adaptive suspend-counter quantum (§4.1)
+	suspensions  *telemetry.Counter
+	ctxSwitches  *telemetry.Counter
+	tracer       *telemetry.Tracer
+}
+
+// coreThreadTID maps a Doppio thread ID onto its trace track.
+func coreThreadTID(id int) int { return telemetry.TIDCoreThread(id) }
+
+// EnableTelemetry points the runtime at an observability hub (nil
+// detaches). NewRuntime calls this automatically when the window has
+// one.
+func (rt *Runtime) EnableTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		rt.tel = nil
+		return
+	}
+	rt.tel = &rtTelemetry{
+		yieldLatency: h.Registry.Histogram("core", "yield_latency"),
+		sliceDur:     h.Registry.Histogram("core", "timeslice"),
+		quantum:      h.Registry.Gauge("core", "suspend_quantum"),
+		suspensions:  h.Registry.Counter("core", "suspensions"),
+		ctxSwitches:  h.Registry.Counter("core", "context_switches"),
+		tracer:       h.Tracer,
+	}
 }
 
 // NewRuntime creates a runtime inside the window's event loop.
@@ -162,6 +198,7 @@ func NewRuntime(win *browser.Window, cfg Config) *Runtime {
 	if rt.mechanism == "postMessage" {
 		win.Loop.OnMessage(rt.onMessage)
 	}
+	rt.EnableTelemetry(win.Telemetry)
 	return rt
 }
 
@@ -209,8 +246,13 @@ func (rt *Runtime) onMessage(id string) {
 func (rt *Runtime) scheduleResumption(fn func()) {
 	rt.suspendedAt = time.Now()
 	wrapped := func() {
-		rt.stats.SuspendedTime += time.Since(rt.suspendedAt)
+		d := time.Since(rt.suspendedAt)
+		rt.stats.SuspendedTime += d
 		rt.stats.Suspensions++
+		if tel := rt.tel; tel != nil {
+			tel.yieldLatency.ObserveDuration(d)
+			tel.suspensions.Inc()
+		}
 		fn()
 	}
 	switch rt.mechanism {
@@ -241,6 +283,9 @@ func (rt *Runtime) Spawn(name string, r Runnable) *Thread {
 		state:    ReadyState,
 	}
 	t.clock = newSuspendClock(rt.cfg.Timeslice, rt.cfg.FixedCounter)
+	if tel := rt.tel; tel != nil && tel.tracer != nil {
+		tel.tracer.ThreadName(coreThreadTID(t.ID), fmt.Sprintf("doppio thread %d: %s", t.ID, name))
+	}
 	rt.threads = append(rt.threads, t)
 	rt.ready = append(rt.ready, t)
 	return t
@@ -285,17 +330,31 @@ func (rt *Runtime) tick() {
 	}
 	if rt.lastRun != nil && rt.lastRun != t {
 		rt.stats.ContextSwitches++
+		if rt.tel != nil {
+			rt.tel.ctxSwitches.Inc()
+		}
 	}
 	rt.lastRun = t
 	rt.current = t
 	t.state = RunningState
 	t.clock.startSlice()
 
+	var span telemetry.Span
+	if tel := rt.tel; tel != nil {
+		tel.quantum.Set(int64(t.clock.initial))
+		if tel.tracer != nil {
+			span = tel.tracer.Begin(coreThreadTID(t.ID), "core", t.Name)
+		}
+	}
 	start := time.Now()
 	res := t.runnable.Run(t)
 	elapsed := time.Since(start)
 	rt.stats.CPUTime += elapsed
 	t.CPUTime += elapsed
+	if tel := rt.tel; tel != nil {
+		span.End()
+		tel.sliceDur.ObserveDuration(elapsed)
+	}
 	rt.current = nil
 
 	switch res {

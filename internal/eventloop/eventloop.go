@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"doppio/internal/telemetry"
 )
 
 // Options configure the loop with the relevant per-browser quirks.
@@ -115,6 +117,48 @@ type Loop struct {
 	msgHandler func(data string)
 
 	stats Stats
+	tel   *loopTelemetry
+}
+
+// loopTelemetry caches the loop's resolved metric handles so the hot
+// dispatch path pays only a nil check when telemetry is disabled and
+// lock-free atomics when it is enabled.
+type loopTelemetry struct {
+	dispatch    *telemetry.Histogram // macrotask execution duration
+	clampDelay  *telemetry.Histogram // extra delay added by the timer clamp
+	tasks       *telemetry.Counter
+	timersFired *telemetry.Counter
+	messages    *telemetry.Counter
+	queueDepth  *telemetry.Gauge // depth after the latest enqueue
+	queueMax    *telemetry.Gauge // high-watermark depth
+	tracer      *telemetry.Tracer
+}
+
+// EnableTelemetry attaches the loop to a telemetry hub: macrotask
+// dispatch durations feed the "eventloop/dispatch" histogram, timer
+// clamping the "eventloop/timer_clamp" histogram, and (when the hub
+// traces) every macrotask becomes a span on the event-loop track.
+// Passing nil detaches. Safe to call while the loop runs.
+func (l *Loop) EnableTelemetry(h *telemetry.Hub) {
+	var t *loopTelemetry
+	if h != nil {
+		t = &loopTelemetry{
+			dispatch:    h.Registry.Histogram("eventloop", "dispatch"),
+			clampDelay:  h.Registry.Histogram("eventloop", "timer_clamp"),
+			tasks:       h.Registry.Counter("eventloop", "tasks"),
+			timersFired: h.Registry.Counter("eventloop", "timers_fired"),
+			messages:    h.Registry.Counter("eventloop", "messages"),
+			queueDepth:  h.Registry.Gauge("eventloop", "queue_depth"),
+			queueMax:    h.Registry.Gauge("eventloop", "queue_depth_max"),
+			tracer:      h.Tracer,
+		}
+		if h.Tracer != nil {
+			h.Tracer.ThreadName(telemetry.TIDEventLoop, "event loop")
+		}
+	}
+	l.mu.Lock()
+	l.tel = t
+	l.mu.Unlock()
 }
 
 // New creates an idle event loop.
@@ -144,6 +188,11 @@ func (l *Loop) Stats() Stats {
 func (l *Loop) Post(label string, fn func()) {
 	l.mu.Lock()
 	l.queue = append(l.queue, task{label: label, fn: fn})
+	if tel := l.tel; tel != nil {
+		depth := int64(len(l.queue))
+		tel.queueDepth.Set(depth)
+		tel.queueMax.SetMax(depth)
+	}
 	l.mu.Unlock()
 	l.signal()
 }
@@ -151,10 +200,16 @@ func (l *Loop) Post(label string, fn func()) {
 // SetTimeout schedules fn to run after at least d, subject to the
 // browser's minimum-delay clamp. It returns an id for ClearTimeout.
 func (l *Loop) SetTimeout(fn func(), d time.Duration) TimerID {
+	requested := d
 	if d < l.opts.MinTimeoutDelay {
 		d = l.opts.MinTimeoutDelay
 	}
 	l.mu.Lock()
+	if tel := l.tel; tel != nil && d > requested {
+		// Record how much the HTML5 minimum-delay clamp inflated the
+		// requested timeout (§4.4's motivation for avoiding setTimeout).
+		tel.clampDelay.ObserveDuration(d - requested)
+	}
 	l.nextID++
 	id := l.nextID
 	t := &timer{id: id, deadline: time.Now().Add(d), fn: fn}
@@ -190,6 +245,9 @@ func (l *Loop) PostMessage(data string) {
 	}
 	l.mu.Lock()
 	l.stats.Messages++
+	if tel := l.tel; tel != nil {
+		tel.messages.Inc()
+	}
 	l.mu.Unlock()
 	if l.opts.SyncPostMessage {
 		h(data)
@@ -280,12 +338,16 @@ func (l *Loop) Run() error {
 			delete(l.timerIDs, t.id)
 			l.queue = append(l.queue, task{label: "timer", fn: t.fn})
 			l.stats.TimersFired++
+			if tel := l.tel; tel != nil {
+				tel.timersFired.Inc()
+			}
 		}
 		if len(l.queue) > 0 {
 			tk := l.queue[0]
 			l.queue = l.queue[1:]
+			tel := l.tel
 			l.mu.Unlock()
-			l.runTask(tk)
+			l.runTask(tk, tel)
 			continue
 		}
 		// Queue empty: exit, or wait for a timer/external event.
@@ -310,10 +372,22 @@ func (l *Loop) Run() error {
 	}
 }
 
-func (l *Loop) runTask(tk task) {
+// runTask executes one macrotask. tel is the telemetry state captured
+// under the loop mutex by the caller; when nil (telemetry disabled)
+// this path performs zero additional allocations.
+func (l *Loop) runTask(tk task, tel *loopTelemetry) {
+	var span telemetry.Span
+	if tel != nil && tel.tracer != nil {
+		span = tel.tracer.Begin(telemetry.TIDEventLoop, "eventloop", tk.label)
+	}
 	start := time.Now()
 	tk.fn()
 	elapsed := time.Since(start)
+	if tel != nil {
+		span.End()
+		tel.dispatch.ObserveDuration(elapsed)
+		tel.tasks.Inc()
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -1,0 +1,124 @@
+package eventloop
+
+import (
+	"testing"
+	"time"
+
+	"doppio/internal/telemetry"
+)
+
+func TestTelemetryDispatchHistogram(t *testing.T) {
+	hub := telemetry.NewHub().EnableTracing()
+	l := New(Options{})
+	l.EnableTelemetry(hub)
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		l.Post("work", func() {
+			end := time.Now().Add(100 * time.Microsecond)
+			for time.Now().Before(end) {
+			}
+		})
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := hub.Registry.Histogram("eventloop", "dispatch")
+	if got := h.Count(); got != n {
+		t.Fatalf("dispatch count = %d, want %d", got, n)
+	}
+	if p95 := h.Quantile(0.95); p95 < int64(50*time.Microsecond) {
+		t.Errorf("dispatch p95 = %v, want >= 50µs", time.Duration(p95))
+	}
+	if got := hub.Registry.Counter("eventloop", "tasks").Value(); got != n {
+		t.Errorf("tasks counter = %d, want %d", got, n)
+	}
+	if got := hub.Registry.Gauge("eventloop", "queue_depth_max").Value(); got != n {
+		t.Errorf("queue_depth_max = %d, want %d", got, n)
+	}
+
+	// Every macrotask must appear as a complete span on the event-loop
+	// track, plus the thread_name metadata event.
+	spans := 0
+	named := false
+	for _, ev := range hub.Tracer.Events() {
+		switch {
+		case ev.Ph == "X" && ev.TID == telemetry.TIDEventLoop:
+			spans++
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			named = true
+		}
+	}
+	if spans != n {
+		t.Errorf("got %d spans, want %d", spans, n)
+	}
+	if !named {
+		t.Error("missing thread_name metadata event")
+	}
+}
+
+func TestTelemetryTimerClamp(t *testing.T) {
+	hub := telemetry.NewHub()
+	l := New(Options{MinTimeoutDelay: 4 * time.Millisecond})
+	l.EnableTelemetry(hub)
+
+	fired := false
+	l.SetTimeout(func() { fired = true }, 0) // clamped up by 4ms
+	l.SetTimeout(func() {}, 10*time.Millisecond)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	h := hub.Registry.Histogram("eventloop", "timer_clamp")
+	if got := h.Count(); got != 1 {
+		t.Fatalf("timer_clamp count = %d, want 1 (only the clamped timer)", got)
+	}
+	if got := h.Quantile(1.0); got != int64(4*time.Millisecond) {
+		t.Errorf("clamp delay = %v, want 4ms", time.Duration(got))
+	}
+	if got := hub.Registry.Counter("eventloop", "timers_fired").Value(); got != 2 {
+		t.Errorf("timers_fired = %d, want 2", got)
+	}
+}
+
+func TestTelemetryMessages(t *testing.T) {
+	hub := telemetry.NewHub()
+	l := New(Options{})
+	l.EnableTelemetry(hub)
+	l.OnMessage(func(string) {})
+	l.Post("kick", func() { l.PostMessage("hello") })
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Registry.Counter("eventloop", "messages").Value(); got != 1 {
+		t.Errorf("messages = %d, want 1", got)
+	}
+}
+
+// TestDisabledTelemetryZeroAllocs guards the paper-critical hot path:
+// with telemetry disabled the per-macrotask dispatch must not allocate
+// at all.
+func TestDisabledTelemetryZeroAllocs(t *testing.T) {
+	l := New(Options{})
+	tk := task{label: "hot", fn: func() {}}
+	if n := testing.AllocsPerRun(1000, func() { l.runTask(tk, nil) }); n != 0 {
+		t.Fatalf("disabled telemetry allocates %.1f per task, want 0", n)
+	}
+}
+
+// TestMetricsOnlyTelemetryZeroAllocs additionally documents that the
+// metrics pillar alone (no tracer) stays allocation-free per task —
+// histogram observation is pure atomics.
+func TestMetricsOnlyTelemetryZeroAllocs(t *testing.T) {
+	hub := telemetry.NewHub()
+	l := New(Options{})
+	l.EnableTelemetry(hub)
+	tk := task{label: "hot", fn: func() {}}
+	tel := l.tel
+	if n := testing.AllocsPerRun(1000, func() { l.runTask(tk, tel) }); n != 0 {
+		t.Fatalf("metrics-only telemetry allocates %.1f per task, want 0", n)
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"doppio/internal/buffer"
 	"doppio/internal/eventloop"
+	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
 
@@ -219,6 +221,21 @@ func sortedPaths(m map[string]int) []string {
 // done with the number of successful operations. Run the loop to
 // completion to drive it.
 func ReplayVFS(loop *eventloop.Loop, fs *vfs.FS, t *Trace, done func(okOps int, err error)) {
+	ReplayVFSWith(loop, fs, t, nil, done)
+}
+
+// ReplayVFSWith is ReplayVFS with per-operation latency telemetry:
+// when hub is non-nil, every replayed call's wall time is recorded
+// into an "fstrace" histogram named after the operation kind — the
+// Figure 6 per-op latency view. A nil hub records nothing.
+func ReplayVFSWith(loop *eventloop.Loop, fs *vfs.FS, t *Trace, hub *telemetry.Hub, done func(okOps int, err error)) {
+	var hists map[OpKind]*telemetry.Histogram
+	if hub != nil {
+		hists = make(map[OpKind]*telemetry.Histogram, 5)
+		for _, k := range []OpKind{OpStat, OpRead, OpWrite, OpReaddir, OpExists} {
+			hists[k] = hub.Registry.Histogram("fstrace", string(k))
+		}
+	}
 	ok := 0
 	var step func(i int)
 	step = func(i int) {
@@ -227,7 +244,11 @@ func ReplayVFS(loop *eventloop.Loop, fs *vfs.FS, t *Trace, done func(okOps int, 
 			return
 		}
 		op := t.Ops[i]
+		start := time.Now()
 		next := func(err error) {
+			if h := hists[op.Kind]; h != nil {
+				h.ObserveSince(start)
+			}
 			if err == nil {
 				ok++
 			}

@@ -5,6 +5,7 @@ import (
 
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
+	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
 
@@ -106,5 +107,58 @@ func TestRecorder(t *testing.T) {
 	}
 	if rec.Ops[0].Kind != OpWrite || rec.Ops[1].Kind != OpRead || rec.Ops[2].Kind != OpStat {
 		t.Errorf("ops = %+v", rec.Ops)
+	}
+}
+
+func TestReplayVFSWithTelemetry(t *testing.T) {
+	tr := Generate(GenerateParams{Ops: 120, UniqueFiles: 12, BytesRead: 12 * 128, BytesWritten: 256})
+	hub := telemetry.NewHub()
+	win := browser.NewWindow(browser.Chrome28)
+	bufs := &buffer.Factory{Typed: true}
+	fs := vfs.New(win.Loop, bufs, vfs.Instrument(vfs.NewInMemory(), hub))
+
+	var replayOK int
+	win.Loop.Post("seed", func() {
+		SeedVFS(fs, tr, func(err error) {
+			if err != nil {
+				t.Errorf("seed: %v", err)
+				return
+			}
+			ReplayVFSWith(win.Loop, fs, tr, hub, func(ok int, err error) {
+				if err != nil {
+					t.Errorf("replay: %v", err)
+				}
+				replayOK = ok
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replayOK != len(tr.Ops) {
+		t.Fatalf("ok ops = %d / %d", replayOK, len(tr.Ops))
+	}
+
+	// Per-op replay latencies, keyed by trace op kind.
+	var kinds = map[OpKind]int64{}
+	for _, op := range tr.Ops {
+		kinds[op.Kind]++
+	}
+	total := int64(0)
+	for kind, want := range kinds {
+		got := hub.Registry.Histogram("fstrace", string(kind)).Count()
+		if got != want {
+			t.Errorf("fstrace/%s count = %d, want %d", kind, got, want)
+		}
+		total += got
+	}
+	if total != int64(len(tr.Ops)) {
+		t.Errorf("total observed = %d, want %d", total, len(tr.Ops))
+	}
+
+	// The instrumented backend must have seen the traffic too (replay
+	// plus seeding).
+	if got := hub.Registry.Counter("vfs.InMemory", "ops").Value(); got < int64(len(tr.Ops)) {
+		t.Errorf("vfs.InMemory/ops = %d, want >= %d", got, len(tr.Ops))
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"doppio/internal/core"
 	"doppio/internal/jlong"
 	"doppio/internal/sockets"
+	"doppio/internal/telemetry"
 	"doppio/internal/umheap"
 	"doppio/internal/vfs"
 )
@@ -61,6 +62,8 @@ type DoppioVM struct {
 
 	// Instructions counts executed bytecodes.
 	Instructions int64
+
+	tel *vmTelemetry
 
 	// Uncaught records the first uncaught exception.
 	Uncaught *Object
@@ -145,6 +148,9 @@ func NewDoppioVM(win *browser.Window, opts DoppioOptions) *DoppioVM {
 		ForceMechanism: opts.ForceMechanism,
 		FixedCounter:   opts.FixedCounter,
 	})
+	if win.Telemetry != nil {
+		vm.EnableTelemetry(win.Telemetry)
+	}
 	return vm
 }
 
@@ -198,6 +204,10 @@ type DFrame struct {
 	pc     int
 	stack  []interface{}
 	locals []interface{}
+
+	// span is the optional per-invocation trace span (Hub.MethodSpans);
+	// the zero Span is a no-op.
+	span telemetry.Span
 }
 
 func newDFrame(m *Method) *DFrame {
@@ -299,6 +309,7 @@ func (vm *DoppioVM) RunMain(mainClass string, args []string) error {
 }
 
 func (vm *DoppioVM) finish(err error) {
+	vm.FlushTelemetry()
 	if err == nil && vm.Uncaught != nil {
 		err = fmt.Errorf("jvm: uncaught exception: %s", vm.describeThrowable(vm.Uncaught))
 	}

@@ -3,6 +3,7 @@ package jvm
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"doppio/internal/classfile"
 	"doppio/internal/core"
@@ -194,6 +195,7 @@ func (vm *DoppioVM) unwindD(d *DThread, ex *Object) {
 				return
 			}
 		}
+		f.span.End()
 		d.frames = d.frames[:len(d.frames)-1]
 	}
 	fmt.Fprintf(vm.stderr, "Exception in thread %d %s\n", d.id, vm.describeThrowable(ex))
@@ -213,6 +215,9 @@ func (d *DThread) die() {
 		return
 	}
 	d.dead = true
+	for _, f := range d.frames {
+		f.span.End()
+	}
 	d.frames = nil
 	for _, j := range d.joiners {
 		j()
@@ -234,6 +239,7 @@ func (d *DThread) methodReturnD(desc string) {
 	default:
 		v = f.pop()
 	}
+	f.span.End()
 	d.frames = d.frames[:len(d.frames)-1]
 	if len(d.frames) == 0 {
 		d.die()
@@ -283,6 +289,9 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 		}
 		op := code[f.pc]
 		npc := f.pc + classfile.InstrLen(code, f.pc)
+		if tel := vm.tel; tel != nil {
+			tel.opCounts[op]++
+		}
 
 		switch op {
 		case classfile.OpNop:
@@ -1185,6 +1194,10 @@ func (d *DThread) invokeOp(ct *core.Thread, f *DFrame, op byte, code []byte, npc
 	base := len(f.stack) - total
 	copy(nf.locals, f.stack[base:])
 	f.stack = f.stack[:base]
+	if tel := vm.tel; tel != nil {
+		tel.invocations++
+		nf.span = d.methodSpanBegin(m)
+	}
 	d.frames = append(d.frames, nf)
 	// §6.1: "DOPPIOJVM checks at each function call boundary whether
 	// it should suspend."
@@ -1213,7 +1226,16 @@ func (d *DThread) invokeNativeD(ct *core.Thread, f *DFrame, m *Method, hasRecv b
 		return runContinue
 	}
 	d.depRet = m.RetDesc
+	tel := vm.tel
+	var nativeStart time.Time
+	if tel != nil {
+		nativeStart = time.Now()
+	}
 	res := fn(vm, recv, args)
+	if tel != nil && !res.Async {
+		tel.nativeLat.ObserveSince(nativeStart)
+		tel.nativeCalls.Inc()
+	}
 	switch {
 	case res.Async:
 		launch := d.pendingLaunch
@@ -1221,6 +1243,18 @@ func (d *DThread) invokeNativeD(ct *core.Thread, f *DFrame, m *Method, hasRecv b
 		if launch == nil {
 			vm.throwD(d, "java/lang/Error", "async native without BlockAndCall: "+key)
 			return runContinue
+		}
+		if tel != nil {
+			// Time an async native to its completion, spanning however
+			// many event-loop turns the host operation takes.
+			inner := launch
+			launch = func(done func()) {
+				inner(func() {
+					tel.nativeLat.ObserveSince(nativeStart)
+					tel.nativeCalls.Inc()
+					done()
+				})
+			}
 		}
 		if d.blockOn(ct, key, launch) {
 			return runBlock

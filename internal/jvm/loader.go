@@ -2,6 +2,7 @@ package jvm
 
 import (
 	"fmt"
+	"time"
 
 	"doppio/internal/classfile"
 )
@@ -160,6 +161,10 @@ type AsyncLoader struct {
 	Reg      *Registry
 	Provider AsyncProvider
 
+	// Observe, when set, is called with the wall time of every fresh
+	// (non-cached) class load — the §6.4 download-and-define latency.
+	Observe func(name string, took time.Duration)
+
 	// LoadsInFlight guards against duplicate concurrent loads.
 	pending map[string][]func(*Class, error)
 }
@@ -203,7 +208,11 @@ func (l *AsyncLoader) Load(name string, cb func(*Class, error)) {
 		return
 	}
 	l.pending[name] = []func(*Class, error){cb}
+	loadStart := time.Now()
 	finish := func(c *Class, err error) {
+		if l.Observe != nil && err == nil {
+			l.Observe(name, time.Since(loadStart))
+		}
 		waiters := l.pending[name]
 		delete(l.pending, name)
 		for _, w := range waiters {

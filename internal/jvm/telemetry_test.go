@@ -1,0 +1,106 @@
+package jvm_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/jvm"
+	"doppio/internal/jvm/rt"
+	"doppio/internal/telemetry"
+)
+
+func runDoppioWithHub(t *testing.T, hub *telemetry.Hub, source string) {
+	t.Helper()
+	classes, err := rt.CompileWith(map[string]string{"Main.mj": source})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	win.EnableTelemetry(hub)
+	var stdout bytes.Buffer
+	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
+		Stdout:           &stdout,
+		Provider:         jvm.MapProvider(classes),
+		DisableEngineTax: true,
+		Timeslice:        2 * time.Millisecond,
+	})
+	if err := vm.RunMain("Main", nil); err != nil {
+		t.Fatalf("RunMain: %v\noutput:\n%s", err, stdout.String())
+	}
+}
+
+const telemetryProgram = `
+public class Main {
+    public static void main(String[] args) {
+        int acc = 0;
+        for (int i = 0; i < 100; i++) {
+            acc += i;
+        }
+        System.out.println(acc);
+    }
+}`
+
+func TestDoppioVMTelemetry(t *testing.T) {
+	hub := telemetry.NewHub()
+	runDoppioWithHub(t, hub, telemetryProgram)
+
+	reg := hub.Registry
+	// The loop executes iadd and iinc many times; the counters are
+	// flushed when main finishes.
+	if got := reg.Counter("jvm", "op.iadd").Value(); got < 100 {
+		t.Errorf("op.iadd = %d, want >= 100", got)
+	}
+	if got := reg.Counter("jvm", "op.iinc").Value(); got < 100 {
+		t.Errorf("op.iinc = %d, want >= 100", got)
+	}
+	if got := reg.Counter("jvm", "invocations").Value(); got == 0 {
+		t.Error("invocations = 0, want > 0")
+	}
+	// println goes through the console native.
+	if got := reg.Counter("jvm", "native_calls").Value(); got == 0 {
+		t.Error("native_calls = 0, want > 0")
+	}
+	if got := reg.Histogram("jvm", "native_call").Count(); got == 0 {
+		t.Error("native_call histogram empty")
+	}
+	// Every preloaded and on-demand class is a fresh load.
+	if got := reg.Counter("jvm", "class_loads").Value(); got == 0 {
+		t.Error("class_loads = 0, want > 0")
+	}
+	if got := reg.Histogram("jvm", "class_load").Count(); got == 0 {
+		t.Error("class_load histogram empty")
+	}
+	// The core runtime underneath must have recorded timeslices too.
+	if got := reg.Histogram("core", "timeslice").Count(); got == 0 {
+		t.Error("core/timeslice empty: JVM did not wire through core")
+	}
+}
+
+func TestDoppioVMMethodSpans(t *testing.T) {
+	hub := telemetry.NewHub().EnableTracing()
+	hub.MethodSpans = true
+	runDoppioWithHub(t, hub, telemetryProgram)
+
+	sawMethod := false
+	for _, ev := range hub.Tracer.Events() {
+		if ev.Cat == "jvm" && ev.Ph == "X" {
+			sawMethod = true
+			break
+		}
+	}
+	if !sawMethod {
+		t.Error("MethodSpans produced no jvm spans")
+	}
+}
+
+func TestDoppioVMMethodSpansOffByDefault(t *testing.T) {
+	hub := telemetry.NewHub().EnableTracing()
+	runDoppioWithHub(t, hub, telemetryProgram)
+	for _, ev := range hub.Tracer.Events() {
+		if ev.Cat == "jvm" && ev.Ph == "X" {
+			t.Fatal("per-method spans recorded without MethodSpans opt-in")
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"doppio/internal/browser"
 	"doppio/internal/eventloop"
+	"doppio/internal/telemetry"
 )
 
 // WebSocket is the asynchronous browser-side WebSocket API: events are
@@ -28,7 +29,36 @@ type WebSocket struct {
 	OnError   func(err error)
 	OnClose   func()
 
+	tel    *wsTelemetry
 	closed bool
+}
+
+// wsTelemetry holds the socket layer's metric handles. Counters are
+// atomic, so the connect goroutine increments them off the event loop.
+type wsTelemetry struct {
+	framesIn  *telemetry.Counter
+	framesOut *telemetry.Counter
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+	handshake *telemetry.Histogram
+	tracer    *telemetry.Tracer
+}
+
+func newWSTelemetry(h *telemetry.Hub) *wsTelemetry {
+	if h == nil {
+		return nil
+	}
+	if h.Tracer != nil {
+		h.Tracer.ThreadName(telemetry.TIDNetwork, "network")
+	}
+	return &wsTelemetry{
+		framesIn:  h.Registry.Counter("sockets", "frames_in"),
+		framesOut: h.Registry.Counter("sockets", "frames_out"),
+		bytesIn:   h.Registry.Counter("sockets", "bytes_in"),
+		bytesOut:  h.Registry.Counter("sockets", "bytes_out"),
+		handshake: h.Registry.Histogram("sockets", "handshake"),
+		tracer:    h.Tracer,
+	}
 }
 
 // flashShimLatency models proxying each message through a Flash applet.
@@ -39,7 +69,7 @@ const flashShimLatency = 2 * time.Millisecond
 // fire on the window's event loop. The returned WebSocket is not open
 // until OnOpen fires.
 func DialWebSocket(w *browser.Window, addr string) *WebSocket {
-	ws := &WebSocket{loop: w.Loop}
+	ws := &WebSocket{loop: w.Loop, tel: newWSTelemetry(w.Telemetry)}
 	if !w.Profile.HasWebSockets {
 		ws.shim = flashShimLatency
 	}
@@ -53,6 +83,14 @@ func (ws *WebSocket) emit(label string, fn func()) {
 }
 
 func (ws *WebSocket) connect(addr string) {
+	var hsSpan telemetry.Span
+	var hsStart time.Time
+	if tel := ws.tel; tel != nil {
+		hsStart = time.Now()
+		if tel.tracer != nil {
+			hsSpan = tel.tracer.Begin(telemetry.TIDNetwork, "sockets", "handshake "+addr)
+		}
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		ws.fail(err)
@@ -63,6 +101,10 @@ func (ws *WebSocket) connect(addr string) {
 		conn.Close()
 		ws.fail(err)
 		return
+	}
+	if tel := ws.tel; tel != nil {
+		hsSpan.End()
+		tel.handshake.ObserveSince(hsStart)
 	}
 	ws.conn = conn
 	ws.emit("ws-open", func() {
@@ -88,6 +130,10 @@ func (ws *WebSocket) connect(addr string) {
 			WriteFrame(ws.conn, pong)
 		case OpBinary, OpText:
 			data := f.Payload
+			if tel := ws.tel; tel != nil {
+				tel.framesIn.Inc()
+				tel.bytesIn.Add(int64(len(data)))
+			}
 			if ws.shim > 0 {
 				time.Sleep(ws.shim)
 			}
@@ -127,6 +173,10 @@ func (ws *WebSocket) closeEvent() {
 // Send transmits data as one masked binary frame (client frames must
 // be masked per RFC 6455).
 func (ws *WebSocket) Send(data []byte) error {
+	if tel := ws.tel; tel != nil {
+		tel.framesOut.Inc()
+		tel.bytesOut.Add(int64(len(data)))
+	}
 	if ws.shim > 0 {
 		time.Sleep(ws.shim)
 	}

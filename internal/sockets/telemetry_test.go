@@ -1,0 +1,131 @@
+package sockets
+
+import (
+	"testing"
+
+	"doppio/internal/browser"
+	"doppio/internal/telemetry"
+)
+
+func TestSocketTelemetryEndToEnd(t *testing.T) {
+	echoAddr, stopEcho := startEchoServer(t)
+	defer stopEcho()
+	proxy, err := NewWebsockify("127.0.0.1:0", echoAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	clientHub := telemetry.NewHub().EnableTracing()
+	proxyHub := telemetry.NewHub()
+	proxy.SetTelemetry(proxyHub)
+
+	w := browser.NewWindow(browser.Chrome28)
+	w.EnableTelemetry(clientHub)
+
+	const payload = "telemetry ping"
+	var got []byte
+	w.Loop.Post("main", func() {
+		ws := DialWebSocket(w, proxy.Addr())
+		ws.OnOpen = func() {
+			if err := ws.Send([]byte(payload)); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		}
+		ws.OnMessage = func(data []byte) {
+			got = data
+			ws.Close()
+		}
+		ws.OnError = func(err error) { t.Errorf("ws error: %v", err) }
+	})
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("echo = %q", got)
+	}
+
+	// Client-side: one frame each way, payload-sized byte counts, one
+	// timed handshake.
+	reg := clientHub.Registry
+	if got := reg.Counter("sockets", "frames_out").Value(); got != 1 {
+		t.Errorf("frames_out = %d, want 1", got)
+	}
+	if got := reg.Counter("sockets", "frames_in").Value(); got != 1 {
+		t.Errorf("frames_in = %d, want 1", got)
+	}
+	if got := reg.Counter("sockets", "bytes_out").Value(); got != int64(len(payload)) {
+		t.Errorf("bytes_out = %d, want %d", got, len(payload))
+	}
+	if got := reg.Counter("sockets", "bytes_in").Value(); got != int64(len(payload)) {
+		t.Errorf("bytes_in = %d, want %d", got, len(payload))
+	}
+	if got := reg.Histogram("sockets", "handshake").Count(); got != 1 {
+		t.Errorf("handshake count = %d, want 1", got)
+	}
+
+	// The handshake must appear as a span on the network track.
+	sawHandshake := false
+	for _, ev := range clientHub.Tracer.Events() {
+		if ev.Ph == "X" && ev.TID == telemetry.TIDNetwork {
+			sawHandshake = true
+		}
+	}
+	if !sawHandshake {
+		t.Error("missing handshake span on the network track")
+	}
+
+	// Proxy-side: one connection, one frame each way.
+	preg := proxyHub.Registry
+	if got := preg.Counter("websockify", "connections").Value(); got != 1 {
+		t.Errorf("connections = %d, want 1", got)
+	}
+	if got := preg.Counter("websockify", "frames_in").Value(); got != 1 {
+		t.Errorf("proxy frames_in = %d, want 1", got)
+	}
+	if got := preg.Counter("websockify", "bytes_in").Value(); got != int64(len(payload)) {
+		t.Errorf("proxy bytes_in = %d, want %d", got, len(payload))
+	}
+	if got := preg.Counter("websockify", "frames_out").Value(); got == 0 {
+		t.Error("proxy frames_out = 0, want > 0")
+	}
+	if got := preg.Histogram("websockify", "handshake").Count(); got != 1 {
+		t.Errorf("proxy handshake count = %d, want 1", got)
+	}
+}
+
+func TestSocketTelemetryDisabled(t *testing.T) {
+	// No hub on the window: the socket path must run with nil telemetry.
+	echoAddr, stopEcho := startEchoServer(t)
+	defer stopEcho()
+	proxy, err := NewWebsockify("127.0.0.1:0", echoAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	w := browser.NewWindow(browser.Chrome28)
+	var got []byte
+	w.Loop.Post("main", func() {
+		ws := DialWebSocket(w, proxy.Addr())
+		if ws.tel != nil {
+			t.Error("telemetry attached without a hub")
+		}
+		ws.OnOpen = func() {
+			if err := ws.Send([]byte("x")); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		}
+		ws.OnMessage = func(data []byte) {
+			got = data
+			ws.Close()
+		}
+		ws.OnError = func(err error) { t.Errorf("ws error: %v", err) }
+	})
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "x" {
+		t.Fatalf("echo = %q", got)
+	}
+}

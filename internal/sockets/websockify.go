@@ -4,6 +4,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"doppio/internal/telemetry"
 )
 
 // Websockify bridges incoming WebSocket connections to a plain TCP
@@ -17,6 +20,39 @@ type Websockify struct {
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	closed   bool
+
+	tel *proxyTelemetry
+}
+
+// proxyTelemetry holds the proxy-side metric handles; all counters are
+// atomic since the per-connection pumps run on their own goroutines.
+type proxyTelemetry struct {
+	connections *telemetry.Counter
+	framesIn    *telemetry.Counter // WebSocket → TCP
+	bytesIn     *telemetry.Counter
+	framesOut   *telemetry.Counter // TCP → WebSocket
+	bytesOut    *telemetry.Counter
+	handshake   *telemetry.Histogram
+}
+
+// SetTelemetry attaches an observability hub to the proxy (nil
+// detaches). Connections already past their handshake keep their
+// previous telemetry state.
+func (w *Websockify) SetTelemetry(h *telemetry.Hub) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if h == nil {
+		w.tel = nil
+		return
+	}
+	w.tel = &proxyTelemetry{
+		connections: h.Registry.Counter("websockify", "connections"),
+		framesIn:    h.Registry.Counter("websockify", "frames_in"),
+		bytesIn:     h.Registry.Counter("websockify", "bytes_in"),
+		framesOut:   h.Registry.Counter("websockify", "frames_out"),
+		bytesOut:    h.Registry.Counter("websockify", "bytes_out"),
+		handshake:   h.Registry.Histogram("websockify", "handshake"),
+	}
 }
 
 // NewWebsockify starts a proxy listening on listenAddr (use
@@ -59,9 +95,20 @@ func (w *Websockify) acceptLoop() {
 
 func (w *Websockify) serve(wsConn net.Conn) {
 	defer wsConn.Close()
+	w.mu.Lock()
+	tel := w.tel
+	w.mu.Unlock()
+	var hsStart time.Time
+	if tel != nil {
+		hsStart = time.Now()
+	}
 	_, br, err := ServerHandshake(wsConn)
 	if err != nil {
 		return
+	}
+	if tel != nil {
+		tel.handshake.ObserveSince(hsStart)
+		tel.connections.Inc()
 	}
 	tcpConn, err := net.Dial("tcp", w.target)
 	if err != nil {
@@ -84,6 +131,10 @@ func (w *Websockify) serve(wsConn net.Conn) {
 			case OpClose:
 				return
 			case OpBinary, OpText, OpContinuation:
+				if tel != nil {
+					tel.framesIn.Inc()
+					tel.bytesIn.Add(int64(len(f.Payload)))
+				}
 				if _, err := tcpConn.Write(f.Payload); err != nil {
 					return
 				}
@@ -100,6 +151,10 @@ func (w *Websockify) serve(wsConn net.Conn) {
 			n, err := tcpConn.Read(buf)
 			if n > 0 {
 				f := &Frame{Fin: true, Op: OpBinary, Payload: buf[:n]}
+				if tel != nil {
+					tel.framesOut.Inc()
+					tel.bytesOut.Add(int64(n))
+				}
 				if werr := WriteFrame(wsConn, f); werr != nil {
 					return
 				}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// within asserts |got-want| <= tol*want (relative tolerance).
+func within(t *testing.T, label string, got, want int64, tol float64) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > tol*float64(want) {
+		t.Errorf("%s: got %d, want %d ±%.0f%%", label, got, want, tol*100)
+	}
+}
+
+func TestHistogramQuantilesUniform(t *testing.T) {
+	h := newHistogram()
+	const n = 100_000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	within(t, "p50", h.Quantile(0.50), n/2, 0.10)
+	within(t, "p95", h.Quantile(0.95), n*95/100, 0.10)
+	within(t, "p99", h.Quantile(0.99), n*99/100, 0.10)
+	s := h.Stats()
+	if s.Min != 1 {
+		t.Errorf("min = %d, want 1", s.Min)
+	}
+	if s.Max != n {
+		t.Errorf("max = %d, want %d", s.Max, n)
+	}
+	within(t, "mean", s.Mean, (n+1)/2, 0.01)
+}
+
+func TestHistogramQuantilesExponential(t *testing.T) {
+	// A latency-shaped distribution: compare bucket estimates against
+	// the exact empirical quantiles of the same sample.
+	rng := rand.New(rand.NewSource(42))
+	h := newHistogram()
+	sample := make([]int64, 50_000)
+	for i := range sample {
+		v := int64(rng.ExpFloat64() * float64(250*time.Microsecond))
+		sample[i] = v
+		h.Observe(v)
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	exact := func(q float64) int64 {
+		idx := int(q*float64(len(sample))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sample[idx]
+	}
+	within(t, "p50", h.Quantile(0.50), exact(0.50), 0.10)
+	within(t, "p95", h.Quantile(0.95), exact(0.95), 0.10)
+	within(t, "p99", h.Quantile(0.99), exact(0.99), 0.10)
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram()
+	h.Observe(12_345)
+	for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+		// With one sample, min/max clamping makes every quantile exact.
+		if got := h.Quantile(q); got != 12_345 {
+			t.Errorf("Quantile(%v) = %d, want 12345", q, got)
+		}
+	}
+}
+
+func TestHistogramSmallExactBuckets(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.99); got != 3 {
+		t.Errorf("Quantile(0.99) = %d, want exactly 3 (unit bucket)", got)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.5) != 0 || h.Stats().Count != 0 {
+		t.Errorf("empty histogram should report zeros, got %+v", h.Stats())
+	}
+	h.Observe(-5) // clamps to 0
+	if s := h.Stats(); s.Min != 0 || s.Max != 0 || s.Count != 1 {
+		t.Errorf("negative observation should clamp to 0: %+v", s)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Error("nil histogram should be a no-op")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := newHistogram()
+	h.Observe(1000)
+	h.Reset()
+	if s := h.Stats(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+	h.Observe(7)
+	if s := h.Stats(); s.Min != 7 || s.Max != 7 {
+		t.Errorf("min tracking broken after reset: %+v", s)
+	}
+}
+
+func TestBucketLayoutContinuity(t *testing.T) {
+	// Bucket bounds must tile the value space with no gaps or overlaps,
+	// and bucketIndex must agree with the bounds.
+	prevHi := int64(0)
+	for i := 0; i < histNumBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d: lo = %d, want %d (gap/overlap)", i, lo, prevHi)
+		}
+		if hi <= lo && i != histNumBuckets-1 {
+			t.Fatalf("bucket %d: empty range [%d,%d)", i, lo, hi)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", lo, got, i)
+		}
+		if hi-1 > lo {
+			if got := bucketIndex(hi - 1); got != i {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", hi-1, got, i)
+			}
+		}
+		prevHi = hi
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram()
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(int64(rng.Intn(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var bucketSum int64
+	for i := range h.buckets {
+		bucketSum += h.buckets[i].Load()
+	}
+	if bucketSum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, workers*per)
+	}
+}

@@ -1,0 +1,65 @@
+// Package telemetry is the runtime's observability subsystem: a
+// zero-dependency metrics registry, a Chrome trace_event recorder, and
+// the conventions the rest of the codebase uses to hook into both.
+//
+// The paper's evaluation is built on observing the system from the
+// inside — event-loop responsiveness under load (§7.1.3), per-backend
+// file system operation latency (Figure 6), and suspend/resume
+// overhead (§7.1.1). This package generalizes those one-off
+// measurements into three pillars:
+//
+//   - a metrics registry of lock-cheap counters, gauges, and log-scale
+//     latency histograms (p50/p95/p99) keyed by subsystem,
+//   - a trace-event recorder that emits Chrome trace_event JSON, so a
+//     run opens directly in chrome://tracing or Perfetto, with one
+//     track per emulated thread,
+//   - profiling hooks: instrumented packages hold a nil pointer until
+//     telemetry is enabled, so a disabled build adds zero allocations
+//     and nothing but a nil check to hot paths.
+//
+// All metric mutation is safe for concurrent use; trace recording is
+// mutex-serialized (tracing is expected to be enabled only when the
+// cost is acceptable).
+package telemetry
+
+// Well-known trace track IDs (tids). Emulated threads of the core
+// runtime use their positive thread IDs; these constants reserve
+// tracks for the singleton actors.
+const (
+	// TIDEventLoop is the browser's single JavaScript thread.
+	TIDEventLoop = 0
+	// TIDNetwork is the socket layer's reader/writer pump.
+	TIDNetwork = 900
+)
+
+// TIDCoreThread maps a core-runtime thread ID onto its trace track,
+// offset past the reserved singleton tracks. Layers that run inside a
+// core thread (e.g. the JVM interpreter) use the same mapping so their
+// spans land on that thread's track.
+func TIDCoreThread(id int) int { return 100 + id }
+
+// Hub bundles the two telemetry sinks a subsystem may report into.
+// A nil *Hub (or a Hub with a nil Tracer) disables the corresponding
+// pillar; instrumented packages must tolerate both.
+type Hub struct {
+	// Registry collects counters, gauges, and histograms. Never nil on
+	// a Hub built with NewHub.
+	Registry *Registry
+	// Tracer records trace events, or nil when tracing is off.
+	Tracer *Tracer
+	// MethodSpans opts into per-method-invocation trace spans in the
+	// JVM interpreter. Off by default: a busy run produces millions of
+	// invocations, which overwhelms trace viewers.
+	MethodSpans bool
+}
+
+// NewHub creates a metrics-only hub.
+func NewHub() *Hub {
+	return &Hub{Registry: NewRegistry()}
+}
+
+// EnableTracing attaches a fresh Tracer and returns the hub.
+func (h *Hub) EnableTracing() *Hub {
+	h.Tracer = NewTracer()
+	return h
+}

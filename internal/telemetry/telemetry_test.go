@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test", "hits")
+	const workers, per = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestConcurrentRegistryLookup(t *testing.T) {
+	// Concurrent get-or-create of the same metric must hand every
+	// goroutine the same instance.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("sub", "c").Inc()
+				r.Histogram("sub", "h").Observe(int64(i))
+				r.Gauge("sub", "g").Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("sub", "c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("sub", "h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %d, want 9", g.Value())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	g.Add(3)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+}
+
+func TestSnapshotSortedAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b", "z").Add(2)
+	r.Counter("a", "y").Add(1)
+	r.Counter("a", "x").Add(3)
+	r.Gauge("g", "depth").Set(7)
+	r.Histogram("h", "lat").Observe(1500)
+
+	s := r.Snapshot()
+	order := make([]string, len(s.Counters))
+	for i, c := range s.Counters {
+		order[i] = c.Subsystem + "/" + c.Name
+	}
+	want := []string{"a/x", "a/y", "b/z"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", order, want)
+		}
+	}
+	if s.Histograms[0].Count != 1 || s.Histograms[0].Min != 1500 {
+		t.Fatalf("histogram snapshot = %+v", s.Histograms[0])
+	}
+
+	r.Reset()
+	s = r.Snapshot()
+	if len(s.Counters) != 3 {
+		t.Fatalf("reset must keep metrics registered, got %d counters", len(s.Counters))
+	}
+	for _, c := range s.Counters {
+		if c.Value != 0 {
+			t.Fatalf("counter %s/%s = %d after reset", c.Subsystem, c.Name, c.Value)
+		}
+	}
+	if s.Histograms[0].Count != 0 {
+		t.Fatalf("histogram count = %d after reset", s.Histograms[0].Count)
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jvm", "op.iadd").Add(42)
+	r.Gauge("core", "quantum").Set(512)
+	h := r.Histogram("eventloop", "dispatch")
+	for i := 0; i < 100; i++ {
+		h.Observe(2_000_000) // 2ms
+	}
+	out := r.Snapshot().Format()
+	for _, want := range []string{"jvm/op.iadd", "42", "core/quantum", "512", "eventloop/dispatch", "p95", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHubDefaults(t *testing.T) {
+	h := NewHub()
+	if h.Registry == nil {
+		t.Fatal("NewHub must create a registry")
+	}
+	if h.Tracer != nil {
+		t.Fatal("tracing must be off by default")
+	}
+	h.EnableTracing()
+	if h.Tracer == nil {
+		t.Fatal("EnableTracing must attach a tracer")
+	}
+}

@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one entry of the Chrome trace_event format
+// (the "Trace Event Format" document; the JSON Array/Object formats
+// consumed by chrome://tracing and Perfetto). Timestamps and durations
+// are in microseconds, as the format requires.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" complete, "i" instant, "M" metadata,
+	// "C" counter.
+	Ph  string `json:"ph"`
+	TS  int64  `json:"ts"`
+	Dur int64  `json:"dur,omitempty"`
+	PID int    `json:"pid"`
+	TID int    `json:"tid"`
+	// S scopes instant events ("t" thread, "p" process, "g" global).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object Format wrapper.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tracePID is the synthetic process id; everything the runtime records
+// belongs to one emulated browser process.
+const tracePID = 1
+
+// Tracer accumulates trace events in memory and serializes them as
+// Chrome trace_event JSON. All methods are safe for concurrent use; a
+// nil *Tracer is a valid no-op receiver, so call sites can hold an
+// optional tracer without guarding.
+type Tracer struct {
+	mu          sync.Mutex
+	start       time.Time
+	now         func() time.Time
+	events      []TraceEvent
+	threadNames map[int]string
+}
+
+// NewTracer creates an empty tracer; event timestamps are relative to
+// this call.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now, threadNames: make(map[int]string)}
+	t.start = t.now()
+	return t
+}
+
+// setClock replaces the time source (tests only, before recording).
+func (t *Tracer) setClock(now func() time.Time) {
+	t.now = now
+	t.start = now()
+}
+
+func (t *Tracer) micros(at time.Time) int64 {
+	return at.Sub(t.start).Microseconds()
+}
+
+func (t *Tracer) add(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// ThreadName names a track; it is emitted as a thread_name metadata
+// event so trace viewers label the row.
+func (t *Tracer) ThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threadNames[tid] = name
+	t.mu.Unlock()
+}
+
+// Span is an in-progress duration span started by Begin. The zero Span
+// (from a nil Tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	tid   int
+	cat   string
+	name  string
+	start time.Time
+}
+
+// Begin starts a duration span on the given track. Call End on the
+// returned Span to record it (as a "X" complete event).
+func (t *Tracer) Begin(tid int, cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, tid: tid, cat: cat, name: name, start: t.now()}
+}
+
+// End records the span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.now()
+	s.t.add(TraceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS: s.t.micros(s.start), Dur: end.Sub(s.start).Microseconds(),
+		PID: tracePID, TID: s.tid,
+	})
+}
+
+// Instant records a point-in-time event on the given track.
+func (t *Tracer) Instant(tid int, cat, name string) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS: t.micros(t.now()), PID: tracePID, TID: tid,
+	})
+}
+
+// CounterEvent records a counter sample (rendered as an area chart).
+func (t *Tracer) CounterEvent(tid int, name string, value int64) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{
+		Name: name, Ph: "C",
+		TS: t.micros(t.now()), PID: tracePID, TID: tid,
+		Args: map[string]any{"value": value},
+	})
+}
+
+// Events returns a copy of the recorded events (metadata events
+// included, first), in recording order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append(t.metadataEvents(), append([]TraceEvent(nil), t.events...)...)
+}
+
+// metadataEvents builds the thread_name events; t.mu must be held.
+func (t *Tracer) metadataEvents() []TraceEvent {
+	tids := make([]int, 0, len(t.threadNames))
+	for tid := range t.threadNames {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	out := make([]TraceEvent, 0, len(tids))
+	for _, tid := range tids {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": t.threadNames[tid]},
+		})
+	}
+	return out
+}
+
+// WriteJSON serializes the trace in the Chrome trace_event JSON Object
+// Format, loadable by chrome://tracing and Perfetto.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateChromeTrace checks that data parses as a valid Chrome
+// trace_event JSON document: the JSON Object Format with a traceEvents
+// array whose entries carry the required fields with legal values —
+// the contract chrome://tracing and Perfetto load. Tests and commands
+// use it to validate -trace output files.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return errors.New("trace missing traceEvents array")
+	}
+	validPhases := map[string]bool{"X": true, "B": true, "E": true, "i": true, "I": true, "M": true, "C": true}
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				return fmt.Errorf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		if !validPhases[ph] {
+			return fmt.Errorf("event %d has invalid phase %q", i, ph)
+		}
+		if ph != "M" {
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				return fmt.Errorf("event %d has invalid ts: %v", i, ev["ts"])
+			}
+		}
+		if ph == "X" {
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				return fmt.Errorf("event %d has negative dur", i)
+			}
+		}
+		if ph == "M" {
+			if name, _ := ev["name"].(string); name == "thread_name" {
+				args, ok := ev["args"].(map[string]any)
+				if !ok {
+					return fmt.Errorf("thread_name event %d missing args", i)
+				}
+				if _, ok := args["name"].(string); !ok {
+					return fmt.Errorf("thread_name event %d missing args.name", i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock is a deterministic time source advancing a fixed step per
+// reading.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(1_000_000, 0)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * step)
+		n++
+		return t
+	}
+}
+
+func buildDeterministicTrace() *Tracer {
+	tr := NewTracer()
+	tr.setClock(fakeClock(250 * time.Microsecond))
+	tr.ThreadName(TIDEventLoop, "event loop")
+	tr.ThreadName(1, "main")
+	sp := tr.Begin(TIDEventLoop, "eventloop", "timer")
+	inner := tr.Begin(1, "core", "main slice")
+	inner.End()
+	sp.End()
+	tr.Instant(1, "core", "suspend")
+	tr.CounterEvent(TIDEventLoop, "queue_depth", 3)
+	return tr
+}
+
+func TestTraceGoldenFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildDeterministicTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON differs from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceChromeFormatValidity asserts the emitted JSON is a valid
+// Chrome trace_event document: the JSON Object Format with a
+// traceEvents array whose entries carry the required fields with
+// legal values. This is the contract chrome://tracing and Perfetto
+// load.
+func TestTraceChromeFormatValidity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildDeterministicTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	AssertValidChromeTrace(t, buf.Bytes())
+}
+
+func TestTraceSpanDurations(t *testing.T) {
+	tr := NewTracer()
+	tr.setClock(fakeClock(1 * time.Millisecond))
+	sp := tr.Begin(0, "c", "outer") // reads clock at t=1ms
+	sp.End()                        // reads clock at t=2ms
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if evs[0].Ph != "X" || evs[0].Dur != 1000 || evs[0].TS != 1000 {
+		t.Errorf("span event = %+v, want X ts=1000 dur=1000", evs[0])
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(0, "c", "x")
+	sp.End()
+	tr.Instant(0, "c", "y")
+	tr.ThreadName(0, "z")
+	tr.CounterEvent(0, "n", 1)
+	if err := tr.WriteJSON(os.NewFile(0, "")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestTracerConcurrentRecording(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Begin(tid, "t", "work")
+				sp.End()
+				tr.Instant(tid, "t", "tick")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 8*1000 {
+		t.Fatalf("got %d events, want %d", got, 8*1000)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	AssertValidChromeTrace(t, buf.Bytes())
+}
+
+// AssertValidChromeTrace fails the test unless data parses as a valid
+// Chrome trace_event JSON document (see ValidateChromeTrace).
+func AssertValidChromeTrace(t *testing.T, data []byte) {
+	t.Helper()
+	if err := ValidateChromeTrace(data); err != nil {
+		t.Fatal(err)
+	}
+}

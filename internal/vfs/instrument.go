@@ -1,0 +1,157 @@
+package vfs
+
+import (
+	"time"
+
+	"doppio/internal/telemetry"
+)
+
+// Instrument wraps a backend so every operation's latency is recorded
+// into per-backend histograms in the hub's registry (subsystem
+// "vfs.<Name>", one histogram per op) plus an "ops" counter. The
+// wrapper preserves the backend's optional capabilities: the result
+// implements LinkBackend or AttrBackend exactly when the wrapped
+// backend does, so the kernel's feature detection is unaffected.
+// A nil hub returns the backend unchanged.
+func Instrument(b Backend, h *telemetry.Hub) Backend {
+	if b == nil || h == nil {
+		return b
+	}
+	sub := "vfs." + b.Name()
+	reg := h.Registry
+	base := &instrumented{
+		b:       b,
+		ops:     reg.Counter(sub, "ops"),
+		stat:    reg.Histogram(sub, "stat"),
+		open:    reg.Histogram(sub, "open"),
+		sync:    reg.Histogram(sub, "sync"),
+		unlink:  reg.Histogram(sub, "unlink"),
+		rmdir:   reg.Histogram(sub, "rmdir"),
+		mkdir:   reg.Histogram(sub, "mkdir"),
+		readdir: reg.Histogram(sub, "readdir"),
+		rename:  reg.Histogram(sub, "rename"),
+	}
+	lb, hasLink := b.(LinkBackend)
+	ab, hasAttr := b.(AttrBackend)
+	if hasLink {
+		base.lb = lb
+		base.symlink = reg.Histogram(sub, "symlink")
+		base.readlink = reg.Histogram(sub, "readlink")
+	}
+	if hasAttr {
+		base.ab = ab
+		base.chmod = reg.Histogram(sub, "chmod")
+		base.utimes = reg.Histogram(sub, "utimes")
+	}
+	switch {
+	case hasLink && hasAttr:
+		return &instrumentedLinkAttr{instrumentedLink{*base}}
+	case hasLink:
+		return &instrumentedLink{*base}
+	case hasAttr:
+		return &instrumentedAttr{*base}
+	default:
+		return base
+	}
+}
+
+// instrumented decorates the mandatory Backend surface. Optional
+// capability methods live on the embedding variants below so that type
+// assertions against the wrapper match the wrapped backend.
+type instrumented struct {
+	b  Backend
+	lb LinkBackend
+	ab AttrBackend
+
+	ops *telemetry.Counter
+
+	stat, open, sync, unlink, rmdir, mkdir, readdir, rename *telemetry.Histogram
+	symlink, readlink, chmod, utimes                        *telemetry.Histogram
+}
+
+func (i *instrumented) done(h *telemetry.Histogram, start time.Time) {
+	h.ObserveSince(start)
+	i.ops.Inc()
+}
+
+func (i *instrumented) Name() string   { return i.b.Name() }
+func (i *instrumented) ReadOnly() bool { return i.b.ReadOnly() }
+
+func (i *instrumented) Stat(path string, cb func(Stats, error)) {
+	start := time.Now()
+	i.b.Stat(path, func(s Stats, err error) { i.done(i.stat, start); cb(s, err) })
+}
+
+func (i *instrumented) Open(path string, cb func([]byte, error)) {
+	start := time.Now()
+	i.b.Open(path, func(data []byte, err error) { i.done(i.open, start); cb(data, err) })
+}
+
+func (i *instrumented) Sync(path string, data []byte, cb func(error)) {
+	start := time.Now()
+	i.b.Sync(path, data, func(err error) { i.done(i.sync, start); cb(err) })
+}
+
+func (i *instrumented) Unlink(path string, cb func(error)) {
+	start := time.Now()
+	i.b.Unlink(path, func(err error) { i.done(i.unlink, start); cb(err) })
+}
+
+func (i *instrumented) Rmdir(path string, cb func(error)) {
+	start := time.Now()
+	i.b.Rmdir(path, func(err error) { i.done(i.rmdir, start); cb(err) })
+}
+
+func (i *instrumented) Mkdir(path string, cb func(error)) {
+	start := time.Now()
+	i.b.Mkdir(path, func(err error) { i.done(i.mkdir, start); cb(err) })
+}
+
+func (i *instrumented) Readdir(path string, cb func([]string, error)) {
+	start := time.Now()
+	i.b.Readdir(path, func(names []string, err error) { i.done(i.readdir, start); cb(names, err) })
+}
+
+func (i *instrumented) Rename(oldPath, newPath string, cb func(error)) {
+	start := time.Now()
+	i.b.Rename(oldPath, newPath, func(err error) { i.done(i.rename, start); cb(err) })
+}
+
+// instrumentedLink adds the optional link capability.
+type instrumentedLink struct{ instrumented }
+
+func (i *instrumentedLink) Symlink(target, path string, cb func(error)) {
+	start := time.Now()
+	i.lb.Symlink(target, path, func(err error) { i.done(i.symlink, start); cb(err) })
+}
+
+func (i *instrumentedLink) Readlink(path string, cb func(string, error)) {
+	start := time.Now()
+	i.lb.Readlink(path, func(target string, err error) { i.done(i.readlink, start); cb(target, err) })
+}
+
+// instrumentedAttr adds the optional attribute capability.
+type instrumentedAttr struct{ instrumented }
+
+func (i *instrumentedAttr) Chmod(path string, mode int, cb func(error)) {
+	start := time.Now()
+	i.ab.Chmod(path, mode, func(err error) { i.done(i.chmod, start); cb(err) })
+}
+
+func (i *instrumentedAttr) Utimes(path string, atime, mtime time.Time, cb func(error)) {
+	start := time.Now()
+	i.ab.Utimes(path, atime, mtime, func(err error) { i.done(i.utimes, start); cb(err) })
+}
+
+// instrumentedLinkAttr has both optional capabilities.
+type instrumentedLinkAttr struct{ instrumentedLink }
+
+func (i *instrumentedLinkAttr) Chmod(path string, mode int, cb func(error)) {
+	start := time.Now()
+	i.ab.Chmod(path, mode, func(err error) { i.done(i.chmod, start); cb(err) })
+}
+
+func (i *instrumentedLinkAttr) Utimes(path string, atime, mtime time.Time, cb func(error)) {
+	start := time.Now()
+	i.ab.Utimes(path, atime, mtime, func(err error) { i.done(i.utimes, start); cb(err) })
+}
