@@ -44,6 +44,9 @@ func main() {
 	noTax := flag.Bool("noenginetax", false, "disable the JS-engine speed model")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics snapshot on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing)")
+	fsCache := flag.Bool("fs-cache", false, "A/B-compare fstrace replay and class loading with the VFS cache on and off (and enable the cache for other passes)")
+	fsBackend := flag.String("fs-backend", "cloud", "backend for -fs-cache: inmemory, localstorage, indexeddb, or cloud")
+	fsWriteBack := flag.Bool("fs-writeback", false, "use write-back (buffered) mode for -fs-cache")
 	flag.Parse()
 
 	var hub *telemetry.Hub
@@ -53,12 +56,12 @@ func main() {
 			hub.EnableTracing()
 		}
 	}
-	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache
 	if !anyFigure && hub == nil {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := bench.Config{Scale: *scale, DisableEngineTax: *noTax, Telemetry: hub}
+	cfg := bench.Config{Scale: *scale, DisableEngineTax: *noTax, Telemetry: hub, FSCache: *fsCache}
 	if *browsersFlag != "" {
 		for _, name := range strings.Split(*browsersFlag, ",") {
 			p, ok := browser.ByName(strings.TrimSpace(name))
@@ -149,6 +152,27 @@ func main() {
 		}
 		fmt.Println(bench.FormatResponsiveness(rows))
 	}
+	if *fsCache {
+		params := bench.FSCacheParams{
+			Backend:   *fsBackend,
+			WriteBack: *fsWriteBack,
+			Latency:   200 * time.Microsecond,
+			Trace: fstrace.GenerateParams{
+				Ops: 400 * *scale, UniqueFiles: 120 * *scale,
+				BytesRead: 600_000 * *scale, BytesWritten: 8_000 * *scale,
+			},
+		}
+		res, err := bench.RunFSCache(cfg, params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatFSCache(res))
+		cab, err := bench.RunClassloadFSCache(cfg, *fsBackend, *fsWriteBack, 200*time.Microsecond)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatClassloadAB(cab))
+	}
 	if !anyFigure {
 		if err := runTelemetryPass(cfg); err != nil {
 			fatal(err)
@@ -191,7 +215,11 @@ func runTelemetryPass(cfg bench.Config) error {
 		ValidatesStrings: profile.ValidatesStrings,
 		OnTypedAlloc:     win.NoteTypedArrayAlloc,
 	}
-	fs := vfs.New(win.Loop, bufs, vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry))
+	root := vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry)
+	if cfg.FSCache {
+		root = vfs.NewCached(root, vfs.CacheOptions{Hub: cfg.Telemetry})
+	}
+	fs := vfs.New(win.Loop, bufs, root)
 	var seedErr, replayErr error
 	var okOps int
 	win.Loop.Post("fstrace", func() {

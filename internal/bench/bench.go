@@ -40,6 +40,12 @@ type Config struct {
 	// cover only the measured workload (backend op histograms do
 	// include seeding traffic — it is genuine backend I/O).
 	Telemetry *telemetry.Hub
+	// FSCache wraps each run's VFS backend in the CachedBackend
+	// decorator (whole-file page cache + stat/readdir caches), so the
+	// JVM's class-load and host-FS traffic is served from cache after
+	// first touch. Cache counters land in Telemetry under
+	// "vfscache.<backend>".
+	FSCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -189,7 +195,11 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 		ValidatesStrings: profile.ValidatesStrings,
 		OnTypedAlloc:     win.NoteTypedArrayAlloc,
 	}
-	fs := vfs.New(win.Loop, bufs, vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry))
+	root := vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry)
+	if cfg.FSCache {
+		root = vfs.NewCached(root, vfs.CacheOptions{Hub: cfg.Telemetry})
+	}
+	fs := vfs.New(win.Loop, bufs, root)
 
 	// Seed the corpus before timing starts.
 	var seedErr error

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+
+	"doppio/internal/fstrace"
+)
+
+func TestFSCacheWarmHalvesBackendOps(t *testing.T) {
+	res, err := RunFSCache(Config{Scale: 1}, FSCacheParams{
+		Backend: "cloud",
+		Trace:   fstrace.GenerateParams{Ops: 150, UniqueFiles: 40, BytesRead: 120_000, BytesWritten: 4_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Uncached.OkOps != res.Cold.OkOps || res.Cold.OkOps != res.Warm.OkOps {
+		t.Fatalf("ok-op counts diverge: %+v / %+v / %+v", res.Uncached, res.Cold, res.Warm)
+	}
+	if res.Warm.BackendOps*2 > res.Uncached.BackendOps {
+		t.Errorf("warm backend ops = %d, want <= half of uncached %d",
+			res.Warm.BackendOps, res.Uncached.BackendOps)
+	}
+	if res.Warm.BackendOps > res.Cold.BackendOps {
+		t.Errorf("warm pass (%d ops) should not exceed cold pass (%d ops)",
+			res.Warm.BackendOps, res.Cold.BackendOps)
+	}
+	if res.Cache.Hits == 0 && res.Cache.StatHits == 0 {
+		t.Errorf("cache reported no hits: %+v", res.Cache)
+	}
+}
+
+func TestFSCacheWriteBackAbsorbsWrites(t *testing.T) {
+	res, err := RunFSCache(Config{Scale: 1}, FSCacheParams{
+		Backend:   "inmemory",
+		WriteBack: true,
+		Trace:     fstrace.GenerateParams{Ops: 400, UniqueFiles: 30, BytesRead: 60_000, BytesWritten: 6_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.WritebackQueued == 0 {
+		t.Errorf("write-back pass queued no writes: %+v", res.Cache)
+	}
+	// Queued counts buffered Sync calls; re-dirtying a queued path
+	// dedups in the FIFO, so flushed <= queued — but the final flush
+	// must leave nothing dirty.
+	if res.Cache.WritebackFlushed == 0 || res.Cache.WritebackFlushed > res.Cache.WritebackQueued {
+		t.Errorf("write-back flush accounting wrong: %+v", res.Cache)
+	}
+	if res.Cache.DirtyEntries != 0 {
+		t.Errorf("final flush left %d dirty entries", res.Cache.DirtyEntries)
+	}
+	if res.Warm.BackendOps*2 > res.Uncached.BackendOps {
+		t.Errorf("warm backend ops = %d, want <= half of uncached %d",
+			res.Warm.BackendOps, res.Uncached.BackendOps)
+	}
+}
+
+func TestFSCacheUnknownBackend(t *testing.T) {
+	if _, err := RunFSCache(Config{Scale: 1}, FSCacheParams{Backend: "floppy"}); err == nil {
+		t.Fatal("want error for unknown backend")
+	}
+}
+
+func TestClassloadFSCache(t *testing.T) {
+	res, err := RunClassloadFSCache(Config{Scale: 1}, "cloud", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes == 0 {
+		t.Fatal("no classes compiled")
+	}
+	// Warm loads are served almost entirely by the cache: the empty
+	// /cp1 probes hit negative stat entries and the /cp2 reads hit the
+	// page cache.
+	if res.WarmOps*2 > res.UncachedOps {
+		t.Errorf("warm class-load ops = %d, want <= half of uncached %d", res.WarmOps, res.UncachedOps)
+	}
+	if res.Cache.NegativeHits == 0 {
+		t.Errorf("classpath probing produced no negative-stat hits: %+v", res.Cache)
+	}
+}

@@ -1,8 +1,9 @@
 package vfs
 
 import (
-	"strings"
 	"time"
+
+	"doppio/internal/vfs/vkernel"
 )
 
 // FileType distinguishes the node kinds the file system models.
@@ -133,16 +134,14 @@ type AttrBackend interface {
 	Utimes(path string, atime, mtime time.Time, cb func(error))
 }
 
-// splitDir returns the parent directory and base name of a normalized
-// absolute path.
-func splitDir(p string) (dir, base string) {
-	if p == "/" {
-		return "/", ""
-	}
-	i := strings.LastIndexByte(p, '/')
-	dir = p[:i]
-	if dir == "" {
-		dir = "/"
-	}
-	return dir, p[i+1:]
+// Flusher is the optional write-back surface: backends (or decorators
+// such as CachedBackend) that buffer writes expose Flush to push every
+// buffered write to durable storage, in the order it was issued.
+type Flusher interface {
+	Flush(cb func(error))
 }
+
+// splitDir returns the parent directory and base name of a normalized
+// absolute path. It is the kernel's vkernel.SplitDir, re-exported for
+// the backends in this package.
+func splitDir(p string) (dir, base string) { return vkernel.SplitDir(p) }

@@ -1,0 +1,752 @@
+package vfs
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+
+	"doppio/internal/telemetry"
+	"doppio/internal/vfs/vkernel"
+)
+
+// DefaultCacheBudget is the page-cache byte budget used when
+// CacheOptions.ByteBudget is zero.
+const DefaultCacheBudget = 8 << 20
+
+// CacheOptions configures NewCached.
+type CacheOptions struct {
+	// ByteBudget bounds the bytes held by the whole-file page cache
+	// (clean pages only — dirty write-back pages are pinned and may
+	// temporarily exceed the budget). Zero means DefaultCacheBudget.
+	ByteBudget int
+	// WriteBack buffers Sync calls and uploads them on Flush (or before
+	// any namespace-mutating operation), instead of writing through.
+	// Ignored for read-only backends.
+	WriteBack bool
+	// Hub, when non-nil, receives hit/miss/eviction/write-back counters
+	// and cached-vs-uncached latency histograms under the subsystem
+	// "vfscache.<Name>".
+	Hub *telemetry.Hub
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	Hits, Misses                       int64 // page (Open) lookups
+	StatHits, StatMisses, NegativeHits int64
+	ReaddirHits, ReaddirMisses         int64
+	Evictions                          int64
+	WritebackQueued, WritebackFlushed  int64
+	BytesUsed                          int64
+	DirtyEntries                       int64
+}
+
+// CacheStatser is implemented by every backend returned from NewCached;
+// callers holding only a Backend can recover the counters with a type
+// assertion, the same way the kernel detects optional capabilities.
+type CacheStatser interface {
+	CacheStats() CacheStats
+}
+
+// NewCached wraps b in a write-back/write-through caching decorator: a
+// byte-budgeted LRU whole-file page cache, a stat cache that also
+// remembers negative (ENOENT) results, and a readdir cache. Like
+// Instrument, the wrapper preserves the backend's optional
+// capabilities, so type assertions against the result match the
+// wrapped backend. Wrapping a *MountFS registers an invalidation hook:
+// Mount/Unmount drop all clean cached state, since routing changed
+// underneath the cache.
+//
+// The cache assumes it is the only writer to the backend (the standard
+// single-window assumption of §5.1's browser-local backends); external
+// mutation of shared stores (e.g. a CloudStore reached from another
+// window) is not observed until the relevant entries age out or are
+// invalidated by a local write.
+func NewCached(b Backend, opts CacheOptions) Backend {
+	c := &Cached{
+		b:         b,
+		budget:    opts.ByteBudget,
+		writeBack: opts.WriteBack && !b.ReadOnly(),
+		pages:     make(map[string]*cachePage),
+		lru:       list.New(),
+		stats:     make(map[string]cacheStat),
+		dirs:      make(map[string][]string),
+		dirtySet:  make(map[string]bool),
+	}
+	if c.budget <= 0 {
+		c.budget = DefaultCacheBudget
+	}
+	if opts.Hub != nil {
+		sub := "vfscache." + b.Name()
+		reg := opts.Hub.Registry
+		c.hit = reg.Counter(sub, "hit")
+		c.miss = reg.Counter(sub, "miss")
+		c.statHit = reg.Counter(sub, "stat_hit")
+		c.statMiss = reg.Counter(sub, "stat_miss")
+		c.negHit = reg.Counter(sub, "stat_negative_hit")
+		c.readdirHit = reg.Counter(sub, "readdir_hit")
+		c.readdirMiss = reg.Counter(sub, "readdir_miss")
+		c.eviction = reg.Counter(sub, "eviction")
+		c.wbQueued = reg.Counter(sub, "writeback_queued")
+		c.wbFlushed = reg.Counter(sub, "writeback_flushed")
+		c.latOpenHit = reg.Histogram(sub, "open_hit_latency")
+		c.latOpenMiss = reg.Histogram(sub, "open_miss_latency")
+		c.latStatHit = reg.Histogram(sub, "stat_hit_latency")
+		c.latStatMiss = reg.Histogram(sub, "stat_miss_latency")
+	} else {
+		c.hit = &telemetry.Counter{}
+		c.miss = &telemetry.Counter{}
+		c.statHit = &telemetry.Counter{}
+		c.statMiss = &telemetry.Counter{}
+		c.negHit = &telemetry.Counter{}
+		c.readdirHit = &telemetry.Counter{}
+		c.readdirMiss = &telemetry.Counter{}
+		c.eviction = &telemetry.Counter{}
+		c.wbQueued = &telemetry.Counter{}
+		c.wbFlushed = &telemetry.Counter{}
+	}
+	if m, ok := b.(*MountFS); ok {
+		m.onChange = func(string) { c.InvalidateAll() }
+	}
+	lb, hasLink := b.(LinkBackend)
+	ab, hasAttr := b.(AttrBackend)
+	c.lb, c.ab = lb, ab
+	// The capability variants embed *Cached (not Cached by value, which
+	// would copy the mutex).
+	switch {
+	case hasLink && hasAttr:
+		return &cachedLinkAttr{cachedLink{c}}
+	case hasLink:
+		return &cachedLink{c}
+	case hasAttr:
+		return &cachedAttr{c}
+	default:
+		return c
+	}
+}
+
+// Cached is the caching decorator state; construct it with NewCached.
+type Cached struct {
+	b  Backend
+	lb LinkBackend
+	ab AttrBackend
+
+	mu        sync.Mutex
+	budget    int
+	used      int
+	writeBack bool
+
+	pages    map[string]*cachePage
+	lru      *list.List // clean pages only; front = coldest
+	stats    map[string]cacheStat
+	dirs     map[string][]string
+	dirty    []string // write-back FIFO, in first-buffer order
+	dirtySet map[string]bool
+
+	hit, miss, statHit, statMiss, negHit *telemetry.Counter
+	readdirHit, readdirMiss, eviction    *telemetry.Counter
+	wbQueued, wbFlushed                  *telemetry.Counter
+	latOpenHit, latOpenMiss              *telemetry.Histogram // nil-safe when no hub
+	latStatHit, latStatMiss              *telemetry.Histogram
+}
+
+type cachePage struct {
+	data  []byte
+	dirty bool
+	elem  *list.Element // non-nil iff clean and resident in the LRU
+}
+
+// cacheStat remembers either a positive Stat result or the fact that
+// the path does not exist (neg). Negative entries are what make the
+// JVM's classpath probing cheap: VFSClassProvider stats the same
+// missing paths on every load.
+type cacheStat struct {
+	st  Stats
+	neg bool
+}
+
+// Name reports the wrapped backend's name, so mount tables and
+// instrumentation see through the decorator.
+func (c *Cached) Name() string { return c.b.Name() }
+
+// ReadOnly reports the wrapped backend's writability.
+func (c *Cached) ReadOnly() bool { return c.b.ReadOnly() }
+
+// CacheStats snapshots the cache counters.
+func (c *Cached) CacheStats() CacheStats {
+	c.mu.Lock()
+	used, dirty := int64(c.used), int64(len(c.dirty))
+	c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hit.Value(), Misses: c.miss.Value(),
+		StatHits: c.statHit.Value(), StatMisses: c.statMiss.Value(),
+		NegativeHits: c.negHit.Value(),
+		ReaddirHits:  c.readdirHit.Value(), ReaddirMisses: c.readdirMiss.Value(),
+		Evictions:       c.eviction.Value(),
+		WritebackQueued: c.wbQueued.Value(), WritebackFlushed: c.wbFlushed.Value(),
+		BytesUsed: used, DirtyEntries: dirty,
+	}
+}
+
+// InvalidateAll drops every clean cached entry. Dirty write-back pages
+// survive (their data exists nowhere else) along with their fabricated
+// stats, and will flush through whatever the backend routes to now.
+func (c *Cached) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p, pg := range c.pages {
+		if !pg.dirty {
+			c.lru.Remove(pg.elem)
+			c.used -= len(pg.data)
+			delete(c.pages, p)
+		}
+	}
+	c.stats = make(map[string]cacheStat)
+	c.dirs = make(map[string][]string)
+	for p, pg := range c.pages {
+		c.stats[p] = cacheStat{st: Stats{Type: TypeFile, Size: int64(len(pg.data))}}
+	}
+}
+
+// ---- page cache internals (all *Locked methods hold c.mu) ----
+
+func (c *Cached) insertPageLocked(p string, data []byte, dirty bool) {
+	c.dropPageLocked(p)
+	if !dirty && len(data) > c.budget {
+		return // larger than the whole cache: not worth caching
+	}
+	pg := &cachePage{data: data, dirty: dirty}
+	if !dirty {
+		pg.elem = c.lru.PushBack(p)
+	}
+	c.pages[p] = pg
+	c.used += len(data)
+	c.evictLocked()
+}
+
+func (c *Cached) dropPageLocked(p string) {
+	if pg, ok := c.pages[p]; ok {
+		if pg.elem != nil {
+			c.lru.Remove(pg.elem)
+		}
+		c.used -= len(pg.data)
+		delete(c.pages, p)
+	}
+}
+
+func (c *Cached) evictLocked() {
+	for c.used > c.budget {
+		front := c.lru.Front()
+		if front == nil {
+			return // only dirty (pinned) pages remain
+		}
+		p := front.Value.(string)
+		c.lru.Remove(front)
+		c.used -= len(c.pages[p].data)
+		delete(c.pages, p)
+		c.eviction.Inc()
+	}
+}
+
+func (c *Cached) addNameLocked(dir, base string) {
+	names, ok := c.dirs[dir]
+	if !ok || base == "" {
+		return
+	}
+	for _, n := range names {
+		if n == base {
+			return
+		}
+	}
+	names = append(names, base)
+	sort.Strings(names)
+	c.dirs[dir] = names
+}
+
+func (c *Cached) removeNameLocked(dir, base string) {
+	names, ok := c.dirs[dir]
+	if !ok {
+		return
+	}
+	out := names[:0]
+	for _, n := range names {
+		if n != base {
+			out = append(out, n)
+		}
+	}
+	c.dirs[dir] = out
+}
+
+// mergeDirtyLocked folds buffered-but-unflushed children of dir into a
+// readdir listing, so write-back files are visible before Flush.
+func (c *Cached) mergeDirtyLocked(dir string, names []string) []string {
+	out := append([]string(nil), names...)
+	if len(c.dirty) == 0 {
+		return out
+	}
+	seen := make(map[string]bool, len(out))
+	for _, n := range out {
+		seen[n] = true
+	}
+	for _, dp := range c.dirty {
+		if name, ok := vkernel.ChildOf(dir, dp); ok && !seen[name] {
+			out = append(out, name)
+			seen[name] = true
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// invalidateSubtreeLocked forgets every cached entry at or under p
+// (pages, stats — including negative entries — and readdir listings).
+func (c *Cached) invalidateSubtreeLocked(p string) {
+	for q := range c.pages {
+		if vkernel.Under(q, p) {
+			c.dropPageLocked(q)
+		}
+	}
+	for q := range c.stats {
+		if vkernel.Under(q, p) {
+			delete(c.stats, q)
+		}
+	}
+	for q := range c.dirs {
+		if vkernel.Under(q, p) {
+			delete(c.dirs, q)
+		}
+	}
+}
+
+// ---- mandatory Backend surface ----
+
+// Stat serves from the stat cache (including negative entries) and
+// populates it on miss. Only ENOENT is cached negatively; transient
+// errors are not remembered.
+func (c *Cached) Stat(p string, cb func(Stats, error)) {
+	start := time.Now()
+	c.mu.Lock()
+	if e, ok := c.stats[p]; ok {
+		c.mu.Unlock()
+		c.statHit.Inc()
+		if e.neg {
+			c.negHit.Inc()
+			c.latStatHit.ObserveSince(start)
+			cb(Stats{}, Err(ENOENT, "stat", p))
+			return
+		}
+		c.latStatHit.ObserveSince(start)
+		cb(e.st, nil)
+		return
+	}
+	c.mu.Unlock()
+	c.statMiss.Inc()
+	c.b.Stat(p, func(st Stats, err error) {
+		c.mu.Lock()
+		switch {
+		case err == nil:
+			c.stats[p] = cacheStat{st: st}
+		case IsErrno(err, ENOENT):
+			c.stats[p] = cacheStat{neg: true}
+		}
+		c.mu.Unlock()
+		c.latStatMiss.ObserveSince(start)
+		cb(st, err)
+	})
+}
+
+// Open serves whole files from the page cache; a cached negative stat
+// short-circuits to ENOENT without a backend round trip.
+func (c *Cached) Open(p string, cb func([]byte, error)) {
+	start := time.Now()
+	c.mu.Lock()
+	if pg, ok := c.pages[p]; ok {
+		if pg.elem != nil {
+			c.lru.MoveToBack(pg.elem)
+		}
+		data := append([]byte(nil), pg.data...)
+		c.mu.Unlock()
+		c.hit.Inc()
+		c.latOpenHit.ObserveSince(start)
+		cb(data, nil)
+		return
+	}
+	if e, ok := c.stats[p]; ok && e.neg {
+		c.mu.Unlock()
+		c.hit.Inc()
+		c.negHit.Inc()
+		c.latOpenHit.ObserveSince(start)
+		cb(nil, Err(ENOENT, "open", p))
+		return
+	}
+	c.mu.Unlock()
+	c.miss.Inc()
+	c.b.Open(p, func(data []byte, err error) {
+		if err == nil {
+			c.mu.Lock()
+			// Store a private copy: the caller's slice feeds file
+			// descriptors that mutate it in place.
+			c.insertPageLocked(p, append([]byte(nil), data...), false)
+			c.mu.Unlock()
+		}
+		c.latOpenMiss.ObserveSince(start)
+		cb(data, err)
+	})
+}
+
+// Sync writes through (caching the new contents) or, in write-back
+// mode, buffers the write after validating it against cached metadata
+// with the same errno semantics a backend applies.
+func (c *Cached) Sync(p string, data []byte, cb func(error)) {
+	if c.writeBack {
+		c.syncBuffered(p, data, cb)
+		return
+	}
+	cp := append([]byte(nil), data...)
+	c.b.Sync(p, data, func(err error) {
+		if err == nil {
+			c.mu.Lock()
+			c.insertPageLocked(p, cp, false)
+			// Don't fabricate a stat: backends decorate Stats with
+			// modes/times the cache can't know. Refetch on demand.
+			delete(c.stats, p)
+			dir, base := vkernel.SplitDir(p)
+			c.addNameLocked(dir, base)
+			c.mu.Unlock()
+		}
+		cb(err)
+	})
+}
+
+func (c *Cached) syncBuffered(p string, data []byte, cb func(error)) {
+	dir, base := vkernel.SplitDir(p)
+	if base == "" {
+		cb(Err(EINVAL, "sync", p))
+		return
+	}
+	c.Stat(dir, func(dst Stats, derr error) {
+		if derr != nil {
+			cb(Err(ENOENT, "sync", p))
+			return
+		}
+		if !dst.IsDirectory() {
+			cb(Err(ENOTDIR, "sync", p))
+			return
+		}
+		c.Stat(p, func(st Stats, serr error) {
+			if serr == nil && st.IsDirectory() {
+				cb(Err(EISDIR, "sync", p))
+				return
+			}
+			if serr != nil && !IsErrno(serr, ENOENT) {
+				cb(serr)
+				return
+			}
+			cp := append([]byte(nil), data...)
+			c.mu.Lock()
+			c.insertPageLocked(p, cp, true)
+			if !c.dirtySet[p] {
+				c.dirtySet[p] = true
+				c.dirty = append(c.dirty, p)
+			}
+			// Dirty files exist only here, so the cache must answer
+			// Stat itself until the flush lands.
+			c.stats[p] = cacheStat{st: Stats{Type: TypeFile, Size: int64(len(cp))}}
+			c.addNameLocked(dir, base)
+			c.mu.Unlock()
+			c.wbQueued.Inc()
+			cb(nil)
+		})
+	})
+}
+
+// Flush uploads buffered writes to the backend in the order they were
+// first issued, stopping (and re-queueing the remainder) on the first
+// error. A cache with no dirty entries flushes trivially.
+func (c *Cached) Flush(cb func(error)) {
+	type flushItem struct {
+		path string
+		data []byte
+	}
+	c.mu.Lock()
+	if len(c.dirty) == 0 {
+		c.mu.Unlock()
+		cb(nil)
+		return
+	}
+	queue := c.dirty
+	c.dirty = nil
+	items := make([]flushItem, 0, len(queue))
+	for _, p := range queue {
+		delete(c.dirtySet, p)
+		if pg, ok := c.pages[p]; ok && pg.dirty {
+			items = append(items, flushItem{p, pg.data})
+		}
+	}
+	c.mu.Unlock()
+	var step func(i int)
+	step = func(i int) {
+		if i == len(items) {
+			cb(nil)
+			return
+		}
+		it := items[i]
+		c.b.Sync(it.path, it.data, func(err error) {
+			if err != nil {
+				// Re-queue this and the remaining entries (unless a
+				// concurrent Sync already re-dirtied them) so a later
+				// Flush retries in order.
+				c.mu.Lock()
+				for j := len(items) - 1; j >= i; j-- {
+					p := items[j].path
+					if pg, ok := c.pages[p]; ok && pg.dirty && !c.dirtySet[p] {
+						c.dirtySet[p] = true
+						c.dirty = append([]string{p}, c.dirty...)
+					}
+				}
+				c.mu.Unlock()
+				cb(err)
+				return
+			}
+			c.wbFlushed.Inc()
+			c.mu.Lock()
+			// Mark clean unless the entry was re-dirtied mid-flight.
+			if pg, ok := c.pages[it.path]; ok && pg.dirty && !c.dirtySet[it.path] {
+				pg.dirty = false
+				pg.elem = c.lru.PushBack(it.path)
+				c.evictLocked()
+			}
+			c.mu.Unlock()
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// flushThen drains the write-back queue before a namespace-mutating
+// operation, so the backend observes writes and mutations in program
+// order; in write-through mode it runs the continuation immediately.
+func (c *Cached) flushThen(then func(error)) {
+	if !c.writeBack {
+		then(nil)
+		return
+	}
+	c.Flush(then)
+}
+
+// Unlink removes a file, short-circuiting on a cached negative stat,
+// and remembers the removal as a negative entry.
+func (c *Cached) Unlink(p string, cb func(error)) {
+	c.mu.Lock()
+	// Read-only backends answer mutations with EROFS even for missing
+	// paths, so the negative-stat shortcut must not preempt them.
+	if e, ok := c.stats[p]; ok && e.neg && !c.b.ReadOnly() {
+		c.mu.Unlock()
+		c.negHit.Inc()
+		cb(Err(ENOENT, "unlink", p))
+		return
+	}
+	c.mu.Unlock()
+	c.flushThen(func(ferr error) {
+		if ferr != nil {
+			cb(ferr)
+			return
+		}
+		c.b.Unlink(p, func(err error) {
+			if err == nil {
+				c.mu.Lock()
+				c.dropPageLocked(p)
+				c.stats[p] = cacheStat{neg: true}
+				dir, base := vkernel.SplitDir(p)
+				c.removeNameLocked(dir, base)
+				c.mu.Unlock()
+			}
+			cb(err)
+		})
+	})
+}
+
+// Rmdir removes a directory and caches the resulting absence.
+func (c *Cached) Rmdir(p string, cb func(error)) {
+	c.mu.Lock()
+	if e, ok := c.stats[p]; ok && e.neg && !c.b.ReadOnly() {
+		c.mu.Unlock()
+		c.negHit.Inc()
+		cb(Err(ENOENT, "rmdir", p))
+		return
+	}
+	c.mu.Unlock()
+	c.flushThen(func(ferr error) {
+		if ferr != nil {
+			cb(ferr)
+			return
+		}
+		c.b.Rmdir(p, func(err error) {
+			if err == nil {
+				c.mu.Lock()
+				delete(c.dirs, p)
+				c.stats[p] = cacheStat{neg: true}
+				dir, base := vkernel.SplitDir(p)
+				c.removeNameLocked(dir, base)
+				c.mu.Unlock()
+			}
+			cb(err)
+		})
+	})
+}
+
+// Mkdir creates a directory, clearing any negative entry and updating
+// the parent's cached listing.
+func (c *Cached) Mkdir(p string, cb func(error)) {
+	c.b.Mkdir(p, func(err error) {
+		if err == nil {
+			c.mu.Lock()
+			delete(c.stats, p)
+			dir, base := vkernel.SplitDir(p)
+			c.addNameLocked(dir, base)
+			c.mu.Unlock()
+		}
+		cb(err)
+	})
+}
+
+// Readdir serves cached listings (merging in unflushed write-back
+// children) and caches backend listings on miss.
+func (c *Cached) Readdir(p string, cb func([]string, error)) {
+	c.mu.Lock()
+	if names, ok := c.dirs[p]; ok {
+		out := c.mergeDirtyLocked(p, names)
+		c.mu.Unlock()
+		c.readdirHit.Inc()
+		cb(out, nil)
+		return
+	}
+	if e, ok := c.stats[p]; ok && e.neg {
+		c.mu.Unlock()
+		c.readdirHit.Inc()
+		c.negHit.Inc()
+		cb(nil, Err(ENOENT, "readdir", p))
+		return
+	}
+	c.mu.Unlock()
+	c.readdirMiss.Inc()
+	c.b.Readdir(p, func(names []string, err error) {
+		if err != nil {
+			cb(names, err)
+			return
+		}
+		c.mu.Lock()
+		c.dirs[p] = append([]string(nil), names...)
+		out := c.mergeDirtyLocked(p, names)
+		c.mu.Unlock()
+		cb(out, nil)
+	})
+}
+
+// Rename moves a node, flushing buffered writes first and then
+// invalidating both affected subtrees (a directory rename moves every
+// descendant, so exact-path invalidation is not enough).
+func (c *Cached) Rename(oldPath, newPath string, cb func(error)) {
+	c.mu.Lock()
+	if e, ok := c.stats[oldPath]; ok && e.neg && !c.b.ReadOnly() {
+		c.mu.Unlock()
+		c.negHit.Inc()
+		cb(Err(ENOENT, "rename", oldPath))
+		return
+	}
+	c.mu.Unlock()
+	c.flushThen(func(ferr error) {
+		if ferr != nil {
+			cb(ferr)
+			return
+		}
+		c.b.Rename(oldPath, newPath, func(err error) {
+			if err == nil {
+				c.mu.Lock()
+				c.invalidateSubtreeLocked(oldPath)
+				if oldPath != newPath {
+					c.invalidateSubtreeLocked(newPath)
+					c.stats[oldPath] = cacheStat{neg: true}
+					od, ob := vkernel.SplitDir(oldPath)
+					nd, nb := vkernel.SplitDir(newPath)
+					c.removeNameLocked(od, ob)
+					c.addNameLocked(nd, nb)
+				}
+				c.mu.Unlock()
+			}
+			cb(err)
+		})
+	})
+}
+
+// ---- optional capabilities (on unexported methods; exposed by the
+// embedding variants below so type assertions stay truthful) ----
+
+func (c *Cached) symlink(target, p string, cb func(error)) {
+	c.flushThen(func(ferr error) {
+		if ferr != nil {
+			cb(ferr)
+			return
+		}
+		c.lb.Symlink(target, p, func(err error) {
+			if err == nil {
+				c.mu.Lock()
+				delete(c.stats, p)
+				dir, base := vkernel.SplitDir(p)
+				c.addNameLocked(dir, base)
+				c.mu.Unlock()
+			}
+			cb(err)
+		})
+	})
+}
+
+func (c *Cached) readlink(p string, cb func(string, error)) {
+	c.lb.Readlink(p, cb)
+}
+
+func (c *Cached) chmod(p string, mode int, cb func(error)) {
+	c.ab.Chmod(p, mode, func(err error) {
+		if err == nil {
+			c.mu.Lock()
+			delete(c.stats, p)
+			c.mu.Unlock()
+		}
+		cb(err)
+	})
+}
+
+func (c *Cached) utimes(p string, atime, mtime time.Time, cb func(error)) {
+	c.ab.Utimes(p, atime, mtime, func(err error) {
+		if err == nil {
+			c.mu.Lock()
+			delete(c.stats, p)
+			c.mu.Unlock()
+		}
+		cb(err)
+	})
+}
+
+// cachedLink adds the optional link capability.
+type cachedLink struct{ *Cached }
+
+func (c *cachedLink) Symlink(target, path string, cb func(error)) { c.symlink(target, path, cb) }
+func (c *cachedLink) Readlink(path string, cb func(string, error)) {
+	c.readlink(path, cb)
+}
+
+// cachedAttr adds the optional attribute capability.
+type cachedAttr struct{ *Cached }
+
+func (c *cachedAttr) Chmod(path string, mode int, cb func(error)) { c.chmod(path, mode, cb) }
+func (c *cachedAttr) Utimes(path string, atime, mtime time.Time, cb func(error)) {
+	c.utimes(path, atime, mtime, cb)
+}
+
+// cachedLinkAttr has both optional capabilities.
+type cachedLinkAttr struct{ cachedLink }
+
+func (c *cachedLinkAttr) Chmod(path string, mode int, cb func(error)) { c.chmod(path, mode, cb) }
+func (c *cachedLinkAttr) Utimes(path string, atime, mtime time.Time, cb func(error)) {
+	c.utimes(path, atime, mtime, cb)
+}

@@ -2,11 +2,11 @@ package vfs
 
 import (
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"doppio/internal/eventloop"
+	"doppio/internal/vfs/vkernel"
 )
 
 // CloudStore simulates a Dropbox-style cloud storage service: a remote
@@ -190,21 +190,10 @@ func (c *CloudFS) Mkdir(p string, cb func(error)) {
 }
 
 func (c *CloudStore) childrenLocked(p string) []string {
-	prefix := p
-	if prefix != "/" {
-		prefix += "/"
-	}
 	seen := make(map[string]bool)
 	add := func(fp string) {
-		if !strings.HasPrefix(fp, prefix) || fp == p {
-			return
-		}
-		rest := fp[len(prefix):]
-		if i := strings.IndexByte(rest, '/'); i >= 0 {
-			rest = rest[:i]
-		}
-		if rest != "" {
-			seen[rest] = true
+		if name, ok := vkernel.ChildOf(p, fp); ok {
+			seen[name] = true
 		}
 	}
 	for fp := range c.files {

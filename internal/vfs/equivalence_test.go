@@ -12,14 +12,18 @@ import (
 // sequence against every writable backend and requires identical
 // observable outcomes — the §5.1 contract that the unified API gives
 // "full-featured read/write functionality" regardless of the storage
-// mechanism underneath.
+// mechanism underneath. Every backend also runs wrapped in the caching
+// decorator (write-through and, where meaningful, write-back with
+// periodic flushes): the cache must be observationally invisible.
 func TestBackendEquivalence(t *testing.T) {
 	type opResult struct {
 		op   string
 		err  string
 		data string
 	}
-	runSequence := func(name string, mk func(w *browser.Window, bufs *buffer.Factory) Backend) []opResult {
+	// flushEvery > 0 inserts an unrecorded front-end Flush every that
+	// many steps, draining write-back queues mid-sequence.
+	runSequence := func(name string, flushEvery int, mk func(w *browser.Window, bufs *buffer.Factory) Backend) []opResult {
 		h := newHarness(t, browser.Chrome28, mk)
 		var results []opResult
 		record := func(op string, data string, err error) {
@@ -65,32 +69,140 @@ func TestBackendEquivalence(t *testing.T) {
 				err := h.rename(p, other)
 				record("rename "+p+" "+other, "", err)
 			}
+			if flushEvery > 0 && i%flushEvery == flushEvery-1 {
+				h.run(func(done func()) { h.fs.Flush(func(error) { done() }) })
+			}
 		}
 		return results
 	}
 
-	reference := runSequence("inmemory", func(*browser.Window, *buffer.Factory) Backend {
+	reference := runSequence("inmemory", 0, func(*browser.Window, *buffer.Factory) Backend {
 		return NewInMemory()
 	})
-	others := map[string]func(w *browser.Window, bufs *buffer.Factory) Backend{
+
+	// Base backend constructors; the cached variants below reuse them.
+	base := map[string]func(w *browser.Window, bufs *buffer.Factory) Backend{
+		"inmemory": func(*browser.Window, *buffer.Factory) Backend {
+			return NewInMemory()
+		},
 		"localstorage": func(w *browser.Window, bufs *buffer.Factory) Backend {
 			return NewLocalStorageFS(w.LocalStorage, bufs)
 		},
 		"indexeddb": func(w *browser.Window, bufs *buffer.Factory) Backend {
 			return NewIndexedDBFS(w.IndexedDB, bufs)
 		},
+		"cloud": func(w *browser.Window, bufs *buffer.Factory) Backend {
+			return NewCloudFS(w.Loop, NewCloudStore(0))
+		},
+		// The op stream never touches /shadow, so the mount must be
+		// invisible to it.
+		"mounted": func(w *browser.Window, bufs *buffer.Factory) Backend {
+			m := NewMountFS(NewInMemory())
+			m.Mount("/shadow", NewLocalStorageFS(w.LocalStorage, bufs))
+			return m
+		},
 	}
-	for name, mk := range others {
-		got := runSequence(name, mk)
-		if len(got) != len(reference) {
-			t.Fatalf("%s: %d results vs %d", name, len(got), len(reference))
+
+	type variant struct {
+		name       string
+		flushEvery int
+		mk         func(w *browser.Window, bufs *buffer.Factory) Backend
+	}
+	var variants []variant
+	for name, mk := range base {
+		mk := mk
+		if name != "inmemory" {
+			variants = append(variants, variant{name, 0, mk})
 		}
-		for i := range got {
-			if got[i] != reference[i] {
-				t.Errorf("%s diverges at step %d (%s):\n  inmemory: %+v\n  %s: %+v",
-					name, i, got[i].op, reference[i], name, got[i])
-				break
+		variants = append(variants, variant{"cached-" + name, 0,
+			func(w *browser.Window, bufs *buffer.Factory) Backend {
+				return NewCached(mk(w, bufs), CacheOptions{})
+			}})
+		variants = append(variants, variant{"cached-writeback-" + name, 25,
+			func(w *browser.Window, bufs *buffer.Factory) Backend {
+				return NewCached(mk(w, bufs), CacheOptions{WriteBack: true})
+			}})
+	}
+	// A tight budget forces constant eviction; correctness must not
+	// depend on residency.
+	variants = append(variants, variant{"cached-tiny-budget", 0,
+		func(*browser.Window, *buffer.Factory) Backend {
+			return NewCached(NewInMemory(), CacheOptions{ByteBudget: 16})
+		}})
+
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			got := runSequence(v.name, v.flushEvery, v.mk)
+			if len(got) != len(reference) {
+				t.Fatalf("%s: %d results vs %d", v.name, len(got), len(reference))
 			}
+			for i := range got {
+				if got[i] != reference[i] {
+					t.Errorf("%s diverges at step %d (%s):\n  inmemory: %+v\n  %s: %+v",
+						v.name, i, got[i].op, reference[i], v.name, got[i])
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestReadOnlyBackendCacheEquivalence checks the fifth backend kind:
+// a cached HTTPFS must be observationally identical to a bare one,
+// including EROFS on mutation attempts and ENOENT probes.
+func TestReadOnlyBackendCacheEquivalence(t *testing.T) {
+	type result struct {
+		op, err, data string
+	}
+	runSequence := func(cached bool) []result {
+		h := newHarness(t, browser.Chrome28, func(w *browser.Window, bufs *buffer.Factory) Backend {
+			w.Remote.Serve("assets/logo.png", []byte{1, 2, 3})
+			w.Remote.Serve("assets/maps/level1.json", []byte(`{"w":8}`))
+			w.Remote.Serve("assets/maps/level2.json", []byte(`{"w":9}`))
+			b := Backend(NewHTTPFS(w.Loop, w.Remote, "assets"))
+			if cached {
+				b = NewCached(b, CacheOptions{WriteBack: true}) // WriteBack must be ignored
+			}
+			return b
+		})
+		var results []result
+		record := func(op, data string, err error) {
+			r := result{op: op, data: data}
+			if err != nil {
+				if ae, ok := err.(*ApiError); ok {
+					r.err = string(ae.Errno)
+				} else {
+					r.err = "ERR"
+				}
+			}
+			results = append(results, r)
+		}
+		for round := 0; round < 2; round++ {
+			for _, p := range []string{"/logo.png", "/maps/level1.json", "/maps/level2.json", "/missing.png"} {
+				data, err := h.readFile(p)
+				record("read "+p, string(data), err)
+				st, err := h.stat(p)
+				record("stat "+p, fmt.Sprint(st.Size), err)
+			}
+			names, err := h.readdir("/maps")
+			record("readdir /maps", fmt.Sprint(names), err)
+			record("write", "", h.writeFile("/new.txt", []byte("x")))
+			record("unlink", "", h.unlink("/logo.png"))
+			record("rename", "", h.rename("/logo.png", "/logo2.png"))
+			record("rmdir", "", h.rmdir("/maps"))
+		}
+		return results
+	}
+	plain := runSequence(false)
+	cached := runSequence(true)
+	if len(plain) != len(cached) {
+		t.Fatalf("result count: %d vs %d", len(plain), len(cached))
+	}
+	for i := range plain {
+		if plain[i] != cached[i] {
+			t.Errorf("cached HTTPFS diverges at step %d:\n  plain:  %+v\n  cached: %+v",
+				i, plain[i], cached[i])
 		}
 	}
 }

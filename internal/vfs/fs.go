@@ -3,7 +3,7 @@ package vfs
 import (
 	"doppio/internal/buffer"
 	"doppio/internal/eventloop"
-	"doppio/internal/vfs/vpath"
+	"doppio/internal/vfs/vkernel"
 )
 
 // FS is the unified, Node-compatible file system front end (§5.1).
@@ -62,7 +62,7 @@ func (fs *FS) Chdir(path string, cb func(error)) {
 	})
 }
 
-func (fs *FS) resolve(p string) string { return vpath.Resolve(fs.cwd, p) }
+func (fs *FS) resolve(p string) string { return vkernel.Resolve(fs.cwd, p) }
 
 func (fs *FS) note(op, path string) {
 	fs.Ops++
@@ -523,6 +523,19 @@ func (fs *FS) Symlink(target, path string, cb func(error)) {
 		return
 	}
 	lb.Symlink(target, p, func(err error) { fs.deliverErr(cb, err) })
+}
+
+// Flush pushes any writes buffered below the front end (a write-back
+// CachedBackend, directly or under a MountFS) to durable storage, in
+// issue order. Backends without buffering complete immediately.
+func (fs *FS) Flush(cb func(error)) {
+	fs.note("flush", "/")
+	fl, ok := fs.root.(Flusher)
+	if !ok {
+		fs.deliverErr(cb, nil)
+		return
+	}
+	fl.Flush(func(err error) { fs.deliverErr(cb, err) })
 }
 
 // Readlink reads a symbolic link's target.

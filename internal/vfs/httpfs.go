@@ -6,6 +6,7 @@ import (
 
 	"doppio/internal/browser"
 	"doppio/internal/eventloop"
+	"doppio/internal/vfs/vkernel"
 )
 
 // HTTPFS is the read-only backend over files served by the web server
@@ -147,22 +148,11 @@ func (h *HTTPFS) Readdir(p string, cb func([]string, error)) {
 		cb(nil, Err(ENOENT, "readdir", p))
 		return
 	}
-	prefix := p
-	if prefix != "/" {
-		prefix += "/"
-	}
 	seen := make(map[string]bool)
 	collect := func(paths map[string]bool) {
 		for fp := range paths {
-			if !strings.HasPrefix(fp, prefix) || fp == p {
-				continue
-			}
-			rest := fp[len(prefix):]
-			if i := strings.IndexByte(rest, '/'); i >= 0 {
-				rest = rest[:i]
-			}
-			if rest != "" {
-				seen[rest] = true
+			if name, ok := vkernel.ChildOf(p, fp); ok {
+				seen[name] = true
 			}
 		}
 	}

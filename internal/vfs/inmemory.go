@@ -4,6 +4,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"doppio/internal/vfs/vkernel"
 )
 
 // InMemory is the temporary in-memory storage backend (§5.1, Figure 2:
@@ -64,11 +66,10 @@ func (m *InMemory) walkDepth(p string, followLeaf bool, depth int) (*memNode, er
 		}
 		last := i == len(parts)-1
 		if child.typ == TypeSymlink && (!last || followLeaf) {
-			target := child.target
-			if !strings.HasPrefix(target, "/") {
-				target = strings.TrimSuffix(p[:len(p)-len(part)], "/") + "/" + target
-			}
-			resolved, err := m.walkDepth(normalizeAbs(target), true, depth+1)
+			// Relative targets resolve against the link's directory —
+			// the same kernel resolution the front end applies to cwd.
+			linkDir := strings.TrimSuffix(p[:len(p)-len(part)], "/")
+			resolved, err := m.walkDepth(vkernel.Resolve(linkDir, child.target), true, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -77,22 +78,6 @@ func (m *InMemory) walkDepth(p string, followLeaf bool, depth int) (*memNode, er
 		node = child
 	}
 	return node, nil
-}
-
-func normalizeAbs(p string) string {
-	var out []string
-	for _, part := range strings.Split(p, "/") {
-		switch part {
-		case "", ".":
-		case "..":
-			if len(out) > 0 {
-				out = out[:len(out)-1]
-			}
-		default:
-			out = append(out, part)
-		}
-	}
-	return "/" + strings.Join(out, "/")
 }
 
 func (m *InMemory) parentOf(p, op string) (*memNode, string, error) {

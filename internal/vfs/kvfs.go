@@ -6,6 +6,7 @@ import (
 
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
+	"doppio/internal/vfs/vkernel"
 )
 
 // kvAPI is the minimal key/value contract shared by localStorage
@@ -209,10 +210,6 @@ func (f *FlatKV) Unlink(p string, cb func(error)) {
 // childNames extracts the immediate child names of dir from the full
 // key list.
 func childNames(keys []string, dir string) []string {
-	prefix := dir
-	if prefix != "/" {
-		prefix += "/"
-	}
 	seen := make(map[string]bool)
 	for _, key := range keys {
 		var p string
@@ -224,15 +221,8 @@ func childNames(keys []string, dir string) []string {
 		default:
 			continue
 		}
-		if !strings.HasPrefix(p, prefix) || p == dir {
-			continue
-		}
-		rest := p[len(prefix):]
-		if i := strings.IndexByte(rest, '/'); i >= 0 {
-			rest = rest[:i]
-		}
-		if rest != "" {
-			seen[rest] = true
+		if name, ok := vkernel.ChildOf(dir, p); ok {
+			seen[name] = true
 		}
 	}
 	names := make([]string, 0, len(seen))

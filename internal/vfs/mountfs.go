@@ -3,16 +3,25 @@ package vfs
 import (
 	"sort"
 	"strings"
+
+	"doppio/internal/vfs/vkernel"
 )
 
 // MountFS is the MountableFileSystem of §5.1: it composes a root
 // backend with backends mounted at directory prefixes, Unix-style,
 // routing every operation through the standard backend API — so it is
 // "compatible with any new file systems that are implemented in the
-// future".
+// future". All prefix matching and path translation goes through the
+// shared resolution kernel (vkernel), the same helpers the FS front
+// end and the backends use.
 type MountFS struct {
 	root   Backend
 	mounts []mountPoint // sorted longest prefix first
+
+	// onChange observes Mount/Unmount with the affected prefix; a
+	// CachedBackend wrapping this MountFS registers here so routing
+	// changes invalidate its cached state.
+	onChange func(path string)
 }
 
 type mountPoint struct {
@@ -28,24 +37,29 @@ func NewMountFS(root Backend) *MountFS {
 
 // Mount attaches b at path (which is then shadowed entirely).
 func (m *MountFS) Mount(path string, b Backend) {
-	path = strings.TrimSuffix(path, "/")
-	if path == "" {
-		path = "/"
-	}
+	path = vkernel.Clean(strings.TrimSuffix(path, "/"))
 	m.mounts = append(m.mounts, mountPoint{at: path, b: b})
 	sort.Slice(m.mounts, func(i, j int) bool { return len(m.mounts[i].at) > len(m.mounts[j].at) })
+	m.notifyChange(path)
 }
 
 // Unmount detaches the backend at path, reporting whether one existed.
 func (m *MountFS) Unmount(path string) bool {
-	path = strings.TrimSuffix(path, "/")
+	path = vkernel.Clean(strings.TrimSuffix(path, "/"))
 	for i, mp := range m.mounts {
 		if mp.at == path {
 			m.mounts = append(m.mounts[:i], m.mounts[i+1:]...)
+			m.notifyChange(path)
 			return true
 		}
 	}
 	return false
+}
+
+func (m *MountFS) notifyChange(path string) {
+	if m.onChange != nil {
+		m.onChange(path)
+	}
 }
 
 // MountPoints returns the mounted prefixes, longest first.
@@ -61,11 +75,8 @@ func (m *MountFS) MountPoints() []string {
 // backend's namespace.
 func (m *MountFS) route(p string) (Backend, string) {
 	for _, mp := range m.mounts {
-		if p == mp.at {
-			return mp.b, "/"
-		}
-		if strings.HasPrefix(p, mp.at+"/") {
-			return mp.b, p[len(mp.at):]
+		if vkernel.Under(p, mp.at) {
+			return mp.b, vkernel.Rel(p, mp.at)
 		}
 	}
 	return m.root, p
@@ -93,12 +104,8 @@ func (m *MountFS) Stat(p string, cb func(Stats, error)) {
 
 // coversMountPrefix reports whether some mount point lives under p.
 func (m *MountFS) coversMountPrefix(p string) bool {
-	prefix := p
-	if prefix != "/" {
-		prefix += "/"
-	}
 	for _, mp := range m.mounts {
-		if strings.HasPrefix(mp.at, prefix) {
+		if vkernel.Covers(p, mp.at) {
 			return true
 		}
 	}
@@ -157,20 +164,9 @@ func (m *MountFS) Readdir(p string, cb func([]string, error)) {
 		// backend has no such entry (or the dir only exists because
 		// of the mount).
 		extra := make(map[string]bool)
-		prefix := p
-		if prefix != "/" {
-			prefix += "/"
-		}
 		for _, mp := range m.mounts {
-			if !strings.HasPrefix(mp.at, prefix) {
-				continue
-			}
-			rest := mp.at[len(prefix):]
-			if i := strings.IndexByte(rest, '/'); i >= 0 {
-				rest = rest[:i]
-			}
-			if rest != "" {
-				extra[rest] = true
+			if name, ok := vkernel.ChildOf(p, mp.at); ok {
+				extra[name] = true
 			}
 		}
 		if err != nil {
@@ -204,4 +200,34 @@ func (m *MountFS) Rename(oldPath, newPath string, cb func(error)) {
 		return
 	}
 	ob.Rename(orel, nrel, cb)
+}
+
+// Flush forwards to the root backend and every mounted backend that
+// buffers writes (Flusher), so a write-back cache under any mount
+// drains when the front end flushes.
+func (m *MountFS) Flush(cb func(error)) {
+	targets := make([]Flusher, 0, len(m.mounts)+1)
+	if fl, ok := m.root.(Flusher); ok {
+		targets = append(targets, fl)
+	}
+	for _, mp := range m.mounts {
+		if fl, ok := mp.b.(Flusher); ok {
+			targets = append(targets, fl)
+		}
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i == len(targets) {
+			cb(nil)
+			return
+		}
+		targets[i].Flush(func(err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
 }

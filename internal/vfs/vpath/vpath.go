@@ -1,48 +1,27 @@
 // Package vpath emulates the Node JS `path` module (POSIX flavour),
 // which Doppio provides alongside the file system (§5.1: "path
-// contains useful path string manipulation functions").
+// contains useful path string manipulation functions"). The
+// normalization semantics live in the shared resolution kernel
+// (internal/vfs/vkernel); this package is the user-facing string API
+// over it.
 package vpath
 
-import "strings"
+import (
+	"strings"
+
+	"doppio/internal/vfs/vkernel"
+)
 
 // Sep is the path separator.
-const Sep = "/"
+const Sep = vkernel.Sep
 
 // IsAbsolute reports whether p is an absolute path.
-func IsAbsolute(p string) bool { return strings.HasPrefix(p, Sep) }
+func IsAbsolute(p string) bool { return vkernel.IsAbs(p) }
 
 // Normalize cleans a path: collapses duplicate separators, resolves
 // "." and "..", and strips trailing slashes (except for the root).
 // An empty path normalizes to ".".
-func Normalize(p string) string {
-	if p == "" {
-		return "."
-	}
-	abs := IsAbsolute(p)
-	parts := strings.Split(p, Sep)
-	var out []string
-	for _, part := range parts {
-		switch part {
-		case "", ".":
-		case "..":
-			if len(out) > 0 && out[len(out)-1] != ".." {
-				out = out[:len(out)-1]
-			} else if !abs {
-				out = append(out, "..")
-			}
-		default:
-			out = append(out, part)
-		}
-	}
-	res := strings.Join(out, Sep)
-	if abs {
-		return Sep + res
-	}
-	if res == "" {
-		return "."
-	}
-	return res
-}
+func Normalize(p string) string { return vkernel.Normalize(p) }
 
 // Join joins path segments and normalizes the result. Empty segments
 // are ignored; joining nothing yields ".".
