@@ -47,6 +47,8 @@ func main() {
 	fsCache := flag.Bool("fs-cache", false, "A/B-compare fstrace replay and class loading with the VFS cache on and off (and enable the cache for other passes)")
 	fsBackend := flag.String("fs-backend", "cloud", "backend for -fs-cache: inmemory, localstorage, indexeddb, or cloud")
 	fsWriteBack := flag.Bool("fs-writeback", false, "use write-back (buffered) mode for -fs-cache")
+	fsFaults := flag.Float64("fs-faults", 0, "fault-injection A/B: replay fstrace and class loading through the retry stack at this per-op fault rate (e.g. 0.1; 0 disables)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the -fs-faults fault sequence and retry jitter")
 	flag.Parse()
 
 	var hub *telemetry.Hub
@@ -56,7 +58,7 @@ func main() {
 			hub.EnableTracing()
 		}
 	}
-	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0
 	if !anyFigure && hub == nil {
 		flag.Usage()
 		os.Exit(2)
@@ -173,6 +175,34 @@ func main() {
 		}
 		fmt.Println(bench.FormatClassloadAB(cab))
 	}
+	if *fsFaults > 0 {
+		params := bench.FSFaultsParams{
+			Backend: *fsBackend,
+			Rate:    *fsFaults,
+			Seed:    *faultSeed,
+			Latency: 200 * time.Microsecond,
+			Trace: fstrace.GenerateParams{
+				Ops: 400 * *scale, UniqueFiles: 120 * *scale,
+				BytesRead: 600_000 * *scale, BytesWritten: 8_000 * *scale,
+			},
+		}
+		res, err := bench.RunFSFaults(cfg, params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatFSFaults(res))
+		if !res.BitIdentical() {
+			finishErr = fmt.Errorf("faulty replay diverged from fault-free run")
+		}
+		clf, err := bench.RunClassloadFaults(cfg, *fsBackend, *fsFaults, *faultSeed, 200*time.Microsecond)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatClassloadFaults(clf))
+		if clf.LoadErrors > 0 || clf.Mismatches > 0 {
+			finishErr = fmt.Errorf("class loading failed under faults")
+		}
+	}
 	if !anyFigure {
 		if err := runTelemetryPass(cfg); err != nil {
 			fatal(err)
@@ -215,10 +245,11 @@ func runTelemetryPass(cfg bench.Config) error {
 		ValidatesStrings: profile.ValidatesStrings,
 		OnTypedAlloc:     win.NoteTypedArrayAlloc,
 	}
-	root := vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry)
+	stackOpts := []vfs.StackOption{}
 	if cfg.FSCache {
-		root = vfs.NewCached(root, vfs.CacheOptions{Hub: cfg.Telemetry})
+		stackOpts = append(stackOpts, vfs.WithCache(vfs.CacheOptions{Hub: cfg.Telemetry}))
 	}
+	root := vfs.Stack(vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry), stackOpts...)
 	fs := vfs.New(win.Loop, bufs, root)
 	var seedErr, replayErr error
 	var okOps int

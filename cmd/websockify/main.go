@@ -6,6 +6,10 @@
 // With -metrics, SIGINT/SIGTERM print a telemetry snapshot (connection
 // count, frames and bytes in each direction, handshake latency) before
 // shutting down.
+//
+// With -fault-rate, the proxy deterministically injects frame drops,
+// resets, and truncations at the given per-frame rate — a chaos mode
+// for exercising reconnecting clients against a flaky bridge.
 package main
 
 import (
@@ -17,12 +21,15 @@ import (
 
 	"doppio/internal/sockets"
 	"doppio/internal/telemetry"
+	"doppio/internal/vfs/faultfs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8081", "WebSocket listen address")
 	target := flag.String("target", "", "TCP target address (host:port)")
 	metrics := flag.Bool("metrics", false, "print a telemetry metrics snapshot on shutdown")
+	faultRate := flag.Float64("fault-rate", 0, "per-frame fault injection rate: drops and resets at this rate, truncations at half of it (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the -fault-rate fault sequence")
 	flag.Parse()
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "usage: websockify -listen addr -target host:port")
@@ -37,6 +44,15 @@ func main() {
 	if *metrics {
 		hub = telemetry.NewHub()
 		proxy.SetTelemetry(hub)
+	}
+	if *faultRate > 0 {
+		proxy.SetFaults(faultfs.Plan{
+			Seed:      *faultSeed,
+			ErrRate:   *faultRate,
+			PostFrac:  0.5, // half the errno faults reset the bridge
+			ShortRate: *faultRate / 2,
+		})
+		fmt.Printf("websockify: injecting faults at %.0f%% per frame (seed %d)\n", *faultRate*100, *faultSeed)
 	}
 	fmt.Printf("websockify: %s -> %s\n", proxy.Addr(), *target)
 	ch := make(chan os.Signal, 1)

@@ -175,10 +175,12 @@ func main() {
 	}
 	bufs := &buffer.Factory{Typed: true, OnTypedAlloc: win.NoteTypedArrayAlloc}
 	mount := vfs.NewMountFS(vfs.NewInMemory())
-	// Asset fetches go through the caching decorator: a level re-opened
-	// after the first download is served without another XHR, and the
-	// game's repeated existence probes hit the negative stat cache.
-	assets := vfs.NewCached(vfs.NewHTTPFS(win.Loop, win.Remote, "assets"), vfs.CacheOptions{})
+	// Asset fetches go through the decorator stack (here just the
+	// cache): a level re-opened after the first download is served
+	// without another XHR, and the game's repeated existence probes hit
+	// the negative stat cache.
+	assets := vfs.Stack(vfs.NewHTTPFS(win.Loop, win.Remote, "assets"),
+		vfs.WithCache(vfs.CacheOptions{}))
 	mount.Mount("/assets", assets)
 	// Saves go to localStorage, surviving "page reloads" (§7.2:
 	// "back the game's configuration folder to localStorage").
@@ -226,7 +228,7 @@ func main() {
 		fmt.Printf("save persisted to localStorage (%d chars packed)\n", len(v))
 	}
 	fmt.Printf("game executed %d VM steps with on-demand asset loads\n", vm.Steps)
-	if cs, ok := assets.(vfs.CacheStatser); ok {
+	if cs, ok := vfs.Find[vfs.CacheStatser](assets); ok {
 		s := cs.CacheStats()
 		fmt.Printf("asset cache: %d page hits, %d misses, %d negative-stat hits\n",
 			s.Hits, s.Misses, s.NegativeHits)

@@ -195,10 +195,13 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 		ValidatesStrings: profile.ValidatesStrings,
 		OnTypedAlloc:     win.NoteTypedArrayAlloc,
 	}
-	root := vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry)
+	// Keep Instrument innermost (as the Stack base) so "vfs.InMemory"
+	// ops keeps counting backend round trips even when the cache is on.
+	stackOpts := []vfs.StackOption{}
 	if cfg.FSCache {
-		root = vfs.NewCached(root, vfs.CacheOptions{Hub: cfg.Telemetry})
+		stackOpts = append(stackOpts, vfs.WithCache(vfs.CacheOptions{Hub: cfg.Telemetry}))
 	}
+	root := vfs.Stack(vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry), stackOpts...)
 	fs := vfs.New(win.Loop, bufs, root)
 
 	// Seed the corpus before timing starts.

@@ -106,10 +106,13 @@ func RunFSCache(cfg Config, p FSCacheParams) (*FSCacheResult, error) {
 		if err != nil {
 			return nil, vfs.CacheStats{}, err
 		}
+		// Instrument innermost (as the Stack base) so the ops counter
+		// keeps meaning "backend round trips": the A/B comparison is
+		// exactly the number of operations the cache absorbed.
 		instrumented := vfs.Instrument(inner, hub)
 		b := instrumented
 		if cached {
-			b = vfs.NewCached(instrumented, vfs.CacheOptions{WriteBack: p.WriteBack, Hub: hub})
+			b = vfs.Stack(instrumented, vfs.WithCache(vfs.CacheOptions{WriteBack: p.WriteBack, Hub: hub}))
 		}
 		seedFS := vfs.New(win.Loop, bufs, instrumented)
 		fs := vfs.New(win.Loop, bufs, b)
@@ -247,7 +250,7 @@ func RunClassloadFSCache(cfg Config, backendName string, writeBack bool, latency
 		instrumented := vfs.Instrument(inner, hub)
 		b := instrumented
 		if cached {
-			b = vfs.NewCached(instrumented, vfs.CacheOptions{WriteBack: writeBack, Hub: hub})
+			b = vfs.Stack(instrumented, vfs.WithCache(vfs.CacheOptions{WriteBack: writeBack, Hub: hub}))
 		}
 		seedFS := vfs.New(win.Loop, bufs, instrumented)
 		fs := vfs.New(win.Loop, bufs, b)

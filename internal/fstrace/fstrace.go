@@ -6,8 +6,10 @@ package fstrace
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"doppio/internal/buffer"
@@ -217,6 +219,46 @@ func sortedPaths(m map[string]int) []string {
 	return out
 }
 
+// OpResult is one replayed operation's observable outcome in a
+// comparable form: the errno it produced (empty for success) and a
+// digest of the data it returned. Two replays of the same trace are
+// behaviourally identical exactly when their OpResult logs are equal —
+// the comparison the fault-injection A/B harness runs to prove the
+// retry layer absorbed every injected fault.
+type OpResult struct {
+	Kind  OpKind
+	Path  string
+	Errno string // vfs errno string, "" on success
+	Sum   uint64 // FNV-1a of returned data (reads, listings, stats)
+}
+
+// String formats one log entry for diffs in test failures.
+func (r OpResult) String() string {
+	e := r.Errno
+	if e == "" {
+		e = "OK"
+	}
+	return fmt.Sprintf("%s %s → %s %016x", r.Kind, r.Path, e, r.Sum)
+}
+
+// resultErrno renders an operation error as a stable string: the vfs
+// errno when the error classifies, "ERR" otherwise.
+func resultErrno(err error) string {
+	if err == nil {
+		return ""
+	}
+	if e, ok := vfs.Classify(err); ok {
+		return string(e)
+	}
+	return "ERR"
+}
+
+func hashBytes(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
 // ReplayVFS replays the trace against a Doppio file system, invoking
 // done with the number of successful operations. Run the loop to
 // completion to drive it.
@@ -224,11 +266,21 @@ func ReplayVFS(loop *eventloop.Loop, fs *vfs.FS, t *Trace, done func(okOps int, 
 	ReplayVFSWith(loop, fs, t, nil, done)
 }
 
+// ReplayVFSRecord is ReplayVFSWith plus a per-operation result log for
+// bit-identical comparison across runs.
+func ReplayVFSRecord(loop *eventloop.Loop, fs *vfs.FS, t *Trace, hub *telemetry.Hub, done func(okOps int, log []OpResult, err error)) {
+	replay(loop, fs, t, hub, true, done)
+}
+
 // ReplayVFSWith is ReplayVFS with per-operation latency telemetry:
 // when hub is non-nil, every replayed call's wall time is recorded
 // into an "fstrace" histogram named after the operation kind — the
 // Figure 6 per-op latency view. A nil hub records nothing.
 func ReplayVFSWith(loop *eventloop.Loop, fs *vfs.FS, t *Trace, hub *telemetry.Hub, done func(okOps int, err error)) {
+	replay(loop, fs, t, hub, false, func(ok int, _ []OpResult, err error) { done(ok, err) })
+}
+
+func replay(loop *eventloop.Loop, fs *vfs.FS, t *Trace, hub *telemetry.Hub, record bool, done func(okOps int, log []OpResult, err error)) {
 	var hists map[OpKind]*telemetry.Histogram
 	if hub != nil {
 		hists = make(map[OpKind]*telemetry.Histogram, 5)
@@ -237,39 +289,79 @@ func ReplayVFSWith(loop *eventloop.Loop, fs *vfs.FS, t *Trace, hub *telemetry.Hu
 		}
 	}
 	ok := 0
+	var log []OpResult
+	if record {
+		log = make([]OpResult, 0, len(t.Ops))
+	}
 	var step func(i int)
 	step = func(i int) {
 		if i == len(t.Ops) {
-			done(ok, nil)
+			done(ok, log, nil)
 			return
 		}
 		op := t.Ops[i]
 		start := time.Now()
-		next := func(err error) {
+		next := func(err error, sum uint64) {
 			if h := hists[op.Kind]; h != nil {
 				h.ObserveSince(start)
 			}
 			if err == nil {
 				ok++
 			}
+			if record {
+				if err != nil {
+					sum = 0
+				}
+				log = append(log, OpResult{Kind: op.Kind, Path: op.Path, Errno: resultErrno(err), Sum: sum})
+			}
 			step(i + 1)
 		}
 		switch op.Kind {
 		case OpStat:
-			fs.Stat(op.Path, func(_ vfs.Stats, err error) { next(err) })
+			fs.Stat(op.Path, func(st vfs.Stats, err error) {
+				next(err, hashBytes([]byte(fmt.Sprintf("%d:%d", st.Type, st.Size))))
+			})
 		case OpExists:
-			fs.Exists(op.Path, func(bool) { next(nil) })
+			fs.Exists(op.Path, func(exists bool) {
+				sum := uint64(0)
+				if exists {
+					sum = 1
+				}
+				next(nil, sum)
+			})
 		case OpRead:
-			fs.ReadFile(op.Path, func(_ *buffer.Buffer, err error) { next(err) })
+			fs.ReadFile(op.Path, func(b *buffer.Buffer, err error) {
+				var sum uint64
+				if err == nil && b != nil {
+					sum = hashBytes(b.Bytes())
+				}
+				next(err, sum)
+			})
 		case OpWrite:
-			fs.WriteFile(op.Path, fileContent(op.Path, op.Size), next)
+			fs.WriteFile(op.Path, fileContent(op.Path, op.Size), func(err error) { next(err, 0) })
 		case OpReaddir:
-			fs.Readdir(op.Path, func(_ []string, err error) { next(err) })
+			fs.Readdir(op.Path, func(names []string, err error) {
+				next(err, hashBytes([]byte(strings.Join(names, "\x00"))))
+			})
 		default:
-			next(fmt.Errorf("fstrace: unknown op %q", op.Kind))
+			next(fmt.Errorf("fstrace: unknown op %q", op.Kind), 0)
 		}
 	}
 	step(0)
+}
+
+// DiffLogs compares two replay logs and reports the first divergence
+// ("" when bit-identical) — the A/B harness's verdict line.
+func DiffLogs(a, b []OpResult) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("length mismatch: %d vs %d ops", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("op %d diverges: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return ""
 }
 
 // SeedOS materializes the trace's tree under root on the host file

@@ -2,13 +2,47 @@ package sockets
 
 import (
 	"crypto/rand"
+	"errors"
+	"fmt"
 	"net"
+	"syscall"
 	"time"
 
 	"doppio/internal/browser"
 	"doppio/internal/eventloop"
 	"doppio/internal/telemetry"
 )
+
+// DialError reports why an outgoing WebSocket connection never reached
+// the open state, distinguishing the two failures a caller must treat
+// differently: a *refused* connection (the dial was actively rejected —
+// nothing is listening, so retrying immediately is pointless) versus a
+// *dropped* one (the transport connected, or was lost mid-handshake —
+// the server exists and a backoff-retry is worthwhile). Reconnecting
+// clients branch on Refused instead of string-matching error text.
+type DialError struct {
+	Addr    string
+	Refused bool
+	Err     error
+}
+
+func (e *DialError) Error() string {
+	mode := "connection dropped before open"
+	if e.Refused {
+		mode = "connection refused"
+	}
+	return fmt.Sprintf("sockets: dial %s: %s: %v", e.Addr, mode, e.Err)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *DialError) Unwrap() error { return e.Err }
+
+// IsRefused reports whether err is a DialError for a refused
+// connection.
+func IsRefused(err error) bool {
+	var de *DialError
+	return errors.As(err, &de) && de.Refused
+}
 
 // WebSocket is the asynchronous browser-side WebSocket API: events are
 // delivered on the event loop, and only *outgoing* connections are
@@ -24,10 +58,13 @@ type WebSocket struct {
 
 	// OnOpen, OnMessage, OnError and OnClose are the DOM event
 	// handlers; assign them before Dial completes the handshake.
+	// OnPong receives the payload of pong frames answering Ping —
+	// the hook heartbeat monitors use to detect a dead peer.
 	OnOpen    func()
 	OnMessage func(data []byte)
 	OnError   func(err error)
 	OnClose   func()
+	OnPong    func(data []byte)
 
 	tel    *wsTelemetry
 	closed bool
@@ -93,13 +130,17 @@ func (ws *WebSocket) connect(addr string) {
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		ws.fail(err)
+		// The TCP dial itself failed: refused when actively rejected,
+		// dropped otherwise (timeout, unreachable, ...).
+		ws.fail(&DialError{Addr: addr, Refused: errors.Is(err, syscall.ECONNREFUSED), Err: err})
 		return
 	}
 	br, err := ClientHandshake(conn, addr, "/")
 	if err != nil {
+		// The transport connected but died before the WebSocket opened:
+		// a dropped connection, never a refused one.
 		conn.Close()
-		ws.fail(err)
+		ws.fail(&DialError{Addr: addr, Err: err})
 		return
 	}
 	if tel := ws.tel; tel != nil {
@@ -128,6 +169,13 @@ func (ws *WebSocket) connect(addr string) {
 			pong := &Frame{Fin: true, Op: OpPong, Masked: true, Payload: f.Payload}
 			rand.Read(pong.MaskKey[:])
 			WriteFrame(ws.conn, pong)
+		case OpPong:
+			data := f.Payload
+			ws.emit("ws-pong", func() {
+				if ws.OnPong != nil {
+					ws.OnPong(data)
+				}
+			})
 		case OpBinary, OpText:
 			data := f.Payload
 			if tel := ws.tel; tel != nil {
@@ -181,6 +229,20 @@ func (ws *WebSocket) Send(data []byte) error {
 		time.Sleep(ws.shim)
 	}
 	f := &Frame{Fin: true, Op: OpBinary, Masked: true, Payload: data}
+	if _, err := rand.Read(f.MaskKey[:]); err != nil {
+		return err
+	}
+	return WriteFrame(ws.conn, f)
+}
+
+// Ping sends a masked ping frame; the peer's pong is delivered to
+// OnPong. Heartbeat monitors pair the two to detect half-dead
+// connections that TCP alone would let linger.
+func (ws *WebSocket) Ping(payload []byte) error {
+	if ws.conn == nil {
+		return ErrSocketClosed
+	}
+	f := &Frame{Fin: true, Op: OpPing, Masked: true, Payload: payload}
 	if _, err := rand.Read(f.MaskKey[:]); err != nil {
 		return err
 	}

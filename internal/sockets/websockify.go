@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"doppio/internal/telemetry"
+	"doppio/internal/vfs/faultfs"
 )
 
 // Websockify bridges incoming WebSocket connections to a plain TCP
@@ -22,6 +23,7 @@ type Websockify struct {
 	closed   bool
 
 	tel *proxyTelemetry
+	inj *faultfs.Injector
 }
 
 // proxyTelemetry holds the proxy-side metric handles; all counters are
@@ -53,6 +55,41 @@ func (w *Websockify) SetTelemetry(h *telemetry.Hub) {
 		bytesOut:    h.Registry.Counter("websockify", "bytes_out"),
 		handshake:   h.Registry.Histogram("websockify", "handshake"),
 	}
+}
+
+// SetFaults arms deterministic fault injection on the proxy's data
+// path (a plan that cannot inject disarms it). Faults apply per frame,
+// in both directions, reusing the VFS fault model's kinds:
+//
+//   - ErrPre drops the frame on the floor — it is never forwarded, the
+//     silent loss a reconnecting client's heartbeat must catch.
+//   - ErrPost forwards the frame and then resets the bridge, tearing
+//     down both the WebSocket and TCP sides abruptly.
+//   - Short truncates the frame's payload to Keep of its bytes.
+//   - A latency spike stalls the pump before forwarding.
+//
+// Connections already past their handshake keep their previous
+// injector.
+func (w *Websockify) SetFaults(plan faultfs.Plan) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !plan.Enabled() {
+		w.inj = nil
+		return
+	}
+	w.inj = faultfs.New(plan)
+}
+
+// FaultStats snapshots the injector's decision counters (zero when
+// fault injection is off).
+func (w *Websockify) FaultStats() faultfs.Stats {
+	w.mu.Lock()
+	inj := w.inj
+	w.mu.Unlock()
+	if inj == nil {
+		return faultfs.Stats{}
+	}
+	return inj.Stats()
 }
 
 // NewWebsockify starts a proxy listening on listenAddr (use
@@ -93,10 +130,33 @@ func (w *Websockify) acceptLoop() {
 	}
 }
 
+// applyFault draws one decision for a frame payload heading through
+// the proxy. It reports the (possibly truncated) payload, whether to
+// forward it, and whether to reset the bridge after forwarding.
+func applyFault(inj *faultfs.Injector, op string, payload []byte) (out []byte, forward, reset bool) {
+	if inj == nil {
+		return payload, true, false
+	}
+	ft := inj.Next(op)
+	if ft.Delay > 0 {
+		time.Sleep(ft.Delay)
+	}
+	switch ft.Kind {
+	case faultfs.ErrPre:
+		return nil, false, false
+	case faultfs.ErrPost:
+		return payload, true, true
+	case faultfs.Short:
+		return payload[:int(float64(len(payload))*ft.Keep)], true, false
+	}
+	return payload, true, false
+}
+
 func (w *Websockify) serve(wsConn net.Conn) {
 	defer wsConn.Close()
 	w.mu.Lock()
 	tel := w.tel
+	inj := w.inj
 	w.mu.Unlock()
 	var hsStart time.Time
 	if tel != nil {
@@ -131,11 +191,20 @@ func (w *Websockify) serve(wsConn net.Conn) {
 			case OpClose:
 				return
 			case OpBinary, OpText, OpContinuation:
+				payload, forward, reset := applyFault(inj, "ws2tcp", f.Payload)
+				if !forward {
+					continue
+				}
 				if tel != nil {
 					tel.framesIn.Inc()
-					tel.bytesIn.Add(int64(len(f.Payload)))
+					tel.bytesIn.Add(int64(len(payload)))
 				}
-				if _, err := tcpConn.Write(f.Payload); err != nil {
+				if _, err := tcpConn.Write(payload); err != nil {
+					return
+				}
+				if reset {
+					tcpConn.Close()
+					wsConn.Close()
 					return
 				}
 			case OpPing:
@@ -150,13 +219,21 @@ func (w *Websockify) serve(wsConn net.Conn) {
 		for {
 			n, err := tcpConn.Read(buf)
 			if n > 0 {
-				f := &Frame{Fin: true, Op: OpBinary, Payload: buf[:n]}
-				if tel != nil {
-					tel.framesOut.Inc()
-					tel.bytesOut.Add(int64(n))
-				}
-				if werr := WriteFrame(wsConn, f); werr != nil {
-					return
+				payload, forward, reset := applyFault(inj, "tcp2ws", buf[:n])
+				if forward {
+					f := &Frame{Fin: true, Op: OpBinary, Payload: payload}
+					if tel != nil {
+						tel.framesOut.Inc()
+						tel.bytesOut.Add(int64(len(payload)))
+					}
+					if werr := WriteFrame(wsConn, f); werr != nil {
+						return
+					}
+					if reset {
+						tcpConn.Close()
+						wsConn.Close()
+						return
+					}
 				}
 			}
 			if err != nil {

@@ -28,6 +28,15 @@ type CacheOptions struct {
 	// and cached-vs-uncached latency histograms under the subsystem
 	// "vfscache.<Name>".
 	Hub *telemetry.Hub
+	// Degraded, when non-nil, is consulted on every cache hit; while it
+	// reports true, each hit is additionally counted as a degraded
+	// serve — a read answered from clean cached state while the backend
+	// underneath is unreachable. Stack wires this to the retry layer's
+	// circuit breaker.
+	Degraded func() bool
+	// OnDegradedServe, when non-nil, is invoked once per degraded serve
+	// (in addition to the cache's own DegradedServes counter).
+	OnDegradedServe func()
 }
 
 // CacheStats is a point-in-time snapshot of a cache's counters.
@@ -37,6 +46,7 @@ type CacheStats struct {
 	ReaddirHits, ReaddirMisses         int64
 	Evictions                          int64
 	WritebackQueued, WritebackFlushed  int64
+	DegradedServes                     int64 // hits served while the backend was unreachable
 	BytesUsed                          int64
 	DirtyEntries                       int64
 }
@@ -64,14 +74,16 @@ type CacheStatser interface {
 // invalidated by a local write.
 func NewCached(b Backend, opts CacheOptions) Backend {
 	c := &Cached{
-		b:         b,
-		budget:    opts.ByteBudget,
-		writeBack: opts.WriteBack && !b.ReadOnly(),
-		pages:     make(map[string]*cachePage),
-		lru:       list.New(),
-		stats:     make(map[string]cacheStat),
-		dirs:      make(map[string][]string),
-		dirtySet:  make(map[string]bool),
+		b:          b,
+		budget:     opts.ByteBudget,
+		writeBack:  opts.WriteBack && !b.ReadOnly(),
+		degraded:   opts.Degraded,
+		onDegraded: opts.OnDegradedServe,
+		pages:      make(map[string]*cachePage),
+		lru:        list.New(),
+		stats:      make(map[string]cacheStat),
+		dirs:       make(map[string][]string),
+		dirtySet:   make(map[string]bool),
 	}
 	if c.budget <= 0 {
 		c.budget = DefaultCacheBudget
@@ -89,6 +101,7 @@ func NewCached(b Backend, opts CacheOptions) Backend {
 		c.eviction = reg.Counter(sub, "eviction")
 		c.wbQueued = reg.Counter(sub, "writeback_queued")
 		c.wbFlushed = reg.Counter(sub, "writeback_flushed")
+		c.degradedServes = reg.Counter(sub, "degraded_serves")
 		c.latOpenHit = reg.Histogram(sub, "open_hit_latency")
 		c.latOpenMiss = reg.Histogram(sub, "open_miss_latency")
 		c.latStatHit = reg.Histogram(sub, "stat_hit_latency")
@@ -104,8 +117,11 @@ func NewCached(b Backend, opts CacheOptions) Backend {
 		c.eviction = &telemetry.Counter{}
 		c.wbQueued = &telemetry.Counter{}
 		c.wbFlushed = &telemetry.Counter{}
+		c.degradedServes = &telemetry.Counter{}
 	}
-	if m, ok := b.(*MountFS); ok {
+	// Mount tables may sit under further decorators (faults, retry), so
+	// walk the chain instead of asserting on b directly.
+	if m, ok := Find[*MountFS](b); ok {
 		m.onChange = func(string) { c.InvalidateAll() }
 	}
 	lb, hasLink := b.(LinkBackend)
@@ -131,10 +147,12 @@ type Cached struct {
 	lb LinkBackend
 	ab AttrBackend
 
-	mu        sync.Mutex
-	budget    int
-	used      int
-	writeBack bool
+	mu         sync.Mutex
+	budget     int
+	used       int
+	writeBack  bool
+	degraded   func() bool // non-nil when stacked over a breaker
+	onDegraded func()
 
 	pages    map[string]*cachePage
 	lru      *list.List // clean pages only; front = coldest
@@ -145,7 +163,7 @@ type Cached struct {
 
 	hit, miss, statHit, statMiss, negHit *telemetry.Counter
 	readdirHit, readdirMiss, eviction    *telemetry.Counter
-	wbQueued, wbFlushed                  *telemetry.Counter
+	wbQueued, wbFlushed, degradedServes  *telemetry.Counter
 	latOpenHit, latOpenMiss              *telemetry.Histogram // nil-safe when no hub
 	latStatHit, latStatMiss              *telemetry.Histogram
 }
@@ -172,6 +190,21 @@ func (c *Cached) Name() string { return c.b.Name() }
 // ReadOnly reports the wrapped backend's writability.
 func (c *Cached) ReadOnly() bool { return c.b.ReadOnly() }
 
+// Unwrap exposes the wrapped backend for decorator-chain discovery.
+func (c *Cached) Unwrap() Backend { return c.b }
+
+// noteHit records a cache hit against the degraded-serve hook: a hit
+// delivered while the backend underneath is unreachable is the stack's
+// graceful-degradation path and is counted as such.
+func (c *Cached) noteHit() {
+	if c.degraded != nil && c.degraded() {
+		c.degradedServes.Inc()
+		if c.onDegraded != nil {
+			c.onDegraded()
+		}
+	}
+}
+
 // CacheStats snapshots the cache counters.
 func (c *Cached) CacheStats() CacheStats {
 	c.mu.Lock()
@@ -184,7 +217,8 @@ func (c *Cached) CacheStats() CacheStats {
 		ReaddirHits:  c.readdirHit.Value(), ReaddirMisses: c.readdirMiss.Value(),
 		Evictions:       c.eviction.Value(),
 		WritebackQueued: c.wbQueued.Value(), WritebackFlushed: c.wbFlushed.Value(),
-		BytesUsed: used, DirtyEntries: dirty,
+		DegradedServes: c.degradedServes.Value(),
+		BytesUsed:      used, DirtyEntries: dirty,
 	}
 }
 
@@ -329,6 +363,7 @@ func (c *Cached) Stat(p string, cb func(Stats, error)) {
 	if e, ok := c.stats[p]; ok {
 		c.mu.Unlock()
 		c.statHit.Inc()
+		c.noteHit()
 		if e.neg {
 			c.negHit.Inc()
 			c.latStatHit.ObserveSince(start)
@@ -367,6 +402,7 @@ func (c *Cached) Open(p string, cb func([]byte, error)) {
 		data := append([]byte(nil), pg.data...)
 		c.mu.Unlock()
 		c.hit.Inc()
+		c.noteHit()
 		c.latOpenHit.ObserveSince(start)
 		cb(data, nil)
 		return
@@ -375,6 +411,7 @@ func (c *Cached) Open(p string, cb func([]byte, error)) {
 		c.mu.Unlock()
 		c.hit.Inc()
 		c.negHit.Inc()
+		c.noteHit()
 		c.latOpenHit.ObserveSince(start)
 		cb(nil, Err(ENOENT, "open", p))
 		return
@@ -618,6 +655,7 @@ func (c *Cached) Readdir(p string, cb func([]string, error)) {
 		out := c.mergeDirtyLocked(p, names)
 		c.mu.Unlock()
 		c.readdirHit.Inc()
+		c.noteHit()
 		cb(out, nil)
 		return
 	}

@@ -3,9 +3,12 @@ package vfs
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
+	"doppio/internal/vfs/faultfs"
+	"doppio/internal/vfs/retry"
 )
 
 // TestBackendEquivalence drives the same pseudo-random operation
@@ -121,6 +124,42 @@ func TestBackendEquivalence(t *testing.T) {
 		variants = append(variants, variant{"cached-writeback-" + name, 25,
 			func(w *browser.Window, bufs *buffer.Factory) Backend {
 				return NewCached(mk(w, bufs), CacheOptions{WriteBack: true})
+			}})
+		// The decorator stack at fault rate 0: the fault and retry
+		// layers must be observationally invisible on a healthy backend.
+		variants = append(variants, variant{"stack-faults0-" + name, 0,
+			func(w *browser.Window, bufs *buffer.Factory) Backend {
+				return Stack(mk(w, bufs),
+					WithFaults(faultfs.Plan{Seed: 42, ErrRate: 0, ShortRate: 0}),
+					WithRetry(RetryOptions{Loop: w.Loop}),
+				)
+			}})
+		// 10% injected faults (a quarter of them post-commit lost acks,
+		// plus short reads): the retry layer must absorb every one, so
+		// the op stream is bit-identical to the bare backend's.
+		variants = append(variants, variant{"stack-retry-faults10-" + name, 0,
+			func(w *browser.Window, bufs *buffer.Factory) Backend {
+				return Stack(mk(w, bufs),
+					WithFaults(faultfs.Plan{Seed: 42, ErrRate: 0.1, PostFrac: 0.25, ShortRate: 0.05}),
+					WithRetry(RetryOptions{Policy: retry.Policy{
+						MaxAttempts: 8, BaseDelay: 50 * time.Microsecond,
+						MaxDelay: 500 * time.Microsecond, Multiplier: 2,
+						Jitter: 0.2, Seed: 42,
+					}, Loop: w.Loop}),
+				)
+			}})
+		// The full stack — faults, retry, and cache together.
+		variants = append(variants, variant{"stack-full-" + name, 0,
+			func(w *browser.Window, bufs *buffer.Factory) Backend {
+				return Stack(mk(w, bufs),
+					WithFaults(faultfs.Plan{Seed: 7, ErrRate: 0.1, PostFrac: 0.25, ShortRate: 0.05}),
+					WithRetry(RetryOptions{Policy: retry.Policy{
+						MaxAttempts: 8, BaseDelay: 50 * time.Microsecond,
+						MaxDelay: 500 * time.Microsecond, Multiplier: 2,
+						Jitter: 0.2, Seed: 7,
+					}, Loop: w.Loop}),
+					WithCache(CacheOptions{}),
+				)
 			}})
 	}
 	// A tight budget forces constant eviction; correctness must not

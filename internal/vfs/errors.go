@@ -19,7 +19,10 @@
 // implementation, so each backend stays small.
 package vfs
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Errno is a Unix-style error number.
 type Errno string
@@ -39,7 +42,44 @@ const (
 	EXDEV     Errno = "EXDEV"
 	ENOTSUP   Errno = "ENOTSUP"
 	EIO       Errno = "EIO"
+	EAGAIN    Errno = "EAGAIN"
+	ETIMEDOUT Errno = "ETIMEDOUT"
 )
+
+// Transient reports whether the errno describes a failure that may
+// succeed if the operation is simply tried again — the classification
+// the RetryBackend consumes instead of string-matching error text.
+// EIO is transient here by design: in this runtime it is the errno the
+// remote backends (and the fault injector) surface for flaky-transport
+// failures, while genuine namespace errors keep their specific errnos
+// (ENOENT, EEXIST, ...), all of which are final.
+func (e Errno) Transient() bool {
+	switch e {
+	case EIO, EAGAIN, ETIMEDOUT:
+		return true
+	}
+	return false
+}
+
+// Classify extracts the errno from an error. The second result
+// reports whether the error carried one: any *ApiError anywhere in the
+// Unwrap chain classifies; a nil or foreign error does not. Retry and
+// breaker decisions go through Classify so that backends that forget
+// to wrap a failure degrade to "unclassified" (treated as final)
+// instead of being string-matched.
+func Classify(err error) (Errno, bool) {
+	var ae *ApiError
+	if errors.As(err, &ae) {
+		return ae.Errno, true
+	}
+	return "", false
+}
+
+// IsTransient reports whether err classifies to a transient errno.
+func IsTransient(err error) bool {
+	e, ok := Classify(err)
+	return ok && e.Transient()
+}
 
 // ApiError is the error type returned by every file system operation,
 // carrying the errno, the operation, and the path.
@@ -89,6 +129,10 @@ func errnoText(e Errno) string {
 		return "operation not supported"
 	case EIO:
 		return "input/output error"
+	case EAGAIN:
+		return "resource temporarily unavailable"
+	case ETIMEDOUT:
+		return "operation timed out"
 	}
 	return "unknown error"
 }
@@ -103,8 +147,8 @@ func ErrWithCause(errno Errno, op, path string, cause error) *ApiError {
 	return &ApiError{Errno: errno, Op: op, Path: path, Cause: cause}
 }
 
-// IsErrno reports whether err is an ApiError with the given errno.
+// IsErrno reports whether err classifies to the given errno.
 func IsErrno(err error, errno Errno) bool {
-	ae, ok := err.(*ApiError)
-	return ok && ae.Errno == errno
+	e, ok := Classify(err)
+	return ok && e == errno
 }

@@ -1,0 +1,113 @@
+package faultfs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := New(Plan{Seed: 7})
+	for i := 0; i < 1000; i++ {
+		f := in.Next("op")
+		if f.Faulty() || f.Delay != 0 {
+			t.Fatalf("zero plan injected %+v at op %d", f, i)
+		}
+	}
+	s := in.Stats()
+	if s.Ops != 1000 || s.ErrsPre+s.ErrsPost+s.Shorts+s.Delays != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed: 42, ErrRate: 0.2, PostFrac: 0.5, ShortRate: 0.1,
+		LatencyRate: 0.3, Latency: time.Millisecond,
+		Errnos: []string{"EIO", "ETIMEDOUT"},
+	}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 5000; i++ {
+		fa, fb := a.Next("x"), b.Next("x")
+		if fa != fb {
+			t.Fatalf("sequence diverges at %d: %+v vs %+v", i, fa, fb)
+		}
+	}
+	// A different seed must diverge somewhere early.
+	c := New(Plan{Seed: 43, ErrRate: 0.2, PostFrac: 0.5, ShortRate: 0.1,
+		LatencyRate: 0.3, Latency: time.Millisecond, Errnos: plan.Errnos})
+	a2 := New(plan)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a2.Next("x") == c.Next("x") {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestErrRateShiftInvariance is the alignment property the A/B harness
+// depends on: turning a fault class off must not shift the sequence of
+// the remaining classes, because every Next consumes a fixed number of
+// PRNG draws.
+func TestErrRateShiftInvariance(t *testing.T) {
+	with := New(Plan{Seed: 9, ErrRate: 0.3, LatencyRate: 0.2, Latency: time.Millisecond})
+	without := New(Plan{Seed: 9, ErrRate: 0.3})
+	for i := 0; i < 2000; i++ {
+		fw, fo := with.Next("x"), without.Next("x")
+		if (fw.Kind == ErrPre) != (fo.Kind == ErrPre) || fw.Errno != fo.Errno {
+			t.Fatalf("errno sequence shifted at %d: %+v vs %+v", i, fw, fo)
+		}
+	}
+}
+
+func TestRatesApproximatelyHonored(t *testing.T) {
+	in := New(Plan{Seed: 1, ErrRate: 0.25, PostFrac: 0.4, ShortRate: 0.1})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Next("x")
+	}
+	s := in.Stats()
+	errs := float64(s.ErrsPre+s.ErrsPost) / n
+	if errs < 0.22 || errs > 0.28 {
+		t.Errorf("err rate = %.3f, want ~0.25", errs)
+	}
+	post := float64(s.ErrsPost) / float64(s.ErrsPre+s.ErrsPost)
+	if post < 0.34 || post > 0.46 {
+		t.Errorf("post fraction = %.3f, want ~0.4", post)
+	}
+	// Shorts only fire when the err draw missed; rate ≈ 0.75 * 0.1.
+	shorts := float64(s.Shorts) / n
+	if shorts < 0.055 || shorts > 0.095 {
+		t.Errorf("short rate = %.3f, want ~0.075", shorts)
+	}
+}
+
+func TestShortKeepsNonDegenerateFraction(t *testing.T) {
+	in := New(Plan{Seed: 3, ShortRate: 1})
+	for i := 0; i < 1000; i++ {
+		f := in.Next("read")
+		if f.Kind != Short {
+			t.Fatalf("op %d: kind = %v, want Short", i, f.Kind)
+		}
+		if f.Keep < 0.1 || f.Keep > 0.9 {
+			t.Fatalf("op %d: keep = %v out of [0.1, 0.9]", i, f.Keep)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	if !(Plan{ErrRate: 0.1}).Enabled() {
+		t.Error("err plan reports disabled")
+	}
+	if (Plan{LatencyRate: 0.5}).Enabled() {
+		t.Error("latency rate without a latency bound reports enabled")
+	}
+	if !(Plan{LatencyRate: 0.5, Latency: time.Millisecond}).Enabled() {
+		t.Error("latency plan reports disabled")
+	}
+}

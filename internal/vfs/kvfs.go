@@ -9,6 +9,20 @@ import (
 	"doppio/internal/vfs/vkernel"
 )
 
+// kvErr classifies a raw key/value store failure into an *ApiError,
+// so every FlatKV failure path is classifiable by vfs.Classify:
+// quota exhaustion is ENOSPC (final), anything else is EIO
+// (transient). A nil error stays nil.
+func kvErr(err error, op, path string) error {
+	if err == nil {
+		return nil
+	}
+	if err == browser.ErrQuotaExceeded {
+		return ErrWithCause(ENOSPC, op, path, err)
+	}
+	return ErrWithCause(EIO, op, path, err)
+}
+
 // kvAPI is the minimal key/value contract shared by localStorage
 // (synchronous strings) and IndexedDB (asynchronous objects); the
 // FlatKV backend is written once against it, which is how the paper's
@@ -180,11 +194,7 @@ func (f *FlatKV) Sync(p string, data []byte, cb func(error)) {
 				return
 			}
 			f.kv.put(fileKeyPrefix+p, packed, func(err error) {
-				if err == browser.ErrQuotaExceeded {
-					cb(ErrWithCause(ENOSPC, "sync", p, err))
-					return
-				}
-				cb(err)
+				cb(kvErr(err, "sync", p))
 			})
 		})
 	})
@@ -304,7 +314,7 @@ func (f *FlatKV) Rename(oldPath, newPath string, cb func(error)) {
 		if ok {
 			f.kv.put(fileKeyPrefix+newPath, val, func(err error) {
 				if err != nil {
-					cb(err)
+					cb(kvErr(err, "rename", newPath))
 					return
 				}
 				f.kv.del(fileKeyPrefix+oldPath, func() { cb(nil) })
@@ -340,7 +350,7 @@ func (f *FlatKV) Rename(oldPath, newPath string, cb func(error)) {
 						}
 						f.kv.put(to, val, func(err error) {
 							if err != nil {
-								cb(err)
+								cb(kvErr(err, "rename", newPath))
 								return
 							}
 							f.kv.del(from, func() { step(i + 1) })

@@ -1,0 +1,155 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i+1, nil); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.Backoff(0, nil); got != 0 {
+		t.Errorf("Backoff(0) = %v, want 0", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, Multiplier: 1.5, Jitter: 0.3, Seed: 11}
+	rnd := p.Rand()
+	for retry := 1; retry <= 20; retry++ {
+		raw := p.Backoff(retry, nil)
+		got := p.Backoff(retry, rnd)
+		lo := time.Duration(float64(raw) * 0.7)
+		hi := time.Duration(float64(raw) * 1.3)
+		if got < lo || got > hi {
+			t.Errorf("retry %d: jittered %v outside [%v, %v]", retry, got, lo, hi)
+		}
+	}
+	// Same seed → same jitter sequence.
+	a, b := p.Rand(), p.Rand()
+	for i := 0; i < 100; i++ {
+		if p.Backoff(3, a) != p.Backoff(3, b) {
+			t.Fatal("jitter is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Defaults()
+	if p.Attempts() != 6 || p.BaseDelay <= 0 || p.MaxDelay <= p.BaseDelay {
+		t.Errorf("Defaults() = %+v", p)
+	}
+	if (Policy{}).Attempts() != 1 {
+		t.Error("zero policy should allow exactly one attempt")
+	}
+}
+
+// TestBreakerCycle walks the full open → half-open → closed cycle with
+// a fake clock — the acceptance-criteria state machine check.
+func TestBreakerCycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	var transitions []string
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, Now: clock})
+	b.OnTransition = func(from, to State) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	}
+
+	if b.State() != Closed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	// Two failures: still closed; a success resets the count.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != Closed {
+		t.Fatalf("state after interleaved failures = %v", b.State())
+	}
+	// Third consecutive failure trips it.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed an operation")
+	}
+	// Cooldown elapses → half-open, one probe admitted.
+	now = now.Add(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe fails → open again.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+	// Second cooldown, successful probe → closed.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the second probe")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v", b.State())
+	}
+	if b.Allow() != true {
+		t.Fatal("closed breaker refused traffic")
+	}
+
+	want := []string{
+		"closed->open", "open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: func() time.Time { return now }})
+	b.Record(false)
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Cancel()
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Cancel")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state before default threshold = %v", b.State())
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state at default threshold = %v", b.State())
+	}
+}
