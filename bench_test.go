@@ -157,7 +157,7 @@ func BenchmarkAblationResumeMechanism(b *testing.B) {
 			var suspended time.Duration
 			for i := 0; i < b.N; i++ {
 				win := browser.NewWindow(p)
-				rt := core.NewRuntime(win, core.Config{
+				rt := core.NewRuntime(win.Loop, core.Config{
 					Timeslice:      200 * time.Microsecond,
 					ForceMechanism: mech,
 				})
@@ -196,7 +196,7 @@ func BenchmarkAblationQuantum(b *testing.B) {
 			var longest time.Duration
 			for i := 0; i < b.N; i++ {
 				win := browser.NewWindow(browser.Chrome28)
-				rt := core.NewRuntime(win, core.Config{
+				rt := core.NewRuntime(win.Loop, core.Config{
 					Timeslice:    2 * time.Millisecond,
 					FixedCounter: fixed,
 				})
@@ -314,7 +314,7 @@ func BenchmarkAblationFieldStorage(b *testing.B) {
 func BenchmarkAblationSuspendChecks(b *testing.B) {
 	run := func(b *testing.B, every int) {
 		win := browser.NewWindow(browser.Chrome28)
-		rt := core.NewRuntime(win, core.Config{Timeslice: 5 * time.Millisecond})
+		rt := core.NewRuntime(win.Loop, core.Config{Timeslice: 5 * time.Millisecond})
 		done := false
 		steps := 0
 		rt.Spawn("spin", core.RunnableFunc(func(t *core.Thread) core.RunResult {

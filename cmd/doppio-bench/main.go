@@ -49,6 +49,9 @@ func main() {
 	fsWriteBack := flag.Bool("fs-writeback", false, "use write-back (buffered) mode for -fs-cache")
 	fsFaults := flag.Float64("fs-faults", 0, "fault-injection A/B: replay fstrace and class loading through the retry stack at this per-op fault rate (e.g. 0.1; 0 disables)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the -fs-faults fault sequence and retry jitter")
+	schedBatch := flag.Bool("sched-batch", false, "slice-batching A/B on the multithreaded producer/consumer workload (suspension round trips, context switches, longest macrotask)")
+	schedPrio := flag.Bool("sched-prio", false, "priority run-queue A/B: four CPU-bound threads with and without Thread.setPriority")
+	schedOut := flag.String("sched-out", "BENCH_sched.json", "path for the -sched-batch/-sched-prio JSON report")
 	flag.Parse()
 
 	var hub *telemetry.Hub
@@ -58,7 +61,7 @@ func main() {
 			hub.EnableTracing()
 		}
 	}
-	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio
 	if !anyFigure && hub == nil {
 		flag.Usage()
 		os.Exit(2)
@@ -202,6 +205,29 @@ func main() {
 		if clf.LoadErrors > 0 || clf.Mismatches > 0 {
 			finishErr = fmt.Errorf("class loading failed under faults")
 		}
+	}
+	if *schedBatch || *schedPrio {
+		var report bench.SchedReport
+		if *schedBatch {
+			res, err := bench.RunSchedBatch(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatSchedBatch(res))
+			report.Batch = res
+		}
+		if *schedPrio {
+			res, err := bench.RunSchedPrio(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatSchedPrio(res))
+			report.Prio = res
+		}
+		if err := bench.WriteSchedReport(*schedOut, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scheduler report written to %s\n", *schedOut)
 	}
 	if !anyFigure {
 		if err := runTelemetryPass(cfg); err != nil {

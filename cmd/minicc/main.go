@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"doppio/internal/browser"
+	"doppio/internal/core"
 	"doppio/internal/minic"
 )
 
@@ -40,17 +41,18 @@ func main() {
 	win := browser.NewWindow(profile)
 	reader := bufio.NewReader(os.Stdin)
 	stdin := func(max int, cb func(string, bool)) {
-		win.Loop.AddPending()
+		c := core.NewCompletion(win.Loop, "stdin")
+		c.Then(func(v interface{}, err error) {
+			if line, ok := v.(string); ok && len(line) > 0 {
+				cb(trimNL(line), false)
+				return
+			}
+			cb("", err != nil)
+		})
+		resolve := c.Resolver()
 		go func() {
 			line, err := reader.ReadString('\n')
-			win.Loop.InvokeExternal("stdin", func() {
-				defer win.Loop.DonePending()
-				if len(line) > 0 {
-					cb(trimNL(line), false)
-					return
-				}
-				cb("", err != nil)
-			})
+			resolve(line, err)
 		}()
 	}
 	vm, err := minic.NewVM(win, prog, minic.VMOptions{Stdout: os.Stdout, Stdin: stdin})

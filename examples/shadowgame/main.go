@@ -21,6 +21,7 @@ import (
 
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
+	"doppio/internal/core"
 	"doppio/internal/minic"
 	"doppio/internal/vfs"
 )
@@ -197,16 +198,21 @@ func main() {
 	stdin := func(max int, cb func(string, bool)) {
 		// Keyboard events arrive asynchronously; getline blocks the
 		// game until one lands (§3.2's impossible-in-plain-JS shape).
-		win.Loop.AddPending()
-		win.Loop.InvokeExternal("keyboard", func() {
-			defer win.Loop.DonePending()
-			if moveIdx < len(moves) {
-				cb(moves[moveIdx], false)
-				moveIdx++
+		c := core.NewCompletion(win.Loop, "keyboard")
+		c.Then(func(v interface{}, _ error) {
+			if key, ok := v.(string); ok {
+				cb(key, false)
 				return
 			}
 			cb("", true)
 		})
+		resolve := c.Resolver()
+		if moveIdx < len(moves) {
+			resolve(moves[moveIdx], nil)
+			moveIdx++
+		} else {
+			resolve(nil, nil)
+		}
 	}
 
 	vm, err := minic.NewVM(win, prog, minic.VMOptions{

@@ -180,7 +180,7 @@ func probeEventSegmentation() error {
 	p := browser.Chrome28
 	p.WatchdogLimit = 40 * time.Millisecond
 	win := browser.NewWindow(p)
-	rt := core.NewRuntime(win, core.Config{Timeslice: 4 * time.Millisecond})
+	rt := core.NewRuntime(win.Loop, core.Config{Timeslice: 4 * time.Millisecond})
 	steps := 0
 	rt.Spawn("probe", core.RunnableFunc(func(t *core.Thread) core.RunResult {
 		for steps < 2000 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"doppio/internal/core"
 	"doppio/internal/eventloop"
 	"doppio/internal/jsstring"
 	"doppio/internal/telemetry"
@@ -234,15 +235,14 @@ func NewAsyncStore(loop *eventloop.Loop, latency time.Duration) *AsyncStore {
 }
 
 func (s *AsyncStore) complete(label string, fn func()) {
-	s.loop.AddPending()
+	c := core.NewCompletion(s.loop, label)
+	c.Then(func(interface{}, error) { fn() })
+	resolve := c.Resolver()
 	go func() {
 		if s.latency > 0 {
 			time.Sleep(s.latency)
 		}
-		s.loop.InvokeExternal(label, func() {
-			fn()
-			s.loop.DonePending()
-		})
+		resolve(nil, nil)
 	}()
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"doppio/internal/core"
 	"doppio/internal/eventloop"
 )
 
@@ -83,16 +84,18 @@ func (r *RemoteServer) XHRGetAsync(loop *eventloop.Loop, path string, cb func(da
 	r.mu.RLock()
 	lat := r.latency
 	r.mu.RUnlock()
-	loop.AddPending()
+	c := core.NewCompletion(loop, "xhr")
+	c.Then(func(v interface{}, err error) {
+		data, _ := v.([]byte)
+		cb(data, err)
+	})
+	resolve := c.Resolver()
 	go func() {
 		if lat > 0 {
 			time.Sleep(lat)
 		}
 		data, err := r.fetch(path)
-		loop.InvokeExternal("xhr", func() {
-			cb(data, err)
-			loop.DonePending()
-		})
+		resolve(data, err)
 	}()
 }
 

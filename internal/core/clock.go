@@ -22,6 +22,7 @@ type suspendClock struct {
 	avgPerMs   float64 // cumulative moving average of checks per ms
 	samples    int
 	sliceStart time.Time
+	sliceLimit time.Duration // this slice's target duration (≤ timeslice)
 }
 
 const (
@@ -41,8 +42,16 @@ func newSuspendClock(timeslice time.Duration, fixed int) *suspendClock {
 	return c
 }
 
-// startSlice notes the beginning of a fresh timeslice.
-func (c *suspendClock) startSlice() {
+// startSlice notes the beginning of a fresh timeslice. limit bounds
+// this slice's target duration — the scheduler passes the remaining
+// responsiveness budget so a batch's final slice lands near the budget
+// instead of overshooting by a full timeslice. Non-positive or
+// oversized limits fall back to the configured timeslice.
+func (c *suspendClock) startSlice(limit time.Duration) {
+	if limit <= 0 || limit > c.timeslice {
+		limit = c.timeslice
+	}
+	c.sliceLimit = limit
 	c.sliceStart = time.Now()
 	c.resetAt = c.sliceStart
 	if c.fixed > 0 {
@@ -77,10 +86,10 @@ func (c *suspendClock) check() bool {
 	// Cumulative moving average of the program's check rate.
 	c.avgPerMs += (rate - c.avgPerMs) / float64(c.samples)
 
-	if since := now.Sub(c.sliceStart); since < c.timeslice {
+	if since := now.Sub(c.sliceStart); since < c.sliceLimit {
 		// The timeslice hasn't expired yet: re-arm the counter for the
 		// remaining budget and keep running.
-		remaining := c.timeslice - since
+		remaining := c.sliceLimit - since
 		c.counter = clampCounter(int(c.avgPerMs * float64(remaining) / float64(time.Millisecond)))
 		c.initial = c.counter
 		c.resetAt = now
@@ -95,7 +104,7 @@ func (c *suspendClock) quantumFromAverage() int {
 	if c.samples == 0 {
 		return initialCounter
 	}
-	return clampCounter(int(c.avgPerMs * float64(c.timeslice) / float64(time.Millisecond)))
+	return clampCounter(int(c.avgPerMs * float64(c.sliceLimit) / float64(time.Millisecond)))
 }
 
 func clampCounter(n int) int {

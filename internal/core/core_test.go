@@ -1,12 +1,27 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
-	"doppio/internal/browser"
 	"doppio/internal/eventloop"
 )
+
+// Event-loop option sets mirroring the browser profiles the runtime
+// cares about (§4.4). The core package cannot import the browser
+// package (browser sits above core), so tests drive the loop directly.
+func ie10Opts() eventloop.Options {
+	return eventloop.Options{HasSetImmediate: true, MinTimeoutDelay: 4 * time.Millisecond}
+}
+
+func chromeOpts() eventloop.Options {
+	return eventloop.Options{MinTimeoutDelay: 4 * time.Millisecond}
+}
+
+func ie8Opts() eventloop.Options {
+	return eventloop.Options{SyncPostMessage: true, MinTimeoutDelay: 16 * time.Millisecond}
+}
 
 // spinner is a CPU-bound resumable computation: it burns CPU in small
 // steps, checking for suspension after each, exactly as a language
@@ -33,31 +48,31 @@ func spin(d time.Duration) {
 	}
 }
 
-func newTestRuntime(p browser.Profile, cfg Config) (*browser.Window, *Runtime) {
-	w := browser.NewWindow(p)
-	return w, NewRuntime(w, cfg)
+func newTestRuntime(opts eventloop.Options, cfg Config) (*eventloop.Loop, *Runtime) {
+	loop := eventloop.New(opts)
+	return loop, NewRuntime(loop, cfg)
 }
 
 func TestMechanismSelection(t *testing.T) {
 	cases := []struct {
-		profile browser.Profile
-		want    string
+		name string
+		opts eventloop.Options
+		want string
 	}{
-		{browser.IE10, "setImmediate"},
-		{browser.Chrome28, "postMessage"},
-		{browser.Firefox22, "postMessage"},
-		{browser.IE8, "setTimeout"}, // sync postMessage forces fallback (§4.4)
+		{"ie10", ie10Opts(), "setImmediate"},
+		{"chrome", chromeOpts(), "postMessage"},
+		{"ie8", ie8Opts(), "setTimeout"}, // sync postMessage forces fallback (§4.4)
 	}
 	for _, c := range cases {
-		_, rt := newTestRuntime(c.profile, Config{})
+		_, rt := newTestRuntime(c.opts, Config{})
 		if rt.Mechanism() != c.want {
-			t.Errorf("%s: mechanism = %q, want %q", c.profile.Name, rt.Mechanism(), c.want)
+			t.Errorf("%s: mechanism = %q, want %q", c.name, rt.Mechanism(), c.want)
 		}
 	}
 }
 
 func TestForceMechanism(t *testing.T) {
-	_, rt := newTestRuntime(browser.Chrome28, Config{ForceMechanism: "setTimeout"})
+	_, rt := newTestRuntime(chromeOpts(), Config{ForceMechanism: "setTimeout"})
 	if rt.Mechanism() != "setTimeout" {
 		t.Errorf("mechanism = %q", rt.Mechanism())
 	}
@@ -66,13 +81,13 @@ func TestForceMechanism(t *testing.T) {
 func TestSegmentationSurvivesWatchdog(t *testing.T) {
 	// 300 ms of total CPU work under a 50 ms watchdog: only possible
 	// if Doppio slices it into short events.
-	p := browser.Chrome28
-	p.WatchdogLimit = 50 * time.Millisecond
-	w, rt := newTestRuntime(p, Config{Timeslice: 5 * time.Millisecond})
+	opts := chromeOpts()
+	opts.WatchdogLimit = 50 * time.Millisecond
+	loop, rt := newTestRuntime(opts, Config{Timeslice: 5 * time.Millisecond})
 	s := &spinner{steps: 3000, stepCost: 100 * time.Microsecond}
 	rt.Spawn("main", s)
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatalf("watchdog killed a segmented program: %v", err)
 	}
 	if s.done != s.steps {
@@ -86,20 +101,20 @@ func TestSegmentationSurvivesWatchdog(t *testing.T) {
 func TestMonolithicEventIsKilled(t *testing.T) {
 	// The same total work in one event must be killed — this is why
 	// automatic event segmentation is required (§3.1).
-	p := browser.Chrome28
-	p.WatchdogLimit = 50 * time.Millisecond
-	w := browser.NewWindow(p)
-	w.Loop.Post("monolith", func() { spin(300 * time.Millisecond) })
-	if _, ok := w.Loop.Run().(*eventloop.WatchdogError); !ok {
+	opts := chromeOpts()
+	opts.WatchdogLimit = 50 * time.Millisecond
+	loop := eventloop.New(opts)
+	loop.Post("monolith", func() { spin(300 * time.Millisecond) })
+	if _, ok := loop.Run().(*eventloop.WatchdogError); !ok {
 		t.Fatal("monolithic long event survived the watchdog")
 	}
 }
 
 func TestSuspensionTimeAccounted(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{Timeslice: 2 * time.Millisecond})
+	loop, rt := newTestRuntime(chromeOpts(), Config{Timeslice: 2 * time.Millisecond})
 	rt.Spawn("main", &spinner{steps: 400, stepCost: 50 * time.Microsecond})
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	st := rt.Stats()
@@ -115,17 +130,16 @@ func TestSuspensionTimeAccounted(t *testing.T) {
 }
 
 func TestMultithreadingInterleaves(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{Timeslice: time.Millisecond})
+	loop, rt := newTestRuntime(chromeOpts(), Config{Timeslice: time.Millisecond})
 	var trace []string
-	mk := func(name string) *spinner { return &spinner{steps: 400, stepCost: 30 * time.Microsecond} }
-	a := mk("a")
-	b := mk("b")
+	a := &spinner{steps: 400, stepCost: 30 * time.Microsecond}
+	b := &spinner{steps: 400, stepCost: 30 * time.Microsecond}
 	ta := rt.Spawn("a", a)
 	tb := rt.Spawn("b", b)
 	ta.Join(func() { trace = append(trace, "a-done") })
 	tb.Join(func() { trace = append(trace, "b-done") })
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if a.done != 400 || b.done != 400 {
@@ -139,30 +153,197 @@ func TestMultithreadingInterleaves(t *testing.T) {
 	}
 }
 
-func TestRoundRobinScheduler(t *testing.T) {
-	// A FIFO scheduler must alternate between two ready threads.
-	w, rt := newTestRuntime(browser.Chrome28, Config{
-		Timeslice: time.Millisecond,
-		Scheduler: func(ready []*Thread) *Thread { return ready[0] },
-	})
-	a := &spinner{steps: 400, stepCost: 50 * time.Microsecond}
-	b := &spinner{steps: 400, stepCost: 50 * time.Microsecond}
-	rt.Spawn("a", a)
-	rt.Spawn("b", b)
+// yielder runs for `rounds` slices, recording its tag into *order on
+// each slice, then finishes. It yields cooperatively (never burns a
+// full timeslice), which is how scheduling order becomes deterministic.
+type yielder struct {
+	tag    string
+	rounds int
+	order  *[]string
+}
+
+func (y *yielder) Run(t *Thread) RunResult {
+	*y.order = append(*y.order, y.tag)
+	y.rounds--
+	if y.rounds > 0 {
+		return Yield
+	}
+	return Done
+}
+
+func TestDeterministicRoundRobin(t *testing.T) {
+	// Same-priority threads must rotate in strict spawn order: the run
+	// queue is FIFO within a level.
+	loop, rt := newTestRuntime(chromeOpts(), Config{AgingThreshold: -1})
+	var order []string
+	for _, tag := range []string{"a", "b", "c"} {
+		rt.Spawn(tag, &yielder{tag: tag, rounds: 3, order: &order})
+	}
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if rt.Stats().ContextSwitches < 3 {
-		t.Errorf("ContextSwitches = %d, want alternation", rt.Stats().ContextSwitches)
+	want := "a b c a b c a b c"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("schedule = %q, want %q", got, want)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// With aging disabled, a higher-priority thread runs to completion
+	// before a lower-priority one gets a single slice.
+	loop, rt := newTestRuntime(chromeOpts(), Config{AgingThreshold: -1})
+	var order []string
+	lo := rt.Spawn("lo", &yielder{tag: "lo", rounds: 3, order: &order})
+	hi := rt.Spawn("hi", &yielder{tag: "hi", rounds: 3, order: &order})
+	lo.SetPriority(MinPriority)
+	hi.SetPriority(MaxPriority)
+	rt.Start()
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "hi hi hi lo lo lo"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("schedule = %q, want %q", got, want)
+	}
+	if lo.Priority() != MinPriority || hi.Priority() != MaxPriority {
+		t.Errorf("priorities = %d, %d", lo.Priority(), hi.Priority())
+	}
+}
+
+func TestSetPriorityClamps(t *testing.T) {
+	_, rt := newTestRuntime(chromeOpts(), Config{})
+	th := rt.Spawn("t", RunnableFunc(func(*Thread) RunResult { return Done }))
+	th.SetPriority(99)
+	if th.Priority() != MaxPriority {
+		t.Errorf("priority = %d, want %d", th.Priority(), MaxPriority)
+	}
+	th.SetPriority(-5)
+	if th.Priority() != MinPriority {
+		t.Errorf("priority = %d, want %d", th.Priority(), MinPriority)
+	}
+}
+
+func TestStarvationAging(t *testing.T) {
+	// A low-priority thread waiting at its level's head must preempt
+	// the high-priority level after AgingThreshold scheduling decisions,
+	// instead of starving until the high-priority thread exits.
+	loop, rt := newTestRuntime(chromeOpts(), Config{AgingThreshold: 4})
+	var order []string
+	lo := rt.Spawn("lo", &yielder{tag: "lo", rounds: 2, order: &order})
+	rt.Spawn("hi", &yielder{tag: "hi", rounds: 40, order: &order}).SetPriority(MaxPriority)
+	lo.SetPriority(MinPriority)
+	rt.Start()
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := -1
+	for i, tag := range order {
+		if tag == "lo" {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		t.Fatal("low-priority thread starved: never ran")
+	}
+	if first > 10 {
+		t.Errorf("low-priority thread first ran at slice %d, want aging to kick in by ~5", first)
+	}
+}
+
+func TestKillMidBatch(t *testing.T) {
+	// A thread killed by another thread in the same batch must never
+	// run again, even though it was already queued.
+	loop, rt := newTestRuntime(chromeOpts(), Config{BatchBudget: 50 * time.Millisecond})
+	var victim *Thread
+	victimRan := false
+	rt.Spawn("killer", RunnableFunc(func(*Thread) RunResult {
+		victim.Kill()
+		return Done
+	}))
+	victim = rt.Spawn("victim", RunnableFunc(func(*Thread) RunResult {
+		victimRan = true
+		return Done
+	}))
+	rt.Start()
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if victimRan {
+		t.Error("killed thread ran")
+	}
+	if victim.State() != TerminatedState {
+		t.Errorf("victim state = %v", victim.State())
+	}
+}
+
+func TestBatchingReducesSuspensions(t *testing.T) {
+	// The point of slice batching: many short timeslices share one §4.4
+	// round trip. Same workload, same responsiveness bound, batching on
+	// vs off.
+	run := func(budget time.Duration) Stats {
+		loop, rt := newTestRuntime(chromeOpts(), Config{
+			Timeslice:   time.Millisecond,
+			BatchBudget: budget,
+		})
+		for i := 0; i < 2; i++ {
+			rt.Spawn("w", &spinner{steps: 300, stepCost: 50 * time.Microsecond})
+		}
+		rt.Start()
+		if err := loop.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats()
+	}
+	unbatched := run(-1)                  // one slice per macrotask
+	batched := run(20 * time.Millisecond) // up to ~20 slices per macrotask
+	if unbatched.MaxBatchSlices != 1 {
+		t.Errorf("unbatched MaxBatchSlices = %d, want 1", unbatched.MaxBatchSlices)
+	}
+	if batched.MaxBatchSlices < 2 {
+		t.Errorf("batched MaxBatchSlices = %d, want > 1", batched.MaxBatchSlices)
+	}
+	if batched.Batches == 0 {
+		t.Error("Batches not accounted")
+	}
+	if unbatched.Suspensions < 4*batched.Suspensions {
+		t.Errorf("batching did not reduce suspensions: %d unbatched vs %d batched",
+			unbatched.Suspensions, batched.Suspensions)
+	}
+}
+
+func TestBatchRespectsBudget(t *testing.T) {
+	// Regression: a batch must stop near its responsiveness budget — a
+	// macrotask must never grow with the amount of pending work. The
+	// watchdog is the arbiter: 300 ms of CPU under a 50 ms limit with a
+	// 10 ms budget must survive.
+	opts := chromeOpts()
+	opts.WatchdogLimit = 50 * time.Millisecond
+	loop, rt := newTestRuntime(opts, Config{
+		Timeslice:   2 * time.Millisecond,
+		BatchBudget: 10 * time.Millisecond,
+	})
+	for i := 0; i < 4; i++ {
+		rt.Spawn("w", &spinner{steps: 750, stepCost: 100 * time.Microsecond})
+	}
+	rt.Start()
+	if err := loop.Run(); err != nil {
+		t.Fatalf("batch overran the responsiveness budget: %v", err)
+	}
+	if lt := loop.Stats().LongestTask; lt > 40*time.Millisecond {
+		t.Errorf("LongestTask = %v, want well under the watchdog limit", lt)
+	}
+	if rt.Stats().Batches == 0 {
+		t.Error("no batches recorded")
 	}
 }
 
 // blocker exercises the §4.2 sync-over-async bridge: it "calls" an
-// asynchronous storage API and continues with the result as if the
-// call had been synchronous.
+// asynchronous API and continues with the result as if the call had
+// been synchronous.
 type blocker struct {
-	store  *browser.AsyncStore
+	loop   *eventloop.Loop
 	phase  int
 	result []byte
 }
@@ -171,28 +352,26 @@ func (b *blocker) Run(t *Thread) RunResult {
 	switch b.phase {
 	case 0:
 		b.phase = 1
-		t.AsyncCall("idb-get", func(done func()) {
-			b.store.Get("key", func(v []byte, ok bool) {
-				b.result = v
+		if t.AsyncCall("idb-get", func(done func()) {
+			b.loop.SetTimeout(func() {
+				b.result = []byte("hello")
 				done()
-			})
-		})
-		return Block
+			}, time.Millisecond)
+		}) {
+			return Block
+		}
+		return Done
 	default:
 		return Done
 	}
 }
 
 func TestBlockingOnAsyncAPI(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{})
-	bl := &blocker{store: w.IndexedDB}
-	w.Loop.Post("seed", func() {
-		w.IndexedDB.Put("key", []byte("hello"), func(error) {
-			rt.Spawn("main", bl)
-			rt.Start()
-		})
-	})
-	if err := w.Loop.Run(); err != nil {
+	loop, rt := newTestRuntime(chromeOpts(), Config{})
+	bl := &blocker{loop: loop}
+	rt.Spawn("main", bl)
+	rt.Start()
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if string(bl.result) != "hello" {
@@ -218,12 +397,12 @@ func (s *sleeper) Run(t *Thread) RunResult {
 }
 
 func TestSleep(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	loop, rt := newTestRuntime(chromeOpts(), Config{})
 	s := &sleeper{d: 20 * time.Millisecond}
 	start := time.Now()
 	rt.Spawn("sleeper", s)
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.woke.Sub(start); got < 20*time.Millisecond {
@@ -232,13 +411,13 @@ func TestSleep(t *testing.T) {
 }
 
 func TestDeadlockDetection(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	loop, rt := newTestRuntime(chromeOpts(), Config{})
 	rt.Spawn("stuck", RunnableFunc(func(t *Thread) RunResult {
 		t.Block("never-resumed")
 		return Block
 	}))
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	dead := rt.DeadlockedThreads()
@@ -247,13 +426,35 @@ func TestDeadlockDetection(t *testing.T) {
 	}
 }
 
+func TestDeadlockReportCarriesLabels(t *testing.T) {
+	// Deadlock reports must name the completion each thread is stuck
+	// on, so "worker#2 on monitorenter:Queue"-style diagnostics work.
+	loop, rt := newTestRuntime(chromeOpts(), Config{})
+	rt.Spawn("stuck", RunnableFunc(func(th *Thread) RunResult {
+		c := NewCompletion(loop, "monitorenter:Queue")
+		c.Await(th)
+		return Block
+	}))
+	rt.Start()
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	report := rt.DeadlockReport()
+	if !strings.Contains(report, "stuck#1 on monitorenter:Queue") {
+		t.Errorf("DeadlockReport() = %q, want thread and completion label", report)
+	}
+	if got := rt.DeadlockedThreads()[0].BlockedOn(); got != "monitorenter:Queue" {
+		t.Errorf("BlockedOn() = %q", got)
+	}
+}
+
 func TestOnIdle(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	loop, rt := newTestRuntime(chromeOpts(), Config{})
 	idle := false
 	rt.OnIdle(func() { idle = true })
 	rt.Spawn("main", &spinner{steps: 10, stepCost: time.Microsecond})
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if !idle {
@@ -262,18 +463,18 @@ func TestOnIdle(t *testing.T) {
 }
 
 func TestDoubleResumePanics(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{})
+	loop, rt := newTestRuntime(chromeOpts(), Config{})
 	var resume func()
 	rt.Spawn("main", RunnableFunc(func(th *Thread) RunResult {
 		if resume == nil {
 			resume = th.Block("test")
-			w.Loop.Post("kick", resume)
+			loop.Post("kick", resume)
 			return Block
 		}
 		return Done
 	}))
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	defer func() {
@@ -285,13 +486,13 @@ func TestDoubleResumePanics(t *testing.T) {
 }
 
 func TestKill(t *testing.T) {
-	w, rt := newTestRuntime(browser.Chrome28, Config{Timeslice: time.Millisecond})
+	loop, rt := newTestRuntime(chromeOpts(), Config{Timeslice: time.Millisecond})
 	s := &spinner{steps: 1_000_000, stepCost: 10 * time.Microsecond}
 	th := rt.Spawn("victim", s)
 	// Kill it after a few slices.
-	w.Loop.SetTimeout(func() { th.Kill() }, 10*time.Millisecond)
+	loop.SetTimeout(func() { th.Kill() }, 10*time.Millisecond)
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if th.State() != TerminatedState {
@@ -305,19 +506,20 @@ func TestKill(t *testing.T) {
 func TestIE8SetTimeoutSuspendIsSlow(t *testing.T) {
 	// On IE8 every suspension pays the 16 ms setTimeout clamp; the same
 	// workload on Chrome (postMessage) suspends nearly for free. This
-	// is the §4.4 motivation.
-	work := func(p browser.Profile) (time.Duration, Stats) {
-		w, rt := newTestRuntime(p, Config{Timeslice: 2 * time.Millisecond})
+	// is the §4.4 motivation. Batching is disabled so each slice pays
+	// the mechanism.
+	work := func(opts eventloop.Options) (time.Duration, Stats) {
+		loop, rt := newTestRuntime(opts, Config{Timeslice: 2 * time.Millisecond, BatchBudget: -1})
 		rt.Spawn("main", &spinner{steps: 600, stepCost: 25 * time.Microsecond})
 		start := time.Now()
 		rt.Start()
-		if err := w.Loop.Run(); err != nil {
+		if err := loop.Run(); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start), rt.Stats()
 	}
-	chromeWall, chromeStats := work(browser.Chrome28)
-	ie8Wall, ie8Stats := work(browser.IE8)
+	chromeWall, chromeStats := work(chromeOpts())
+	ie8Wall, ie8Stats := work(ie8Opts())
 	if ie8Stats.Suspensions == 0 || chromeStats.Suspensions == 0 {
 		t.Skip("workload too fast to suspend on this machine")
 	}
@@ -346,15 +548,15 @@ func TestAdaptiveClockConvergesToTimeslice(t *testing.T) {
 	// Run a long CPU-bound workload and verify each event-loop task
 	// stays in the neighbourhood of the timeslice (no watchdog kills,
 	// longest task well under 10x the slice).
-	p := browser.Chrome28
-	p.WatchdogLimit = time.Second
-	w, rt := newTestRuntime(p, Config{Timeslice: 5 * time.Millisecond})
+	opts := chromeOpts()
+	opts.WatchdogLimit = time.Second
+	loop, rt := newTestRuntime(opts, Config{Timeslice: 5 * time.Millisecond})
 	rt.Spawn("main", &spinner{steps: 20000, stepCost: 10 * time.Microsecond})
 	rt.Start()
-	if err := w.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if longest := w.Loop.Stats().LongestTask; longest > 100*time.Millisecond {
+	if longest := loop.Stats().LongestTask; longest > 100*time.Millisecond {
 		t.Errorf("LongestTask = %v; adaptive quantum failed to bound events", longest)
 	}
 }

@@ -1,0 +1,107 @@
+package core
+
+import "testing"
+
+func rqThread(id, prio int) *Thread {
+	return &Thread{ID: id, prio: prio}
+}
+
+func TestRunQueueFIFOWithinLevel(t *testing.T) {
+	q := newRunQueue(10, 0)
+	a, b, c := rqThread(1, 5), rqThread(2, 5), rqThread(3, 5)
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if q.depth() != 3 {
+		t.Fatalf("depth = %d", q.depth())
+	}
+	for i, want := range []*Thread{a, b, c} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop %d = #%d, want #%d", i, got.ID, want.ID)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue")
+	}
+}
+
+func TestRunQueueHigherLevelFirst(t *testing.T) {
+	q := newRunQueue(10, 0)
+	lo, hi := rqThread(1, 2), rqThread(2, 9)
+	q.push(lo)
+	q.push(hi)
+	if got := q.pop(); got != hi {
+		t.Fatalf("pop = #%d, want high-priority thread", got.ID)
+	}
+	if got := q.pop(); got != lo {
+		t.Fatalf("pop = #%d, want low-priority thread", got.ID)
+	}
+}
+
+func TestRunQueueRemoveMidList(t *testing.T) {
+	q := newRunQueue(10, 0)
+	a, b, c := rqThread(1, 5), rqThread(2, 5), rqThread(3, 5)
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	q.remove(b)
+	if b.inQueue {
+		t.Fatal("removed thread still marked queued")
+	}
+	if got := q.pop(); got != a {
+		t.Fatalf("pop = #%d, want #1", got.ID)
+	}
+	if got := q.pop(); got != c {
+		t.Fatalf("pop = #%d, want #3", got.ID)
+	}
+	if q.size != 0 {
+		t.Fatalf("size = %d", q.size)
+	}
+	// remove on a dequeued thread is a no-op.
+	q.remove(a)
+}
+
+func TestRunQueueDoubleEnqueuePanics(t *testing.T) {
+	q := newRunQueue(10, 0)
+	a := rqThread(1, 5)
+	q.push(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double enqueue did not panic")
+		}
+	}()
+	q.push(a)
+}
+
+func TestRunQueueAgingPreempts(t *testing.T) {
+	// With threshold 3, a waiting low-priority thread preempts on the
+	// third pop that would otherwise pass it over.
+	q := newRunQueue(10, 3)
+	lo := rqThread(99, 1)
+	q.push(lo)
+	for i := 0; i < 5; i++ {
+		hi := rqThread(i, 9)
+		q.push(hi)
+	}
+	for i := 0; i < 2; i++ {
+		if got := q.pop(); got.prio != 9 {
+			t.Fatalf("pop %d = prio %d, want high-priority first", i, got.prio)
+		}
+	}
+	if got := q.pop(); got != lo {
+		t.Fatalf("aged pop = #%d (prio %d), want starved low-priority thread", got.ID, got.prio)
+	}
+}
+
+func TestRunQueueClampPrio(t *testing.T) {
+	q := newRunQueue(10, 0)
+	if got := q.clampPrio(0); got != 1 {
+		t.Errorf("clampPrio(0) = %d", got)
+	}
+	if got := q.clampPrio(11); got != 10 {
+		t.Errorf("clampPrio(11) = %d", got)
+	}
+	if got := q.clampPrio(7); got != 7 {
+		t.Errorf("clampPrio(7) = %d", got)
+	}
+}

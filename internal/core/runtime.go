@@ -8,9 +8,14 @@
 //   - automatic event segmentation via suspend-and-resume with an
 //     adaptive counter (§4.1),
 //   - emulation of synchronous source-language APIs on top of
-//     asynchronous browser APIs (§4.2),
-//   - cooperative multithreading over a pool of saved call stacks, with
-//     a pluggable scheduler (§4.3),
+//     asynchronous browser APIs (§4.2) through the Completion
+//     primitive,
+//   - cooperative multithreading over a pool of saved call stacks,
+//     scheduled by a priority run queue with starvation aging (§4.3),
+//   - slice batching: many timeslices run back-to-back inside one
+//     macrotask until a responsiveness budget expires, so the §4.4
+//     resumption round trip is paid once per batch instead of once per
+//     slice,
 //   - per-browser selection of the fastest resumption mechanism:
 //     setImmediate, then postMessage, then setTimeout (§4.4).
 //
@@ -24,9 +29,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
-	"doppio/internal/browser"
 	"doppio/internal/eventloop"
 	"doppio/internal/telemetry"
 )
@@ -38,7 +43,7 @@ const (
 	// Done means the thread has finished executing.
 	Done RunResult = iota
 	// Yield means the timeslice expired; the thread remains ready and
-	// will be resumed on a later event-loop turn.
+	// will be resumed on a later scheduling decision.
 	Yield
 	// Block means the thread is waiting (async I/O, a monitor, sleep)
 	// and must not be rescheduled until its resume function is called.
@@ -85,30 +90,67 @@ func (s ThreadState) String() string {
 	return "unknown"
 }
 
-// Scheduler picks the next thread to resume from the ready pool.
-// The default resumes an arbitrary ready thread (the paper's default);
-// language implementations may provide their own (§4.3).
-type Scheduler func(ready []*Thread) *Thread
+// Priority bounds, JVM-style: level 1 is the least urgent, 10 the
+// most, 5 the default. Config.PriorityLevels may widen or narrow the
+// range; these are the defaults.
+const (
+	MinPriority      = 1
+	NormPriority     = 5
+	MaxPriority      = 10
+	defaultAging     = 16 // picks a lower-priority head waits before preempting
+	defaultTimeslice = 10 * time.Millisecond
+)
 
 // Config tunes a Runtime.
 type Config struct {
 	// Timeslice is the preconfigured time slice duration (§4.1) after
 	// which a thread should suspend. Defaults to 10 ms.
 	Timeslice time.Duration
-	// Scheduler overrides the default arbitrary-ready-thread policy.
-	Scheduler Scheduler
+
+	// BatchBudget is the responsiveness budget for one macrotask:
+	// ready threads keep running timeslices back-to-back until it
+	// expires, and only then is the §4.4 resumption round trip paid.
+	// Zero derives the budget from the adaptive suspend clock's
+	// timeslice (i.e. equal to Timeslice, ~10 ms by default); negative
+	// disables batching and runs exactly one slice per macrotask (the
+	// pre-batching behavior, kept for A/B comparison).
+	BatchBudget time.Duration
+
+	// PriorityLevels is the number of run-queue priority levels
+	// (threads use 1..PriorityLevels, larger = more urgent). Defaults
+	// to MaxPriority (10), matching the JVM's Thread priority range.
+	PriorityLevels int
+
+	// DefaultPriority is the level newly spawned threads start at.
+	// Defaults to the middle level (NormPriority for the default
+	// range).
+	DefaultPriority int
+
+	// AgingThreshold is the number of scheduling decisions a
+	// lower-priority thread may wait at the head of its level before
+	// it preempts higher-priority work once (starvation aging). Zero
+	// uses the default (16); negative disables aging entirely.
+	AgingThreshold int
+
 	// ForceMechanism, if non-empty, overrides the automatic resumption
 	// mechanism choice ("setImmediate", "postMessage" or "setTimeout")
 	// — used by the DESIGN.md D1 ablation.
 	ForceMechanism string
+
 	// FixedCounter disables the adaptive quantum and uses this fixed
 	// check count instead — the DESIGN.md D2 ablation.
 	FixedCounter int
+
+	// Telemetry attaches the runtime to an observability hub.
+	Telemetry *telemetry.Hub
 }
 
 // Stats captures runtime instrumentation for Figures 4 and 5.
 type Stats struct {
-	// Suspensions counts suspend-and-resume round trips.
+	// Suspensions counts suspend-and-resume round trips (§4.4): the
+	// number of times the runtime yielded the JavaScript thread and
+	// paid the resumption mechanism. With batching, one round trip may
+	// cover many timeslices.
 	Suspensions int
 	// SuspendedTime is total time spent suspended — between yielding
 	// the JavaScript thread and the resumption callback firing.
@@ -117,11 +159,20 @@ type Stats struct {
 	CPUTime time.Duration
 	// ContextSwitches counts scheduler decisions that changed threads.
 	ContextSwitches int
+	// Slices counts executed timeslices across all threads.
+	Slices int
+	// Batches counts scheduler macrotasks that ran at least one slice.
+	Batches int
+	// MaxBatchSlices is the most timeslices any single batch ran.
+	MaxBatchSlices int
+	// BudgetOverruns counts batches whose total execution exceeded the
+	// responsiveness budget (the last slice overshooting its clamped
+	// quantum estimate).
+	BudgetOverruns int
 }
 
-// Runtime is a Doppio execution environment bound to one browser window.
+// Runtime is a Doppio execution environment bound to one event loop.
 type Runtime struct {
-	win  *browser.Window
 	loop *eventloop.Loop
 	cfg  Config
 
@@ -130,14 +181,15 @@ type Runtime struct {
 	msgMap    map[string]func()
 
 	threads    []*Thread
-	ready      []*Thread
+	runq       *runQueue
 	current    *Thread
 	nextID     int
 	tickQueued bool
 
-	stats       Stats
-	suspendedAt time.Time
-	lastRun     *Thread
+	batchBudget time.Duration // 0 = one slice per macrotask
+
+	stats   Stats
+	lastRun *Thread
 
 	tel *rtTelemetry
 
@@ -150,9 +202,13 @@ type Runtime struct {
 type rtTelemetry struct {
 	yieldLatency *telemetry.Histogram // suspend → resumption latency (§4.4)
 	sliceDur     *telemetry.Histogram // timeslice execution duration
+	batchSlices  *telemetry.Histogram // timeslices per scheduler macrotask
 	quantum      *telemetry.Gauge     // latest adaptive suspend-counter quantum (§4.1)
+	runqDepth    *telemetry.Gauge     // run-queue depth after the latest batch
+	runqMax      *telemetry.Gauge     // high-watermark run-queue depth
 	suspensions  *telemetry.Counter
 	ctxSwitches  *telemetry.Counter
+	overruns     *telemetry.Counter // batches that exceeded the budget
 	tracer       *telemetry.Tracer
 }
 
@@ -160,8 +216,7 @@ type rtTelemetry struct {
 func coreThreadTID(id int) int { return telemetry.TIDCoreThread(id) }
 
 // EnableTelemetry points the runtime at an observability hub (nil
-// detaches). NewRuntime calls this automatically when the window has
-// one.
+// detaches). NewRuntime calls this automatically with cfg.Telemetry.
 func (rt *Runtime) EnableTelemetry(h *telemetry.Hub) {
 	if h == nil {
 		rt.tel = nil
@@ -170,46 +225,69 @@ func (rt *Runtime) EnableTelemetry(h *telemetry.Hub) {
 	rt.tel = &rtTelemetry{
 		yieldLatency: h.Registry.Histogram("core", "yield_latency"),
 		sliceDur:     h.Registry.Histogram("core", "timeslice"),
+		batchSlices:  h.Registry.Histogram("core", "batch_slices"),
 		quantum:      h.Registry.Gauge("core", "suspend_quantum"),
+		runqDepth:    h.Registry.Gauge("core", "runq_depth"),
+		runqMax:      h.Registry.Gauge("core", "runq_depth_max"),
 		suspensions:  h.Registry.Counter("core", "suspensions"),
 		ctxSwitches:  h.Registry.Counter("core", "context_switches"),
+		overruns:     h.Registry.Counter("core", "batch_overruns"),
 		tracer:       h.Tracer,
 	}
 }
 
-// NewRuntime creates a runtime inside the window's event loop.
-func NewRuntime(win *browser.Window, cfg Config) *Runtime {
+// NewRuntime creates a runtime driving threads on the given event
+// loop. The resumption mechanism is chosen from the loop's options
+// (§4.4) unless cfg.ForceMechanism overrides it.
+func NewRuntime(loop *eventloop.Loop, cfg Config) *Runtime {
 	if cfg.Timeslice == 0 {
-		cfg.Timeslice = 10 * time.Millisecond
+		cfg.Timeslice = defaultTimeslice
 	}
-	if cfg.Scheduler == nil {
-		cfg.Scheduler = func(ready []*Thread) *Thread { return ready[0] }
+	if cfg.PriorityLevels <= 0 {
+		cfg.PriorityLevels = MaxPriority
+	}
+	if cfg.DefaultPriority == 0 {
+		cfg.DefaultPriority = (cfg.PriorityLevels + 1) / 2
+	}
+	aging := uint64(defaultAging)
+	switch {
+	case cfg.AgingThreshold > 0:
+		aging = uint64(cfg.AgingThreshold)
+	case cfg.AgingThreshold < 0:
+		aging = 0
 	}
 	rt := &Runtime{
-		win:    win,
-		loop:   win.Loop,
+		loop:   loop,
 		cfg:    cfg,
+		runq:   newRunQueue(cfg.PriorityLevels, aging),
 		msgMap: make(map[string]func()),
+	}
+	rt.cfg.DefaultPriority = rt.runq.clampPrio(cfg.DefaultPriority)
+	switch {
+	case cfg.BatchBudget > 0:
+		rt.batchBudget = cfg.BatchBudget
+	case cfg.BatchBudget == 0:
+		rt.batchBudget = cfg.Timeslice
 	}
 	rt.mechanism = cfg.ForceMechanism
 	if rt.mechanism == "" {
-		rt.mechanism = chooseMechanism(win.Profile)
+		rt.mechanism = chooseMechanism(loop.Options())
 	}
 	if rt.mechanism == "postMessage" {
-		win.Loop.OnMessage(rt.onMessage)
+		loop.OnMessage(rt.onMessage)
 	}
-	rt.EnableTelemetry(win.Telemetry)
+	rt.EnableTelemetry(cfg.Telemetry)
 	return rt
 }
 
 // chooseMechanism implements §4.4: setImmediate where available (IE10),
-// postMessage elsewhere — except IE8, whose postMessage is synchronous,
-// forcing the setTimeout fallback.
-func chooseMechanism(p browser.Profile) string {
+// postMessage elsewhere — except browsers whose postMessage is
+// synchronous (IE8), forcing the setTimeout fallback.
+func chooseMechanism(opts eventloop.Options) string {
 	switch {
-	case p.HasSetImmediate:
+	case opts.HasSetImmediate:
 		return "setImmediate"
-	case !p.SyncPostMessage:
+	case !opts.SyncPostMessage:
 		return "postMessage"
 	default:
 		return "setTimeout"
@@ -219,9 +297,6 @@ func chooseMechanism(p browser.Profile) string {
 // Mechanism reports the resumption mechanism in use.
 func (rt *Runtime) Mechanism() string { return rt.mechanism }
 
-// Window returns the browser window the runtime lives in.
-func (rt *Runtime) Window() *browser.Window { return rt.win }
-
 // Loop returns the underlying event loop.
 func (rt *Runtime) Loop() *eventloop.Loop { return rt.loop }
 
@@ -230,6 +305,10 @@ func (rt *Runtime) Stats() Stats { return rt.stats }
 
 // Timeslice returns the configured time slice.
 func (rt *Runtime) Timeslice() time.Duration { return rt.cfg.Timeslice }
+
+// BatchBudget returns the effective responsiveness budget (0 when
+// batching is disabled).
+func (rt *Runtime) BatchBudget() time.Duration { return rt.batchBudget }
 
 func (rt *Runtime) onMessage(id string) {
 	cb, ok := rt.msgMap[id]
@@ -242,11 +321,13 @@ func (rt *Runtime) onMessage(id string) {
 
 // scheduleResumption inserts fn into the event queue via the chosen
 // resumption mechanism (§4.4). Time spent between this call and fn
-// executing is "suspended time" (Figure 5).
+// executing is "suspended time" (Figure 5). The timestamp is captured
+// per closure, so overlapping resumptions each measure their own
+// latency.
 func (rt *Runtime) scheduleResumption(fn func()) {
-	rt.suspendedAt = time.Now()
+	suspendedAt := time.Now()
 	wrapped := func() {
-		d := time.Since(rt.suspendedAt)
+		d := time.Since(suspendedAt)
 		rt.stats.SuspendedTime += d
 		rt.stats.Suspensions++
 		if tel := rt.tel; tel != nil {
@@ -271,8 +352,9 @@ func (rt *Runtime) scheduleResumption(fn func()) {
 	}
 }
 
-// Spawn creates a new thread in the pool, ready to run. Start (or an
-// already-running scheduler) will pick it up.
+// Spawn creates a new thread in the pool at the default priority,
+// ready to run. Start (or an already-running scheduler) will pick it
+// up.
 func (rt *Runtime) Spawn(name string, r Runnable) *Thread {
 	rt.nextID++
 	t := &Thread{
@@ -281,13 +363,15 @@ func (rt *Runtime) Spawn(name string, r Runnable) *Thread {
 		Name:     name,
 		runnable: r,
 		state:    ReadyState,
+		prio:     rt.cfg.DefaultPriority,
 	}
 	t.clock = newSuspendClock(rt.cfg.Timeslice, rt.cfg.FixedCounter)
 	if tel := rt.tel; tel != nil && tel.tracer != nil {
 		tel.tracer.ThreadName(coreThreadTID(t.ID), fmt.Sprintf("doppio thread %d: %s", t.ID, name))
 	}
 	rt.threads = append(rt.threads, t)
-	rt.ready = append(rt.ready, t)
+	rt.runq.push(t)
+	rt.noteQueueDepth()
 	return t
 }
 
@@ -314,20 +398,58 @@ func (rt *Runtime) queueTick(viaMechanism bool) {
 	}
 }
 
-// tick runs one timeslice of one ready thread.
+// tick runs one scheduler batch: ready threads execute timeslices
+// back-to-back until the run queue drains or the responsiveness
+// budget expires, and only then is the next §4.4 resumption round
+// trip scheduled. With batching disabled (negative Config.BatchBudget)
+// exactly one slice runs per macrotask.
 func (rt *Runtime) tick() {
-	if len(rt.ready) == 0 {
+	if rt.runq.size == 0 {
 		rt.maybeIdle()
 		return
 	}
-	t := rt.cfg.Scheduler(rt.ready)
-	// Remove t from the ready pool.
-	for i, r := range rt.ready {
-		if r == t {
-			rt.ready = append(rt.ready[:i], rt.ready[i+1:]...)
+	budget := rt.batchBudget
+	batchStart := time.Now()
+	slices := 0
+	for {
+		t := rt.runq.pop()
+		limit := rt.cfg.Timeslice
+		if budget > 0 {
+			if remaining := budget - time.Since(batchStart); remaining < limit {
+				limit = remaining
+			}
+		}
+		rt.runSlice(t, limit)
+		slices++
+		if rt.runq.size == 0 || budget <= 0 || time.Since(batchStart) >= budget {
 			break
 		}
 	}
+	rt.stats.Batches++
+	if slices > rt.stats.MaxBatchSlices {
+		rt.stats.MaxBatchSlices = slices
+	}
+	overrun := budget > 0 && time.Since(batchStart) > budget
+	if overrun {
+		rt.stats.BudgetOverruns++
+	}
+	if tel := rt.tel; tel != nil {
+		tel.batchSlices.Observe(int64(slices))
+		if overrun {
+			tel.overruns.Inc()
+		}
+	}
+	rt.noteQueueDepth()
+	if rt.runq.size > 0 {
+		rt.queueTick(true)
+	} else {
+		rt.maybeIdle()
+	}
+}
+
+// runSlice executes one timeslice of t, bounded by limit, and applies
+// the thread's verdict to the scheduler state.
+func (rt *Runtime) runSlice(t *Thread, limit time.Duration) {
 	if rt.lastRun != nil && rt.lastRun != t {
 		rt.stats.ContextSwitches++
 		if rt.tel != nil {
@@ -336,8 +458,9 @@ func (rt *Runtime) tick() {
 	}
 	rt.lastRun = t
 	rt.current = t
+	rt.stats.Slices++
 	t.state = RunningState
-	t.clock.startSlice()
+	t.clock.startSlice(limit)
 
 	var span telemetry.Span
 	if tel := rt.tel; tel != nil {
@@ -364,27 +487,31 @@ func (rt *Runtime) tick() {
 			j()
 		}
 		t.joiners = nil
-		if len(rt.ready) > 0 {
-			rt.queueTick(true)
-		} else {
-			rt.maybeIdle()
-		}
 	case Yield:
 		t.state = ReadyState
-		rt.ready = append(rt.ready, t)
-		rt.queueTick(true)
+		rt.runq.push(t)
 	case Block:
-		if t.state != BlockedState {
+		// The thread must have parked itself (Thread.Block directly or
+		// via Completion.Await). ReadyState is also legal: the
+		// completion settled on-loop before the slice returned, and
+		// the thread is already queued again.
+		if t.state != BlockedState && t.state != ReadyState {
 			panic("core: Runnable returned Block without calling Thread.Block")
-		}
-		if len(rt.ready) > 0 {
-			rt.queueTick(true)
 		}
 	}
 }
 
+// noteQueueDepth exports the current run-queue depth.
+func (rt *Runtime) noteQueueDepth() {
+	if tel := rt.tel; tel != nil {
+		depth := int64(rt.runq.depth())
+		tel.runqDepth.Set(depth)
+		tel.runqMax.SetMax(depth)
+	}
+}
+
 func (rt *Runtime) maybeIdle() {
-	if len(rt.ready) > 0 {
+	if rt.runq.size > 0 {
 		return
 	}
 	for _, t := range rt.threads {
@@ -413,6 +540,20 @@ func (rt *Runtime) DeadlockedThreads() []*Thread {
 		}
 	}
 	return out
+}
+
+// DeadlockReport formats the deadlocked threads with the label of the
+// completion each is blocked on, e.g.
+// "worker#2 on monitorenter:Queue". Empty when nothing is deadlocked.
+func (rt *Runtime) DeadlockReport() string {
+	var b strings.Builder
+	for _, t := range rt.DeadlockedThreads() {
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s#%d on %s", t.Name, t.ID, t.BlockedOn())
+	}
+	return b.String()
 }
 
 // Threads returns all threads ever spawned.

@@ -4,15 +4,18 @@ import (
 	"testing"
 	"time"
 
-	"doppio/internal/browser"
 	"doppio/internal/telemetry"
 )
 
 func TestRuntimeTelemetry(t *testing.T) {
 	hub := telemetry.NewHub().EnableTracing()
-	win := browser.NewWindow(browser.Chrome28)
-	win.EnableTelemetry(hub)
-	rt := NewRuntime(win, Config{Timeslice: time.Millisecond})
+	// Batching off so every yield pays (and therefore counts) a
+	// suspension round trip.
+	loop, rt := newTestRuntime(chromeOpts(), Config{
+		Timeslice:   time.Millisecond,
+		BatchBudget: -1,
+		Telemetry:   hub,
+	})
 
 	const yields = 5
 	n := 0
@@ -24,7 +27,7 @@ func TestRuntimeTelemetry(t *testing.T) {
 		return Done
 	}))
 	rt.Start()
-	if err := win.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -65,14 +68,51 @@ func TestRuntimeTelemetry(t *testing.T) {
 	}
 }
 
+func TestRuntimeTelemetryBatching(t *testing.T) {
+	hub := telemetry.NewHub()
+	loop, rt := newTestRuntime(chromeOpts(), Config{
+		Timeslice:   time.Millisecond,
+		BatchBudget: 50 * time.Millisecond,
+		Telemetry:   hub,
+	})
+	for i := 0; i < 3; i++ {
+		n := 0
+		rt.Spawn("w", RunnableFunc(func(th *Thread) RunResult {
+			n++
+			if n < 4 {
+				return Yield
+			}
+			return Done
+		}))
+	}
+	rt.Start()
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reg := hub.Registry
+	batches := reg.Histogram("core", "batch_slices")
+	if batches.Count() == 0 {
+		t.Fatal("batch_slices never observed")
+	}
+	// 3 threads x 4 slices inside a 50 ms budget: the first batch packs
+	// everything, so the per-batch slice count must exceed 1.
+	if got := batches.Stats().Max; got < 2 {
+		t.Errorf("batch_slices max = %d, want > 1", got)
+	}
+	if got := reg.Gauge("core", "runq_depth_max").Value(); got < 2 {
+		t.Errorf("runq_depth_max = %d, want >= 2", got)
+	}
+	if got := reg.Gauge("core", "runq_depth").Value(); got != 0 {
+		t.Errorf("runq_depth after drain = %d, want 0", got)
+	}
+}
+
 func TestRuntimeTelemetryContextSwitches(t *testing.T) {
 	hub := telemetry.NewHub()
-	win := browser.NewWindow(browser.Chrome28)
-	win.EnableTelemetry(hub)
-	rt := NewRuntime(win, Config{
+	// Two same-priority threads round-robin deterministically.
+	loop, rt := newTestRuntime(chromeOpts(), Config{
 		Timeslice: time.Millisecond,
-		// Round-robin so the two threads interleave deterministically.
-		Scheduler: func(ready []*Thread) *Thread { return ready[0] },
+		Telemetry: hub,
 	})
 	for i := 0; i < 2; i++ {
 		n := 0
@@ -85,7 +125,7 @@ func TestRuntimeTelemetryContextSwitches(t *testing.T) {
 		}))
 	}
 	rt.Start()
-	if err := win.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if got := hub.Registry.Counter("core", "context_switches").Value(); got == 0 {
@@ -94,9 +134,8 @@ func TestRuntimeTelemetryContextSwitches(t *testing.T) {
 }
 
 func TestRuntimeWithoutTelemetry(t *testing.T) {
-	// A window with no hub must leave rt.tel nil and still run.
-	win := browser.NewWindow(browser.Chrome28)
-	rt := NewRuntime(win, Config{})
+	// A runtime with no hub must leave rt.tel nil and still run.
+	loop, rt := newTestRuntime(chromeOpts(), Config{})
 	if rt.tel != nil {
 		t.Fatal("telemetry must be disabled by default")
 	}
@@ -106,7 +145,7 @@ func TestRuntimeWithoutTelemetry(t *testing.T) {
 		return Done
 	}))
 	rt.Start()
-	if err := win.Loop.Run(); err != nil {
+	if err := loop.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if !done {

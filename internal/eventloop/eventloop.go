@@ -232,18 +232,23 @@ func (l *Loop) ClearTimeout(id TimerID) {
 }
 
 // OnMessage registers the window's global message handler.
-func (l *Loop) OnMessage(fn func(data string)) { l.msgHandler = fn }
+func (l *Loop) OnMessage(fn func(data string)) {
+	l.mu.Lock()
+	l.msgHandler = fn
+	l.mu.Unlock()
+}
 
 // PostMessage sends a string message to the window itself. In most
 // browsers the handler is enqueued as an event at the back of the
 // queue; with Options.SyncPostMessage (IE8) the handler runs
 // synchronously before PostMessage returns.
 func (l *Loop) PostMessage(data string) {
+	l.mu.Lock()
 	h := l.msgHandler
 	if h == nil {
+		l.mu.Unlock()
 		return
 	}
-	l.mu.Lock()
 	l.stats.Messages++
 	if tel := l.tel; tel != nil {
 		tel.messages.Inc()

@@ -83,9 +83,11 @@ type DoppioOptions struct {
 	// VFS of the same window.
 	FS         HostFS
 	Properties map[string]string
-	// Timeslice and ForceMechanism pass through to the Doppio
-	// execution environment.
+	// Timeslice, BatchBudget and ForceMechanism pass through to the
+	// Doppio execution environment (negative BatchBudget disables
+	// slice batching — one timeslice per macrotask).
 	Timeslice      time.Duration
+	BatchBudget    time.Duration
 	ForceMechanism string
 	FixedCounter   int
 	HeapSize       int
@@ -143,10 +145,12 @@ func NewDoppioVM(win *browser.Window, opts DoppioOptions) *DoppioVM {
 	if !opts.DisableEngineTax {
 		vm.engineTax = int(engineBaseTax * win.Profile.EngineFactor)
 	}
-	vm.rt = core.NewRuntime(win, core.Config{
+	vm.rt = core.NewRuntime(win.Loop, core.Config{
 		Timeslice:      opts.Timeslice,
+		BatchBudget:    opts.BatchBudget,
 		ForceMechanism: opts.ForceMechanism,
 		FixedCounter:   opts.FixedCounter,
+		Telemetry:      win.Telemetry,
 	})
 	if win.Telemetry != nil {
 		vm.EnableTelemetry(win.Telemetry)
@@ -301,7 +305,8 @@ func (vm *DoppioVM) RunMain(mainClass string, args []string) error {
 	}
 	if !finished {
 		if dead := vm.rt.DeadlockedThreads(); len(dead) > 0 {
-			return fmt.Errorf("jvm: deadlock: %d thread(s) blocked forever", len(dead))
+			return fmt.Errorf("jvm: deadlock: %d thread(s) blocked forever: %s",
+				len(dead), vm.rt.DeadlockReport())
 		}
 		return fmt.Errorf("jvm: event loop drained before main finished")
 	}
@@ -358,25 +363,16 @@ func (t *DThread) pushInitIfNeeded(c *Class) bool {
 	return pushed
 }
 
-// blockOn suspends the thread around an asynchronous operation. If
-// the operation completes synchronously the thread never blocks and
-// blockOn returns false.
+// blockOn suspends the thread around an asynchronous operation via a
+// core.Completion labelled with the reason (visible in deadlock
+// reports). If the operation completes synchronously the thread never
+// blocks and blockOn returns false.
 func (t *DThread) blockOn(ct *core.Thread, reason string, launch func(done func())) bool {
-	completed := false
-	armed := false
-	var resume func()
-	launch(func() {
-		if !armed {
-			completed = true
-			return
-		}
-		resume()
-	})
-	if completed {
+	c := core.NewCompletion(t.vm.win.Loop, reason)
+	launch(func() { c.Resolve(nil, nil) })
+	if !c.Await(ct) {
 		return false
 	}
-	armed = true
-	resume = ct.Block(reason)
 	t.blocked = true
 	return true
 }
@@ -578,6 +574,8 @@ func (vm *DoppioVM) IdentityHash(o *Object) int32 {
 }
 
 // SpawnThread starts threadObj.run() on a new Doppio thread (§6.2).
+// The Java thread's priority field (MIN_PRIORITY..MAX_PRIORITY) maps
+// directly onto the run queue's levels.
 func (vm *DoppioVM) SpawnThread(threadObj *Object) {
 	run := threadObj.Class.FindMethod("run", "()V")
 	t := vm.spawn("jvm-thread")
@@ -586,6 +584,21 @@ func (vm *DoppioVM) SpawnThread(threadObj *Object) {
 	t.frames = []*DFrame{f}
 	t.obj = threadObj
 	threadObj.Extra = t
+	if p, err := threadObj.GetField(threadObj.Class, "priority"); err == nil && p.N != 0 {
+		t.coreT.SetPriority(int(p.N))
+	}
+}
+
+// SetThreadPriority maps Thread.setPriority onto the run queue: the
+// JVM's 1..10 priority range is the scheduler's level range.
+func (vm *DoppioVM) SetThreadPriority(threadObj *Object, p int32) {
+	if target, ok := threadObj.Extra.(*DThread); ok && target.coreT != nil {
+		target.coreT.SetPriority(int(p))
+		return
+	}
+	if vm.cur != nil && vm.cur.obj == threadObj && vm.cur.coreT != nil {
+		vm.cur.coreT.SetPriority(int(p))
+	}
 }
 
 // CurrentThreadObj returns the running thread's Thread object.

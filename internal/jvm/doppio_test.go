@@ -3,6 +3,7 @@ package jvm_test
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -873,5 +874,56 @@ public class Main {
 	// char (IE8 validates strings).
 	if _, ok := win.LocalStorage.GetItem("f!/blob.bin"); !ok {
 		t.Error("file not persisted to localStorage")
+	}
+}
+
+func TestDoppioThreadPriority(t *testing.T) {
+	// Thread.setPriority clamps to MIN..MAX, persists in the Java
+	// field, and lands on the core scheduler's run-queue level — both
+	// for set-before-start threads and for the current thread.
+	classes, err := rt.CompileWith(map[string]string{"Main.mj": `
+class W extends Thread {
+    public void run() { }
+}
+public class Main {
+    public static void main(String[] args) {
+        W a = new W();
+        W b = new W();
+        a.setPriority(9);
+        b.setPriority(99);
+        System.out.println(a.getPriority());
+        System.out.println(b.getPriority());
+        a.start(); b.start();
+        a.join(); b.join();
+        Thread.currentThread().setPriority(3);
+        System.out.println(Thread.currentThread().getPriority());
+        System.out.println(Thread.MAX_PRIORITY - Thread.MIN_PRIORITY);
+    }
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	var stdout bytes.Buffer
+	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
+		Stdout:           &stdout,
+		Provider:         jvm.MapProvider(classes),
+		DisableEngineTax: true,
+	})
+	if err := vm.RunMain("Main", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := stdout.String(); got != "9\n10\n3\n9\n" {
+		t.Errorf("output = %q, want clamped priorities 9, 10, 3 and range 9", got)
+	}
+	// The core threads must carry the mapped priorities: the two
+	// workers 9 and 10 (clamped), the main thread 3.
+	var prios []int
+	for _, ct := range vm.Runtime().Threads() {
+		prios = append(prios, ct.Priority())
+	}
+	sort.Ints(prios)
+	if len(prios) != 3 || prios[0] != 3 || prios[1] != 9 || prios[2] != 10 {
+		t.Errorf("core thread priorities = %v, want [3 9 10]", prios)
 	}
 }

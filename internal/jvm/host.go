@@ -89,6 +89,10 @@ type NativeHost interface {
 
 	// Threading (§6.2).
 	SpawnThread(threadObj *Object)
+	// SetThreadPriority maps Thread.setPriority (MIN_PRIORITY..
+	// MAX_PRIORITY) onto the engine's scheduler; engines without a
+	// priority scheduler may treat it as bookkeeping.
+	SetThreadPriority(threadObj *Object, p int32)
 	CurrentThreadObj() *Object
 	Sleep(ms int64, done func())
 	YieldThread()

@@ -1047,9 +1047,12 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 				mon.Count++
 			default:
 				// Contended: block; re-execute monitorenter on resume.
+				// The completion label names the monitor's class so a
+				// deadlock report says what the thread is stuck on.
 				f.pushR(o)
-				resume := ct.Block("monitorenter")
-				mon.BlockQ = append(mon.BlockQ, resume)
+				c := core.NewCompletion(vm.win.Loop, "monitorenter:"+o.Class.Name)
+				mon.BlockQ = append(mon.BlockQ, func() { c.Resolve(nil, nil) })
+				c.Await(ct)
 				return core.Block
 			}
 		case classfile.OpMonitorexit:

@@ -538,6 +538,11 @@ func (vm *NativeVM) SpawnThread(threadObj *Object) {
 	vm.threads = append(vm.threads, t)
 }
 
+// SetThreadPriority is bookkeeping only: the native engine's
+// round-robin interleaver has no priority levels, so the value lives
+// in the Thread object's field alone.
+func (vm *NativeVM) SetThreadPriority(threadObj *Object, p int32) {}
+
 // CurrentThreadObj returns the running thread's Thread object.
 func (vm *NativeVM) CurrentThreadObj() *Object {
 	if vm.cur != nil && vm.cur.obj != nil {

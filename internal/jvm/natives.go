@@ -101,6 +101,10 @@ func registerNatives() map[string]NativeFunc {
 		h.YieldThread()
 		return NativeResult{}
 	}
+	n["java/lang/Thread.setPriority0(I)V"] = func(h NativeHost, recv *Object, args []Value) NativeResult {
+		h.SetThreadPriority(recv, args[0].(int32))
+		return NativeResult{}
+	}
 	n["java/lang/Thread.currentThread()Ljava/lang/Thread;"] = func(h NativeHost, _ *Object, _ []Value) NativeResult {
 		return NativeResult{Value: h.CurrentThreadObj()}
 	}

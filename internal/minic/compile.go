@@ -84,6 +84,7 @@ const (
 	SysStrCmp   = 11 // (a, b) → -1/0/1
 	SysStrCpy   = 12 // (dst, src) → dst
 	SysAtoi     = 13 // (s) → value
+	SysSetPrio  = 14 // (p) → effective run-queue priority
 )
 
 // builtins maps callable names to (syscall, argc, result type).
@@ -92,19 +93,20 @@ var builtins = map[string]struct {
 	argc int
 	ret  cType
 }{
-	"puts":      {SysPutStr, 1, tyInt},
-	"putint":    {SysPutInt, 1, tyInt},
-	"putchar":   {SysPutChar, 1, tyInt},
-	"malloc":    {SysMalloc, 1, tyPtrInt},
-	"free":      {SysFree, 1, tyInt},
-	"readfile":  {SysReadFile, 1, tyPtrChar},
-	"writefile": {SysWrite, 3, tyInt},
-	"exists":    {SysExists, 1, tyInt},
-	"getline":   {SysGetLine, 2, tyInt},
-	"strlen":    {SysStrLen, 1, tyInt},
-	"strcmp":    {SysStrCmp, 2, tyInt},
-	"strcpy":    {SysStrCpy, 2, tyPtrChar},
-	"atoi":      {SysAtoi, 1, tyInt},
+	"puts":        {SysPutStr, 1, tyInt},
+	"putint":      {SysPutInt, 1, tyInt},
+	"putchar":     {SysPutChar, 1, tyInt},
+	"malloc":      {SysMalloc, 1, tyPtrInt},
+	"free":        {SysFree, 1, tyInt},
+	"readfile":    {SysReadFile, 1, tyPtrChar},
+	"writefile":   {SysWrite, 3, tyInt},
+	"exists":      {SysExists, 1, tyInt},
+	"getline":     {SysGetLine, 2, tyInt},
+	"strlen":      {SysStrLen, 1, tyInt},
+	"strcmp":      {SysStrCmp, 2, tyInt},
+	"strcpy":      {SysStrCpy, 2, tyPtrChar},
+	"atoi":        {SysAtoi, 1, tyInt},
+	"setpriority": {SysSetPrio, 1, tyInt},
 }
 
 // compiler state for one program.

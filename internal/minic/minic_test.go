@@ -336,3 +336,18 @@ int main() {
 		t.Errorf("out = %q", stdout.String())
 	}
 }
+
+func TestSetPriorityBuiltin(t *testing.T) {
+	// setpriority(p) moves the calling thread to run-queue level p and
+	// returns the effective (clamped) priority — syscall 14.
+	out, _ := runC(t, `
+int main() {
+    putint(setpriority(8)); putchar('\n');
+    putint(setpriority(99)); putchar('\n');
+    putint(setpriority(-3)); putchar('\n');
+    return 0;
+}`, minic.VMOptions{})
+	if out != "8\n10\n1\n" {
+		t.Errorf("out = %q, want clamped priorities 8, 10, 1", out)
+	}
+}

@@ -90,7 +90,7 @@ func NewVM(win *browser.Window, prog *Program, opts VMOptions) (*VM, error) {
 		prog:   prog,
 		heap:   heap,
 		win:    win,
-		rt:     core.NewRuntime(win, core.Config{}),
+		rt:     core.NewRuntime(win.Loop, core.Config{Telemetry: win.Telemetry}),
 		fs:     opts.FS,
 		stdout: opts.Stdout,
 		stdin:  opts.Stdin,
@@ -444,9 +444,16 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 		}
 		vm.push(v)
 
+	case SysSetPrio:
+		// setpriority(p): move the calling thread to run-queue level p
+		// (clamped); returns the effective priority.
+		p := vm.pop()
+		ct.SetPriority(int(p))
+		vm.push(int32(ct.Priority()))
+
 	case SysExists:
 		path := vm.cString(vm.pop())
-		return vm.blockOn(ct, func(done func(int32)) {
+		return vm.blockOn(ct, "minic:exists:"+path, func(done func(int32)) {
 			vm.fs.Exists(path, func(ok bool) {
 				if ok {
 					done(1)
@@ -459,7 +466,7 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 		// The §7.2 payoff: synchronous dynamic file loading — the
 		// program blocks while the Doppio FS fetches the file.
 		path := vm.cString(vm.pop())
-		return vm.blockOn(ct, func(done func(int32)) {
+		return vm.blockOn(ct, "minic:readfile:"+path, func(done func(int32)) {
 			vm.fs.ReadFile(path, func(b *buffer.Buffer, err error) {
 				if err != nil {
 					done(0)
@@ -481,7 +488,7 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 		dataAddr := vm.pop()
 		path := vm.cString(vm.pop())
 		data := vm.heap.ReadBytes(int(dataAddr), int(length))
-		return vm.blockOn(ct, func(done func(int32)) {
+		return vm.blockOn(ct, "minic:writefile:"+path, func(done func(int32)) {
 			vm.fs.WriteFile(path, data, func(err error) {
 				if err != nil {
 					done(-1)
@@ -497,7 +504,7 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 			vm.push(-1)
 			return false
 		}
-		return vm.blockOn(ct, func(done func(int32)) {
+		return vm.blockOn(ct, "minic:getline", func(done func(int32)) {
 			vm.stdin(int(max), func(line string, eof bool) {
 				if eof {
 					done(-1)
@@ -517,26 +524,20 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 }
 
 // blockOn bridges an async Doppio service into a blocking syscall
-// (§4.2). If the completion fires synchronously the thread never
-// blocks; otherwise the result is deposited for the resume.
-func (vm *VM) blockOn(ct *core.Thread, launch func(done func(int32))) bool {
-	completed := false
-	armed := false
-	var resume func()
-	launch(func(v int32) {
-		if !armed {
-			vm.push(v)
-			completed = true
-			return
-		}
-		vm.depValue = v
-		vm.depReady = true
-		resume()
-	})
-	if completed {
+// (§4.2) through a core.Completion labelled with the operation (the
+// label deadlock reports show). If the completion fires synchronously
+// the thread never blocks; otherwise the result is deposited for the
+// resume.
+func (vm *VM) blockOn(ct *core.Thread, label string, launch func(done func(int32))) bool {
+	c := core.NewCompletion(vm.win.Loop, label)
+	launch(func(v int32) { c.Resolve(v, nil) })
+	if !c.Await(ct) {
+		vm.push(c.Value().(int32))
 		return false
 	}
-	armed = true
-	resume = ct.Block("minic-syscall")
+	c.Then(func(v interface{}, _ error) {
+		vm.depValue = v.(int32)
+		vm.depReady = true
+	})
 	return true
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"doppio/internal/browser"
+	"doppio/internal/core"
 	"doppio/internal/eventloop"
 	"doppio/internal/telemetry"
 )
@@ -66,8 +67,12 @@ type WebSocket struct {
 	OnClose   func()
 	OnPong    func(data []byte)
 
-	tel    *wsTelemetry
-	closed bool
+	tel *wsTelemetry
+
+	// settle resolves the connection-lifetime completion: exactly one
+	// call wins — with an error for a failed dial, nil for a peer
+	// close — and releases the loop's pending slot.
+	settle func(v interface{}, err error)
 }
 
 // wsTelemetry holds the socket layer's metric handles. Counters are
@@ -110,7 +115,20 @@ func DialWebSocket(w *browser.Window, addr string) *WebSocket {
 	if !w.Profile.HasWebSockets {
 		ws.shim = flashShimLatency
 	}
-	w.Loop.AddPending()
+	// The whole connection lifetime is one core.Completion: it keeps
+	// the event loop alive while the socket lives, and its single-fire
+	// settlement delivers the terminal error/close event exactly once
+	// no matter how the reader pump and Close race.
+	lifetime := core.NewCompletion(w.Loop, "ws:"+addr)
+	lifetime.Then(func(_ interface{}, err error) {
+		if err != nil && ws.OnError != nil {
+			ws.OnError(err)
+		}
+		if ws.OnClose != nil {
+			ws.OnClose()
+		}
+	})
+	ws.settle = lifetime.Resolver()
 	go ws.connect(addr)
 	return ws
 }
@@ -194,29 +212,8 @@ func (ws *WebSocket) connect(addr string) {
 	}
 }
 
-func (ws *WebSocket) fail(err error) {
-	ws.emit("ws-error", func() {
-		if ws.OnError != nil {
-			ws.OnError(err)
-		}
-		if ws.OnClose != nil {
-			ws.OnClose()
-		}
-		ws.loop.DonePending()
-	})
-}
-
-func (ws *WebSocket) closeEvent() {
-	ws.emit("ws-close", func() {
-		if !ws.closed {
-			ws.closed = true
-			if ws.OnClose != nil {
-				ws.OnClose()
-			}
-			ws.loop.DonePending()
-		}
-	})
-}
+func (ws *WebSocket) fail(err error) { ws.settle(nil, err) }
+func (ws *WebSocket) closeEvent()    { ws.settle(nil, nil) }
 
 // Send transmits data as one masked binary frame (client frames must
 // be masked per RFC 6455).

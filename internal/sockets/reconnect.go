@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"doppio/internal/browser"
+	"doppio/internal/core"
 	"doppio/internal/eventloop"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs/retry"
@@ -231,17 +232,13 @@ func (r *ReconnectingWS) scheduleRedial() {
 	}
 	d := r.opts.Policy.Backoff(r.attempt, r.rnd)
 	r.backoffNs.Add(int64(d))
-	// Same scheme as the VFS retry decorator: a pending slot keeps the
-	// loop alive across the wait, and the redial lands on the loop
-	// thread as an external event.
-	r.loop.AddPending()
-	time.AfterFunc(d, func() {
-		r.loop.InvokeExternal("ws-redial", func() {
-			r.loop.DonePending()
-			if !r.closed {
-				r.dial()
-			}
-		})
+	// Same scheme as the VFS retry decorator: core.After's completion
+	// holds a pending slot across the wait, and the redial lands on
+	// the loop thread as an external event.
+	core.After(r.loop, "ws-redial", d, func() {
+		if !r.closed {
+			r.dial()
+		}
 	})
 }
 

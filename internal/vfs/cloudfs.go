@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"doppio/internal/core"
 	"doppio/internal/eventloop"
 	"doppio/internal/vfs/vkernel"
 )
@@ -34,15 +35,14 @@ func NewCloudStore(latency time.Duration) *CloudStore {
 
 // call delivers fn on the loop after the network round trip.
 func (c *CloudStore) call(loop *eventloop.Loop, fn func()) {
-	loop.AddPending()
+	comp := core.NewCompletion(loop, "cloud")
+	comp.Then(func(interface{}, error) { fn() })
+	resolve := comp.Resolver()
 	go func() {
 		if c.latency > 0 {
 			time.Sleep(c.latency)
 		}
-		loop.InvokeExternal("cloud", func() {
-			fn()
-			loop.DonePending()
-		})
+		resolve(nil, nil)
 	}()
 }
 

@@ -22,6 +22,8 @@ package vfs
 import (
 	"errors"
 	"fmt"
+
+	"doppio/internal/core"
 )
 
 // Errno is a Unix-style error number.
@@ -71,6 +73,13 @@ func Classify(err error) (Errno, bool) {
 	var ae *ApiError
 	if errors.As(err, &ae) {
 		return ae.Errno, true
+	}
+	// A completion deadline expiring classifies as ETIMEDOUT — a
+	// transient errno, so the retry layer treats it like any other
+	// timed-out transport call.
+	var de *core.DeadlineError
+	if errors.As(err, &de) {
+		return ETIMEDOUT, true
 	}
 	return "", false
 }

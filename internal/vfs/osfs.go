@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"doppio/internal/core"
 	"doppio/internal/eventloop"
 )
 
@@ -35,15 +36,14 @@ func (o *OSBackend) path(p string) string {
 }
 
 // dispatch runs op off the event loop and delivers done back on it,
-// like any asynchronous browser API.
+// like any asynchronous browser API. The completion carries the
+// deliver closure as its value.
 func (o *OSBackend) dispatch(op func() func()) {
-	o.loop.AddPending()
+	c := core.NewCompletion(o.loop, "osfs")
+	c.Then(func(v interface{}, _ error) { v.(func())() })
+	resolve := c.Resolver()
 	go func() {
-		deliver := op()
-		o.loop.InvokeExternal("osfs", func() {
-			deliver()
-			o.loop.DonePending()
-		})
+		resolve(op(), nil)
 	}()
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"doppio/internal/core"
 	"doppio/internal/eventloop"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs/retry"
@@ -208,10 +209,11 @@ func (r *retrying) backoff(retryNo int) time.Duration {
 }
 
 // schedule delivers fn after the backoff wait. With a loop, the wait
-// rides a goroutine timer and fn is delivered as an external event on
-// the loop thread (held alive by a pending slot); without one, fn runs
-// immediately — there is nothing to keep alive and nothing that
-// guarantees another goroutine may touch the backend.
+// rides core.After — a goroutine timer whose completion holds a
+// pending slot and delivers fn as an external event on the loop
+// thread; without one, fn runs immediately — there is nothing to keep
+// alive and nothing that guarantees another goroutine may touch the
+// backend.
 func (r *retrying) schedule(d time.Duration, fn func()) {
 	if d > 0 {
 		r.backoffNs.Add(int64(d))
@@ -221,13 +223,7 @@ func (r *retrying) schedule(d time.Duration, fn func()) {
 		fn()
 		return
 	}
-	r.loop.AddPending()
-	time.AfterFunc(d, func() {
-		r.loop.InvokeExternal("vfs-retry", func() {
-			r.loop.DonePending()
-			fn()
-		})
-	})
+	core.After(r.loop, "vfs-retry", d, fn)
 }
 
 // verifyFn probes whether a mutation already committed. It reports
