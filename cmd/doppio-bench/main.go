@@ -5,6 +5,8 @@
 //	doppio-bench -table1 -table2
 //	doppio-bench -resp                # §7.1.3 responsiveness report
 //	doppio-bench -metrics -trace t.json   # instrumented default pass
+//	doppio-bench -fig3 -ops :6060     # live ops endpoints while it runs
+//	doppio-bench -ops-bench           # flight-recorder overhead A/B
 //
 // With -metrics and/or -trace but no figure selected, a default
 // telemetry pass runs: the disasm workload through DoppioJVM plus a
@@ -27,6 +29,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
 	"doppio/internal/fstrace"
+	"doppio/internal/ops"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
@@ -52,21 +55,44 @@ func main() {
 	schedBatch := flag.Bool("sched-batch", false, "slice-batching A/B on the multithreaded producer/consumer workload (suspension round trips, context switches, longest macrotask)")
 	schedPrio := flag.Bool("sched-prio", false, "priority run-queue A/B: four CPU-bound threads with and without Thread.setPriority")
 	schedOut := flag.String("sched-out", "BENCH_sched.json", "path for the -sched-batch/-sched-prio JSON report")
+	opsAddr := flag.String("ops", "", "serve the live ops endpoints (/metrics, /debug/threads, pprof, ...) on this address, e.g. :6060")
+	flightCap := flag.Int("flight", 0, "enable the flight recorder with this event capacity (0 disables; -ops enables it at the default capacity)")
+	traceCap := flag.Int("trace-cap", 0, "trace-event retention cap for -trace (0 = default 262144; negative = unlimited); overflow drops oldest events, counted in telemetry.trace_dropped")
+	opsBench := flag.Bool("ops-bench", false, "flight-recorder overhead A/B on a CPU-bound multithreaded workload")
+	opsOut := flag.String("ops-out", "BENCH_ops.json", "path for the -ops-bench JSON report")
 	flag.Parse()
 
 	var hub *telemetry.Hub
-	if *metrics || *tracePath != "" {
+	if *metrics || *tracePath != "" || *opsAddr != "" || *flightCap > 0 {
 		hub = telemetry.NewHub()
 		if *tracePath != "" {
 			hub.EnableTracing()
+			hub.Tracer.SetEventCap(*traceCap)
+		}
+		if *flightCap > 0 {
+			hub.EnableFlight(*flightCap)
+		} else if *opsAddr != "" {
+			// The ops endpoints are the flight ring's consumer; a
+			// black box costs too little to leave off here.
+			hub.EnableFlight(telemetry.DefaultFlightCapacity)
 		}
 	}
-	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio || *opsBench
 	if !anyFigure && hub == nil {
 		flag.Usage()
 		os.Exit(2)
 	}
 	cfg := bench.Config{Scale: *scale, DisableEngineTax: *noTax, Telemetry: hub, FSCache: *fsCache}
+	var opsSrv *ops.Server
+	if *opsAddr != "" {
+		opsSrv = ops.NewServer(hub)
+		addr, err := opsSrv.Serve(*opsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "doppio-bench: ops server on http://%s\n", addr)
+		cfg.Ops = opsSrv
+	}
 	if *browsersFlag != "" {
 		for _, name := range strings.Split(*browsersFlag, ",") {
 			p, ok := browser.ByName(strings.TrimSpace(name))
@@ -106,6 +132,15 @@ func main() {
 		go func() {
 			s := <-sig
 			fmt.Fprintf(os.Stderr, "doppio-bench: %v: dumping telemetry\n", s)
+			// Thread dumps first (they need the still-running loops),
+			// then the flight tail, then the metrics/trace files.
+			if opsSrv != nil {
+				for _, rep := range opsSrv.Reports("signal") {
+					fmt.Fprint(os.Stderr, rep.Text())
+				}
+			} else if hub.Flight != nil {
+				fmt.Fprint(os.Stderr, telemetry.FormatFlight(hub.Flight.Tail(50)))
+			}
 			finish()
 			os.Exit(130)
 		}()
@@ -228,6 +263,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("scheduler report written to %s\n", *schedOut)
+	}
+	if *opsBench {
+		res, err := bench.RunOpsOverhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatOpsOverhead(res))
+		if err := bench.WriteOpsReport(*opsOut, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ops overhead report written to %s\n", *opsOut)
 	}
 	if !anyFigure {
 		if err := runTelemetryPass(cfg); err != nil {

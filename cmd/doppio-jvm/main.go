@@ -5,19 +5,32 @@
 //
 //	doppio-jvm -browser "IE 10" -src prog.mj Main arg1 arg2
 //	doppio-jvm -cp classes/ Main
+//	doppio-jvm -ops :6060 -src prog.mj Main    # live ops endpoints
+//
+// When the program deadlocks, the watchdog kills a runaway task, or
+// stall detection (-stall-budget) trips, doppio-jvm emits a
+// jstack-style post-mortem — per-thread state with the Completion
+// label each blocked thread waits on, run-queue depths, the
+// unmanaged-heap free list, and the flight-recorder tail — to stderr,
+// and as JSON to the -postmortem path if given. SIGINT/SIGTERM dump
+// the same report for a live (hung but not yet failed) run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"doppio/internal/browser"
+	"doppio/internal/eventloop"
 	"doppio/internal/jvm"
 	"doppio/internal/jvm/rt"
+	"doppio/internal/ops"
 	"doppio/internal/telemetry"
 )
 
@@ -32,6 +45,12 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics snapshot after execution")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing)")
 	traceMethods := flag.Bool("trace-methods", false, "record a trace span per method invocation (with -trace; verbose)")
+	traceCap := flag.Int("trace-cap", 0, "trace-event retention cap for -trace (0 = default 262144; negative = unlimited); overflow drops oldest events, counted in telemetry.trace_dropped")
+	opsAddr := flag.String("ops", "", "serve the live ops endpoints (/metrics, /debug/threads, pprof, ...) on this address, e.g. :6060")
+	flightCap := flag.Int("flight", 0, "enable the flight recorder with this event capacity (0 disables; -ops and -postmortem enable it at the default capacity)")
+	postmortem := flag.String("postmortem", "", "write the automatic post-mortem report as JSON to this path (text always goes to stderr)")
+	stallBudget := flag.Duration("stall-budget", 0, "responsiveness budget per macrotask; exceeded -stall-count times in a row triggers a post-mortem (0 disables)")
+	stallCount := flag.Int("stall-count", 3, "consecutive over-budget macrotasks before -stall-budget trips")
 	flag.Parse()
 
 	if *list {
@@ -98,11 +117,19 @@ func main() {
 		fatal(fmt.Errorf("unknown browser %q (try -list)", *browserName))
 	}
 	win := browser.NewWindow(profile)
+	diagnosing := *opsAddr != "" || *flightCap > 0 || *postmortem != "" || *stallBudget > 0
 	var hub *telemetry.Hub
-	if *metrics || *tracePath != "" {
+	if *metrics || *tracePath != "" || diagnosing {
 		hub = telemetry.NewHub()
 		if *tracePath != "" {
 			hub.EnableTracing()
+			hub.Tracer.SetEventCap(*traceCap)
+		}
+		if *flightCap > 0 {
+			hub.EnableFlight(*flightCap)
+		} else if diagnosing {
+			// Every diagnostics path wants the black box.
+			hub.EnableFlight(telemetry.DefaultFlightCapacity)
 		}
 		hub.MethodSpans = *traceMethods
 		win.EnableTelemetry(hub)
@@ -114,8 +141,72 @@ func main() {
 		Timeslice:        *timeslice,
 		DisableEngineTax: !*tax,
 	})
+	src := ops.Source{Name: mainClass, Loop: win.Loop, Runtime: vm.Runtime(), Heap: vm.Heap()}
+	emit := func(rep *ops.Report) {
+		fmt.Fprint(os.Stderr, rep.Text())
+		if *postmortem != "" {
+			f, err := os.Create(*postmortem)
+			if err == nil {
+				err = rep.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doppio-jvm: writing post-mortem:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "doppio-jvm: post-mortem written to %s\n", *postmortem)
+			}
+		}
+	}
+	if *opsAddr != "" {
+		srv := ops.NewServer(hub)
+		srv.Register(src)
+		addr, err := srv.Serve(*opsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "doppio-jvm: ops server on http://%s\n", addr)
+	}
+	if diagnosing {
+		// SIGINT/SIGTERM on a hung run: dump the same report the
+		// failure paths produce, then exit. The loop is still running,
+		// so collection goes through it (degrading to the flight tail
+		// if it is wedged).
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			rep, err := ops.CollectOnLoop(hub, src, "signal", s.String(), time.Second)
+			if err != nil {
+				rep.Detail = err.Error()
+			}
+			emit(rep)
+			os.Exit(130)
+		}()
+	}
+	if *stallBudget > 0 {
+		// The callback runs on the loop goroutine, so inline
+		// collection is safe; report the first stall only.
+		tripped := false
+		win.Loop.SetStallMonitor(*stallBudget, *stallCount, func(ev eventloop.StallEvent) {
+			if tripped {
+				return
+			}
+			tripped = true
+			detail := fmt.Sprintf("macrotask %q ran %v (budget %v) %d times in a row",
+				ev.Label, ev.Elapsed.Round(time.Microsecond), ev.Budget, ev.Consecutive)
+			emit(ops.Collect(hub, src, "stall", detail))
+		})
+	}
 	start := time.Now()
 	if err := vm.RunMain(mainClass, args); err != nil {
+		// The loop has returned, so inline collection is safe here.
+		if _, isWatchdog := err.(*eventloop.WatchdogError); isWatchdog {
+			emit(ops.Collect(hub, src, "watchdog", err.Error()))
+		} else if strings.Contains(err.Error(), "deadlock") {
+			emit(ops.Collect(hub, src, "deadlock", err.Error()))
+		}
 		fatal(err)
 	}
 	if *stats {

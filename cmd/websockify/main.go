@@ -10,6 +10,10 @@
 // With -fault-rate, the proxy deterministically injects frame drops,
 // resets, and truncations at the given per-frame rate — a chaos mode
 // for exercising reconnecting clients against a flaky bridge.
+//
+// With -ops, a live ops server exposes /metrics (Prometheus text),
+// /debug/flight (recent connections, frames, and injected faults), and
+// net/http/pprof while the bridge runs.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"doppio/internal/ops"
 	"doppio/internal/sockets"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs/faultfs"
@@ -30,6 +35,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a telemetry metrics snapshot on shutdown")
 	faultRate := flag.Float64("fault-rate", 0, "per-frame fault injection rate: drops and resets at this rate, truncations at half of it (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the -fault-rate fault sequence")
+	opsAddr := flag.String("ops", "", "serve the live ops endpoints (/metrics, /debug/flight, pprof, ...) on this address, e.g. :6060")
+	flightCap := flag.Int("flight", 0, "enable the flight recorder (connection/frame/fault events) with this event capacity (0 disables; -ops enables it at the default capacity)")
 	flag.Parse()
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "usage: websockify -listen addr -target host:port")
@@ -41,9 +48,23 @@ func main() {
 		os.Exit(1)
 	}
 	var hub *telemetry.Hub
-	if *metrics {
+	if *metrics || *opsAddr != "" || *flightCap > 0 {
 		hub = telemetry.NewHub()
+		if *flightCap > 0 {
+			hub.EnableFlight(*flightCap)
+		} else if *opsAddr != "" {
+			hub.EnableFlight(telemetry.DefaultFlightCapacity)
+		}
 		proxy.SetTelemetry(hub)
+	}
+	if *opsAddr != "" {
+		srv := ops.NewServer(hub)
+		addr, err := srv.Serve(*opsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "websockify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("websockify: ops server on http://%s\n", addr)
 	}
 	if *faultRate > 0 {
 		proxy.SetFaults(faultfs.Plan{
@@ -60,7 +81,14 @@ func main() {
 	s := <-ch
 	fmt.Fprintf(os.Stderr, "websockify: %v: shutting down\n", s)
 	if hub != nil {
-		fmt.Fprint(os.Stderr, hub.Registry.Snapshot().Format())
+		if *metrics {
+			fmt.Fprint(os.Stderr, hub.Registry.Snapshot().Format())
+		}
+		if hub.Flight != nil {
+			// The bridge's black box: recent connections, frames in
+			// each direction, and injected faults.
+			fmt.Fprint(os.Stderr, telemetry.FormatFlight(hub.Flight.Tail(50)))
+		}
 	}
 	proxy.Close()
 }

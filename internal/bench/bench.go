@@ -17,6 +17,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
 	"doppio/internal/jvm"
+	"doppio/internal/ops"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	// first touch. Cache counters land in Telemetry under
 	// "vfscache.<backend>".
 	FSCache bool
+	// Ops, when non-nil, has each Doppio run register itself as an
+	// inspectable source, so the live endpoints (/debug/threads,
+	// /debug/vfs, ...) can see the workload while it executes.
+	Ops *ops.Server
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +258,15 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 		Timeslice:        cfg.Timeslice,
 		DisableEngineTax: cfg.DisableEngineTax,
 	})
+	if cfg.Ops != nil {
+		cfg.Ops.Register(ops.Source{
+			Name:    spec.ID + " @ " + profile.Name,
+			Loop:    win.Loop,
+			Runtime: vm.Runtime(),
+			Backend: root,
+			Heap:    vm.Heap(),
+		})
+	}
 	start := time.Now()
 	if err := vm.RunMain(spec.Main, spec.Args(scale)); err != nil {
 		return nil, fmt.Errorf("%s on %s: %w\n%s", spec.ID, profile.Name, err, stdout.String())

@@ -124,3 +124,15 @@ func (q *runQueue) pop() *Thread {
 
 // depth returns the number of queued threads.
 func (q *runQueue) depth() int { return q.size }
+
+// levelDepths counts the queued threads per priority level (index 0 is
+// priority 1, the least urgent) — post-mortem and /debug/threads data.
+func (q *runQueue) levelDepths() []int {
+	out := make([]int, len(q.levels))
+	for lvl := range q.levels {
+		for t := q.levels[lvl].head; t != nil; t = t.qnext {
+			out[lvl]++
+		}
+	}
+	return out
+}

@@ -210,6 +210,16 @@ type rtTelemetry struct {
 	ctxSwitches  *telemetry.Counter
 	overruns     *telemetry.Counter // batches that exceeded the budget
 	tracer       *telemetry.Tracer
+	flight       *telemetry.FlightRecorder
+}
+
+// flight returns the flight recorder, nil when recording is off; the
+// recorder's methods are nil-safe so call sites record unconditionally.
+func (rt *Runtime) flight() *telemetry.FlightRecorder {
+	if tel := rt.tel; tel != nil {
+		return tel.flight
+	}
+	return nil
 }
 
 // coreThreadTID maps a Doppio thread ID onto its trace track.
@@ -233,6 +243,7 @@ func (rt *Runtime) EnableTelemetry(h *telemetry.Hub) {
 		ctxSwitches:  h.Registry.Counter("core", "context_switches"),
 		overruns:     h.Registry.Counter("core", "batch_overruns"),
 		tracer:       h.Tracer,
+		flight:       h.Flight,
 	}
 }
 
@@ -369,6 +380,7 @@ func (rt *Runtime) Spawn(name string, r Runnable) *Thread {
 	if tel := rt.tel; tel != nil && tel.tracer != nil {
 		tel.tracer.ThreadName(coreThreadTID(t.ID), fmt.Sprintf("doppio thread %d: %s", t.ID, name))
 	}
+	rt.flight().Record("sched", "spawn", name, int64(t.ID))
 	rt.threads = append(rt.threads, t)
 	rt.runq.push(t)
 	rt.noteQueueDepth()
@@ -439,6 +451,11 @@ func (rt *Runtime) tick() {
 			tel.overruns.Inc()
 		}
 	}
+	note := ""
+	if overrun {
+		note = "overrun"
+	}
+	rt.flight().RecordNote("sched", "batch", "", note, int64(slices))
 	rt.noteQueueDepth()
 	if rt.runq.size > 0 {
 		rt.queueTick(true)

@@ -84,6 +84,7 @@ func (t *Thread) Block(reason string) (resume func()) {
 	}
 	t.state = BlockedState
 	t.blockedOn = reason
+	t.rt.flight().Record("comp", "block", reason, int64(t.ID))
 	fired := false
 	return func() {
 		if fired {
@@ -93,6 +94,7 @@ func (t *Thread) Block(reason string) (resume func()) {
 		if t.state != BlockedState {
 			return // terminated while blocked (e.g. runtime shutdown)
 		}
+		t.rt.flight().Record("comp", "settle", reason, int64(t.ID))
 		t.state = ReadyState
 		t.blockedOn = ""
 		t.rt.runq.push(t)

@@ -59,6 +59,20 @@ func (e *WatchdogError) Error() string {
 		e.Label, e.Elapsed.Round(time.Millisecond), e.Limit)
 }
 
+// StallEvent reports that macrotask latency exceeded the
+// responsiveness budget for N consecutive tasks — the event loop is
+// still alive (unlike a watchdog kill) but the page would feel frozen.
+type StallEvent struct {
+	// Label identifies the macrotask that completed the streak.
+	Label string
+	// Elapsed is that task's execution time.
+	Elapsed time.Duration
+	// Budget is the configured per-task responsiveness budget.
+	Budget time.Duration
+	// Consecutive is the length of the over-budget streak.
+	Consecutive int
+}
+
 // Stats accumulate per-run instrumentation used by the benchmarks.
 type Stats struct {
 	TasksRun    int
@@ -116,6 +130,12 @@ type Loop struct {
 
 	msgHandler func(data string)
 
+	// Stall monitor state (see SetStallMonitor).
+	stallBudget time.Duration
+	stallCount  int
+	stallFn     func(StallEvent)
+	stallRun    int
+
 	stats Stats
 	tel   *loopTelemetry
 }
@@ -131,7 +151,9 @@ type loopTelemetry struct {
 	messages    *telemetry.Counter
 	queueDepth  *telemetry.Gauge // depth after the latest enqueue
 	queueMax    *telemetry.Gauge // high-watermark depth
+	stalls      *telemetry.Counter
 	tracer      *telemetry.Tracer
+	flight      *telemetry.FlightRecorder
 }
 
 // EnableTelemetry attaches the loop to a telemetry hub: macrotask
@@ -150,7 +172,9 @@ func (l *Loop) EnableTelemetry(h *telemetry.Hub) {
 			messages:    h.Registry.Counter("eventloop", "messages"),
 			queueDepth:  h.Registry.Gauge("eventloop", "queue_depth"),
 			queueMax:    h.Registry.Gauge("eventloop", "queue_depth_max"),
+			stalls:      h.Registry.Counter("eventloop", "stalls"),
 			tracer:      h.Tracer,
+			flight:      h.Flight,
 		}
 		if h.Tracer != nil {
 			h.Tracer.ThreadName(telemetry.TIDEventLoop, "event loop")
@@ -301,6 +325,26 @@ func (l *Loop) DonePending() {
 	l.signal()
 }
 
+// SetStallMonitor arms stall detection: when a macrotask's execution
+// time exceeds budget for consecutive tasks in a row, fn fires (on the
+// loop goroutine, after the offending task completes) and the streak
+// resets. This catches responsiveness collapse the watchdog never
+// sees — many tasks each just long enough to freeze the page (§4.3's
+// responsiveness concern), none long enough to be killed. A zero
+// budget or nil fn disarms the monitor; consecutive < 1 is treated
+// as 1. Safe to call while the loop runs.
+func (l *Loop) SetStallMonitor(budget time.Duration, consecutive int, fn func(StallEvent)) {
+	if consecutive < 1 {
+		consecutive = 1
+	}
+	l.mu.Lock()
+	l.stallBudget = budget
+	l.stallCount = consecutive
+	l.stallFn = fn
+	l.stallRun = 0
+	l.mu.Unlock()
+}
+
 // Stop makes Run return after the current event completes.
 func (l *Loop) Stop() {
 	l.mu.Lock()
@@ -395,7 +439,6 @@ func (l *Loop) runTask(tk task, tel *loopTelemetry) {
 	}
 
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.stats.TasksRun++
 	l.stats.BusyTime += elapsed
 	if elapsed > l.stats.LongestTask {
@@ -403,5 +446,30 @@ func (l *Loop) runTask(tk task, tel *loopTelemetry) {
 	}
 	if l.opts.WatchdogLimit > 0 && elapsed > l.opts.WatchdogLimit {
 		l.killed = &WatchdogError{Label: tk.label, Elapsed: elapsed, Limit: l.opts.WatchdogLimit}
+		if tel != nil {
+			tel.flight.RecordNote("loop", "watchdog", tk.label, "killed", elapsed.Milliseconds())
+		}
+	}
+	var stall func(StallEvent)
+	var stallEv StallEvent
+	if l.stallBudget > 0 && l.stallFn != nil {
+		if elapsed > l.stallBudget {
+			l.stallRun++
+			if l.stallRun >= l.stallCount {
+				stall = l.stallFn
+				stallEv = StallEvent{Label: tk.label, Elapsed: elapsed, Budget: l.stallBudget, Consecutive: l.stallRun}
+				l.stallRun = 0
+			}
+		} else {
+			l.stallRun = 0
+		}
+	}
+	l.mu.Unlock()
+	if stall != nil {
+		if tel != nil {
+			tel.stalls.Inc()
+			tel.flight.RecordNote("loop", "stall", stallEv.Label, "over-budget", int64(stallEv.Consecutive))
+		}
+		stall(stallEv)
 	}
 }

@@ -1,0 +1,115 @@
+package eventloop
+
+import (
+	"testing"
+	"time"
+
+	"doppio/internal/telemetry"
+)
+
+// slowTask posts a macrotask that busy-waits for d.
+func slowTask(l *Loop, label string, d time.Duration) {
+	l.Post(label, func() {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+	})
+}
+
+func TestStallMonitorFiresAfterConsecutiveOverruns(t *testing.T) {
+	l := New(Options{})
+	var events []StallEvent
+	l.SetStallMonitor(time.Millisecond, 3, func(ev StallEvent) {
+		events = append(events, ev)
+	})
+	for i := 0; i < 3; i++ {
+		slowTask(l, "busy", 3*time.Millisecond)
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("stall events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Consecutive != 3 || ev.Budget != time.Millisecond || ev.Label != "busy" {
+		t.Fatalf("stall event = %+v", ev)
+	}
+	if ev.Elapsed < time.Millisecond {
+		t.Fatalf("stall elapsed %v under budget", ev.Elapsed)
+	}
+}
+
+func TestStallMonitorStreakResetsOnFastTask(t *testing.T) {
+	l := New(Options{})
+	fired := 0
+	l.SetStallMonitor(2*time.Millisecond, 2, func(StallEvent) { fired++ })
+	slowTask(l, "busy", 5*time.Millisecond)
+	l.Post("fast", func() {}) // breaks the streak
+	slowTask(l, "busy", 5*time.Millisecond)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("stall fired %d times despite broken streak", fired)
+	}
+}
+
+func TestStallMonitorDisarm(t *testing.T) {
+	l := New(Options{})
+	fired := 0
+	l.SetStallMonitor(time.Millisecond, 1, func(StallEvent) { fired++ })
+	l.SetStallMonitor(0, 1, nil)
+	slowTask(l, "busy", 3*time.Millisecond)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("disarmed monitor fired %d times", fired)
+	}
+}
+
+func TestStallRecordsTelemetry(t *testing.T) {
+	l := New(Options{})
+	hub := telemetry.NewHub().EnableFlight(64)
+	l.EnableTelemetry(hub)
+	l.SetStallMonitor(time.Millisecond, 2, func(StallEvent) {})
+	for i := 0; i < 2; i++ {
+		slowTask(l, "busy", 3*time.Millisecond)
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Registry.Counter("eventloop", "stalls").Value(); got != 1 {
+		t.Fatalf("eventloop.stalls = %d, want 1", got)
+	}
+	var found bool
+	for _, ev := range hub.Flight.Events() {
+		if ev.Cat == "loop" && ev.Event == "stall" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no loop/stall flight event recorded")
+	}
+}
+
+func TestWatchdogKillRecordsFlight(t *testing.T) {
+	l := New(Options{WatchdogLimit: time.Millisecond})
+	hub := telemetry.NewHub().EnableFlight(64)
+	l.EnableTelemetry(hub)
+	slowTask(l, "runaway", 5*time.Millisecond)
+	err := l.Run()
+	if _, ok := err.(*WatchdogError); !ok {
+		t.Fatalf("Run err = %v, want WatchdogError", err)
+	}
+	var found bool
+	for _, ev := range hub.Flight.Events() {
+		if ev.Cat == "loop" && ev.Event == "watchdog" && ev.Label == "runaway" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no loop/watchdog flight event: %+v", hub.Flight.Events())
+	}
+}

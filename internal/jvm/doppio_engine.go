@@ -517,6 +517,10 @@ func (vm *DoppioVM) FS() HostFS { return vm.fs }
 // UnsafeHeap exposes the unmanaged heap (§6.5).
 func (vm *DoppioVM) UnsafeHeap() *HeapBinding { return heapBinding(vm.heap) }
 
+// Heap exposes the raw unmanaged heap for diagnostics (free-list maps
+// in post-mortem reports and the ops server's /debug/heap).
+func (vm *DoppioVM) Heap() *umheap.Heap { return vm.heap }
+
 // SocketConnect opens a Doppio socket (§5.3) through the window.
 func (vm *DoppioVM) SocketConnect(host string, port int32, cb func(int32, error)) {
 	addr := fmt.Sprintf("%s:%d", host, port)

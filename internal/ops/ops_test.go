@@ -1,0 +1,372 @@
+package ops_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/core"
+	"doppio/internal/eventloop"
+	"doppio/internal/jvm"
+	"doppio/internal/jvm/rt"
+	"doppio/internal/ops"
+	"doppio/internal/telemetry"
+	"doppio/internal/vfs"
+)
+
+// deadlockProgram parks a worker in Object.wait with nobody to notify
+// it, then joins it from main: both threads block forever and the
+// runtime's deadlock detector fires after the event loop drains.
+const deadlockProgram = `
+class Waiter extends Thread {
+    static Object lock = new Object();
+    public void run() {
+        synchronized (lock) {
+            lock.wait();
+        }
+    }
+}
+
+public class Main {
+    public static void main(String[] args) {
+        Waiter w = new Waiter();
+        w.start();
+        w.join();
+    }
+}`
+
+// TestDeadlockPostMortem is the acceptance test for the post-mortem
+// path: a deliberately deadlocked JVM program must yield a report that
+// names every blocked thread with its Completion label and carries the
+// flight-recorder tail, in both the text and JSON renderings.
+func TestDeadlockPostMortem(t *testing.T) {
+	hub := telemetry.NewHub().EnableFlight(4096)
+	classes, cerr := rt.CompileWith(map[string]string{"Main.mj": deadlockProgram})
+	if cerr != nil {
+		t.Fatalf("compile: %v", cerr)
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	win.EnableTelemetry(hub)
+	var stdout bytes.Buffer
+	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
+		Stdout:           &stdout,
+		Provider:         jvm.MapProvider(classes),
+		DisableEngineTax: true,
+		Timeslice:        2 * time.Millisecond,
+	})
+	err := vm.RunMain("Main", nil)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("RunMain = %v, want deadlock error", err)
+	}
+
+	rep := ops.Collect(hub, ops.Source{
+		Name:    "jvm",
+		Runtime: vm.Runtime(),
+		Heap:    vm.Heap(),
+	}, "deadlock", err.Error())
+
+	if rep.Scheduler == nil {
+		t.Fatal("report has no scheduler dump")
+	}
+	blocked := rep.Scheduler.Blocked()
+	if len(blocked) < 2 {
+		t.Fatalf("blocked threads = %d, want >= 2 (waiter + joiner):\n%s",
+			len(blocked), rep.Scheduler.Format())
+	}
+	labels := map[string]bool{}
+	for _, b := range blocked {
+		if b.BlockedOn == "" {
+			t.Errorf("blocked thread %q#%d has no Completion label", b.Name, b.ID)
+		}
+		labels[b.BlockedOn] = true
+	}
+	for _, want := range []string{"java/lang/Object.wait(J)V", "java/lang/Thread.join()V"} {
+		if !labels[want] {
+			t.Errorf("no blocked thread labelled %q; labels: %v", want, labels)
+		}
+	}
+
+	text := rep.Text()
+	if !strings.Contains(text, "doppio post-mortem: deadlock") {
+		t.Errorf("text missing post-mortem header:\n%s", text)
+	}
+	// Every blocked thread must appear by name, id, and label.
+	for _, b := range blocked {
+		line := fmt.Sprintf("%s#%d on %s", b.Name, b.ID, b.BlockedOn)
+		if !strings.Contains(text, line) {
+			t.Errorf("text missing blocked thread line %q:\n%s", line, text)
+		}
+	}
+	if !strings.Contains(text, "== flight recorder ==") {
+		t.Errorf("text missing flight tail:\n%s", text)
+	}
+	if !strings.Contains(text, "== unmanaged heap ==") {
+		t.Errorf("text missing heap section:\n%s", text)
+	}
+
+	// The flight tail must include the block events for the deadlocked
+	// completions — that is the black box that explains the hang.
+	if len(rep.Flight) == 0 {
+		t.Fatal("report flight tail is empty")
+	}
+	flightBlocks := map[string]bool{}
+	for _, ev := range rep.Flight {
+		if ev.Cat == "comp" && ev.Event == "block" {
+			flightBlocks[ev.Label] = true
+		}
+	}
+	if !flightBlocks["java/lang/Object.wait(J)V"] {
+		t.Errorf("flight tail has no comp/block for Object.wait; blocks: %v", flightBlocks)
+	}
+
+	// JSON rendering round-trips with the same content.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded struct {
+		Reason    string `json:"reason"`
+		Scheduler *struct {
+			Threads []struct {
+				Name      string `json:"name"`
+				State     string `json:"state"`
+				BlockedOn string `json:"blocked_on"`
+			} `json:"threads"`
+		} `json:"scheduler"`
+		Flight []telemetry.FlightEvent `json:"flight"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report JSON invalid: %v", err)
+	}
+	if decoded.Reason != "deadlock" || decoded.Scheduler == nil || len(decoded.Flight) == 0 {
+		t.Fatalf("JSON report incomplete: reason=%q scheduler=%v flight=%d",
+			decoded.Reason, decoded.Scheduler, len(decoded.Flight))
+	}
+	jsonBlocked := 0
+	for _, th := range decoded.Scheduler.Threads {
+		if th.State == "blocked" && th.BlockedOn != "" {
+			jsonBlocked++
+		}
+	}
+	if jsonBlocked != len(blocked) {
+		t.Errorf("JSON blocked threads = %d, want %d", jsonBlocked, len(blocked))
+	}
+}
+
+func TestCollectVFSSection(t *testing.T) {
+	hub := telemetry.NewHub()
+	b := vfs.Stack(vfs.NewInMemory(),
+		vfs.WithCache(vfs.CacheOptions{}),
+		vfs.WithRetry(vfs.RetryOptions{}),
+		vfs.WithTelemetry(hub))
+	// Touch the stack so the stats are non-trivial.
+	b.Stat("/", func(vfs.Stats, error) {})
+	b.Stat("/", func(vfs.Stats, error) {})
+
+	rep := ops.Collect(hub, ops.Source{Name: "fs", Backend: b}, "vfs", "")
+	if rep.VFS == nil {
+		t.Fatal("report has no VFS section")
+	}
+	if rep.VFS.Cache == nil || rep.VFS.Retry == nil {
+		t.Fatalf("VFS section missing layers: cache=%v retry=%v", rep.VFS.Cache, rep.VFS.Retry)
+	}
+	if rep.VFS.Retry.Ops == 0 {
+		t.Errorf("retry layer saw no ops")
+	}
+	text := rep.Text()
+	if !strings.Contains(text, "== vfs (") || !strings.Contains(text, "breaker=") {
+		t.Errorf("text missing vfs section:\n%s", text)
+	}
+}
+
+// liveServer builds an ops server over a running event loop and
+// returns the test HTTP server plus a shutdown func.
+func liveServer(t *testing.T, hub *telemetry.Hub) (*httptest.Server, *eventloop.Loop, func()) {
+	t.Helper()
+	loop := eventloop.New(eventloop.Options{})
+	rtc := core.NewRuntime(loop, core.Config{Telemetry: hub})
+
+	s := ops.NewServer(hub)
+	s.Register(ops.Source{Name: "browser-0", Loop: loop, Runtime: rtc})
+
+	loop.AddPending() // keep the loop alive while handlers collect
+	done := make(chan error, 1)
+	go func() { done <- loop.Run() }()
+
+	ts := httptest.NewServer(s.Handler())
+	stop := func() {
+		ts.Close()
+		loop.DonePending()
+		if err := <-done; err != nil {
+			t.Errorf("loop.Run: %v", err)
+		}
+	}
+	return ts, loop, stop
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerLiveEndpoints drives the HTTP endpoints against a running
+// event loop: thread dumps are collected on the loop goroutine while
+// it runs.
+func TestServerLiveEndpoints(t *testing.T) {
+	hub := telemetry.NewHub().EnableFlight(128)
+	hub.Registry.Counter("core", "slices").Add(7)
+	hub.Flight.Record("sched", "spawn", "worker", 1)
+
+	ts, _, stop := liveServer(t, hub)
+	defer stop()
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "doppio_core_slices_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get(t, ts.URL+"/debug/threads")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/threads status = %d", code)
+	}
+	for _, want := range []string{"browser-0", "thread dump", "mechanism="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/threads missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight status = %d", code)
+	}
+	if !strings.Contains(body, "spawn") || !strings.Contains(body, "worker") {
+		t.Errorf("/debug/flight missing recorded event:\n%s", body)
+	}
+
+	_, body = get(t, ts.URL+"/debug/flight?format=json")
+	var events []telemetry.FlightEvent
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/debug/flight?format=json invalid: %v\n%s", err, body)
+	}
+	if len(events) != 1 || events[0].Event != "spawn" {
+		t.Errorf("flight JSON = %+v", events)
+	}
+
+	_, body = get(t, ts.URL+"/debug/threads?format=json")
+	var reports []json.RawMessage
+	if err := json.Unmarshal([]byte(body), &reports); err != nil {
+		t.Fatalf("/debug/threads?format=json invalid: %v\n%s", err, body)
+	}
+	if len(reports) != 1 {
+		t.Errorf("threads JSON reports = %d, want 1", len(reports))
+	}
+
+	code, body = get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "browser-0") {
+		t.Errorf("index status=%d body:\n%s", code, body)
+	}
+
+	// Source has no heap or VFS backend; endpoints degrade per-source
+	// instead of failing.
+	code, body = get(t, ts.URL+"/debug/heap")
+	if code != http.StatusOK || !strings.Contains(body, "no unmanaged heap") {
+		t.Errorf("/debug/heap status=%d body:\n%s", code, body)
+	}
+	code, body = get(t, ts.URL+"/debug/vfs")
+	if code != http.StatusOK || !strings.Contains(body, "no vfs backend") {
+		t.Errorf("/debug/vfs status=%d body:\n%s", code, body)
+	}
+}
+
+func TestServerDisabledFacilities(t *testing.T) {
+	s := ops.NewServer(telemetry.NewHub()) // no flight, no tracer
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts.URL+"/debug/flight"); code != http.StatusNotFound {
+		t.Errorf("/debug/flight without recorder: status = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/trace"); code != http.StatusNotFound {
+		t.Errorf("/debug/trace without tracer: status = %d, want 404", code)
+	}
+	if code, body := get(t, ts.URL+"/debug/threads"); code != http.StatusOK ||
+		!strings.Contains(body, "no sources registered") {
+		t.Errorf("/debug/threads with no sources: status=%d body=%q", code, body)
+	}
+	// Prometheus endpoint serves an empty document, not an error.
+	if code, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics status = %d", code)
+	}
+}
+
+// TestCollectOnLoopTimeout covers the wedged-loop path: the loop never
+// runs the posted collection, so the caller gets an error plus a
+// degraded report that still carries the flight tail.
+func TestCollectOnLoopTimeout(t *testing.T) {
+	hub := telemetry.NewHub().EnableFlight(16)
+	hub.Flight.Record("loop", "watchdog", "stuck-task", 0)
+	loop := eventloop.New(eventloop.Options{}) // never started: posts sit in the queue
+
+	rep, err := ops.CollectOnLoop(hub, ops.Source{Name: "wedged", Loop: loop},
+		"stall", "", 30*time.Millisecond)
+	if err == nil {
+		t.Fatal("CollectOnLoop on a dead loop returned no error")
+	}
+	if rep == nil || rep.Reason != "stall" {
+		t.Fatalf("degraded report = %+v", rep)
+	}
+	if rep.Scheduler != nil {
+		t.Error("degraded report has a scheduler dump despite the timeout")
+	}
+	if len(rep.Flight) == 0 || rep.Flight[0].Label != "stuck-task" {
+		t.Errorf("degraded report lost the flight tail: %+v", rep.Flight)
+	}
+}
+
+// TestTraceWindow exercises /debug/trace's windowed capture against a
+// live tracer.
+func TestTraceWindow(t *testing.T) {
+	hub := telemetry.NewHub().EnableTracing()
+	hub.Tracer.Instant(0, "test", "before-window")
+	s := ops.NewServer(hub)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Record an event while the window is open.
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		hub.Tracer.Instant(0, "test", "in-window")
+	}()
+	code, body := get(t, ts.URL+"/debug/trace?sec=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d", code)
+	}
+	if err := telemetry.ValidateChromeTrace([]byte(body)); err != nil {
+		t.Fatalf("trace window invalid: %v", err)
+	}
+	if !strings.Contains(body, "in-window") {
+		t.Errorf("trace window missing event recorded during capture:\n%s", body)
+	}
+	if strings.Contains(body, "before-window") {
+		t.Errorf("trace window leaked event recorded before capture:\n%s", body)
+	}
+}

@@ -35,6 +35,7 @@ type proxyTelemetry struct {
 	framesOut   *telemetry.Counter // TCP → WebSocket
 	bytesOut    *telemetry.Counter
 	handshake   *telemetry.Histogram
+	flight      *telemetry.FlightRecorder
 }
 
 // SetTelemetry attaches an observability hub to the proxy (nil
@@ -54,6 +55,7 @@ func (w *Websockify) SetTelemetry(h *telemetry.Hub) {
 		framesOut:   h.Registry.Counter("websockify", "frames_out"),
 		bytesOut:    h.Registry.Counter("websockify", "bytes_out"),
 		handshake:   h.Registry.Histogram("websockify", "handshake"),
+		flight:      h.Flight,
 	}
 }
 
@@ -166,9 +168,11 @@ func (w *Websockify) serve(wsConn net.Conn) {
 	if err != nil {
 		return
 	}
+	peer := wsConn.RemoteAddr().String()
 	if tel != nil {
 		tel.handshake.ObserveSince(hsStart)
 		tel.connections.Inc()
+		tel.flight.Record("sock", "conn", peer, 0)
 	}
 	tcpConn, err := net.Dial("tcp", w.target)
 	if err != nil {

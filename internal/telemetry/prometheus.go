@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), the payload the ops server
+// serves at /metrics.
+//
+// Mapping conventions:
+//   - metric names are doppio_<subsystem>_<name> with non-alphanumeric
+//     runes folded to '_' (Prometheus names cannot contain '.' or '-'),
+//   - counters gain the conventional _total suffix,
+//   - histograms are exported as summaries: quantile-labeled samples
+//     (p50/p95/p99) plus _sum and _count, with nanosecond readings
+//     converted to seconds as Prometheus base units require.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		name := promName(c.Subsystem, c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Subsystem, g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Subsystem, h.Name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			ns    int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, q.label, promSeconds(q.ns)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promSeconds(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName builds a legal Prometheus metric name from a (subsystem,
+// name) pair: the doppio_ namespace prefix, with every rune outside
+// [a-zA-Z0-9] folded to '_'.
+func promName(subsystem, name string) string {
+	return "doppio_" + promSanitize(subsystem) + "_" + promSanitize(name)
+}
+
+func promSanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeconds renders a nanosecond reading as seconds without
+// float-formatting noise (trailing zeros trimmed, integer seconds
+// keep one decimal so the sample is unambiguously a float).
+func promSeconds(ns int64) string {
+	s := fmt.Sprintf("%.9f", float64(ns)/1e9)
+	s = strings.TrimRight(s, "0")
+	if strings.HasSuffix(s, ".") {
+		s += "0"
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition bytes for a
+// deterministic registry. Run with -update (shared with the trace
+// golden test) after an intended format change.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core", "context_switches").Add(42)
+	r.Counter("vfs.osfs", "open-calls").Add(7) // '.' and '-' must fold to '_'
+	r.Gauge("core", "runq_depth").Set(3)
+	// A single-sample histogram: every quantile clamps to the one
+	// observation, so the output is exact and stable.
+	r.Histogram("vfs.osfs", "read").Observe(1_500_000) // 1.5ms
+	r.Histogram("loop", "empty")                       // registered, never observed
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition format drifted from golden.\n-- got --\n%s\n-- want --\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[[2]string]string{
+		{"core", "slices"}:           "doppio_core_slices",
+		{"vfs.osfs", "read"}:         "doppio_vfs_osfs_read",
+		{"vfs-retry", "give ups"}:    "doppio_vfs_retry_give_ups",
+		{"sockets", "bytes_in"}:      "doppio_sockets_bytes_in",
+		{"jvm", "op/invokevirtual"}:  "doppio_jvm_op_invokevirtual",
+		{"telemetry", "trace_drop—"}: "doppio_telemetry_trace_drop_",
+	}
+	for in, want := range cases {
+		if got := promName(in[0], in[1]); got != want {
+			t.Errorf("promName(%q, %q) = %q, want %q", in[0], in[1], got, want)
+		}
+	}
+}
+
+func TestPromSeconds(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0.0",
+		1:             "0.000000001",
+		1_500_000:     "0.0015",
+		1_000_000_000: "1.0",
+		2_250_000_000: "2.25",
+	}
+	for ns, want := range cases {
+		if got := promSeconds(ns); got != want {
+			t.Errorf("promSeconds(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+// TestHistogramEmptyQuantiles: every quantile of an empty histogram is
+// 0, including through a nil receiver and through Stats.
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := newHistogram()
+	for _, q := range []float64{0.001, 0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if s := h.Stats(); s != (HistogramStats{}) {
+		t.Errorf("empty Stats = %+v, want zero", s)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Errorf("nil Quantile = %d, want 0", got)
+	}
+}
+
+// TestHistogramSingleSampleP99: with one observation every quantile —
+// p99 included — must report exactly that observation (the min/max
+// clamp, not a bucket midpoint).
+func TestHistogramSingleSampleP99(t *testing.T) {
+	for _, v := range []int64{1, 777, 123_456_789} {
+		h := newHistogram()
+		h.Observe(v)
+		for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single-sample(%d) Quantile(%g) = %d, want %d", v, q, got, v)
+			}
+		}
+		if s := h.Stats(); s.P99 != v || s.Min != v || s.Max != v || s.Count != 1 {
+			t.Errorf("single-sample(%d) Stats = %+v", v, s)
+		}
+	}
+}
+
+// TestSnapshotDuringMutationRace hammers the registry from writer
+// goroutines while snapshots (and Prometheus renders) run concurrently
+// — the -race job's coverage for snapshot-during-mutation.
+func TestSnapshotDuringMutationRace(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("race", "ops")
+			g := r.Gauge("race", "depth")
+			h := r.Histogram("race", "lat")
+			for i := 0; ; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 1000))
+				// Late registration while snapshots iterate the maps.
+				if i%64 == 0 {
+					r.Counter("race", string(rune('a'+w))).Inc()
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < 50; i++ {
+		s := r.Snapshot()
+		buf.Reset()
+		if err := s.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if s.Format() == "" {
+			t.Fatal("empty format")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := r.Counter("race", "ops").Value(); got == 0 {
+		t.Fatal("writers never ran")
+	}
+}

@@ -47,6 +47,10 @@ type Hub struct {
 	Registry *Registry
 	// Tracer records trace events, or nil when tracing is off.
 	Tracer *Tracer
+	// Flight is the always-on event ring buffer, or nil when flight
+	// recording is off. Instrumented packages hold this pointer and
+	// call Record unconditionally (nil receiver is a no-op).
+	Flight *FlightRecorder
 	// MethodSpans opts into per-method-invocation trace spans in the
 	// JVM interpreter. Off by default: a busy run produces millions of
 	// invocations, which overwhelms trace viewers.
@@ -58,8 +62,21 @@ func NewHub() *Hub {
 	return &Hub{Registry: NewRegistry()}
 }
 
-// EnableTracing attaches a fresh Tracer and returns the hub.
+// EnableTracing attaches a fresh Tracer and returns the hub. The
+// tracer's event ring is bounded (DefaultTraceEventCap; adjust with
+// Tracer.SetEventCap) and overflow is counted in the
+// telemetry.trace_dropped counter.
 func (h *Hub) EnableTracing() *Hub {
 	h.Tracer = NewTracer()
+	if h.Registry != nil {
+		h.Tracer.SetDropCounter(h.Registry.Counter("telemetry", "trace_dropped"))
+	}
+	return h
+}
+
+// EnableFlight attaches a flight recorder retaining the last capacity
+// events (DefaultFlightCapacity when non-positive) and returns the hub.
+func (h *Hub) EnableFlight(capacity int) *Hub {
+	h.Flight = NewFlightRecorder(capacity)
 	return h
 }

@@ -40,24 +40,75 @@ type traceFile struct {
 // belongs to one emulated browser process.
 const tracePID = 1
 
+// DefaultTraceEventCap bounds how many trace events a Tracer retains
+// before the ring starts overwriting the oldest — long -trace runs
+// keep the newest window instead of growing without limit. Override
+// with SetEventCap (the cmds expose it as -trace-cap).
+const DefaultTraceEventCap = 1 << 18
+
 // Tracer accumulates trace events in memory and serializes them as
-// Chrome trace_event JSON. All methods are safe for concurrent use; a
-// nil *Tracer is a valid no-op receiver, so call sites can hold an
-// optional tracer without guarding.
+// Chrome trace_event JSON. Retention is bounded: once the event ring
+// reaches its cap (DefaultTraceEventCap unless SetEventCap was
+// called), the oldest events are overwritten and counted as dropped.
+// All methods are safe for concurrent use; a nil *Tracer is a valid
+// no-op receiver, so call sites can hold an optional tracer without
+// guarding.
 type Tracer struct {
 	mu          sync.Mutex
 	start       time.Time
 	now         func() time.Time
 	events      []TraceEvent
 	threadNames map[int]string
+	cap         int    // ring capacity; < 0 means unlimited
+	head        int    // index of oldest event once the ring is full
+	total       uint64 // events ever recorded
+	dropCtr     *Counter
 }
 
 // NewTracer creates an empty tracer; event timestamps are relative to
 // this call.
 func NewTracer() *Tracer {
-	t := &Tracer{now: time.Now, threadNames: make(map[int]string)}
+	t := &Tracer{now: time.Now, threadNames: make(map[int]string), cap: DefaultTraceEventCap}
 	t.start = t.now()
 	return t
+}
+
+// SetEventCap changes the retention cap: n > 0 keeps the newest n
+// events, n < 0 removes the bound (unlimited growth, the pre-cap
+// behavior), n == 0 restores DefaultTraceEventCap. Call before
+// recording begins; lowering the cap mid-run discards oldest events.
+func (t *Tracer) SetEventCap(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case n < 0:
+		t.cap = -1
+	case n == 0:
+		t.cap = DefaultTraceEventCap
+	default:
+		t.cap = n
+	}
+	if t.cap > 0 && len(t.events) > t.cap {
+		ordered := t.orderedLocked()
+		drop := len(ordered) - t.cap
+		t.events = append([]TraceEvent(nil), ordered[drop:]...)
+		t.head = 0
+		t.dropCtr.Add(int64(drop))
+	}
+}
+
+// SetDropCounter wires a counter incremented once per overwritten
+// event (Hub.EnableTracing points it at telemetry.trace_dropped).
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropCtr = c
+	t.mu.Unlock()
 }
 
 // setClock replaces the time source (tests only, before recording).
@@ -72,8 +123,74 @@ func (t *Tracer) micros(at time.Time) int64 {
 
 func (t *Tracer) add(ev TraceEvent) {
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	if t.cap > 0 && len(t.events) >= t.cap {
+		t.events[t.head] = ev
+		t.head = (t.head + 1) % t.cap
+		t.dropCtr.Add(1)
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.total++
 	t.mu.Unlock()
+}
+
+// orderedLocked returns retained events oldest-first; t.mu must be
+// held. The returned slice aliases t.events only when the ring has
+// not wrapped.
+func (t *Tracer) orderedLocked() []TraceEvent {
+	if t.head == 0 {
+		return t.events
+	}
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	return append(out, t.events[:t.head]...)
+}
+
+// Total returns the number of events ever recorded, including those
+// the ring has since overwritten. The ops server uses it to delimit
+// windowed captures.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.events))
+}
+
+// EventsSince returns the retained events whose global sequence number
+// (0-based recording order, as counted by Total) is >= seq, oldest
+// first, prefixed by the thread-name metadata events. Events older
+// than the retained window are simply absent. It powers the ops
+// server's windowed /debug/trace?sec=N capture: snapshot Total, wait,
+// then collect EventsSince(snapshot).
+func (t *Tracer) EventsSince(seq uint64) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ordered := t.orderedLocked()
+	oldest := t.total - uint64(len(ordered))
+	if seq > oldest {
+		skip := seq - oldest
+		if skip >= uint64(len(ordered)) {
+			ordered = nil
+		} else {
+			ordered = ordered[skip:]
+		}
+	}
+	return append(t.metadataEvents(), append([]TraceEvent(nil), ordered...)...)
 }
 
 // ThreadName names a track; it is emitted as a thread_name metadata
@@ -142,7 +259,7 @@ func (t *Tracer) CounterEvent(tid int, name string, value int64) {
 	})
 }
 
-// Events returns a copy of the recorded events (metadata events
+// Events returns a copy of the retained events (metadata events
 // included, first), in recording order.
 func (t *Tracer) Events() []TraceEvent {
 	if t == nil {
@@ -150,7 +267,7 @@ func (t *Tracer) Events() []TraceEvent {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append(t.metadataEvents(), append([]TraceEvent(nil), t.events...)...)
+	return append(t.metadataEvents(), append([]TraceEvent(nil), t.orderedLocked()...)...)
 }
 
 // metadataEvents builds the thread_name events; t.mu must be held.
@@ -176,7 +293,13 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	events := t.Events()
+	return WriteTraceJSON(w, t.Events())
+}
+
+// WriteTraceJSON serializes an arbitrary event slice in the Chrome
+// trace_event JSON Object Format — the ops server uses it to emit
+// windowed captures assembled with EventsSince.
+func WriteTraceJSON(w io.Writer, events []TraceEvent) error {
 	if events == nil {
 		events = []TraceEvent{}
 	}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func ringTracer(cap int) *Tracer {
+	tr := NewTracer()
+	base := time.Unix(0, 0)
+	n := 0
+	tr.setClock(func() time.Time { n++; return base.Add(time.Duration(n) * time.Microsecond) })
+	tr.SetEventCap(cap)
+	return tr
+}
+
+// instantArgs extracts the non-metadata instant names, in order.
+func instantNames(evs []TraceEvent) []string {
+	var out []string
+	for _, ev := range evs {
+		if ev.Ph != "M" {
+			out = append(out, ev.Name)
+		}
+	}
+	return out
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := ringTracer(4)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		tr.Instant(0, "test", n)
+	}
+	if got := tr.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	got := instantNames(tr.Events())
+	want := []string{"c", "d", "e", "f"}
+	if len(got) != len(want) {
+		t.Fatalf("retained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("retained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTracerDropCounter(t *testing.T) {
+	reg := NewRegistry()
+	tr := ringTracer(2)
+	tr.SetDropCounter(reg.Counter("telemetry", "trace_dropped"))
+	for i := 0; i < 5; i++ {
+		tr.Instant(0, "test", "x")
+	}
+	if got := reg.Counter("telemetry", "trace_dropped").Value(); got != 3 {
+		t.Fatalf("trace_dropped = %d, want 3", got)
+	}
+}
+
+func TestHubEnableTracingWiresDropCounter(t *testing.T) {
+	h := NewHub().EnableTracing()
+	h.Tracer.SetEventCap(1)
+	h.Tracer.Instant(0, "test", "a")
+	h.Tracer.Instant(0, "test", "b")
+	if got := h.Registry.Counter("telemetry", "trace_dropped").Value(); got != 1 {
+		t.Fatalf("trace_dropped = %d, want 1", got)
+	}
+}
+
+func TestTracerUnlimitedCap(t *testing.T) {
+	tr := ringTracer(-1)
+	for i := 0; i < 100; i++ {
+		tr.Instant(0, "test", "x")
+	}
+	if got := len(instantNames(tr.Events())); got != 100 {
+		t.Fatalf("retained %d, want 100 (unlimited)", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestTracerSetEventCapShrinksRetained(t *testing.T) {
+	tr := ringTracer(-1)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		tr.Instant(0, "test", n)
+	}
+	tr.SetEventCap(2)
+	got := instantNames(tr.Events())
+	if len(got) != 2 || got[0] != "c" || got[1] != "d" {
+		t.Fatalf("after shrink retained %v, want [c d]", got)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestTracerEventsSince(t *testing.T) {
+	tr := ringTracer(4)
+	for _, n := range []string{"a", "b", "c", "d", "e", "f"} {
+		tr.Instant(0, "test", n)
+	}
+	// Global seqs 0..5; retained are 2..5 (c..f).
+	cases := []struct {
+		seq  uint64
+		want []string
+	}{
+		{0, []string{"c", "d", "e", "f"}}, // older than retained: whole window
+		{3, []string{"d", "e", "f"}},
+		{5, []string{"f"}},
+		{6, nil},
+	}
+	for _, c := range cases {
+		got := instantNames(tr.EventsSince(c.seq))
+		if len(got) != len(c.want) {
+			t.Fatalf("EventsSince(%d) = %v, want %v", c.seq, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("EventsSince(%d) = %v, want %v", c.seq, got, c.want)
+			}
+		}
+	}
+}
+
+func TestTracerEventsSinceKeepsMetadata(t *testing.T) {
+	tr := ringTracer(4)
+	tr.ThreadName(0, "event-loop")
+	for i := 0; i < 6; i++ {
+		tr.Instant(0, "test", "x")
+	}
+	evs := tr.EventsSince(5)
+	if len(evs) == 0 || evs[0].Ph != "M" {
+		t.Fatalf("windowed capture must keep thread_name metadata, got %+v", evs)
+	}
+}
+
+func TestTracerNilRingAccessors(t *testing.T) {
+	var tr *Tracer
+	tr.SetEventCap(4)
+	tr.SetDropCounter(nil)
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.EventsSince(0) != nil {
+		t.Fatal("nil tracer accessors should be zero-valued")
+	}
+}

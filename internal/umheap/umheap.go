@@ -162,6 +162,26 @@ func (h *Heap) AllocatedBytes() int {
 // FreeBlocks returns the number of fragments on the free list.
 func (h *Heap) FreeBlocks() int { return len(h.free) }
 
+// AllocCount reports the number of live allocations.
+func (h *Heap) AllocCount() int { return len(h.allocs) }
+
+// Extent is one contiguous region of the heap, for free-list maps in
+// diagnostics output.
+type Extent struct {
+	Addr int `json:"addr"`
+	Size int `json:"size"`
+}
+
+// FreeList returns a copy of the free list, sorted by address — the
+// fragmentation map post-mortem reports and /debug/heap print.
+func (h *Heap) FreeList() []Extent {
+	out := make([]Extent, len(h.free))
+	for i, b := range h.free {
+		out[i] = Extent{Addr: b.addr, Size: b.size}
+	}
+	return out
+}
+
 func (h *Heap) check(addr, n int) {
 	if addr < 0 || addr+n > h.Size() {
 		panic(&AccessError{Addr: addr, N: n, Size: h.Size()})

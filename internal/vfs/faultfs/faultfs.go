@@ -129,7 +129,23 @@ type Injector struct {
 	rng  *rand.Rand
 	plan Plan
 
+	// observe, when set, is called with every injected (non-None)
+	// decision after it is made. It sits outside the PRNG draw schedule,
+	// so attaching an observer cannot shift the fault sequence.
+	observe func(op string, f Fault)
+
 	ops, errsPre, errsPost, shorts, delays atomic.Int64
+}
+
+// Observe registers fn to be called for every faulty decision (None
+// decisions, including latency-only ones, are not reported). The hook
+// runs outside the injector's PRNG critical section and consumes no
+// draws, preserving decision-sequence determinism. The flight
+// recorder attaches here via vfs.Stack.
+func (in *Injector) Observe(fn func(op string, f Fault)) {
+	in.mu.Lock()
+	in.observe = fn
+	in.mu.Unlock()
 }
 
 // New builds an injector for the plan.
@@ -159,6 +175,7 @@ func (in *Injector) Next(op string) Fault {
 	dKeep := in.rng.Float64()
 	dLat := in.rng.Float64()
 	dDelay := in.rng.Float64()
+	observe := in.observe
 	in.mu.Unlock()
 
 	in.ops.Add(1)
@@ -185,6 +202,9 @@ func (in *Injector) Next(op string) Fault {
 		// Keep a non-degenerate prefix: between 10% and 90%.
 		f.Keep = 0.1 + 0.8*dKeep
 		in.shorts.Add(1)
+	}
+	if observe != nil && f.Faulty() {
+		observe(op, f)
 	}
 	return f
 }

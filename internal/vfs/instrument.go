@@ -21,6 +21,7 @@ func Instrument(b Backend, h *telemetry.Hub) Backend {
 	reg := h.Registry
 	base := &instrumented{
 		b:       b,
+		flight:  h.Flight,
 		ops:     reg.Counter(sub, "ops"),
 		stat:    reg.Histogram(sub, "stat"),
 		open:    reg.Histogram(sub, "open"),
@@ -63,15 +64,27 @@ type instrumented struct {
 	lb LinkBackend
 	ab AttrBackend
 
-	ops *telemetry.Counter
+	ops    *telemetry.Counter
+	flight *telemetry.FlightRecorder
 
 	stat, open, sync, unlink, rmdir, mkdir, readdir, rename *telemetry.Histogram
 	symlink, readlink, chmod, utimes                        *telemetry.Histogram
 }
 
-func (i *instrumented) done(h *telemetry.Histogram, start time.Time) {
+func (i *instrumented) done(h *telemetry.Histogram, start time.Time, op, path string, err error) {
 	h.ObserveSince(start)
 	i.ops.Inc()
+	if i.flight != nil {
+		note := ""
+		if err != nil {
+			if e, ok := Classify(err); ok {
+				note = string(e)
+			} else {
+				note = "error"
+			}
+		}
+		i.flight.RecordNote("vfs", op, path, note, 0)
+	}
 }
 
 func (i *instrumented) Name() string   { return i.b.Name() }
@@ -93,42 +106,42 @@ func (i *instrumented) Flush(cb func(error)) {
 
 func (i *instrumented) Stat(path string, cb func(Stats, error)) {
 	start := time.Now()
-	i.b.Stat(path, func(s Stats, err error) { i.done(i.stat, start); cb(s, err) })
+	i.b.Stat(path, func(s Stats, err error) { i.done(i.stat, start, "stat", path, err); cb(s, err) })
 }
 
 func (i *instrumented) Open(path string, cb func([]byte, error)) {
 	start := time.Now()
-	i.b.Open(path, func(data []byte, err error) { i.done(i.open, start); cb(data, err) })
+	i.b.Open(path, func(data []byte, err error) { i.done(i.open, start, "open", path, err); cb(data, err) })
 }
 
 func (i *instrumented) Sync(path string, data []byte, cb func(error)) {
 	start := time.Now()
-	i.b.Sync(path, data, func(err error) { i.done(i.sync, start); cb(err) })
+	i.b.Sync(path, data, func(err error) { i.done(i.sync, start, "sync", path, err); cb(err) })
 }
 
 func (i *instrumented) Unlink(path string, cb func(error)) {
 	start := time.Now()
-	i.b.Unlink(path, func(err error) { i.done(i.unlink, start); cb(err) })
+	i.b.Unlink(path, func(err error) { i.done(i.unlink, start, "unlink", path, err); cb(err) })
 }
 
 func (i *instrumented) Rmdir(path string, cb func(error)) {
 	start := time.Now()
-	i.b.Rmdir(path, func(err error) { i.done(i.rmdir, start); cb(err) })
+	i.b.Rmdir(path, func(err error) { i.done(i.rmdir, start, "rmdir", path, err); cb(err) })
 }
 
 func (i *instrumented) Mkdir(path string, cb func(error)) {
 	start := time.Now()
-	i.b.Mkdir(path, func(err error) { i.done(i.mkdir, start); cb(err) })
+	i.b.Mkdir(path, func(err error) { i.done(i.mkdir, start, "mkdir", path, err); cb(err) })
 }
 
 func (i *instrumented) Readdir(path string, cb func([]string, error)) {
 	start := time.Now()
-	i.b.Readdir(path, func(names []string, err error) { i.done(i.readdir, start); cb(names, err) })
+	i.b.Readdir(path, func(names []string, err error) { i.done(i.readdir, start, "readdir", path, err); cb(names, err) })
 }
 
 func (i *instrumented) Rename(oldPath, newPath string, cb func(error)) {
 	start := time.Now()
-	i.b.Rename(oldPath, newPath, func(err error) { i.done(i.rename, start); cb(err) })
+	i.b.Rename(oldPath, newPath, func(err error) { i.done(i.rename, start, "rename", oldPath+" -> "+newPath, err); cb(err) })
 }
 
 // instrumentedLink adds the optional link capability.
@@ -136,12 +149,12 @@ type instrumentedLink struct{ instrumented }
 
 func (i *instrumentedLink) Symlink(target, path string, cb func(error)) {
 	start := time.Now()
-	i.lb.Symlink(target, path, func(err error) { i.done(i.symlink, start); cb(err) })
+	i.lb.Symlink(target, path, func(err error) { i.done(i.symlink, start, "symlink", path, err); cb(err) })
 }
 
 func (i *instrumentedLink) Readlink(path string, cb func(string, error)) {
 	start := time.Now()
-	i.lb.Readlink(path, func(target string, err error) { i.done(i.readlink, start); cb(target, err) })
+	i.lb.Readlink(path, func(target string, err error) { i.done(i.readlink, start, "readlink", path, err); cb(target, err) })
 }
 
 // instrumentedAttr adds the optional attribute capability.
@@ -149,12 +162,12 @@ type instrumentedAttr struct{ instrumented }
 
 func (i *instrumentedAttr) Chmod(path string, mode int, cb func(error)) {
 	start := time.Now()
-	i.ab.Chmod(path, mode, func(err error) { i.done(i.chmod, start); cb(err) })
+	i.ab.Chmod(path, mode, func(err error) { i.done(i.chmod, start, "chmod", path, err); cb(err) })
 }
 
 func (i *instrumentedAttr) Utimes(path string, atime, mtime time.Time, cb func(error)) {
 	start := time.Now()
-	i.ab.Utimes(path, atime, mtime, func(err error) { i.done(i.utimes, start); cb(err) })
+	i.ab.Utimes(path, atime, mtime, func(err error) { i.done(i.utimes, start, "utimes", path, err); cb(err) })
 }
 
 // instrumentedLinkAttr has both optional capabilities.
@@ -162,10 +175,10 @@ type instrumentedLinkAttr struct{ instrumentedLink }
 
 func (i *instrumentedLinkAttr) Chmod(path string, mode int, cb func(error)) {
 	start := time.Now()
-	i.ab.Chmod(path, mode, func(err error) { i.done(i.chmod, start); cb(err) })
+	i.ab.Chmod(path, mode, func(err error) { i.done(i.chmod, start, "chmod", path, err); cb(err) })
 }
 
 func (i *instrumentedLinkAttr) Utimes(path string, atime, mtime time.Time, cb func(error)) {
 	start := time.Now()
-	i.ab.Utimes(path, atime, mtime, func(err error) { i.done(i.utimes, start); cb(err) })
+	i.ab.Utimes(path, atime, mtime, func(err error) { i.done(i.utimes, start, "utimes", path, err); cb(err) })
 }

@@ -147,11 +147,11 @@ type Breaker struct {
 	// goroutine drove the transition. Set it before use.
 	OnTransition func(from, to State)
 
-	mu        sync.Mutex
-	state     State
-	failures  int
-	openedAt  time.Time
-	probes    int // in-flight half-open probes
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probes   int // in-flight half-open probes
 }
 
 // NewBreaker builds a breaker with the config's defaults applied.

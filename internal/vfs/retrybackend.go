@@ -127,7 +127,13 @@ func NewRetry(b Backend, o RetryOptions) Backend {
 		r.brClosed = &telemetry.Counter{}
 		r.degraded = &telemetry.Counter{}
 	}
-	r.br.OnTransition = func(_, to retry.State) {
+	var flight *telemetry.FlightRecorder
+	if o.Hub != nil {
+		flight = o.Hub.Flight
+	}
+	backendName := b.Name()
+	r.br.OnTransition = func(from, to retry.State) {
+		flight.RecordNote("breaker", to.String(), backendName, from.String(), 0)
 		switch to {
 		case retry.Open:
 			r.brOpen.Inc()

@@ -46,11 +46,11 @@ type breakerBackend interface {
 type StackOption func(*stackConfig)
 
 type stackConfig struct {
-	cache  *CacheOptions
-	retry  *RetryOptions
-	plan   *faultfs.Plan
-	inj    *faultfs.Injector
-	hub    *telemetry.Hub
+	cache *CacheOptions
+	retry *RetryOptions
+	plan  *faultfs.Plan
+	inj   *faultfs.Injector
+	hub   *telemetry.Hub
 }
 
 // WithCache adds the caching layer (NewCached) to the stack.
@@ -117,6 +117,14 @@ func Stack(backend Backend, opts ...StackOption) Backend {
 		cfg.inj = faultfs.New(*cfg.plan)
 	}
 	if cfg.inj != nil {
+		if cfg.hub != nil && cfg.hub.Flight != nil {
+			// The observer sits outside the injector's PRNG draw
+			// schedule, so recording faults cannot shift the sequence.
+			flight := cfg.hub.Flight
+			cfg.inj.Observe(func(op string, f faultfs.Fault) {
+				flight.RecordNote("fault", "inject", op, f.Kind.String(), f.Delay.Microseconds())
+			})
+		}
 		b = NewFaulty(b, cfg.inj)
 	}
 	var brb breakerBackend
