@@ -41,7 +41,7 @@ func main() {
 	win := browser.NewWindow(profile)
 	reader := bufio.NewReader(os.Stdin)
 	stdin := func(max int, cb func(string, bool)) {
-		c := core.NewCompletion(win.Loop, "stdin")
+		c := core.NewCompletion(win.Loop, "minicc.stdin")
 		c.Then(func(v interface{}, err error) {
 			if line, ok := v.(string); ok && len(line) > 0 {
 				cb(trimNL(line), false)

@@ -198,7 +198,7 @@ func main() {
 	stdin := func(max int, cb func(string, bool)) {
 		// Keyboard events arrive asynchronously; getline blocks the
 		// game until one lands (§3.2's impossible-in-plain-JS shape).
-		c := core.NewCompletion(win.Loop, "keyboard")
+		c := core.NewCompletion(win.Loop, "shadowgame.keyboard")
 		c.Then(func(v interface{}, _ error) {
 			if key, ok := v.(string); ok {
 				cb(key, false)

@@ -84,7 +84,7 @@ func (r *RemoteServer) XHRGetAsync(loop *eventloop.Loop, path string, cb func(da
 	r.mu.RLock()
 	lat := r.latency
 	r.mu.RUnlock()
-	c := core.NewCompletion(loop, "xhr")
+	c := core.NewCompletion(loop, "browser.xhr")
 	c.Then(func(v interface{}, err error) {
 		data, _ := v.([]byte)
 		cb(data, err)

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"doppio/internal/eventloop"
+)
+
+// TestKillMidAwait pins the contract the process layer leans on:
+// proc.Kernel.Kill terminates a guest whose thread is parked on a
+// Completion (a pipe read, a waitpid). Killing the thread mid-await
+// must not resurrect it when the operation's late resolution arrives,
+// must release the loop's pending slot (no leaked resolver keeping
+// Run alive), and must leave the scheduler's run queue usable for
+// other threads.
+func TestKillMidAwait(t *testing.T) {
+	loop := eventloop.New(chromeOpts())
+	rt := NewRuntime(loop, Config{})
+
+	var c *Completion
+	ran := 0
+	th := rt.Spawn("victim", RunnableFunc(func(t2 *Thread) RunResult {
+		ran++
+		if ran > 1 {
+			t.Error("killed thread was scheduled again")
+			return Done
+		}
+		c = NewCompletion(loop, "test.pipe-read")
+		if !c.Await(t2) {
+			t.Error("await resolved synchronously")
+		}
+		return Block
+	}))
+	rt.Start()
+
+	killed := false
+	survivorRan := false
+	var poll func()
+	poll = func() {
+		if th.State() != BlockedState {
+			loop.SetTimeout(poll, 0)
+			return
+		}
+		killed = true
+		// The external half of the in-flight operation: holds the
+		// loop's pending slot until fired.
+		resolve := c.Resolver()
+		th.Kill()
+		// The late result must release the slot and be ignored by the
+		// terminated thread (Thread.Block's resume is a no-op then).
+		go resolve(nil, errors.New("canceled by signal"))
+		// The run queue still schedules other work after the kill.
+		rt.Spawn("survivor", RunnableFunc(func(*Thread) RunResult {
+			survivorRan = true
+			return Done
+		}))
+		rt.Start()
+	}
+	loop.SetTimeout(poll, 0)
+
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("victim never reached the blocked state")
+	}
+	if ran != 1 {
+		t.Fatalf("victim ran %d slices, want 1", ran)
+	}
+	if th.State() != TerminatedState {
+		t.Errorf("victim state = %v, want terminated", th.State())
+	}
+	if !survivorRan {
+		t.Error("run queue wedged: survivor thread never ran")
+	}
+	if dl := rt.DeadlockedThreads(); len(dl) != 0 {
+		t.Errorf("deadlocked threads after kill: %d", len(dl))
+	}
+	if !c.Settled() {
+		t.Error("late resolution was dropped instead of settling the completion")
+	}
+}

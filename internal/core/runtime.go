@@ -30,11 +30,17 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"doppio/internal/eventloop"
 	"doppio/internal/telemetry"
 )
+
+// runtimeSeq distinguishes runtimes that share one event loop — the
+// process layer runs one Runtime per guest VM — so their postMessage
+// resumption ids never collide across msgMap instances.
+var runtimeSeq uint64
 
 // RunResult is what a Runnable reports at the end of a timeslice.
 type RunResult int
@@ -177,6 +183,7 @@ type Runtime struct {
 	cfg  Config
 
 	mechanism string
+	rtSeq     uint64 // distinguishes runtimes sharing one loop
 	msgSeq    int
 	msgMap    map[string]func()
 
@@ -270,6 +277,7 @@ func NewRuntime(loop *eventloop.Loop, cfg Config) *Runtime {
 	rt := &Runtime{
 		loop:   loop,
 		cfg:    cfg,
+		rtSeq:  atomic.AddUint64(&runtimeSeq, 1),
 		runq:   newRunQueue(cfg.PriorityLevels, aging),
 		msgMap: make(map[string]func()),
 	}
@@ -355,7 +363,7 @@ func (rt *Runtime) scheduleResumption(fn func()) {
 		}
 	case "postMessage":
 		rt.msgSeq++
-		id := fmt.Sprintf("doppio-resume-%d", rt.msgSeq)
+		id := fmt.Sprintf("doppio-resume-%d-%d", rt.rtSeq, rt.msgSeq)
 		rt.msgMap[id] = wrapped
 		rt.loop.PostMessage(id)
 	default: // setTimeout

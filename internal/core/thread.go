@@ -105,7 +105,7 @@ func (t *Thread) Block(reason string) (resume func()) {
 // Sleep blocks the thread for at least d using the browser timer; the
 // Runnable must return Block after calling it.
 func (t *Thread) Sleep(d time.Duration) {
-	c := NewCompletion(t.rt.loop, "sleep")
+	c := NewCompletion(t.rt.loop, "core.sleep")
 	t.rt.loop.SetTimeout(func() { c.Resolve(nil, nil) }, d)
 	c.Await(t)
 }

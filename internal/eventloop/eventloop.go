@@ -128,7 +128,7 @@ type Loop struct {
 	stopped  bool
 	killed   *WatchdogError
 
-	msgHandler func(data string)
+	msgHandlers []func(data string)
 
 	// Stall monitor state (see SetStallMonitor).
 	stallBudget time.Duration
@@ -255,10 +255,14 @@ func (l *Loop) ClearTimeout(id TimerID) {
 	}
 }
 
-// OnMessage registers the window's global message handler.
+// OnMessage registers a window message listener. Like the browser's
+// addEventListener("message", ...) it is additive: every registered
+// listener sees every message, in registration order. Listeners that
+// multiplex (core.Runtime's postMessage resumption) ignore messages
+// they don't recognize.
 func (l *Loop) OnMessage(fn func(data string)) {
 	l.mu.Lock()
-	l.msgHandler = fn
+	l.msgHandlers = append(l.msgHandlers, fn)
 	l.mu.Unlock()
 }
 
@@ -268,8 +272,8 @@ func (l *Loop) OnMessage(fn func(data string)) {
 // synchronously before PostMessage returns.
 func (l *Loop) PostMessage(data string) {
 	l.mu.Lock()
-	h := l.msgHandler
-	if h == nil {
+	hs := l.msgHandlers
+	if len(hs) == 0 {
 		l.mu.Unlock()
 		return
 	}
@@ -278,11 +282,16 @@ func (l *Loop) PostMessage(data string) {
 		tel.messages.Inc()
 	}
 	l.mu.Unlock()
+	dispatch := func() {
+		for _, h := range hs {
+			h(data)
+		}
+	}
 	if l.opts.SyncPostMessage {
-		h(data)
+		dispatch()
 		return
 	}
-	l.Post("message", func() { h(data) })
+	l.Post("message", dispatch)
 }
 
 // ErrNoSetImmediate is returned by SetImmediate on browsers without it.

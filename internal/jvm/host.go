@@ -25,6 +25,17 @@ type NativeResult struct {
 // NativeFunc implements one native method. recv is nil for statics.
 type NativeFunc func(h NativeHost, recv *Object, args []Value) NativeResult
 
+// AsyncWriter is a console sink that acknowledges writes
+// asynchronously — the process layer's pipe ends. When a VM's stdout
+// or stderr implements it, PrintStream.writeNative blocks the guest
+// thread until the sink accepts the bytes (pipe backpressure) instead
+// of assuming the write completed. WriteAsync must call cb exactly
+// once, on the event loop.
+type AsyncWriter interface {
+	io.Writer
+	WriteAsync(p []byte, cb func(n int, err error))
+}
+
 // HostFS is the file system surface natives program against. The
 // Doppio engine implements it over the Doppio VFS (asynchronously);
 // the native engine implements it over the host OS, invoking the

@@ -1050,7 +1050,7 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 				// The completion label names the monitor's class so a
 				// deadlock report says what the thread is stuck on.
 				f.pushR(o)
-				c := core.NewCompletion(vm.win.Loop, "monitorenter:"+o.Class.Name)
+				c := core.NewCompletion(vm.win.Loop, "jvm.monitorenter("+o.Class.Name+")")
 				mon.BlockQ = append(mon.BlockQ, func() { c.Resolve(nil, nil) })
 				c.Await(ct)
 				return core.Block
@@ -1128,7 +1128,7 @@ func (r runSignal) result() core.RunResult {
 func (d *DThread) loadAndRetry(ct *core.Thread, name string) runSignal {
 	vm := d.vm
 	var loadErr error
-	blocked := d.blockOn(ct, "classload:"+name, func(done func()) {
+	blocked := d.blockOn(ct, "jvm.classload("+name+")", func(done func()) {
 		vm.loader.Load(name, func(_ *Class, err error) {
 			loadErr = err
 			done()
@@ -1259,7 +1259,7 @@ func (d *DThread) invokeNativeD(ct *core.Thread, f *DFrame, m *Method, hasRecv b
 				})
 			}
 		}
-		if d.blockOn(ct, key, launch) {
+		if d.blockOn(ct, "jvm.native("+key+")", launch) {
 			return runBlock
 		}
 		d.applyDeposit()

@@ -171,11 +171,27 @@ func registerNatives() map[string]NativeFunc {
 	n["java/io/PrintStream.writeNative(Ljava/lang/String;)V"] = func(h NativeHost, recv *Object, args []Value) NativeResult {
 		s := h.GoString(args[0].(*Object))
 		fd, _ := recv.GetField(recv.Class, "fd")
+		w := h.Stdout()
 		if fd.N == 1 {
-			fmt.Fprint(h.Stderr(), s)
-		} else {
-			fmt.Fprint(h.Stdout(), s)
+			w = h.Stderr()
 		}
+		// A process-layer pipe end acknowledges writes asynchronously
+		// (backpressure): block the guest thread until the sink accepts
+		// the bytes. Writing to a pipe with no reader raises
+		// java/io/IOException, the JVM face of EPIPE.
+		if aw, ok := w.(AsyncWriter); ok {
+			h.BlockAndCall(func(complete func(Value, *Object)) {
+				aw.WriteAsync([]byte(s), func(_ int, err error) {
+					if err != nil {
+						complete(nil, ioException(h, err))
+						return
+					}
+					complete(nil, nil)
+				})
+			})
+			return NativeResult{Async: true}
+		}
+		fmt.Fprint(w, s)
 		return NativeResult{}
 	}
 	n["java/io/ConsoleIn.readNative(I)[B"] = func(h NativeHost, _ *Object, args []Value) NativeResult {

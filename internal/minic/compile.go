@@ -85,6 +85,15 @@ const (
 	SysStrCpy   = 12 // (dst, src) → dst
 	SysAtoi     = 13 // (s) → value
 	SysSetPrio  = 14 // (p) → effective run-queue priority
+	// Process syscalls, serviced by the minic.OS hook (internal/proc);
+	// without a kernel attached they return -1 / 0-arg defaults.
+	SysArgc    = 15 // () → argument count
+	SysGetArg  = 16 // (i, bufAddr, max) → length or -1
+	SysGetPid  = 17 // () → pid (or -1 outside a process)
+	SysFork    = 18 // () → child pid in parent, 0 in child, -1 on error
+	SysWaitPid = 19 // (pid) → child exit code, or -1 (ECHILD)
+	SysKill    = 20 // (pid, sig) → 0 or -1 (ESRCH)
+	SysExit    = 21 // (code) → does not return
 )
 
 // builtins maps callable names to (syscall, argc, result type).
@@ -107,6 +116,13 @@ var builtins = map[string]struct {
 	"strcpy":      {SysStrCpy, 2, tyPtrChar},
 	"atoi":        {SysAtoi, 1, tyInt},
 	"setpriority": {SysSetPrio, 1, tyInt},
+	"argc":        {SysArgc, 0, tyInt},
+	"getarg":      {SysGetArg, 3, tyInt},
+	"getpid":      {SysGetPid, 0, tyInt},
+	"fork":        {SysFork, 0, tyInt},
+	"waitpid":     {SysWaitPid, 1, tyInt},
+	"kill":        {SysKill, 2, tyInt},
+	"exit":        {SysExit, 1, tyInt},
 }
 
 // compiler state for one program.

@@ -26,6 +26,9 @@ type VM struct {
 
 	stdout io.Writer
 	stdin  func(max int, cb func(line string, eof bool))
+	args   []string
+	os     OS
+	thread *core.Thread
 
 	dataBase  int
 	stackBase int
@@ -64,6 +67,11 @@ type VMOptions struct {
 	FS        *vfs.FS
 	HeapSize  int
 	StackSize int
+	// Args are the program's command-line arguments (argc/getarg).
+	Args []string
+	// OS is the process-syscall back end (fork/waitpid/kill/getpid);
+	// nil leaves those syscalls returning -1.
+	OS OS
 }
 
 // NewVM creates a VM for prog inside the browser window.
@@ -94,6 +102,8 @@ func NewVM(win *browser.Window, prog *Program, opts VMOptions) (*VM, error) {
 		fs:     opts.FS,
 		stdout: opts.Stdout,
 		stdin:  opts.Stdin,
+		args:   opts.Args,
+		os:     opts.OS,
 	}
 	dataBase, err := heap.Malloc(len(prog.Data) + 4)
 	if err != nil {
@@ -124,8 +134,7 @@ func (vm *VM) Start(done func(exit int32, err error)) {
 		done(0, err)
 		return
 	}
-	t := vm.rt.Spawn("minic-main", core.RunnableFunc(vm.run))
-	_ = t
+	vm.thread = vm.rt.Spawn("minic-main", core.RunnableFunc(vm.run))
 	vm.rt.OnIdle(func() {
 		done(vm.exitCode, vm.runErr)
 	})
@@ -389,15 +398,11 @@ func (vm *VM) cString(addr int32) string {
 func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 	switch n {
 	case SysPutStr:
-		s := vm.cString(vm.pop())
-		fmt.Fprint(vm.stdout, s)
-		vm.push(0)
+		return vm.writeOut(ct, vm.cString(vm.pop()))
 	case SysPutInt:
-		fmt.Fprint(vm.stdout, vm.pop())
-		vm.push(0)
+		return vm.writeOut(ct, fmt.Sprint(vm.pop()))
 	case SysPutChar:
-		fmt.Fprint(vm.stdout, string(rune(vm.pop()&0xFF)))
-		vm.push(0)
+		return vm.writeOut(ct, string(rune(vm.pop()&0xFF)))
 	case SysMalloc:
 		nBytes := vm.pop()
 		addr, err := vm.heap.Malloc(int(nBytes))
@@ -453,7 +458,7 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 
 	case SysExists:
 		path := vm.cString(vm.pop())
-		return vm.blockOn(ct, "minic:exists:"+path, func(done func(int32)) {
+		return vm.blockOn(ct, "minic.exists("+path+")", func(done func(int32)) {
 			vm.fs.Exists(path, func(ok bool) {
 				if ok {
 					done(1)
@@ -466,7 +471,7 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 		// The §7.2 payoff: synchronous dynamic file loading — the
 		// program blocks while the Doppio FS fetches the file.
 		path := vm.cString(vm.pop())
-		return vm.blockOn(ct, "minic:readfile:"+path, func(done func(int32)) {
+		return vm.blockOn(ct, "minic.readfile("+path+")", func(done func(int32)) {
 			vm.fs.ReadFile(path, func(b *buffer.Buffer, err error) {
 				if err != nil {
 					done(0)
@@ -488,7 +493,7 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 		dataAddr := vm.pop()
 		path := vm.cString(vm.pop())
 		data := vm.heap.ReadBytes(int(dataAddr), int(length))
-		return vm.blockOn(ct, "minic:writefile:"+path, func(done func(int32)) {
+		return vm.blockOn(ct, "minic.writefile("+path+")", func(done func(int32)) {
 			vm.fs.WriteFile(path, data, func(err error) {
 				if err != nil {
 					done(-1)
@@ -504,7 +509,7 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 			vm.push(-1)
 			return false
 		}
-		return vm.blockOn(ct, "minic:getline", func(done func(int32)) {
+		return vm.blockOn(ct, "minic.getline", func(done func(int32)) {
 			vm.stdin(int(max), func(line string, eof bool) {
 				if eof {
 					done(-1)
@@ -517,10 +522,96 @@ func (vm *VM) syscall(ct *core.Thread, n int32) bool {
 				done(int32(len(line)))
 			})
 		})
+
+	case SysArgc:
+		vm.push(int32(len(vm.args)))
+	case SysGetArg:
+		max := vm.pop()
+		buf := vm.pop()
+		i := vm.pop()
+		if i < 0 || int(i) >= len(vm.args) || max < 1 {
+			vm.push(-1)
+			return false
+		}
+		arg := vm.args[i]
+		if len(arg) > int(max)-1 {
+			arg = arg[:int(max)-1]
+		}
+		vm.heap.WriteCString(int(buf), arg)
+		vm.push(int32(len(arg)))
+	case SysGetPid:
+		if vm.os == nil {
+			vm.push(-1)
+			return false
+		}
+		vm.push(vm.os.Getpid())
+	case SysFork:
+		if vm.os == nil {
+			vm.push(-1)
+			return false
+		}
+		// pc is already past the ISys, so the clone resumes right
+		// after fork. The two sides diverge only in the value pushed
+		// onto each operand stack: the clone gets the child's 0 now,
+		// the original gets the pid the kernel assigns.
+		child := vm.Clone()
+		child.push(0)
+		vm.push(vm.os.Fork(child))
+	case SysWaitPid:
+		if vm.os == nil {
+			vm.push(-1)
+			return false
+		}
+		pid := vm.pop()
+		return vm.blockOn(ct, fmt.Sprintf("minic.waitpid(%d)", pid), func(done func(int32)) {
+			vm.os.Waitpid(pid, func(code int32, ok bool) {
+				if !ok {
+					done(-1)
+					return
+				}
+				done(code)
+			})
+		})
+	case SysKill:
+		sig := vm.pop()
+		pid := vm.pop()
+		if vm.os == nil {
+			vm.push(-1)
+			return false
+		}
+		vm.push(vm.os.Kill(pid, sig))
+	case SysExit:
+		vm.exitCode = vm.pop()
+		vm.done = true
+		vm.frames = nil
+
 	default:
 		vm.fail(fmt.Errorf("minic: unknown syscall %d", n))
 	}
 	return false
+}
+
+// writeOut delivers console output. Against a plain io.Writer it is
+// synchronous as before; against an AsyncWriter (a pipe end) the
+// thread blocks until the sink accepts the bytes — pipe backpressure
+// reaching the guest — and a refused write (EPIPE after the reader
+// closed) surfaces as -1. It returns true when the thread blocked.
+func (vm *VM) writeOut(ct *core.Thread, s string) bool {
+	aw, ok := vm.stdout.(AsyncWriter)
+	if !ok {
+		fmt.Fprint(vm.stdout, s)
+		vm.push(0)
+		return false
+	}
+	return vm.blockOn(ct, "minic.write(stdout)", func(done func(int32)) {
+		aw.WriteAsync([]byte(s), func(n int, err error) {
+			if err != nil {
+				done(-1)
+				return
+			}
+			done(0)
+		})
+	})
 }
 
 // blockOn bridges an async Doppio service into a blocking syscall

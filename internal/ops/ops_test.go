@@ -87,7 +87,7 @@ func TestDeadlockPostMortem(t *testing.T) {
 		}
 		labels[b.BlockedOn] = true
 	}
-	for _, want := range []string{"java/lang/Object.wait(J)V", "java/lang/Thread.join()V"} {
+	for _, want := range []string{"jvm.native(java/lang/Object.wait(J)V)", "jvm.native(java/lang/Thread.join()V)"} {
 		if !labels[want] {
 			t.Errorf("no blocked thread labelled %q; labels: %v", want, labels)
 		}
@@ -122,7 +122,7 @@ func TestDeadlockPostMortem(t *testing.T) {
 			flightBlocks[ev.Label] = true
 		}
 	}
-	if !flightBlocks["java/lang/Object.wait(J)V"] {
+	if !flightBlocks["jvm.native(java/lang/Object.wait(J)V)"] {
 		t.Errorf("flight tail has no comp/block for Object.wait; blocks: %v", flightBlocks)
 	}
 

@@ -27,6 +27,7 @@ import (
 
 	"doppio/internal/core"
 	"doppio/internal/eventloop"
+	"doppio/internal/proc"
 	"doppio/internal/telemetry"
 	"doppio/internal/umheap"
 	"doppio/internal/vfs"
@@ -51,6 +52,9 @@ type Source struct {
 	Backend vfs.Backend
 	// Heap is the JVM's unmanaged heap, for the free-list map.
 	Heap *umheap.Heap
+	// Proc is the process kernel, for the ps-style table
+	// (/debug/proc). Nil when the source runs no process layer.
+	Proc *proc.Kernel
 }
 
 // VFSState is the VFS slice of a report.
@@ -82,6 +86,7 @@ type Report struct {
 	Scheduler *core.SchedulerDump     `json:"scheduler,omitempty"`
 	VFS       *VFSState               `json:"vfs,omitempty"`
 	Heap      *HeapState              `json:"heap,omitempty"`
+	Procs     []proc.ProcInfo         `json:"procs,omitempty"`
 	Flight    []telemetry.FlightEvent `json:"flight,omitempty"`
 	// FlightDropped counts events the ring had already overwritten —
 	// how much history beyond Flight is gone.
@@ -108,11 +113,34 @@ func Collect(hub *telemetry.Hub, src Source, reason, detail string) *Report {
 			FreeList:   src.Heap.FreeList(),
 		}
 	}
+	if src.Proc != nil {
+		r.Procs = src.Proc.Snapshot()
+	}
 	if hub != nil && hub.Flight != nil {
 		r.Flight = hub.Flight.Tail(FlightTail)
 		r.FlightDropped = hub.Flight.Dropped()
 	}
 	return r
+}
+
+// FormatProcs renders the process table ps-style.
+func FormatProcs(procs []proc.ProcInfo) string {
+	var b strings.Builder
+	b.WriteString("== processes ==\n")
+	fmt.Fprintf(&b, "%5s %5s %-12s %-8s %4s %-28s %s\n",
+		"PID", "PPID", "NAME", "STATE", "EXIT", "BLOCKED-ON", "CHILDREN")
+	for _, p := range procs {
+		kids := ""
+		for i, c := range p.Children {
+			if i > 0 {
+				kids += ","
+			}
+			kids += fmt.Sprint(c)
+		}
+		fmt.Fprintf(&b, "%5d %5d %-12s %-8s %4d %-28s %s\n",
+			p.PID, p.PPID, p.Name, p.State, p.ExitCode, p.Blocked, kids)
+	}
+	return b.String()
 }
 
 func collectVFS(b vfs.Backend) *VFSState {
@@ -165,6 +193,9 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&b, "faults: ops=%d err-pre=%d err-post=%d shorts=%d delays=%d\n",
 				f.Ops, f.ErrsPre, f.ErrsPost, f.Shorts, f.Delays)
 		}
+	}
+	if len(r.Procs) > 0 {
+		b.WriteString(FormatProcs(r.Procs))
 	}
 	if r.Heap != nil {
 		fmt.Fprintf(&b, "== unmanaged heap ==\nsize=%d allocated=%d live-allocs=%d free-blocks=%d\nfree list:\n",

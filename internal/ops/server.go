@@ -71,6 +71,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/vfs", s.handleVFS)
 	mux.HandleFunc("/debug/heap", s.handleHeap)
+	mux.HandleFunc("/debug/proc", s.handleProc)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -105,6 +106,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/trace?sec=N  windowed Chrome-trace capture")
 	fmt.Fprintln(w, "  /debug/vfs          cache / retry / breaker / fault state")
 	fmt.Fprintln(w, "  /debug/heap         unmanaged-heap free-list map")
+	fmt.Fprintln(w, "  /debug/proc         ps-style process table (pid, state, blocked-on)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go runtime profiles")
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -197,6 +199,19 @@ func (s *Server) handleHeap(w http.ResponseWriter, r *http.Request) {
 			return fmt.Sprintf("== %s ==\n(no unmanaged heap: %s)\n", rep.Source, rep.Detail)
 		}
 		return stub.Text()
+	})
+}
+
+func (s *Server) handleProc(w http.ResponseWriter, r *http.Request) {
+	writeReports(w, r, s.collectAll("proc"), func(rep *Report) string {
+		if rep.Procs == nil {
+			return fmt.Sprintf("== %s ==\n(no process kernel: %s)\n", rep.Source, rep.Detail)
+		}
+		head := ""
+		if rep.Source != "" {
+			head = "== " + rep.Source + " ==\n"
+		}
+		return head + FormatProcs(rep.Procs)
 	})
 }
 

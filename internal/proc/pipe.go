@@ -1,0 +1,312 @@
+package proc
+
+import (
+	"fmt"
+	"io"
+
+	"doppio/internal/vfs"
+)
+
+// DefaultPipeCap is the ring capacity of a pipe created by the
+// kernel: small enough that a fast producer feels backpressure from a
+// slow consumer within one screenful of output, like the classic 64K
+// pipe buffer scaled to this runtime's workloads.
+const DefaultPipeCap = 4096
+
+// Pipe is an in-kernel ring buffer bridging two processes' stdio: the
+// write end blocks when the ring is full (backpressure), the read end
+// blocks when it is empty, and closing either end produces the Unix
+// edge semantics — EOF for readers once the last writer is gone,
+// EPIPE for writers once the last reader is gone.
+//
+// A pipe is single-goroutine state: every method must run on the
+// kernel's event loop. Blocking is expressed in callbacks — the VM
+// layers park their guest thread on a core.Completion and the pipe
+// calls back when bytes (or the edge condition) arrive — so one pipe
+// can bridge a JVM guest to a MiniC guest without either knowing.
+type Pipe struct {
+	k    *Kernel
+	name string // "pipe:N", used in errors, labels, and flight events
+
+	buf  []byte
+	r, w int // ring cursors
+	n    int // bytes currently buffered
+
+	readers, writers int // open end counts
+
+	readQ  []*pipeRead
+	writeQ []*pipeWrite
+}
+
+type pipeRead struct {
+	max      int
+	line     bool   // line-oriented: deliver up to and including '\n'
+	partial  []byte // bytes a line read has consumed while waiting
+	cb       func([]byte, error)
+	canceled bool
+	done     bool
+}
+
+type pipeWrite struct {
+	data     []byte // bytes not yet copied into the ring
+	written  int    // bytes already accepted
+	cb       func(int, error)
+	canceled bool
+	done     bool
+	stalled  bool // recorded a pipe-stall flight event
+}
+
+// NewPipe creates a pipe with one open reader and one open writer
+// reference. cap <= 0 uses DefaultPipeCap.
+func (k *Kernel) NewPipe(cap int) *Pipe {
+	if cap <= 0 {
+		cap = DefaultPipeCap
+	}
+	k.pipeSeq++
+	p := &Pipe{
+		k:       k,
+		name:    fmt.Sprintf("pipe:%d", k.pipeSeq),
+		buf:     make([]byte, cap),
+		readers: 1,
+		writers: 1,
+	}
+	return p
+}
+
+// Name identifies the pipe in labels and debug output.
+func (p *Pipe) Name() string { return p.name }
+
+// Buffered reports the bytes currently in the ring (for /debug/proc).
+func (p *Pipe) Buffered() int { return p.n }
+
+// errPipe builds the errno error for an edge condition on this pipe.
+func (p *Pipe) errPipe(errno vfs.Errno, op string) error {
+	return vfs.Err(errno, op, p.name)
+}
+
+// Write delivers p's bytes into the ring. cb fires exactly once, on
+// the event loop: immediately when everything fits or the pipe is
+// already broken, later when a reader drains enough space. A write
+// against a pipe with no readers — now or while blocked — fails with
+// EPIPE (and the caller's process, if any, gets SIGPIPE from the
+// stdio wiring, not from the pipe itself).
+func (p *Pipe) Write(data []byte, cb func(int, error)) *pipeWrite {
+	if p.readers == 0 {
+		p.k.flight("pipe", "epipe", p.name, int64(len(data)))
+		cb(0, p.errPipe(vfs.EPIPE, "write"))
+		return nil
+	}
+	w := &pipeWrite{data: data, cb: cb}
+	p.writeQ = append(p.writeQ, w)
+	p.pump()
+	return w
+}
+
+// Read delivers up to max buffered bytes. With the ring empty it
+// blocks until a writer supplies data, or reports io.EOF once the
+// last writer has closed.
+func (p *Pipe) Read(max int, cb func([]byte, error)) *pipeRead {
+	r := &pipeRead{max: max, cb: cb}
+	p.readQ = append(p.readQ, r)
+	p.pump()
+	return r
+}
+
+// ReadLine delivers one line (up to and including '\n'), max bytes,
+// or the remaining bytes at EOF — the shape MiniC's getline needs.
+// Unlike Read it keeps blocking until a newline arrives, consuming
+// partial data into the pending read as it goes.
+func (p *Pipe) ReadLine(max int, cb func([]byte, error)) *pipeRead {
+	r := &pipeRead{max: max, line: true, cb: cb}
+	p.readQ = append(p.readQ, r)
+	p.pump()
+	return r
+}
+
+// CloseWrite drops one writer reference. When the last writer goes,
+// blocked readers wake: with buffered data they drain it, then see
+// EOF.
+func (p *Pipe) CloseWrite() {
+	if p.writers == 0 {
+		return
+	}
+	p.writers--
+	if p.writers == 0 {
+		p.k.flight("pipe", "close-write", p.name, int64(p.n))
+		p.pump()
+	}
+}
+
+// CloseRead drops one reader reference. When the last reader goes the
+// buffer is discarded and every blocked or future writer fails with
+// EPIPE — the broken-pipe edge.
+func (p *Pipe) CloseRead() {
+	if p.readers == 0 {
+		return
+	}
+	p.readers--
+	if p.readers == 0 {
+		p.k.flight("pipe", "close-read", p.name, int64(p.n))
+		p.n, p.r, p.w = 0, 0, 0
+		wq := p.writeQ
+		p.writeQ = nil
+		for _, wr := range wq {
+			if wr.canceled {
+				continue
+			}
+			wr.done = true
+			p.k.flight("pipe", "epipe", p.name, int64(len(wr.data)))
+			wr.cb(wr.written, p.errPipe(vfs.EPIPE, "write"))
+		}
+		p.pump() // wake readers: empty + no writers coming ⇒ EOF
+	}
+}
+
+// cancel removes a pending operation, delivering errno (EINTR on
+// signal delivery) to its callback. It is a no-op if the operation
+// already completed.
+func (p *Pipe) cancelRead(r *pipeRead, errno vfs.Errno) {
+	if r == nil || r.canceled {
+		return
+	}
+	for i, q := range p.readQ {
+		if q == r {
+			p.readQ = append(p.readQ[:i], p.readQ[i+1:]...)
+			r.canceled = true
+			r.cb(nil, p.errPipe(errno, "read"))
+			return
+		}
+	}
+}
+
+func (p *Pipe) cancelWrite(w *pipeWrite, errno vfs.Errno) {
+	if w == nil || w.canceled {
+		return
+	}
+	for i, q := range p.writeQ {
+		if q == w {
+			p.writeQ = append(p.writeQ[:i], p.writeQ[i+1:]...)
+			w.canceled = true
+			w.cb(w.written, p.errPipe(errno, "write"))
+			return
+		}
+	}
+}
+
+// pump moves bytes writer→ring→reader until nothing further can
+// progress, then resolves whatever edge conditions apply. All
+// completion callbacks run inline — on the event loop — in FIFO
+// order per queue.
+func (p *Pipe) pump() {
+	for {
+		moved := false
+
+		// Fill the ring from the head writer.
+		for len(p.writeQ) > 0 && p.n < len(p.buf) {
+			wr := p.writeQ[0]
+			chunk := wr.data
+			if space := len(p.buf) - p.n; len(chunk) > space {
+				chunk = chunk[:space]
+			}
+			for _, b := range chunk {
+				p.buf[p.w] = b
+				p.w = (p.w + 1) % len(p.buf)
+			}
+			p.n += len(chunk)
+			wr.written += len(chunk)
+			wr.data = wr.data[len(chunk):]
+			moved = len(chunk) > 0 || moved
+			if len(wr.data) == 0 {
+				p.writeQ = p.writeQ[1:]
+				wr.done = true
+				wr.cb(wr.written, nil)
+			} else {
+				break // ring full with this writer still pending
+			}
+		}
+
+		// Drain the ring into the head reader.
+		for len(p.readQ) > 0 && p.n > 0 {
+			rd := p.readQ[0]
+			if rd.line {
+				before := p.n
+				if !p.fillLine(rd) {
+					// No newline yet — but consuming into the partial
+					// freed ring space, which is progress a blocked
+					// writer must see.
+					moved = moved || p.n != before
+					break
+				}
+				p.readQ = p.readQ[1:]
+				out := rd.partial
+				rd.partial = nil
+				rd.done = true
+				rd.cb(out, nil)
+				moved = true
+				continue
+			}
+			take := rd.max
+			if take > p.n {
+				take = p.n
+			}
+			out := make([]byte, take)
+			for i := range out {
+				out[i] = p.buf[p.r]
+				p.r = (p.r + 1) % len(p.buf)
+			}
+			p.n -= take
+			p.readQ = p.readQ[1:]
+			rd.done = true
+			rd.cb(out, nil)
+			moved = true
+		}
+
+		if !moved {
+			break
+		}
+	}
+
+	// Edge conditions. Writers stuck with no readers were already
+	// failed in CloseRead; here: readers stuck with no writers ⇒ EOF
+	// (line reads flush their partial first), and stalled writers get
+	// a one-time flight event so pipe stalls show up in the black box.
+	if p.writers == 0 {
+		rq := p.readQ
+		p.readQ = nil
+		for _, rd := range rq {
+			if rd.canceled {
+				continue
+			}
+			rd.done = true
+			if len(rd.partial) > 0 {
+				out := rd.partial
+				rd.partial = nil
+				rd.cb(out, nil)
+				continue
+			}
+			rd.cb(nil, io.EOF)
+		}
+	}
+	for _, wr := range p.writeQ {
+		if !wr.stalled {
+			wr.stalled = true
+			p.k.flight("pipe", "stall", p.name, int64(len(wr.data)))
+		}
+	}
+}
+
+// fillLine moves ring bytes into rd.partial up to a newline or
+// rd.max; it reports whether the read is complete (newline seen, max
+// reached, or — handled by the caller — EOF).
+func (p *Pipe) fillLine(rd *pipeRead) bool {
+	for p.n > 0 && len(rd.partial) < rd.max {
+		b := p.buf[p.r]
+		p.r = (p.r + 1) % len(p.buf)
+		p.n--
+		rd.partial = append(rd.partial, b)
+		if b == '\n' {
+			return true
+		}
+	}
+	return len(rd.partial) >= rd.max
+}

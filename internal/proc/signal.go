@@ -1,0 +1,41 @@
+package proc
+
+import "fmt"
+
+// Signal is a Unix-style signal number. The kernel implements the
+// four the Browsix process story needs; numbers follow the classic
+// assignments so `kill(pid, 9)` reads as expected.
+type Signal int32
+
+const (
+	SIGINT  Signal = 2  // keyboard interrupt; default terminates
+	SIGKILL Signal = 9  // unconditional kill
+	SIGPIPE Signal = 13 // write to a pipe with no readers
+	SIGCHLD Signal = 17 // child stopped or terminated; informational
+)
+
+// String names the signal for flight events and /debug/proc.
+func (s Signal) String() string {
+	switch s {
+	case SIGINT:
+		return "SIGINT"
+	case SIGKILL:
+		return "SIGKILL"
+	case SIGPIPE:
+		return "SIGPIPE"
+	case SIGCHLD:
+		return "SIGCHLD"
+	}
+	return fmt.Sprintf("SIG%d", int32(s))
+}
+
+// terminates reports whether the signal's default action kills the
+// process. There are no user-installed handlers in this kernel: guest
+// languages see signals only as interrupted syscalls (EINTR) before
+// the default action lands. SIGCHLD is informational — its delivery
+// is the parent's wake-up, not a termination.
+func (s Signal) terminates() bool { return s != SIGCHLD }
+
+// ExitStatus is the wait status of a signal-terminated process,
+// following the shell convention (128+N).
+func (s Signal) ExitStatus() int32 { return 128 + int32(s) }

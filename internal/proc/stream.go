@@ -1,0 +1,224 @@
+package proc
+
+import (
+	"io"
+
+	"doppio/internal/buffer"
+	"doppio/internal/vfs"
+)
+
+// ReadStream is what a process's stdin can be: pipe read end, a
+// buffered host string, or a VFS file (the `< file` redirection).
+// Read delivers up to max bytes; ReadLine delivers one '\n'-
+// terminated line (or the remainder at EOF). Both report io.EOF when
+// the stream is exhausted. Handles returned by the blocking variants
+// are cancelable with EINTR on signal delivery; streams that never
+// block return nil handles.
+type ReadStream interface {
+	Read(max int, cb func([]byte, error)) *pipeRead
+	ReadLine(max int, cb func([]byte, error)) *pipeRead
+	CloseRead()
+}
+
+// WriteStream is what a process's stdout/stderr can be: pipe write
+// end, a host io.Writer, or a VFS file (the `> file` redirection).
+// WriteAsync acknowledges when the sink accepted the bytes — the
+// backpressure path; Write is the synchronous best-effort face for
+// host-side code.
+type WriteStream interface {
+	io.Writer
+	WriteAsync(p []byte, cb func(int, error)) *pipeWrite
+	CloseWrite()
+}
+
+// --- pipe ends -------------------------------------------------------
+
+// PipeReader is the read end of a pipe as a ReadStream.
+type PipeReader struct{ P *Pipe }
+
+func (r *PipeReader) Read(max int, cb func([]byte, error)) *pipeRead { return r.P.Read(max, cb) }
+func (r *PipeReader) ReadLine(max int, cb func([]byte, error)) *pipeRead {
+	return r.P.ReadLine(max, cb)
+}
+func (r *PipeReader) CloseRead() { r.P.CloseRead() }
+
+// PipeWriter is the write end of a pipe as a WriteStream. The
+// synchronous Write face fire-and-forgets (host-side convenience
+// only); guests go through WriteAsync.
+type PipeWriter struct{ P *Pipe }
+
+func (w *PipeWriter) Write(p []byte) (int, error) {
+	w.P.Write(append([]byte(nil), p...), func(int, error) {})
+	return len(p), nil
+}
+func (w *PipeWriter) WriteAsync(p []byte, cb func(int, error)) *pipeWrite {
+	return w.P.Write(p, cb)
+}
+func (w *PipeWriter) CloseWrite() { w.P.CloseWrite() }
+
+// --- host-side streams ----------------------------------------------
+
+// BytesReader serves stdin from an in-memory buffer (dsh feeds a
+// literal string, or a `< file` redirection preloaded from the VFS).
+// It never blocks, so it needs no cancellation handle.
+type BytesReader struct {
+	Data []byte
+	off  int
+}
+
+func (b *BytesReader) Read(max int, cb func([]byte, error)) *pipeRead {
+	if b.off >= len(b.Data) {
+		cb(nil, io.EOF)
+		return nil
+	}
+	end := b.off + max
+	if end > len(b.Data) {
+		end = len(b.Data)
+	}
+	out := b.Data[b.off:end]
+	b.off = end
+	cb(out, nil)
+	return nil
+}
+
+func (b *BytesReader) ReadLine(max int, cb func([]byte, error)) *pipeRead {
+	if b.off >= len(b.Data) {
+		cb(nil, io.EOF)
+		return nil
+	}
+	end := b.off
+	for end < len(b.Data) && end-b.off < max {
+		c := b.Data[end]
+		end++
+		if c == '\n' {
+			break
+		}
+	}
+	out := b.Data[b.off:end]
+	b.off = end
+	cb(out, nil)
+	return nil
+}
+
+func (b *BytesReader) CloseRead() { b.off = len(b.Data) }
+
+// FileReader streams a VFS file as stdin — the `< file` redirection.
+// The file loads on first read, asynchronously through the process's
+// FS front end; reads arriving during the load are served in order
+// once it lands, and a load failure surfaces on every queued read.
+// Handles are nil: file stdin never parks a guest interruptibly (the
+// VFS read has its own Completion with its own label).
+type FileReader struct {
+	FS   *vfs.FS
+	Path string
+
+	buf     BytesReader
+	loaded  bool
+	loading bool
+	loadErr error
+	pending []func()
+}
+
+func (f *FileReader) load(then func()) {
+	if f.loaded {
+		then()
+		return
+	}
+	f.pending = append(f.pending, then)
+	if f.loading {
+		return
+	}
+	f.loading = true
+	f.FS.ReadFile(f.Path, func(b *buffer.Buffer, err error) {
+		f.loaded = true
+		f.loadErr = err
+		if err == nil {
+			f.buf.Data = b.Bytes()
+		}
+		q := f.pending
+		f.pending = nil
+		for _, fn := range q {
+			fn()
+		}
+	})
+}
+
+func (f *FileReader) Read(max int, cb func([]byte, error)) *pipeRead {
+	f.load(func() {
+		if f.loadErr != nil {
+			cb(nil, f.loadErr)
+			return
+		}
+		f.buf.Read(max, cb)
+	})
+	return nil
+}
+
+func (f *FileReader) ReadLine(max int, cb func([]byte, error)) *pipeRead {
+	f.load(func() {
+		if f.loadErr != nil {
+			cb(nil, f.loadErr)
+			return
+		}
+		f.buf.ReadLine(max, cb)
+	})
+	return nil
+}
+
+func (f *FileReader) CloseRead() {
+	f.loaded = true
+	f.buf.CloseRead()
+}
+
+// WriterStream adapts a host io.Writer (dsh's own stdout, a test
+// buffer) into a WriteStream whose async face acknowledges
+// immediately — host sinks have no backpressure to express.
+type WriterStream struct{ W io.Writer }
+
+func (s *WriterStream) Write(p []byte) (int, error) { return s.W.Write(p) }
+func (s *WriterStream) WriteAsync(p []byte, cb func(int, error)) *pipeWrite {
+	n, err := s.W.Write(p)
+	cb(n, err)
+	return nil
+}
+func (s *WriterStream) CloseWrite() {}
+
+// FileWriter accumulates writes and flushes them to a VFS path when
+// the stream closes — the `> file` redirection. (One atomic WriteFile
+// at close keeps the backend API surface small; dsh redirections are
+// whole-output captures, not incremental logs.)
+type FileWriter struct {
+	FS   *vfs.FS
+	Path string
+	// OnErr, if set, observes the close-time write failure (dsh
+	// reports it on its stderr).
+	OnErr func(error)
+
+	buf    []byte
+	closed bool
+}
+
+func (f *FileWriter) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *FileWriter) WriteAsync(p []byte, cb func(int, error)) *pipeWrite {
+	f.buf = append(f.buf, p...)
+	cb(len(p), nil)
+	return nil
+}
+
+func (f *FileWriter) CloseWrite() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	data := f.buf
+	f.buf = nil
+	f.FS.WriteFile(f.Path, data, func(err error) {
+		if err != nil && f.OnErr != nil {
+			f.OnErr(err)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package shell
+
+import "fmt"
+
+// Stage is one pipeline element: an argv plus optional redirections.
+// Only the first stage may take `< file` and only the last `> file`;
+// interior stages are fed by their neighbours' pipes.
+type Stage struct {
+	Argv []string
+	In   string
+	Out  string
+}
+
+// parseLine splits a command line into pipeline stages. The grammar is
+// the dsh subset: words (double quotes group spaces), `|` between
+// stages, `<`/`>` redirections. No globbing, no variables, no
+// subshells — the point is the process plumbing, not the language.
+func parseLine(line string) ([]Stage, error) {
+	toks, err := tokenize(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	var stages []Stage
+	cur := Stage{}
+	flush := func() error {
+		if len(cur.Argv) == 0 {
+			return fmt.Errorf("dsh: empty pipeline stage")
+		}
+		stages = append(stages, cur)
+		cur = Stage{}
+		return nil
+	}
+	for i := 0; i < len(toks); i++ {
+		switch toks[i] {
+		case "|":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case "<", ">":
+			op := toks[i]
+			if i+1 >= len(toks) {
+				return nil, fmt.Errorf("dsh: missing file after %q", op)
+			}
+			i++
+			if op == "<" {
+				cur.In = toks[i]
+			} else {
+				cur.Out = toks[i]
+			}
+		default:
+			cur.Argv = append(cur.Argv, toks[i])
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	for i, st := range stages {
+		if st.In != "" && i != 0 {
+			return nil, fmt.Errorf("dsh: `<` only on the first stage")
+		}
+		if st.Out != "" && i != len(stages)-1 {
+			return nil, fmt.Errorf("dsh: `>` only on the last stage")
+		}
+	}
+	return stages, nil
+}
+
+func tokenize(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '|' || c == '<' || c == '>':
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				j++
+			}
+			if j == len(line) {
+				return nil, fmt.Errorf("dsh: unterminated quote")
+			}
+			toks = append(toks, line[i+1:j])
+			i = j + 1
+		case c == '#':
+			return toks, nil // comment to end of line
+		default:
+			j := i
+			for j < len(line) {
+				c := line[j]
+				if c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+					c == '|' || c == '<' || c == '>' || c == '"' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}

@@ -1,0 +1,300 @@
+// Package shell is dsh's engine: a small Unix shell over the proc
+// kernel. It parses `a | b | c` pipelines with `<`/`>` redirections,
+// spawns each stage as a process — MiniC stages on minic VMs, JVM
+// stages on Doppio JVMs, mixed freely in one pipeline — bridges
+// adjacent stages with kernel pipes, and waits for every stage with
+// labelled Waitpid completions. The pipeline's status is its last
+// stage's exit code, shell-style.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"doppio/internal/jvm/rt"
+	"doppio/internal/minic"
+	"doppio/internal/proc"
+	"doppio/internal/vfs"
+)
+
+// Shell holds the compiled userland and the shell's own VFS front end
+// (cwd for builtins and redirections). All methods run on the
+// kernel's event loop.
+type Shell struct {
+	K  *proc.Kernel
+	FS *vfs.FS
+
+	out      io.Writer
+	progs    map[string]*minic.Program
+	jvmMains map[string]string
+	classes  map[string][]byte
+
+	exitReq  bool
+	exitCode int32
+}
+
+// New compiles the embedded userland (MiniC and MiniJava utilities)
+// and binds the shell to a process kernel. out receives builtin
+// output, error reports, and un-redirected pipeline stdout.
+func New(k *proc.Kernel, out io.Writer) (*Shell, error) {
+	s := &Shell{
+		K:        k,
+		FS:       k.NewFS(),
+		out:      out,
+		progs:    make(map[string]*minic.Program),
+		jvmMains: make(map[string]string),
+	}
+	for name, src := range minicUtils {
+		prog, err := minic.CompileC(src)
+		if err != nil {
+			return nil, fmt.Errorf("dsh: compile %s: %w", name, err)
+		}
+		s.progs[name] = prog
+	}
+	srcs := make(map[string]string)
+	for name, u := range mjUtils {
+		srcs[u.Main+".mj"] = u.Src
+		s.jvmMains[name] = u.Main
+	}
+	classes, err := rt.CompileWith(srcs)
+	if err != nil {
+		return nil, fmt.Errorf("dsh: compile jvm userland: %w", err)
+	}
+	s.classes = classes
+	return s, nil
+}
+
+// Exited reports whether the exit builtin ran, and its code.
+func (s *Shell) Exited() (bool, int32) { return s.exitReq, s.exitCode }
+
+// Commands lists every runnable command name, sorted — builtins
+// first, then the userland.
+func (s *Shell) Commands() []string {
+	names := []string{"cd", "exit", "help", "kill", "ps", "pwd", "write"}
+	for n := range s.progs {
+		names = append(names, n)
+	}
+	for n := range s.jvmMains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one command line and calls done with its status once
+// every process it started has been waited for. Must be called on the
+// event loop; done also runs there.
+func (s *Shell) Run(line string, done func(status int32)) {
+	stages, err := parseLine(line)
+	if err != nil {
+		fmt.Fprintf(s.out, "%v\n", err)
+		done(2)
+		return
+	}
+	if len(stages) == 0 {
+		done(0)
+		return
+	}
+	if len(stages) == 1 {
+		if handled := s.runBuiltin(stages[0], done); handled {
+			return
+		}
+	}
+	s.runPipeline(stages, done)
+}
+
+// runBuiltin handles shell-resident commands; it reports false for
+// names that belong to the spawned userland.
+func (s *Shell) runBuiltin(st Stage, done func(int32)) bool {
+	argv := st.Argv
+	switch argv[0] {
+	case "cd":
+		dir := "/"
+		if len(argv) > 1 {
+			dir = argv[1]
+		}
+		s.FS.Chdir(dir, func(err error) {
+			if err != nil {
+				fmt.Fprintf(s.out, "cd: %v\n", err)
+				done(1)
+				return
+			}
+			done(0)
+		})
+	case "pwd":
+		fmt.Fprintln(s.out, s.FS.Cwd())
+		done(0)
+	case "exit":
+		code := 0
+		if len(argv) > 1 {
+			code, _ = strconv.Atoi(argv[1])
+		}
+		s.exitReq = true
+		s.exitCode = int32(code)
+		done(int32(code))
+	case "ps":
+		s.writePS()
+		done(0)
+	case "write":
+		if len(argv) < 3 {
+			fmt.Fprintln(s.out, "usage: write path word...")
+			done(2)
+			return true
+		}
+		data := strings.Join(argv[2:], " ") + "\n"
+		s.FS.WriteFile(argv[1], []byte(data), func(err error) {
+			if err != nil {
+				fmt.Fprintf(s.out, "write: %v\n", err)
+				done(1)
+				return
+			}
+			done(0)
+		})
+	case "kill":
+		s.runKill(argv, done)
+	case "help":
+		fmt.Fprintf(s.out, "commands: %s\n", strings.Join(s.Commands(), " "))
+		fmt.Fprintln(s.out, "pipelines: a | b | c, with < in and > out redirections")
+		done(0)
+	default:
+		return false
+	}
+	return true
+}
+
+func (s *Shell) writePS() {
+	fmt.Fprintf(s.out, "%5s %5s %-10s %-8s %s\n", "PID", "PPID", "NAME", "STATE", "BLOCKED-ON")
+	for _, p := range s.K.Snapshot() {
+		fmt.Fprintf(s.out, "%5d %5d %-10s %-8s %s\n", p.PID, p.PPID, p.Name, p.State, p.Blocked)
+	}
+}
+
+var killSigs = map[string]proc.Signal{
+	"-INT": proc.SIGINT, "-KILL": proc.SIGKILL, "-PIPE": proc.SIGPIPE,
+}
+
+func (s *Shell) runKill(argv []string, done func(int32)) {
+	sig := proc.SIGKILL
+	args := argv[1:]
+	if len(args) > 0 {
+		if v, ok := killSigs[strings.ToUpper(args[0])]; ok {
+			sig = v
+			args = args[1:]
+		}
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(s.out, "usage: kill [-INT|-KILL|-PIPE] pid")
+		done(2)
+		return
+	}
+	pid, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprintf(s.out, "kill: bad pid %q\n", args[0])
+		done(2)
+		return
+	}
+	if err := s.K.Kill(int32(pid), sig); err != nil {
+		fmt.Fprintf(s.out, "kill: %v\n", err)
+		done(1)
+		return
+	}
+	done(0)
+}
+
+// spawner resolves a command name to its VM flavor before anything is
+// created, so "command not found" aborts the whole pipeline cleanly.
+type spawner func(spec proc.SpawnSpec) (*proc.Process, error)
+
+func (s *Shell) resolve(name string) (spawner, bool) {
+	if prog, ok := s.progs[name]; ok {
+		return func(spec proc.SpawnSpec) (*proc.Process, error) {
+			return s.K.SpawnMinic(prog, spec)
+		}, true
+	}
+	if main, ok := s.jvmMains[name]; ok {
+		return func(spec proc.SpawnSpec) (*proc.Process, error) {
+			return s.K.SpawnJVM(main, s.classes, spec)
+		}, true
+	}
+	return nil, false
+}
+
+// runPipeline spawns every stage wired through kernel pipes, then
+// waits for all of them; the pipeline status is the last stage's.
+func (s *Shell) runPipeline(stages []Stage, done func(int32)) {
+	n := len(stages)
+	spawners := make([]spawner, n)
+	for i, st := range stages {
+		sp, ok := s.resolve(st.Argv[0])
+		if !ok {
+			fmt.Fprintf(s.out, "dsh: %s: command not found\n", st.Argv[0])
+			done(127)
+			return
+		}
+		spawners[i] = sp
+	}
+
+	pipes := make([]*proc.Pipe, n-1)
+	for i := range pipes {
+		pipes[i] = s.K.NewPipe(proc.DefaultPipeCap)
+	}
+	pids := make([]int32, 0, n)
+	for i, st := range stages {
+		spec := proc.SpawnSpec{
+			Name:   st.Argv[0],
+			Args:   st.Argv[1:],
+			Stderr: &proc.WriterStream{W: s.out},
+		}
+		switch {
+		case i > 0:
+			spec.Stdin = &proc.PipeReader{P: pipes[i-1]}
+		case st.In != "":
+			spec.Stdin = &proc.FileReader{FS: s.FS, Path: st.In}
+		}
+		switch {
+		case i < n-1:
+			spec.Stdout = &proc.PipeWriter{P: pipes[i]}
+		case st.Out != "":
+			spec.Stdout = &proc.FileWriter{FS: s.FS, Path: st.Out, OnErr: func(err error) {
+				fmt.Fprintf(s.out, "dsh: %s: %v\n", st.Out, err)
+			}}
+		default:
+			spec.Stdout = &proc.WriterStream{W: s.out}
+		}
+		p, err := spawners[i](spec)
+		if err != nil {
+			fmt.Fprintf(s.out, "dsh: %s: %v\n", st.Argv[0], err)
+			// Tear down what already started; reap via waitpid so no
+			// zombies outlive the failed pipeline.
+			for _, pid := range pids {
+				s.K.Kill(pid, proc.SIGKILL)
+				s.K.Waitpid(nil, pid).Then(func(interface{}, error) {})
+			}
+			done(127)
+			return
+		}
+		pids = append(pids, p.PID)
+	}
+
+	remaining := len(pids)
+	var last int32
+	for idx, pid := range pids {
+		isLast := idx == len(pids)-1
+		s.K.Waitpid(nil, pid).Then(func(v interface{}, err error) {
+			code := int32(127)
+			if err == nil {
+				code = v.(int32)
+			}
+			if isLast {
+				last = code
+			}
+			remaining--
+			if remaining == 0 {
+				done(last)
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package shell
+
+// The shell's userland. MiniC sources compile to minic bytecode and
+// run on minic VMs; MiniJava sources compile (with the bundled rt
+// class library) to real class files and run on Doppio JVMs. A
+// pipeline can mix the two freely — both ends of every pipe speak
+// Completion.
+
+// minicUtils are the C coreutils.
+var minicUtils = map[string]string{
+	"cat": `
+int main() {
+    char buf[512];
+    char path[128];
+    int n = argc();
+    if (n > 1) {
+        for (int i = 1; i < n; i++) {
+            getarg(i, path, 128);
+            if (exists(path) == 0) {
+                puts("cat: ");
+                puts(path);
+                puts(": no such file\n");
+                return 1;
+            }
+            char *data = readfile(path);
+            puts(data);
+        }
+        return 0;
+    }
+    while (getline(buf, 512) >= 0) {
+        puts(buf);
+        putchar('\n');
+    }
+    return 0;
+}`,
+
+	"wc": `
+int main() {
+    char buf[512];
+    int lines = 0;
+    int words = 0;
+    int bytes = 0;
+    int n = getline(buf, 512);
+    while (n >= 0) {
+        lines = lines + 1;
+        bytes = bytes + n + 1;
+        int inword = 0;
+        for (int i = 0; i < n; i++) {
+            if (buf[i] == ' ' || buf[i] == 9) {
+                inword = 0;
+            } else {
+                if (inword == 0) {
+                    words = words + 1;
+                    inword = 1;
+                }
+            }
+        }
+        n = getline(buf, 512);
+    }
+    putint(lines);
+    putchar(' ');
+    putint(words);
+    putchar(' ');
+    putint(bytes);
+    putchar('\n');
+    return 0;
+}`,
+
+	"grep": `
+int match(char *s, char *pat) {
+    int n = strlen(s);
+    int m = strlen(pat);
+    for (int i = 0; i + m <= n; i++) {
+        int ok = 1;
+        for (int j = 0; j < m; j++) {
+            if (s[i + j] != pat[j]) {
+                ok = 0;
+            }
+        }
+        if (ok == 1) {
+            return 1;
+        }
+    }
+    return 0;
+}
+int main() {
+    char buf[512];
+    char pat[128];
+    if (argc() < 2) {
+        puts("usage: grep pattern\n");
+        return 2;
+    }
+    getarg(1, pat, 128);
+    int found = 0;
+    while (getline(buf, 512) >= 0) {
+        if (match(buf, pat) == 1) {
+            puts(buf);
+            putchar('\n');
+            found = 1;
+        }
+    }
+    if (found == 1) {
+        return 0;
+    }
+    return 1;
+}`,
+
+	"seq": `
+int main() {
+    char a[32];
+    int lo = 1;
+    int hi = 10;
+    int n = argc();
+    if (n == 2) {
+        getarg(1, a, 32);
+        hi = atoi(a);
+    }
+    if (n >= 3) {
+        getarg(1, a, 32);
+        lo = atoi(a);
+        getarg(2, a, 32);
+        hi = atoi(a);
+    }
+    for (int i = lo; i <= hi; i++) {
+        putint(i);
+        putchar('\n');
+    }
+    return 0;
+}`,
+
+	"echo": `
+int main() {
+    char a[256];
+    int n = argc();
+    for (int i = 1; i < n; i++) {
+        if (i > 1) {
+            putchar(' ');
+        }
+        getarg(i, a, 256);
+        puts(a);
+    }
+    putchar('\n');
+    return 0;
+}`,
+
+	"yes": `
+int main() {
+    while (1 == 1) {
+        if (puts("y\n") < 0) {
+            return 0;
+        }
+    }
+    return 0;
+}`,
+}
+
+// mjUtils are the JVM coreutils: name → (main class, source). Both
+// read System.in byte-wise through ConsoleIn, which the process layer
+// feeds from the stage's stdin stream.
+var mjUtils = map[string]struct {
+	Main string
+	Src  string
+}{
+	"jgrep": {"JGrep", `
+public class JGrep {
+    static int flush(StringBuilder b, String pat, int matched) {
+        String line = b.toString();
+        if (line.contains(pat)) {
+            System.out.println(line);
+            return 0;
+        }
+        return matched;
+    }
+    public static void main(String[] args) {
+        if (args.length < 1) {
+            System.out.println("usage: jgrep pattern");
+            System.exit(2);
+        }
+        String pat = args[0];
+        StringBuilder b = new StringBuilder();
+        int matched = 1;
+        int c = System.in.read();
+        while (c >= 0) {
+            if (c == '\n') {
+                matched = flush(b, pat, matched);
+                b = new StringBuilder();
+            } else {
+                b.append((char) c);
+            }
+            c = System.in.read();
+        }
+        if (b.length() > 0) {
+            matched = flush(b, pat, matched);
+        }
+        System.exit(matched);
+    }
+}`},
+
+	"jupper": {"JUpper", `
+public class JUpper {
+    public static void main(String[] args) {
+        StringBuilder b = new StringBuilder();
+        int c = System.in.read();
+        while (c >= 0) {
+            b.append((char) c);
+            c = System.in.read();
+        }
+        System.out.print(b.toString().toUpperCase());
+    }
+}`},
+}

@@ -119,7 +119,7 @@ func DialWebSocket(w *browser.Window, addr string) *WebSocket {
 	// the event loop alive while the socket lives, and its single-fire
 	// settlement delivers the terminal error/close event exactly once
 	// no matter how the reader pump and Close race.
-	lifetime := core.NewCompletion(w.Loop, "ws:"+addr)
+	lifetime := core.NewCompletion(w.Loop, "sock.ws("+addr+")")
 	lifetime.Then(func(_ interface{}, err error) {
 		if err != nil && ws.OnError != nil {
 			ws.OnError(err)

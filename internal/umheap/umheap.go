@@ -91,6 +91,42 @@ func New(size int, typed bool, onTypedAlloc func(int)) *Heap {
 // Size returns the heap capacity in bytes.
 func (h *Heap) Size() int { return h.words.Words() * 4 }
 
+// Clone returns a deep copy of the heap — same contents, same free
+// list, same allocation map — over fresh backing storage, so writes
+// through the copy are invisible to the original. This is the address
+// space duplication behind the process layer's fork: the child VM
+// resumes on a byte-identical image. onTypedAlloc, if non-nil,
+// observes the new backing allocation exactly as New would.
+func (h *Heap) Clone(onTypedAlloc func(int)) *Heap {
+	var ws WordStore
+	switch s := h.words.(type) {
+	case Int32Store:
+		c := make(Int32Store, len(s))
+		copy(c, s)
+		ws = c
+		if onTypedAlloc != nil {
+			onTypedAlloc(len(c) * 4)
+		}
+	case NumberStore:
+		c := make(NumberStore, len(s))
+		copy(c, s)
+		ws = c
+	default:
+		// An unknown store cannot be duplicated efficiently; fall back
+		// to a word-by-word copy into the plain representation.
+		c := make(NumberStore, h.words.Words())
+		for i := range c {
+			c.Set(i, h.words.Get(i))
+		}
+		ws = c
+	}
+	clone := &Heap{words: ws, free: append([]block(nil), h.free...), allocs: make(map[int]int, len(h.allocs))}
+	for a, n := range h.allocs {
+		clone.allocs[a] = n
+	}
+	return clone
+}
+
 // ErrOOM reports allocation failure.
 var ErrOOM = fmt.Errorf("umheap: out of memory")
 

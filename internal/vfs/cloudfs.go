@@ -35,7 +35,7 @@ func NewCloudStore(latency time.Duration) *CloudStore {
 
 // call delivers fn on the loop after the network round trip.
 func (c *CloudStore) call(loop *eventloop.Loop, fn func()) {
-	comp := core.NewCompletion(loop, "cloud")
+	comp := core.NewCompletion(loop, "vfs.cloud")
 	comp.Then(func(interface{}, error) { fn() })
 	resolve := comp.Resolver()
 	go func() {

@@ -46,6 +46,10 @@ const (
 	EIO       Errno = "EIO"
 	EAGAIN    Errno = "EAGAIN"
 	ETIMEDOUT Errno = "ETIMEDOUT"
+	EPIPE     Errno = "EPIPE"
+	ECHILD    Errno = "ECHILD"
+	EINTR     Errno = "EINTR"
+	ESRCH     Errno = "ESRCH"
 )
 
 // Transient reports whether the errno describes a failure that may
@@ -55,9 +59,14 @@ const (
 // remote backends (and the fault injector) surface for flaky-transport
 // failures, while genuine namespace errors keep their specific errnos
 // (ENOENT, EEXIST, ...), all of which are final.
+// EINTR is transient: the interrupted call did not happen (or happened
+// partially) and Unix semantics are to retry it, exactly the decision
+// the retry layer encodes. The other process errnos are final: a
+// broken pipe stays broken (EPIPE), a child that does not exist will
+// not appear by retrying (ECHILD), and neither will a dead pid (ESRCH).
 func (e Errno) Transient() bool {
 	switch e {
-	case EIO, EAGAIN, ETIMEDOUT:
+	case EIO, EAGAIN, ETIMEDOUT, EINTR:
 		return true
 	}
 	return false
@@ -142,6 +151,14 @@ func errnoText(e Errno) string {
 		return "resource temporarily unavailable"
 	case ETIMEDOUT:
 		return "operation timed out"
+	case EPIPE:
+		return "broken pipe"
+	case ECHILD:
+		return "no child processes"
+	case EINTR:
+		return "interrupted system call"
+	case ESRCH:
+		return "no such process"
 	}
 	return "unknown error"
 }

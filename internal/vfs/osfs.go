@@ -39,7 +39,7 @@ func (o *OSBackend) path(p string) string {
 // like any asynchronous browser API. The completion carries the
 // deliver closure as its value.
 func (o *OSBackend) dispatch(op func() func()) {
-	c := core.NewCompletion(o.loop, "osfs")
+	c := core.NewCompletion(o.loop, "vfs.osfs")
 	c.Then(func(v interface{}, _ error) { v.(func())() })
 	resolve := c.Resolver()
 	go func() {
