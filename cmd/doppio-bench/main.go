@@ -27,7 +27,7 @@ import (
 
 	"doppio/internal/bench"
 	"doppio/internal/browser"
-	"doppio/internal/buffer"
+	"doppio/internal/fleet"
 	"doppio/internal/fstrace"
 	"doppio/internal/ops"
 	"doppio/internal/telemetry"
@@ -60,6 +60,11 @@ func main() {
 	traceCap := flag.Int("trace-cap", 0, "trace-event retention cap for -trace (0 = default 262144; negative = unlimited); overflow drops oldest events, counted in telemetry.trace_dropped")
 	opsBench := flag.Bool("ops-bench", false, "flight-recorder overhead A/B on a CPU-bound multithreaded workload")
 	opsOut := flag.String("ops-out", "BENCH_ops.json", "path for the -ops-bench JSON report")
+	fleetN := flag.Int("fleet", 0, "fleet hosting sweep: run the tenant counts from {16, 64, 256} up to N, single-shard vs multi-shard at equal work")
+	fleetShards := flag.Int("fleet-shards", 0, "multi-shard pool width for -fleet (default NumCPU)")
+	fleetWorkload := flag.String("fleet-workload", "mixed", "tenant mix for -fleet: minic, jvm, mixed, or pipes")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "path for the -fleet JSON report")
+	fleetCheck := flag.Bool("fleet-check", false, "fail unless the -fleet run saw zero evictions and every tenant's slice counter is nonzero (CI smoke gate)")
 	flag.Parse()
 
 	var hub *telemetry.Hub
@@ -77,7 +82,7 @@ func main() {
 			hub.EnableFlight(telemetry.DefaultFlightCapacity)
 		}
 	}
-	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio || *opsBench
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio || *opsBench || *fleetN > 0
 	if !anyFigure && hub == nil {
 		flag.Usage()
 		os.Exit(2)
@@ -275,6 +280,49 @@ func main() {
 		}
 		fmt.Printf("ops overhead report written to %s\n", *opsOut)
 	}
+	if *fleetN > 0 {
+		var counts []int
+		for _, n := range []int{16, 64, 256} {
+			if n <= *fleetN {
+				counts = append(counts, n)
+			}
+		}
+		if len(counts) == 0 {
+			counts = []int{*fleetN}
+		}
+		res, err := bench.RunFleet(bench.FleetParams{
+			Tenants:  counts,
+			Shards:   *fleetShards,
+			Workload: *fleetWorkload,
+			Scale:    *scale,
+			Ops:      opsSrv,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatFleet(res))
+		if err := bench.WriteFleetReport(*fleetOut, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fleet report written to %s\n", *fleetOut)
+		if *fleetCheck {
+			for _, pt := range res.Points {
+				for _, arm := range []bench.FleetArm{pt.Single, pt.Multi} {
+					if arm.Evictions != 0 || arm.Failed != 0 {
+						finishErr = fmt.Errorf("fleet check: %d tenants on %d shards saw %d evictions, %d failures",
+							pt.Tenants, arm.Shards, arm.Evictions, arm.Failed)
+					}
+					if arm.MinTenantSlices <= 0 {
+						finishErr = fmt.Errorf("fleet check: %d tenants on %d shards: a tenant's slice counter stayed zero",
+							pt.Tenants, arm.Shards)
+					}
+				}
+			}
+			if finishErr == nil {
+				fmt.Println("fleet check: ok (zero evictions, every tenant counter nonzero)")
+			}
+		}
+	}
 	if !anyFigure {
 		if err := runTelemetryPass(cfg); err != nil {
 			fatal(err)
@@ -308,42 +356,27 @@ func runTelemetryPass(cfg bench.Config) error {
 	trace := fstrace.Generate(fstrace.GenerateParams{
 		Ops: 400, UniqueFiles: 120, BytesRead: 600_000, BytesWritten: 8_000,
 	})
-	win := browser.NewWindow(profile)
-	if cfg.Telemetry != nil {
-		win.EnableTelemetry(cfg.Telemetry)
-	}
-	bufs := &buffer.Factory{
-		Typed:            profile.HasTypedArrays,
-		ValidatesStrings: profile.ValidatesStrings,
-		OnTypedAlloc:     win.NoteTypedArrayAlloc,
-	}
+	env := fleet.NewEnv(profile, cfg.Telemetry)
 	stackOpts := []vfs.StackOption{}
 	if cfg.FSCache {
 		stackOpts = append(stackOpts, vfs.WithCache(vfs.CacheOptions{Hub: cfg.Telemetry}))
 	}
 	root := vfs.Stack(vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry), stackOpts...)
-	fs := vfs.New(win.Loop, bufs, root)
-	var seedErr, replayErr error
+	fs := env.NewFS(root)
 	var okOps int
-	win.Loop.Post("fstrace", func() {
+	if err := fleet.Drive(env.Win.Loop, "fstrace", func(done func(error)) {
 		fstrace.SeedVFS(fs, trace, func(err error) {
 			if err != nil {
-				seedErr = err
+				done(err)
 				return
 			}
-			fstrace.ReplayVFSWith(win.Loop, fs, trace, cfg.Telemetry, func(ok int, err error) {
-				okOps, replayErr = ok, err
+			fstrace.ReplayVFSWith(env.Win.Loop, fs, trace, cfg.Telemetry, func(ok int, err error) {
+				okOps = ok
+				done(err)
 			})
 		})
-	})
-	if err := win.Loop.Run(); err != nil {
+	}); err != nil {
 		return err
-	}
-	if seedErr != nil {
-		return seedErr
-	}
-	if replayErr != nil {
-		return replayErr
 	}
 	fmt.Printf("telemetry pass: fstrace replay completed %d/%d ops\n", okOps, len(trace.Ops))
 	return nil

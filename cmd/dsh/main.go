@@ -19,6 +19,7 @@ import (
 
 	"doppio/internal/browser"
 	"doppio/internal/core"
+	"doppio/internal/fleet"
 	opspkg "doppio/internal/ops"
 	"doppio/internal/proc"
 	"doppio/internal/shell"
@@ -37,9 +38,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dsh: unknown browser %q\n", *browserName)
 		os.Exit(2)
 	}
-	win := browser.NewWindow(profile)
 	hub := telemetry.NewHub().EnableFlight(0)
-	win.EnableTelemetry(hub)
+	win := fleet.NewEnv(profile, hub).Win
 	k := proc.NewKernel(win, vfs.NewInMemory())
 	sh, err := shell.New(k, os.Stdout)
 	if err != nil {
@@ -66,22 +66,25 @@ func main() {
 	var last int32
 	if *cmd != "" {
 		lines := splitCommands(*cmd)
-		var runAt func(i int)
-		runAt = func(i int) {
-			if i == len(lines) {
-				return
-			}
-			sh.Run(lines[i], func(status int32) {
-				last = status
-				if exited, code := sh.Exited(); exited {
-					last = code
+		if err := fleet.Drive(win.Loop, "dsh-c", func(done func(error)) {
+			var runAt func(i int)
+			runAt = func(i int) {
+				if i == len(lines) {
+					done(nil)
 					return
 				}
-				runAt(i + 1)
-			})
-		}
-		win.Loop.Post("dsh-c", func() { runAt(0) })
-		if err := win.Loop.Run(); err != nil {
+				sh.Run(lines[i], func(status int32) {
+					last = status
+					if exited, code := sh.Exited(); exited {
+						last = code
+						done(nil)
+						return
+					}
+					runAt(i + 1)
+				})
+			}
+			runAt(0)
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "dsh:", err)
 			os.Exit(1)
 		}
@@ -93,33 +96,36 @@ func main() {
 	// slot), run it, prompt again. EOF or the exit builtin ends the
 	// session.
 	reader := bufio.NewReader(os.Stdin)
-	var repl func()
-	repl = func() {
-		fmt.Fprint(os.Stdout, "dsh$ ")
-		c := core.NewCompletion(win.Loop, "dsh.stdin")
-		c.Then(func(v interface{}, err error) {
-			line, _ := v.(string)
-			if err != nil && line == "" {
-				fmt.Fprintln(os.Stdout)
-				return // EOF: the loop drains and dsh exits
-			}
-			sh.Run(strings.TrimRight(line, "\r\n"), func(status int32) {
-				last = status
-				if exited, code := sh.Exited(); exited {
-					last = code
+	if err := fleet.Drive(win.Loop, "dsh-repl", func(done func(error)) {
+		var repl func()
+		repl = func() {
+			fmt.Fprint(os.Stdout, "dsh$ ")
+			c := core.NewCompletion(win.Loop, "dsh.stdin")
+			c.Then(func(v interface{}, err error) {
+				line, _ := v.(string)
+				if err != nil && line == "" {
+					fmt.Fprintln(os.Stdout)
+					done(nil) // EOF: the loop drains and dsh exits
 					return
 				}
-				repl()
+				sh.Run(strings.TrimRight(line, "\r\n"), func(status int32) {
+					last = status
+					if exited, code := sh.Exited(); exited {
+						last = code
+						done(nil)
+						return
+					}
+					repl()
+				})
 			})
-		})
-		resolve := c.Resolver()
-		go func() {
-			line, err := reader.ReadString('\n')
-			resolve(line, err)
-		}()
-	}
-	win.Loop.Post("dsh-repl", repl)
-	if err := win.Loop.Run(); err != nil {
+			resolve := c.Resolver()
+			go func() {
+				line, err := reader.ReadString('\n')
+				resolve(line, err)
+			}()
+		}
+		repl()
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dsh:", err)
 		os.Exit(1)
 	}

@@ -15,7 +15,7 @@ import (
 
 	"doppio/internal/bench/workloads"
 	"doppio/internal/browser"
-	"doppio/internal/buffer"
+	"doppio/internal/fleet"
 	"doppio/internal/jvm"
 	"doppio/internal/ops"
 	"doppio/internal/telemetry"
@@ -194,12 +194,8 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 	if err != nil {
 		return nil, err
 	}
-	win := browser.NewWindow(profile)
-	bufs := &buffer.Factory{
-		Typed:            profile.HasTypedArrays,
-		ValidatesStrings: profile.ValidatesStrings,
-		OnTypedAlloc:     win.NoteTypedArrayAlloc,
-	}
+	env := fleet.NewEnv(profile, nil)
+	win := env.Win
 	// Keep Instrument innermost (as the Stack base) so "vfs.InMemory"
 	// ops keeps counting backend round trips even when the cache is on.
 	stackOpts := []vfs.StackOption{}
@@ -207,44 +203,42 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 		stackOpts = append(stackOpts, vfs.WithCache(vfs.CacheOptions{Hub: cfg.Telemetry}))
 	}
 	root := vfs.Stack(vfs.Instrument(vfs.NewInMemory(), cfg.Telemetry), stackOpts...)
-	fs := vfs.New(win.Loop, bufs, root)
+	fs := env.NewFS(root)
 
 	// Seed the corpus before timing starts.
-	var seedErr error
 	paths := make([]string, 0, len(files))
 	for p := range files {
 		paths = append(paths, p)
 	}
-	var seed func(i int)
-	seed = func(i int) {
-		if i == len(paths) {
-			return
-		}
-		p := paths[i]
-		dir := p[:strings.LastIndexByte(p, '/')]
-		if dir == "" {
-			dir = "/"
-		}
-		fs.MkdirAll(dir, func(err error) {
-			if err != nil {
-				seedErr = err
+	if err := fleet.Drive(win.Loop, "seed", func(done func(error)) {
+		var seed func(i int)
+		seed = func(i int) {
+			if i == len(paths) {
+				done(nil)
 				return
 			}
-			fs.WriteFile(p, files[p], func(err error) {
+			p := paths[i]
+			dir := p[:strings.LastIndexByte(p, '/')]
+			if dir == "" {
+				dir = "/"
+			}
+			fs.MkdirAll(dir, func(err error) {
 				if err != nil {
-					seedErr = err
+					done(err)
 					return
 				}
-				seed(i + 1)
+				fs.WriteFile(p, files[p], func(err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					seed(i + 1)
+				})
 			})
-		})
-	}
-	win.Loop.Post("seed", func() { seed(0) })
-	if err := win.Loop.Run(); err != nil {
+		}
+		seed(0)
+	}); err != nil {
 		return nil, err
-	}
-	if seedErr != nil {
-		return nil, seedErr
 	}
 	if cfg.Telemetry != nil {
 		win.EnableTelemetry(cfg.Telemetry)

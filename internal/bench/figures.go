@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"doppio/internal/browser"
-	"doppio/internal/buffer"
+	"doppio/internal/fleet"
 	"doppio/internal/fstrace"
 	"doppio/internal/vfs"
 )
@@ -167,46 +167,33 @@ func RunFig6(cfg Config, params fstrace.GenerateParams) ([]Fig6Row, error) {
 
 	var rows []Fig6Row
 	for _, p := range cfg.Browsers {
-		win := browser.NewWindow(p)
-		bufs := &buffer.Factory{
-			Typed:            p.HasTypedArrays,
-			ValidatesStrings: p.ValidatesStrings,
-			OnTypedAlloc:     win.NoteTypedArrayAlloc,
-		}
+		env := fleet.NewEnv(p, nil)
+		win := env.Win
 		// The Doppio file system runs over the same host directory as
 		// the baseline (via the asynchronous OS backend), so the
 		// comparison isolates Doppio's FS machinery — front-end
 		// bookkeeping, buffer copies, and one event-loop round trip
 		// per operation — exactly what Figure 6 measures.
-		fs := vfs.New(win.Loop, bufs, vfs.Instrument(vfs.NewOSBackend(win.Loop, root), cfg.Telemetry))
+		fs := vfs.New(win.Loop, env.Bufs, vfs.Instrument(vfs.NewOSBackend(win.Loop, root), cfg.Telemetry))
 		// Warm pass (mirrors the baseline's warm page cache).
-		var warmErr error
-		win.Loop.Post("warm", func() {
-			fstrace.ReplayVFS(win.Loop, fs, trace, func(_ int, err error) { warmErr = err })
-		})
-		if err := win.Loop.Run(); err != nil {
+		if err := fleet.Drive(win.Loop, "warm", func(done func(error)) {
+			fstrace.ReplayVFS(win.Loop, fs, trace, func(_ int, err error) { done(err) })
+		}); err != nil {
 			return nil, err
 		}
-		if warmErr != nil {
-			return nil, warmErr
-		}
 		var okOps int
-		var replayErr error
 		t0 := time.Now()
-		win.Loop.Post("replay", func() {
+		if err := fleet.Drive(win.Loop, "replay", func(done func(error)) {
 			// The timed pass records per-op latencies when telemetry is
 			// configured (the warm pass stays unobserved).
 			fstrace.ReplayVFSWith(win.Loop, fs, trace, cfg.Telemetry, func(ok int, err error) {
-				okOps, replayErr = ok, err
+				okOps = ok
+				done(err)
 			})
-		})
-		if err := win.Loop.Run(); err != nil {
+		}); err != nil {
 			return nil, err
 		}
 		elapsed := time.Since(t0)
-		if replayErr != nil {
-			return nil, replayErr
-		}
 		if okOps != len(trace.Ops) {
 			return nil, fmt.Errorf("bench: %s replay only completed %d/%d ops", p.Name, okOps, len(trace.Ops))
 		}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunFleetSmall runs a miniature sweep of the fleet benchmark:
+// every workload mix must complete cleanly (no failures, no
+// evictions) with every tenant's slice counter visibly nonzero.
+func TestRunFleetSmall(t *testing.T) {
+	for _, workload := range []string{"mixed", "pipes"} {
+		p := FleetParams{
+			Tenants:  []int{4},
+			Shards:   2,
+			Workload: workload,
+			Scale:    1,
+		}
+		res, err := RunFleet(p)
+		if err != nil {
+			t.Fatalf("%s: %v", workload, err)
+		}
+		if len(res.Points) != 1 {
+			t.Fatalf("%s: %d points, want 1", workload, len(res.Points))
+		}
+		pt := res.Points[0]
+		for _, arm := range []FleetArm{pt.Single, pt.Multi} {
+			if arm.Failed != 0 || arm.Evictions != 0 {
+				t.Errorf("%s shards=%d: failed=%d evictions=%d",
+					workload, arm.Shards, arm.Failed, arm.Evictions)
+			}
+			if arm.Throughput <= 0 {
+				t.Errorf("%s shards=%d: throughput %v", workload, arm.Shards, arm.Throughput)
+			}
+			if arm.P50 <= 0 || arm.P999 < arm.P50 {
+				t.Errorf("%s shards=%d: p50=%v p999=%v", workload, arm.Shards, arm.P50, arm.P999)
+			}
+			if arm.MinTenantSlices <= 0 {
+				t.Errorf("%s shards=%d: min tenant slices %d, want > 0",
+					workload, arm.Shards, arm.MinTenantSlices)
+			}
+		}
+		if got := FormatFleet(res); got == "" {
+			t.Errorf("%s: empty format", workload)
+		}
+	}
+}
+
+// TestNearestRank pins the percentile convention: exact nearest-rank
+// over the raw sample, no interpolation.
+func TestNearestRank(t *testing.T) {
+	sample := make([]time.Duration, 100)
+	for i := range sample {
+		sample[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{0.999, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := nearestRank(sample, c.q); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.q*100, got, c.want)
+		}
+	}
+	if nearestRank(nil, 0.5) != 0 {
+		t.Error("empty sample should yield 0")
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	if got := nearestRank(one, 0.999); got != one[0] {
+		t.Errorf("singleton p999 = %v", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"doppio/internal/bench/workloads"
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
+	"doppio/internal/fleet"
 	"doppio/internal/fstrace"
 	"doppio/internal/jvm"
 	"doppio/internal/telemetry"
@@ -66,13 +67,8 @@ func NewFSCacheBackend(name string, w *browser.Window, bufs *buffer.Factory, lat
 }
 
 func newWindowFS(profile browser.Profile) (*browser.Window, *buffer.Factory) {
-	win := browser.NewWindow(profile)
-	bufs := &buffer.Factory{
-		Typed:            profile.HasTypedArrays,
-		ValidatesStrings: profile.ValidatesStrings,
-		OnTypedAlloc:     win.NoteTypedArrayAlloc,
-	}
-	return win, bufs
+	env := fleet.NewEnv(profile, nil)
+	return env.Win, env.Bufs
 }
 
 // RunFSCache replays the generated trace against the selected backend
@@ -118,45 +114,42 @@ func RunFSCache(cfg Config, p FSCacheParams) (*FSCacheResult, error) {
 		fs := vfs.New(win.Loop, bufs, b)
 		ops := hub.Registry.Counter("vfs."+inner.Name(), "ops")
 		var phases []FSCachePhase
-		var passErr error
-		var step func(i int)
-		step = func(i int) {
-			if i == replays {
-				if fl, ok := b.(vfs.Flusher); ok {
-					fl.Flush(func(err error) { passErr = err })
-				}
-				return
-			}
-			before := ops.Value()
-			start := time.Now()
-			fstrace.ReplayVFSWith(win.Loop, fs, trace, cfg.Telemetry, func(ok int, err error) {
-				if err != nil {
-					passErr = err
+		if err := fleet.Drive(win.Loop, "fscache", func(done func(error)) {
+			var step func(i int)
+			step = func(i int) {
+				if i == replays {
+					if fl, ok := b.(vfs.Flusher); ok {
+						fl.Flush(done)
+						return
+					}
+					done(nil)
 					return
 				}
-				phases = append(phases, FSCachePhase{
-					Name:       fmt.Sprintf("%s-%d", label, i),
-					BackendOps: ops.Value() - before,
-					OkOps:      ok,
-					Wall:       time.Since(start),
+				before := ops.Value()
+				start := time.Now()
+				fstrace.ReplayVFSWith(win.Loop, fs, trace, cfg.Telemetry, func(ok int, err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					phases = append(phases, FSCachePhase{
+						Name:       fmt.Sprintf("%s-%d", label, i),
+						BackendOps: ops.Value() - before,
+						OkOps:      ok,
+						Wall:       time.Since(start),
+					})
+					step(i + 1)
 				})
-				step(i + 1)
-			})
-		}
-		win.Loop.Post("fscache", func() {
+			}
 			fstrace.SeedVFS(seedFS, trace, func(err error) {
 				if err != nil {
-					passErr = err
+					done(err)
 					return
 				}
 				step(0)
 			})
-		})
-		if err := win.Loop.Run(); err != nil {
+		}); err != nil {
 			return nil, vfs.CacheStats{}, err
-		}
-		if passErr != nil {
-			return nil, vfs.CacheStats{}, passErr
 		}
 		var cs vfs.CacheStats
 		if s, ok := b.(vfs.CacheStatser); ok {
@@ -257,66 +250,61 @@ func RunClassloadFSCache(cfg Config, backendName string, writeBack bool, latency
 		ops := hub.Registry.Counter("vfs."+inner.Name(), "ops")
 		provider := &jvm.VFSClassProvider{FS: fs, Dirs: []string{"/cp1", "/cp2"}}
 
-		var passErr error
-		var seed func(i int, then func())
-		seed = func(i int, then func()) {
-			if i == len(names) {
-				then()
-				return
-			}
-			p := "/cp2/" + names[i] + ".class"
-			dir := p[:strings.LastIndexByte(p, '/')]
-			seedFS.MkdirAll(dir, func(err error) {
-				if err != nil {
-					passErr = err
+		if err := fleet.Drive(win.Loop, "classload", func(done func(error)) {
+			var seed func(i int, then func())
+			seed = func(i int, then func()) {
+				if i == len(names) {
+					then()
 					return
 				}
-				seedFS.WriteFile(p, classes[names[i]], func(err error) {
+				p := "/cp2/" + names[i] + ".class"
+				dir := p[:strings.LastIndexByte(p, '/')]
+				seedFS.MkdirAll(dir, func(err error) {
 					if err != nil {
-						passErr = err
+						done(err)
 						return
 					}
-					seed(i+1, then)
+					seedFS.WriteFile(p, classes[names[i]], func(err error) {
+						if err != nil {
+							done(err)
+							return
+						}
+						seed(i+1, then)
+					})
 				})
-			})
-		}
-		var load func(i int, then func())
-		load = func(i int, then func()) {
-			if i == len(names) {
-				then()
-				return
 			}
-			provider.BytesAsync(names[i], func(_ []byte, err error) {
-				if err != nil {
-					passErr = err
+			var load func(i int, then func())
+			load = func(i int, then func()) {
+				if i == len(names) {
+					then()
 					return
 				}
-				load(i+1, then)
-			})
-		}
-		round := func(then func()) {
-			before := ops.Value()
-			load(0, func() {
-				rounds = append(rounds, ops.Value()-before)
-				then()
-			})
-		}
-		win.Loop.Post("classload", func() {
+				provider.BytesAsync(names[i], func(_ []byte, err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					load(i+1, then)
+				})
+			}
+			round := func(then func()) {
+				before := ops.Value()
+				load(0, func() {
+					rounds = append(rounds, ops.Value()-before)
+					then()
+				})
+			}
 			seedFS.MkdirAll("/cp1", func(err error) {
 				if err != nil {
-					passErr = err
+					done(err)
 					return
 				}
 				seed(0, func() {
-					round(func() { round(func() {}) })
+					round(func() { round(func() { done(nil) }) })
 				})
 			})
-		})
-		if err := win.Loop.Run(); err != nil {
+		}); err != nil {
 			return nil, vfs.CacheStats{}, err
-		}
-		if passErr != nil {
-			return nil, vfs.CacheStats{}, passErr
 		}
 		if s, ok := b.(vfs.CacheStatser); ok {
 			cs = s.CacheStats()

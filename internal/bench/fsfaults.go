@@ -8,6 +8,7 @@ import (
 
 	"doppio/internal/bench/workloads"
 	"doppio/internal/browser"
+	"doppio/internal/fleet"
 	"doppio/internal/fstrace"
 	"doppio/internal/jvm"
 	"doppio/internal/telemetry"
@@ -137,29 +138,25 @@ func RunFSFaults(cfg Config, p FSFaultsParams) (*FSFaultsResult, error) {
 
 		var phase FSFaultsPhase
 		var log []fstrace.OpResult
-		var passErr error
-		win.Loop.Post("fsfaults", func() {
+		if err := fleet.Drive(win.Loop, "fsfaults", func(done func(error)) {
 			fstrace.SeedVFS(seedFS, trace, func(err error) {
 				if err != nil {
-					passErr = err
+					done(err)
 					return
 				}
 				start := time.Now()
 				fstrace.ReplayVFSRecord(win.Loop, fs, trace, cfg.Telemetry, func(ok int, l []fstrace.OpResult, err error) {
 					if err != nil {
-						passErr = err
+						done(err)
 						return
 					}
 					phase = FSFaultsPhase{Name: label, OkOps: ok, Wall: time.Since(start)}
 					log = l
+					done(nil)
 				})
 			})
-		})
-		if err := win.Loop.Run(); err != nil {
+		}); err != nil {
 			return FSFaultsPhase{}, nil, nil, err
-		}
-		if passErr != nil {
-			return FSFaultsPhase{}, nil, nil, passErr
 		}
 		return phase, log, b, nil
 	}
@@ -267,59 +264,55 @@ func RunClassloadFaults(cfg Config, backendName string, rate float64, seed int64
 	provider := &jvm.VFSClassProvider{FS: fs, Dirs: []string{"/cp1", "/cp2"}}
 
 	res := &ClassloadFaultsResult{Backend: backendName, Classes: len(names), Rate: rate, Seed: seed}
-	var passErr error
-	var seedStep func(i int, then func())
-	seedStep = func(i int, then func()) {
-		if i == len(names) {
-			then()
-			return
-		}
-		p := "/cp2/" + names[i] + ".class"
-		dir := p[:strings.LastIndexByte(p, '/')]
-		seedFS.MkdirAll(dir, func(err error) {
-			if err != nil {
-				passErr = err
+	if err := fleet.Drive(win.Loop, "classload-faults", func(done func(error)) {
+		var seedStep func(i int, then func())
+		seedStep = func(i int, then func()) {
+			if i == len(names) {
+				then()
 				return
 			}
-			seedFS.WriteFile(p, classes[names[i]], func(err error) {
+			p := "/cp2/" + names[i] + ".class"
+			dir := p[:strings.LastIndexByte(p, '/')]
+			seedFS.MkdirAll(dir, func(err error) {
 				if err != nil {
-					passErr = err
+					done(err)
 					return
 				}
-				seedStep(i+1, then)
+				seedFS.WriteFile(p, classes[names[i]], func(err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					seedStep(i+1, then)
+				})
 			})
-		})
-	}
-	var load func(i int)
-	load = func(i int) {
-		if i == len(names) {
-			return
 		}
-		name := names[i]
-		provider.BytesAsync(name, func(data []byte, err error) {
-			switch {
-			case err != nil:
-				res.LoadErrors++
-			case string(data) != string(classes[name]):
-				res.Mismatches++
+		var load func(i int)
+		load = func(i int) {
+			if i == len(names) {
+				done(nil)
+				return
 			}
-			load(i + 1)
-		})
-	}
-	win.Loop.Post("classload-faults", func() {
+			name := names[i]
+			provider.BytesAsync(name, func(data []byte, err error) {
+				switch {
+				case err != nil:
+					res.LoadErrors++
+				case string(data) != string(classes[name]):
+					res.Mismatches++
+				}
+				load(i + 1)
+			})
+		}
 		seedFS.MkdirAll("/cp1", func(err error) {
 			if err != nil {
-				passErr = err
+				done(err)
 				return
 			}
 			seedStep(0, func() { load(0) })
 		})
-	})
-	if err := win.Loop.Run(); err != nil {
+	}); err != nil {
 		return nil, err
-	}
-	if passErr != nil {
-		return nil, passErr
 	}
 	if fs, ok := vfs.Find[vfs.FaultStatser](b); ok {
 		res.Faults = fs.FaultStats()

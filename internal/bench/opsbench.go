@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"doppio/internal/browser"
+	"doppio/internal/fleet"
 	"doppio/internal/jvm"
 	"doppio/internal/telemetry"
 )
@@ -223,8 +224,7 @@ func runOpsOnce(cfg Config, profile browser.Profile, classes map[string][]byte, 
 	if flight {
 		hub.EnableFlight(telemetry.DefaultFlightCapacity)
 	}
-	win := browser.NewWindow(profile)
-	win.EnableTelemetry(hub)
+	win := fleet.NewEnv(profile, hub).Win
 	var stdout bytes.Buffer
 	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
 		Stdout:           &stdout,

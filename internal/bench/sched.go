@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"doppio/internal/browser"
+	"doppio/internal/fleet"
 	"doppio/internal/jvm"
 )
 
@@ -202,10 +203,7 @@ func runSchedProgram(cfg Config, mode, src string, batchBudget, watchdog time.Du
 		profile = cfg.Browsers[0]
 	}
 	profile.WatchdogLimit = watchdog
-	win := browser.NewWindow(profile)
-	if cfg.Telemetry != nil {
-		win.EnableTelemetry(cfg.Telemetry)
-	}
+	win := fleet.NewEnv(profile, cfg.Telemetry).Win
 	var stdout bytes.Buffer
 	fw := &firstWriteWriter{w: &stdout, start: time.Now()}
 	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{

@@ -11,6 +11,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
 	"doppio/internal/core"
+	"doppio/internal/fleet"
 	"doppio/internal/jvm"
 	"doppio/internal/sockets"
 	"doppio/internal/umheap"
@@ -89,23 +90,24 @@ func Table1() []FeatureRow {
 // --- Table 1 probes: each exercises the real implementation ---
 
 func probeFileSystem() error {
-	win := browser.NewWindow(browser.Chrome28)
-	bufs := &buffer.Factory{Typed: true}
-	fs := vfs.New(win.Loop, bufs, vfs.NewInMemory())
+	env := fleet.NewEnv(browser.Chrome28, nil)
+	fs := env.NewFS(vfs.NewInMemory())
 	var got []byte
-	win.Loop.Post("probe", func() {
+	err := fleet.Drive(env.Win.Loop, "probe", func(done func(error)) {
 		fs.WriteFile("/probe.txt", []byte("persisted"), func(err error) {
 			if err != nil {
+				done(err)
 				return
 			}
 			fs.ReadFile("/probe.txt", func(b *buffer.Buffer, err error) {
 				if err == nil {
 					got = b.Bytes()
 				}
+				done(err)
 			})
 		})
 	})
-	if err := win.Loop.Run(); err != nil {
+	if err != nil {
 		return err
 	}
 	if string(got) != "persisted" {
@@ -149,25 +151,27 @@ func probeSockets() error {
 		return err
 	}
 	defer proxy.Close()
-	win := browser.NewWindow(browser.Chrome28)
+	env := fleet.NewEnv(browser.Chrome28, nil)
 	var got string
-	win.Loop.Post("probe", func() {
-		sockets.Connect(win, proxy.Addr(), func(s *sockets.Socket, err error) {
+	if err := fleet.Drive(env.Win.Loop, "probe", func(done func(error)) {
+		sockets.Connect(env.Win, proxy.Addr(), func(s *sockets.Socket, err error) {
 			if err != nil {
+				done(err)
 				return
 			}
 			s.Write([]byte("probe"), func(err error) {
 				if err != nil {
+					done(err)
 					return
 				}
 				s.Read(16, func(data []byte, err error) {
 					got = string(data)
 					s.Close()
+					done(err)
 				})
 			})
 		})
-	})
-	if err := win.Loop.Run(); err != nil {
+	}); err != nil {
 		return err
 	}
 	if got != "probe" {
@@ -194,8 +198,10 @@ func probeEventSegmentation() error {
 		}
 		return core.Done
 	}))
-	rt.Start()
-	if err := win.Loop.Run(); err != nil {
+	if err := fleet.Drive(win.Loop, "probe", func(done func(error)) {
+		rt.OnIdle(func() { done(nil) })
+		rt.Start()
+	}); err != nil {
 		return fmt.Errorf("watchdog killed segmented execution: %w", err)
 	}
 	if rt.Stats().Suspensions == 0 {
@@ -372,14 +378,15 @@ func Table2() []StorageRow {
 	// Probe IndexedDB: asynchronous round trip.
 	win := browser.NewWindow(browser.Chrome28)
 	ok := false
-	win.Loop.Post("probe", func() {
+	err := fleet.Drive(win.Loop, "probe", func(done func(error)) {
 		win.IndexedDB.Put("k", []byte("v"), func(error) {
 			win.IndexedDB.Get("k", func(v []byte, found bool) {
 				ok = found && string(v) == "v"
+				done(nil)
 			})
 		})
 	})
-	if err := win.Loop.Run(); err == nil && ok {
+	if err == nil && ok {
 		rows[2].Probed = true
 	}
 	return rows

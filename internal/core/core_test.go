@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -558,5 +559,63 @@ func TestAdaptiveClockConvergesToTimeslice(t *testing.T) {
 	}
 	if longest := loop.Stats().LongestTask; longest > 100*time.Millisecond {
 		t.Errorf("LongestTask = %v; adaptive quantum failed to bound events", longest)
+	}
+}
+
+// TestStarvationAgingAtFleetDepth is the aging property at hosting
+// scale: 64 minimum-priority tenants behind 4 max-priority hogs. With
+// aging armed, the low-priority queue's head must keep preempting, so
+// every tenant gets its first slice while the hogs are still running
+// — none may be pushed to the end of the schedule.
+func TestStarvationAgingAtFleetDepth(t *testing.T) {
+	const (
+		hogs      = 4
+		hogRounds = 200
+		tenants   = 64
+	)
+	loop, rt := newTestRuntime(chromeOpts(), Config{AgingThreshold: 8})
+	var order []string
+	for i := 0; i < hogs; i++ {
+		rt.Spawn(fmt.Sprintf("hog-%d", i),
+			&yielder{tag: "hog", rounds: hogRounds, order: &order}).SetPriority(MaxPriority)
+	}
+	for i := 0; i < tenants; i++ {
+		rt.Spawn(fmt.Sprintf("tenant-%d", i),
+			&yielder{tag: fmt.Sprintf("t%02d", i), rounds: 1, order: &order}).SetPriority(MinPriority)
+	}
+	rt.Start()
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	first := make(map[string]int, tenants)
+	for i, tag := range order {
+		if tag != "hog" {
+			if _, ok := first[tag]; !ok {
+				first[tag] = i
+			}
+		}
+	}
+	if len(first) != tenants {
+		t.Fatalf("only %d of %d tenants ever ran", len(first), tenants)
+	}
+	hogTotal := hogs * hogRounds
+	maxFirst := 0
+	for _, i := range first {
+		if i > maxFirst {
+			maxFirst = i
+		}
+	}
+	// Without aging every tenant's first slice would land after all
+	// hogTotal hog slices. With threshold 8, one tenant is promoted
+	// roughly every 8 picks, so even the last tenant must first-run
+	// well inside the hogs' span.
+	if maxFirst >= hogTotal {
+		t.Errorf("slowest tenant first ran at slice %d, after the hogs' %d slices — starved",
+			maxFirst, hogTotal)
+	}
+	if want := tenants * 16; maxFirst > want {
+		t.Errorf("slowest tenant first ran at slice %d, want aging to fit all within ~%d",
+			maxFirst, want)
 	}
 }

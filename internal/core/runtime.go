@@ -583,3 +583,8 @@ func (rt *Runtime) DeadlockReport() string {
 
 // Threads returns all threads ever spawned.
 func (rt *Runtime) Threads() []*Thread { return rt.threads }
+
+// QueueDepth reports the current run-queue depth — the placement
+// signal the fleet supervisor's shard monitor publishes. Like Dump it
+// must be called on the loop goroutine (or after the loop drains).
+func (rt *Runtime) QueueDepth() int { return rt.runq.depth() }

@@ -1,0 +1,122 @@
+package eventloop
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestManyLoopsInvokeExternalConcurrent is the fleet hosting shape: a
+// pool of loops each pinned to its own goroutine, hammered by many
+// external producer goroutines at once. Every InvokeExternal must be
+// delivered exactly once to its loop, with no cross-loop leakage —
+// the -race run is the real assertion.
+func TestManyLoopsInvokeExternalConcurrent(t *testing.T) {
+	const (
+		loops     = 16
+		producers = 4
+		perProd   = 50
+	)
+	type shard struct {
+		loop *Loop
+		got  int // loop-goroutine confined
+		done chan error
+	}
+	shards := make([]*shard, loops)
+	for i := range shards {
+		sh := &shard{loop: New(Options{}), done: make(chan error, 1)}
+		shards[i] = sh
+		sh.loop.AddPending()
+		go func() { sh.done <- sh.loop.Run() }()
+	}
+
+	want := producers * perProd
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(sh *shard, label string) {
+				defer wg.Done()
+				for m := 0; m < perProd; m++ {
+					sh.loop.InvokeExternal(label, func() {
+						sh.got++
+						if sh.got == want {
+							sh.loop.DonePending()
+						}
+					})
+				}
+			}(sh, fmt.Sprintf("producer-%d-%d", i, p))
+		}
+	}
+	wg.Wait()
+	for i, sh := range shards {
+		if err := <-sh.done; err != nil {
+			t.Fatalf("loop %d: %v", i, err)
+		}
+		if sh.got != want {
+			t.Errorf("loop %d delivered %d tasks, want %d", i, sh.got, want)
+		}
+	}
+}
+
+// TestManyLoopsOnMessageConcurrent layers window messaging on top:
+// external producers InvokeExternal a PostMessage onto each loop, and
+// every registered listener must see every message in order, while
+// sibling loops run the same traffic concurrently.
+func TestManyLoopsOnMessageConcurrent(t *testing.T) {
+	const (
+		loops     = 8
+		producers = 4
+		perProd   = 25
+		listeners = 3
+	)
+	type shard struct {
+		loop *Loop
+		seen [listeners]int // loop-goroutine confined
+		done chan error
+	}
+	want := producers * perProd
+	shards := make([]*shard, loops)
+	for i := range shards {
+		sh := &shard{loop: New(Options{}), done: make(chan error, 1)}
+		shards[i] = sh
+		for li := 0; li < listeners; li++ {
+			li := li
+			sh.loop.OnMessage(func(data string) {
+				sh.seen[li]++
+				// The last listener of the last message releases the loop.
+				if li == listeners-1 && sh.seen[li] == want {
+					sh.loop.DonePending()
+				}
+			})
+		}
+		sh.loop.AddPending()
+		go func() { sh.done <- sh.loop.Run() }()
+	}
+
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(sh *shard, label string) {
+				defer wg.Done()
+				for m := 0; m < perProd; m++ {
+					sh.loop.InvokeExternal(label, func() {
+						sh.loop.PostMessage(label)
+					})
+				}
+			}(sh, fmt.Sprintf("msg-%d-%d", i, p))
+		}
+	}
+	wg.Wait()
+	for i, sh := range shards {
+		if err := <-sh.done; err != nil {
+			t.Fatalf("loop %d: %v", i, err)
+		}
+		for li, n := range sh.seen {
+			if n != want {
+				t.Errorf("loop %d listener %d saw %d messages, want %d", i, li, n, want)
+			}
+		}
+	}
+}

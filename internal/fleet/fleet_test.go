@@ -1,0 +1,413 @@
+package fleet_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"doppio/internal/core"
+	"doppio/internal/fleet"
+	"doppio/internal/telemetry"
+	"doppio/internal/vfs"
+)
+
+// yieldTenant builds a friendly tenant: a scheduler thread that
+// yields `slices` times and exits. It is the fleet's unit workload —
+// cheap, loop-respectful, finishes on its own.
+func yieldTenant(label string, slices int) fleet.Tenant {
+	return fleet.Tenant{
+		Label: label,
+		Start: func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
+			rt := core.NewRuntime(env.Win.Loop, core.Config{Telemetry: env.Hub})
+			n := 0
+			th := rt.Spawn(label, core.RunnableFunc(func(t *core.Thread) core.RunResult {
+				n++
+				if n >= slices {
+					return core.Done
+				}
+				return core.Yield
+			}))
+			rt.OnIdle(func() { done(nil) })
+			rt.Start()
+			return &fleet.Handle{Runtime: rt, Kill: th.Kill}, nil
+		},
+	}
+}
+
+// hogTenant builds a misbehaving tenant: every slice burns real CPU
+// for `burn` and never finishes. Only eviction stops it.
+func hogTenant(label string, burn time.Duration) fleet.Tenant {
+	return fleet.Tenant{
+		Label: label,
+		Start: func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
+			rt := core.NewRuntime(env.Win.Loop, core.Config{Telemetry: env.Hub})
+			th := rt.Spawn(label, core.RunnableFunc(func(t *core.Thread) core.RunResult {
+				deadline := time.Now().Add(burn)
+				for time.Now().Before(deadline) {
+				}
+				return core.Yield
+			}))
+			rt.OnIdle(func() { done(nil) })
+			rt.Start()
+			return &fleet.Handle{Runtime: rt, Kill: th.Kill}, nil
+		},
+	}
+}
+
+func TestSupervisorRunsTenantsToCompletion(t *testing.T) {
+	hub := telemetry.NewHub().EnableFlight(256)
+	sup := fleet.NewSupervisor(fleet.Config{Shards: 2, Hub: hub})
+	defer sup.Close()
+
+	const n = 32
+	refs := make([]*fleet.TenantRef, 0, n)
+	for i := 0; i < n; i++ {
+		ref, err := sup.Submit(yieldTenant(fmt.Sprintf("t%02d", i), 50))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		refs = append(refs, ref)
+	}
+	sup.Wait()
+
+	shardsUsed := map[int]bool{}
+	for _, ref := range refs {
+		if st := ref.State(); st != fleet.StateDone {
+			t.Errorf("%s: state %s, err %v", ref.Label(), st, ref.Err())
+		}
+		if ref.Latency() <= 0 {
+			t.Errorf("%s: non-positive latency %v", ref.Label(), ref.Latency())
+		}
+		shardsUsed[ref.Shard()] = true
+	}
+	if len(shardsUsed) != 2 {
+		t.Errorf("placement used %d shards, want 2", len(shardsUsed))
+	}
+	if got := hub.Registry.Counter("fleet", "completed").Value(); got != n {
+		t.Errorf("fleet/completed = %d, want %d", got, n)
+	}
+	if got := hub.Registry.Gauge("fleet", "live").Value(); got != 0 {
+		t.Errorf("fleet/live = %d after Wait, want 0", got)
+	}
+	snap := sup.Snapshot()
+	if snap.Completed != n || snap.Live != 0 || snap.Admitted != n {
+		t.Errorf("snapshot %+v", snap)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	block := make(chan struct{})
+	slow := fleet.Tenant{
+		Label:  "slow",
+		Budget: fleet.Budget{HeapBytes: 1 << 20, MaxFDs: 8, CacheBytes: 1 << 16},
+		Start: func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
+			env.Win.Loop.AddPending()
+			go func() {
+				<-block
+				env.Win.Loop.InvokeExternal("slow-finish", func() {
+					env.Win.Loop.DonePending()
+					done(nil)
+				})
+			}()
+			return nil, nil
+		},
+	}
+	sup := fleet.NewSupervisor(fleet.Config{
+		Shards:        1,
+		MaxTenants:    1,
+		HeapCapacity:  1 << 20,
+		FDCapacity:    8,
+		CacheCapacity: 1 << 16,
+	})
+	defer sup.Close()
+
+	if _, err := sup.Submit(slow); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err := sup.Submit(slow)
+	var adm *fleet.AdmissionError
+	if !errors.As(err, &adm) {
+		t.Fatalf("second submit: got %v, want AdmissionError", err)
+	}
+	if !strings.Contains(adm.Reason, "fleet full") {
+		t.Errorf("reason %q", adm.Reason)
+	}
+	close(block)
+	sup.Wait()
+
+	// Capacity released: the same budgets are admissible again.
+	block = make(chan struct{})
+	close(block)
+	if _, err := sup.Submit(slow); err != nil {
+		t.Fatalf("submit after release: %v", err)
+	}
+	sup.Wait()
+	snap := sup.Snapshot()
+	if snap.Rejected != 1 || snap.Completed != 2 {
+		t.Errorf("rejected %d completed %d, want 1, 2", snap.Rejected, snap.Completed)
+	}
+}
+
+// TestEvictionIsolation is the acceptance test for the misbehaving-
+// tenant story: a CPU hog placed among friendly tenants is evicted by
+// its budget while the friendly tenants all complete, and their tail
+// latency stays within an order-of-magnitude bound of a hog-free run.
+func TestEvictionIsolation(t *testing.T) {
+	latencies := func(withHog bool) ([]time.Duration, *fleet.TenantRef) {
+		hub := telemetry.NewHub().EnableFlight(256)
+		sup := fleet.NewSupervisor(fleet.Config{Shards: 2, Hub: hub})
+		defer sup.Close()
+		var hog *fleet.TenantRef
+		if withHog {
+			spec := hogTenant("hog", 2*time.Millisecond)
+			spec.Budget.CPU = 10 * time.Millisecond
+			var err error
+			hog, err = sup.Submit(spec)
+			if err != nil {
+				t.Fatalf("submit hog: %v", err)
+			}
+		}
+		refs := make([]*fleet.TenantRef, 0, 16)
+		for i := 0; i < 16; i++ {
+			ref, err := sup.Submit(yieldTenant(fmt.Sprintf("friendly%02d", i), 100))
+			if err != nil {
+				t.Fatalf("submit friendly %d: %v", i, err)
+			}
+			refs = append(refs, ref)
+		}
+		sup.Wait()
+		out := make([]time.Duration, 0, len(refs))
+		for _, ref := range refs {
+			if st := ref.State(); st != fleet.StateDone {
+				t.Errorf("%s: state %s, err %v", ref.Label(), st, ref.Err())
+			}
+			out = append(out, ref.Latency())
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, hog
+	}
+
+	base, _ := latencies(false)
+	got, hog := latencies(true)
+
+	if st := hog.State(); st != fleet.StateEvicted {
+		t.Fatalf("hog state %s, want evicted (err %v)", st, hog.Err())
+	}
+	var evictErr *fleet.EvictionError
+	if !errors.As(hog.Err(), &evictErr) {
+		t.Fatalf("hog err %v, want EvictionError", hog.Err())
+	}
+	p99base := base[len(base)*99/100]
+	p99got := got[len(got)*99/100]
+	// Generous bound: the hog must not wreck the friendly tail. It
+	// shares one shard until eviction, so some interference is
+	// expected; an unbounded hog would push p99 out by seconds.
+	limit := p99base*10 + 100*time.Millisecond
+	if p99got > limit {
+		t.Errorf("friendly p99 %v with hog vs %v without (limit %v)", p99got, p99base, limit)
+	}
+}
+
+func TestStallEviction(t *testing.T) {
+	sup := fleet.NewSupervisor(fleet.Config{
+		Shards:      1,
+		StallBudget: 2 * time.Millisecond,
+		StallCount:  1,
+	})
+	defer sup.Close()
+
+	// Burns 5ms per slice — every macrotask blows the 2ms stall
+	// budget, so the stall monitor fires on the first over-budget
+	// task even though no CPU budget is set.
+	ref, err := sup.Submit(hogTenant("staller", 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ref.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("staller never evicted")
+	}
+	if st := ref.State(); st != fleet.StateEvicted {
+		t.Fatalf("state %s, want evicted (err %v)", st, ref.Err())
+	}
+	if !strings.Contains(ref.Err().Error(), "stalled") {
+		t.Errorf("err %v, want stall reason", ref.Err())
+	}
+	snap := sup.Snapshot()
+	if len(snap.Evictions) != 1 || snap.Evictions[0].Label != "staller" {
+		t.Errorf("eviction log %+v", snap.Evictions)
+	}
+}
+
+// TestEvictionReclaimsResources proves SIGKILL-style teardown: the
+// evicted tenant's fds are closed and its labeled metric series are
+// dropped from the registry.
+func TestEvictionReclaimsResources(t *testing.T) {
+	hub := telemetry.NewHub().EnableFlight(256)
+	sup := fleet.NewSupervisor(fleet.Config{Shards: 1, Hub: hub})
+	defer sup.Close()
+
+	var leakyFS *vfs.FS
+	spec := fleet.Tenant{
+		Label:  "leaky",
+		Budget: fleet.Budget{CPU: 10 * time.Millisecond, MaxFDs: 16, CacheBytes: 1 << 16},
+		Start: func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
+			fs := env.NewFS(env.Root)
+			leakyFS = fs
+			fs.Open("/leak.txt", "w", func(fd *vfs.FD, err error) {
+				if err != nil {
+					t.Errorf("open: %v", err)
+				}
+			})
+			rt := core.NewRuntime(env.Win.Loop, core.Config{Telemetry: env.Hub})
+			th := rt.Spawn("leaky", core.RunnableFunc(func(t *core.Thread) core.RunResult {
+				deadline := time.Now().Add(2 * time.Millisecond)
+				for time.Now().Before(deadline) {
+				}
+				return core.Yield
+			}))
+			rt.OnIdle(func() { done(nil) })
+			rt.Start()
+			return &fleet.Handle{Runtime: rt, FS: fs, Kill: th.Kill}, nil
+		},
+	}
+	ref, err := sup.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ref.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("leaky never evicted")
+	}
+	if st := ref.State(); st != fleet.StateEvicted {
+		t.Fatalf("state %s, want evicted (err %v)", st, ref.Err())
+	}
+	sup.Close() // joins the shard loops — safe to inspect FS after
+
+	if n := leakyFS.OpenFDs(); n != 0 {
+		t.Errorf("%d fds still open after eviction", n)
+	}
+	for _, c := range hub.Registry.Snapshot().Counters {
+		if c.Label == "leaky" {
+			t.Errorf("labeled counter %s/%s survived eviction", c.Subsystem, c.Name)
+		}
+	}
+	for _, g := range hub.Registry.Snapshot().Gauges {
+		if g.Label == "leaky" {
+			t.Errorf("labeled gauge %s/%s survived eviction", g.Subsystem, g.Name)
+		}
+	}
+}
+
+func TestConcurrentSubmitRace(t *testing.T) {
+	sup := fleet.NewSupervisor(fleet.Config{Shards: 4})
+	defer sup.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				ref, err := sup.Submit(yieldTenant(fmt.Sprintf("g%d-t%d", g, i), 20))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				<-ref.Done()
+			}
+		}(g)
+	}
+	wg.Wait()
+	sup.Wait()
+	snap := sup.Snapshot()
+	if snap.Completed != 64 {
+		t.Errorf("completed %d, want 64", snap.Completed)
+	}
+}
+
+// Regression: the shard observables (live, load) must settle to
+// exactly zero after every tenant finishes. The old implementation
+// mixed Add(-1) at release with the monitor tick's Store, so churn
+// drove the counters negative — visibly in /debug/fleet and, worse,
+// in the placement signal.
+func TestShardCountersSettleToZero(t *testing.T) {
+	sup := fleet.NewSupervisor(fleet.Config{
+		Shards:          2,
+		MonitorInterval: 2 * time.Millisecond,
+	})
+	defer sup.Close()
+
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 16; i++ {
+			if _, err := sup.Submit(yieldTenant(fmt.Sprintf("r%d-t%02d", round, i), 10)); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+		sup.Wait()
+	}
+
+	// live is Store-only, refreshed by the next monitor tick; give the
+	// ticks a moment to observe the drained shards.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := sup.Snapshot()
+		settled := true
+		for _, sh := range snap.Shards {
+			if sh.Live < 0 || sh.Load < 0 {
+				t.Fatalf("shard %d counters negative: live %d load %d", sh.Index, sh.Live, sh.Load)
+			}
+			if sh.Live != 0 || sh.Load != 0 {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard counters never settled to zero: %+v", snap.Shards)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	sup := fleet.NewSupervisor(fleet.Config{Shards: 2})
+	defer sup.Close()
+	if _, err := sup.Submit(yieldTenant("fmt-tenant", 10)); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	text := sup.Snapshot().Format()
+	for _, want := range []string{"=== FLEET (2 shards", "fmt-tenant", "done", "shard  live"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDrive(t *testing.T) {
+	env := fleet.NewEnv(fleet.DefaultProfile(), nil)
+	ran := false
+	err := fleet.Drive(env.Win.Loop, "drive-test", func(done func(error)) {
+		env.Win.Loop.SetTimeout(func() {
+			ran = true
+			done(nil)
+		}, time.Millisecond)
+	})
+	if err != nil || !ran {
+		t.Fatalf("Drive: err %v, ran %v", err, ran)
+	}
+
+	env2 := fleet.NewEnv(fleet.DefaultProfile(), nil)
+	err = fleet.Drive(env2.Win.Loop, "drive-wedge", func(done func(error)) {})
+	if err == nil || !strings.Contains(err.Error(), "drained before the workload completed") {
+		t.Fatalf("Drive on wedged workload: %v", err)
+	}
+}

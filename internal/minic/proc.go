@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"doppio/internal/core"
+	"doppio/internal/umheap"
 )
 
 // This file is MiniC's binding to the process layer (internal/proc,
@@ -68,6 +69,9 @@ func (vm *VM) SetStdio(stdout io.Writer, stdin func(max int, cb func(line string
 // dumps, /debug/proc blocked-on labels).
 func (vm *VM) Runtime() *core.Runtime { return vm.rt }
 
+// Heap exposes the VM's managed heap (budget enforcement, /debug/heap).
+func (vm *VM) Heap() *umheap.Heap { return vm.heap }
+
 // Clone duplicates the VM mid-execution: a byte-identical heap image
 // (data segment, frame stack region, malloc'd blocks), a deep copy of
 // the call-frame and operand stacks, and a fresh Doppio runtime on
@@ -79,7 +83,8 @@ func (vm *VM) Clone() *VM {
 		prog:      vm.prog,
 		heap:      vm.heap.Clone(vm.win.NoteTypedArrayAlloc),
 		win:       vm.win,
-		rt:        core.NewRuntime(vm.win.Loop, core.Config{Telemetry: vm.win.Telemetry}),
+		rt:        core.NewRuntime(vm.win.Loop, vm.rtCfg),
+		rtCfg:     vm.rtCfg,
 		fs:        vm.fs,
 		stdout:    vm.stdout,
 		stdin:     vm.stdin,

@@ -3,6 +3,7 @@ package minic
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
@@ -18,11 +19,12 @@ import (
 // Doppio thread, so long computations segment automatically (§4.1)
 // and file/console syscalls block via suspend-and-resume (§4.2).
 type VM struct {
-	prog *Program
-	heap *umheap.Heap
-	win  *browser.Window
-	rt   *core.Runtime
-	fs   *vfs.FS
+	prog  *Program
+	heap  *umheap.Heap
+	win   *browser.Window
+	rt    *core.Runtime
+	rtCfg core.Config // kept so forked clones inherit the budgets
+	fs    *vfs.FS
 
 	stdout io.Writer
 	stdin  func(max int, cb func(line string, eof bool))
@@ -72,6 +74,14 @@ type VMOptions struct {
 	// OS is the process-syscall back end (fork/waitpid/kill/getpid);
 	// nil leaves those syscalls returning -1.
 	OS OS
+	// Timeslice and BatchBudget pass through to the Doppio execution
+	// environment (negative BatchBudget disables slice batching) — the
+	// per-tenant CPU-slice knobs the fleet supervisor sets.
+	Timeslice   time.Duration
+	BatchBudget time.Duration
+	// Priority is the run-queue level the VM's threads start at
+	// (core.Config.DefaultPriority); zero keeps the default.
+	Priority int
 }
 
 // NewVM creates a VM for prog inside the browser window.
@@ -94,11 +104,18 @@ func NewVM(win *browser.Window, prog *Program, opts VMOptions) (*VM, error) {
 		opts.FS = vfs.New(win.Loop, bufs, vfs.NewInMemory())
 	}
 	heap := umheap.New(opts.HeapSize, win.Profile.HasTypedArrays, win.NoteTypedArrayAlloc)
+	rtCfg := core.Config{
+		Timeslice:       opts.Timeslice,
+		BatchBudget:     opts.BatchBudget,
+		DefaultPriority: opts.Priority,
+		Telemetry:       win.Telemetry,
+	}
 	vm := &VM{
 		prog:   prog,
 		heap:   heap,
 		win:    win,
-		rt:     core.NewRuntime(win.Loop, core.Config{Telemetry: win.Telemetry}),
+		rt:     core.NewRuntime(win.Loop, rtCfg),
+		rtCfg:  rtCfg,
 		fs:     opts.FS,
 		stdout: opts.Stdout,
 		stdin:  opts.Stdin,

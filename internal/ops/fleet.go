@@ -1,0 +1,71 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"doppio/internal/fleet"
+)
+
+// fleetSource is one registered fleet supervisor.
+type fleetSource struct {
+	name string
+	sup  *fleet.Supervisor
+}
+
+// RegisterFleet adds (or, matching by name, replaces) a fleet
+// supervisor behind /debug/fleet. Supervisor snapshots are built from
+// published atomics and the supervisor's own bookkeeping — never by
+// posting to shard loops — so the endpoint stays responsive even when
+// a tenant has wedged a shard.
+func (s *Server) RegisterFleet(name string, sup *fleet.Supervisor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.fleets {
+		if s.fleets[i].name == name {
+			s.fleets[i].sup = sup
+			return
+		}
+	}
+	s.fleets = append(s.fleets, fleetSource{name: name, sup: sup})
+}
+
+// fleetReport is one fleet's JSON document on /debug/fleet.
+type fleetReport struct {
+	Name string              `json:"name"`
+	Snap fleet.FleetSnapshot `json:"fleet"`
+}
+
+func (s *Server) snapshotFleets() []fleetSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]fleetSource(nil), s.fleets...)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	fleets := s.snapshotFleets()
+	if r.URL.Query().Get("format") == "json" {
+		reports := make([]fleetReport, 0, len(fleets))
+		for _, f := range fleets {
+			reports = append(reports, fleetReport{Name: f.name, Snap: f.sup.Snapshot()})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(reports)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(fleets) == 0 {
+		fmt.Fprintln(w, "(no fleet supervisors registered)")
+		return
+	}
+	for _, f := range fleets {
+		if f.name != "" {
+			fmt.Fprintf(w, "== %s ==\n", f.name)
+		}
+		snap := f.sup.Snapshot()
+		fmt.Fprint(w, snap.Format())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/core"
 	"doppio/internal/eventloop"
+	"doppio/internal/fleet"
 	"doppio/internal/jvm"
 	"doppio/internal/jvm/rt"
 	"doppio/internal/ops"
@@ -368,5 +369,66 @@ func TestTraceWindow(t *testing.T) {
 	}
 	if strings.Contains(body, "before-window") {
 		t.Errorf("trace window leaked event recorded before capture:\n%s", body)
+	}
+}
+
+// TestDebugFleetEndpoint registers a fleet supervisor and reads it
+// back through /debug/fleet in both text and JSON form. Snapshots are
+// lock-free with respect to shard loops, so the endpoint answers even
+// while tenants run.
+func TestDebugFleetEndpoint(t *testing.T) {
+	sup := fleet.NewSupervisor(fleet.Config{Shards: 2, Profile: fleet.DefaultProfile()})
+	defer sup.Close()
+	ref, err := sup.Submit(fleet.Tenant{
+		Label: "probe",
+		Start: func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
+			rt := core.NewRuntime(env.Win.Loop, core.Config{})
+			rt.Spawn("probe", core.RunnableFunc(func(th *core.Thread) core.RunResult {
+				return core.Done
+			}))
+			rt.OnIdle(func() { done(nil) })
+			rt.Start()
+			return &fleet.Handle{Runtime: rt}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ref.Done()
+
+	s := ops.NewServer(nil)
+	s.RegisterFleet("test-fleet", sup)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/debug/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/fleet status = %d", code)
+	}
+	for _, want := range []string{"test-fleet", "FLEET", "probe", "done"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/fleet missing %q:\n%s", want, body)
+		}
+	}
+
+	_, body = get(t, ts.URL+"/debug/fleet?format=json")
+	var reports []struct {
+		Name string              `json:"name"`
+		Snap fleet.FleetSnapshot `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(body), &reports); err != nil {
+		t.Fatalf("/debug/fleet?format=json invalid: %v\n%s", err, body)
+	}
+	if len(reports) != 1 || reports[0].Name != "test-fleet" {
+		t.Fatalf("fleet JSON = %+v", reports)
+	}
+	if reports[0].Snap.Completed != 1 || len(reports[0].Snap.Tenants) != 1 {
+		t.Errorf("fleet snapshot = %+v", reports[0].Snap)
+	}
+
+	// Index advertises the endpoint.
+	_, body = get(t, ts.URL+"/")
+	if !strings.Contains(body, "/debug/fleet") {
+		t.Errorf("index missing /debug/fleet:\n%s", body)
 	}
 }

@@ -29,6 +29,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	sources []Source
+	fleets  []fleetSource
 }
 
 // NewServer creates a server over the hub (which may be nil; metric
@@ -72,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/vfs", s.handleVFS)
 	mux.HandleFunc("/debug/heap", s.handleHeap)
 	mux.HandleFunc("/debug/proc", s.handleProc)
+	mux.HandleFunc("/debug/fleet", s.handleFleet)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -107,6 +109,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/vfs          cache / retry / breaker / fault state")
 	fmt.Fprintln(w, "  /debug/heap         unmanaged-heap free-list map")
 	fmt.Fprintln(w, "  /debug/proc         ps-style process table (pid, state, blocked-on)")
+	fmt.Fprintln(w, "  /debug/fleet        fleet supervisor: shards, tenants, evictions (?format=json)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go runtime profiles")
 	s.mu.Lock()
 	defer s.mu.Unlock()

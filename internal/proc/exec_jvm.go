@@ -36,6 +36,9 @@ func (k *Kernel) SpawnJVM(mainClass string, classes map[string][]byte, spec Spaw
 		Stdout: spec.Stdout,
 		Stderr: spec.Stderr,
 	}, spec.PPID)
+	if spec.Cwd != "" {
+		p.FS.SetCwd(spec.Cwd)
+	}
 
 	vm := jvm.NewDoppioVM(k.win, jvm.DoppioOptions{
 		Stdout:   &procWriter{p: p, w: spec.Stdout},

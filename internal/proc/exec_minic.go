@@ -13,6 +13,10 @@ type SpawnSpec struct {
 	Args           []string
 	Stdin          ReadStream
 	Stdout, Stderr WriteStream
+	// Cwd is the child's initial working directory — the shell passes
+	// its own cwd so children started after `cd` resolve relative
+	// paths like Unix children do. Empty means "/".
+	Cwd string
 	// PPID is the parent pid (0 for a shell-spawned top-level job).
 	PPID int32
 }
@@ -134,6 +138,9 @@ func (k *Kernel) SpawnMinic(prog *minic.Program, spec SpawnSpec) (*Process, erro
 		Stdout: spec.Stdout,
 		Stderr: spec.Stderr,
 	}, spec.PPID)
+	if spec.Cwd != "" {
+		p.FS.SetCwd(spec.Cwd)
+	}
 
 	vm, err := minic.NewVM(k.win, prog, minic.VMOptions{
 		Stdout: &procWriter{p: p, w: spec.Stdout},
@@ -160,8 +167,9 @@ func (k *Kernel) SpawnMinic(prog *minic.Program, spec SpawnSpec) (*Process, erro
 
 // adoptFork registers a cloned MiniC VM as a child process of parent
 // — the kernel half of the fork syscall. The clone inherits the
-// parent's stdio streams and gets its own FS front end (same mount
-// table, private cwd/fds), then starts mid-flight.
+// parent's stdio streams and working directory, and gets its own FS
+// front end (same mount table, private cwd/fds), then starts
+// mid-flight.
 func (k *Kernel) adoptFork(parent *Process, child *minic.VM) int32 {
 	p := k.register(&Process{
 		Name:   parent.Name,
@@ -171,6 +179,7 @@ func (k *Kernel) adoptFork(parent *Process, child *minic.VM) int32 {
 		Stdout: dupWrite(parent.Stdout),
 		Stderr: dupWrite(parent.Stderr),
 	}, parent.PID)
+	p.FS.SetCwd(parent.FS.Cwd())
 	child.SetStdio(&procWriter{p: p, w: p.Stdout}, minicStdin(p, p.Stdin))
 	child.SetOS(&minicOS{k: k, p: p})
 	p.rt = child.Runtime()

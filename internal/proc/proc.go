@@ -79,6 +79,11 @@ func (p *Process) ExitCode() int32 { return p.exitCode }
 // Exited reports whether the process has terminated.
 func (p *Process) Exited() bool { return p.exited }
 
+// Runtime exposes the process's guest scheduler (nil until the exec
+// layer attaches a VM) — budget accounting hosts read CPU time and
+// queue depth from it.
+func (p *Process) Runtime() *core.Runtime { return p.rt }
+
 // Kernel owns the process table. Create one per event loop with
 // NewKernel; all methods must be called on that loop.
 type Kernel struct {

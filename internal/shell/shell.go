@@ -246,6 +246,7 @@ func (s *Shell) runPipeline(stages []Stage, done func(int32)) {
 		spec := proc.SpawnSpec{
 			Name:   st.Argv[0],
 			Args:   st.Argv[1:],
+			Cwd:    s.FS.Cwd(),
 			Stderr: &proc.WriterStream{W: s.out},
 		}
 		switch {

@@ -161,6 +161,33 @@ func TestBuiltins(t *testing.T) {
 	}
 }
 
+// TestChildrenInheritCwd: children started after `cd` must resolve
+// relative paths against the shell's working directory, not "/" —
+// the spawn path passes the shell's cwd through proc.SpawnSpec.Cwd.
+func TestChildrenInheritCwd(t *testing.T) {
+	sh, win, out := newShell(t)
+	run(t, sh, win, `write /d/data.txt seven words here`)
+	if code := run(t, sh, win, `cd /d`); code != 0 {
+		t.Skipf("cd unsupported on this backend: %s", out.String())
+	}
+	out.Reset()
+	// Relative argv path: cat must find /d/data.txt as "data.txt".
+	if code := run(t, sh, win, `cat data.txt`); code != 0 {
+		t.Fatalf("cat data.txt after cd: status %d, out %q", code, out.String())
+	}
+	if got := out.String(); got != "seven words here\n" {
+		t.Errorf("cat out = %q", got)
+	}
+	out.Reset()
+	// Through a pipeline too — every stage inherits the cwd.
+	if code := run(t, sh, win, `cat data.txt | wc`); code != 0 {
+		t.Fatalf("cat | wc after cd: status %d, out %q", code, out.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "1 3 17" {
+		t.Errorf("wc = %q, want \"1 3 17\"", got)
+	}
+}
+
 // TestSigpipeTerminatesYes: `yes | wc` would never end if the writer
 // ignored its broken pipe. wc sees EOF... never — so instead drive
 // `yes` into a dead pipe: spawn the pipeline, kill the reader, and

@@ -16,38 +16,74 @@ import (
 //   - counters gain the conventional _total suffix,
 //   - histograms are exported as summaries: quantile-labeled samples
 //     (p50/p95/p99) plus _sum and _count, with nanosecond readings
-//     converted to seconds as Prometheus base units require.
+//     converted to seconds as Prometheus base units require,
+//   - labeled (per-tenant) series carry a tenant="..." label pair;
+//     unlabeled series render exactly as before labels existed.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// Same-name labeled series are adjacent after the snapshot sort;
+	// the TYPE header is emitted once per name, as the format requires.
+	lastType := ""
 	for _, c := range s.Counters {
 		name := promName(c.Subsystem, c.Name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+		if name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+				return err
+			}
+			lastType = name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(c.Label), c.Value); err != nil {
 			return err
 		}
 	}
+	lastType = ""
 	for _, g := range s.Gauges {
 		name := promName(g.Subsystem, g.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+		if name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+				return err
+			}
+			lastType = name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(g.Label), g.Value); err != nil {
 			return err
 		}
 	}
+	lastType = ""
 	for _, h := range s.Histograms {
 		name := promName(h.Subsystem, h.Name) + "_seconds"
-		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
-			return err
+		if name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+				return err
+			}
+			lastType = name
 		}
 		for _, q := range []struct {
 			label string
 			ns    int64
 		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
-			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, q.label, promSeconds(q.ns)); err != nil {
+			qls := fmt.Sprintf("{quantile=%q}", q.label)
+			if h.Label != "" {
+				qls = fmt.Sprintf("{tenant=%q,quantile=%q}", h.Label, q.label)
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, qls, promSeconds(q.ns)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promSeconds(h.Sum), name, h.Count); err != nil {
+		ls := promLabels(h.Label)
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, ls, promSeconds(h.Sum), name, ls, h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// promLabels renders the tenant label pair, or nothing for unlabeled
+// series.
+func promLabels(label string) string {
+	if label == "" {
+		return ""
+	}
+	return fmt.Sprintf("{tenant=%q}", label)
 }
 
 // promName builds a legal Prometheus metric name from a (subsystem,

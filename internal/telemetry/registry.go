@@ -82,9 +82,11 @@ func (g *Gauge) Value() int64 {
 
 func (g *Gauge) reset() { g.v.Store(0) }
 
-// metricKey identifies a metric within the registry.
+// metricKey identifies a metric within the registry. The label is
+// empty for plain process-wide metrics; multi-tenant hosts (the fleet
+// supervisor) use it to attribute a metric to one tenant.
 type metricKey struct {
-	subsystem, name string
+	subsystem, name, label string
 }
 
 // Registry is the process-wide metric store: named counters, gauges,
@@ -110,7 +112,14 @@ func NewRegistry() *Registry {
 // Counter returns the counter for (subsystem, name), creating it on
 // first use.
 func (r *Registry) Counter(subsystem, name string) *Counter {
-	k := metricKey{subsystem, name}
+	return r.LabeledCounter(subsystem, name, "")
+}
+
+// LabeledCounter returns the counter for (subsystem, name) attributed
+// to label — a tenant name in fleet hosting — creating it on first
+// use. An empty label is the plain Counter.
+func (r *Registry) LabeledCounter(subsystem, name, label string) *Counter {
+	k := metricKey{subsystem, name, label}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[k]
@@ -124,7 +133,13 @@ func (r *Registry) Counter(subsystem, name string) *Counter {
 // Gauge returns the gauge for (subsystem, name), creating it on first
 // use.
 func (r *Registry) Gauge(subsystem, name string) *Gauge {
-	k := metricKey{subsystem, name}
+	return r.LabeledGauge(subsystem, name, "")
+}
+
+// LabeledGauge returns the gauge for (subsystem, name) attributed to
+// label, creating it on first use. An empty label is the plain Gauge.
+func (r *Registry) LabeledGauge(subsystem, name, label string) *Gauge {
+	k := metricKey{subsystem, name, label}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
@@ -138,7 +153,14 @@ func (r *Registry) Gauge(subsystem, name string) *Gauge {
 // Histogram returns the latency histogram for (subsystem, name),
 // creating it on first use.
 func (r *Registry) Histogram(subsystem, name string) *Histogram {
-	k := metricKey{subsystem, name}
+	return r.LabeledHistogram(subsystem, name, "")
+}
+
+// LabeledHistogram returns the latency histogram for (subsystem,
+// name) attributed to label, creating it on first use. An empty label
+// is the plain Histogram.
+func (r *Registry) LabeledHistogram(subsystem, name, label string) *Histogram {
+	k := metricKey{subsystem, name, label}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[k]
@@ -147,6 +169,32 @@ func (r *Registry) Histogram(subsystem, name string) *Histogram {
 		r.histograms[k] = h
 	}
 	return h
+}
+
+// Unregister removes every metric attributed to label (metrics with
+// an empty label are never removed). Fleet eviction reclaims a dead
+// tenant's per-tenant series with it.
+func (r *Registry) Unregister(label string) {
+	if label == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.counters {
+		if k.label == label {
+			delete(r.counters, k)
+		}
+	}
+	for k := range r.gauges {
+		if k.label == label {
+			delete(r.gauges, k)
+		}
+	}
+	for k := range r.histograms {
+		if k.label == label {
+			delete(r.histograms, k)
+		}
+	}
 }
 
 // Reset zeroes every registered metric (the metrics stay registered).
@@ -164,21 +212,22 @@ func (r *Registry) Reset() {
 	}
 }
 
-// CounterValue is one counter in a snapshot.
+// CounterValue is one counter in a snapshot. Label is empty for plain
+// metrics, or the tenant the metric is attributed to.
 type CounterValue struct {
-	Subsystem, Name string
-	Value           int64
+	Subsystem, Name, Label string
+	Value                  int64
 }
 
 // GaugeValue is one gauge in a snapshot.
 type GaugeValue struct {
-	Subsystem, Name string
-	Value           int64
+	Subsystem, Name, Label string
+	Value                  int64
 }
 
 // HistogramValue is one histogram in a snapshot.
 type HistogramValue struct {
-	Subsystem, Name string
+	Subsystem, Name, Label string
 	HistogramStats
 }
 
@@ -198,31 +247,47 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	var s Snapshot
 	for k, c := range r.counters {
-		s.Counters = append(s.Counters, CounterValue{k.subsystem, k.name, c.Value()})
+		s.Counters = append(s.Counters, CounterValue{k.subsystem, k.name, k.label, c.Value()})
 	}
 	for k, g := range r.gauges {
-		s.Gauges = append(s.Gauges, GaugeValue{k.subsystem, k.name, g.Value()})
+		s.Gauges = append(s.Gauges, GaugeValue{k.subsystem, k.name, k.label, g.Value()})
 	}
 	for k, h := range r.histograms {
-		s.Histograms = append(s.Histograms, HistogramValue{k.subsystem, k.name, h.Stats()})
+		s.Histograms = append(s.Histograms, HistogramValue{k.subsystem, k.name, k.label, h.Stats()})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool {
-		return metricLess(s.Counters[i].Subsystem, s.Counters[i].Name, s.Counters[j].Subsystem, s.Counters[j].Name)
+		a, b := s.Counters[i], s.Counters[j]
+		return metricLess(a.Subsystem, a.Name, a.Label, b.Subsystem, b.Name, b.Label)
 	})
 	sort.Slice(s.Gauges, func(i, j int) bool {
-		return metricLess(s.Gauges[i].Subsystem, s.Gauges[i].Name, s.Gauges[j].Subsystem, s.Gauges[j].Name)
+		a, b := s.Gauges[i], s.Gauges[j]
+		return metricLess(a.Subsystem, a.Name, a.Label, b.Subsystem, b.Name, b.Label)
 	})
 	sort.Slice(s.Histograms, func(i, j int) bool {
-		return metricLess(s.Histograms[i].Subsystem, s.Histograms[i].Name, s.Histograms[j].Subsystem, s.Histograms[j].Name)
+		a, b := s.Histograms[i], s.Histograms[j]
+		return metricLess(a.Subsystem, a.Name, a.Label, b.Subsystem, b.Name, b.Label)
 	})
 	return s
 }
 
-func metricLess(sa, na, sb, nb string) bool {
+func metricLess(sa, na, la, sb, nb, lb string) bool {
 	if sa != sb {
 		return sa < sb
 	}
-	return na < nb
+	if na != nb {
+		return na < nb
+	}
+	return la < lb
+}
+
+// metricName renders "subsystem/name" with a "{label}" suffix for
+// labeled (per-tenant) series.
+func metricName(subsystem, name, label string) string {
+	s := subsystem + "/" + name
+	if label != "" {
+		s += "{" + label + "}"
+	}
+	return s
 }
 
 // Format renders the snapshot as a human-readable table (the -metrics
@@ -233,13 +298,13 @@ func (s Snapshot) Format() string {
 	if len(s.Counters) > 0 {
 		b.WriteString("counters:\n")
 		for _, c := range s.Counters {
-			fmt.Fprintf(&b, "  %-44s %12d\n", c.Subsystem+"/"+c.Name, c.Value)
+			fmt.Fprintf(&b, "  %-44s %12d\n", metricName(c.Subsystem, c.Name, c.Label), c.Value)
 		}
 	}
 	if len(s.Gauges) > 0 {
 		b.WriteString("gauges:\n")
 		for _, g := range s.Gauges {
-			fmt.Fprintf(&b, "  %-44s %12d\n", g.Subsystem+"/"+g.Name, g.Value)
+			fmt.Fprintf(&b, "  %-44s %12d\n", metricName(g.Subsystem, g.Name, g.Label), g.Value)
 		}
 	}
 	if len(s.Histograms) > 0 {
@@ -248,11 +313,11 @@ func (s Snapshot) Format() string {
 			"", "count", "mean", "p50", "p95", "p99", "max")
 		for _, h := range s.Histograms {
 			if h.Count == 0 {
-				fmt.Fprintf(&b, "  %-44s %9d\n", h.Subsystem+"/"+h.Name, 0)
+				fmt.Fprintf(&b, "  %-44s %9d\n", metricName(h.Subsystem, h.Name, h.Label), 0)
 				continue
 			}
 			fmt.Fprintf(&b, "  %-44s %9d %10s %10s %10s %10s %10s\n",
-				h.Subsystem+"/"+h.Name, h.Count,
+				metricName(h.Subsystem, h.Name, h.Label), h.Count,
 				fmtNanos(h.Mean), fmtNanos(h.P50), fmtNanos(h.P95), fmtNanos(h.P99), fmtNanos(h.Max))
 		}
 	}

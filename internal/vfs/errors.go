@@ -50,6 +50,7 @@ const (
 	ECHILD    Errno = "ECHILD"
 	EINTR     Errno = "EINTR"
 	ESRCH     Errno = "ESRCH"
+	EMFILE    Errno = "EMFILE"
 )
 
 // Transient reports whether the errno describes a failure that may
@@ -159,6 +160,8 @@ func errnoText(e Errno) string {
 		return "interrupted system call"
 	case ESRCH:
 		return "no such process"
+	case EMFILE:
+		return "too many open files"
 	}
 	return "unknown error"
 }
