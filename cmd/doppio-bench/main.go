@@ -62,7 +62,7 @@ func main() {
 	opsOut := flag.String("ops-out", "BENCH_ops.json", "path for the -ops-bench JSON report")
 	fleetN := flag.Int("fleet", 0, "fleet hosting sweep: run the tenant counts from {16, 64, 256} up to N, single-shard vs multi-shard at equal work")
 	fleetShards := flag.Int("fleet-shards", 0, "multi-shard pool width for -fleet (default NumCPU)")
-	fleetWorkload := flag.String("fleet-workload", "mixed", "tenant mix for -fleet: minic, jvm, mixed, or pipes")
+	fleetWorkload := flag.String("fleet-workload", "mixed", "tenant mix for -fleet: minic, jvm, mixed, pipes, or sock")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "path for the -fleet JSON report")
 	fleetCheck := flag.Bool("fleet-check", false, "fail unless the -fleet run saw zero evictions and every tenant's slice counter is nonzero (CI smoke gate)")
 	flag.Parse()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"doppio/internal/ops"
@@ -35,17 +36,16 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a telemetry metrics snapshot on shutdown")
 	faultRate := flag.Float64("fault-rate", 0, "per-frame fault injection rate: drops and resets at this rate, truncations at half of it (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the -fault-rate fault sequence")
-	opsAddr := flag.String("ops", "", "serve the live ops endpoints (/metrics, /debug/flight, pprof, ...) on this address, e.g. :6060")
+	opsAddr := flag.String("ops", "", "serve the live ops endpoints (/metrics, /debug/sock, /debug/flight, pprof, ...) on this address, e.g. :6060")
 	flightCap := flag.Int("flight", 0, "enable the flight recorder (connection/frame/fault events) with this event capacity (0 disables; -ops enables it at the default capacity)")
+	mux := flag.Bool("mux", true, "accept multiplexed sessions on "+sockets.MuxPath+" (false serves every path in plain one-stream-per-connection mode)")
+	window := flag.Int("window", 0, "per-stream flow-control window in bytes for mux sessions (0 = 64 KiB default)")
+	maxStreams := flag.Int("max-streams", 0, "per-session stream cap for mux sessions; SYNs beyond it are shed (0 = 1024 default)")
+	shedDepth := flag.Int("shed-depth", 0, "pause credit and shed new streams while live mux streams exceed this count (0 disables)")
 	flag.Parse()
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "usage: websockify -listen addr -target host:port")
 		os.Exit(2)
-	}
-	proxy, err := sockets.NewWebsockify(*listen, *target)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "websockify:", err)
-		os.Exit(1)
 	}
 	var hub *telemetry.Hub
 	if *metrics || *opsAddr != "" || *flightCap > 0 {
@@ -55,10 +55,35 @@ func main() {
 		} else if *opsAddr != "" {
 			hub.EnableFlight(telemetry.DefaultFlightCapacity)
 		}
-		proxy.SetTelemetry(hub)
 	}
+	opts := sockets.GatewayOptions{
+		Window:     *window,
+		MaxStreams: *maxStreams,
+		DisableMux: !*mux,
+		Hub:        hub,
+	}
+	// Standalone the gateway has no tenant run queue to watch, so the
+	// overload signal is its own live stream count. The sweep starts
+	// inside NewGateway, hence the atomic self-reference.
+	var gw atomic.Pointer[sockets.Websockify]
+	if *shedDepth > 0 {
+		opts.ShedDepth = *shedDepth
+		opts.QueueDepth = func() int {
+			if p := gw.Load(); p != nil {
+				return p.LiveStreams()
+			}
+			return 0
+		}
+	}
+	proxy, err := sockets.NewGateway(*listen, *target, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "websockify:", err)
+		os.Exit(1)
+	}
+	gw.Store(proxy)
 	if *opsAddr != "" {
 		srv := ops.NewServer(hub)
+		srv.RegisterGateway(proxy)
 		addr, err := srv.Serve(*opsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "websockify:", err)

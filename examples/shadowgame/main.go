@@ -17,12 +17,15 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"os"
+	"strings"
 
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
 	"doppio/internal/core"
 	"doppio/internal/minic"
+	"doppio/internal/sockets"
 	"doppio/internal/vfs"
 )
 
@@ -239,4 +242,82 @@ func main() {
 		fmt.Printf("asset cache: %d page hits, %d misses, %d negative-stat hits\n",
 			s.Hits, s.Misses, s.NegativeHits)
 	}
+
+	// Score upload (§5.3 meets §7.2): the finished game reports its
+	// result to a native leaderboard server the browser can only reach
+	// through the websockify gateway, over a connection assembled with
+	// the sockets.Stack builder.
+	if err := uploadScore(win, vm.Steps); err != nil {
+		fmt.Fprintln(os.Stderr, "score upload:", err)
+		os.Exit(1)
+	}
+}
+
+// uploadScore sends the run's step count to a plain TCP "leaderboard"
+// server via the gateway, as one multiplexed stream on a Stack-built
+// connection, and prints the server's acknowledgement.
+func uploadScore(win *browser.Window, steps int64) error {
+	board, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer board.Close()
+	go func() {
+		c, err := board.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 256)
+		n, _ := c.Read(buf)
+		fmt.Fprintf(c, "recorded: %s", strings.TrimSpace(string(buf[:n])))
+	}()
+	gw, err := sockets.NewGateway("127.0.0.1:0", board.Addr().String(), sockets.GatewayOptions{})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	// The game's loop already drained; run it again to drive the
+	// asynchronous socket I/O to completion.
+	var uploadErr error
+	finished := false
+	win.Loop.Post("score-upload", func() {
+		conn := sockets.Stack(win, gw.Addr(), sockets.WithMux(2))
+		done := func(err error) {
+			uploadErr = err
+			finished = true
+			conn.Close()
+		}
+		conn.Dial(func(s *sockets.Socket, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			score := fmt.Sprintf("shadowgame steps=%d\n", steps)
+			s.Write([]byte(score)).Then(func(_ interface{}, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				s.Read(256).Then(func(v interface{}, err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					data, _ := v.([]byte)
+					fmt.Printf("leaderboard: %s\n", string(data))
+					s.Close()
+					done(nil)
+				})
+			})
+		})
+	})
+	if err := win.Loop.Run(); err != nil {
+		return err
+	}
+	if !finished {
+		return fmt.Errorf("event loop drained before the upload finished")
+	}
+	return uploadErr
 }

@@ -1,6 +1,9 @@
 // Sockets: an unmodified Java socket client running in the browser,
-// connected through a Websockify proxy to a plain TCP echo server —
-// the full §5.3 pipeline.
+// connected through the websockify gateway to a plain TCP echo server
+// — the full §5.3 pipeline, over the redesigned client stack: the
+// connection is assembled with sockets.Stack and multiplexed, so the
+// guest's socket is one flow-controlled stream on a shared WebSocket
+// rather than a whole connection of its own.
 //
 //	go run ./examples/sockets
 package main
@@ -63,8 +66,9 @@ func main() {
 		}
 	}()
 
-	// Websockify bridges browser WebSockets to the TCP server (§5.3).
-	proxy, err := sockets.NewWebsockify("127.0.0.1:0", ln.Addr().String())
+	// The gateway bridges browser WebSockets to the TCP server (§5.3);
+	// on the mux path each logical stream gets its own credit window.
+	proxy, err := sockets.NewGateway("127.0.0.1:0", ln.Addr().String(), sockets.GatewayOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -72,7 +76,7 @@ func main() {
 	defer proxy.Close()
 	host, portStr, _ := strings.Cut(proxy.Addr(), ":")
 	port, _ := strconv.Atoi(portStr)
-	fmt.Printf("echo server at %s, websockify at %s\n", ln.Addr(), proxy.Addr())
+	fmt.Printf("echo server at %s, gateway at %s\n", ln.Addr(), proxy.Addr())
 
 	classes, err := rt.CompileWith(map[string]string{"Client.mj": program})
 	if err != nil {
@@ -80,13 +84,38 @@ func main() {
 		os.Exit(1)
 	}
 	win := browser.NewWindow(browser.Chrome28)
+
+	// The client stack: one multiplexed WebSocket connection; every
+	// guest socket dials a stream over it.
+	conn := sockets.Stack(win, proxy.Addr(), sockets.WithMux(4))
+
 	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
 		Stdout:           os.Stdout,
 		Provider:         jvm.MapProvider(classes),
 		DisableEngineTax: true,
+		SocketDialer: func(_ *browser.Window, _ string, cb func(*sockets.Socket, error)) {
+			conn.Dial(cb)
+		},
 	})
-	if err := vm.RunMain("Client", []string{host, fmt.Sprint(port)}); err != nil {
+	var result error
+	finished := false
+	vm.StartMain("Client", []string{host, fmt.Sprint(port)}, func(err error) {
+		result = err
+		finished = true
+		// The guest closed its socket (the stream); the connection
+		// itself is ours to tear down so the loop can drain.
+		conn.Close()
+	})
+	if err := win.Loop.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	if !finished {
+		fmt.Fprintln(os.Stderr, "run: event loop drained before main finished")
+		os.Exit(1)
+	}
+	if result != nil {
+		fmt.Fprintln(os.Stderr, "run:", result)
 		os.Exit(1)
 	}
 }

@@ -9,17 +9,21 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"doppio/internal/browser"
+	"doppio/internal/core"
 	"doppio/internal/fleet"
 	"doppio/internal/jvm"
 	"doppio/internal/minic"
 	"doppio/internal/ops"
 	"doppio/internal/proc"
+	"doppio/internal/sockets"
 	"doppio/internal/telemetry"
 )
 
@@ -77,6 +81,47 @@ public class FleetCount {
     }
 }`
 
+// fleetSockProgram is the gateway tenant: an unmodified Java echo
+// client whose socket rides the tenant's own multiplexed Stack to a
+// shared websockify gateway — guest socket I/O as fleet load.
+const fleetSockProgram = `
+import java.net.Socket;
+
+public class FleetEcho {
+    public static void main(String[] args) {
+        int rounds = %d;
+        Socket s = new Socket("gateway", 0);
+        byte[] msg = new byte[64];
+        for (int i = 0; i < 64; i++) {
+            msg[i] = (byte) (i + 1);
+        }
+        int want = rounds * 64;
+        int got = 0;
+        for (int i = 0; i < rounds; i++) {
+            s.write(msg);
+            byte[] back = s.read(4096);
+            if (back == null) { break; }
+            got = got + back.length;
+        }
+        while (got < want) {
+            byte[] back = s.read(4096);
+            if (back == null) { break; }
+            got = got + back.length;
+        }
+        s.close();
+        if (got != want) {
+            System.out.println("short echo " + got);
+            System.exit(1);
+        }
+        System.out.println("echoed " + got);
+    }
+}`
+
+// fleetSockShedDepth is the WithShed threshold for sock tenants: high
+// enough that a healthy run never trips it (a tripped dial surfaces as
+// an IOException in the guest), low enough to bound a runaway loop.
+const fleetSockShedDepth = 256
+
 // FleetParams tunes the fleet benchmark.
 type FleetParams struct {
 	// Tenants is the sweep of tenant counts; default {16, 64, 256}.
@@ -84,8 +129,10 @@ type FleetParams struct {
 	// Shards is the multi-shard arm's pool width; default NumCPU.
 	Shards int
 	// Workload picks the tenant mix: "minic", "jvm", "mixed"
-	// (alternating by index), or "pipes" (a MiniC producer piped into
-	// a JVM consumer under a per-tenant process kernel).
+	// (alternating by index), "pipes" (a MiniC producer piped into a
+	// JVM consumer under a per-tenant process kernel), or "sock" (a
+	// JVM echo client whose socket rides a per-tenant mux Stack
+	// through a shared websockify gateway).
 	Workload string
 	// Timeslice for every tenant VM; default 2ms (short slices keep
 	// tail latency honest when hundreds of tenants share a shard).
@@ -176,6 +223,15 @@ type fleetAssets struct {
 	burnClasses map[string][]byte
 	producer    *minic.Program
 	pipeClasses map[string][]byte
+
+	// The sock workload's shared infrastructure, nil otherwise: a
+	// native TCP echo server and the gateway every tenant's Stack
+	// dials. Both arms go through the same pair, so the comparison
+	// stays equal-work.
+	sockClasses map[string][]byte
+	sockEcho    net.Listener
+	sockGW      *sockets.Websockify
+	sockAddr    string
 }
 
 func compileFleetAssets(p FleetParams) (*fleetAssets, error) {
@@ -197,7 +253,34 @@ func compileFleetAssets(p FleetParams) (*fleetAssets, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("fleet pipe consumer: %w", err)
 	}
+	if p.Workload == "sock" {
+		if a.sockClasses, err = workloadsCompile(map[string]string{
+			"FleetEcho.mj": fmt.Sprintf(fleetSockProgram, 8*p.Scale),
+		}); err != nil {
+			return nil, fmt.Errorf("fleet sock tenant: %w", err)
+		}
+		if a.sockEcho, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return nil, fmt.Errorf("fleet sock echo: %w", err)
+		}
+		go sockEchoAccept(a.sockEcho)
+		a.sockGW, err = sockets.NewGateway("127.0.0.1:0", a.sockEcho.Addr().String(),
+			sockets.GatewayOptions{})
+		if err != nil {
+			a.sockEcho.Close()
+			return nil, fmt.Errorf("fleet sock gateway: %w", err)
+		}
+		a.sockAddr = a.sockGW.Addr()
+	}
 	return a, nil
+}
+
+func (a *fleetAssets) close() {
+	if a.sockGW != nil {
+		a.sockGW.Close()
+	}
+	if a.sockEcho != nil {
+		a.sockEcho.Close()
+	}
 }
 
 // fleetTenant builds tenant i's spec for the chosen workload mix.
@@ -244,6 +327,41 @@ func fleetTenant(p FleetParams, a *fleetAssets, i int) fleet.Tenant {
 			vm.StartMain("FleetBurn", nil, done)
 			return &fleet.Handle{Runtime: vm.Runtime(), Heap: vm.Heap(),
 				Kill: func() { vm.Exit(137) }}, nil
+		}
+	case "sock":
+		t.Start = func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
+			// Each tenant gets its own multiplexed Stack to the shared
+			// gateway; the shed option refuses new dials when this
+			// tenant's loop falls behind (EAGAIN, transient).
+			var rt *core.Runtime
+			conn := sockets.Stack(env.Win, a.sockAddr,
+				sockets.WithMux(4),
+				sockets.WithShed(func() int {
+					if rt == nil {
+						return 0
+					}
+					return rt.QueueDepth()
+				}, fleetSockShedDepth),
+			)
+			vm := jvm.NewDoppioVM(env.Win, jvm.DoppioOptions{
+				Provider:         jvm.MapProvider(a.sockClasses),
+				Timeslice:        p.Timeslice,
+				HeapSize:         512 << 10,
+				DisableEngineTax: true,
+				SocketDialer: func(_ *browser.Window, _ string, cb func(*sockets.Socket, error)) {
+					conn.Dial(cb)
+				},
+			})
+			rt = vm.Runtime()
+			vm.StartMain("FleetEcho", nil, func(err error) {
+				conn.Close()
+				done(err)
+			})
+			return &fleet.Handle{Runtime: vm.Runtime(), Heap: vm.Heap(),
+				Kill: func() {
+					conn.Close()
+					vm.Exit(137)
+				}}, nil
 		}
 	case "pipes":
 		t.Start = func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
@@ -304,6 +422,7 @@ func RunFleet(p FleetParams) (*FleetResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer assets.close()
 	res := &FleetResult{
 		Workload: p.Workload, Shards: p.Shards,
 		Timeslice: p.Timeslice, Scale: p.Scale,

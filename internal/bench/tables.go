@@ -159,12 +159,13 @@ func probeSockets() error {
 				done(err)
 				return
 			}
-			s.Write([]byte("probe"), func(err error) {
+			s.Write([]byte("probe")).Then(func(_ interface{}, err error) {
 				if err != nil {
 					done(err)
 					return
 				}
-				s.Read(16, func(data []byte, err error) {
+				s.Read(16).Then(func(v interface{}, err error) {
+					data, _ := v.([]byte)
 					got = string(data)
 					s.Close()
 					done(err)

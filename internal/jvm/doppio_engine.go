@@ -45,6 +45,7 @@ type DoppioVM struct {
 
 	socketSeq int32
 	socketsBy map[int32]*sockets.Socket
+	dialFn    func(w *browser.Window, addr string, cb func(*sockets.Socket, error))
 
 	cur      *DThread
 	threads  []*DThread
@@ -93,6 +94,11 @@ type DoppioOptions struct {
 	HeapSize       int
 	// JSEval handles §6.8 eval requests.
 	JSEval func(string) string
+	// SocketDialer overrides how java.net.Socket connections are
+	// opened (default sockets.Connect, one WebSocket per socket).
+	// The fleet's gateway workload points this at a per-tenant
+	// multiplexed sockets.Stack.
+	SocketDialer func(w *browser.Window, addr string, cb func(*sockets.Socket, error))
 	// DisableEngineTax turns off the per-browser dispatch overhead
 	// model (used by unit tests).
 	DisableEngineTax bool
@@ -130,6 +136,7 @@ func NewDoppioVM(win *browser.Window, opts DoppioOptions) *DoppioVM {
 		props:     opts.Properties,
 		jsEval:    opts.JSEval,
 		socketsBy: make(map[int32]*sockets.Socket),
+		dialFn:    opts.SocketDialer,
 	}
 	if vm.props == nil {
 		vm.props = map[string]string{}
@@ -195,6 +202,11 @@ type DThread struct {
 	// pendingLaunch is the async launch recorded by BlockAndCall,
 	// consumed by the interpreter's native-invoke path.
 	pendingLaunch func(done func())
+	// awaitOn, when set by a host method during an async native's
+	// launch, substitutes its own labelled completion for the generic
+	// jvm.native(...) one — a thread parked on socket I/O shows
+	// sockets.read(fd), not a native frame, in deadlock reports.
+	awaitOn *core.Completion
 	// completeWait finishes an Object.wait once the monitor is
 	// re-acquired.
 	completeWait func()
@@ -370,6 +382,15 @@ func (t *DThread) pushInitIfNeeded(c *Class) bool {
 func (t *DThread) blockOn(ct *core.Thread, reason string, launch func(done func())) bool {
 	c := core.NewCompletion(t.vm.win.Loop, reason)
 	launch(func() { c.Resolve(nil, nil) })
+	if o := t.awaitOn; o != nil {
+		// The host operation supplied its own labelled completion;
+		// park on that one so the blocked-thread label names the real
+		// blocking site. Its callbacks (which deposit the result and
+		// settle c) run before the thread resumes, per the Completion
+		// ordering contract.
+		t.awaitOn = nil
+		c = o
+	}
 	if !c.Await(ct) {
 		return false
 	}
@@ -521,39 +542,68 @@ func (vm *DoppioVM) UnsafeHeap() *HeapBinding { return heapBinding(vm.heap) }
 // in post-mortem reports and the ops server's /debug/heap).
 func (vm *DoppioVM) Heap() *umheap.Heap { return vm.heap }
 
-// SocketConnect opens a Doppio socket (§5.3) through the window.
+// SocketConnect opens a Doppio socket (§5.3) through the window's
+// dialer — sockets.Connect by default, or the SocketDialer option
+// (the fleet's gateway workload routes each tenant through its own
+// multiplexed Stack there). The thread parks under a
+// sockets.connect(addr) label while the dial is in flight.
 func (vm *DoppioVM) SocketConnect(host string, port int32, cb func(int32, error)) {
 	addr := fmt.Sprintf("%s:%d", host, port)
-	sockets.Connect(vm.win, addr, func(s *sockets.Socket, err error) {
+	c := core.NewCompletion(vm.win.Loop, "sockets.connect("+addr+")")
+	vm.cur.awaitOn = c
+	c.Then(func(v interface{}, err error) {
 		if err != nil {
 			cb(-1, err)
 			return
 		}
+		cb(v.(int32), nil)
+	})
+	dial := vm.dialFn
+	if dial == nil {
+		dial = sockets.Connect
+	}
+	dial(vm.win, addr, func(s *sockets.Socket, err error) {
+		if err != nil {
+			c.Resolve(nil, err)
+			return
+		}
 		vm.socketSeq++
 		handle := vm.socketSeq
+		s.SetFD(handle)
 		vm.socketsBy[handle] = s
-		cb(handle, nil)
+		c.Resolve(handle, nil)
 	})
 }
 
-// SocketRead reads from a Doppio socket.
+// SocketRead reads from a Doppio socket. The socket's own completion
+// is handed to blockOn via awaitOn, so a stalled read parks the JVM
+// thread under sockets.read(fd).
 func (vm *DoppioVM) SocketRead(handle int32, n int32, cb func([]byte, error)) {
 	s := vm.socketsBy[handle]
 	if s == nil {
 		cb(nil, fmt.Errorf("jvm: bad socket handle %d", handle))
 		return
 	}
-	s.Read(int(n), cb)
+	c := s.Read(int(n))
+	vm.cur.awaitOn = c
+	c.Then(func(v interface{}, err error) {
+		data, _ := v.([]byte)
+		cb(data, err)
+	})
 }
 
-// SocketWrite writes to a Doppio socket.
+// SocketWrite writes to a Doppio socket. The write completion resolves
+// once flow control admits the bytes, so a zero-window stream parks
+// the thread visibly under sockets.write(fd).
 func (vm *DoppioVM) SocketWrite(handle int32, data []byte, cb func(error)) {
 	s := vm.socketsBy[handle]
 	if s == nil {
 		cb(fmt.Errorf("jvm: bad socket handle %d", handle))
 		return
 	}
-	s.Write(data, cb)
+	c := s.Write(data)
+	vm.cur.awaitOn = c
+	c.Then(func(_ interface{}, err error) { cb(err) })
 }
 
 // SocketClose closes a Doppio socket.

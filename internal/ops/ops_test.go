@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"doppio/internal/jvm"
 	"doppio/internal/jvm/rt"
 	"doppio/internal/ops"
+	"doppio/internal/sockets"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
@@ -430,5 +432,126 @@ func TestDebugFleetEndpoint(t *testing.T) {
 	_, body = get(t, ts.URL+"/")
 	if !strings.Contains(body, "/debug/fleet") {
 		t.Errorf("index missing /debug/fleet:\n%s", body)
+	}
+}
+
+// TestDebugSockEndpoint registers a live gateway, runs one multiplexed
+// echo stream through it, and reads the result back via /debug/sock in
+// both text and JSON form. Gateway snapshots are goroutine-safe, so
+// the endpoint answers while the session is still open.
+func TestDebugSockEndpoint(t *testing.T) {
+	echoLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echoLn.Close()
+	go func() {
+		c, err := echoLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 1024)
+		for {
+			n, err := c.Read(buf)
+			if n > 0 {
+				c.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	gw, err := sockets.NewGateway("127.0.0.1:0", echoLn.Addr().String(), sockets.GatewayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	// One raw mux session with one echoed stream, kept open while the
+	// endpoint is queried.
+	conn, err := net.Dial("tcp", gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br, err := sockets.ClientHandshake(conn, "ops-test", sockets.MuxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sockets.NewMux(sockets.MuxConfig{
+		Send: func(hdr, payload []byte) error {
+			return sockets.WriteBinaryFrame(conn, hdr, payload)
+		},
+	})
+	defer m.CloseSession(nil)
+	go func() {
+		for {
+			f, err := sockets.ReadFrame(br)
+			if err != nil {
+				m.CloseSession(err)
+				return
+			}
+			if f.Op == sockets.OpBinary {
+				m.HandleFrame(f.Payload)
+			}
+		}
+	}()
+	st, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitOpen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteBlocking([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	for off := 0; off < len(got); {
+		n, err := st.ReadBlocking(got[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if string(got) != "ping" {
+		t.Fatalf("echo = %q", got)
+	}
+
+	s := ops.NewServer(nil)
+	s.RegisterGateway(gw)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/debug/sock")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/sock status = %d", code)
+	}
+	for _, want := range []string{"gateway ->", "conns: plain=0 mux=1", "stream 1:", "open"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/sock missing %q:\n%s", want, body)
+		}
+	}
+
+	_, body = get(t, ts.URL+"/debug/sock?format=json")
+	var snaps []sockets.GatewaySnapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("/debug/sock?format=json invalid: %v\n%s", err, body)
+	}
+	if len(snaps) != 1 || snaps[0].MuxConns != 1 {
+		t.Fatalf("sock JSON = %+v", snaps)
+	}
+	if snaps[0].Stats.DataIn == 0 || snaps[0].Stats.DataOut == 0 {
+		t.Errorf("gateway data counters flat: %+v", snaps[0].Stats)
+	}
+	if len(snaps[0].Sessions) != 1 || len(snaps[0].Sessions[0].Streams) != 1 {
+		t.Errorf("session snapshot = %+v", snaps[0].Sessions)
+	}
+
+	// Index advertises the endpoint.
+	_, body = get(t, ts.URL+"/")
+	if !strings.Contains(body, "/debug/sock") {
+		t.Errorf("index missing /debug/sock:\n%s", body)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"doppio/internal/sockets"
 	"doppio/internal/telemetry"
 )
 
@@ -27,9 +28,10 @@ const collectTimeout = 500 * time.Millisecond
 type Server struct {
 	hub *telemetry.Hub
 
-	mu      sync.Mutex
-	sources []Source
-	fleets  []fleetSource
+	mu       sync.Mutex
+	sources  []Source
+	fleets   []fleetSource
+	gateways []*sockets.Websockify
 }
 
 // NewServer creates a server over the hub (which may be nil; metric
@@ -74,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/heap", s.handleHeap)
 	mux.HandleFunc("/debug/proc", s.handleProc)
 	mux.HandleFunc("/debug/fleet", s.handleFleet)
+	mux.HandleFunc("/debug/sock", s.handleSock)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -110,6 +113,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/heap         unmanaged-heap free-list map")
 	fmt.Fprintln(w, "  /debug/proc         ps-style process table (pid, state, blocked-on)")
 	fmt.Fprintln(w, "  /debug/fleet        fleet supervisor: shards, tenants, evictions (?format=json)")
+	fmt.Fprintln(w, "  /debug/sock         websockify gateway: stream windows, shed/reset counters (?format=json)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go runtime profiles")
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 	"doppio/internal/core"
 	"doppio/internal/eventloop"
 	"doppio/internal/telemetry"
+	"doppio/internal/vfs"
 )
 
 // DialError reports why an outgoing WebSocket connection never reached
@@ -38,6 +39,18 @@ func (e *DialError) Error() string {
 // Unwrap exposes the underlying transport error.
 func (e *DialError) Unwrap() error { return e.Err }
 
+// Errno classifies the dial failure for vfs.Classify: a refused dial
+// is final (ECONNREFUSED — nothing is listening), a dropped one is
+// transient (ECONNRESET — the server exists, redial). This is the
+// same split Refused already encodes, exported as an errno so
+// retry.Policy treats socket dials consistently with VFS errors.
+func (e *DialError) Errno() vfs.Errno {
+	if e.Refused {
+		return vfs.ECONNREFUSED
+	}
+	return vfs.ECONNRESET
+}
+
 // IsRefused reports whether err is a DialError for a refused
 // connection.
 func IsRefused(err error) bool {
@@ -55,6 +68,7 @@ func IsRefused(err error) bool {
 type WebSocket struct {
 	loop *eventloop.Loop
 	conn net.Conn
+	path string
 	shim time.Duration // per-message Flash shim latency (0 = native)
 
 	// OnOpen, OnMessage, OnError and OnClose are the DOM event
@@ -68,6 +82,11 @@ type WebSocket struct {
 	OnPong    func(data []byte)
 
 	tel *wsTelemetry
+
+	// closeRequested records a Close that arrived before the handshake
+	// finished; the open event completes the teardown. Loop thread
+	// only.
+	closeRequested bool
 
 	// settle resolves the connection-lifetime completion: exactly one
 	// call wins — with an error for a failed dial, nil for a peer
@@ -111,7 +130,14 @@ const flashShimLatency = 2 * time.Millisecond
 // fire on the window's event loop. The returned WebSocket is not open
 // until OnOpen fires.
 func DialWebSocket(w *browser.Window, addr string) *WebSocket {
-	ws := &WebSocket{loop: w.Loop, tel: newWSTelemetry(w.Telemetry)}
+	return DialWebSocketPath(w, addr, "/")
+}
+
+// DialWebSocketPath is DialWebSocket with an explicit request path.
+// The gateway selects its mode by path: "/" proxies one TCP stream
+// per connection, MuxPath multiplexes many (§15 of DESIGN.md).
+func DialWebSocketPath(w *browser.Window, addr, path string) *WebSocket {
+	ws := &WebSocket{loop: w.Loop, path: path, tel: newWSTelemetry(w.Telemetry)}
 	if !w.Profile.HasWebSockets {
 		ws.shim = flashShimLatency
 	}
@@ -153,7 +179,7 @@ func (ws *WebSocket) connect(addr string) {
 		ws.fail(&DialError{Addr: addr, Refused: errors.Is(err, syscall.ECONNREFUSED), Err: err})
 		return
 	}
-	br, err := ClientHandshake(conn, addr, "/")
+	br, err := ClientHandshake(conn, addr, ws.path)
 	if err != nil {
 		// The transport connected but died before the WebSocket opened:
 		// a dropped connection, never a refused one.
@@ -167,6 +193,12 @@ func (ws *WebSocket) connect(addr string) {
 	}
 	ws.conn = conn
 	ws.emit("ws-open", func() {
+		if ws.closeRequested {
+			// Close raced the handshake: finish the teardown it could
+			// not do while conn was nil.
+			ws.Close()
+			return
+		}
 		if ws.OnOpen != nil {
 			ws.OnOpen()
 		}
@@ -232,6 +264,26 @@ func (ws *WebSocket) Send(data []byte) error {
 	return WriteFrame(ws.conn, f)
 }
 
+// SendParts transmits the concatenation of parts as one *unmasked*
+// binary frame in a single writev — the mux hot path: the 13-byte
+// stream header and the payload go to the kernel without a copy or a
+// mask pass. Unmasked client frames deviate from RFC 6455 §5.2 by
+// design (both endpoints are ours; see WriteBinaryFrame).
+func (ws *WebSocket) SendParts(parts ...[]byte) error {
+	if ws.conn == nil {
+		return ErrSocketClosed
+	}
+	if tel := ws.tel; tel != nil {
+		n := 0
+		for _, p := range parts {
+			n += len(p)
+		}
+		tel.framesOut.Inc()
+		tel.bytesOut.Add(int64(n))
+	}
+	return WriteBinaryFrame(ws.conn, parts...)
+}
+
 // Ping sends a masked ping frame; the peer's pong is delivered to
 // OnPong. Heartbeat monitors pair the two to detect half-dead
 // connections that TCP alone would let linger.
@@ -246,8 +298,10 @@ func (ws *WebSocket) Ping(payload []byte) error {
 	return WriteFrame(ws.conn, f)
 }
 
-// Close sends a close frame and tears down the connection.
+// Close sends a close frame and tears down the connection. Closing
+// before the handshake finishes is honored once it does.
 func (ws *WebSocket) Close() error {
+	ws.closeRequested = true
 	if ws.conn == nil {
 		return nil
 	}

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Opcode is a WebSocket frame opcode.
@@ -82,6 +83,48 @@ func WriteFrame(w io.Writer, f *Frame) error {
 		}
 	}
 	_, err := w.Write(payload)
+	return err
+}
+
+// appendFrameHeader appends the wire header for an unmasked frame of
+// n payload bytes.
+func appendFrameHeader(dst []byte, op Opcode, n int) []byte {
+	dst = append(dst, 0x80|byte(op))
+	switch {
+	case n <= 125:
+		dst = append(dst, byte(n))
+	case n <= 0xFFFF:
+		dst = append(dst, 126, byte(n>>8), byte(n))
+	default:
+		dst = append(dst, 127)
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		dst = append(dst, ext[:]...)
+	}
+	return dst
+}
+
+// WriteBinaryFrame writes one unmasked FIN binary frame whose payload
+// is the concatenation of parts, in a single writev (net.Buffers) when
+// w is a net.Conn — the gateway's zero-copy hot path. The parts are
+// never copied or concatenated: the mux layer passes its 13-byte
+// header and the stream's send-queue slice straight through to the
+// kernel. Unmasked client frames deviate from RFC 6455 §5.2 by
+// design; both ends are ours and masking would force a payload copy
+// per frame (see WriteFrame), defeating the zero-copy path.
+func WriteBinaryFrame(w io.Writer, parts ...[]byte) error {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	bufs := make(net.Buffers, 0, len(parts)+1)
+	bufs = append(bufs, appendFrameHeader(make([]byte, 0, 10), OpBinary, n))
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 

@@ -1,0 +1,185 @@
+package sockets
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// In-memory transport: a buffered, bidirectional net.Conn pair and a
+// matching listener. The sockload harness uses it for the 10 k-
+// connection sweep because a real-TCP soak costs ~4 file descriptors
+// per connection (client, gateway accept, gateway dial, echo accept)
+// — 40 k fds, past the container's hard 20 k cap — while the mux-vs-
+// plain comparison only needs both arms to ride the *same* transport.
+// Unlike net.Pipe, writes are buffered (up to memConnBuf per
+// direction), so latency measurements are not distorted by a
+// rendezvous per byte.
+
+const memConnBuf = 256 << 10
+
+// memHalf is one direction: a byte queue with blocking reads and
+// writes that block only when the buffer is full.
+type memHalf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool // no more writes will arrive
+}
+
+func newMemHalf() *memHalf {
+	h := &memHalf{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *memHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		for len(h.buf) >= memConnBuf && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			return total, io.ErrClosedPipe
+		}
+		n := memConnBuf - len(h.buf)
+		if n > len(p) {
+			n = len(p)
+		}
+		h.buf = append(h.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		h.cond.Broadcast()
+	}
+	return total, nil
+}
+
+func (h *memHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 {
+		if h.closed {
+			return 0, io.EOF
+		}
+		h.cond.Wait()
+	}
+	n := copy(p, h.buf)
+	h.buf = h.buf[n:]
+	if len(h.buf) == 0 {
+		h.buf = nil // let the drained backing array go
+	}
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *memHalf) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// MemConn is one end of an in-memory connection pair.
+type MemConn struct {
+	rd, wr *memHalf
+	local  string
+	remote string
+}
+
+// MemPipe returns a connected, buffered in-memory net.Conn pair.
+func MemPipe() (*MemConn, *MemConn) {
+	a2b, b2a := newMemHalf(), newMemHalf()
+	a := &MemConn{rd: b2a, wr: a2b, local: "mem:a", remote: "mem:b"}
+	b := &MemConn{rd: a2b, wr: b2a, local: "mem:b", remote: "mem:a"}
+	return a, b
+}
+
+func (c *MemConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *MemConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close shuts both directions down.
+func (c *MemConn) Close() error {
+	c.wr.close()
+	c.rd.close()
+	return nil
+}
+
+// CloseWrite half-closes the write side: the peer's reads drain the
+// buffer and then see EOF — the TCP CloseWrite the gateway uses to
+// propagate a client FIN without losing the target's reply.
+func (c *MemConn) CloseWrite() error {
+	c.wr.close()
+	return nil
+}
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+func (c *MemConn) LocalAddr() net.Addr                { return memAddr(c.local) }
+func (c *MemConn) RemoteAddr() net.Addr               { return memAddr(c.remote) }
+func (c *MemConn) SetDeadline(t time.Time) error      { return nil }
+func (c *MemConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *MemConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// MemListener is a net.Listener over MemPipe: Dial hands one end to
+// the caller and queues the other for Accept.
+type MemListener struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*MemConn
+	closed bool
+}
+
+// NewMemListener creates an in-memory listener.
+func NewMemListener() *MemListener {
+	l := &MemListener{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Dial connects to the listener, returning the client end.
+func (l *MemListener) Dial() (net.Conn, error) {
+	a, b := MemPipe()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("sockets: mem listener closed")
+	}
+	l.queue = append(l.queue, b)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return a, nil
+}
+
+// Accept returns the next dialed connection's server end.
+func (l *MemListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.queue) == 0 {
+		return nil, fmt.Errorf("sockets: mem listener closed")
+	}
+	c := l.queue[0]
+	l.queue = l.queue[1:]
+	return c, nil
+}
+
+// Close unblocks Accept and refuses further dials.
+func (l *MemListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// Addr returns a synthetic address.
+func (l *MemListener) Addr() net.Addr { return memAddr("mem:listener") }

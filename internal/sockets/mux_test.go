@@ -1,0 +1,520 @@
+package sockets
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/vfs"
+	"doppio/internal/vfs/faultfs"
+)
+
+// streamPattern builds the deterministic byte sequence stream i sends.
+func streamPattern(i, n int) []byte {
+	out := make([]byte, n)
+	for j := range out {
+		out[j] = byte(i*31 + j*7 + 3)
+	}
+	return out
+}
+
+// echoOverStack dials nStreams sockets through conn (from the loop
+// thread), writes each stream's pattern in chunkSize pieces, reads
+// the echo back into got, and calls allDone once every stream has its
+// full transcript.
+func echoOverStack(t *testing.T, conn *Conn, got [][]byte, total, chunkSize int, allDone func()) {
+	t.Helper()
+	nStreams := len(got)
+	done := 0
+	finish := func() {
+		done++
+		if done == nStreams {
+			allDone()
+		}
+	}
+	for i := 0; i < nStreams; i++ {
+		i := i
+		want := streamPattern(i, total)
+		conn.Dial(func(s *Socket, err error) {
+			if err != nil {
+				t.Errorf("stream %d: dial: %v", i, err)
+				finish()
+				return
+			}
+			for off := 0; off < total; off += chunkSize {
+				end := off + chunkSize
+				if end > total {
+					end = total
+				}
+				chunk := want[off:end]
+				s.Write(chunk).Then(func(_ interface{}, err error) {
+					if err != nil {
+						t.Errorf("stream %d: write: %v", i, err)
+					}
+				})
+			}
+			var pump func()
+			pump = func() {
+				s.Read(4096).Then(func(v interface{}, err error) {
+					if err != nil {
+						t.Errorf("stream %d: read: %v", i, err)
+						finish()
+						return
+					}
+					data, _ := v.([]byte)
+					got[i] = append(got[i], data...)
+					if len(got[i]) < total {
+						pump()
+						return
+					}
+					s.Close()
+					finish()
+				})
+			}
+			pump()
+		})
+	}
+}
+
+// TestMuxEquivalence pins the gateway redesign's core claim: N
+// logical streams multiplexed over one WebSocket are byte-identical
+// to N plain one-connection-per-stream sockets — including when the
+// fault injector drops and truncates 10% of data frames, which the
+// mux's go-back-N must repair.
+func TestMuxEquivalence(t *testing.T) {
+	echoAddr, stopEcho := startEchoServer(t)
+	defer stopEcho()
+
+	const (
+		nStreams = 6
+		total    = 8 << 10
+		chunk    = 512
+	)
+
+	// Reference arm: plain connections, no faults.
+	plainGW, err := NewWebsockify("127.0.0.1:0", echoAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainGW.Close()
+	var plain [][]byte
+	{
+		w := browser.NewWindow(browser.Chrome28)
+		conns := make([]*Conn, nStreams)
+		w.Loop.Post("main", func() {
+			// One plain Conn per stream (a plain Conn carries one Dial).
+			results := make([][]byte, nStreams)
+			finished := 0
+			for i := 0; i < nStreams; i++ {
+				i := i
+				conns[i] = Stack(w, plainGW.Addr())
+				want := streamPattern(i, total)
+				conns[i].Dial(func(s *Socket, err error) {
+					if err != nil {
+						t.Errorf("plain %d: dial: %v", i, err)
+						return
+					}
+					s.Write(want).Then(func(_ interface{}, err error) {
+						if err != nil {
+							t.Errorf("plain %d: write: %v", i, err)
+						}
+					})
+					var pump func()
+					pump = func() {
+						s.Read(4096).Then(func(v interface{}, err error) {
+							if err != nil {
+								t.Errorf("plain %d: read: %v", i, err)
+								return
+							}
+							data, _ := v.([]byte)
+							results[i] = append(results[i], data...)
+							if len(results[i]) < total {
+								pump()
+								return
+							}
+							s.Close()
+							finished++
+							if finished == nStreams {
+								plain = results
+							}
+						})
+					}
+					pump()
+				})
+			}
+		})
+		if err := w.Loop.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plain == nil {
+		t.Fatal("plain arm did not finish")
+	}
+
+	for _, tc := range []struct {
+		name string
+		plan faultfs.Plan
+	}{
+		{"clean", faultfs.Plan{}},
+		{"faults10pct", faultfs.Plan{Seed: 7, ErrRate: 0.10, PostFrac: 0.5, ShortRate: 0.10}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			muxGW, err := NewGateway("127.0.0.1:0", echoAddr, GatewayOptions{
+				Window: 4 << 10,
+				RTO:    10 * time.Millisecond,
+				Faults: tc.plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer muxGW.Close()
+
+			w := browser.NewWindow(browser.Chrome28)
+			got := make([][]byte, nStreams)
+			finished := false
+			w.Loop.Post("main", func() {
+				conn := Stack(w, muxGW.Addr(),
+					WithMux(0), WithWindow(4<<10), WithRTO(10*time.Millisecond))
+				echoOverStack(t, conn, got, total, chunk, func() {
+					finished = true
+					conn.Close()
+				})
+			})
+			if err := w.Loop.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !finished {
+				t.Fatal("mux arm did not finish")
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], plain[i]) {
+					t.Fatalf("stream %d: mux transcript (%d bytes) != plain transcript (%d bytes)",
+						i, len(got[i]), len(plain[i]))
+				}
+			}
+			snap := muxGW.Snapshot()
+			if tc.plan.Enabled() {
+				if snap.Faults.ErrsPre+snap.Faults.ErrsPost+snap.Faults.Shorts == 0 {
+					t.Error("fault plan enabled but no faults were injected")
+				}
+				if snap.Stats.Retransmits == 0 {
+					t.Error("faults injected but no retransmissions recorded")
+				}
+			}
+		})
+	}
+}
+
+// wirePair builds two directly-wired mux endpoints: every frame one
+// side sends is handed to the other's HandleFrame. accept configures
+// the server side's AcceptStream handler.
+func wirePair(window int, accept func(st *MuxStream)) (client, server *Mux) {
+	var cl, sv *Mux
+	sv = NewMux(MuxConfig{
+		Window:       window,
+		RTO:          10 * time.Millisecond,
+		AcceptStream: accept,
+		Send: func(hdr, payload []byte) error {
+			cl.HandleFrame(append(append([]byte{}, hdr...), payload...))
+			return nil
+		},
+	})
+	cl = NewMux(MuxConfig{
+		Window: window,
+		RTO:    10 * time.Millisecond,
+		Send: func(hdr, payload []byte) error {
+			sv.HandleFrame(append(append([]byte{}, hdr...), payload...))
+			return nil
+		},
+	})
+	return cl, sv
+}
+
+// TestMuxZeroWindowBackpressure pins the flow-control contract: a
+// writer that exhausts the peer's receive window parks until the
+// reader drains and credit flows back.
+func TestMuxZeroWindowBackpressure(t *testing.T) {
+	const window = 1024
+	acceptCh := make(chan *MuxStream, 1)
+	client, server := wirePair(window, func(st *MuxStream) {
+		st.Accept()
+		acceptCh <- st
+	})
+	defer client.CloseSession(nil)
+	defer server.CloseSession(nil)
+
+	st, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitOpen(); err != nil {
+		t.Fatal(err)
+	}
+	peer := <-acceptCh
+
+	// First write fills the whole window: admitted immediately.
+	first := make(chan error, 1)
+	st.Write(streamPattern(1, window), func(err error) { first <- err })
+	select {
+	case err := <-first:
+		if err != nil {
+			t.Fatalf("window-filling write failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("window-filling write did not complete")
+	}
+
+	// Second write has zero window left: its completion must hold.
+	var fired atomic.Bool
+	second := make(chan error, 1)
+	st.Write([]byte("overflow"), func(err error) {
+		fired.Store(true)
+		second <- err
+	})
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("write completed with zero window — flow control is not engaging")
+	}
+
+	// Reader drains; credit flows back; the parked write resumes.
+	buf := make([]byte, window)
+	n := 0
+	for n < window {
+		k, err := peer.ReadBlocking(buf[n:])
+		if err != nil {
+			t.Fatalf("peer read: %v", err)
+		}
+		n += k
+	}
+	select {
+	case err := <-second:
+		if err != nil {
+			t.Fatalf("resumed write failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write did not resume after credit returned")
+	}
+	if client.Stats().Credits+server.Stats().Credits == 0 {
+		t.Error("no CREDIT frames recorded")
+	}
+}
+
+// TestMuxPauseCreditSheds pins the gateway's backpressure lever:
+// PauseCredit withholds grants (so a remote writer stalls) and
+// ResumeCredit releases the accumulated credit in one batch.
+func TestMuxPauseCreditSheds(t *testing.T) {
+	const window = 1024
+	acceptCh := make(chan *MuxStream, 1)
+	client, server := wirePair(window, func(st *MuxStream) {
+		st.Accept()
+		acceptCh <- st
+	})
+	defer client.CloseSession(nil)
+	defer server.CloseSession(nil)
+
+	st, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitOpen(); err != nil {
+		t.Fatal(err)
+	}
+	peer := <-acceptCh
+	peer.PauseCredit()
+
+	if err := st.WriteBlocking(streamPattern(2, window)); err != nil {
+		t.Fatal(err)
+	}
+	// Drain while paused: no credit may flow.
+	buf := make([]byte, window)
+	n := 0
+	for n < window {
+		k, err := peer.ReadBlocking(buf[n:])
+		if err != nil {
+			t.Fatalf("peer read: %v", err)
+		}
+		n += k
+	}
+	var blocked atomic.Bool
+	done := make(chan error, 1)
+	st.Write([]byte("stalled"), func(err error) {
+		blocked.Store(true)
+		done <- err
+	})
+	time.Sleep(50 * time.Millisecond)
+	if blocked.Load() {
+		t.Fatal("write completed while credit was paused")
+	}
+
+	peer.ResumeCredit()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after resume failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write did not resume after ResumeCredit")
+	}
+}
+
+// TestMuxShedStream pins load shedding end to end: a gateway whose
+// depth probe reports overload refuses new streams with EAGAIN, which
+// classifies transient (back off and redial).
+func TestMuxShedStream(t *testing.T) {
+	echoAddr, stopEcho := startEchoServer(t)
+	defer stopEcho()
+	depth := atomic.Int64{}
+	gw, err := NewGateway("127.0.0.1:0", echoAddr, GatewayOptions{
+		ShedDepth:  4,
+		QueueDepth: func() int { return int(depth.Load()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	depth.Store(100) // hopelessly behind from the start
+
+	// Give the overload sweep a tick to notice.
+	time.Sleep(30 * time.Millisecond)
+
+	w := browser.NewWindow(browser.Chrome28)
+	var dialErr error
+	w.Loop.Post("main", func() {
+		conn := Stack(w, gw.Addr(), WithMux(0))
+		conn.Dial(func(s *Socket, err error) {
+			dialErr = err
+			if s != nil {
+				s.Close()
+			}
+			conn.Close()
+		})
+	})
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dialErr == nil {
+		t.Fatal("dial succeeded through an overloaded gateway")
+	}
+	if !IsShed(dialErr) {
+		t.Fatalf("dial error = %v, want a shed (EAGAIN) StreamError", dialErr)
+	}
+	errno, ok := vfs.Classify(dialErr)
+	if !ok || errno != vfs.EAGAIN || !errno.Transient() {
+		t.Fatalf("Classify(%v) = %v, %v; want transient EAGAIN", dialErr, errno, ok)
+	}
+	if gw.Snapshot().Stats.Shed == 0 {
+		t.Error("gateway shed counter is zero")
+	}
+}
+
+// TestMuxErrorClassification pins satellite 3: gateway failures
+// classify through vfs.Classify exactly like VFS errors.
+func TestMuxErrorClassification(t *testing.T) {
+	cases := []struct {
+		err       error
+		errno     vfs.Errno
+		transient bool
+	}{
+		{&StreamError{StreamID: 1, Code: vfs.EAGAIN}, vfs.EAGAIN, true},
+		{&StreamError{StreamID: 2, Code: vfs.ECONNRESET}, vfs.ECONNRESET, true},
+		{&StreamError{StreamID: 3, Code: vfs.ECONNREFUSED}, vfs.ECONNREFUSED, false},
+		{&StreamError{StreamID: 4, Code: vfs.EPROTO}, vfs.EPROTO, false},
+		{&DialError{Addr: "x:1", Refused: true, Err: io.EOF}, vfs.ECONNREFUSED, false},
+		{&DialError{Addr: "x:1", Refused: false, Err: io.EOF}, vfs.ECONNRESET, true},
+	}
+	for _, tc := range cases {
+		errno, ok := vfs.Classify(tc.err)
+		if !ok {
+			t.Errorf("Classify(%v): not classified", tc.err)
+			continue
+		}
+		if errno != tc.errno {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, errno, tc.errno)
+		}
+		if errno.Transient() != tc.transient {
+			t.Errorf("%v: Transient() = %v, want %v", tc.err, errno.Transient(), tc.transient)
+		}
+	}
+	// The RST code mapping round-trips.
+	for _, e := range []vfs.Errno{vfs.EAGAIN, vfs.ECONNREFUSED, vfs.ECONNRESET, vfs.EPROTO} {
+		if got := rstErrno(rstCode(e)); got != e {
+			t.Errorf("rstErrno(rstCode(%v)) = %v", e, got)
+		}
+	}
+}
+
+// TestMuxRefusedTarget pins the ECONNREFUSED path: a gateway whose
+// target is not listening refuses each stream with a final errno.
+func TestMuxRefusedTarget(t *testing.T) {
+	// A listener we immediately close gives us an address with
+	// nothing behind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	gw, err := NewWebsockify("127.0.0.1:0", deadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	w := browser.NewWindow(browser.Chrome28)
+	var dialErr error
+	w.Loop.Post("main", func() {
+		conn := Stack(w, gw.Addr(), WithMux(0))
+		conn.Dial(func(s *Socket, err error) {
+			dialErr = err
+			conn.Close()
+		})
+	})
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var se *StreamError
+	if !errors.As(dialErr, &se) || se.Code != vfs.ECONNREFUSED {
+		t.Fatalf("dial error = %v, want StreamError(ECONNREFUSED)", dialErr)
+	}
+}
+
+// TestGatewaySelfDepthNoDeadlock pins the standalone wiring from
+// cmd/websockify: the gateway's own LiveStreams as its QueueDepth
+// signal. LiveStreams takes the gateway mutex, so the overload ticker
+// must sample the callback outside the lock — a regression here wedges
+// Snapshot, Close, and /debug/sock on the first 5ms tick.
+func TestGatewaySelfDepthNoDeadlock(t *testing.T) {
+	var self atomic.Pointer[Websockify]
+	gw, err := NewGateway("127.0.0.1:0", "127.0.0.1:1", GatewayOptions{
+		ShedDepth: 4,
+		QueueDepth: func() int {
+			if p := self.Load(); p != nil {
+				return p.LiveStreams()
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	self.Store(gw)
+	defer gw.Close()
+
+	time.Sleep(20 * time.Millisecond) // let the overload ticker fire
+	done := make(chan GatewaySnapshot, 1)
+	go func() { done <- gw.Snapshot() }()
+	select {
+	case snap := <-done:
+		if snap.Paused {
+			t.Fatalf("idle gateway reports paused: %+v", snap)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Snapshot deadlocked against the overload ticker")
+	}
+}

@@ -36,6 +36,9 @@ type ReconnectOptions struct {
 	// Hub, when non-nil, receives dial/reconnect/heartbeat counters
 	// under the subsystem "sockretry".
 	Hub *telemetry.Hub
+	// Path is the handshake request path (""/"/" = plain websockify;
+	// MuxPath selects the gateway's multiplexed mode).
+	Path string
 }
 
 // ReconnectStats is a point-in-time snapshot of a ReconnectingWS's
@@ -156,6 +159,16 @@ func (r *ReconnectingWS) Send(data []byte) error {
 	return r.ws.Send(data)
 }
 
+// SendParts transmits one unmasked frame in a single writev (the mux
+// hot path; see WebSocket.SendParts), or fails with ErrNotConnected
+// between connections.
+func (r *ReconnectingWS) SendParts(parts ...[]byte) error {
+	if !r.Connected() {
+		return ErrNotConnected
+	}
+	return r.ws.SendParts(parts...)
+}
+
 // Close shuts the client down for good: no further redials, heartbeats
 // or callbacks.
 func (r *ReconnectingWS) Close() error {
@@ -164,7 +177,9 @@ func (r *ReconnectingWS) Close() error {
 	}
 	r.closed = true
 	r.stopHeartbeat()
-	if r.ws != nil && r.open {
+	if r.ws != nil {
+		// Safe even mid-handshake: WebSocket.Close finishes the
+		// teardown once the dial settles.
 		return r.ws.Close()
 	}
 	return nil
@@ -172,7 +187,11 @@ func (r *ReconnectingWS) Close() error {
 
 func (r *ReconnectingWS) dial() {
 	r.dials.Inc()
-	ws := DialWebSocket(r.win, r.addr)
+	path := r.opts.Path
+	if path == "" {
+		path = "/"
+	}
+	ws := DialWebSocketPath(r.win, r.addr, path)
 	r.ws = ws
 	ws.OnOpen = func() {
 		if r.closed {

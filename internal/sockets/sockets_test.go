@@ -147,23 +147,25 @@ func TestDoppioSocketAPI(t *testing.T) {
 				t.Errorf("Connect: %v", err)
 				return
 			}
-			s.Write([]byte("hello socket"), func(err error) {
+			s.Write([]byte("hello socket")).Then(func(_ interface{}, err error) {
 				if err != nil {
 					t.Errorf("Write: %v", err)
 					return
 				}
 				// Read in two chunks to exercise buffering.
-				s.Read(5, func(data []byte, err error) {
+				s.Read(5).Then(func(v interface{}, err error) {
 					if err != nil {
 						t.Errorf("Read: %v", err)
 						return
 					}
+					data, _ := v.([]byte)
 					received = append(received, data...)
-					s.Read(100, func(data []byte, err error) {
+					s.Read(100).Then(func(v interface{}, err error) {
 						if err != nil {
 							t.Errorf("Read 2: %v", err)
 							return
 						}
+						data, _ := v.([]byte)
 						received = append(received, data...)
 						s.Close()
 					})
@@ -259,11 +261,11 @@ func TestSocketEOF(t *testing.T) {
 				t.Errorf("Connect: %v", err)
 				return
 			}
-			s.Write([]byte("bye"), func(error) {
-				s.Read(10, func(data []byte, err error) {
-					first = data
-					s.Read(10, func(data []byte, err error) {
-						if data == nil && err == nil {
+			s.Write([]byte("bye")).Then(func(_ interface{}, _ error) {
+				s.Read(10).Then(func(v interface{}, err error) {
+					first, _ = v.([]byte)
+					s.Read(10).Then(func(v interface{}, err error) {
+						if v == nil && err == nil {
 							eof = true
 						}
 					})

@@ -10,15 +10,13 @@ import (
 func TestSocketTelemetryEndToEnd(t *testing.T) {
 	echoAddr, stopEcho := startEchoServer(t)
 	defer stopEcho()
-	proxy, err := NewWebsockify("127.0.0.1:0", echoAddr)
+	clientHub := telemetry.NewHub().EnableTracing()
+	proxyHub := telemetry.NewHub()
+	proxy, err := NewGateway("127.0.0.1:0", echoAddr, GatewayOptions{Hub: proxyHub})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer proxy.Close()
-
-	clientHub := telemetry.NewHub().EnableTracing()
-	proxyHub := telemetry.NewHub()
-	proxy.SetTelemetry(proxyHub)
 
 	w := browser.NewWindow(browser.Chrome28)
 	w.EnableTelemetry(clientHub)

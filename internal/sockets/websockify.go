@@ -7,23 +7,80 @@ import (
 	"time"
 
 	"doppio/internal/telemetry"
+	"doppio/internal/vfs"
 	"doppio/internal/vfs/faultfs"
 )
 
-// Websockify bridges incoming WebSocket connections to a plain TCP
-// target, exactly as the kanaka/websockify program the paper relies on
-// for the server side of socket support (§5.3): it "wraps unmodified
-// programs, and translates incoming WebSocket connections into normal
-// TCP connections".
+// Websockify is the production gateway grown out of the
+// kanaka/websockify program the paper relies on for the server side
+// of socket support (§5.3). It still "wraps unmodified programs, and
+// translates incoming WebSocket connections into normal TCP
+// connections", but a connection now picks its mode by handshake
+// path:
+//
+//   - any path but MuxPath: classic websockify — the whole WebSocket
+//     is one TCP stream, no flow control (kept for compatibility and
+//     as the A/B baseline in sockload);
+//   - MuxPath ("/mux"): a multiplexed session — many logical streams
+//     over the one WebSocket, each with its own credit window, shed
+//     with RST(EAGAIN) when the owning tenant's event loop falls
+//     behind (GatewayOptions.QueueDepth over ShedDepth) or the
+//     session hits MaxStreams.
 type Websockify struct {
 	listener net.Listener
 	target   string
+	opts     GatewayOptions
 	wg       sync.WaitGroup
-	mu       sync.Mutex
-	closed   bool
+
+	mu         sync.Mutex
+	closed     bool
+	inj        *faultfs.Injector
+	plainConns int64
+	muxConns   int64
+	paused     bool
+	pauses     int64
+	retired    MuxStats // counters of closed mux sessions
+	sessions   map[*Mux]struct{}
 
 	tel *proxyTelemetry
-	inj *faultfs.Injector
+}
+
+// GatewayOptions configures NewGateway. The zero value is a plain
+// websockify: 64 KiB windows, 1024 streams per session, no shedding,
+// no faults, no telemetry.
+type GatewayOptions struct {
+	// Window is the per-stream receive window advertised to clients
+	// (bytes); 0 means 64 KiB.
+	Window int
+	// MaxStreams caps concurrently open streams per session; a SYN
+	// past it is shed. 0 means 1024.
+	MaxStreams int
+	// ShedDepth is the QueueDepth reading past which new streams are
+	// refused with RST(EAGAIN) and open streams stop earning credit.
+	// 0 disables depth-based shedding.
+	ShedDepth int
+	// QueueDepth reports the owning tenant's event-loop run-queue
+	// depth (core.Runtime.QueueDepth is safe cross-goroutine). Nil
+	// disables depth-based shedding.
+	QueueDepth func() int
+	// RTO overrides the mux retransmission timeout (0 = 50 ms).
+	RTO time.Duration
+	// DisableMux serves every path in plain one-stream-per-connection
+	// mode, MuxPath included — the -mux=false escape hatch for
+	// debugging against clients that cannot speak the framing.
+	DisableMux bool
+	// Hub, when non-nil, receives gateway counters ("websockify") and
+	// mux counters ("sockmux").
+	Hub *telemetry.Hub
+	// Faults arms deterministic fault injection on the data path at
+	// construction (SetFaults can retoggle it at runtime).
+	Faults faultfs.Plan
+	// Listener overrides the TCP listen (sockload's in-memory
+	// transport); when set, listenAddr is ignored.
+	Listener net.Listener
+	// Dial overrides how the gateway reaches the target (in-memory
+	// transport again); nil means net.Dial("tcp", target).
+	Dial func(target string) (net.Conn, error)
 }
 
 // proxyTelemetry holds the proxy-side metric handles; all counters are
@@ -38,17 +95,11 @@ type proxyTelemetry struct {
 	flight      *telemetry.FlightRecorder
 }
 
-// SetTelemetry attaches an observability hub to the proxy (nil
-// detaches). Connections already past their handshake keep their
-// previous telemetry state.
-func (w *Websockify) SetTelemetry(h *telemetry.Hub) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+func newProxyTelemetry(h *telemetry.Hub) *proxyTelemetry {
 	if h == nil {
-		w.tel = nil
-		return
+		return nil
 	}
-	w.tel = &proxyTelemetry{
+	return &proxyTelemetry{
 		connections: h.Registry.Counter("websockify", "connections"),
 		framesIn:    h.Registry.Counter("websockify", "frames_in"),
 		bytesIn:     h.Registry.Counter("websockify", "bytes_in"),
@@ -59,9 +110,45 @@ func (w *Websockify) SetTelemetry(h *telemetry.Hub) {
 	}
 }
 
-// SetFaults arms deterministic fault injection on the proxy's data
-// path (a plan that cannot inject disarms it). Faults apply per frame,
-// in both directions, reusing the VFS fault model's kinds:
+// NewGateway starts a gateway on listenAddr (or opts.Listener)
+// forwarding every stream to the TCP server at target.
+func NewGateway(listenAddr, target string, opts GatewayOptions) (*Websockify, error) {
+	ln := opts.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", listenAddr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w := &Websockify{
+		listener: ln,
+		target:   target,
+		opts:     opts,
+		tel:      newProxyTelemetry(opts.Hub),
+		sessions: make(map[*Mux]struct{}),
+	}
+	if opts.Faults.Enabled() {
+		w.inj = faultfs.New(opts.Faults)
+	}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	if opts.QueueDepth != nil && opts.ShedDepth > 0 {
+		w.wg.Add(1)
+		go w.overloadLoop()
+	}
+	return w, nil
+}
+
+// NewWebsockify starts a zero-config gateway — the classic proxy.
+func NewWebsockify(listenAddr, target string) (*Websockify, error) {
+	return NewGateway(listenAddr, target, GatewayOptions{})
+}
+
+// SetFaults toggles deterministic fault injection on the data path at
+// runtime (a plan that cannot inject disarms it) — the chaos lever the
+// reconnect tests flip mid-run. Faults apply per data frame, in both
+// directions, reusing the VFS fault model's kinds. In plain mode:
 //
 //   - ErrPre drops the frame on the floor — it is never forwarded, the
 //     silent loss a reconnecting client's heartbeat must catch.
@@ -70,8 +157,12 @@ func (w *Websockify) SetTelemetry(h *telemetry.Hub) {
 //   - Short truncates the frame's payload to Keep of its bytes.
 //   - A latency spike stalls the pump before forwarding.
 //
-// Connections already past their handshake keep their previous
-// injector.
+// In mux mode faults hit only DATA frames (the data plane): ErrPre
+// and ErrPost drop the frame, Short truncates its payload below its
+// declared length — both of which go-back-N detects and repairs.
+// Control frames (SYN/ACK/CREDIT/FIN/RST) are the reliable plane and
+// pass untouched. Connections already past their handshake keep their
+// previous injector.
 func (w *Websockify) SetFaults(plan faultfs.Plan) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -94,31 +185,94 @@ func (w *Websockify) FaultStats() faultfs.Stats {
 	return inj.Stats()
 }
 
-// NewWebsockify starts a proxy listening on listenAddr (use
-// "127.0.0.1:0" for an ephemeral port) that forwards each WebSocket
-// connection to the TCP server at target.
-func NewWebsockify(listenAddr, target string) (*Websockify, error) {
-	ln, err := net.Listen("tcp", listenAddr)
-	if err != nil {
-		return nil, err
-	}
-	w := &Websockify{listener: ln, target: target}
-	w.wg.Add(1)
-	go w.acceptLoop()
-	return w, nil
-}
-
-// Addr returns the proxy's listen address.
+// Addr returns the gateway's listen address.
 func (w *Websockify) Addr() string { return w.listener.Addr().String() }
 
-// Close stops accepting and tears down the listener.
+// LiveStreams counts open mux streams across all live sessions — the
+// standalone gateway's load signal when no tenant run queue exists.
+func (w *Websockify) LiveStreams() int {
+	w.mu.Lock()
+	sessions := make([]*Mux, 0, len(w.sessions))
+	for m := range w.sessions {
+		sessions = append(sessions, m)
+	}
+	w.mu.Unlock()
+	n := 0
+	for _, m := range sessions {
+		n += m.StreamCount()
+	}
+	return n
+}
+
+// Close stops accepting and tears down the listener and all sessions.
 func (w *Websockify) Close() error {
 	w.mu.Lock()
 	w.closed = true
+	sessions := make([]*Mux, 0, len(w.sessions))
+	for m := range w.sessions {
+		sessions = append(sessions, m)
+	}
 	w.mu.Unlock()
 	err := w.listener.Close()
+	for _, m := range sessions {
+		m.CloseSession(nil)
+	}
 	w.wg.Wait()
 	return err
+}
+
+// overloaded reports whether the owning tenant is past the shed
+// threshold right now.
+func (w *Websockify) overloaded() bool {
+	if w.opts.QueueDepth == nil || w.opts.ShedDepth <= 0 {
+		return false
+	}
+	return w.opts.QueueDepth() > w.opts.ShedDepth
+}
+
+// overloadLoop applies backpressure to *open* streams: while the
+// tenant's loop is past ShedDepth, every stream's credit is withheld
+// (senders run out of window and stall); on recovery the accumulated
+// credit is released. New SYNs are shed in handleSyn independently.
+func (w *Websockify) overloadLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for range t.C {
+		// The depth callback is caller-supplied and may take locks of
+		// its own — the standalone gateway's is LiveStreams, which
+		// takes w.mu — so it must be sampled before w.mu is held.
+		over := w.overloaded()
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return
+		}
+		changed := over != w.paused
+		if changed {
+			w.paused = over
+			if over {
+				w.pauses++
+			}
+		}
+		sessions := make([]*Mux, 0, len(w.sessions))
+		for m := range w.sessions {
+			sessions = append(sessions, m)
+		}
+		w.mu.Unlock()
+		if !changed {
+			continue
+		}
+		for _, m := range sessions {
+			m.ForEachStream(func(st *MuxStream) {
+				if over {
+					st.PauseCredit()
+				} else {
+					st.ResumeCredit()
+				}
+			})
+		}
+	}
 }
 
 func (w *Websockify) acceptLoop() {
@@ -130,6 +284,13 @@ func (w *Websockify) acceptLoop() {
 		}
 		go w.serve(conn)
 	}
+}
+
+func (w *Websockify) dialTarget() (net.Conn, error) {
+	if w.opts.Dial != nil {
+		return w.opts.Dial(w.target)
+	}
+	return net.Dial("tcp", w.target)
 }
 
 // applyFault draws one decision for a frame payload heading through
@@ -154,6 +315,26 @@ func applyFault(inj *faultfs.Injector, op string, payload []byte) (out []byte, f
 	return payload, true, false
 }
 
+// applyMuxFault faults the data plane of a mux frame already split
+// into header and payload: drop (skip the send), or truncate the
+// payload below its declared length. Control frames pass untouched.
+func applyMuxFault(inj *faultfs.Injector, op string, hdr, payload []byte) (out []byte, forward bool) {
+	if inj == nil || len(hdr) < MuxHeaderLen || hdr[4] != muxData {
+		return payload, true
+	}
+	ft := inj.Next(op)
+	if ft.Delay > 0 {
+		time.Sleep(ft.Delay)
+	}
+	switch ft.Kind {
+	case faultfs.ErrPre, faultfs.ErrPost:
+		return nil, false
+	case faultfs.Short:
+		return payload[:int(float64(len(payload))*ft.Keep)], true
+	}
+	return payload, true
+}
+
 func (w *Websockify) serve(wsConn net.Conn) {
 	defer wsConn.Close()
 	w.mu.Lock()
@@ -164,7 +345,7 @@ func (w *Websockify) serve(wsConn net.Conn) {
 	if tel != nil {
 		hsStart = time.Now()
 	}
-	_, br, err := ServerHandshake(wsConn)
+	path, br, err := ServerHandshake(wsConn)
 	if err != nil {
 		return
 	}
@@ -174,7 +355,160 @@ func (w *Websockify) serve(wsConn net.Conn) {
 		tel.connections.Inc()
 		tel.flight.Record("sock", "conn", peer, 0)
 	}
-	tcpConn, err := net.Dial("tcp", w.target)
+	if path == MuxPath && !w.opts.DisableMux {
+		w.serveMux(wsConn, br, inj)
+		return
+	}
+	w.servePlain(wsConn, br, tel, inj)
+}
+
+// ---- mux mode ----
+
+func (w *Websockify) serveMux(wsConn net.Conn, br io.Reader, inj *faultfs.Injector) {
+	w.mu.Lock()
+	w.muxConns++
+	w.mu.Unlock()
+	var m *Mux
+	m = NewMux(MuxConfig{
+		Window:     w.opts.Window,
+		MaxStreams: w.opts.MaxStreams,
+		RTO:        w.opts.RTO,
+		Hub:        w.opts.Hub,
+		Send: func(hdr, payload []byte) error {
+			out, forward := applyMuxFault(inj, "tcp2ws", hdr, payload)
+			if !forward {
+				return nil
+			}
+			return WriteBinaryFrame(wsConn, hdr, out)
+		},
+		AcceptStream: func(st *MuxStream) {
+			// Admission control: a tenant past the shed threshold
+			// refuses the stream outright — RST(EAGAIN), which
+			// classifies transient so well-behaved clients back off
+			// and redial.
+			if w.overloaded() {
+				st.Reject(vfs.EAGAIN)
+				return
+			}
+			go w.bridgeStream(st)
+		},
+	})
+	w.mu.Lock()
+	w.sessions[m] = struct{}{}
+	w.mu.Unlock()
+
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			break
+		}
+		switch f.Op {
+		case OpClose:
+			WriteFrame(wsConn, &Frame{Fin: true, Op: OpClose})
+			goto done
+		case OpPing:
+			WriteFrame(wsConn, &Frame{Fin: true, Op: OpPong, Payload: f.Payload})
+		case OpBinary:
+			payload := f.Payload
+			if len(payload) >= MuxHeaderLen && MuxIsData(payload) {
+				hdr := payload[:MuxHeaderLen]
+				data, forward := applyMuxFault(inj, "ws2tcp", hdr, payload[MuxHeaderLen:])
+				if !forward {
+					continue
+				}
+				if len(data) != len(payload)-MuxHeaderLen {
+					payload = append(append([]byte{}, hdr...), data...)
+				}
+			}
+			m.HandleFrame(payload)
+		}
+	}
+done:
+	stats := m.Stats()
+	m.CloseSession(nil)
+	w.mu.Lock()
+	delete(w.sessions, m)
+	w.muxConns--
+	w.retired.Add(stats)
+	w.mu.Unlock()
+}
+
+// bridgeStream connects one accepted mux stream to the TCP target and
+// pumps both directions until either side finishes.
+func (w *Websockify) bridgeStream(st *MuxStream) {
+	tcp, err := w.dialTarget()
+	if err != nil {
+		st.Reject(vfs.ECONNREFUSED)
+		return
+	}
+	st.Accept()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// stream → TCP.
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 16<<10)
+		for {
+			n, err := st.ReadBlocking(buf)
+			if n > 0 {
+				if _, werr := tcp.Write(buf[:n]); werr != nil {
+					st.Reset(vfs.ECONNRESET)
+					tcp.Close()
+					return
+				}
+			}
+			if err != nil {
+				if err == io.EOF {
+					// Client finished sending: half-close toward the
+					// target so its reply can still drain back.
+					type closeWriter interface{ CloseWrite() error }
+					if cw, ok := tcp.(closeWriter); ok {
+						cw.CloseWrite()
+					} else {
+						tcp.Close()
+					}
+				} else {
+					tcp.Close()
+				}
+				return
+			}
+		}
+	}()
+	// TCP → stream.
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := tcp.Read(buf)
+		if n > 0 {
+			if werr := st.WriteBlocking(buf[:n]); werr != nil {
+				tcp.Close()
+				break
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				st.Close()
+			} else {
+				st.Reset(vfs.ECONNRESET)
+			}
+			break
+		}
+	}
+	wg.Wait()
+	tcp.Close()
+}
+
+// ---- plain mode (classic websockify) ----
+
+func (w *Websockify) servePlain(wsConn net.Conn, br io.Reader, tel *proxyTelemetry, inj *faultfs.Injector) {
+	w.mu.Lock()
+	w.plainConns++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.plainConns--
+		w.mu.Unlock()
+	}()
+	tcpConn, err := w.dialTarget()
 	if err != nil {
 		f := &Frame{Fin: true, Op: OpClose}
 		WriteFrame(wsConn, f)
@@ -250,4 +584,45 @@ func (w *Websockify) serve(wsConn net.Conn) {
 		}
 	}()
 	<-done
+}
+
+// GatewaySnapshot is the gateway's state for /debug/sock.
+type GatewaySnapshot struct {
+	Target     string        `json:"target"`
+	PlainConns int64         `json:"plain_conns"`
+	MuxConns   int64         `json:"mux_conns"`
+	Paused     bool          `json:"paused"` // shedding backpressure right now
+	Pauses     int64         `json:"pauses"` // times the gateway entered pause
+	Stats      MuxStats      `json:"stats"`  // live + retired sessions
+	Sessions   []MuxSnapshot `json:"sessions"`
+	Faults     faultfs.Stats `json:"faults"`
+}
+
+// Snapshot captures per-session stream windows and the shed/reset
+// counters — the /debug/sock source.
+func (w *Websockify) Snapshot() GatewaySnapshot {
+	w.mu.Lock()
+	snap := GatewaySnapshot{
+		Target:     w.target,
+		PlainConns: w.plainConns,
+		MuxConns:   w.muxConns,
+		Paused:     w.paused,
+		Pauses:     w.pauses,
+		Stats:      w.retired,
+	}
+	sessions := make([]*Mux, 0, len(w.sessions))
+	for m := range w.sessions {
+		sessions = append(sessions, m)
+	}
+	inj := w.inj
+	w.mu.Unlock()
+	for _, m := range sessions {
+		ms := m.Snapshot()
+		snap.Sessions = append(snap.Sessions, ms)
+		snap.Stats.Add(ms.Stats)
+	}
+	if inj != nil {
+		snap.Faults = inj.Stats()
+	}
+	return snap
 }

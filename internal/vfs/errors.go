@@ -51,6 +51,16 @@ const (
 	EINTR     Errno = "EINTR"
 	ESRCH     Errno = "ESRCH"
 	EMFILE    Errno = "EMFILE"
+
+	// The connection errnos carried by the socket layer (§5.3): a
+	// refused dial, a reset transport, and a peer that violated the
+	// mux framing protocol. They live here so the gateway's stream
+	// errors classify through the same Classify/Transient machinery
+	// as VFS errnos — shed and reset streams retry, protocol
+	// violations and refused dials are final.
+	ECONNREFUSED Errno = "ECONNREFUSED"
+	ECONNRESET   Errno = "ECONNRESET"
+	EPROTO       Errno = "EPROTO"
 )
 
 // Transient reports whether the errno describes a failure that may
@@ -65,9 +75,15 @@ const (
 // the retry layer encodes. The other process errnos are final: a
 // broken pipe stays broken (EPIPE), a child that does not exist will
 // not appear by retrying (ECHILD), and neither will a dead pid (ESRCH).
+// Of the connection errnos, only ECONNRESET is transient: the peer was
+// there and the link died, so redialing is worthwhile. A refused dial
+// means nothing is listening, and a protocol violation will repeat
+// itself byte-for-byte — both final. A shed stream surfaces as EAGAIN,
+// already transient, which is exactly the invitation to back off and
+// retry that shedding intends.
 func (e Errno) Transient() bool {
 	switch e {
-	case EIO, EAGAIN, ETIMEDOUT, EINTR:
+	case EIO, EAGAIN, ETIMEDOUT, EINTR, ECONNRESET:
 		return true
 	}
 	return false
@@ -90,6 +106,15 @@ func Classify(err error) (Errno, bool) {
 	var de *core.DeadlineError
 	if errors.As(err, &de) {
 		return ETIMEDOUT, true
+	}
+	// Any other error carrying an errno — the socket layer's DialError
+	// and StreamError implement this — classifies through the same
+	// switchboard, so retry.Policy treats a shed stream (EAGAIN) or a
+	// reset transport (ECONNRESET) as transient and a refused dial or
+	// protocol violation as final without importing sockets here.
+	var ec interface{ Errno() Errno }
+	if errors.As(err, &ec) {
+		return ec.Errno(), true
 	}
 	return "", false
 }
@@ -162,6 +187,12 @@ func errnoText(e Errno) string {
 		return "no such process"
 	case EMFILE:
 		return "too many open files"
+	case ECONNREFUSED:
+		return "connection refused"
+	case ECONNRESET:
+		return "connection reset by peer"
+	case EPROTO:
+		return "protocol error"
 	}
 	return "unknown error"
 }
