@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"syscall"
 	"time"
 
@@ -67,9 +68,24 @@ func IsRefused(err error) bool {
 // fallback; we model the shim as extra per-message latency.
 type WebSocket struct {
 	loop *eventloop.Loop
-	conn net.Conn
 	path string
 	shim time.Duration // per-message Flash shim latency (0 = native)
+
+	// connMu guards conn's assignment: the connect goroutine installs
+	// it mid-handshake, and Close may read it at any time (including
+	// before the open event). Post-open readers (Send, Ping, the
+	// reader pump) are ordered after the assignment by the open
+	// event's delivery and need no lock.
+	connMu sync.Mutex
+	conn   net.Conn
+
+	// wmu serializes every frame written to conn. Writers live on
+	// different goroutines — Send/Ping on the event loop, SendParts on
+	// the mux session's writer, the auto-pong on the reader pump — and
+	// net.Conn.Write may split one frame across several syscalls under
+	// backpressure, so unserialized writers could interleave mid-frame
+	// and desync the WS byte stream.
+	wmu sync.Mutex
 
 	// OnOpen, OnMessage, OnError and OnClose are the DOM event
 	// handlers; assign them before Dial completes the handshake.
@@ -191,7 +207,9 @@ func (ws *WebSocket) connect(addr string) {
 		hsSpan.End()
 		tel.handshake.ObserveSince(hsStart)
 	}
+	ws.connMu.Lock()
 	ws.conn = conn
+	ws.connMu.Unlock()
 	ws.emit("ws-open", func() {
 		if ws.closeRequested {
 			// Close raced the handshake: finish the teardown it could
@@ -218,7 +236,9 @@ func (ws *WebSocket) connect(addr string) {
 		case OpPing:
 			pong := &Frame{Fin: true, Op: OpPong, Masked: true, Payload: f.Payload}
 			rand.Read(pong.MaskKey[:])
+			ws.wmu.Lock()
 			WriteFrame(ws.conn, pong)
+			ws.wmu.Unlock()
 		case OpPong:
 			data := f.Payload
 			ws.emit("ws-pong", func() {
@@ -261,6 +281,8 @@ func (ws *WebSocket) Send(data []byte) error {
 	if _, err := rand.Read(f.MaskKey[:]); err != nil {
 		return err
 	}
+	ws.wmu.Lock()
+	defer ws.wmu.Unlock()
 	return WriteFrame(ws.conn, f)
 }
 
@@ -281,6 +303,8 @@ func (ws *WebSocket) SendParts(parts ...[]byte) error {
 		tel.framesOut.Inc()
 		tel.bytesOut.Add(int64(n))
 	}
+	ws.wmu.Lock()
+	defer ws.wmu.Unlock()
 	return WriteBinaryFrame(ws.conn, parts...)
 }
 
@@ -295,6 +319,8 @@ func (ws *WebSocket) Ping(payload []byte) error {
 	if _, err := rand.Read(f.MaskKey[:]); err != nil {
 		return err
 	}
+	ws.wmu.Lock()
+	defer ws.wmu.Unlock()
 	return WriteFrame(ws.conn, f)
 }
 
@@ -302,11 +328,20 @@ func (ws *WebSocket) Ping(payload []byte) error {
 // before the handshake finishes is honored once it does.
 func (ws *WebSocket) Close() error {
 	ws.closeRequested = true
-	if ws.conn == nil {
+	ws.connMu.Lock()
+	conn := ws.conn
+	ws.connMu.Unlock()
+	if conn == nil {
 		return nil
 	}
-	f := &Frame{Fin: true, Op: OpClose, Masked: true}
-	rand.Read(f.MaskKey[:])
-	WriteFrame(ws.conn, f)
-	return ws.conn.Close()
+	// TryLock: if another writer is wedged mid-frame on a dead peer,
+	// skip the courtesy close frame — the conn.Close below is what
+	// unblocks that writer, and waiting for it here would deadlock.
+	if ws.wmu.TryLock() {
+		f := &Frame{Fin: true, Op: OpClose, Masked: true}
+		rand.Read(f.MaskKey[:])
+		WriteFrame(conn, f)
+		ws.wmu.Unlock()
+	}
+	return conn.Close()
 }

@@ -292,10 +292,11 @@ func stateName(s int) string {
 
 // MuxStream is one logical byte stream within a session.
 type MuxStream struct {
-	m     *Mux
-	id    uint32
-	state int
-	err   *StreamError
+	m      *Mux
+	id     uint32
+	remote bool // opened by a peer SYN (vs locally via Open)
+	state  int
+	err    *StreamError
 
 	// Sender: sendBuf holds written bytes not yet acknowledged;
 	// sendBase is the stream offset of sendBuf[0]; the first sentLen
@@ -359,6 +360,17 @@ func (m *Mux) writeLoop() {
 		m.outQ = nil
 		m.mu.Unlock()
 		for _, f := range batch {
+			// Re-check liveness per frame: after CloseSession an
+			// already-dequeued batch must stop writing — on a
+			// reconnecting client the transport may by now belong to
+			// the *successor* session, and stale frames with recycled
+			// stream ids would corrupt it.
+			m.mu.Lock()
+			dead := m.dead
+			m.mu.Unlock()
+			if dead {
+				return
+			}
 			if err := m.cfg.Send(f.hdr, f.payload); err != nil {
 				m.fail(err)
 				return
@@ -462,6 +474,12 @@ func (m *Mux) Open() (*MuxStream, error) {
 	defer m.mu.Unlock()
 	if m.dead {
 		return nil, &StreamError{Code: vfs.ECONNRESET}
+	}
+	// Skip ids already taken by peer-opened streams: both endpoints
+	// allocate from one space, so without this a symmetric session
+	// (both sides calling Open) would silently collide.
+	for m.nextID == 0 || m.streams[m.nextID] != nil {
+		m.nextID++
 	}
 	st := &MuxStream{m: m, id: m.nextID, state: stSynSent}
 	m.nextID++
@@ -905,8 +923,18 @@ func (m *Mux) HandleFrame(b []byte) {
 
 // handleSyn admits or sheds an incoming stream. Lock held.
 func (m *Mux) handleSyn(id uint32, window uint32) []func() {
-	if _, dup := m.streams[id]; dup {
-		return nil // retransmitted SYN; control frames are reliable, ignore
+	if dup := m.streams[id]; dup != nil {
+		if dup.remote {
+			return nil // retransmitted SYN; control frames are reliable, ignore
+		}
+		// The peer's SYN collides with a stream *we* opened: both
+		// sides are allocating from the same id space. Reject loudly
+		// as a protocol violation instead of silently treating it as
+		// a retransmit and desyncing the two endpoints' stream maps.
+		m.enqueue(muxHeader(id, muxRst, rstProto, 0), nil)
+		m.stats.Resets++
+		m.tel.resets.Inc()
+		return nil
 	}
 	if m.cfg.AcceptStream == nil {
 		m.enqueue(muxHeader(id, muxRst, rstRefused, 0), nil)
@@ -919,7 +947,7 @@ func (m *Mux) handleSyn(id uint32, window uint32) []func() {
 		m.tel.shed.Inc()
 		return nil
 	}
-	st := &MuxStream{m: m, id: id, state: stSynRecv}
+	st := &MuxStream{m: m, id: id, remote: true, state: stSynRecv}
 	st.sw.grant(int(window))
 	m.streams[id] = st
 	m.tel.streams.Inc()

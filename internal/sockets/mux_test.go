@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -481,6 +482,232 @@ func TestMuxRefusedTarget(t *testing.T) {
 	var se *StreamError
 	if !errors.As(dialErr, &se) || se.Code != vfs.ECONNREFUSED {
 		t.Fatalf("dial error = %v, want StreamError(ECONNREFUSED)", dialErr)
+	}
+}
+
+// TestMuxHeartbeatConcurrentWriters pins write serialization on both
+// ends of a mux session: heartbeat pings fire on the event loop while
+// the mux session's writer goroutine sends data frames on the same
+// WebSocket, and the gateway's reader answers those pings while its
+// session writer streams data back. Before the conn writers were
+// serialized, a ping or pong could land mid-data-frame (net.Conn.Write
+// splits frames across syscalls under backpressure) and desync the WS
+// framing layer; the client's transport handle was also read off-loop
+// without synchronization, which -race trips on here.
+func TestMuxHeartbeatConcurrentWriters(t *testing.T) {
+	echoAddr, stopEcho := startEchoServer(t)
+	defer stopEcho()
+	gw, err := NewWebsockify("127.0.0.1:0", echoAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	const (
+		nStreams = 4
+		total    = 16 << 10
+		chunk    = 512
+	)
+	w := browser.NewWindow(browser.Chrome28)
+	var rws *ReconnectingWS
+	w.Loop.Post("main", func() {
+		rws = NewReconnectingWS(w, gw.Addr(), ReconnectOptions{
+			HeartbeatInterval: time.Millisecond,
+			HeartbeatTimeout:  10 * time.Second, // never declare the conn dead mid-test
+			Path:              MuxPath,
+		})
+		var m *Mux
+		rws.OnMessage = func(data []byte) {
+			if m != nil {
+				m.HandleFrame(data)
+			}
+		}
+		rws.OnOpen = func(bool) {
+			// The small window keeps credit and data frames flowing for
+			// the whole transfer, maximizing overlap with the pings.
+			m = NewMux(MuxConfig{
+				Window: 1 << 10,
+				RTO:    20 * time.Millisecond,
+				Send:   func(hdr, payload []byte) error { return rws.SendParts(hdr, payload) },
+			})
+			go func() {
+				var wg sync.WaitGroup
+				for i := 0; i < nStreams; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						st, err := m.Open()
+						if err != nil {
+							t.Errorf("stream %d: open: %v", i, err)
+							return
+						}
+						if err := st.WaitOpen(); err != nil {
+							t.Errorf("stream %d: wait open: %v", i, err)
+							return
+						}
+						want := streamPattern(i, total)
+						go func() {
+							// A write error means the stream died; the
+							// reader below sees the same error and reports.
+							for off := 0; off < total; off += chunk {
+								end := off + chunk
+								if end > total {
+									end = total
+								}
+								if st.WriteBlocking(want[off:end]) != nil {
+									return
+								}
+							}
+						}()
+						got := make([]byte, 0, total)
+						buf := make([]byte, 4096)
+						for len(got) < total {
+							n, err := st.ReadBlocking(buf)
+							if err != nil {
+								t.Errorf("stream %d: read after %d bytes: %v", i, len(got), err)
+								return
+							}
+							got = append(got, buf[:n]...)
+						}
+						if !bytes.Equal(got, want) {
+							t.Errorf("stream %d: transcript corrupted", i)
+						}
+					}(i)
+				}
+				wg.Wait()
+				w.Loop.InvokeExternal("test-shutdown", func() {
+					m.CloseSession(nil)
+					rws.Close()
+				})
+			}()
+		}
+	})
+	if err := w.Loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := rws.Stats()
+	if stats.Heartbeats == 0 {
+		t.Error("no heartbeats fired during the transfer — ping and mux writes never overlapped")
+	}
+	if stats.HeartbeatTimeouts != 0 {
+		t.Errorf("%d heartbeat timeouts — pongs were lost or corrupted", stats.HeartbeatTimeouts)
+	}
+}
+
+// TestMuxSynCollision pins the symmetric-API id-space guards: Open
+// skips ids held by peer-opened streams, and a peer SYN colliding with
+// a locally opened stream is rejected with RST(EPROTO) instead of
+// being silently ignored as a retransmit.
+func TestMuxSynCollision(t *testing.T) {
+	acceptCh := make(chan *MuxStream, 4)
+	var cl, sv *Mux
+	sv = NewMux(MuxConfig{
+		Window: 4 << 10,
+		RTO:    10 * time.Millisecond,
+		AcceptStream: func(st *MuxStream) {
+			st.Accept()
+			acceptCh <- st
+		},
+		Send: func(hdr, payload []byte) error {
+			cl.HandleFrame(append(append([]byte{}, hdr...), payload...))
+			return nil
+		},
+	})
+	cl = NewMux(MuxConfig{
+		Window: 4 << 10,
+		RTO:    10 * time.Millisecond,
+		AcceptStream: func(st *MuxStream) {
+			st.Accept()
+			acceptCh <- st
+		},
+		Send: func(hdr, payload []byte) error {
+			sv.HandleFrame(append(append([]byte{}, hdr...), payload...))
+			return nil
+		},
+	})
+	defer cl.CloseSession(nil)
+	defer sv.CloseSession(nil)
+
+	// Client opens stream 1; once WaitOpen returns, the server has a
+	// peer-opened stream 1 in its map.
+	stC, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stC.WaitOpen(); err != nil {
+		t.Fatal(err)
+	}
+	svRemote := <-acceptCh
+
+	// The server now opens its own stream: it must skip id 1.
+	stS, err := sv.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stS.ID() == stC.ID() {
+		t.Fatalf("server Open allocated id %d, colliding with the peer-opened stream", stS.ID())
+	}
+	if err := stS.WaitOpen(); err != nil {
+		t.Fatal(err)
+	}
+	<-acceptCh
+
+	before := cl.StreamCount()
+	// A buggy peer SYN colliding with the client's locally opened
+	// stream 1 — injected directly, as if both sides allocated id 1.
+	cl.HandleFrame(muxHeader(stC.ID(), muxSyn, 1024, 0))
+	if got := cl.StreamCount(); got != before {
+		t.Errorf("colliding SYN changed the stream map: %d -> %d streams", before, got)
+	}
+	// The RST(EPROTO) reply kills the sender's stream with a protocol
+	// error, not a silent desync.
+	buf := make([]byte, 8)
+	if _, err := svRemote.ReadBlocking(buf); !vfs.IsErrno(err, vfs.EPROTO) {
+		t.Fatalf("peer stream error after colliding SYN = %v, want EPROTO", err)
+	}
+}
+
+// TestGatewayCloseWaitsForConnections pins the teardown contract:
+// Close tears down live connections (not just the listener) and waits
+// for every per-connection handler to exit, so no serve goroutine is
+// still mutating gateway state after it returns.
+func TestGatewayCloseWaitsForConnections(t *testing.T) {
+	echoAddr, stopEcho := startEchoServer(t)
+	defer stopEcho()
+	gw, err := NewWebsockify("127.0.0.1:0", echoAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw mux client that completes the handshake and then idles —
+	// its handler is parked in ReadFrame when Close runs.
+	conn, err := net.Dial("tcp", gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := ClientHandshake(conn, gw.Addr(), MuxPath); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for gw.Snapshot().MuxConns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never registered the mux connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- gw.Close() }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung with an idle live connection")
+	}
+	// Close waited for the handler, so its teardown bookkeeping is
+	// complete — not merely in flight.
+	if n := gw.Snapshot().MuxConns; n != 0 {
+		t.Errorf("MuxConns = %d after Close returned, want 0", n)
 	}
 }
 

@@ -2,6 +2,7 @@ package sockets
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"doppio/internal/browser"
@@ -62,7 +63,10 @@ type ReconnectStats struct {
 // transport the fault injector models.
 //
 // All callbacks fire on the window's event loop, and all methods must
-// be called from it (or before Loop.Run starts).
+// be called from it (or before Loop.Run starts) — except Send,
+// SendParts, and Connected, which are safe from any goroutine: the mux
+// session's writer calls them off-loop while reconnects mutate the
+// transport on the loop.
 type ReconnectingWS struct {
 	// OnOpen fires each time a connection reaches the open state;
 	// reconnected is false only for the first open.
@@ -82,11 +86,16 @@ type ReconnectingWS struct {
 	opts ReconnectOptions
 	rnd  func() float64
 
+	// stateMu guards ws, open, and closed: all three are mutated on
+	// the event loop (dial, open/close events, Close) and read from
+	// the mux writer goroutine via Send/SendParts/Connected.
+	stateMu    sync.Mutex
 	ws         *WebSocket
 	open       bool
-	everOpened bool
 	closed     bool
-	attempt    int // failed dials in the current outage
+
+	everOpened bool // loop thread only
+	attempt    int  // failed dials in the current outage
 	lastErr    error
 
 	hbPing, hbWatch       eventloop.TimerID
@@ -146,27 +155,48 @@ func (r *ReconnectingWS) Stats() ReconnectStats {
 	}
 }
 
-// Connected reports whether a connection is currently open.
-func (r *ReconnectingWS) Connected() bool { return r.open && !r.closed }
+// Connected reports whether a connection is currently open. Safe from
+// any goroutine.
+func (r *ReconnectingWS) Connected() bool {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	return r.open && !r.closed
+}
+
+// transport returns the live WebSocket, or nil between connections.
+// The handle is read under stateMu so a redial reassigning r.ws on the
+// loop cannot race a sender on another goroutine; the returned socket
+// may still be torn down concurrently, in which case its own writes
+// fail and the caller sees an ordinary send error.
+func (r *ReconnectingWS) transport() *WebSocket {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	if !r.open || r.closed || r.ws == nil {
+		return nil
+	}
+	return r.ws
+}
 
 // Send transmits data on the current connection, or fails with
 // ErrNotConnected between connections (callers may buffer and resend
-// from OnOpen).
+// from OnOpen). Safe from any goroutine.
 func (r *ReconnectingWS) Send(data []byte) error {
-	if !r.Connected() {
+	ws := r.transport()
+	if ws == nil {
 		return ErrNotConnected
 	}
-	return r.ws.Send(data)
+	return ws.Send(data)
 }
 
 // SendParts transmits one unmasked frame in a single writev (the mux
 // hot path; see WebSocket.SendParts), or fails with ErrNotConnected
-// between connections.
+// between connections. Safe from any goroutine.
 func (r *ReconnectingWS) SendParts(parts ...[]byte) error {
-	if !r.Connected() {
+	ws := r.transport()
+	if ws == nil {
 		return ErrNotConnected
 	}
-	return r.ws.SendParts(parts...)
+	return ws.SendParts(parts...)
 }
 
 // Close shuts the client down for good: no further redials, heartbeats
@@ -175,7 +205,9 @@ func (r *ReconnectingWS) Close() error {
 	if r.closed {
 		return nil
 	}
+	r.stateMu.Lock()
 	r.closed = true
+	r.stateMu.Unlock()
 	r.stopHeartbeat()
 	if r.ws != nil {
 		// Safe even mid-handshake: WebSocket.Close finishes the
@@ -192,14 +224,18 @@ func (r *ReconnectingWS) dial() {
 		path = "/"
 	}
 	ws := DialWebSocketPath(r.win, r.addr, path)
+	r.stateMu.Lock()
 	r.ws = ws
+	r.stateMu.Unlock()
 	ws.OnOpen = func() {
 		if r.closed {
 			ws.Close()
 			return
 		}
 		reconnected := r.everOpened
+		r.stateMu.Lock()
 		r.open = true
+		r.stateMu.Unlock()
 		r.everOpened = true
 		r.attempt = 0
 		r.opens.Inc()
@@ -224,7 +260,9 @@ func (r *ReconnectingWS) dial() {
 	ws.OnClose = func() {
 		r.stopHeartbeat()
 		wasOpen := r.open
+		r.stateMu.Lock()
 		r.open = false
+		r.stateMu.Unlock()
 		if r.closed {
 			return
 		}
@@ -300,14 +338,21 @@ func (r *ReconnectingWS) heartbeat() {
 	if timeout <= 0 {
 		timeout = r.opts.HeartbeatInterval
 	}
-	r.hbWatch = r.loop.SetTimeout(func() {
-		r.hasWatch = false
-		if r.pongPending && r.open && !r.closed {
-			r.hbExpired.Inc()
-			r.dropDead(errHeartbeatTimeout)
-		}
-	}, timeout)
-	r.hasWatch = true
+	// One watchdog outstanding at a time: arming a fresh one per ping
+	// would pile up a live timer per beat whenever timeout > interval
+	// (keeping the loop busy for a full timeout after Close, since
+	// stopHeartbeat can only clear the latest), and a missed pong is
+	// still caught within interval+timeout by the next arm.
+	if !r.hasWatch {
+		r.hbWatch = r.loop.SetTimeout(func() {
+			r.hasWatch = false
+			if r.pongPending && r.open && !r.closed {
+				r.hbExpired.Inc()
+				r.dropDead(errHeartbeatTimeout)
+			}
+		}, timeout)
+		r.hasWatch = true
+	}
 	r.startHeartbeat()
 }
 

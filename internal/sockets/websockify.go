@@ -41,6 +41,7 @@ type Websockify struct {
 	pauses     int64
 	retired    MuxStats // counters of closed mux sessions
 	sessions   map[*Mux]struct{}
+	conns      map[net.Conn]struct{} // live accepted conns, closed by Close
 
 	tel *proxyTelemetry
 }
@@ -127,6 +128,7 @@ func NewGateway(listenAddr, target string, opts GatewayOptions) (*Websockify, er
 		opts:     opts,
 		tel:      newProxyTelemetry(opts.Hub),
 		sessions: make(map[*Mux]struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	if opts.Faults.Enabled() {
 		w.inj = faultfs.New(opts.Faults)
@@ -204,7 +206,10 @@ func (w *Websockify) LiveStreams() int {
 	return n
 }
 
-// Close stops accepting and tears down the listener and all sessions.
+// Close stops accepting, tears down the listener, all sessions, and
+// all live connections, and waits for every per-connection handler to
+// exit — no serve goroutine is still mutating gateway state when it
+// returns.
 func (w *Websockify) Close() error {
 	w.mu.Lock()
 	w.closed = true
@@ -212,13 +217,40 @@ func (w *Websockify) Close() error {
 	for m := range w.sessions {
 		sessions = append(sessions, m)
 	}
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
 	w.mu.Unlock()
 	err := w.listener.Close()
 	for _, m := range sessions {
 		m.CloseSession(nil)
 	}
+	// Closing the conns unblocks handlers parked in ReadFrame so the
+	// Wait below cannot hang on an idle client.
+	for _, c := range conns {
+		c.Close()
+	}
 	w.wg.Wait()
 	return err
+}
+
+// track registers an accepted connection for Close's teardown; it
+// refuses (false) when the gateway is already closed.
+func (w *Websockify) track(conn net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.conns[conn] = struct{}{}
+	return true
+}
+
+func (w *Websockify) untrack(conn net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, conn)
+	w.mu.Unlock()
 }
 
 // overloaded reports whether the owning tenant is past the shed
@@ -282,6 +314,11 @@ func (w *Websockify) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !w.track(conn) {
+			conn.Close()
+			return
+		}
+		w.wg.Add(1)
 		go w.serve(conn)
 	}
 }
@@ -335,7 +372,32 @@ func applyMuxFault(inj *faultfs.Injector, op string, hdr, payload []byte) (out [
 	return payload, true
 }
 
+// connWriter serializes every writer of one WebSocket connection: the
+// mux session's writer goroutine, the reader's pong/close replies, and
+// plain mode's two pumps all target the same conn. net.Conn.Write may
+// split a frame across several syscalls under backpressure, so
+// unserialized writers can interleave mid-frame and desync the WS
+// framing layer itself — corruption no retransmission can repair.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (cw *connWriter) writeFrame(f *Frame) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return WriteFrame(cw.conn, f)
+}
+
+func (cw *connWriter) writeBinary(hdr, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return WriteBinaryFrame(cw.conn, hdr, payload)
+}
+
 func (w *Websockify) serve(wsConn net.Conn) {
+	defer w.wg.Done()
+	defer w.untrack(wsConn)
 	defer wsConn.Close()
 	w.mu.Lock()
 	tel := w.tel
@@ -355,16 +417,17 @@ func (w *Websockify) serve(wsConn net.Conn) {
 		tel.connections.Inc()
 		tel.flight.Record("sock", "conn", peer, 0)
 	}
+	cw := &connWriter{conn: wsConn}
 	if path == MuxPath && !w.opts.DisableMux {
-		w.serveMux(wsConn, br, inj)
+		w.serveMux(wsConn, cw, br, inj)
 		return
 	}
-	w.servePlain(wsConn, br, tel, inj)
+	w.servePlain(wsConn, cw, br, tel, inj)
 }
 
 // ---- mux mode ----
 
-func (w *Websockify) serveMux(wsConn net.Conn, br io.Reader, inj *faultfs.Injector) {
+func (w *Websockify) serveMux(wsConn net.Conn, cw *connWriter, br io.Reader, inj *faultfs.Injector) {
 	w.mu.Lock()
 	w.muxConns++
 	w.mu.Unlock()
@@ -379,7 +442,7 @@ func (w *Websockify) serveMux(wsConn net.Conn, br io.Reader, inj *faultfs.Inject
 			if !forward {
 				return nil
 			}
-			return WriteBinaryFrame(wsConn, hdr, out)
+			return cw.writeBinary(hdr, out)
 		},
 		AcceptStream: func(st *MuxStream) {
 			// Admission control: a tenant past the shed threshold
@@ -404,10 +467,10 @@ func (w *Websockify) serveMux(wsConn net.Conn, br io.Reader, inj *faultfs.Inject
 		}
 		switch f.Op {
 		case OpClose:
-			WriteFrame(wsConn, &Frame{Fin: true, Op: OpClose})
+			cw.writeFrame(&Frame{Fin: true, Op: OpClose})
 			goto done
 		case OpPing:
-			WriteFrame(wsConn, &Frame{Fin: true, Op: OpPong, Payload: f.Payload})
+			cw.writeFrame(&Frame{Fin: true, Op: OpPong, Payload: f.Payload})
 		case OpBinary:
 			payload := f.Payload
 			if len(payload) >= MuxHeaderLen && MuxIsData(payload) {
@@ -442,6 +505,25 @@ func (w *Websockify) bridgeStream(st *MuxStream) {
 		return
 	}
 	st.Accept()
+	// The overload sweep only fires on pause/resume transitions, so a
+	// stream admitted between the sweep's session snapshot and the flag
+	// flip would otherwise earn credit for the whole episode. Checking
+	// the flag here — after the stream is registered — closes the hole
+	// from both sides: either the sweep's snapshot saw this stream, or
+	// this read sees the flag (and the post-pause re-check undoes a
+	// pause that lost the race with the resume sweep).
+	w.mu.Lock()
+	paused := w.paused
+	w.mu.Unlock()
+	if paused {
+		st.PauseCredit()
+		w.mu.Lock()
+		paused = w.paused
+		w.mu.Unlock()
+		if !paused {
+			st.ResumeCredit()
+		}
+	}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	// stream → TCP.
@@ -499,7 +581,7 @@ func (w *Websockify) bridgeStream(st *MuxStream) {
 
 // ---- plain mode (classic websockify) ----
 
-func (w *Websockify) servePlain(wsConn net.Conn, br io.Reader, tel *proxyTelemetry, inj *faultfs.Injector) {
+func (w *Websockify) servePlain(wsConn net.Conn, cw *connWriter, br io.Reader, tel *proxyTelemetry, inj *faultfs.Injector) {
 	w.mu.Lock()
 	w.plainConns++
 	w.mu.Unlock()
@@ -510,8 +592,7 @@ func (w *Websockify) servePlain(wsConn net.Conn, br io.Reader, tel *proxyTelemet
 	}()
 	tcpConn, err := w.dialTarget()
 	if err != nil {
-		f := &Frame{Fin: true, Op: OpClose}
-		WriteFrame(wsConn, f)
+		cw.writeFrame(&Frame{Fin: true, Op: OpClose})
 		return
 	}
 	defer tcpConn.Close()
@@ -546,7 +627,7 @@ func (w *Websockify) servePlain(wsConn net.Conn, br io.Reader, tel *proxyTelemet
 					return
 				}
 			case OpPing:
-				WriteFrame(wsConn, &Frame{Fin: true, Op: OpPong, Payload: f.Payload})
+				cw.writeFrame(&Frame{Fin: true, Op: OpPong, Payload: f.Payload})
 			}
 		}
 	}()
@@ -564,7 +645,7 @@ func (w *Websockify) servePlain(wsConn net.Conn, br io.Reader, tel *proxyTelemet
 						tel.framesOut.Inc()
 						tel.bytesOut.Add(int64(len(payload)))
 					}
-					if werr := WriteFrame(wsConn, f); werr != nil {
+					if werr := cw.writeFrame(f); werr != nil {
 						return
 					}
 					if reset {
@@ -578,7 +659,7 @@ func (w *Websockify) servePlain(wsConn net.Conn, br io.Reader, tel *proxyTelemet
 				if err != io.EOF {
 					return
 				}
-				WriteFrame(wsConn, &Frame{Fin: true, Op: OpClose})
+				cw.writeFrame(&Frame{Fin: true, Op: OpClose})
 				return
 			}
 		}
