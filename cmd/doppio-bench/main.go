@@ -65,6 +65,10 @@ func main() {
 	fleetWorkload := flag.String("fleet-workload", "mixed", "tenant mix for -fleet: minic, jvm, mixed, pipes, or sock")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "path for the -fleet JSON report")
 	fleetCheck := flag.Bool("fleet-check", false, "fail unless the -fleet run saw zero evictions and every tenant's slice counter is nonzero (CI smoke gate)")
+	interp := flag.Bool("interp", false, "interpreter speed-tier A/B: DeltaBlue with quickening (inline caches, superinstructions) on vs off at equal timeslice")
+	interpIters := flag.Int("interp-iters", 5, "timed iterations per arm for -interp")
+	interpOut := flag.String("interp-out", "BENCH_interp.json", "path for the -interp JSON report")
+	interpCheck := flag.Bool("interp-check", false, "fail unless the -interp quickened arm is >= 2x faster at p50 with byte-identical output (CI smoke gate)")
 	flag.Parse()
 
 	var hub *telemetry.Hub
@@ -82,7 +86,7 @@ func main() {
 			hub.EnableFlight(telemetry.DefaultFlightCapacity)
 		}
 	}
-	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio || *opsBench || *fleetN > 0
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio || *opsBench || *fleetN > 0 || *interp
 	if !anyFigure && hub == nil {
 		flag.Usage()
 		os.Exit(2)
@@ -320,6 +324,30 @@ func main() {
 			}
 			if finishErr == nil {
 				fmt.Println("fleet check: ok (zero evictions, every tenant counter nonzero)")
+			}
+		}
+	}
+	if *interp {
+		res, err := bench.RunInterp(bench.InterpParams{
+			Scale: *scale,
+			Iters: *interpIters,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatInterp(res))
+		if err := bench.WriteInterpReport(*interpOut, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("interp report written to %s\n", *interpOut)
+		if *interpCheck {
+			switch {
+			case !res.OutputMatch:
+				finishErr = fmt.Errorf("interp check: quickened output diverged from generic")
+			case res.SpeedupP50 < 2:
+				finishErr = fmt.Errorf("interp check: quickened arm only %.2fx faster at p50 (need >= 2x)", res.SpeedupP50)
+			default:
+				fmt.Printf("interp check: ok (%.2fx at p50, outputs identical)\n", res.SpeedupP50)
 			}
 		}
 	}

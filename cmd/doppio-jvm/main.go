@@ -40,6 +40,7 @@ func main() {
 	cpFlag := flag.String("cp", "", "comma-separated directories of .class files")
 	list := flag.Bool("list", false, "list browser profiles")
 	tax := flag.Bool("enginetax", false, "model the browser's JS-engine speed")
+	quicken := flag.Bool("jvm-quicken", false, "enable the interpreter speed tier: quickened bytecodes, inline caches, superinstructions")
 	stats := flag.Bool("stats", false, "print runtime statistics after execution")
 	timeslice := flag.Duration("timeslice", 10*time.Millisecond, "Doppio timeslice")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics snapshot after execution")
@@ -140,8 +141,10 @@ func main() {
 		Provider:         jvm.MapProvider(classes),
 		Timeslice:        *timeslice,
 		DisableEngineTax: !*tax,
+		Quicken:          *quicken,
 	})
-	src := ops.Source{Name: mainClass, Loop: win.Loop, Runtime: vm.Runtime(), Heap: vm.Heap()}
+	src := ops.Source{Name: mainClass, Loop: win.Loop, Runtime: vm.Runtime(), Heap: vm.Heap(),
+		JVM: []ops.JVMEngine{{Engine: "doppio", Stats: vm}}}
 	emit := func(rep *ops.Report) {
 		fmt.Fprint(os.Stderr, rep.Text())
 		if *postmortem != "" {
@@ -215,6 +218,11 @@ func main() {
 			profile.Name, vm.Instructions, time.Since(start).Round(time.Millisecond),
 			st.Suspensions, st.SuspendedTime.Round(time.Millisecond),
 			vm.Runtime().Mechanism(), vm.Reg.Loaded())
+		if *quicken {
+			q := vm.QuickStats()
+			fmt.Fprintf(os.Stderr, "doppio-jvm: quickening: %d sites, %d IC hits, %d IC misses, %d deopts, %d fusions, %d fused executions\n",
+				q.Sites, q.ICHits, q.ICMisses, q.Deopts, q.Fusions, q.FusedExec)
+		}
 	}
 	if hub != nil {
 		if *metrics {

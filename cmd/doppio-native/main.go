@@ -21,6 +21,7 @@ func main() {
 	srcFlag := flag.String("src", "", "comma-separated .mj sources to compile and run")
 	cpFlag := flag.String("cp", "", "comma-separated directories of .class files")
 	stats := flag.Bool("stats", false, "print statistics after execution")
+	quicken := flag.Bool("jvm-quicken", false, "enable the interpreter speed tier: quickened bytecodes, inline caches, superinstructions")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: doppio-native [-src a.mj | -cp dir] Main [args...]")
@@ -75,6 +76,7 @@ func main() {
 
 	vm := jvm.NewNativeVM(jvm.MapProvider(classes), jvm.NativeOptions{
 		Stdout: os.Stdout, Stderr: os.Stderr, Stdin: os.Stdin,
+		Quicken: *quicken,
 	})
 	start := time.Now()
 	if err := vm.RunMain(mainClass, args); err != nil {

@@ -259,6 +259,7 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 			Runtime: vm.Runtime(),
 			Backend: root,
 			Heap:    vm.Heap(),
+			JVM:     []ops.JVMEngine{{Engine: "doppio", Stats: vm}},
 		})
 	}
 	start := time.Now()

@@ -63,6 +63,91 @@ type Class struct {
 
 	// mirror is the java/lang/Class instance for getClass().
 	mirror *Object
+
+	// layout is the memoized instance-field layout (nil until first
+	// use; only cached once the hierarchy is linked, so a concurrent
+	// async load can never bake in a super-less prefix).
+	layout *FieldLayout
+
+	// linked is set by the loader once Super and Interfaces point at
+	// real classes. Registry.Get hides unlinked classes from the
+	// engines, so an in-flight async load is indistinguishable from a
+	// not-yet-requested one.
+	linked bool
+
+	// offCache memoizes OffsetOf results per queried name, including
+	// misses (-1), so reflective by-name probes pay the hierarchy
+	// walk once.
+	offCache map[string]int
+}
+
+// FieldLayout is a class's instance-field layout, computed at link
+// time: the total slot count for the hierarchy and the offsets of the
+// fields this class declares itself. Superclass fields occupy the
+// prefix [0, Super.Layout().Slots), so an offset resolved against any
+// class in the chain indexes correctly into every subclass instance —
+// the property quickened getfield/putfield rely on.
+type FieldLayout struct {
+	// Slots is the instance size in slots, including all supers.
+	Slots int
+	// Own maps field name → offset for fields declared by this class
+	// only (shadowing a super's field yields a distinct slot, same as
+	// the JVM's per-declaring-class storage).
+	Own map[string]int
+}
+
+// Layout computes (and, once the class is linked, memoizes) the
+// instance-field layout, assigning Field.Offset as a side effect.
+// Static fields keep Offset -1 — they stay in the Statics map.
+func (c *Class) Layout() *FieldLayout {
+	if c.layout != nil {
+		return c.layout
+	}
+	base := 0
+	if c.Super != nil {
+		base = c.Super.Layout().Slots
+	}
+	own := make(map[string]int)
+	for _, f := range c.Fields {
+		if f.IsStatic() {
+			f.Offset = -1
+			continue
+		}
+		f.Offset = base
+		own[f.Name] = base
+		base++
+	}
+	lay := &FieldLayout{Slots: base, Own: own}
+	if c.linked {
+		c.layout = lay
+	}
+	return lay
+}
+
+// OffsetOf resolves an instance-field name to its slot offset,
+// walking the superclass chain from c (most-derived declaration
+// wins, matching GetField's shadowing semantics). Returns -1 when no
+// class in the chain declares the field. Results are memoized.
+func (c *Class) OffsetOf(name string) int {
+	if off, ok := c.offCache[name]; ok {
+		return off
+	}
+	off := -1
+	for k := c; k != nil; k = k.Super {
+		if o, ok := k.Layout().Own[name]; ok {
+			off = o
+			break
+		}
+	}
+	if !c.linked {
+		// Don't memoize against a half-linked hierarchy.
+		return off
+	}
+	if c.offCache == nil {
+		c.offCache = make(map[string]int)
+	}
+	c.offCache[name] = off
+	return off
 }
 
 // IsInterface reports whether the class is an interface.
@@ -77,6 +162,11 @@ type Method struct {
 	ParamDescs []string
 	RetDesc    string
 	ArgSlots   int // argument slots excluding the receiver
+
+	// quick is the method's quickening side-table (nil until the
+	// first quickenable site resolves). The original bytecode is
+	// never rewritten — see QuickTable.
+	quick *QuickTable
 }
 
 // IsStatic reports the static flag.
@@ -99,6 +189,10 @@ type Field struct {
 	Class      *Class
 	Name, Desc string
 	Flags      uint16
+
+	// Offset is the instance slot index assigned by the declaring
+	// class's FieldLayout; -1 for static fields.
+	Offset int
 }
 
 // IsStatic reports the static flag.
@@ -176,10 +270,11 @@ func buildRuntime(cf *classfile.ClassFile) (*Class, error) {
 	for i := range cf.Fields {
 		fm := &cf.Fields[i]
 		c.Fields = append(c.Fields, &Field{
-			Class: c,
-			Name:  cf.MemberName(fm),
-			Desc:  cf.MemberDesc(fm),
-			Flags: fm.Flags,
+			Class:  c,
+			Name:   cf.MemberName(fm),
+			Desc:   cf.MemberDesc(fm),
+			Flags:  fm.Flags,
+			Offset: -1, // assigned by Layout at link time
 		})
 	}
 	for i := range cf.Methods {

@@ -64,6 +64,14 @@ type DoppioVM struct {
 	// Instructions counts executed bytecodes.
 	Instructions int64
 
+	// quicken enables the warm-up rewriter (quickened bytecodes,
+	// inline caches, superinstructions — see quicken.go). pairs holds
+	// the per-VM adjacent-opcode attribution counters the fusion pass
+	// consumes, qstats the counters /debug/jvm reports.
+	quicken bool
+	pairs   *[65536]int64
+	qstats  QuickStats
+
 	tel *vmTelemetry
 
 	// Uncaught records the first uncaught exception.
@@ -102,6 +110,11 @@ type DoppioOptions struct {
 	// DisableEngineTax turns off the per-browser dispatch overhead
 	// model (used by unit tests).
 	DisableEngineTax bool
+	// Quicken enables the interpreter speed tier: quickened
+	// bytecodes, monomorphic inline caches, and superinstruction
+	// fusion. Off by default — the un-quickened path is the paper-
+	// fidelity baseline.
+	Quicken bool
 }
 
 // NewDoppioVM creates a DoppioJVM inside the browser window.
@@ -152,6 +165,10 @@ func NewDoppioVM(win *browser.Window, opts DoppioOptions) *DoppioVM {
 	if !opts.DisableEngineTax {
 		vm.engineTax = int(engineBaseTax * win.Profile.EngineFactor)
 	}
+	if opts.Quicken {
+		vm.quicken = true
+		vm.pairs = new([65536]int64)
+	}
 	vm.rt = core.NewRuntime(win.Loop, core.Config{
 		Timeslice:      opts.Timeslice,
 		BatchBudget:    opts.BatchBudget,
@@ -180,6 +197,13 @@ func (vm *DoppioVM) Runtime() *core.Runtime { return vm.rt }
 // Window returns the hosting browser window.
 func (vm *DoppioVM) Window() *browser.Window { return vm.win }
 
+// QuickStats reports the quickening counters (QuickStatser).
+func (vm *DoppioVM) QuickStats() QuickStats {
+	st := vm.qstats
+	st.Enabled = vm.quicken
+	return st
+}
+
 // DThread is one JVM thread in the Doppio thread pool: an explicit
 // array of stack frames (§6.1) plus scheduling state.
 type DThread struct {
@@ -195,6 +219,15 @@ type DThread struct {
 	depRet    string
 
 	blocked bool
+
+	// prevOp is the last raw opcode this thread dispatched, feeding
+	// the adjacent-pair attribution counters behind fusion.
+	prevOp byte
+
+	// pool holds returned frames for reuse — frame allocation is the
+	// dominant interpreter cost once dispatch is quickened, and a
+	// normally-returning frame has no aliases left.
+	pool []*DFrame
 
 	joiners []func()
 	coreT   *core.Thread
@@ -232,6 +265,50 @@ func newDFrame(m *Method) *DFrame {
 		stack:  make([]interface{}, 0, int(m.Code.MaxStack)+2),
 		locals: make([]interface{}, int(m.Code.MaxLocals)+2),
 	}
+}
+
+// framePoolCap bounds the per-thread frame reuse pool.
+const framePoolCap = 32
+
+// frameFor returns a frame for m, reusing a pooled one when its
+// slices are large enough (they were scrubbed at recycle time).
+func (d *DThread) frameFor(m *Method) *DFrame {
+	n := len(d.pool)
+	if n == 0 {
+		return newDFrame(m)
+	}
+	f := d.pool[n-1]
+	d.pool = d.pool[:n-1]
+	needL := int(m.Code.MaxLocals) + 2
+	needS := int(m.Code.MaxStack) + 2
+	if cap(f.locals) < needL || cap(f.stack) < needS {
+		return newDFrame(m)
+	}
+	f.m = m
+	f.pc = 0
+	f.locals = f.locals[:needL]
+	f.stack = f.stack[:0]
+	return f
+}
+
+// recycleFrame caches a frame that was popped on a normal return for
+// reuse. Frames popped by exception unwinding or thread death are not
+// recycled — nothing else ever aliases a normally-returned frame,
+// which is what makes reuse safe. Slots are not scrubbed: verified
+// bytecode never reads a local before writing it or a stack slot
+// above the operand top, so stale values are unreachable; the refs
+// they pin are bounded by the pool size and die with the thread.
+// The pool is part of the speed tier: with quickening off the engine
+// keeps its unoptimized allocation behavior so the modelled DoppioJVM
+// never beats the native baseline.
+func (d *DThread) recycleFrame(f *DFrame) {
+	if !d.vm.quicken || len(d.pool) >= framePoolCap {
+		return
+	}
+	f.m = nil
+	f.span = telemetry.Span{}
+	f.stack = f.stack[:0]
+	d.pool = append(d.pool, f)
 }
 
 // StartMain arranges for mainClass.main(args) to run; done fires (on
@@ -339,7 +416,7 @@ func (vm *DoppioVM) finish(err error) {
 
 func (vm *DoppioVM) describeThrowable(ex *Object) string {
 	msg := ""
-	if s, err := ex.GetField(ex.Class, "message"); err == nil && s.R != nil {
+	if s := slotByName(ex, "message"); s.R != nil {
 		msg = ": " + vm.GoString(s.R)
 	}
 	return strings.ReplaceAll(ex.Class.Name, "/", ".") + msg
@@ -425,7 +502,7 @@ func (vm *DoppioVM) NewString(s string) *Object {
 		arrC, _ = vm.Reg.arrayClass("[C")
 	}
 	arr := &Object{Class: arrC, Arr: utf16Chars(s)}
-	o.SetField(sc, "value", Slot{R: arr})
+	setSlotByName(o, "value", Slot{R: arr})
 	return o
 }
 
@@ -444,7 +521,7 @@ func (vm *DoppioVM) MakeThrowable(class, msg string) *Object {
 	}
 	ex := NewObject(c)
 	if msg != "" {
-		ex.SetField(c, "message", Slot{R: vm.Intern(msg)})
+		setSlotByName(ex, "message", Slot{R: vm.Intern(msg)})
 	}
 	ex.Extra = vm.captureTrace()
 	return ex
@@ -474,7 +551,7 @@ func (vm *DoppioVM) ClassMirror(c *Class) *Object {
 	}
 	m := NewObject(cc)
 	m.Extra = c
-	m.SetField(cc, "name", Slot{R: vm.Intern(strings.ReplaceAll(c.Name, "/", "."))})
+	setSlotByName(m, "name", Slot{R: vm.Intern(strings.ReplaceAll(c.Name, "/", "."))})
 	vm.mirrors[c] = m
 	return m
 }
@@ -638,7 +715,7 @@ func (vm *DoppioVM) SpawnThread(threadObj *Object) {
 	t.frames = []*DFrame{f}
 	t.obj = threadObj
 	threadObj.Extra = t
-	if p, err := threadObj.GetField(threadObj.Class, "priority"); err == nil && p.N != 0 {
+	if p := slotByName(threadObj, "priority"); p.N != 0 {
 		t.coreT.SetPriority(int(p.N))
 	}
 }
@@ -665,7 +742,7 @@ func (vm *DoppioVM) CurrentThreadObj() *Object {
 		return nil
 	}
 	o := NewObject(tc)
-	o.SetField(tc, "name", Slot{R: vm.Intern("main")})
+	setSlotByName(o, "name", Slot{R: vm.Intern("main")})
 	if vm.cur != nil {
 		vm.cur.obj = o
 		o.Extra = vm.cur

@@ -25,7 +25,31 @@ func (f *DFrame) pop() interface{} {
 
 func (f *DFrame) peek() interface{} { return f.stack[len(f.stack)-1] }
 
-func (f *DFrame) pushI(v int32)      { f.push(float64(v)) }
+// boxedNums preboxes small JS numbers. Every Doppio stack slot is an
+// interface{}, so boxing a float64 allocates; integer results
+// overwhelmingly land in a small range (loop counters, flags, field
+// values), and serving those from a static table removes most of the
+// engine's per-push allocations.
+var boxedNums [4096]interface{}
+
+const boxedBase = -512
+
+func init() {
+	for i := range boxedNums {
+		boxedNums[i] = float64(i + boxedBase)
+	}
+}
+
+// boxI boxes an int32 as a JS number, using the preboxed cache for
+// small values.
+func boxI(v int32) interface{} {
+	if i := int(v) - boxedBase; i >= 0 && i < len(boxedNums) {
+		return boxedNums[i]
+	}
+	return float64(v)
+}
+
+func (f *DFrame) pushI(v int32)      { f.push(boxI(v)) }
 func (f *DFrame) popI() int32        { return jsInt(f.pop()) }
 func (f *DFrame) pushJ(v jlong.Long) { f.push(v); f.push(nil) }
 func (f *DFrame) popJ() jlong.Long {
@@ -74,7 +98,7 @@ func dValueFromSlot(desc string, s Slot) interface{} {
 	case "F", "D":
 		return SlotFloat(s)
 	case "Z", "B", "C", "S", "I":
-		return float64(int32(s.N))
+		return boxI(int32(s.N))
 	default:
 		if s.R == nil {
 			return nil
@@ -245,6 +269,7 @@ func (d *DThread) methodReturnD(desc string) {
 		d.die()
 		return
 	}
+	d.recycleFrame(f)
 	caller := d.frames[len(d.frames)-1]
 	if desc != "V" {
 		caller.push(v)
@@ -281,6 +306,16 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 			}
 			continue
 		}
+		qt := f.m.quick
+		if qt != nil && qt.Ops[f.pc].Kind != QNone {
+			// A quickened pc: hand the whole run of consecutive
+			// side-table entries to the inner loop, which does its own
+			// per-bytecode bookkeeping.
+			if res := d.runQuickD(ct, f, qt); res != runContinue {
+				return res.result()
+			}
+			continue
+		}
 		vm.Instructions++
 		// Engine tax: model the relative speed of this browser's JS
 		// engine with extra dispatch work per bytecode.
@@ -288,10 +323,16 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 			vm.taxSink++
 		}
 		op := code[f.pc]
-		npc := f.pc + classfile.InstrLen(code, f.pc)
 		if tel := vm.tel; tel != nil {
 			tel.opCounts[op]++
 		}
+		if vm.pairs != nil && (qt == nil || !qt.fused) {
+			// Pair attribution only feeds the fusion pass; once a
+			// method is fused there is nothing left to decide.
+			vm.pairs[pairKey(d.prevOp, op)]++
+			d.prevOp = op
+		}
+		npc := f.pc + classfile.InstrLen(code, f.pc)
 
 		switch op {
 		case classfile.OpNop:
@@ -683,7 +724,7 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 
 		case classfile.OpIinc:
 			slot := code[f.pc+1]
-			f.locals[slot] = float64(int32(int64(jsInt(f.locals[slot])) + int64(int8(code[f.pc+2]))))
+			f.locals[slot] = boxI(int32(int64(jsInt(f.locals[slot])) + int64(int8(code[f.pc+2]))))
 
 		// --- conversions ---
 		case classfile.OpI2l:
@@ -866,6 +907,13 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 					continue
 				}
 			}
+			if vm.quicken {
+				kind := QGetstatic
+				if op == classfile.OpPutstatic {
+					kind = QPutstatic
+				}
+				installStaticQuick(f.m, f.pc, kind, fld, &vm.qstats)
+			}
 			if op == classfile.OpGetstatic {
 				f.push(dValueFromSlot(fld.Desc, fld.Class.Statics[fld.Name]))
 				if fld.Desc == "J" || fld.Desc == "D" {
@@ -894,6 +942,13 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 				vm.throwD(d, "java/lang/Error", gerr.Error())
 				continue
 			}
+			if vm.quicken {
+				fld := owner.FindField(rc.MemberName)
+				if fld == nil {
+					fld = o.Class.FindField(rc.MemberName)
+				}
+				installFieldQuick(f.m, f.pc, QGetfield, fld, &vm.qstats)
+			}
 			f.push(dValueFromSlot(rc.MemberDesc, s))
 			if rc.MemberDesc == "J" || rc.MemberDesc == "D" {
 				f.push(nil)
@@ -917,6 +972,13 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 			if serr := o.SetField(owner, rc.MemberName, dSlotFromValue(rc.MemberDesc, v)); serr != nil {
 				vm.throwD(d, "java/lang/Error", serr.Error())
 				continue
+			}
+			if vm.quicken {
+				fld := owner.FindField(rc.MemberName)
+				if fld == nil {
+					fld = o.Class.FindField(rc.MemberName)
+				}
+				installFieldQuick(f.m, f.pc, QPutfield, fld, &vm.qstats)
 			}
 
 		case classfile.OpInvokestatic, classfile.OpInvokespecial,
@@ -1087,7 +1149,7 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 				f.pop()
 				f.locals[slot] = f.pop()
 			case classfile.OpIinc:
-				f.locals[slot] = float64(int32(int64(jsInt(f.locals[slot])) + int64(i16(code, f.pc+4))))
+				f.locals[slot] = boxI(int32(int64(jsInt(f.locals[slot])) + int64(i16(code, f.pc+4))))
 			case classfile.OpRet:
 				npc = int(f.locals[slot].(retAddr))
 			}
@@ -1166,6 +1228,16 @@ func (d *DThread) invokeOp(ct *core.Thread, f *DFrame, op byte, code []byte, npc
 			return runContinue
 		}
 	}
+	if vm.quicken {
+		switch op {
+		case classfile.OpInvokestatic:
+			installInvokeQuick(f.m, f.pc, QInvokeStatic, rm, &vm.qstats)
+		case classfile.OpInvokespecial:
+			installInvokeQuick(f.m, f.pc, QInvokeSpecial, rm, &vm.qstats)
+		default:
+			installInvokeQuick(f.m, f.pc, QInvokeVirtual, rm, &vm.qstats)
+		}
+	}
 	if hasRecv {
 		recvIdx := len(f.stack) - rm.ArgSlots - 1
 		recv, _ := f.stack[recvIdx].(*Object)
@@ -1182,6 +1254,17 @@ func (d *DThread) invokeOp(ct *core.Thread, f *DFrame, op byte, code []byte, npc
 		}
 	}
 	f.pc = npc
+	return d.invokeResolved(ct, f, m, hasRecv)
+}
+
+// invokeResolved finishes an invocation whose target is resolved and
+// whose receiver (if any) is known non-null. f.pc must already point
+// past the invoke instruction — both the generic handler and the
+// quickened forms funnel through here so frame construction,
+// telemetry, fusion warm-up, and the §6.1 call-boundary suspend check
+// stay identical between the two paths.
+func (d *DThread) invokeResolved(ct *core.Thread, f *DFrame, m *Method, hasRecv bool) runSignal {
+	vm := d.vm
 	if m.IsNative() {
 		return d.invokeNativeD(ct, f, m, hasRecv)
 	}
@@ -1189,7 +1272,7 @@ func (d *DThread) invokeOp(ct *core.Thread, f *DFrame, op byte, code []byte, npc
 		vm.throwD(d, "java/lang/Error", "abstract method invoked: "+m.String())
 		return runContinue
 	}
-	nf := newDFrame(m)
+	nf := d.frameFor(m)
 	total := m.ArgSlots
 	if hasRecv {
 		total++
@@ -1202,12 +1285,359 @@ func (d *DThread) invokeOp(ct *core.Thread, f *DFrame, op byte, code []byte, npc
 		nf.span = d.methodSpanBegin(m)
 	}
 	d.frames = append(d.frames, nf)
+	if vm.quicken && m.Code != nil {
+		if qt := m.quickTable(); qt.noteCall() {
+			qt.fuse(m, vm.pairs, &vm.qstats, true)
+		}
+	}
 	// §6.1: "DOPPIOJVM checks at each function call boundary whether
 	// it should suspend."
 	if ct.CheckSuspend() {
 		return runYield
 	}
 	return runContinue
+}
+
+// quickFlush writes the inner loop's hoisted state back to the frame
+// and the VM's shared counters. A plain method (not a closure) so the
+// loop's locals stay registerizable.
+func (d *DThread) quickFlush(f *DFrame, st []interface{}, sp, pc int, n, fused int64) {
+	f.stack = st[:sp]
+	f.pc = pc
+	d.vm.Instructions += n
+	d.vm.qstats.FusedExec += fused
+}
+
+// quickResume rebinds the inner loop to the top frame after a call
+// boundary. It reports whether that frame is positioned on a
+// quickened pc; when it is not (or the thread is done for), the
+// caller hands control back to the outer dispatcher.
+func (d *DThread) quickResume() (*DFrame, *QuickTable, bool) {
+	vm := d.vm
+	if d.dead || vm.exited || len(d.frames) == 0 {
+		return nil, nil, false
+	}
+	f := d.frames[len(d.frames)-1]
+	qt := f.m.quick
+	if qt == nil || f.pc >= len(qt.Ops) || qt.Ops[f.pc].Kind == QNone {
+		return f, qt, false
+	}
+	return f, qt, true
+}
+
+// runQuickD executes a run of consecutive quickened side-table
+// entries on the Doppio engine in a tight inner loop. The outer
+// dispatcher's per-bytecode costs — shared-counter writes, operand
+// decoding, the frame's pc and stack-top fields — are hoisted into
+// locals and flushed once per run, so each pre-decoded instruction
+// touches only the operand stack and locals. Quickened calls and
+// returns rebind the hoisted state to the new top frame and keep
+// going (with the §6.1 suspend check still made at every boundary);
+// the loop hands back to the outer dispatcher at the first generic
+// pc and at every throw (the frame stack may have changed).
+func (d *DThread) runQuickD(ct *core.Thread, f *DFrame, qt *QuickTable) runSignal {
+	vm := d.vm
+	tel := vm.tel
+	tax := vm.engineTax
+rebind:
+	ops := qt.Ops
+	packed := qt.packed
+	// Pair attribution only matters until the fusion pass has run.
+	pairs := vm.pairs
+	if qt.fused {
+		pairs = nil
+	}
+	lo := f.locals
+	st := f.stack[:cap(f.stack)]
+	sp := len(f.stack)
+	pc := f.pc
+	var n, fused int64
+	for {
+		if pc >= len(packed) {
+			// Fell off the end: the outer loop treats this as an
+			// implicit void return.
+			d.quickFlush(f, st, sp, pc, n, fused)
+			return runContinue
+		}
+		// One word carries kind, opcode, length, immediate and the A
+		// operand — a single memory read dispatches most instructions.
+		pk := packed[pc]
+		kind := QuickKind(pk & packKindMask)
+		if kind == QNone {
+			d.quickFlush(f, st, sp, pc, n, fused)
+			return runContinue
+		}
+		n++
+		for k := 0; k < tax; k++ {
+			vm.taxSink++
+		}
+		if tel != nil {
+			tel.opCounts[byte(pk>>packOpShift)]++
+		}
+		if pairs != nil {
+			op := byte(pk >> packOpShift)
+			pairs[pairKey(d.prevOp, op)]++
+			d.prevOp = op
+		}
+		switch kind {
+		case QLoad:
+			st[sp] = lo[pk>>packAShift]
+			sp++
+		case QLoad2:
+			st[sp] = lo[pk>>packAShift]
+			st[sp+1] = nil
+			sp += 2
+		case QStore:
+			sp--
+			lo[pk>>packAShift] = st[sp]
+		case QStore2:
+			sp -= 2
+			lo[pk>>packAShift] = st[sp]
+		case QConst:
+			st[sp] = ops[pc].K
+			sp++
+		case QDup:
+			st[sp] = st[sp-1]
+			sp++
+		case QPop:
+			sp--
+		case QIinc:
+			a := pk >> packAShift
+			lo[a] = boxI(jsInt(lo[a]) + int32(int8(pk>>packImmShift)))
+		case QArith:
+			sp--
+			b := jsInt(st[sp])
+			a := jsInt(st[sp-1])
+			var r int32
+			switch byte(pk >> packOpShift) {
+			case classfile.OpIadd:
+				r = a + b
+			case classfile.OpIsub:
+				r = a - b
+			case classfile.OpImul:
+				r = a * b
+			case classfile.OpIand:
+				r = a & b
+			case classfile.OpIor:
+				r = a | b
+			case classfile.OpIxor:
+				r = a ^ b
+			case classfile.OpIshl:
+				r = a << (uint(b) & 31)
+			case classfile.OpIshr:
+				r = a >> (uint(b) & 31)
+			case classfile.OpIushr:
+				r = int32(uint32(a) >> (uint(b) & 31))
+			}
+			st[sp-1] = boxI(r)
+		case QGoto:
+			pc = int(pk >> packAShift)
+			continue
+		case QIf:
+			sp--
+			v := jsInt(st[sp])
+			var taken bool
+			switch byte(pk >> packOpShift) {
+			case classfile.OpIfeq:
+				taken = v == 0
+			case classfile.OpIfne:
+				taken = v != 0
+			case classfile.OpIflt:
+				taken = v < 0
+			case classfile.OpIfge:
+				taken = v >= 0
+			case classfile.OpIfgt:
+				taken = v > 0
+			case classfile.OpIfle:
+				taken = v <= 0
+			}
+			if taken {
+				pc = int(pk >> packAShift)
+			} else {
+				pc += int((pk >> packLenShift) & 0xff)
+			}
+			continue
+		case QIfICmp:
+			sp -= 2
+			b := jsInt(st[sp+1])
+			a := jsInt(st[sp])
+			var taken bool
+			switch byte(pk >> packOpShift) {
+			case classfile.OpIfIcmpeq:
+				taken = a == b
+			case classfile.OpIfIcmpne:
+				taken = a != b
+			case classfile.OpIfIcmplt:
+				taken = a < b
+			case classfile.OpIfIcmpge:
+				taken = a >= b
+			case classfile.OpIfIcmpgt:
+				taken = a > b
+			case classfile.OpIfIcmple:
+				taken = a <= b
+			}
+			if taken {
+				pc = int(pk >> packAShift)
+			} else {
+				pc += int((pk >> packLenShift) & 0xff)
+			}
+			continue
+		case QIfACmp:
+			sp -= 2
+			b, _ := st[sp+1].(*Object)
+			a, _ := st[sp].(*Object)
+			taken := a == b
+			if byte(pk>>packOpShift) == classfile.OpIfAcmpne {
+				taken = !taken
+			}
+			if taken {
+				pc = int(pk >> packAShift)
+			} else {
+				pc += int((pk >> packLenShift) & 0xff)
+			}
+			continue
+		case QIfNull:
+			sp--
+			v, _ := st[sp].(*Object)
+			taken := v == nil
+			if byte(pk>>packOpShift) == classfile.OpIfnonnull {
+				taken = !taken
+			}
+			if taken {
+				pc = int(pk >> packAShift)
+			} else {
+				pc += int((pk >> packLenShift) & 0xff)
+			}
+			continue
+		case QGetfield:
+			q := &ops[pc]
+			sp--
+			o, _ := st[sp].(*Object)
+			if o == nil {
+				d.quickFlush(f, st, sp, pc, n, fused)
+				vm.throwD(d, "java/lang/NullPointerException", q.Field.Name)
+				return runContinue
+			}
+			st[sp] = dValueFromSlot(q.Desc, o.Slots[q.Offset])
+			sp++
+			if q.Wide {
+				st[sp] = nil
+				sp++
+			}
+		case QPutfield:
+			q := &ops[pc]
+			if q.Wide {
+				sp--
+			}
+			sp -= 2
+			o, _ := st[sp].(*Object)
+			if o == nil {
+				d.quickFlush(f, st, sp, pc, n, fused)
+				vm.throwD(d, "java/lang/NullPointerException", q.Field.Name)
+				return runContinue
+			}
+			o.Slots[q.Offset] = dSlotFromValue(q.Desc, st[sp+1])
+		case QGetstatic:
+			q := &ops[pc]
+			st[sp] = dValueFromSlot(q.Desc, q.Field.Class.Statics[q.Field.Name])
+			sp++
+			if q.Wide {
+				st[sp] = nil
+				sp++
+			}
+		case QPutstatic:
+			q := &ops[pc]
+			if q.Wide {
+				sp--
+			}
+			sp--
+			q.Field.Class.Statics[q.Field.Name] = dSlotFromValue(q.Desc, st[sp])
+		case QInvokeStatic:
+			q := &ops[pc]
+			d.quickFlush(f, st, sp, pc+int(q.Len), n, fused)
+			if res := d.invokeResolved(ct, f, q.Method, false); res != runContinue {
+				return res
+			}
+			var ok bool
+			if f, qt, ok = d.quickResume(); ok {
+				goto rebind
+			}
+			return runContinue
+		case QInvokeSpecial:
+			q := &ops[pc]
+			recv, _ := st[sp-q.Method.ArgSlots-1].(*Object)
+			if recv == nil {
+				d.quickFlush(f, st, sp, pc, n, fused)
+				vm.throwD(d, "java/lang/NullPointerException", q.Method.Name)
+				return runContinue
+			}
+			d.quickFlush(f, st, sp, pc+int(q.Len), n, fused)
+			if res := d.invokeResolved(ct, f, q.Method, true); res != runContinue {
+				return res
+			}
+			var ok bool
+			if f, qt, ok = d.quickResume(); ok {
+				goto rebind
+			}
+			return runContinue
+		case QInvokeVirtual:
+			q := &ops[pc]
+			recv, _ := st[sp-q.Method.ArgSlots-1].(*Object)
+			if recv == nil {
+				d.quickFlush(f, st, sp, pc, n, fused)
+				vm.throwD(d, "java/lang/NullPointerException", q.Method.Name)
+				return runContinue
+			}
+			m := icLookup(q, recv.Class, &vm.qstats)
+			if m == nil {
+				d.quickFlush(f, st, sp, pc, n, fused)
+				vm.throwD(d, "java/lang/Error", "no method "+q.Method.String()+" on "+recv.Class.Name)
+				return runContinue
+			}
+			d.quickFlush(f, st, sp, pc+int(q.Len), n, fused)
+			if res := d.invokeResolved(ct, f, m, true); res != runContinue {
+				return res
+			}
+			var ok bool
+			if f, qt, ok = d.quickResume(); ok {
+				goto rebind
+			}
+			return runContinue
+		case QReturn:
+			d.quickFlush(f, st, sp, pc, n, fused)
+			d.methodReturnD(ops[pc].Desc)
+			if ct.CheckSuspend() {
+				return runYield
+			}
+			var ok bool
+			if f, qt, ok = d.quickResume(); ok {
+				goto rebind
+			}
+			return runContinue
+		case QAloadGetfield:
+			q := &ops[pc]
+			o, _ := lo[pk>>packAShift].(*Object)
+			if o == nil {
+				// Re-point pc at the getfield half so exception-table
+				// ranges see the same throw site as the unfused form.
+				d.quickFlush(f, st, sp, pc+int(q.Len)-3, n, fused)
+				vm.throwD(d, "java/lang/NullPointerException", q.Field.Name)
+				return runContinue
+			}
+			st[sp] = dValueFromSlot(q.Desc, o.Slots[q.Offset])
+			sp++
+			if q.Wide {
+				st[sp] = nil
+				sp++
+			}
+			fused++
+		case QIloadIadd:
+			a := pk >> packAShift
+			st[sp-1] = boxI(jsInt(st[sp-1]) + jsInt(lo[a]))
+			fused++
+		}
+		pc += int((pk >> packLenShift) & 0xff)
+	}
 }
 
 func (d *DThread) invokeNativeD(ct *core.Thread, f *DFrame, m *Method, hasRecv bool) runSignal {

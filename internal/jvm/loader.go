@@ -52,8 +52,19 @@ type Registry struct {
 // NewRegistry creates an empty class registry.
 func NewRegistry() *Registry { return &Registry{classes: make(map[string]*Class)} }
 
-// Get returns an already-loaded class, or nil.
-func (r *Registry) Get(name string) *Class { return r.classes[name] }
+// Get returns an already-loaded, fully linked class, or nil. Classes
+// the async loader has registered but not yet linked (their Super is
+// still being chained in) are hidden: an engine probing mid-load sees
+// "not loaded" and takes its normal load path, joining the in-flight
+// load's waiters instead of observing a half-linked hierarchy — which
+// would otherwise poison the memoized field layouts.
+func (r *Registry) Get(name string) *Class {
+	c := r.classes[name]
+	if c == nil || !c.linked {
+		return nil
+	}
+	return c
+}
 
 // Loaded returns the number of loaded classes.
 func (r *Registry) Loaded() int { return len(r.classes) }
@@ -85,7 +96,9 @@ func (r *Registry) arrayClass(name string) (*Class, error) {
 		State:    StateInitialized,
 		IsArray:  true,
 		ElemDesc: name[1:],
+		linked:   true,
 	}
+	c.Layout()
 	r.classes[name] = c
 	return c, nil
 }
@@ -94,6 +107,12 @@ func (r *Registry) arrayClass(name string) (*Class, error) {
 type SyncLoader struct {
 	Reg      *Registry
 	Provider SyncProvider
+
+	// loading marks classes whose hierarchy is being chained in right
+	// now — a re-entrant request for one is a superclass/interface
+	// cycle, which a valid compiler never emits but a malformed class
+	// file can.
+	loading map[string]bool
 }
 
 // Load returns the class, loading and linking it (and its supertypes)
@@ -119,6 +138,11 @@ func (l *SyncLoader) Load(name string) (*Class, error) {
 		}
 		return l.Reg.arrayClass(name)
 	}
+	// The loading set rejects hierarchy cycles, which would otherwise
+	// recurse forever now that Registry.Get hides unlinked classes.
+	if l.loading[name] {
+		return nil, fmt.Errorf("jvm: circular class hierarchy at %s", name)
+	}
 	data, err := l.Provider.Bytes(name)
 	if err != nil {
 		return nil, &ClassNotFoundError{Name: name}
@@ -134,8 +158,13 @@ func (l *SyncLoader) Load(name string) (*Class, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Register before linking supertypes: cycles are rejected by the
-	// compiler, and self-references (e.g. Object's methods) are fine.
+	// Register before linking supertypes so self-references (e.g.
+	// Object's methods) resolve.
+	if l.loading == nil {
+		l.loading = make(map[string]bool)
+	}
+	l.loading[name] = true
+	defer delete(l.loading, name)
 	l.Reg.classes[name] = c
 	if super := cf.SuperName(); super != "" {
 		sc, err := l.Load(super)
@@ -151,6 +180,9 @@ func (l *SyncLoader) Load(name string) (*Class, error) {
 		}
 		c.Interfaces = append(c.Interfaces, ic)
 	}
+	// Link complete: publish the class and fix its field layout.
+	c.linked = true
+	c.Layout()
 	return c, nil
 }
 
@@ -176,12 +208,24 @@ func NewAsyncLoader(reg *Registry, p AsyncProvider) *AsyncLoader {
 
 // Load delivers the loaded, linked class via cb.
 func (l *AsyncLoader) Load(name string, cb func(*Class, error)) {
+	l.load(name, cb, nil)
+}
+
+// load is Load with the dependency chain threaded through: chain
+// holds the classes whose supertype resolution is in progress above
+// this request, so a hierarchy cycle (A extends B extends A) errors
+// instead of deadlocking in the pending-waiter queue.
+func (l *AsyncLoader) load(name string, cb func(*Class, error), chain map[string]bool) {
 	if c := l.Reg.Get(name); c != nil {
 		cb(c, nil)
 		return
 	}
 	if name == "" {
 		cb(nil, fmt.Errorf("jvm: empty class name"))
+		return
+	}
+	if chain[name] {
+		cb(nil, fmt.Errorf("jvm: circular class hierarchy at %s", name))
 		return
 	}
 	if name[0] == '[' {
@@ -195,9 +239,9 @@ func (l *AsyncLoader) Load(name string, cb func(*Class, error)) {
 		}
 		switch {
 		case len(elem) > 0 && elem[0] == 'L':
-			l.Load(elem[1:len(elem)-1], func(_ *Class, err error) { finish(err) })
+			l.load(elem[1:len(elem)-1], func(_ *Class, err error) { finish(err) }, chain)
 		case len(elem) > 0 && elem[0] == '[':
-			l.Load(elem, func(_ *Class, err error) { finish(err) })
+			l.load(elem, func(_ *Class, err error) { finish(err) }, chain)
 		default:
 			finish(nil)
 		}
@@ -239,12 +283,17 @@ func (l *AsyncLoader) Load(name string, cb func(*Class, error)) {
 			return
 		}
 		l.Reg.classes[name] = c
-		// Chain: super, then each interface.
+		// Chain: super, then each interface. The class is registered
+		// but stays hidden (unlinked) until the chain completes.
 		deps := []string{}
 		if super := cf.SuperName(); super != "" {
 			deps = append(deps, super)
 		}
 		deps = append(deps, cf.InterfaceNames()...)
+		sub := map[string]bool{name: true}
+		for n := range chain {
+			sub[n] = true
+		}
 		var step func(i int)
 		step = func(i int) {
 			if i == len(deps) {
@@ -254,16 +303,19 @@ func (l *AsyncLoader) Load(name string, cb func(*Class, error)) {
 				for _, iname := range cf.InterfaceNames() {
 					c.Interfaces = append(c.Interfaces, l.Reg.Get(iname))
 				}
+				// Link complete: publish and fix the field layout.
+				c.linked = true
+				c.Layout()
 				finish(c, nil)
 				return
 			}
-			l.Load(deps[i], func(_ *Class, err error) {
+			l.load(deps[i], func(_ *Class, err error) {
 				if err != nil {
 					finish(nil, err)
 					return
 				}
 				step(i + 1)
-			})
+			}, sub)
 		}
 		step(0)
 	})

@@ -47,6 +47,13 @@ type NativeVM struct {
 
 	// Uncaught records the first uncaught exception, if any.
 	Uncaught *Object
+
+	// quicken enables the warm-up rewriter (quicken.go); pairs is the
+	// adjacent-opcode attribution table driving superinstruction
+	// fusion, allocated only when quickening is on.
+	quicken bool
+	pairs   *[65536]int64
+	qstats  QuickStats
 }
 
 // timedWait tracks an Object.wait(ms) deadline.
@@ -62,6 +69,11 @@ type NativeOptions struct {
 	FS             HostFS // defaults to the host OS file system
 	Properties     map[string]string
 	HeapSize       int
+
+	// Quicken turns on bytecode quickening, inline caches, and
+	// superinstruction fusion; off preserves the paper-fidelity
+	// generic interpreter.
+	Quicken bool
 }
 
 // NewNativeVM creates a VM over the class provider.
@@ -98,7 +110,18 @@ func NewNativeVM(provider SyncProvider, opts NativeOptions) *NativeVM {
 	if vm.props == nil {
 		vm.props = map[string]string{}
 	}
+	if opts.Quicken {
+		vm.quicken = true
+		vm.pairs = new([65536]int64)
+	}
 	return vm
+}
+
+// QuickStats returns the engine's quickening counters (QuickStatser).
+func (vm *NativeVM) QuickStats() QuickStats {
+	s := vm.qstats
+	s.Enabled = vm.quicken
+	return s
 }
 
 // NThread is one green thread of the native engine.
@@ -116,6 +139,9 @@ type NThread struct {
 	depRet    string // return descriptor of the completed native
 
 	joiners []func()
+
+	// prevOp feeds the adjacent-pair attribution counters.
+	prevOp byte
 }
 
 type nthreadState int
@@ -275,7 +301,7 @@ const nativeQuantum = 200_000
 
 func (vm *NativeVM) describeThrowable(ex *Object) string {
 	msg := ""
-	if s, err := ex.GetField(ex.Class, "message"); err == nil && s.R != nil {
+	if s := slotByName(ex, "message"); s.R != nil {
 		msg = ": " + vm.GoString(s.R)
 	}
 	return strings.ReplaceAll(ex.Class.Name, "/", ".") + msg
@@ -382,7 +408,7 @@ func (vm *NativeVM) NewString(s string) *Object {
 	chars := utf16Chars(s)
 	arrC, _ := vm.loader.Load("[C")
 	arr := &Object{Class: arrC, Arr: chars}
-	o.SetField(sc, "value", Slot{R: arr})
+	setSlotByName(o, "value", Slot{R: arr})
 	return o
 }
 
@@ -403,7 +429,7 @@ func (vm *NativeVM) MakeThrowable(class, msg string) *Object {
 	}
 	ex := NewObject(c)
 	if msg != "" {
-		ex.SetField(c, "message", Slot{R: vm.Intern(msg)})
+		setSlotByName(ex, "message", Slot{R: vm.Intern(msg)})
 	}
 	ex.Extra = vm.captureTrace()
 	return ex
@@ -433,7 +459,7 @@ func (vm *NativeVM) ClassMirror(c *Class) *Object {
 	}
 	m := NewObject(cc)
 	m.Extra = c
-	m.SetField(cc, "name", Slot{R: vm.Intern(strings.ReplaceAll(c.Name, "/", "."))})
+	setSlotByName(m, "name", Slot{R: vm.Intern(strings.ReplaceAll(c.Name, "/", "."))})
 	vm.mirrors[c] = m
 	return m
 }
@@ -554,7 +580,7 @@ func (vm *NativeVM) CurrentThreadObj() *Object {
 		return nil
 	}
 	o := NewObject(tc)
-	o.SetField(tc, "name", Slot{R: vm.Intern("main")})
+	setSlotByName(o, "name", Slot{R: vm.Intern("main")})
 	if vm.cur != nil {
 		vm.cur.obj = o
 		o.Extra = vm.cur
@@ -716,8 +742,8 @@ func stringValue(o *Object) string {
 	if o == nil {
 		return "<null>"
 	}
-	v, err := o.GetField(o.Class, "value")
-	if err != nil || v.R == nil {
+	v := slotByName(o, "value")
+	if v.R == nil {
 		return ""
 	}
 	chars, ok := v.R.Arr.([]uint16)

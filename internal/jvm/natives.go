@@ -170,7 +170,7 @@ func registerNatives() map[string]NativeFunc {
 	// --- java/io console streams ---
 	n["java/io/PrintStream.writeNative(Ljava/lang/String;)V"] = func(h NativeHost, recv *Object, args []Value) NativeResult {
 		s := h.GoString(args[0].(*Object))
-		fd, _ := recv.GetField(recv.Class, "fd")
+		fd := slotByName(recv, "fd")
 		w := h.Stdout()
 		if fd.N == 1 {
 			w = h.Stderr()

@@ -22,14 +22,24 @@ func FloatSlot(f float64) Slot { return Slot{N: int64(math.Float64bits(f))} }
 // SlotFloat unpacks a float64 from a slot.
 func SlotFloat(s Slot) float64 { return math.Float64frombits(uint64(s.N)) }
 
-// Object is a JVM object, array, or java/lang/Class mirror. Instance
-// fields are a dictionary keyed on "DeclaringClass/name" — the
-// representation §6.7 describes ("each object contains a reference to
-// its class and a dictionary that contains all of its fields keyed on
-// their names").
+// Object is a JVM object, array, or java/lang/Class mirror.
+//
+// The paper's representation (§6.7) keys every instance field in a
+// dictionary on "DeclaringClass/name"; that dictionary probe on every
+// getfield/putfield is one of the two dominant interpreter costs the
+// "Not So Fast" attribution methodology exposes. Instance storage is
+// now a flat slot array indexed by the per-class FieldLayout computed
+// at link time (superclass-prefix offsets, so an offset resolved
+// against a superclass is valid for every subclass). The by-name
+// GetField/SetField shims below preserve the old reflective surface
+// for natives and engine-internal probes.
 type Object struct {
-	Class  *Class
-	Fields map[string]Slot
+	Class *Class
+
+	// Slots is the instance field storage, indexed by Field.Offset
+	// per the class's FieldLayout. Long/double fields occupy a single
+	// slot (Slot.N is 64-bit).
+	Slots []Slot
 
 	// Arr is the payload for array objects: one of []int8 (byte,
 	// boolean), []uint16 (char), []int16, []int32, []int64,
@@ -72,54 +82,59 @@ func (o *Object) EnsureMonitor() *Monitor {
 // NewObject allocates an instance of c with zeroed fields for the
 // whole hierarchy.
 func NewObject(c *Class) *Object {
-	o := &Object{Class: c, Fields: make(map[string]Slot)}
-	for k := c; k != nil; k = k.Super {
-		for _, f := range k.Fields {
-			if !f.IsStatic() {
-				o.Fields[fieldKey(k, f.Name)] = zeroSlot(f.Desc)
-			}
-		}
-	}
-	return o
+	return &Object{Class: c, Slots: make([]Slot, c.Layout().Slots)}
 }
 
-// fieldKey builds the dictionary key for a field of declaring class k.
-func fieldKey(k *Class, name string) string { return k.Name + "/" + name }
-
-// GetField reads an instance field, resolving the declaring class.
+// GetField reads an instance field by name, resolving the declaring
+// class — the compatibility shim over the flat layout. `from` is the
+// class the caller resolved the field against; interfaces (no
+// instance fields) and stale owners fall back to a scan from the
+// object's own class.
 func (o *Object) GetField(from *Class, name string) (Slot, error) {
-	for k := from; k != nil; k = k.Super {
-		if v, ok := o.Fields[fieldKey(k, name)]; ok {
-			return v, nil
-		}
+	if off := from.OffsetOf(name); off >= 0 && off < len(o.Slots) {
+		return o.Slots[off], nil
 	}
-	// Fall back to a scan from the object's own class (invokes from
-	// interfaces etc).
-	for k := o.Class; k != nil; k = k.Super {
-		if v, ok := o.Fields[fieldKey(k, name)]; ok {
-			return v, nil
+	if from != o.Class {
+		if off := o.Class.OffsetOf(name); off >= 0 && off < len(o.Slots) {
+			return o.Slots[off], nil
 		}
 	}
 	return Slot{}, fmt.Errorf("jvm: no field %s on %s", name, o.Class.Name)
 }
 
-// SetField writes an instance field.
+// SetField writes an instance field by name (see GetField).
 func (o *Object) SetField(from *Class, name string, v Slot) error {
-	for k := from; k != nil; k = k.Super {
-		key := fieldKey(k, name)
-		if _, ok := o.Fields[key]; ok {
-			o.Fields[key] = v
-			return nil
-		}
+	if off := from.OffsetOf(name); off >= 0 && off < len(o.Slots) {
+		o.Slots[off] = v
+		return nil
 	}
-	for k := o.Class; k != nil; k = k.Super {
-		key := fieldKey(k, name)
-		if _, ok := o.Fields[key]; ok {
-			o.Fields[key] = v
+	if from != o.Class {
+		if off := o.Class.OffsetOf(name); off >= 0 && off < len(o.Slots) {
+			o.Slots[off] = v
 			return nil
 		}
 	}
 	return fmt.Errorf("jvm: no field %s on %s", name, o.Class.Name)
+}
+
+// slotByName reads o's field through the per-class memoized offset
+// cache — the engines' internal probes ("value", "message", "name",
+// "fd", "priority") use this instead of repeated by-name dictionary
+// lookups. Returns the zero Slot when the hierarchy lacks the field.
+func slotByName(o *Object, name string) Slot {
+	if off := o.Class.OffsetOf(name); off >= 0 && off < len(o.Slots) {
+		return o.Slots[off]
+	}
+	return Slot{}
+}
+
+// setSlotByName writes o's field through the memoized offset cache;
+// silently a no-op when the hierarchy lacks the field (matching the
+// engines' historical ignored-error writes).
+func setSlotByName(o *Object, name string, v Slot) {
+	if off := o.Class.OffsetOf(name); off >= 0 && off < len(o.Slots) {
+		o.Slots[off] = v
+	}
 }
 
 // ArrayLen returns the length of an array object.

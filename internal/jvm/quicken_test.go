@@ -1,0 +1,288 @@
+package jvm_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"doppio/internal/browser"
+	"doppio/internal/jvm"
+	"doppio/internal/jvm/rt"
+)
+
+// runDoppioQuick runs source on the Doppio engine with quickening
+// toggled, returning stdout, the run error, and the quickening stats.
+func runDoppioQuick(t *testing.T, source string, quicken bool, slice time.Duration) (string, error, jvm.QuickStats) {
+	t.Helper()
+	classes, err := rt.CompileWith(map[string]string{"Main.mj": source})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	win := browser.NewWindow(browser.Chrome28)
+	var stdout bytes.Buffer
+	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
+		Stdout:           &stdout,
+		Provider:         jvm.MapProvider(classes),
+		DisableEngineTax: true,
+		Timeslice:        slice,
+		Quicken:          quicken,
+	})
+	runErr := vm.RunMain("Main", nil)
+	return stdout.String(), runErr, vm.QuickStats()
+}
+
+// runNativeQuick is the native-engine counterpart of runDoppioQuick.
+func runNativeQuick(t *testing.T, source string, quicken bool) (string, error, jvm.QuickStats) {
+	t.Helper()
+	classes, err := rt.CompileWith(map[string]string{"Main.mj": source})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var stdout bytes.Buffer
+	vm := jvm.NewNativeVM(jvm.MapProvider(classes), jvm.NativeOptions{
+		Stdout:  &stdout,
+		Stderr:  &stdout,
+		Quicken: quicken,
+	})
+	runErr := vm.RunMain("Main", nil)
+	return stdout.String(), runErr, vm.QuickStats()
+}
+
+// TestQuickenEquivalenceCorpus runs every conformance program through
+// both engines with quickening on and off. The speed tier is a pure
+// optimization: all four configurations must produce byte-identical
+// output and agree on the error outcome.
+func TestQuickenEquivalenceCorpus(t *testing.T) {
+	for name, src := range conformancePrograms {
+		t.Run(name, func(t *testing.T) {
+			nOff, nOffErr, _ := runNativeQuick(t, src, false)
+			nOn, nOnErr, _ := runNativeQuick(t, src, true)
+			dOff, dOffErr, _ := runDoppioQuick(t, src, false, 2*time.Millisecond)
+			dOn, dOnErr, _ := runDoppioQuick(t, src, true, 2*time.Millisecond)
+			if (nOffErr == nil) != (nOnErr == nil) || (dOffErr == nil) != (dOnErr == nil) {
+				t.Fatalf("error outcome changed under quickening: native %v/%v doppio %v/%v",
+					nOffErr, nOnErr, dOffErr, dOnErr)
+			}
+			if nOn != nOff {
+				t.Errorf("native quickened output diverged:\noff: %q\non:  %q", nOff, nOn)
+			}
+			if dOn != dOff {
+				t.Errorf("doppio quickened output diverged:\noff: %q\non:  %q", dOff, dOn)
+			}
+			if dOn != nOn {
+				t.Errorf("engines disagree under quickening:\nnative: %q\ndoppio: %q", nOn, dOn)
+			}
+		})
+	}
+}
+
+// hotProgram drives a call site and field accesses well past the
+// fusion warm-up thresholds so the deep quickening tier (fused
+// superinstructions plus pre-decoded simple forms) is exercised, not
+// just the lazily installed field/invoke kinds.
+const hotProgram = `
+class Cell {
+    int v;
+    Cell next;
+    Cell(int v) { this.v = v; }
+    int get() { return v; }
+}
+public class Main {
+    static int walk(Cell head) {
+        int sum = 0;
+        for (Cell c = head; c != null; c = c.next) {
+            sum = sum * 31 + c.get();
+        }
+        return sum;
+    }
+    public static void main(String[] args) {
+        Cell head = null;
+        for (int i = 0; i < 64; i++) {
+            Cell c = new Cell(i);
+            c.next = head;
+            head = c;
+        }
+        int acc = 0;
+        for (int r = 0; r < 400; r++) {
+            acc = acc ^ walk(head) + r;
+        }
+        System.out.println(acc);
+    }
+}`
+
+func TestQuickenHotLoopEquivalence(t *testing.T) {
+	dOff, _, _ := runDoppioQuick(t, hotProgram, false, 2*time.Millisecond)
+	dOn, _, st := runDoppioQuick(t, hotProgram, true, 2*time.Millisecond)
+	if dOn != dOff {
+		t.Fatalf("hot loop output diverged:\noff: %q\non:  %q", dOff, dOn)
+	}
+	if st.Sites == 0 || st.ICHits == 0 {
+		t.Errorf("hot loop did not quicken: %+v", st)
+	}
+	if st.Fusions == 0 || st.FusedExec == 0 {
+		t.Errorf("hot loop did not reach the fusion tier: %+v", st)
+	}
+	nOff, _, _ := runNativeQuick(t, hotProgram, false)
+	nOn, nst := "", jvm.QuickStats{}
+	nOn, _, nst = runNativeQuick(t, hotProgram, true)
+	if nOn != nOff {
+		t.Fatalf("native hot loop output diverged:\noff: %q\non:  %q", nOff, nOn)
+	}
+	if nst.Sites == 0 {
+		t.Errorf("native hot loop did not quicken: %+v", nst)
+	}
+}
+
+// TestQuickenICMissFallback cycles a megamorphic receiver through a
+// single quickened invokevirtual site. The inline cache must repoint
+// (misses), then deopt to generic dispatch once the miss budget is
+// exhausted — and the program output must stay correct throughout.
+const polyProgram = `
+class Shape { int area() { return 0; } }
+class Sq extends Shape { int s; Sq(int s) { this.s = s; } int area() { return s * s; } }
+class Re extends Shape { int w; Re(int w) { this.w = w; } int area() { return w * 2; } }
+class Tr extends Shape { int b; Tr(int b) { this.b = b; } int area() { return b * 3; } }
+public class Main {
+    public static void main(String[] args) {
+        Shape[] xs = new Shape[3];
+        xs[0] = new Sq(4);
+        xs[1] = new Re(5);
+        xs[2] = new Tr(6);
+        int sum = 0;
+        for (int i = 0; i < 300; i++) {
+            sum += xs[i % 3].area();
+        }
+        System.out.println(sum);
+    }
+}`
+
+func TestQuickenICMissFallback(t *testing.T) {
+	want, _, _ := runDoppioQuick(t, polyProgram, false, 2*time.Millisecond)
+	got, _, st := runDoppioQuick(t, polyProgram, true, 2*time.Millisecond)
+	if got != want {
+		t.Fatalf("polymorphic output diverged:\noff: %q\non:  %q", want, got)
+	}
+	if st.ICMisses == 0 {
+		t.Errorf("expected inline-cache misses on a cycling receiver: %+v", st)
+	}
+	if st.Deopts == 0 {
+		t.Errorf("expected the megamorphic site to deopt to generic dispatch: %+v", st)
+	}
+	ngot, _, nst := runNativeQuick(t, polyProgram, true)
+	if ngot != want {
+		t.Fatalf("native polymorphic output diverged:\noff: %q\non:  %q", want, ngot)
+	}
+	if nst.ICMisses == 0 || nst.Deopts == 0 {
+		t.Errorf("native engine: expected misses and a deopt: %+v", nst)
+	}
+}
+
+// TestQuickenClassLoadingRace interleaves threads that are the first
+// to touch lazily loaded classes while their shared call sites are
+// being quickened. The cooperative scheduler switches threads at a
+// tiny timeslice, so installs, inline-cache fills, and class loading
+// overlap; the result must stay deterministic and identical to the
+// generic interpreter's.
+const raceProgram = `
+class LazyA { static int seed() { return 17; } }
+class LazyB { static int seed() { return 29; } }
+class Box { int v; Box(int v) { this.v = v; } int get() { return v; } }
+class Loader extends Thread {
+    static Object lock = new Object();
+    static int total = 0;
+    int id;
+    Loader(int id) { this.id = id; }
+    public void run() {
+        int acc = 0;
+        for (int i = 0; i < 500; i++) {
+            int base;
+            if (id % 2 == 0) { base = LazyA.seed(); } else { base = LazyB.seed(); }
+            Box b = new Box(base + i);
+            acc += b.get();
+        }
+        synchronized (lock) {
+            total += acc;
+        }
+    }
+}
+public class Main {
+    public static void main(String[] args) {
+        Loader[] ws = new Loader[4];
+        for (int i = 0; i < ws.length; i++) {
+            ws[i] = new Loader(i);
+            ws[i].start();
+        }
+        for (int i = 0; i < ws.length; i++) {
+            ws[i].join();
+        }
+        System.out.println(Loader.total);
+    }
+}`
+
+func TestQuickenClassLoadingRace(t *testing.T) {
+	// A 50µs slice forces many mid-method suspensions, interleaving
+	// quickening installs with first-touch class loading.
+	want, wantErr, _ := runDoppioQuick(t, raceProgram, false, 50*time.Microsecond)
+	if wantErr != nil {
+		t.Fatalf("generic run failed: %v\n%s", wantErr, want)
+	}
+	got, gotErr, st := runDoppioQuick(t, raceProgram, true, 50*time.Microsecond)
+	if gotErr != nil {
+		t.Fatalf("quickened run failed: %v\n%s", gotErr, got)
+	}
+	if got != want {
+		t.Fatalf("racy class loading diverged:\noff: %q\non:  %q", want, got)
+	}
+	if st.Sites == 0 {
+		t.Errorf("racy run did not quicken: %+v", st)
+	}
+}
+
+// TestQuickenShadowedFieldLayout declares the same field name at three
+// depths of a hierarchy. Each declaration must get a distinct slot in
+// the flat layout, and quickened getfield/putfield must resolve each
+// access to the slot of the class that lexically owns it.
+const shadowProgram = `
+class A {
+    int x;
+    A() { x = 1; }
+    int ax() { return x; }
+    void bumpA() { x += 10; }
+}
+class B extends A {
+    int x;
+    B() { x = 2; }
+    int bx() { return x; }
+    void bumpB() { x += 100; }
+}
+class C extends B {
+    int x;
+    C() { x = 3; }
+    int cx() { return x; }
+}
+public class Main {
+    public static void main(String[] args) {
+        C c = new C();
+        for (int i = 0; i < 50; i++) {
+            c.bumpA();
+            c.bumpB();
+        }
+        System.out.println(c.ax());
+        System.out.println(c.bx());
+        System.out.println(c.cx());
+    }
+}`
+
+func TestQuickenShadowedFieldLayout(t *testing.T) {
+	const want = "501\n5002\n3\n"
+	for _, quicken := range []bool{false, true} {
+		dOut, _, _ := runDoppioQuick(t, shadowProgram, quicken, 2*time.Millisecond)
+		if dOut != want {
+			t.Errorf("doppio quicken=%v: out = %q, want %q", quicken, dOut, want)
+		}
+		nOut, _, _ := runNativeQuick(t, shadowProgram, quicken)
+		if nOut != want {
+			t.Errorf("native quicken=%v: out = %q, want %q", quicken, nOut, want)
+		}
+	}
+}

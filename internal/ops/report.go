@@ -27,6 +27,7 @@ import (
 
 	"doppio/internal/core"
 	"doppio/internal/eventloop"
+	"doppio/internal/jvm"
 	"doppio/internal/proc"
 	"doppio/internal/telemetry"
 	"doppio/internal/umheap"
@@ -55,6 +56,22 @@ type Source struct {
 	// Proc is the process kernel, for the ps-style table
 	// (/debug/proc). Nil when the source runs no process layer.
 	Proc *proc.Kernel
+	// JVM lists the source's bytecode engines for the quickening
+	// counters (/debug/jvm); empty when no JVM runs here.
+	JVM []JVMEngine
+}
+
+// JVMEngine names one bytecode engine exposing quickening counters.
+type JVMEngine struct {
+	// Engine distinguishes the interpreters ("doppio", "native").
+	Engine string
+	Stats  jvm.QuickStatser
+}
+
+// JVMEngineState is one engine's quickening slice of a report.
+type JVMEngineState struct {
+	Engine string `json:"engine"`
+	jvm.QuickStats
 }
 
 // VFSState is the VFS slice of a report.
@@ -87,6 +104,7 @@ type Report struct {
 	VFS       *VFSState               `json:"vfs,omitempty"`
 	Heap      *HeapState              `json:"heap,omitempty"`
 	Procs     []proc.ProcInfo         `json:"procs,omitempty"`
+	JVM       []JVMEngineState        `json:"jvm,omitempty"`
 	Flight    []telemetry.FlightEvent `json:"flight,omitempty"`
 	// FlightDropped counts events the ring had already overwritten —
 	// how much history beyond Flight is gone.
@@ -115,6 +133,12 @@ func Collect(hub *telemetry.Hub, src Source, reason, detail string) *Report {
 	}
 	if src.Proc != nil {
 		r.Procs = src.Proc.Snapshot()
+	}
+	for _, e := range src.JVM {
+		if e.Stats == nil {
+			continue
+		}
+		r.JVM = append(r.JVM, JVMEngineState{Engine: e.Engine, QuickStats: e.Stats.QuickStats()})
 	}
 	if hub != nil && hub.Flight != nil {
 		r.Flight = hub.Flight.Tail(FlightTail)
@@ -196,6 +220,17 @@ func (r *Report) Text() string {
 	}
 	if len(r.Procs) > 0 {
 		b.WriteString(FormatProcs(r.Procs))
+	}
+	if len(r.JVM) > 0 {
+		b.WriteString("== jvm quickening ==\n")
+		for _, e := range r.JVM {
+			if !e.Enabled {
+				fmt.Fprintf(&b, "%s: quickening off\n", e.Engine)
+				continue
+			}
+			fmt.Fprintf(&b, "%s: sites=%d ic-hits=%d ic-misses=%d deopts=%d fusions=%d fused-exec=%d\n",
+				e.Engine, e.Sites, e.ICHits, e.ICMisses, e.Deopts, e.Fusions, e.FusedExec)
+		}
 	}
 	if r.Heap != nil {
 		fmt.Fprintf(&b, "== unmanaged heap ==\nsize=%d allocated=%d live-allocs=%d free-blocks=%d\nfree list:\n",

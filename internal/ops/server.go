@@ -75,6 +75,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/vfs", s.handleVFS)
 	mux.HandleFunc("/debug/heap", s.handleHeap)
 	mux.HandleFunc("/debug/proc", s.handleProc)
+	mux.HandleFunc("/debug/jvm", s.handleJVM)
 	mux.HandleFunc("/debug/fleet", s.handleFleet)
 	mux.HandleFunc("/debug/sock", s.handleSock)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -112,6 +113,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/vfs          cache / retry / breaker / fault state")
 	fmt.Fprintln(w, "  /debug/heap         unmanaged-heap free-list map")
 	fmt.Fprintln(w, "  /debug/proc         ps-style process table (pid, state, blocked-on)")
+	fmt.Fprintln(w, "  /debug/jvm          per-engine quickening counters: sites, IC hits/misses, fusions, deopts (?format=json)")
 	fmt.Fprintln(w, "  /debug/fleet        fleet supervisor: shards, tenants, evictions (?format=json)")
 	fmt.Fprintln(w, "  /debug/sock         websockify gateway: stream windows, shed/reset counters (?format=json)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go runtime profiles")
@@ -205,6 +207,16 @@ func (s *Server) handleHeap(w http.ResponseWriter, r *http.Request) {
 		if rep.Heap == nil {
 			return fmt.Sprintf("== %s ==\n(no unmanaged heap: %s)\n", rep.Source, rep.Detail)
 		}
+		return stub.Text()
+	})
+}
+
+func (s *Server) handleJVM(w http.ResponseWriter, r *http.Request) {
+	writeReports(w, r, s.collectAll("jvm"), func(rep *Report) string {
+		if len(rep.JVM) == 0 {
+			return fmt.Sprintf("== %s ==\n(no jvm engines registered: %s)\n", rep.Source, rep.Detail)
+		}
+		stub := &Report{Source: rep.Source, JVM: rep.JVM}
 		return stub.Text()
 	})
 }
