@@ -30,6 +30,7 @@ import (
 	"doppio/internal/fleet"
 	"doppio/internal/fstrace"
 	"doppio/internal/ops"
+	gprof "doppio/internal/profile"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
@@ -60,6 +61,11 @@ func main() {
 	traceCap := flag.Int("trace-cap", 0, "trace-event retention cap for -trace (0 = default 262144; negative = unlimited); overflow drops oldest events, counted in telemetry.trace_dropped")
 	opsBench := flag.Bool("ops-bench", false, "flight-recorder overhead A/B on a CPU-bound multithreaded workload")
 	opsOut := flag.String("ops-out", "BENCH_ops.json", "path for the -ops-bench JSON report")
+	profFlag := flag.Bool("prof", false, "attach the guest sampling profiler to every Doppio-engine run; prints the hot methods at exit")
+	profPath := flag.String("prof-out", "", "write the guest CPU profile here at exit (.pb.gz = pprof protobuf, .json = snapshot, else collapsed stacks); implies -prof")
+	profBench := flag.Bool("prof-bench", false, "guest-profiler overhead A/B: DeltaBlue with the sampling profiler attached vs detached")
+	profOut := flag.String("prof-bench-out", "BENCH_prof.json", "path for the -prof-bench JSON report")
+	profCheck := flag.Bool("prof-check", false, "fail unless the -prof-bench overhead is <= 5% and the hottest method is a DeltaBlue method (CI gate)")
 	fleetN := flag.Int("fleet", 0, "fleet hosting sweep: run the tenant counts from {16, 64, 256} up to N, single-shard vs multi-shard at equal work")
 	fleetShards := flag.Int("fleet-shards", 0, "multi-shard pool width for -fleet (default NumCPU)")
 	fleetWorkload := flag.String("fleet-workload", "mixed", "tenant mix for -fleet: minic, jvm, mixed, pipes, or sock")
@@ -86,12 +92,18 @@ func main() {
 			hub.EnableFlight(telemetry.DefaultFlightCapacity)
 		}
 	}
-	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio || *opsBench || *fleetN > 0 || *interp
-	if !anyFigure && hub == nil {
+	anyFigure := *fig3 || *fig45 || *fig6 || *table1 || *table2 || *resp || *all || *fsCache || *fsFaults > 0 || *schedBatch || *schedPrio || *opsBench || *profBench || *fleetN > 0 || *interp
+	if !anyFigure && hub == nil && !*profFlag && *profPath == "" {
+		// -prof alone runs the instrumented default pass, like -metrics.
 		flag.Usage()
 		os.Exit(2)
 	}
 	cfg := bench.Config{Scale: *scale, DisableEngineTax: *noTax, Telemetry: hub, FSCache: *fsCache}
+	var guestProf *gprof.Profiler
+	if *profFlag || *profPath != "" {
+		guestProf = gprof.New(gprof.Options{})
+		cfg.Profiler = guestProf
+	}
 	var opsSrv *ops.Server
 	if *opsAddr != "" {
 		opsSrv = ops.NewServer(hub)
@@ -115,10 +127,23 @@ func main() {
 
 	// On SIGINT/SIGTERM (and on the normal exit path) dump the metrics
 	// snapshot and close the trace file exactly once.
+	benchStart := time.Now()
 	var finishOnce sync.Once
 	var finishErr error
 	finish := func() {
 		finishOnce.Do(func() {
+			if guestProf != nil {
+				if *profPath != "" {
+					if err := guestProf.Snapshot(gprof.CPU).WriteFile(*profPath, time.Since(benchStart)); err != nil {
+						fmt.Fprintln(os.Stderr, "doppio-bench: writing profile:", err)
+					} else {
+						fmt.Fprintf(os.Stderr, "doppio-bench: guest profile written to %s\n", *profPath)
+					}
+				} else {
+					fmt.Fprintf(os.Stderr, "doppio-bench: guest hot methods (%d cpu samples):\n%s",
+						guestProf.Samples(), gprof.FormatTop(guestProf.Snapshot(gprof.CPU), 10))
+				}
+			}
 			if hub == nil {
 				return
 			}
@@ -283,6 +308,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("ops overhead report written to %s\n", *opsOut)
+	}
+	if *profBench {
+		res, err := bench.RunProfOverhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatProfOverhead(res))
+		if err := bench.WriteProfReport(*profOut, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profiler overhead report written to %s\n", *profOut)
+		if *profCheck {
+			switch {
+			case res.Overhead > 5:
+				finishErr = fmt.Errorf("prof check: profiler overhead %.2f%% exceeds the 5%% budget", res.Overhead)
+			case res.On.Samples == 0:
+				finishErr = fmt.Errorf("prof check: the on arm folded zero cpu samples")
+			case !strings.Contains(res.HotMethod, "."):
+				finishErr = fmt.Errorf("prof check: hottest method %q is not a guest method", res.HotMethod)
+			default:
+				fmt.Printf("prof check: ok (%+.2f%% cpu, %d samples, hottest %s)\n",
+					res.Overhead, res.On.Samples, res.HotMethod)
+			}
+		}
 	}
 	if *fleetN > 0 {
 		var counts []int

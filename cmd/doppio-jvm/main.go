@@ -31,6 +31,7 @@ import (
 	"doppio/internal/jvm"
 	"doppio/internal/jvm/rt"
 	"doppio/internal/ops"
+	gprof "doppio/internal/profile"
 	"doppio/internal/telemetry"
 )
 
@@ -52,6 +53,8 @@ func main() {
 	postmortem := flag.String("postmortem", "", "write the automatic post-mortem report as JSON to this path (text always goes to stderr)")
 	stallBudget := flag.Duration("stall-budget", 0, "responsiveness budget per macrotask; exceeded -stall-count times in a row triggers a post-mortem (0 disables)")
 	stallCount := flag.Int("stall-count", 3, "consecutive over-budget macrotasks before -stall-budget trips")
+	profFlag := flag.Bool("prof", false, "enable the guest sampling profiler (CPU, alloc, contention); serves /debug/profile and /debug/guest-pprof with -ops, prints the hot methods at exit")
+	profOut := flag.String("prof-out", "", "write the guest CPU profile here at exit (.pb.gz = pprof protobuf, .json = snapshot, else collapsed stacks); implies -prof")
 	flag.Parse()
 
 	if *list {
@@ -135,6 +138,10 @@ func main() {
 		hub.MethodSpans = *traceMethods
 		win.EnableTelemetry(hub)
 	}
+	var guestProf *gprof.Profiler
+	if *profFlag || *profOut != "" {
+		guestProf = gprof.New(gprof.Options{})
+	}
 	vm := jvm.NewDoppioVM(win, jvm.DoppioOptions{
 		Stdout:           os.Stdout,
 		Stderr:           os.Stderr,
@@ -142,9 +149,10 @@ func main() {
 		Timeslice:        *timeslice,
 		DisableEngineTax: !*tax,
 		Quicken:          *quicken,
+		Profiler:         guestProf,
 	})
 	src := ops.Source{Name: mainClass, Loop: win.Loop, Runtime: vm.Runtime(), Heap: vm.Heap(),
-		JVM: []ops.JVMEngine{{Engine: "doppio", Stats: vm}}}
+		JVM: []ops.JVMEngine{{Engine: "doppio", Stats: vm}}, Prof: guestProf}
 	emit := func(rep *ops.Report) {
 		fmt.Fprint(os.Stderr, rep.Text())
 		if *postmortem != "" {
@@ -203,6 +211,21 @@ func main() {
 		})
 	}
 	start := time.Now()
+	dumpProf := func(elapsed time.Duration) {
+		if guestProf == nil {
+			return
+		}
+		if *profOut != "" {
+			if err := guestProf.Snapshot(gprof.CPU).WriteFile(*profOut, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "doppio-jvm: writing profile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "doppio-jvm: guest profile written to %s\n", *profOut)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "doppio-jvm: guest hot methods (%d cpu samples):\n%s",
+			guestProf.Samples(), gprof.FormatTop(guestProf.Snapshot(gprof.CPU), 10))
+	}
 	if err := vm.RunMain(mainClass, args); err != nil {
 		// The loop has returned, so inline collection is safe here.
 		if _, isWatchdog := err.(*eventloop.WatchdogError); isWatchdog {
@@ -210,8 +233,10 @@ func main() {
 		} else if strings.Contains(err.Error(), "deadlock") {
 			emit(ops.Collect(hub, src, "deadlock", err.Error()))
 		}
+		dumpProf(time.Since(start))
 		fatal(err)
 	}
+	dumpProf(time.Since(start))
 	if *stats {
 		st := vm.Runtime().Stats()
 		fmt.Fprintf(os.Stderr, "doppio-jvm: %s: %d bytecodes in %v; %d suspensions (%v suspended) via %s; %d classes loaded\n",

@@ -15,6 +15,7 @@ import (
 
 	"doppio/internal/jvm"
 	"doppio/internal/jvm/rt"
+	"doppio/internal/profile"
 )
 
 func main() {
@@ -22,6 +23,8 @@ func main() {
 	cpFlag := flag.String("cp", "", "comma-separated directories of .class files")
 	stats := flag.Bool("stats", false, "print statistics after execution")
 	quicken := flag.Bool("jvm-quicken", false, "enable the interpreter speed tier: quickened bytecodes, inline caches, superinstructions")
+	profFlag := flag.Bool("prof", false, "enable the guest sampling profiler; prints the hot methods at exit")
+	profOut := flag.String("prof-out", "", "write the guest CPU profile here at exit (.pb.gz = pprof protobuf, .json = snapshot, else collapsed stacks); implies -prof")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: doppio-native [-src a.mj | -cp dir] Main [args...]")
@@ -74,13 +77,31 @@ func main() {
 		}
 	}
 
+	var prof *profile.Profiler
+	if *profFlag || *profOut != "" {
+		prof = profile.New(profile.Options{})
+	}
 	vm := jvm.NewNativeVM(jvm.MapProvider(classes), jvm.NativeOptions{
 		Stdout: os.Stdout, Stderr: os.Stderr, Stdin: os.Stdin,
-		Quicken: *quicken,
+		Quicken:  *quicken,
+		Profiler: prof,
 	})
 	start := time.Now()
-	if err := vm.RunMain(mainClass, args); err != nil {
-		fatal(err)
+	runErr := vm.RunMain(mainClass, args)
+	if prof != nil {
+		if *profOut != "" {
+			if err := prof.Snapshot(profile.CPU).WriteFile(*profOut, time.Since(start)); err != nil {
+				fmt.Fprintln(os.Stderr, "doppio-native: writing profile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "doppio-native: guest profile written to %s\n", *profOut)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "doppio-native: guest hot methods (%d cpu samples):\n%s",
+				prof.Samples(), profile.FormatTop(prof.Snapshot(profile.CPU), 10))
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "doppio-native: %d bytecodes in %v; %d classes loaded\n",

@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"doppio/internal/browser"
 	"doppio/internal/core"
 	"doppio/internal/fleet"
 	opspkg "doppio/internal/ops"
 	"doppio/internal/proc"
+	gprof "doppio/internal/profile"
 	"doppio/internal/shell"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
@@ -31,6 +33,8 @@ func main() {
 	cmd := flag.String("c", "", "run this command line (';'-separated) and exit with its status")
 	browserName := flag.String("browser", "Chrome 28", "browser profile")
 	opsAddr := flag.String("ops", "", "serve the live ops endpoints on this address (e.g. :6060)")
+	profFlag := flag.Bool("prof", false, "enable the guest sampling profiler across every process the shell spawns; prints the hot methods at exit")
+	profOut := flag.String("prof-out", "", "write the guest CPU profile here at exit (.pb.gz = pprof protobuf, .json = snapshot, else collapsed stacks); implies -prof")
 	flag.Parse()
 
 	profile, ok := browser.ByName(*browserName)
@@ -41,6 +45,13 @@ func main() {
 	hub := telemetry.NewHub().EnableFlight(0)
 	win := fleet.NewEnv(profile, hub).Win
 	k := proc.NewKernel(win, vfs.NewInMemory())
+	var guestProf *gprof.Profiler
+	if *profFlag || *profOut != "" {
+		// One profiler for the whole process tree: every pipeline stage
+		// the kernel spawns — MiniC or JVM — folds into it.
+		guestProf = gprof.New(gprof.Options{})
+		k.SetProfiler(guestProf)
+	}
 	sh, err := shell.New(k, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -54,6 +65,7 @@ func main() {
 			Loop:    win.Loop,
 			Backend: k.Root(),
 			Proc:    k,
+			Prof:    guestProf,
 		})
 		addr, err := srv.Serve(*opsAddr)
 		if err != nil {
@@ -61,6 +73,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dsh: ops server on http://%s (try /debug/proc)\n", addr)
+	}
+
+	start := time.Now()
+	dumpProf := func() {
+		if guestProf == nil {
+			return
+		}
+		if *profOut != "" {
+			if err := guestProf.Snapshot(gprof.CPU).WriteFile(*profOut, time.Since(start)); err != nil {
+				fmt.Fprintln(os.Stderr, "dsh: writing profile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "dsh: guest profile written to %s\n", *profOut)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dsh: guest hot methods (%d cpu samples):\n%s",
+			guestProf.Samples(), gprof.FormatTop(guestProf.Snapshot(gprof.CPU), 10))
 	}
 
 	var last int32
@@ -85,9 +114,11 @@ func main() {
 			}
 			runAt(0)
 		}); err != nil {
+			dumpProf()
 			fmt.Fprintln(os.Stderr, "dsh:", err)
 			os.Exit(1)
 		}
+		dumpProf()
 		os.Exit(int(last))
 	}
 
@@ -126,9 +157,11 @@ func main() {
 		}
 		repl()
 	}); err != nil {
+		dumpProf()
 		fmt.Fprintln(os.Stderr, "dsh:", err)
 		os.Exit(1)
 	}
+	dumpProf()
 	os.Exit(int(last))
 }
 

@@ -18,6 +18,7 @@ import (
 	"doppio/internal/fleet"
 	"doppio/internal/jvm"
 	"doppio/internal/ops"
+	"doppio/internal/profile"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// inspectable source, so the live endpoints (/debug/threads,
 	// /debug/vfs, ...) can see the workload while it executes.
 	Ops *ops.Server
+	// Profiler, when non-nil, attaches the guest sampling profiler to
+	// every Doppio-engine run (figures and the telemetry pass fold into
+	// one profile; the -prof-bench A/B manages its own profilers).
+	Profiler *profile.Profiler
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +256,7 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 		FS:               &jvm.VFSHostFS{FS: fs},
 		Timeslice:        cfg.Timeslice,
 		DisableEngineTax: cfg.DisableEngineTax,
+		Profiler:         cfg.Profiler,
 	})
 	if cfg.Ops != nil {
 		cfg.Ops.Register(ops.Source{
@@ -260,6 +266,7 @@ func RunDoppio(spec WorkloadSpec, scale int, profile browser.Profile, cfg Config
 			Backend: root,
 			Heap:    vm.Heap(),
 			JVM:     []ops.JVMEngine{{Engine: "doppio", Stats: vm}},
+			Prof:    cfg.Profiler,
 		})
 	}
 	start := time.Now()

@@ -1,0 +1,205 @@
+// Guest-profiler overhead harness: measures what the sampling
+// profiler costs a running workload. DeltaBlue — field- and
+// virtual-call-heavy, so the CPU sampler's stack walks are as deep as
+// they get — runs with the profiler attached and detached; the report
+// (BENCH_prof.json) records both arms so CI can hold the overhead
+// under its budget — continuous profiling is only viable if sampling
+// is nearly free.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"doppio/internal/bench/workloads"
+	"doppio/internal/browser"
+	"doppio/internal/fleet"
+	"doppio/internal/jvm"
+	"doppio/internal/profile"
+)
+
+// ProfArm is one arm of the profiler overhead comparison.
+type ProfArm struct {
+	Mode string `json:"mode"`
+	// Wall is the best (minimum) wall time over Runs repetitions.
+	Wall time.Duration `json:"wall_ns"`
+	// CPU is the best per-run scheduler CPU time — thread execution
+	// only, which is where sampling cost lands and what Overhead is
+	// computed from (wall on a timeslice-batched workload is dominated
+	// by timer jitter).
+	CPU time.Duration `json:"cpu_ns"`
+	// Samples is how many CPU samples the arm's profiler folded (zero
+	// on the off arm — the profiler is nil, not merely idle).
+	Samples int64 `json:"samples"`
+}
+
+// ProfOverheadResult is the profiler on/off A/B.
+type ProfOverheadResult struct {
+	Workload string        `json:"workload"`
+	Browser  string        `json:"browser"`
+	Runs     int           `json:"runs"`
+	Off      ProfArm       `json:"off"`
+	On       ProfArm       `json:"on"`
+	Overhead float64       `json:"overhead_pct"`
+	Budget   time.Duration `json:"timeslice_ns"`
+	// HotMethod is the hottest guest method the on arm's profiler saw
+	// in its last repetition — a fidelity check riding along with the
+	// overhead numbers (CI asserts it is a DeltaBlue method).
+	HotMethod string `json:"hot_method"`
+}
+
+// profOverheadRuns is the repetition count each arm takes the minimum
+// over.
+const profOverheadRuns = 15
+
+// RunProfOverhead measures the sampling profiler's cost on DeltaBlue:
+// profOverheadRuns interleaved off/on pairs, each arm keeping its best
+// wall and CPU; Overhead is the trimmed (interquartile) mean per-pair
+// CPU slowdown in percent — the same pair-ratio methodology as the
+// flight-recorder A/B, for the same reason (adjacent runs share the
+// machine's momentary speed, so a pair's ratio cancels drift).
+func RunProfOverhead(cfg Config) (*ProfOverheadResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Timeslice == 0 {
+		cfg.Timeslice = 10 * time.Millisecond
+	}
+	classes, err := workloads.Classes()
+	if err != nil {
+		return nil, err
+	}
+	spec := MicroWorkloads[0] // DeltaBlue
+	prof := browser.Chrome28
+	if len(cfg.Browsers) > 0 {
+		prof = cfg.Browsers[0]
+	}
+	res := &ProfOverheadResult{
+		Workload: spec.ID,
+		Browser:  prof.Name,
+		Runs:     profOverheadRuns,
+		Budget:   cfg.Timeslice,
+	}
+	res.Off = ProfArm{Mode: "prof-off"}
+	res.On = ProfArm{Mode: "prof-on"}
+	// One untimed warm-up, then interleaved off/on pairs with
+	// alternating order (see opsbench.go for why).
+	if err := runProfOnce(cfg, prof, spec, classes, false, nil, res); err != nil {
+		return nil, err
+	}
+	ratios := make([]float64, 0, profOverheadRuns)
+	for i := 0; i < profOverheadRuns; i++ {
+		var off, on ProfArm
+		first, second, firstArm, secondArm := false, true, &off, &on
+		if i%2 == 1 {
+			first, second, firstArm, secondArm = true, false, &on, &off
+		}
+		if err := runProfOnce(cfg, prof, spec, classes, first, firstArm, res); err != nil {
+			return nil, err
+		}
+		if err := runProfOnce(cfg, prof, spec, classes, second, secondArm, res); err != nil {
+			return nil, err
+		}
+		if off.CPU > 0 {
+			ratios = append(ratios, float64(on.CPU)/float64(off.CPU))
+		}
+		res.Off.fold(off)
+		res.On.fold(on)
+	}
+	// Interquartile mean of the per-pair CPU ratios (not the ratio of
+	// the minima) — trimming discards pairs that straddled a machine
+	// speed transition.
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		lo, hi := len(ratios)/4, len(ratios)-len(ratios)/4
+		var sum float64
+		for _, r := range ratios[lo:hi] {
+			sum += r
+		}
+		res.Overhead = 100 * (sum/float64(hi-lo) - 1)
+	}
+	return res, nil
+}
+
+// fold merges one repetition into the arm's best-so-far numbers.
+func (a *ProfArm) fold(run ProfArm) {
+	if a.CPU == 0 || (run.CPU > 0 && run.CPU < a.CPU) {
+		a.CPU = run.CPU
+	}
+	if a.Wall == 0 || (run.Wall > 0 && run.Wall < a.Wall) {
+		a.Wall = run.Wall
+	}
+	if run.Samples > 0 {
+		a.Samples = run.Samples
+	}
+}
+
+// runProfOnce executes one repetition on a fresh window and VM and
+// folds its wall and CPU into arm (nil arm = untimed warm-up).
+func runProfOnce(cfg Config, prof browser.Profile, spec WorkloadSpec, classes map[string][]byte, profiling bool, arm *ProfArm, res *ProfOverheadResult) error {
+	mode := "prof-off"
+	var gp *profile.Profiler
+	if profiling {
+		mode = "prof-on"
+		gp = profile.New(profile.Options{})
+	}
+	env := fleet.NewEnv(prof, nil)
+	var stdout strings.Builder
+	vm := jvm.NewDoppioVM(env.Win, jvm.DoppioOptions{
+		Stdout:           &stdout,
+		Provider:         jvm.MapProvider(classes),
+		Timeslice:        cfg.Timeslice,
+		DisableEngineTax: true,
+		Profiler:         gp,
+	})
+	start := time.Now()
+	if err := vm.RunMain(spec.Main, spec.Args(cfg.Scale)); err != nil {
+		return fmt.Errorf("%s arm: %w\n%s", mode, err, stdout.String())
+	}
+	wall := time.Since(start)
+	if stdout.Len() == 0 {
+		return fmt.Errorf("%s arm produced no output", mode)
+	}
+	if arm == nil {
+		return nil // warm-up run: not timed
+	}
+	if cpu := vm.Runtime().Stats().CPUTime; arm.CPU == 0 || cpu < arm.CPU {
+		arm.CPU = cpu
+	}
+	if arm.Wall == 0 || wall < arm.Wall {
+		arm.Wall = wall
+	}
+	if gp != nil {
+		arm.Samples = gp.Samples()
+		if top := gp.TopMethods(profile.CPU, 1); len(top) > 0 {
+			res.HotMethod = top[0].Method
+		}
+	}
+	return nil
+}
+
+// FormatProfOverhead renders the comparison.
+func FormatProfOverhead(r *ProfOverheadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Guest-profiler overhead — %s on %s (best of %d)\n",
+		r.Workload, r.Browser, r.Runs)
+	fmt.Fprintf(&b, "  %-9s wall %8s  cpu %8s\n",
+		r.Off.Mode, r.Off.Wall.Round(time.Millisecond), r.Off.CPU.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-9s wall %8s  cpu %8s  (%d cpu samples; hottest: %s)\n",
+		r.On.Mode, r.On.Wall.Round(time.Millisecond), r.On.CPU.Round(time.Millisecond),
+		r.On.Samples, r.HotMethod)
+	fmt.Fprintf(&b, "  overhead: %+.2f%% (cpu)\n", r.Overhead)
+	return b.String()
+}
+
+// WriteProfReport writes the overhead result as indented JSON
+// (BENCH_prof.json).
+func WriteProfReport(path string, r *ProfOverheadResult) error {
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -23,6 +23,11 @@ type suspendClock struct {
 	samples    int
 	sliceStart time.Time
 	sliceLimit time.Duration // this slice's target duration (≤ timeslice)
+
+	// probe, when set, fires on every counter expiry with the
+	// timestamp check() already read — the profiler's CPU sample
+	// point. It costs nothing on the counter>0 fast path.
+	probe func(now time.Time)
 }
 
 const (
@@ -71,6 +76,9 @@ func (c *suspendClock) check() bool {
 		return false
 	}
 	now := time.Now()
+	if c.probe != nil {
+		c.probe(now)
+	}
 	if c.fixed > 0 {
 		// Fixed mode: suspend every `fixed` checks, no adaptation.
 		c.counter = c.fixed

@@ -200,6 +200,12 @@ type Runtime struct {
 
 	tel *rtTelemetry
 
+	// Guest-profiler hooks (see SetSampleHook / SetBlockHook). Both
+	// run on the loop goroutine; nil when profiling is off.
+	sampleHook  func(t *Thread, dt time.Duration)
+	sampleEvery time.Duration
+	blockHook   func(t *Thread, reason string, dt time.Duration)
+
 	onIdle []func() // notified when no threads remain
 }
 
@@ -371,6 +377,62 @@ func (rt *Runtime) scheduleResumption(fn func()) {
 	}
 }
 
+// SetSampleHook installs a CPU-sampling hook: it fires from the
+// suspend clock's counter-expiry path (where the current time has
+// already been read, so the fast path stays untouched) and at the end
+// of every timeslice, with the on-CPU time elapsed since the thread's
+// previous sample. interval is the minimum spacing between in-slice
+// samples (elapsed time accumulates until an eligible sample point,
+// then the whole window is attributed to the stack observed there —
+// classic sampling). A nil hook disables sampling.
+func (rt *Runtime) SetSampleHook(hook func(t *Thread, dt time.Duration), interval time.Duration) {
+	rt.sampleHook = hook
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	rt.sampleEvery = interval
+	for _, t := range rt.threads {
+		rt.armProbe(t)
+	}
+}
+
+// SetBlockHook installs a contention hook: when a blocked thread is
+// resumed, the hook fires with the completion label it waited on and
+// the time it spent blocked. The guest stack is unchanged for the
+// whole blocked window, so walking it from the hook attributes the
+// wait to the blocking call site. A nil hook disables it.
+func (rt *Runtime) SetBlockHook(hook func(t *Thread, reason string, dt time.Duration)) {
+	rt.blockHook = hook
+}
+
+// armProbe points t's suspend clock at the runtime's sample hook.
+func (rt *Runtime) armProbe(t *Thread) {
+	if rt.sampleHook == nil {
+		t.clock.probe = nil
+		return
+	}
+	t.clock.probe = func(now time.Time) { rt.sample(t, now) }
+}
+
+// sample attributes the on-CPU window since t's previous sample to
+// the hook, if the minimum interval has elapsed.
+func (rt *Runtime) sample(t *Thread, now time.Time) {
+	hook := rt.sampleHook
+	if hook == nil {
+		return
+	}
+	if t.lastSampleAt.IsZero() {
+		t.lastSampleAt = now
+		return
+	}
+	dt := now.Sub(t.lastSampleAt)
+	if dt < rt.sampleEvery {
+		return
+	}
+	t.lastSampleAt = now
+	hook(t, dt)
+}
+
 // Spawn creates a new thread in the pool at the default priority,
 // ready to run. Start (or an already-running scheduler) will pick it
 // up.
@@ -385,6 +447,7 @@ func (rt *Runtime) Spawn(name string, r Runnable) *Thread {
 		prio:     rt.cfg.DefaultPriority,
 	}
 	t.clock = newSuspendClock(rt.cfg.Timeslice, rt.cfg.FixedCounter)
+	rt.armProbe(t)
 	if tel := rt.tel; tel != nil && tel.tracer != nil {
 		tel.tracer.ThreadName(coreThreadTID(t.ID), fmt.Sprintf("doppio thread %d: %s", t.ID, name))
 	}
@@ -495,10 +558,23 @@ func (rt *Runtime) runSlice(t *Thread, limit time.Duration) {
 		}
 	}
 	start := time.Now()
+	if rt.sampleHook != nil {
+		// On-CPU accounting starts fresh each slice: time spent off
+		// the CPU (queued, suspended) must not be attributed.
+		t.lastSampleAt = start
+	}
 	res := t.runnable.Run(t)
 	elapsed := time.Since(start)
 	rt.stats.CPUTime += elapsed
 	t.CPUTime += elapsed
+	if hook := rt.sampleHook; hook != nil && res != Done {
+		// Close out the slice: attribute the tail window (below the
+		// in-slice interval gate) so sampled time tracks CPUTime.
+		// Finished threads have unwound their stack — skip them.
+		if dt := time.Since(t.lastSampleAt); dt > 0 {
+			hook(t, dt)
+		}
+	}
 	if tel := rt.tel; tel != nil {
 		span.End()
 		tel.sliceDur.ObserveDuration(elapsed)

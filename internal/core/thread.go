@@ -30,6 +30,11 @@ type Thread struct {
 	// CPUTime is the total time this thread spent executing.
 	CPUTime time.Duration
 
+	// lastSampleAt is the profiler's per-thread sampling cursor:
+	// the time of the last CPU sample (reset at slice start so only
+	// on-CPU time is attributed). Owned by Runtime.sample.
+	lastSampleAt time.Time
+
 	// Data lets the language implementation attach its per-thread
 	// state (e.g. the JVM thread object).
 	Data interface{}
@@ -85,6 +90,10 @@ func (t *Thread) Block(reason string) (resume func()) {
 	t.state = BlockedState
 	t.blockedOn = reason
 	t.rt.flight().Record("comp", "block", reason, int64(t.ID))
+	var blockedAt time.Time
+	if t.rt.blockHook != nil {
+		blockedAt = time.Now()
+	}
 	fired := false
 	return func() {
 		if fired {
@@ -93,6 +102,11 @@ func (t *Thread) Block(reason string) (resume func()) {
 		fired = true
 		if t.state != BlockedState {
 			return // terminated while blocked (e.g. runtime shutdown)
+		}
+		if hook := t.rt.blockHook; hook != nil && !blockedAt.IsZero() {
+			// The guest stack has not moved since the block, so the
+			// contention profile attributes the wait to its call site.
+			hook(t, reason, time.Since(blockedAt))
 		}
 		t.rt.flight().Record("comp", "settle", reason, int64(t.ID))
 		t.state = ReadyState

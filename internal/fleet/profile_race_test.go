@@ -1,0 +1,181 @@
+package fleet_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"doppio/internal/fleet"
+	"doppio/internal/jvm"
+	"doppio/internal/jvm/rt"
+)
+
+// profSpinSource is a tenant workload for the profiling tests: a hot
+// loop through named methods with steady allocation, so the CPU and
+// alloc profiles both have something to attribute — and it never
+// exits, so only eviction stops it.
+const profSpinSource = `
+class Work {
+    int acc;
+    int churn(int i) {
+        int[] a = new int[8];
+        for (int j = 0; j < a.length; j++) { a[j] = i ^ j; }
+        for (int j = 0; j < a.length; j++) { acc = acc * 31 + a[j]; }
+        return acc;
+    }
+}
+public class Main {
+    public static void main(String[] args) {
+        Work w = new Work();
+        int i = 0;
+        while (true) {
+            w.churn(i);
+            i++;
+        }
+    }
+}`
+
+// jvmSpinTenant builds a tenant running profSpinSource on a Doppio
+// JVM wired to the fleet's per-tenant profiler (Env.Prof).
+func jvmSpinTenant(label string, classes map[string][]byte, budget time.Duration) fleet.Tenant {
+	return fleet.Tenant{
+		Label:  label,
+		Budget: fleet.Budget{CPU: budget},
+		Start: func(env *fleet.Env, done func(error)) (*fleet.Handle, error) {
+			vm := jvm.NewDoppioVM(env.Win, jvm.DoppioOptions{
+				Provider:         jvm.MapProvider(classes),
+				Timeslice:        2 * time.Millisecond,
+				HeapSize:         512 << 10,
+				DisableEngineTax: true,
+				Profiler:         env.Prof,
+			})
+			vm.StartMain("Main", nil, done)
+			return &fleet.Handle{Runtime: vm.Runtime(), Heap: vm.Heap(),
+				Kill: func() { vm.Exit(137) }}, nil
+		},
+	}
+}
+
+// tenantHotWeight sums one tenant's sampled CPU nanoseconds in a
+// snapshot (0 if absent or unsampled).
+func tenantHotWeight(snap fleet.FleetSnapshot, label string) int64 {
+	for _, ti := range snap.Tenants {
+		if ti.Label != label {
+			continue
+		}
+		var sum int64
+		for _, m := range ti.HotMethods {
+			sum += m.Value
+		}
+		return sum
+	}
+	return 0
+}
+
+// TestProfilingFleetEviction samples a profiling fleet mid-eviction,
+// under -race in CI: a spinning JVM tenant is evicted on its CPU
+// budget while the test goroutine hammers Snapshot/Format (which read
+// the tenant's profiler cross-goroutine). After the eviction the dead
+// tenant's profile must stop growing — eviction killed the VM, which
+// was the only sample source — and the shard must keep running
+// tenants to completion (not wedged).
+func TestProfilingFleetEviction(t *testing.T) {
+	classes, err := rt.CompileWith(map[string]string{"Main.mj": profSpinSource})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sup := fleet.NewSupervisor(fleet.Config{
+		Shards:          2,
+		Profiling:       true,
+		ProfileInterval: 200 * time.Microsecond,
+	})
+	defer sup.Close()
+
+	hog, err := sup.Submit(jvmSpinTenant("hog", classes, 15*time.Millisecond))
+	if err != nil {
+		t.Fatalf("submit hog: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := sup.Submit(yieldTenant(fmt.Sprintf("friendly%02d", i), 200)); err != nil {
+			t.Fatalf("submit friendly %d: %v", i, err)
+		}
+	}
+
+	// Concurrent readers: the race detector checks that reading the
+	// hog's profile while its VM samples into it is clean.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := sup.Snapshot()
+				_ = snap.Format()
+			}
+		}()
+	}
+
+	select {
+	case <-hog.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("hog never evicted")
+	}
+	if st := hog.State(); st != fleet.StateEvicted {
+		t.Fatalf("hog state %s, want evicted (err %v)", st, hog.Err())
+	}
+
+	// The evicted tenant's profile was populated while it lived...
+	after := sup.Snapshot()
+	weight := tenantHotWeight(after, "hog")
+	if weight == 0 {
+		t.Error("evicted tenant folded no CPU samples while alive")
+	}
+	sawGuest := false
+	for _, ti := range after.Tenants {
+		if ti.Label != "hog" {
+			continue
+		}
+		for _, m := range ti.HotMethods {
+			if strings.HasPrefix(m.Method, "Work.churn") || strings.HasPrefix(m.Method, "Main.main") {
+				sawGuest = true
+			}
+		}
+	}
+	if !sawGuest {
+		t.Errorf("hog hot methods carry no guest names: %+v", after.Tenants)
+	}
+
+	// ...and stops growing once the VM is dead: no samples are
+	// attributed to an evicted tenant.
+	time.Sleep(50 * time.Millisecond)
+	if again := tenantHotWeight(sup.Snapshot(), "hog"); again != weight {
+		t.Errorf("dead tenant's profile grew after eviction: %d -> %d", weight, again)
+	}
+
+	// The shard the hog occupied is not wedged: a fresh batch still
+	// runs to completion.
+	refs := make([]*fleet.TenantRef, 0, 4)
+	for i := 0; i < 4; i++ {
+		ref, err := sup.Submit(yieldTenant(fmt.Sprintf("late%02d", i), 50))
+		if err != nil {
+			t.Fatalf("submit late %d: %v", i, err)
+		}
+		refs = append(refs, ref)
+	}
+	sup.Wait()
+	close(stop)
+	readers.Wait()
+	for _, ref := range refs {
+		if st := ref.State(); st != fleet.StateDone {
+			t.Errorf("%s: state %s, err %v", ref.Label(), st, ref.Err())
+		}
+	}
+}

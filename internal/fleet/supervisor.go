@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"doppio/internal/browser"
+	"doppio/internal/profile"
 	"doppio/internal/telemetry"
 	"doppio/internal/vfs"
 )
@@ -57,6 +58,15 @@ type Config struct {
 	// at admission, wrapped in a page cache when the tenant's budget
 	// asks for one. Default: vfs.NewInMemory.
 	NewRoot func() vfs.Backend
+
+	// Profiling gives every tenant its own continuous guest profiler
+	// (internal/profile), handed to the StartFunc via Env.Prof; the
+	// per-tenant top hot methods surface in /debug/fleet. The sampling
+	// interval is ProfileInterval (default 10ms — a continuous low
+	// rate, an order of magnitude coarser than the on-demand
+	// /debug/profile default).
+	Profiling       bool
+	ProfileInterval time.Duration
 }
 
 // Supervisor owns a pool of shards and the tenants placed on them.
@@ -191,6 +201,15 @@ func (s *Supervisor) Submit(spec Tenant) (*TenantRef, error) {
 		root = vfs.Stack(root, vfs.WithCache(vfs.CacheOptions{ByteBudget: spec.Budget.CacheBytes}))
 	}
 	t.root = root
+	if s.cfg.Profiling {
+		// Built off-loop and immutable on the tenant thereafter, so
+		// Snapshot can rank hot methods without touching the shard.
+		interval := s.cfg.ProfileInterval
+		if interval <= 0 {
+			interval = 10 * time.Millisecond
+		}
+		t.prof = profile.New(profile.Options{CPUInterval: interval})
+	}
 
 	sh.loop.InvokeExternal("fleet-admit:"+spec.Label, func() { sh.startTenant(t) })
 	return &TenantRef{t: t}, nil
@@ -348,6 +367,10 @@ type TenantInfo struct {
 	FDs        int64       `json:"fds"`
 	RunqDepth  int64       `json:"runq_depth"`
 	LatencyMs  int64       `json:"latency_ms,omitempty"`
+	// HotMethods is the tenant's top-5 CPU-profile methods (leaf
+	// attribution, Value in sampled nanoseconds); present only when
+	// the fleet runs with Config.Profiling.
+	HotMethods []profile.MethodWeight `json:"hot_methods,omitempty"`
 }
 
 // ShardInfo is one shard's row in a FleetSnapshot.
@@ -417,6 +440,7 @@ func (s *Supervisor) Snapshot() FleetSnapshot {
 		if !t.finishedAt.IsZero() {
 			info.LatencyMs = t.finishedAt.Sub(t.submittedAt).Milliseconds()
 		}
+		info.HotMethods = t.prof.TopMethods(profile.CPU, 5)
 		infos = append(infos, info)
 	}
 	s.mu.Unlock()
@@ -460,6 +484,10 @@ func (snap FleetSnapshot) Format() string {
 				t.Label, t.Shard, t.State, t.CPUMs, heap, t.FDs, t.RunqDepth)
 			if t.Detail != "" {
 				fmt.Fprintf(&b, "    %s\n", t.Detail)
+			}
+			for _, m := range t.HotMethods {
+				fmt.Fprintf(&b, "    hot %-40s %8.1fms\n",
+					m.Method, float64(m.Value)/1e6)
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"doppio/internal/buffer"
 	"doppio/internal/core"
 	"doppio/internal/jlong"
+	"doppio/internal/profile"
 	"doppio/internal/sockets"
 	"doppio/internal/telemetry"
 	"doppio/internal/umheap"
@@ -72,6 +73,10 @@ type DoppioVM struct {
 	pairs   *[65536]int64
 	qstats  QuickStats
 
+	// prof is the guest profiler (nil when off); its SampleAlloc
+	// gate is consulted at the allocation opcodes.
+	prof *profile.Profiler
+
 	tel *vmTelemetry
 
 	// Uncaught records the first uncaught exception.
@@ -115,6 +120,10 @@ type DoppioOptions struct {
 	// fusion. Off by default — the un-quickened path is the paper-
 	// fidelity baseline.
 	Quicken bool
+	// Profiler, when non-nil, samples guest CPU time, allocation
+	// sites, and blocked time into the given profiler (see
+	// internal/profile). Nil keeps every sampling hook uninstalled.
+	Profiler *profile.Profiler
 }
 
 // NewDoppioVM creates a DoppioJVM inside the browser window.
@@ -178,6 +187,9 @@ func NewDoppioVM(win *browser.Window, opts DoppioOptions) *DoppioVM {
 	})
 	if win.Telemetry != nil {
 		vm.EnableTelemetry(win.Telemetry)
+	}
+	if opts.Profiler != nil {
+		vm.installProfiler(opts.Profiler)
 	}
 	return vm
 }

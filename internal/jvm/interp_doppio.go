@@ -1010,6 +1010,9 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 					continue
 				}
 			}
+			if vm.prof != nil {
+				d.profAlloc(profObjBytes(cls))
+			}
 			f.pushR(NewObject(cls))
 		case classfile.OpNewarray:
 			n := f.popI()
@@ -1021,6 +1024,9 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 			arrC, _ := vm.Reg.arrayClass("[" + desc)
 			if c := vm.Reg.Get("[" + desc); c != nil {
 				arrC = c
+			}
+			if vm.prof != nil {
+				d.profAlloc(profArrayBytes(desc, n))
 			}
 			f.pushR(NewArray(arrC, desc, int(n)))
 		case classfile.OpAnewarray:
@@ -1038,6 +1044,9 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 			arrC := vm.Reg.Get("[" + elemDesc)
 			if arrC == nil {
 				arrC, _ = vm.Reg.arrayClass("[" + elemDesc)
+			}
+			if vm.prof != nil {
+				d.profAlloc(profArrayBytes(elemDesc, n))
 			}
 			f.pushR(NewArray(arrC, elemDesc, int(n)))
 		case classfile.OpMultianewarray:
@@ -1057,6 +1066,13 @@ func (d *DThread) Run(ct *core.Thread) core.RunResult {
 			}
 			arrName := f.m.Class.CP[idx].Str
 			arr := vm.buildMultiArrayD(arrName, counts)
+			if vm.prof != nil {
+				total := int64(1)
+				for _, c := range counts {
+					total *= int64(c)
+				}
+				d.profAlloc(16 + 8*total)
+			}
 			f.pushR(arr)
 		case classfile.OpArraylength:
 			arr := f.popR()
@@ -1635,6 +1651,33 @@ rebind:
 			a := pk >> packAShift
 			st[sp-1] = boxI(jsInt(st[sp-1]) + jsInt(lo[a]))
 			fused++
+		case QGetfieldIfeq:
+			q := &ops[pc]
+			sp--
+			o, _ := st[sp].(*Object)
+			if o == nil {
+				d.quickFlush(f, st, sp, pc, n, fused)
+				vm.throwD(d, "java/lang/NullPointerException", q.Field.Name)
+				return runContinue
+			}
+			fused++
+			if jsInt(dValueFromSlot(q.Desc, o.Slots[q.Offset])) == 0 {
+				pc = int(pk >> packAShift)
+			} else {
+				pc += int((pk >> packLenShift) & 0xff)
+			}
+			continue
+		case QIloadIfIcmplt:
+			sp--
+			fused++
+			// Branch target exceeds the packed immediate; read the
+			// full entry.
+			if jsInt(st[sp]) < jsInt(lo[pk>>packAShift]) {
+				pc = int(ops[pc].Offset)
+			} else {
+				pc += int((pk >> packLenShift) & 0xff)
+			}
+			continue
 		}
 		pc += int((pk >> packLenShift) & 0xff)
 	}

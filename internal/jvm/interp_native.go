@@ -318,6 +318,27 @@ func (vm *NativeVM) execQuick(t *NThread, f *NFrame, q *QuickOp) {
 	case QIloadIadd:
 		f.pushI(f.popI() + int32(f.locals[q.A].N))
 		vm.qstats.FusedExec++
+	case QGetfieldIfeq:
+		o := f.popR()
+		if o == nil {
+			vm.throwByName(t, "java/lang/NullPointerException", q.Field.Name)
+			return
+		}
+		vm.qstats.FusedExec++
+		if int32(o.Slots[q.Offset].N) == 0 {
+			f.pc = int(q.A)
+		} else {
+			f.pc += int(q.Len)
+		}
+		return
+	case QIloadIfIcmplt:
+		vm.qstats.FusedExec++
+		if f.popI() < int32(f.locals[q.A].N) {
+			f.pc = int(q.Offset)
+		} else {
+			f.pc += int(q.Len)
+		}
+		return
 	}
 	f.pc += int(q.Len)
 }
@@ -375,6 +396,11 @@ func (vm *NativeVM) execute(t *NThread, quantum int) error {
 		if vm.pairs != nil {
 			vm.pairs[pairKey(t.prevOp, op)]++
 			t.prevOp = op
+		}
+		if vm.prof != nil {
+			if vm.profCheck--; vm.profCheck <= 0 {
+				vm.profTick(t)
+			}
 		}
 		if qt := f.m.quick; qt != nil {
 			// The native engine executes only the lazily installed
@@ -1104,6 +1130,9 @@ func (vm *NativeVM) execute(t *NThread, quantum int) error {
 				vm.ensureInit(t, cls)
 				continue
 			}
+			if vm.prof != nil {
+				vm.profAllocN(t, profObjBytes(cls))
+			}
 			f.pushR(NewObject(cls))
 		case classfile.OpNewarray:
 			n := f.popI()
@@ -1116,6 +1145,9 @@ func (vm *NativeVM) execute(t *NThread, quantum int) error {
 			if err != nil {
 				vm.throwByName(t, "java/lang/Error", err.Error())
 				continue
+			}
+			if vm.prof != nil {
+				vm.profAllocN(t, profArrayBytes(desc, n))
 			}
 			f.pushR(NewArray(arrC, desc, int(n)))
 		case classfile.OpAnewarray:
@@ -1134,6 +1166,9 @@ func (vm *NativeVM) execute(t *NThread, quantum int) error {
 			if err != nil {
 				vm.throwByName(t, "java/lang/ClassNotFoundException", elemName)
 				continue
+			}
+			if vm.prof != nil {
+				vm.profAllocN(t, profArrayBytes(elemDesc, n))
 			}
 			f.pushR(NewArray(arrC, elemDesc, int(n)))
 		case classfile.OpMultianewarray:
@@ -1156,6 +1191,13 @@ func (vm *NativeVM) execute(t *NThread, quantum int) error {
 			if err != nil {
 				vm.throwByName(t, "java/lang/Error", err.Error())
 				continue
+			}
+			if vm.prof != nil {
+				total := int64(1)
+				for _, c := range counts {
+					total *= int64(c)
+				}
+				vm.profAllocN(t, 16+8*total)
 			}
 			f.pushR(arr)
 		case classfile.OpArraylength:

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"doppio/internal/jlong"
+	"doppio/internal/profile"
 	"doppio/internal/umheap"
 )
 
@@ -54,6 +55,14 @@ type NativeVM struct {
 	quicken bool
 	pairs   *[65536]int64
 	qstats  QuickStats
+
+	// prof is the guest profiler (nil when off). The native engine
+	// has no core.Runtime, so its scheduler samples itself: profLast
+	// is the on-CPU cursor for the running quantum, profCheck the
+	// instruction countdown to the next clock read.
+	prof      *profile.Profiler
+	profLast  time.Time
+	profCheck int
 }
 
 // timedWait tracks an Object.wait(ms) deadline.
@@ -74,6 +83,10 @@ type NativeOptions struct {
 	// superinstruction fusion; off preserves the paper-fidelity
 	// generic interpreter.
 	Quicken bool
+	// Profiler, when non-nil, samples guest CPU time and allocation
+	// sites into the given profiler (contention is Doppio-only: the
+	// native engine's monitors block without Completions).
+	Profiler *profile.Profiler
 }
 
 // NewNativeVM creates a VM over the class provider.
@@ -113,6 +126,19 @@ func NewNativeVM(provider SyncProvider, opts NativeOptions) *NativeVM {
 	if opts.Quicken {
 		vm.quicken = true
 		vm.pairs = new([65536]int64)
+	}
+	if opts.Profiler != nil {
+		vm.prof = opts.Profiler
+		vm.heap.SetAllocHook(func(n int) {
+			if !vm.prof.AllocReady() {
+				return
+			}
+			if t := vm.cur; t != nil {
+				vm.prof.SampleAlloc(append(profStackN(t), "(umheap)"), int64(n))
+				return
+			}
+			vm.prof.SampleAlloc([]string{"(host)", "(umheap)"}, int64(n))
+		})
 	}
 	return vm
 }
@@ -260,7 +286,14 @@ func (vm *NativeVM) schedule() error {
 			}
 			ran = true
 			vm.cur = t
-			if err := vm.execute(t, nativeQuantum); err != nil {
+			if vm.prof != nil {
+				vm.profQuantumStart()
+			}
+			err := vm.execute(t, nativeQuantum)
+			if vm.prof != nil {
+				vm.profQuantumEnd(t)
+			}
+			if err != nil {
 				return err
 			}
 		}

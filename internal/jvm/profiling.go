@@ -1,0 +1,195 @@
+// profiling.go wires the guest profiler (internal/profile) into both
+// JVM engines. The profiler needs three things from an engine: a
+// root-first stack walk over its explicit frames, CPU sample points,
+// and allocation-site hooks.
+//
+// Frame strings are "Class.method" for caller frames and
+// "Class.method:pc" at the leaf — the pc is the *original* bytecode
+// pc in every tier: the quickening side tables are indexed by
+// original pc and the bytecode is never rewritten, so the quickened,
+// pre-decoded, and generic interpreters attribute samples to the same
+// source positions (the property the fidelity tests pin down).
+//
+// Sample points per engine:
+//
+//   - DoppioVM rides the core.Runtime hooks: the suspend clock's
+//     counter-expiry probe (§4.1 — a timestamp is already being read
+//     there) plus the end of every timeslice, and the core block hook
+//     folds labelled Completion waits into the contention profile.
+//   - NativeVM has no core.Runtime; its scheduler samples inside the
+//     execute() quantum loop on an instruction countdown, and at
+//     quantum boundaries. Its monitors block threads without
+//     Completions, so native-engine contention is out of scope for
+//     the block profile (DESIGN.md §17).
+package jvm
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"doppio/internal/core"
+	"doppio/internal/profile"
+)
+
+// profFrame renders one frame string; leaf frames carry the pc.
+func profFrame(m *Method, pc int, leaf bool) string {
+	name := strings.ReplaceAll(m.Class.Name, "/", ".") + "." + m.Name
+	if leaf {
+		name += ":" + strconv.Itoa(pc)
+	}
+	return name
+}
+
+// profObjBytes estimates the heap footprint of one instance: a header
+// plus one word per field slot (the flat slot layout's own measure).
+func profObjBytes(c *Class) int64 {
+	return 16 + 8*int64(c.Layout().Slots)
+}
+
+// profArrayBytes estimates an array's footprint from its element
+// descriptor.
+func profArrayBytes(elemDesc string, n int32) int64 {
+	if n < 0 {
+		n = 0
+	}
+	size := int64(8)
+	switch elemDesc {
+	case "B", "Z":
+		size = 1
+	case "C", "S":
+		size = 2
+	case "I", "F":
+		size = 4
+	}
+	return 16 + size*int64(n)
+}
+
+// profStack walks a Doppio thread's frames root-first.
+func (d *DThread) profStack() []string {
+	n := len(d.frames)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i, f := range d.frames {
+		out[i] = profFrame(f.m, f.pc, i == n-1)
+	}
+	return out
+}
+
+// profAlloc samples one allocation event of the given estimated size
+// at the current Doppio stack, subject to the profiler's 1-in-N gate.
+func (d *DThread) profAlloc(bytes int64) {
+	p := d.vm.prof
+	if !p.AllocReady() {
+		return
+	}
+	p.SampleAlloc(d.profStack(), bytes)
+}
+
+// installProfiler attaches p to the Doppio engine: CPU samples via
+// the runtime's safepoint hook, contention via the block hook, and
+// unmanaged-heap allocations via the umheap observer. Guest-object
+// allocation opcodes consult vm.prof directly in the interpreter.
+func (vm *DoppioVM) installProfiler(p *profile.Profiler) {
+	vm.prof = p
+	vm.rt.SetSampleHook(func(t *core.Thread, dt time.Duration) {
+		d, ok := t.Data.(*DThread)
+		if !ok {
+			return
+		}
+		if st := d.profStack(); st != nil {
+			p.SampleCPU(st, dt)
+		}
+	}, p.CPUInterval())
+	vm.rt.SetBlockHook(func(t *core.Thread, reason string, dt time.Duration) {
+		d, ok := t.Data.(*DThread)
+		if !ok {
+			return
+		}
+		// The completion label becomes the leaf frame, so the
+		// contention profile reads "call site → what it waited on".
+		st := append(d.profStack(), reason)
+		p.SampleBlock(st, dt)
+	})
+	vm.heap.SetAllocHook(func(n int) {
+		if !p.AllocReady() {
+			return
+		}
+		if d := vm.cur; d != nil {
+			p.SampleAlloc(append(d.profStack(), "(umheap)"), int64(n))
+			return
+		}
+		p.SampleAlloc([]string{"(host)", "(umheap)"}, int64(n))
+	})
+}
+
+// Profiler returns the engine's guest profiler (nil when off).
+func (vm *DoppioVM) Profiler() *profile.Profiler { return vm.prof }
+
+// --- native engine ---
+
+// profCheckEvery is the native engine's instruction countdown between
+// clock reads — the analog of the Doppio suspend counter's expiry.
+const profCheckEvery = 8192
+
+// profStackN walks a native thread's frames root-first.
+func profStackN(t *NThread) []string {
+	n := len(t.frames)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i, f := range t.frames {
+		out[i] = profFrame(f.m, f.pc, i == n-1)
+	}
+	return out
+}
+
+// profAllocN samples one native-engine allocation event.
+func (vm *NativeVM) profAllocN(t *NThread, bytes int64) {
+	if !vm.prof.AllocReady() {
+		return
+	}
+	vm.prof.SampleAlloc(profStackN(t), bytes)
+}
+
+// profQuantumStart resets the on-CPU cursor at the top of a scheduler
+// quantum, so time the thread spent off the CPU is never attributed.
+func (vm *NativeVM) profQuantumStart() {
+	vm.profLast = time.Now()
+	vm.profCheck = profCheckEvery
+}
+
+// profTick is the in-quantum sample point: every profCheckEvery
+// instructions the execute loop lands here; once the profiler's
+// sampling interval has elapsed the window is attributed to the
+// current stack.
+func (vm *NativeVM) profTick(t *NThread) {
+	vm.profCheck = profCheckEvery
+	now := time.Now()
+	dt := now.Sub(vm.profLast)
+	if dt < vm.prof.CPUInterval() {
+		return
+	}
+	vm.profLast = now
+	if st := profStackN(t); st != nil {
+		vm.prof.SampleCPU(st, dt)
+	}
+}
+
+// profQuantumEnd closes out a quantum, attributing the tail window
+// (below the interval gate) so sampled time tracks real CPU time.
+func (vm *NativeVM) profQuantumEnd(t *NThread) {
+	dt := time.Since(vm.profLast)
+	if dt <= 0 {
+		return
+	}
+	if st := profStackN(t); st != nil {
+		vm.prof.SampleCPU(st, dt)
+	}
+}
+
+// Profiler returns the engine's guest profiler (nil when off).
+func (vm *NativeVM) Profiler() *profile.Profiler { return vm.prof }

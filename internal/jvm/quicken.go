@@ -23,8 +23,9 @@ import "doppio/internal/classfile"
 type QuickKind uint8
 
 // Quickened forms. The Q*field/Q*static/QInvoke* kinds replace one
-// generic instruction; QAloadGetfield and QIloadIadd are fused
-// superinstructions replacing an adjacent pair.
+// generic instruction; QAloadGetfield, QIloadIadd, QGetfieldIfeq and
+// QIloadIfIcmplt are fused superinstructions replacing an adjacent
+// pair.
 const (
 	QNone QuickKind = iota
 	QGetfield
@@ -36,6 +37,8 @@ const (
 	QInvokeStatic
 	QAloadGetfield // aload_N/aload ; getfield_q
 	QIloadIadd     // iload_N/iload ; iadd
+	QGetfieldIfeq  // getfield_q ; ifeq (int-family field, zero test)
+	QIloadIfIcmplt // iload_N/iload ; if_icmplt
 
 	// Pre-decoded simple forms, installed in one pass over a warm
 	// method's bytecode (predecode). They carry fully decoded operands
@@ -330,6 +333,16 @@ func aloadIndex(code []byte, pc int) int {
 	return -1
 }
 
+// intishDesc reports whether a field descriptor is a single-slot
+// int-family type — the kinds an ifeq can test directly.
+func intishDesc(d string) bool {
+	switch d {
+	case "I", "Z", "B", "C", "S":
+		return true
+	}
+	return false
+}
+
 // iloadIndex decodes an iload/iload_N opcode's local index, or -1.
 func iloadIndex(code []byte, pc int) int {
 	op := code[pc]
@@ -359,9 +372,38 @@ func (qt *QuickTable) fuse(m *Method, pairs *[65536]int64, st *QuickStats, deep 
 	for pc := 0; pairs != nil && pc < len(code); {
 		ln := classfile.InstrLen(code, pc)
 		pc2 := pc + ln
+		if pc2 >= len(code) {
+			pc = pc2
+			continue
+		}
+		k := qt.Ops[pc].Kind
+		if k == QGetfield {
+			// A quickened getfield whose value feeds a hot ifeq (flag
+			// tests, null-sentinel ints) fuses into QGetfieldIfeq.
+			// Only the single-slot int family fuses — ifeq pops an
+			// int, so the fused handler can test the raw slot without
+			// the push/pop round trip.
+			g := qt.Ops[pc]
+			if !g.Wide && code[pc2] == classfile.OpIfeq && intishDesc(g.Desc) &&
+				pairs[pairKey(code[pc], code[pc2])] >= fusionHot {
+				qt.Ops[pc] = QuickOp{
+					Kind:   QGetfieldIfeq,
+					Op:     code[pc],
+					A:      int32(pc2 + int(i16(code, pc2+1))),
+					Offset: g.Offset,
+					Desc:   g.Desc,
+					Field:  g.Field,
+					Len:    g.Len + 3,
+				}
+				qt.pack(pc)
+				st.Fusions++
+			}
+			pc = pc2
+			continue
+		}
 		// A retry pass may overwrite its own predecoded QLoad at the
 		// pair's first pc; anything else installed there stays.
-		if k := qt.Ops[pc].Kind; pc2 >= len(code) || (k != QNone && k != QLoad) {
+		if k != QNone && k != QLoad {
 			pc = pc2
 			continue
 		}
@@ -388,6 +430,20 @@ func (qt *QuickTable) fuse(m *Method, pairs *[65536]int64, st *QuickStats, deep 
 					Op:   code[pc],
 					A:    int32(idx),
 					Len:  int32(ln) + 1,
+				}
+				qt.pack(pc)
+				st.Fusions++
+			} else if code[pc2] == classfile.OpIfIcmplt && pairs[pairKey(code[pc], code[pc2])] >= fusionHot {
+				// The classic counted-loop backedge: iload of the
+				// bound then if_icmplt. The branch target does not fit
+				// the packed immediate, so handlers read it from the
+				// full entry's Offset.
+				qt.Ops[pc] = QuickOp{
+					Kind:   QIloadIfIcmplt,
+					Op:     code[pc],
+					A:      int32(idx),
+					Offset: int32(pc2 + int(i16(code, pc2+1))),
+					Len:    int32(ln) + 3,
 				}
 				qt.pack(pc)
 				st.Fusions++

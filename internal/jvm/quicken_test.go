@@ -133,6 +133,105 @@ func TestQuickenHotLoopEquivalence(t *testing.T) {
 	}
 }
 
+// gateProgram drives the getfield;ifeq fused pair: drain()'s loop
+// condition is a boolean field read whose value feeds ifeq directly.
+// The receiver comes through a getstatic (not an aload), so the fused
+// QGetfieldIfeq form itself executes rather than being shadowed by
+// QAloadGetfield. The loop body avoids every other fusable pair, so a
+// nonzero Fusions count pins the new form specifically. The final
+// round nulls the receiver to check the fused handler throws the same
+// NullPointerException at the same site as the generic pair.
+const gateProgram = `
+class Gate {
+    boolean open;
+}
+public class Main {
+    static Gate gate = new Gate();
+    static int drain() {
+        int n = 0;
+        while (gate.open) {
+            n = n + 1;
+            if (n >= 40) { gate.open = false; }
+        }
+        return n;
+    }
+    public static void main(String[] args) {
+        int acc = 0;
+        for (int r = 0; r < 200; r++) {
+            gate.open = true;
+            acc = acc + drain();
+        }
+        System.out.println(acc);
+        gate = null;
+        System.out.println(drain());
+    }
+}`
+
+// boundProgram drives the iload;if_icmplt fused pair: the loop
+// condition compares against a local bound, and the body sticks to
+// xor so the only fusable hot pair is the bound load feeding
+// if_icmplt. The Main.seed read exists to give sweep a quickened
+// site — the fusion pass only visits methods that own a side table.
+const boundProgram = `
+public class Main {
+    static int seed = 0;
+    static int sweep(int limit) {
+        int s = 0;
+        int i = 0;
+        while (i < limit) {
+            s = (s ^ i) + Main.seed;
+            i = i + 1;
+        }
+        return s;
+    }
+    public static void main(String[] args) {
+        int acc = 0;
+        for (int r = 0; r < 200; r++) {
+            acc = acc ^ sweep(64 + r % 7);
+        }
+        System.out.println(acc);
+    }
+}`
+
+// TestQuickenFusedBranchPairs checks the branch-fused
+// superinstructions (getfield;ifeq and iload;if_icmplt) for output
+// and error-outcome equivalence against the generic interpreter on
+// both engines, and that each program actually reaches the fused
+// tier.
+func TestQuickenFusedBranchPairs(t *testing.T) {
+	for name, src := range map[string]string{"gate": gateProgram, "bound": boundProgram} {
+		t.Run(name, func(t *testing.T) {
+			dOff, dOffErr, _ := runDoppioQuick(t, src, false, 2*time.Millisecond)
+			dOn, dOnErr, st := runDoppioQuick(t, src, true, 2*time.Millisecond)
+			if dOn != dOff {
+				t.Errorf("doppio output diverged:\noff: %q\non:  %q", dOff, dOn)
+			}
+			if (dOffErr == nil) != (dOnErr == nil) {
+				t.Errorf("doppio error outcome changed: off=%v on=%v", dOffErr, dOnErr)
+			}
+			if st.Fusions == 0 || st.FusedExec == 0 {
+				t.Errorf("doppio run did not reach the fused tier: %+v", st)
+			}
+			nOff, nOffErr, _ := runNativeQuick(t, src, false)
+			nOn, nOnErr, nst := runNativeQuick(t, src, true)
+			if nOn != nOff {
+				t.Errorf("native output diverged:\noff: %q\non:  %q", nOff, nOn)
+			}
+			if (nOffErr == nil) != (nOnErr == nil) {
+				t.Errorf("native error outcome changed: off=%v on=%v", nOffErr, nOnErr)
+			}
+			if nst.Fusions == 0 || nst.FusedExec == 0 {
+				t.Errorf("native run did not reach the fused tier: %+v", nst)
+			}
+			// Uncaught-exception banners embed engine-specific thread
+			// ids, so cross-engine output only compares on clean runs.
+			if dOnErr == nil && nOnErr == nil && dOn != nOn {
+				t.Errorf("engines disagree under fusion:\nnative: %q\ndoppio: %q", nOn, dOn)
+			}
+		})
+	}
+}
+
 // TestQuickenICMissFallback cycles a megamorphic receiver through a
 // single quickened invokevirtual site. The inline cache must repoint
 // (misses), then deopt to generic dispatch once the miss budget is

@@ -79,7 +79,7 @@ func (vm *VM) Heap() *umheap.Heap { return vm.heap }
 // are shared until the kernel rebinds them. The clone is inert until
 // StartForked.
 func (vm *VM) Clone() *VM {
-	return &VM{
+	c := &VM{
 		prog:      vm.prog,
 		heap:      vm.heap.Clone(vm.win.NoteTypedArrayAlloc),
 		win:       vm.win,
@@ -96,6 +96,12 @@ func (vm *VM) Clone() *VM {
 		frames:    append([]cFrame(nil), vm.frames...),
 		ops:       append([]int32(nil), vm.ops...),
 	}
+	// The clone gets a fresh runtime and a cloned heap, so the parent's
+	// profiler hooks must be re-installed to keep sampling the child.
+	if vm.prof != nil {
+		c.installProfiler(vm.prof)
+	}
+	return c
 }
 
 // StartForked begins executing an already-populated clone: no main

@@ -8,6 +8,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
 	"doppio/internal/core"
+	"doppio/internal/profile"
 	"doppio/internal/umheap"
 	"doppio/internal/vfs"
 )
@@ -42,6 +43,9 @@ type VM struct {
 
 	// Steps counts executed IR instructions.
 	Steps int64
+
+	// prof is the guest profiler (nil when off).
+	prof *profile.Profiler
 
 	exitCode int32
 	runErr   error
@@ -82,6 +86,10 @@ type VMOptions struct {
 	// Priority is the run-queue level the VM's threads start at
 	// (core.Config.DefaultPriority); zero keeps the default.
 	Priority int
+	// Profiler, when non-nil, samples guest CPU time, allocation
+	// (the umheap malloc path), and blocked time into the given
+	// profiler. Stacks are keyed by MiniC function name.
+	Profiler *profile.Profiler
 }
 
 // NewVM creates a VM for prog inside the browser window.
@@ -134,8 +142,54 @@ func NewVM(win *browser.Window, prog *Program, opts VMOptions) (*VM, error) {
 	}
 	vm.stackBase = stackBase
 	vm.stackTop = opts.StackSize
+	if opts.Profiler != nil {
+		vm.installProfiler(opts.Profiler)
+	}
 	return vm, nil
 }
+
+// profStack walks the VM's frames root-first, keyed by function name
+// (MiniC profiles are function-granular).
+func (vm *VM) profStack() []string {
+	n := len(vm.frames)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range vm.frames {
+		out[i] = vm.frames[i].fn.Name
+	}
+	return out
+}
+
+// installProfiler attaches p: CPU samples ride the runtime's suspend-
+// clock probe and slice boundaries, contention folds the labelled
+// Completion waits, and the heap observer covers every malloc (the
+// SysMalloc syscall and the VM's own arena allocations alike).
+func (vm *VM) installProfiler(p *profile.Profiler) {
+	vm.prof = p
+	vm.rt.SetSampleHook(func(_ *core.Thread, dt time.Duration) {
+		if st := vm.profStack(); st != nil {
+			p.SampleCPU(st, dt)
+		}
+	}, p.CPUInterval())
+	vm.rt.SetBlockHook(func(_ *core.Thread, reason string, dt time.Duration) {
+		p.SampleBlock(append(vm.profStack(), reason), dt)
+	})
+	vm.heap.SetAllocHook(func(n int) {
+		if !p.AllocReady() {
+			return
+		}
+		st := vm.profStack()
+		if st == nil {
+			st = []string{"(startup)"}
+		}
+		p.SampleAlloc(append(st, "(umheap)"), int64(n))
+	})
+}
+
+// Profiler returns the VM's guest profiler (nil when off).
+func (vm *VM) Profiler() *profile.Profiler { return vm.prof }
 
 // FS returns the file system the program sees.
 func (vm *VM) FS() *vfs.FS { return vm.fs }

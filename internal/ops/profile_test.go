@@ -1,0 +1,145 @@
+package ops_test
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"doppio/internal/ops"
+	"doppio/internal/profile"
+	"doppio/internal/telemetry"
+)
+
+// profServer builds a server over a pre-folded guest profiler (no
+// live VM needed — the handlers only read snapshots).
+func profServer(t *testing.T, prof *profile.Profiler) *httptest.Server {
+	t.Helper()
+	s := ops.NewServer(nil)
+	s.Register(ops.Source{Name: "guest", Prof: prof})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestProfileEndpoints(t *testing.T) {
+	prof := profile.New(profile.Options{})
+	prof.SampleCPU([]string{"Main.main", "Work.churn:12"}, 3*time.Millisecond)
+	prof.SampleCPU([]string{"Main.main", "Work.churn:12"}, 2*time.Millisecond)
+	prof.SampleCPU([]string{"Main.main:40"}, time.Millisecond)
+	prof.SampleAlloc([]string{"Main.main", "Work.churn:5"}, 128)
+	prof.SampleBlock([]string{"Main.main", "monitor(Work)"}, 4*time.Millisecond)
+	ts := profServer(t, prof)
+
+	// Collapsed stacks, cumulative window (sec=0 skips the sleep).
+	code, body := get(t, ts.URL+"/debug/profile?sec=0")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/profile status = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "Main.main;Work.churn:12 5000000") {
+		t.Errorf("collapsed output missing folded stack:\n%s", body)
+	}
+
+	// JSON form round-trips and carries the kind.
+	code, body = get(t, ts.URL+"/debug/profile?sec=0&format=json")
+	if code != http.StatusOK {
+		t.Fatalf("json status = %d", code)
+	}
+	var snap struct {
+		Kind    string `json:"kind"`
+		Entries []struct {
+			Stack []string `json:"stack"`
+			Value int64    `json:"value"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("json decode: %v\n%s", err, body)
+	}
+	if snap.Kind != "cpu" || len(snap.Entries) != 2 {
+		t.Errorf("json snapshot kind=%q entries=%d, want cpu/2", snap.Kind, len(snap.Entries))
+	}
+
+	// The other two profile kinds are reachable by name.
+	if _, body = get(t, ts.URL+"/debug/profile?sec=0&kind=alloc"); !strings.Contains(body, "Work.churn:5") {
+		t.Errorf("alloc profile missing site:\n%s", body)
+	}
+	if _, body = get(t, ts.URL+"/debug/profile?sec=0&kind=block"); !strings.Contains(body, "monitor(Work)") {
+		t.Errorf("block profile missing wait label:\n%s", body)
+	}
+	if code, _ = get(t, ts.URL+"/debug/profile?sec=0&kind=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown kind status = %d, want 400", code)
+	}
+
+	// The pprof endpoint serves a gzipped protobuf whose string table
+	// carries the guest method names.
+	resp, err := http.Get(ts.URL + "/debug/guest-pprof?sec=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/guest-pprof status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content-type %q", ct)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	for _, want := range []string{"Main.main", "Work.churn", "nanoseconds", "(guest)"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("pprof payload missing %q", want)
+		}
+	}
+}
+
+// TestProfileEndpointDisabled pins the no-profiler path: 404 with a
+// hint, not an empty 200 an operator would misread as "idle guest".
+func TestProfileEndpointDisabled(t *testing.T) {
+	s := ops.NewServer(nil)
+	s.Register(ops.Source{Name: "guest"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/profile", "/debug/guest-pprof"} {
+		code, body := get(t, ts.URL+path)
+		if code != http.StatusNotFound || !strings.Contains(body, "-prof") {
+			t.Errorf("%s: status %d body %q, want 404 with -prof hint", path, code, body)
+		}
+	}
+}
+
+// TestMetricsFlightGauges pins the flight-recorder health gauges on
+// /metrics: totals, drops, and capacity are exported whenever the
+// ring exists.
+func TestMetricsFlightGauges(t *testing.T) {
+	hub := telemetry.NewHub().EnableFlight(128)
+	for i := 0; i < 3; i++ {
+		hub.Flight.Record("test", "event", "x", int64(i))
+	}
+	s := ops.NewServer(hub)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"doppio_telemetry_flight_events_total 3",
+		"doppio_telemetry_flight_dropped_total 0",
+		"doppio_telemetry_flight_capacity 128",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"doppio/internal/eventloop"
 	"doppio/internal/jvm"
 	"doppio/internal/proc"
+	"doppio/internal/profile"
 	"doppio/internal/telemetry"
 	"doppio/internal/umheap"
 	"doppio/internal/vfs"
@@ -59,6 +60,12 @@ type Source struct {
 	// JVM lists the source's bytecode engines for the quickening
 	// counters (/debug/jvm); empty when no JVM runs here.
 	JVM []JVMEngine
+	// Prof is the source's guest profiler, feeding /debug/profile,
+	// /debug/guest-pprof, and the post-mortem hot-stack section. Nil
+	// when the workload runs unprofiled. The profiler is internally
+	// synchronized, so (unlike the loop-affine fields above) it is
+	// safe to snapshot from any goroutine.
+	Prof *profile.Profiler
 }
 
 // JVMEngine names one bytecode engine exposing quickening counters.
@@ -105,6 +112,10 @@ type Report struct {
 	Heap      *HeapState              `json:"heap,omitempty"`
 	Procs     []proc.ProcInfo         `json:"procs,omitempty"`
 	JVM       []JVMEngineState        `json:"jvm,omitempty"`
+	// HotStacks is the head of the guest CPU profile at capture time
+	// (collapsed stacks, Value in sampled nanoseconds) — where the
+	// workload was spending its guest time when it died.
+	HotStacks []profile.Entry         `json:"hot_stacks,omitempty"`
 	Flight    []telemetry.FlightEvent `json:"flight,omitempty"`
 	// FlightDropped counts events the ring had already overwritten —
 	// how much history beyond Flight is gone.
@@ -139,6 +150,14 @@ func Collect(hub *telemetry.Hub, src Source, reason, detail string) *Report {
 			continue
 		}
 		r.JVM = append(r.JVM, JVMEngineState{Engine: e.Engine, QuickStats: e.Stats.QuickStats()})
+	}
+	if src.Prof != nil {
+		const hotStackCount = 10
+		snap := src.Prof.Snapshot(profile.CPU)
+		if len(snap.Entries) > hotStackCount {
+			snap.Entries = snap.Entries[:hotStackCount]
+		}
+		r.HotStacks = snap.Entries
 	}
 	if hub != nil && hub.Flight != nil {
 		r.Flight = hub.Flight.Tail(FlightTail)
@@ -237,6 +256,13 @@ func (r *Report) Text() string {
 			r.Heap.Size, r.Heap.Allocated, r.Heap.AllocCount, len(r.Heap.FreeList))
 		for _, e := range r.Heap.FreeList {
 			fmt.Fprintf(&b, "  [%8d, %8d) %d bytes\n", e.Addr, e.Addr+e.Size, e.Size)
+		}
+	}
+	if len(r.HotStacks) > 0 {
+		b.WriteString("== guest hot stacks (cpu) ==\n")
+		for _, e := range r.HotStacks {
+			fmt.Fprintf(&b, "  %8.1fms  %s\n",
+				float64(e.Value)/1e6, strings.Join(e.Stack, ";"))
 		}
 	}
 	if r.Flight != nil {

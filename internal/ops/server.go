@@ -78,6 +78,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/jvm", s.handleJVM)
 	mux.HandleFunc("/debug/fleet", s.handleFleet)
 	mux.HandleFunc("/debug/sock", s.handleSock)
+	mux.HandleFunc("/debug/profile", s.handleProfile)
+	mux.HandleFunc("/debug/guest-pprof", s.handleGuestPprof)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -116,6 +118,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/jvm          per-engine quickening counters: sites, IC hits/misses, fusions, deopts (?format=json)")
 	fmt.Fprintln(w, "  /debug/fleet        fleet supervisor: shards, tenants, evictions (?format=json)")
 	fmt.Fprintln(w, "  /debug/sock         websockify gateway: stream windows, shed/reset counters (?format=json)")
+	fmt.Fprintln(w, "  /debug/profile      guest profile, collapsed stacks (?sec=N&kind=cpu|alloc|block&format=json)")
+	fmt.Fprintln(w, "  /debug/guest-pprof  guest profile as pprof protobuf, for `go tool pprof` (?kind=&sec=)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go runtime profiles")
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -131,6 +135,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	s.hub.Registry.Snapshot().WritePrometheus(w)
+	// The flight recorder lives outside the registry (it is a ring,
+	// not a metric), but its health — events seen, events already
+	// overwritten, capacity — is exactly what an operator alerts on,
+	// so it is exported alongside the registry series.
+	if f := s.hub.Flight; f != nil {
+		fmt.Fprintf(w, "# TYPE doppio_telemetry_flight_events_total counter\n")
+		fmt.Fprintf(w, "doppio_telemetry_flight_events_total %d\n", f.Total())
+		fmt.Fprintf(w, "# TYPE doppio_telemetry_flight_dropped_total counter\n")
+		fmt.Fprintf(w, "doppio_telemetry_flight_dropped_total %d\n", f.Dropped())
+		fmt.Fprintf(w, "# TYPE doppio_telemetry_flight_capacity gauge\n")
+		fmt.Fprintf(w, "doppio_telemetry_flight_capacity %d\n", f.Cap())
+	}
 }
 
 // Reports captures one report per registered source — what the debug

@@ -46,6 +46,7 @@ func (k *Kernel) SpawnJVM(mainClass string, classes map[string][]byte, spec Spaw
 		Stdin:    jvmStdin(p, spec.Stdin),
 		Provider: jvm.MapProvider(classes),
 		FS:       &jvm.VFSHostFS{FS: p.FS},
+		Profiler: k.prof,
 	})
 	p.rt = vm.Runtime()
 	// Force-kill = System.exit with the signal's wait status: Exit

@@ -21,6 +21,7 @@ import (
 	"doppio/internal/browser"
 	"doppio/internal/buffer"
 	"doppio/internal/core"
+	"doppio/internal/profile"
 	"doppio/internal/vfs"
 )
 
@@ -91,6 +92,11 @@ type Kernel struct {
 	bufs *buffer.Factory
 	root vfs.Backend
 
+	// prof, when non-nil, is handed to every VM the kernel spawns, so
+	// one profiler sees the whole process tree (a pipeline's stages
+	// fold into a single profile, frames keyed by class/function).
+	prof *profile.Profiler
+
 	procs   map[int32]*Process
 	nextPID int32
 	pipeSeq int
@@ -114,6 +120,11 @@ func NewKernel(win *browser.Window, root vfs.Backend) *Kernel {
 
 // Window exposes the kernel's browser window (its event loop).
 func (k *Kernel) Window() *browser.Window { return k.win }
+
+// SetProfiler installs a guest profiler: every process spawned after
+// this call samples into p. Call before the first spawn; processes
+// already running keep their original (nil) profiler.
+func (k *Kernel) SetProfiler(p *profile.Profiler) { k.prof = p }
 
 // Root exposes the shared mount-table backend (ops /debug/vfs).
 func (k *Kernel) Root() vfs.Backend { return k.root }

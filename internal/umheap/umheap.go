@@ -63,7 +63,17 @@ type Heap struct {
 	words  WordStore
 	free   []block     // sorted by address, coalesced
 	allocs map[int]int // addr → size
+
+	// allocHook, when set, observes every successful Malloc with the
+	// rounded byte size. The heap has no guest-stack context of its
+	// own; VMs install a closure that walks their frames (the guest
+	// allocation profile). Nil when profiling is off.
+	allocHook func(n int)
 }
+
+// SetAllocHook installs (or, with nil, removes) the allocation
+// observer. The hook runs inline on the allocating goroutine.
+func (h *Heap) SetAllocHook(hook func(n int)) { h.allocHook = hook }
 
 // New creates a heap of size bytes (rounded up to a word multiple),
 // backed by a typed array when typed is true. onTypedAlloc, if non-nil,
@@ -154,6 +164,9 @@ func (h *Heap) Malloc(n int) (int, error) {
 			h.free[i] = block{addr: b.addr + n, size: b.size - n}
 		}
 		h.allocs[addr] = n
+		if h.allocHook != nil {
+			h.allocHook(n)
+		}
 		return addr, nil
 	}
 	return 0, ErrOOM
